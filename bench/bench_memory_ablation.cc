@@ -1,0 +1,59 @@
+// Reproduces the Sec. IV-A design claim: replacing 2x2 max-pooling with
+// stride-2 convolutions removes the ~3/4-redundant gradient bookkeeping and
+// cuts peak training memory for the tile encoder.
+
+#include <cstdio>
+
+#include "common/rng.h"
+#include "common/table_printer.h"
+#include "nn/conv.h"
+#include "nn/ops.h"
+
+int main() {
+  using namespace tspn;
+  std::printf("Sec. IV-A memory ablation — pooling vs strided convolution in "
+              "the tile image encoder\n\n");
+  common::TablePrinter table({"Design", "Resolution", "Tiles", "Peak bytes",
+                              "vs pooling"});
+  common::Rng rng(1);
+  for (int32_t res : {32, 64}) {
+    for (int64_t tiles : {16, 64}) {
+      int64_t peaks[2] = {0, 0};
+      for (int variant = 0; variant < 2; ++variant) {
+        nn::ResetMemoryStats();
+        {
+          nn::Tensor x = nn::Tensor::RandomUniform({tiles, 3, res, res}, 1.0f, rng);
+          nn::Tensor w1 =
+              nn::Tensor::RandomUniform({8, 3, 3, 3}, 0.2f, rng, true);
+          nn::Tensor w2 =
+              nn::Tensor::RandomUniform({16, 8, 3, 3}, 0.2f, rng, true);
+          nn::Tensor h;
+          if (variant == 0) {
+            // conv(stride 1) + 2x2 max pool, twice — the U-Net-style design.
+            h = nn::MaxPool2x2(nn::Relu(nn::Conv2d(x, w1, nn::Tensor(), 1, 1)));
+            h = nn::MaxPool2x2(nn::Relu(nn::Conv2d(h, w2, nn::Tensor(), 1, 1)));
+          } else {
+            // stride-2 convolutions — the paper's memory-lean replacement.
+            h = nn::Relu(nn::Conv2d(x, w1, nn::Tensor(), 2, 1));
+            h = nn::Relu(nn::Conv2d(h, w2, nn::Tensor(), 2, 1));
+          }
+          nn::Tensor loss = nn::SumAll(nn::Mul(h, h));
+          loss.Backward();
+          peaks[variant] = nn::PeakTensorBytes();
+        }
+      }
+      double saving = 100.0 * (1.0 - static_cast<double>(peaks[1]) /
+                                         static_cast<double>(peaks[0]));
+      table.AddRow({"conv+pool", std::to_string(res), std::to_string(tiles),
+                    std::to_string(peaks[0]), "-"});
+      table.AddRow({"strided conv", std::to_string(res), std::to_string(tiles),
+                    std::to_string(peaks[1]),
+                    "-" + common::TablePrinter::Fixed(saving, 1) + "%"});
+    }
+  }
+  table.Print();
+  std::printf("\nShape check vs paper Sec. IV-A: the strided-conv encoder "
+              "saves a large fraction of peak training memory (the paper "
+              "reports ~75%% of the pooling path's gradient overhead).\n");
+  return 0;
+}

@@ -1,0 +1,129 @@
+// Micro-benchmarks of the substrates (google-benchmark): tensor ops, conv,
+// attention, quad-tree construction/query, QR-P graph construction, image
+// synthesis. These are throughput sanity checks, not paper experiments.
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "data/dataset.h"
+#include "graph/qrp_graph.h"
+#include "nn/conv.h"
+#include "nn/layers.h"
+#include "nn/ops.h"
+#include "rs/synthesizer.h"
+#include "spatial/quadtree.h"
+
+namespace {
+
+using namespace tspn;
+
+void BM_MatMul(benchmark::State& state) {
+  int64_t n = state.range(0);
+  common::Rng rng(1);
+  nn::Tensor a = nn::Tensor::RandomUniform({n, n}, 1.0f, rng);
+  nn::Tensor b = nn::Tensor::RandomUniform({n, n}, 1.0f, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(nn::MatMul(a, b).data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_MatMul)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_Conv2dStride2(benchmark::State& state) {
+  int64_t res = state.range(0);
+  common::Rng rng(2);
+  nn::Tensor x = nn::Tensor::RandomUniform({1, 3, res, res}, 1.0f, rng);
+  nn::Tensor w = nn::Tensor::RandomUniform({8, 3, 3, 3}, 0.2f, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(nn::Conv2d(x, w, nn::Tensor(), 2, 1).data());
+  }
+}
+BENCHMARK(BM_Conv2dStride2)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_AttentionForward(benchmark::State& state) {
+  int64_t len = state.range(0);
+  common::Rng rng(3);
+  nn::Attention attn(64, rng);
+  nn::Tensor seq = nn::Tensor::RandomUniform({len, 64}, 1.0f, rng);
+  nn::NoGradGuard guard;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(attn.Forward(seq, seq, true).data());
+  }
+}
+BENCHMARK(BM_AttentionForward)->Arg(16)->Arg(64);
+
+void BM_TrainStepBackward(benchmark::State& state) {
+  common::Rng rng(4);
+  nn::Linear layer(64, 64, rng);
+  nn::Tensor x = nn::Tensor::RandomUniform({32, 64}, 1.0f, rng);
+  for (auto _ : state) {
+    nn::Tensor loss = nn::SumAll(nn::Mul(layer.Forward(x), layer.Forward(x)));
+    loss.Backward();
+    for (nn::Tensor& p : layer.Parameters()) p.ZeroGrad();
+  }
+}
+BENCHMARK(BM_TrainStepBackward);
+
+void BM_QuadTreeBuild(benchmark::State& state) {
+  int64_t n = state.range(0);
+  common::Rng rng(5);
+  std::vector<geo::GeoPoint> points;
+  points.reserve(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    points.push_back({rng.Uniform(), rng.Uniform()});
+  }
+  for (auto _ : state) {
+    auto tree = spatial::QuadTree::Build({0, 0, 1, 1}, points,
+                                         {.max_depth = 9, .leaf_capacity = 50});
+    benchmark::DoNotOptimize(tree.NumTiles());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_QuadTreeBuild)->Arg(1000)->Arg(10000);
+
+void BM_QuadTreeLocate(benchmark::State& state) {
+  common::Rng rng(6);
+  std::vector<geo::GeoPoint> points;
+  for (int64_t i = 0; i < 20000; ++i) {
+    points.push_back({rng.Uniform(), rng.Uniform()});
+  }
+  auto tree = spatial::QuadTree::Build({0, 0, 1, 1}, points,
+                                       {.max_depth = 9, .leaf_capacity = 50});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        tree.LocateLeaf({rng.Uniform(), rng.Uniform()}));
+  }
+}
+BENCHMARK(BM_QuadTreeLocate);
+
+void BM_QrpGraphBuild(benchmark::State& state) {
+  auto dataset = data::CityDataset::Generate(data::CityProfile::TestTiny());
+  common::Rng rng(7);
+  std::vector<int64_t> visits;
+  for (int i = 0; i < 100; ++i) {
+    visits.push_back(rng.UniformInt(static_cast<int64_t>(dataset->pois().size())));
+  }
+  for (auto _ : state) {
+    auto graph = graph::BuildQrpGraph(dataset->quadtree(),
+                                      dataset->leaf_adjacency(),
+                                      dataset->pois(), visits);
+    benchmark::DoNotOptimize(graph.NumNodes());
+  }
+}
+BENCHMARK(BM_QrpGraphBuild);
+
+void BM_RenderTile(benchmark::State& state) {
+  int32_t res = static_cast<int32_t>(state.range(0));
+  auto dataset = data::CityDataset::Generate(data::CityProfile::TestTiny());
+  rs::ImageSynthesizer synth(&dataset->layout(), &dataset->roads(),
+                             {.resolution = res});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        synth.RenderTile({0.0, 0.0, 0.1, 0.1}).data.data());
+  }
+}
+BENCHMARK(BM_RenderTile)->Arg(32)->Arg(256);
+
+}  // namespace
+
+BENCHMARK_MAIN();

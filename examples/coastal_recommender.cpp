@@ -1,0 +1,93 @@
+// Coastal recommender: the Fig. 12 scenario as a runnable application. A
+// coastal state (Florida-like) is simulated; TSPN-RA and a history-aware
+// baseline are trained; for a user heading to the shore we compare where
+// each model sends them.
+//
+//   ./build/examples/coastal_recommender
+
+#include <algorithm>
+#include <cstdio>
+
+#include "baselines/base.h"
+#include "core/tspn_ra.h"
+#include "data/dataset.h"
+
+namespace {
+
+using namespace tspn;
+
+/// Fraction of recommended POIs lying in the coastal band.
+double CoastalFraction(const data::CityDataset& dataset,
+                       const std::vector<int64_t>& pois) {
+  double band = 3.0 * dataset.layout().coast().coastal_width_deg;
+  double hits = 0.0;
+  for (int64_t pid : pois) {
+    double d = dataset.layout().CoastDistanceDeg(dataset.poi(pid).loc);
+    if (d > -band && d <= 0.0) hits += 1.0;
+  }
+  return pois.empty() ? 0.0 : hits / static_cast<double>(pois.size());
+}
+
+}  // namespace
+
+int main() {
+  using namespace tspn;
+  // A small coastal profile (Florida-like shape at example scale).
+  data::CityProfile profile = data::CityProfile::TestTiny();
+  profile.name = "MiniFlorida";
+  profile.coastal = true;
+  profile.seed = 404;
+  auto dataset = data::CityDataset::Generate(profile);
+  std::printf("MiniFlorida: %lld POIs, coastline at lon ~%.3f\n",
+              static_cast<long long>(dataset->pois().size()),
+              dataset->layout().CoastLonAt(profile.bbox.Center().lat));
+
+  // Find a test case whose target is coastal.
+  data::SampleRef coastal_case = dataset->Samples(data::Split::kTest).front();
+  for (const data::SampleRef& sample : dataset->Samples(data::Split::kTest)) {
+    const data::Poi& target = dataset->poi(dataset->Target(sample).poi_id);
+    double d = dataset->layout().CoastDistanceDeg(target.loc);
+    if (d > -dataset->layout().coast().coastal_width_deg && d <= 0.0) {
+      coastal_case = sample;
+      break;
+    }
+  }
+  const data::Poi& target = dataset->poi(dataset->Target(coastal_case).poi_id);
+  std::printf("Case: user %d heading to POI#%lld (%.4f, %.4f), coastal "
+              "distance %.4f deg\n\n",
+              coastal_case.user, static_cast<long long>(target.id),
+              target.loc.lat, target.loc.lon,
+              dataset->layout().CoastDistanceDeg(target.loc));
+
+  eval::TrainOptions options;
+  options.epochs = 3;
+  options.max_samples_per_epoch = 160;
+
+  core::TspnRaConfig config;
+  config.dm = 32;
+  config.image_resolution = 16;
+  config.top_k_tiles = profile.top_k_tiles;
+  core::TspnRa tspn(dataset, config);
+  tspn.Train(options);
+  std::vector<int64_t> tspn_top = tspn.Recommend(coastal_case, 50);
+
+  auto lstpm = baselines::MakeBaseline("LSTPM", dataset, 32, 7);
+  lstpm->Train(options);
+  std::vector<int64_t> lstpm_top = lstpm->Recommend(coastal_case, 50);
+
+  std::printf("Top-50 recommendation spread:\n");
+  std::printf("  TSPN-RA : %.0f%% of recommendations in the coastal band\n",
+              100.0 * CoastalFraction(*dataset, tspn_top));
+  std::printf("  LSTPM   : %.0f%% of recommendations in the coastal band\n",
+              100.0 * CoastalFraction(*dataset, lstpm_top));
+  bool tspn_found = std::find(tspn_top.begin(), tspn_top.end(), target.id) !=
+                    tspn_top.end();
+  bool lstpm_found = std::find(lstpm_top.begin(), lstpm_top.end(), target.id) !=
+                     lstpm_top.end();
+  std::printf("  target in top-50: TSPN-RA=%s, LSTPM=%s\n",
+              tspn_found ? "yes" : "no", lstpm_found ? "yes" : "no");
+  std::printf("\nThe remote-sensing-augmented tile filter biases TSPN-RA "
+              "towards the shoreline the user is actually following "
+              "(the paper's Fig. 12 observation).\n");
+  return 0;
+}

@@ -1,0 +1,83 @@
+#include "baselines/base.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/check.h"
+
+namespace tspn::baselines {
+
+SequenceModelBase::Prefix SequenceModelBase::ExtractPrefix(
+    const data::SampleRef& sample, int64_t max_len) const {
+  const data::Trajectory& traj = dataset_->trajectory(sample);
+  Prefix prefix;
+  prefix.user = sample.user;
+  prefix.traj = sample.traj;
+  int64_t start = std::max<int64_t>(0, sample.prefix_len - max_len);
+  for (int64_t i = start; i < sample.prefix_len; ++i) {
+    const data::Checkin& c = traj.checkins[static_cast<size_t>(i)];
+    const data::Poi& poi = dataset_->poi(c.poi_id);
+    prefix.poi_ids.push_back(c.poi_id);
+    prefix.categories.push_back(poi.category);
+    prefix.time_slots.push_back(data::TimeSlotOf(c.timestamp));
+    prefix.timestamps.push_back(c.timestamp);
+    prefix.locations.push_back(poi.loc);
+  }
+  prefix.target_poi = dataset_->Target(sample).poi_id;
+  return prefix;
+}
+
+nn::Tensor SequenceModelBase::SampleLoss(const Prefix& prefix,
+                                         common::Rng& rng) const {
+  (void)rng;
+  nn::Tensor logits = ScoreAllPois(prefix);
+  return nn::CrossEntropyWithLogits(logits, prefix.target_poi);
+}
+
+void SequenceModelBase::Train(const eval::TrainOptions& options) {
+  Prepare();
+  net().SetTraining(true);
+  std::vector<data::SampleRef> samples = dataset_->Samples(data::Split::kTrain);
+  common::Rng rng(options.seed);
+  nn::Adam optimizer(net().Parameters(), {.lr = options.lr});
+  for (int32_t epoch = 0; epoch < options.epochs; ++epoch) {
+    rng.Shuffle(samples);
+    int64_t budget = options.max_samples_per_epoch > 0
+                         ? std::min<int64_t>(options.max_samples_per_epoch,
+                                             static_cast<int64_t>(samples.size()))
+                         : static_cast<int64_t>(samples.size());
+    for (int64_t begin = 0; begin < budget; begin += options.batch_size) {
+      int64_t end = std::min<int64_t>(begin + options.batch_size, budget);
+      optimizer.ZeroGrad();
+      nn::Tensor loss = nn::Tensor::Scalar(0.0f);
+      for (int64_t i = begin; i < end; ++i) {
+        Prefix prefix =
+            ExtractPrefix(samples[static_cast<size_t>(i)], max_seq_len_);
+        loss = nn::Add(loss, SampleLoss(prefix, rng));
+      }
+      loss = nn::MulScalar(loss, 1.0f / static_cast<float>(end - begin));
+      loss.Backward();
+      optimizer.Step();
+    }
+    optimizer.DecayLr(options.lr_decay);
+  }
+  net().SetTraining(false);
+}
+
+std::vector<int64_t> SequenceModelBase::Recommend(const data::SampleRef& sample,
+                                                  int64_t top_n) const {
+  nn::NoGradGuard guard;
+  Prefix prefix = ExtractPrefix(sample, max_seq_len_);
+  nn::Tensor logits = ScoreAllPois(prefix);
+  TSPN_CHECK_EQ(logits.numel(), num_pois());
+  std::vector<int64_t> order(static_cast<size_t>(num_pois()));
+  std::iota(order.begin(), order.end(), 0);
+  const float* scores = logits.data();
+  int64_t keep = std::min<int64_t>(top_n, num_pois());
+  std::partial_sort(order.begin(), order.begin() + keep, order.end(),
+                    [&](int64_t a, int64_t b) { return scores[a] > scores[b]; });
+  order.resize(static_cast<size_t>(keep));
+  return order;
+}
+
+}  // namespace tspn::baselines

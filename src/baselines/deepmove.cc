@@ -1,0 +1,46 @@
+#include "baselines/deepmove.h"
+
+namespace tspn::baselines {
+
+DeepMove::DeepMove(std::shared_ptr<const data::CityDataset> dataset, int64_t dm,
+                   uint64_t seed)
+    : SequenceModelBase(std::move(dataset)) {
+  common::Rng rng(seed);
+  net_ = std::make_unique<Net>(num_pois(), dm, rng);
+}
+
+nn::Tensor DeepMove::HistorySummaries(const Prefix& prefix) const {
+  const auto& user = dataset_->users()[static_cast<size_t>(prefix.user)];
+  std::vector<nn::Tensor> summaries;
+  int32_t first = std::max<int32_t>(
+      0, prefix.traj - static_cast<int32_t>(max_history_trajs_));
+  for (int32_t t = first; t < prefix.traj; ++t) {
+    const data::Trajectory& traj = user.trajectories[static_cast<size_t>(t)];
+    std::vector<int64_t> ids;
+    ids.reserve(traj.checkins.size());
+    for (const data::Checkin& c : traj.checkins) ids.push_back(c.poi_id);
+    if (ids.empty()) continue;
+    summaries.push_back(nn::MeanRows(net_->poi_embedding.Forward(ids)));
+  }
+  if (summaries.empty()) return net_->null_history;
+  return nn::StackRows(summaries);
+}
+
+nn::Tensor DeepMove::ScoreAllPois(const Prefix& prefix) const {
+  nn::Tensor x = nn::Add(net_->poi_embedding.Forward(prefix.poi_ids),
+                         net_->slot_embedding.Forward(prefix.time_slots));
+  nn::Tensor states = net_->gru.Unroll(x);
+  nn::Tensor h = nn::Row(states, states.dim(0) - 1);
+
+  // Attention of the current state over historical trajectory summaries.
+  nn::Tensor history = HistorySummaries(prefix);
+  nn::Tensor weights = nn::Softmax(nn::MatVec(history, h));
+  nn::Tensor context = nn::Reshape(
+      nn::MatMul(nn::Reshape(weights, {1, history.dim(0)}), history),
+      {history.dim(1)});
+
+  nn::Tensor fused = nn::Tanh(net_->fuse.Forward(nn::ConcatLast({h, context})));
+  return nn::MatVec(net_->poi_embedding.weight(), fused);
+}
+
+}  // namespace tspn::baselines

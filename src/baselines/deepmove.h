@@ -1,0 +1,54 @@
+#ifndef TSPN_BASELINES_DEEPMOVE_H_
+#define TSPN_BASELINES_DEEPMOVE_H_
+
+#include <memory>
+
+#include "baselines/base.h"
+#include "nn/gru.h"
+
+namespace tspn::baselines {
+
+/// DeepMove baseline (Feng et al. 2018): an attentional recurrent network.
+/// A GRU encodes the current prefix; attention over per-trajectory summaries
+/// of the user's history injects periodicity; both are fused for scoring.
+class DeepMove : public SequenceModelBase {
+ public:
+  DeepMove(std::shared_ptr<const data::CityDataset> dataset, int64_t dm,
+           uint64_t seed);
+
+  std::string name() const override { return "DeepMove"; }
+
+ protected:
+  nn::Tensor ScoreAllPois(const Prefix& prefix) const override;
+  nn::Module& net() override { return *net_; }
+  const nn::Module& net_const() const override { return *net_; }
+
+ private:
+  /// Mean-pooled embedding per historical trajectory (most recent first,
+  /// up to `max_history_trajs_`). Empty if the user has no history.
+  nn::Tensor HistorySummaries(const Prefix& prefix) const;
+
+  struct Net : nn::Module {
+    Net(int64_t num_pois, int64_t dm, common::Rng& rng)
+        : poi_embedding(num_pois, dm, rng), slot_embedding(48, dm, rng),
+          gru(dm, dm, rng), fuse(2 * dm, dm, rng) {
+      RegisterChild(&poi_embedding);
+      RegisterChild(&slot_embedding);
+      RegisterChild(&gru);
+      RegisterChild(&fuse);
+      null_history =
+          RegisterParameter(nn::Tensor::RandomNormal({1, dm}, 0.1f, rng, true));
+    }
+    nn::Embedding poi_embedding;
+    nn::Embedding slot_embedding;
+    nn::GruCell gru;
+    nn::Linear fuse;
+    nn::Tensor null_history;
+  };
+  std::unique_ptr<Net> net_;
+  int64_t max_history_trajs_ = 10;
+};
+
+}  // namespace tspn::baselines
+
+#endif  // TSPN_BASELINES_DEEPMOVE_H_

@@ -1,0 +1,20 @@
+#include "baselines/gru_model.h"
+
+namespace tspn::baselines {
+
+GruModel::GruModel(std::shared_ptr<const data::CityDataset> dataset, int64_t dm,
+                   uint64_t seed)
+    : SequenceModelBase(std::move(dataset)) {
+  common::Rng rng(seed);
+  net_ = std::make_unique<Net>(num_pois(), dm, rng);
+}
+
+nn::Tensor GruModel::ScoreAllPois(const Prefix& prefix) const {
+  nn::Tensor x = nn::Add(net_->poi_embedding.Forward(prefix.poi_ids),
+                         net_->slot_embedding.Forward(prefix.time_slots));
+  nn::Tensor states = net_->gru.Unroll(x);
+  nn::Tensor h = nn::Row(states, states.dim(0) - 1);
+  return nn::MatVec(net_->poi_embedding.weight(), net_->out.Forward(h));
+}
+
+}  // namespace tspn::baselines

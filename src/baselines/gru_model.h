@@ -1,0 +1,46 @@
+#ifndef TSPN_BASELINES_GRU_MODEL_H_
+#define TSPN_BASELINES_GRU_MODEL_H_
+
+#include <memory>
+
+#include "baselines/base.h"
+#include "nn/gru.h"
+
+namespace tspn::baselines {
+
+/// GRU baseline (Cho et al. 2014): POI-id + time-slot embeddings through a
+/// gated recurrent unit; the last hidden state scores all POIs via the tied
+/// embedding table.
+class GruModel : public SequenceModelBase {
+ public:
+  GruModel(std::shared_ptr<const data::CityDataset> dataset, int64_t dm,
+           uint64_t seed);
+
+  std::string name() const override { return "GRU"; }
+
+ protected:
+  nn::Tensor ScoreAllPois(const Prefix& prefix) const override;
+  nn::Module& net() override { return *net_; }
+  const nn::Module& net_const() const override { return *net_; }
+
+ private:
+  struct Net : nn::Module {
+    Net(int64_t num_pois, int64_t dm, common::Rng& rng)
+        : poi_embedding(num_pois, dm, rng), slot_embedding(48, dm, rng),
+          gru(dm, dm, rng), out(dm, dm, rng) {
+      RegisterChild(&poi_embedding);
+      RegisterChild(&slot_embedding);
+      RegisterChild(&gru);
+      RegisterChild(&out);
+    }
+    nn::Embedding poi_embedding;
+    nn::Embedding slot_embedding;
+    nn::GruCell gru;
+    nn::Linear out;
+  };
+  std::unique_ptr<Net> net_;
+};
+
+}  // namespace tspn::baselines
+
+#endif  // TSPN_BASELINES_GRU_MODEL_H_

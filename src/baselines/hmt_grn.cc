@@ -1,0 +1,122 @@
+#include "baselines/hmt_grn.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace tspn::baselines {
+
+HmtGrn::HmtGrn(std::shared_ptr<const data::CityDataset> dataset, int64_t dm,
+               uint64_t seed)
+    : SequenceModelBase(std::move(dataset)),
+      coarse_grid_(dataset_->profile().bbox, kCoarseCells),
+      fine_grid_(dataset_->profile().bbox, kFineCells) {
+  common::Rng rng(seed);
+  net_ = std::make_unique<Net>(num_pois(), dm, rng);
+  pois_per_fine_cell_.assign(static_cast<size_t>(fine_grid_.NumTiles()), {});
+  for (const data::Poi& poi : dataset_->pois()) {
+    pois_per_fine_cell_[static_cast<size_t>(fine_grid_.TileOf(poi.loc))].push_back(
+        poi.id);
+  }
+}
+
+nn::Tensor HmtGrn::EncodeState(const Prefix& prefix) const {
+  nn::Tensor x = nn::Add(net_->poi_embedding.Forward(prefix.poi_ids),
+                         net_->slot_embedding.Forward(prefix.time_slots));
+  nn::Tensor states = net_->gru.Unroll(x);
+  return nn::Row(states, states.dim(0) - 1);
+}
+
+nn::Tensor HmtGrn::ScoreAllPois(const Prefix& prefix) const {
+  nn::Tensor h = EncodeState(prefix);
+  return nn::MatVec(net_->poi_embedding.weight(), net_->out.Forward(h));
+}
+
+nn::Tensor HmtGrn::SampleLoss(const Prefix& prefix, common::Rng& rng) const {
+  (void)rng;
+  nn::Tensor h = EncodeState(prefix);
+  const data::Poi& target = dataset_->poi(prefix.target_poi);
+  nn::Tensor poi_loss = nn::CrossEntropyWithLogits(
+      nn::MatVec(net_->poi_embedding.weight(), net_->out.Forward(h)),
+      prefix.target_poi);
+  nn::Tensor coarse_loss = nn::CrossEntropyWithLogits(
+      net_->coarse_head.Forward(h), coarse_grid_.TileOf(target.loc));
+  nn::Tensor fine_loss = nn::CrossEntropyWithLogits(
+      net_->fine_head.Forward(h), fine_grid_.TileOf(target.loc));
+  return nn::Add(poi_loss, nn::Add(coarse_loss, fine_loss));
+}
+
+std::vector<int64_t> HmtGrn::Recommend(const data::SampleRef& sample,
+                                       int64_t top_n) const {
+  nn::NoGradGuard guard;
+  Prefix prefix = ExtractPrefix(sample, max_seq_len_);
+  nn::Tensor h = EncodeState(prefix);
+  nn::Tensor poi_logits =
+      nn::MatVec(net_->poi_embedding.weight(), net_->out.Forward(h));
+  nn::Tensor coarse_lp = nn::LogSoftmax(net_->coarse_head.Forward(h));
+  nn::Tensor fine_lp = nn::LogSoftmax(net_->fine_head.Forward(h));
+  nn::Tensor poi_lp = nn::LogSoftmax(poi_logits);
+
+  // Hierarchical beam search: top coarse cells -> top fine cells inside the
+  // beam -> POIs inside surviving fine cells scored by summed log-probs.
+  std::vector<int64_t> coarse_order(static_cast<size_t>(coarse_lp.numel()));
+  std::iota(coarse_order.begin(), coarse_order.end(), 0);
+  const float* cs = coarse_lp.data();
+  std::sort(coarse_order.begin(), coarse_order.end(),
+            [&](int64_t a, int64_t b) { return cs[a] > cs[b]; });
+  coarse_order.resize(static_cast<size_t>(
+      std::min<int64_t>(kBeamCoarse, static_cast<int64_t>(coarse_order.size()))));
+
+  // Fine cells whose centre lies in a surviving coarse cell.
+  std::vector<std::pair<double, int64_t>> fine_scored;
+  const float* fs = fine_lp.data();
+  for (int64_t f = 0; f < fine_grid_.NumTiles(); ++f) {
+    geo::GeoPoint center = fine_grid_.TileBounds(f).Center();
+    int64_t parent = coarse_grid_.TileOf(center);
+    auto it = std::find(coarse_order.begin(), coarse_order.end(), parent);
+    if (it == coarse_order.end()) continue;
+    fine_scored.emplace_back(fs[f] + cs[parent], f);
+  }
+  std::sort(fine_scored.begin(), fine_scored.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  if (static_cast<int64_t>(fine_scored.size()) > kBeamFine) {
+    fine_scored.resize(static_cast<size_t>(kBeamFine));
+  }
+
+  const float* ps = poi_lp.data();
+  std::vector<std::pair<double, int64_t>> candidates;
+  for (const auto& [cell_score, cell] : fine_scored) {
+    for (int64_t pid : pois_per_fine_cell_[static_cast<size_t>(cell)]) {
+      candidates.emplace_back(cell_score + ps[pid], pid);
+    }
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+
+  std::vector<int64_t> result;
+  std::vector<bool> used(static_cast<size_t>(num_pois()), false);
+  for (const auto& [score, pid] : candidates) {
+    if (static_cast<int64_t>(result.size()) >= top_n) break;
+    if (!used[static_cast<size_t>(pid)]) {
+      result.push_back(pid);
+      used[static_cast<size_t>(pid)] = true;
+    }
+  }
+  // Back-fill with globally ranked POIs if the beam under-produced.
+  if (static_cast<int64_t>(result.size()) < top_n) {
+    std::vector<int64_t> order(static_cast<size_t>(num_pois()));
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(),
+              [&](int64_t a, int64_t b) { return ps[a] > ps[b]; });
+    for (int64_t pid : order) {
+      if (static_cast<int64_t>(result.size()) >= top_n) break;
+      if (!used[static_cast<size_t>(pid)]) {
+        result.push_back(pid);
+        used[static_cast<size_t>(pid)] = true;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace tspn::baselines

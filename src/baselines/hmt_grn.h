@@ -1,0 +1,68 @@
+#ifndef TSPN_BASELINES_HMT_GRN_H_
+#define TSPN_BASELINES_HMT_GRN_H_
+
+#include <memory>
+
+#include "baselines/base.h"
+#include "nn/gru.h"
+#include "spatial/grid_index.h"
+
+namespace tspn::baselines {
+
+/// HMT-GRN baseline (Lim et al. 2022): hierarchical multi-task learning.
+/// A recurrent encoder feeds three heads — coarse grid region, fine grid
+/// region and POI — trained jointly; inference runs a hierarchical beam
+/// search over region levels before scoring POIs, which is what makes its
+/// inference slow in Table V (and imprecise when beams miss, Sec. VI-B).
+class HmtGrn : public SequenceModelBase {
+ public:
+  HmtGrn(std::shared_ptr<const data::CityDataset> dataset, int64_t dm,
+         uint64_t seed);
+
+  std::string name() const override { return "HMT-GRN"; }
+  std::vector<int64_t> Recommend(const data::SampleRef& sample,
+                                 int64_t top_n) const override;
+
+ protected:
+  nn::Tensor ScoreAllPois(const Prefix& prefix) const override;
+  nn::Tensor SampleLoss(const Prefix& prefix, common::Rng& rng) const override;
+  nn::Module& net() override { return *net_; }
+  const nn::Module& net_const() const override { return *net_; }
+
+ private:
+  static constexpr int32_t kCoarseCells = 6;
+  static constexpr int32_t kFineCells = 12;
+  static constexpr int64_t kBeamCoarse = 4;
+  static constexpr int64_t kBeamFine = 10;
+
+  nn::Tensor EncodeState(const Prefix& prefix) const;
+
+  struct Net : nn::Module {
+    Net(int64_t num_pois, int64_t dm, common::Rng& rng)
+        : poi_embedding(num_pois, dm, rng), slot_embedding(48, dm, rng),
+          gru(dm, dm, rng), out(dm, dm, rng),
+          coarse_head(dm, kCoarseCells * kCoarseCells, rng),
+          fine_head(dm, kFineCells * kFineCells, rng) {
+      RegisterChild(&poi_embedding);
+      RegisterChild(&slot_embedding);
+      RegisterChild(&gru);
+      RegisterChild(&out);
+      RegisterChild(&coarse_head);
+      RegisterChild(&fine_head);
+    }
+    nn::Embedding poi_embedding;
+    nn::Embedding slot_embedding;
+    nn::GruCell gru;
+    nn::Linear out;
+    nn::Linear coarse_head;
+    nn::Linear fine_head;
+  };
+  std::unique_ptr<Net> net_;
+  spatial::GridIndex coarse_grid_;
+  spatial::GridIndex fine_grid_;
+  std::vector<std::vector<int64_t>> pois_per_fine_cell_;
+};
+
+}  // namespace tspn::baselines
+
+#endif  // TSPN_BASELINES_HMT_GRN_H_

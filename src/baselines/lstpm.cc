@@ -1,0 +1,70 @@
+#include "baselines/lstpm.h"
+
+namespace tspn::baselines {
+
+Lstpm::Lstpm(std::shared_ptr<const data::CityDataset> dataset, int64_t dm,
+             uint64_t seed)
+    : SequenceModelBase(std::move(dataset)) {
+  common::Rng rng(seed);
+  net_ = std::make_unique<Net>(num_pois(), dm, rng);
+}
+
+nn::Tensor Lstpm::ScoreAllPois(const Prefix& prefix) const {
+  nn::Tensor x = nn::Add(net_->poi_embedding.Forward(prefix.poi_ids),
+                         net_->slot_embedding.Forward(prefix.time_slots));
+  // Short-term: plain recurrence over the prefix.
+  nn::Tensor states = net_->gru.Unroll(x);
+  nn::Tensor h_short = nn::Row(states, states.dim(0) - 1);
+
+  // Geo-dilated recurrence: only the prefix elements within a radius of the
+  // current position feed a second recurrence (skipping spatial outliers).
+  const geo::GeoPoint& here = prefix.locations.back();
+  std::vector<int64_t> near_ids;
+  std::vector<int64_t> near_slots;
+  for (size_t i = 0; i < prefix.poi_ids.size(); ++i) {
+    if (geo::EquirectangularKm(prefix.locations[i], here) <= geo_radius_km_) {
+      near_ids.push_back(prefix.poi_ids[i]);
+      near_slots.push_back(prefix.time_slots[i]);
+    }
+  }
+  nn::Tensor h_geo = h_short;
+  if (!near_ids.empty()) {
+    nn::Tensor xg = nn::Add(net_->poi_embedding.Forward(near_ids),
+                            net_->slot_embedding.Forward(near_slots));
+    nn::Tensor geo_states = net_->geo_gru.Unroll(xg);
+    h_geo = nn::Row(geo_states, geo_states.dim(0) - 1);
+  }
+
+  // Long-term: similarity-weighted pooling of historical trajectory
+  // summaries against the pooled current prefix.
+  nn::Tensor current_pool = nn::MeanRows(x);
+  const auto& user = dataset_->users()[static_cast<size_t>(prefix.user)];
+  std::vector<nn::Tensor> summaries;
+  int32_t first = std::max<int32_t>(
+      0, prefix.traj - static_cast<int32_t>(max_history_trajs_));
+  for (int32_t t = first; t < prefix.traj; ++t) {
+    std::vector<int64_t> ids;
+    for (const data::Checkin& c :
+         user.trajectories[static_cast<size_t>(t)].checkins) {
+      ids.push_back(c.poi_id);
+    }
+    if (ids.empty()) continue;
+    summaries.push_back(nn::MeanRows(net_->poi_embedding.Forward(ids)));
+  }
+  nn::Tensor h_long;
+  if (summaries.empty()) {
+    h_long = nn::Reshape(net_->null_history, {net_->null_history.dim(1)});
+  } else {
+    nn::Tensor history = nn::StackRows(summaries);
+    nn::Tensor weights = nn::Softmax(nn::MatVec(history, current_pool));
+    h_long = nn::Reshape(
+        nn::MatMul(nn::Reshape(weights, {1, history.dim(0)}), history),
+        {history.dim(1)});
+  }
+
+  nn::Tensor fused = nn::Tanh(
+      net_->fuse.Forward(nn::ConcatLast({h_long, h_short, h_geo})));
+  return nn::MatVec(net_->poi_embedding.weight(), fused);
+}
+
+}  // namespace tspn::baselines

@@ -1,0 +1,55 @@
+#ifndef TSPN_BASELINES_LSTPM_H_
+#define TSPN_BASELINES_LSTPM_H_
+
+#include <memory>
+
+#include "baselines/base.h"
+#include "nn/gru.h"
+
+namespace tspn::baselines {
+
+/// LSTPM baseline (Sun et al. 2020): long- and short-term preference
+/// modelling. Long-term: historical trajectory summaries weighted by their
+/// similarity to the current prefix (a non-local operation). Short-term: a
+/// recurrent pass plus a geo-dilated recurrence over the spatially closest
+/// recent check-ins.
+class Lstpm : public SequenceModelBase {
+ public:
+  Lstpm(std::shared_ptr<const data::CityDataset> dataset, int64_t dm,
+        uint64_t seed);
+
+  std::string name() const override { return "LSTPM"; }
+
+ protected:
+  nn::Tensor ScoreAllPois(const Prefix& prefix) const override;
+  nn::Module& net() override { return *net_; }
+  const nn::Module& net_const() const override { return *net_; }
+
+ private:
+  struct Net : nn::Module {
+    Net(int64_t num_pois, int64_t dm, common::Rng& rng)
+        : poi_embedding(num_pois, dm, rng), slot_embedding(48, dm, rng),
+          gru(dm, dm, rng), geo_gru(dm, dm, rng), fuse(3 * dm, dm, rng) {
+      RegisterChild(&poi_embedding);
+      RegisterChild(&slot_embedding);
+      RegisterChild(&gru);
+      RegisterChild(&geo_gru);
+      RegisterChild(&fuse);
+      null_history =
+          RegisterParameter(nn::Tensor::RandomNormal({1, dm}, 0.1f, rng, true));
+    }
+    nn::Embedding poi_embedding;
+    nn::Embedding slot_embedding;
+    nn::GruCell gru;
+    nn::GruCell geo_gru;
+    nn::Linear fuse;
+    nn::Tensor null_history;
+  };
+  std::unique_ptr<Net> net_;
+  int64_t max_history_trajs_ = 10;
+  double geo_radius_km_ = 3.0;
+};
+
+}  // namespace tspn::baselines
+
+#endif  // TSPN_BASELINES_LSTPM_H_

@@ -1,0 +1,61 @@
+#include "baselines/markov_chain.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace tspn::baselines {
+
+MarkovChain::MarkovChain(std::shared_ptr<const data::CityDataset> dataset)
+    : dataset_(std::move(dataset)) {}
+
+void MarkovChain::Train(const eval::TrainOptions& options) {
+  (void)options;
+  transitions_.clear();
+  popularity_.assign(dataset_->pois().size(), 0.0);
+  const auto& users = dataset_->users();
+  for (const auto& user : users) {
+    for (size_t t = 0; t < user.trajectories.size(); ++t) {
+      if (user.splits[t] != data::Split::kTrain) continue;
+      const auto& checkins = user.trajectories[t].checkins;
+      for (size_t i = 0; i < checkins.size(); ++i) {
+        popularity_[static_cast<size_t>(checkins[i].poi_id)] += 1.0;
+        if (i > 0) {
+          transitions_[checkins[i - 1].poi_id][checkins[i].poi_id] += 1.0;
+        }
+      }
+    }
+  }
+}
+
+std::vector<int64_t> MarkovChain::Recommend(const data::SampleRef& sample,
+                                            int64_t top_n) const {
+  const data::Trajectory& traj = dataset_->trajectory(sample);
+  int64_t current =
+      traj.checkins[static_cast<size_t>(sample.prefix_len - 1)].poi_id;
+  // Score: transition count dominates; popularity is an epsilon-scaled
+  // tiebreaker/back-off.
+  double max_pop = 1.0;
+  for (double p : popularity_) max_pop = std::max(max_pop, p);
+  std::vector<double> scores(dataset_->pois().size(), 0.0);
+  for (size_t i = 0; i < scores.size(); ++i) {
+    scores[i] = 1e-3 * popularity_[i] / max_pop;
+  }
+  auto it = transitions_.find(current);
+  if (it != transitions_.end()) {
+    for (const auto& [next, count] : it->second) {
+      scores[static_cast<size_t>(next)] += count;
+    }
+  }
+  std::vector<int64_t> order(scores.size());
+  std::iota(order.begin(), order.end(), 0);
+  int64_t keep = std::min<int64_t>(top_n, static_cast<int64_t>(order.size()));
+  std::partial_sort(order.begin(), order.begin() + keep, order.end(),
+                    [&](int64_t a, int64_t b) {
+                      return scores[static_cast<size_t>(a)] >
+                             scores[static_cast<size_t>(b)];
+                    });
+  order.resize(static_cast<size_t>(keep));
+  return order;
+}
+
+}  // namespace tspn::baselines

@@ -1,0 +1,36 @@
+#ifndef TSPN_BASELINES_MARKOV_CHAIN_H_
+#define TSPN_BASELINES_MARKOV_CHAIN_H_
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "data/dataset.h"
+#include "eval/model_api.h"
+
+namespace tspn::baselines {
+
+/// MC baseline (Gambs et al. 2012): a first-order Markov chain over POIs.
+/// Transition counts are estimated from the train split; ranking backs off
+/// to global popularity for unseen transitions. No learned parameters —
+/// exactly the "simplistic, predefined and unchanging" method the paper
+/// contrasts deep models against.
+class MarkovChain : public eval::NextPoiModel {
+ public:
+  explicit MarkovChain(std::shared_ptr<const data::CityDataset> dataset);
+
+  std::string name() const override { return "MC"; }
+  void Train(const eval::TrainOptions& options) override;
+  std::vector<int64_t> Recommend(const data::SampleRef& sample,
+                                 int64_t top_n) const override;
+
+ private:
+  std::shared_ptr<const data::CityDataset> dataset_;
+  /// transitions_[cur] = {(next, count), ...}
+  std::unordered_map<int64_t, std::unordered_map<int64_t, double>> transitions_;
+  std::vector<double> popularity_;
+};
+
+}  // namespace tspn::baselines
+
+#endif  // TSPN_BASELINES_MARKOV_CHAIN_H_

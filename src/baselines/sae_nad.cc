@@ -1,0 +1,37 @@
+#include "baselines/sae_nad.h"
+
+#include <cmath>
+
+namespace tspn::baselines {
+
+SaeNad::SaeNad(std::shared_ptr<const data::CityDataset> dataset, int64_t dm,
+               uint64_t seed)
+    : SequenceModelBase(std::move(dataset)) {
+  common::Rng rng(seed);
+  net_ = std::make_unique<Net>(num_pois(), dm, rng);
+}
+
+nn::Tensor SaeNad::ScoreAllPois(const Prefix& prefix) const {
+  // Self-attentive set encoder: learnable-query attention pooling (order-
+  // insensitive by construction).
+  nn::Tensor x = net_->poi_embedding.Forward(prefix.poi_ids);
+  nn::Tensor keys = nn::Tanh(net_->attend.Forward(x));
+  nn::Tensor weights = nn::Softmax(nn::MatVec(keys, net_->query));
+  nn::Tensor user_vec = nn::Reshape(
+      nn::MatMul(nn::Reshape(weights, {1, x.dim(0)}), x), {x.dim(1)});
+  nn::Tensor logits =
+      nn::MatVec(net_->poi_embedding.weight(), net_->out.Forward(user_vec));
+
+  // Neighbour-aware decoder: geographic kernel around the last check-in.
+  const geo::GeoPoint& here = prefix.locations.back();
+  std::vector<float> bias(static_cast<size_t>(num_pois()));
+  for (int64_t p = 0; p < num_pois(); ++p) {
+    double d = geo::EquirectangularKm(dataset_->poi(p).loc, here);
+    bias[static_cast<size_t>(p)] =
+        static_cast<float>(std::exp(-d / geo_sigma_km_));
+  }
+  nn::Tensor geo_bias = nn::Tensor::FromVector({num_pois()}, std::move(bias));
+  return nn::Add(logits, nn::Mul(net_->geo_weight, geo_bias));
+}
+
+}  // namespace tspn::baselines

@@ -1,0 +1,49 @@
+#ifndef TSPN_BASELINES_SAE_NAD_H_
+#define TSPN_BASELINES_SAE_NAD_H_
+
+#include <memory>
+
+#include "baselines/base.h"
+
+namespace tspn::baselines {
+
+/// SAE-NAD baseline (Ma et al. 2018): a self-attentive encoder treats the
+/// prefix as a check-in *set* (no order), and a neighbour-aware decoder adds
+/// a geographic proximity bias towards POIs near the user's recent area —
+/// which is why its predictions degrade for order-sensitive sequences, as
+/// the paper observes.
+class SaeNad : public SequenceModelBase {
+ public:
+  SaeNad(std::shared_ptr<const data::CityDataset> dataset, int64_t dm,
+         uint64_t seed);
+
+  std::string name() const override { return "SAE-NAD"; }
+
+ protected:
+  nn::Tensor ScoreAllPois(const Prefix& prefix) const override;
+  nn::Module& net() override { return *net_; }
+  const nn::Module& net_const() const override { return *net_; }
+
+ private:
+  struct Net : nn::Module {
+    Net(int64_t num_pois, int64_t dm, common::Rng& rng)
+        : poi_embedding(num_pois, dm, rng), attend(dm, dm, rng), out(dm, dm, rng) {
+      RegisterChild(&poi_embedding);
+      RegisterChild(&attend);
+      RegisterChild(&out);
+      query = RegisterParameter(nn::Tensor::RandomNormal({dm}, 0.2f, rng, true));
+      geo_weight = RegisterParameter(nn::Tensor::Full({1}, 1.0f, true));
+    }
+    nn::Embedding poi_embedding;
+    nn::Linear attend;
+    nn::Linear out;
+    nn::Tensor query;       // learnable attention query for set pooling
+    nn::Tensor geo_weight;  // strength of the neighbour-aware bias
+  };
+  std::unique_ptr<Net> net_;
+  double geo_sigma_km_ = 2.0;
+};
+
+}  // namespace tspn::baselines
+
+#endif  // TSPN_BASELINES_SAE_NAD_H_

@@ -1,0 +1,99 @@
+#include "baselines/stisan.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace tspn::baselines {
+
+Stisan::Stisan(std::shared_ptr<const data::CityDataset> dataset, int64_t dm,
+               uint64_t seed)
+    : SequenceModelBase(std::move(dataset)) {
+  common::Rng rng(seed);
+  net_ = std::make_unique<Net>(num_pois(), dm, rng);
+}
+
+nn::Tensor Stisan::EncodeState(const Prefix& prefix) const {
+  const int64_t length = static_cast<int64_t>(prefix.poi_ids.size());
+  // Time-aware position encoding: position embedding + interval embedding of
+  // the gap to the previous check-in.
+  std::vector<int64_t> positions(static_cast<size_t>(length));
+  std::vector<int64_t> gap_bucket(static_cast<size_t>(length), 0);
+  for (int64_t i = 0; i < length; ++i) {
+    positions[static_cast<size_t>(i)] = std::min<int64_t>(i, kMaxPositions - 1);
+    if (i > 0) {
+      double gap_h =
+          static_cast<double>(prefix.timestamps[static_cast<size_t>(i)] -
+                              prefix.timestamps[static_cast<size_t>(i - 1)]) /
+          3600.0;
+      gap_bucket[static_cast<size_t>(i)] = std::min<int64_t>(
+          kNumBuckets - 1, static_cast<int64_t>(std::log2(1.0 + gap_h)));
+    }
+  }
+  nn::Tensor x = nn::Add(
+      nn::Add(net_->poi_embedding.Forward(prefix.poi_ids),
+              net_->position_embedding.Forward(positions)),
+      net_->interval_embedding.Forward(gap_bucket));
+
+  // Interval-aware attention: causal self-attention plus a pairwise additive
+  // value mix weighted by bucketed gaps.
+  std::vector<int64_t> pair_buckets(static_cast<size_t>(length * length));
+  for (int64_t i = 0; i < length; ++i) {
+    for (int64_t j = 0; j < length; ++j) {
+      double gap_h =
+          std::abs(static_cast<double>(prefix.timestamps[static_cast<size_t>(i)] -
+                                       prefix.timestamps[static_cast<size_t>(j)])) /
+          3600.0;
+      pair_buckets[static_cast<size_t>(i * length + j)] = std::min<int64_t>(
+          kNumBuckets - 1, static_cast<int64_t>(std::log2(1.0 + gap_h)));
+    }
+  }
+  nn::Tensor bias = nn::Reshape(net_->gap_buckets.Forward(pair_buckets),
+                                {length, length});
+  nn::Tensor h = nn::Add(net_->attn.Forward(x, x, /*causal=*/true),
+                         nn::MatMul(nn::Softmax(bias), x));
+  return nn::Row(h, length - 1);
+}
+
+nn::Tensor Stisan::ScoreAllPois(const Prefix& prefix) const {
+  nn::Tensor h = EncodeState(prefix);
+  return nn::MatVec(net_->poi_embedding.weight(), net_->out.Forward(h));
+}
+
+nn::Tensor Stisan::SampleLoss(const Prefix& prefix, common::Rng& rng) const {
+  nn::Tensor h = EncodeState(prefix);
+  // Negative sampling: the POIs nearest to the target plus a few random
+  // ones. On sparse datasets the nearest negatives are uninformative, which
+  // reproduces STiSAN's weakness there.
+  const data::Poi& target = dataset_->poi(prefix.target_poi);
+  std::vector<std::pair<double, int64_t>> by_distance;
+  by_distance.reserve(static_cast<size_t>(num_pois()));
+  for (int64_t p = 0; p < num_pois(); ++p) {
+    if (p == prefix.target_poi) continue;
+    by_distance.emplace_back(
+        geo::EquirectangularKm(dataset_->poi(p).loc, target.loc), p);
+  }
+  int64_t nearest = std::min<int64_t>(kNearestNegatives,
+                                      static_cast<int64_t>(by_distance.size()));
+  std::partial_sort(by_distance.begin(), by_distance.begin() + nearest,
+                    by_distance.end());
+  std::vector<int64_t> candidates = {prefix.target_poi};
+  for (int64_t i = 0; i < nearest; ++i) {
+    candidates.push_back(by_distance[static_cast<size_t>(i)].second);
+  }
+  for (int64_t i = 0; i < kRandomNegatives; ++i) {
+    candidates.push_back(rng.UniformInt(num_pois()));
+  }
+  std::vector<int64_t> unique = candidates;
+  std::sort(unique.begin() + 1, unique.end());
+  unique.erase(std::unique(unique.begin() + 1, unique.end()), unique.end());
+  // Remove duplicates of the target among negatives.
+  unique.erase(std::remove(unique.begin() + 1, unique.end(), prefix.target_poi),
+               unique.end());
+
+  nn::Tensor cand = net_->poi_embedding.Forward(unique);
+  nn::Tensor logits = nn::MatVec(cand, net_->out.Forward(h));
+  return nn::CrossEntropyWithLogits(logits, 0);
+}
+
+}  // namespace tspn::baselines

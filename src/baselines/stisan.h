@@ -1,0 +1,62 @@
+#ifndef TSPN_BASELINES_STISAN_H_
+#define TSPN_BASELINES_STISAN_H_
+
+#include <memory>
+
+#include "baselines/base.h"
+
+namespace tspn::baselines {
+
+/// STiSAN baseline (Wang et al., ICDE 2022): a time-aware position encoder
+/// (position embeddings shifted by time-interval embeddings) feeding an
+/// interval-aware self-attention block, trained with nearest-POI negative
+/// sampling. The nearest-negative scheme is what hurts it on sparse
+/// state-wide datasets (Sec. VI-B observation 4).
+class Stisan : public SequenceModelBase {
+ public:
+  Stisan(std::shared_ptr<const data::CityDataset> dataset, int64_t dm,
+         uint64_t seed);
+
+  std::string name() const override { return "STiSAN"; }
+
+ protected:
+  nn::Tensor ScoreAllPois(const Prefix& prefix) const override;
+  nn::Tensor SampleLoss(const Prefix& prefix, common::Rng& rng) const override;
+  nn::Module& net() override { return *net_; }
+  const nn::Module& net_const() const override { return *net_; }
+
+ private:
+  static constexpr int64_t kMaxPositions = 64;
+  static constexpr int64_t kNumBuckets = 16;
+  static constexpr int64_t kNearestNegatives = 24;
+  static constexpr int64_t kRandomNegatives = 8;
+
+  nn::Tensor EncodeState(const Prefix& prefix) const;
+
+  struct Net : nn::Module {
+    Net(int64_t num_pois, int64_t dm, common::Rng& rng)
+        : poi_embedding(num_pois, dm, rng),
+          position_embedding(kMaxPositions, dm, rng),
+          interval_embedding(kNumBuckets, dm, rng),
+          attn(dm, rng), out(dm, dm, rng),
+          gap_buckets(kNumBuckets, 1, rng) {
+      RegisterChild(&poi_embedding);
+      RegisterChild(&position_embedding);
+      RegisterChild(&interval_embedding);
+      RegisterChild(&attn);
+      RegisterChild(&out);
+      RegisterChild(&gap_buckets);
+    }
+    nn::Embedding poi_embedding;
+    nn::Embedding position_embedding;  // TAPE positions
+    nn::Embedding interval_embedding;  // TAPE time-interval shifts
+    nn::Attention attn;                // IAAB core
+    nn::Linear out;
+    nn::Embedding gap_buckets;         // scalar attention bias per gap bucket
+  };
+  std::unique_ptr<Net> net_;
+};
+
+}  // namespace tspn::baselines
+
+#endif  // TSPN_BASELINES_STISAN_H_

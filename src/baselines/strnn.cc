@@ -1,0 +1,41 @@
+#include "baselines/strnn.h"
+
+#include <algorithm>
+
+namespace tspn::baselines {
+
+Strnn::Strnn(std::shared_ptr<const data::CityDataset> dataset, int64_t dm,
+             uint64_t seed)
+    : SequenceModelBase(std::move(dataset)) {
+  common::Rng rng(seed);
+  net_ = std::make_unique<Net>(num_pois(), dm, rng);
+}
+
+nn::Tensor Strnn::ScoreAllPois(const Prefix& prefix) const {
+  nn::Tensor embeddings = net_->poi_embedding.Forward(prefix.poi_ids);
+  int64_t length = embeddings.dim(0);
+  nn::Tensor h = nn::Tensor::Zeros({embeddings.dim(1)});
+  for (int64_t t = 0; t < length; ++t) {
+    nn::Tensor x = nn::Row(embeddings, t);
+    // Interpolation factors from the previous step's gap / distance.
+    float a = 0.0f, b = 0.0f;
+    if (t > 0) {
+      double gap_h = static_cast<double>(prefix.timestamps[static_cast<size_t>(t)] -
+                                         prefix.timestamps[static_cast<size_t>(t - 1)]) /
+                     3600.0;
+      a = static_cast<float>(std::clamp(gap_h / max_gap_hours_, 0.0, 1.0));
+      double dist = geo::EquirectangularKm(prefix.locations[static_cast<size_t>(t - 1)],
+                                           prefix.locations[static_cast<size_t>(t)]);
+      b = static_cast<float>(std::clamp(dist / max_dist_km_, 0.0, 1.0));
+    }
+    nn::Tensor xt = nn::Add(
+        nn::Add(nn::MulScalar(net_->w_time0.Forward(x), 1.0f - a),
+                nn::MulScalar(net_->w_time1.Forward(x), a)),
+        nn::Add(nn::MulScalar(net_->w_dist0.Forward(x), 1.0f - b),
+                nn::MulScalar(net_->w_dist1.Forward(x), b)));
+    h = nn::Tanh(nn::Add(nn::MulScalar(xt, 0.5f), net_->recurrent.Forward(h)));
+  }
+  return nn::MatVec(net_->poi_embedding.weight(), net_->out.Forward(h));
+}
+
+}  // namespace tspn::baselines

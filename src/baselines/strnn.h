@@ -1,0 +1,54 @@
+#ifndef TSPN_BASELINES_STRNN_H_
+#define TSPN_BASELINES_STRNN_H_
+
+#include <memory>
+
+#include "baselines/base.h"
+
+namespace tspn::baselines {
+
+/// STRNN baseline (Liu et al. 2016): a recurrent model whose input transform
+/// linearly interpolates between boundary matrices according to the time gap
+/// and geographic distance of consecutive visits — the transition-matrix
+/// flavour that the paper reports performing poorly.
+class Strnn : public SequenceModelBase {
+ public:
+  Strnn(std::shared_ptr<const data::CityDataset> dataset, int64_t dm,
+        uint64_t seed);
+
+  std::string name() const override { return "STRNN"; }
+
+ protected:
+  nn::Tensor ScoreAllPois(const Prefix& prefix) const override;
+  nn::Module& net() override { return *net_; }
+  const nn::Module& net_const() const override { return *net_; }
+
+ private:
+  struct Net : nn::Module {
+    Net(int64_t num_pois, int64_t dm, common::Rng& rng)
+        : poi_embedding(num_pois, dm, rng),
+          w_time0(dm, dm, rng, false), w_time1(dm, dm, rng, false),
+          w_dist0(dm, dm, rng, false), w_dist1(dm, dm, rng, false),
+          recurrent(dm, dm, rng, false), out(dm, dm, rng) {
+      RegisterChild(&poi_embedding);
+      RegisterChild(&w_time0);
+      RegisterChild(&w_time1);
+      RegisterChild(&w_dist0);
+      RegisterChild(&w_dist1);
+      RegisterChild(&recurrent);
+      RegisterChild(&out);
+    }
+    nn::Embedding poi_embedding;
+    nn::Linear w_time0, w_time1;  // time-gap interpolation endpoints
+    nn::Linear w_dist0, w_dist1;  // distance interpolation endpoints
+    nn::Linear recurrent;
+    nn::Linear out;
+  };
+  std::unique_ptr<Net> net_;
+  double max_gap_hours_ = 24.0;
+  double max_dist_km_ = 10.0;
+};
+
+}  // namespace tspn::baselines
+
+#endif  // TSPN_BASELINES_STRNN_H_

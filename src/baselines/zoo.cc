@@ -1,0 +1,49 @@
+// Baseline registry: names and factory.
+
+#include "baselines/base.h"
+
+#include "baselines/deepmove.h"
+#include "baselines/graph_flashback.h"
+#include "baselines/gru_model.h"
+#include "baselines/hmt_grn.h"
+#include "baselines/lstpm.h"
+#include "baselines/markov_chain.h"
+#include "baselines/sae_nad.h"
+#include "baselines/stan.h"
+#include "baselines/stisan.h"
+#include "baselines/strnn.h"
+#include "common/check.h"
+
+namespace tspn::baselines {
+
+std::vector<std::string> BaselineNames() {
+  return {"MC",      "GRU",     "STRNN",   "DeepMove",        "LSTPM",
+          "STAN",    "SAE-NAD", "HMT-GRN", "Graph-Flashback", "STiSAN"};
+}
+
+std::unique_ptr<eval::NextPoiModel> MakeBaseline(
+    const std::string& name, std::shared_ptr<const data::CityDataset> dataset,
+    int64_t dm, uint64_t seed) {
+  if (name == "MC") return std::make_unique<MarkovChain>(std::move(dataset));
+  if (name == "GRU") return std::make_unique<GruModel>(std::move(dataset), dm, seed);
+  if (name == "STRNN") return std::make_unique<Strnn>(std::move(dataset), dm, seed);
+  if (name == "DeepMove") {
+    return std::make_unique<DeepMove>(std::move(dataset), dm, seed);
+  }
+  if (name == "LSTPM") return std::make_unique<Lstpm>(std::move(dataset), dm, seed);
+  if (name == "STAN") return std::make_unique<Stan>(std::move(dataset), dm, seed);
+  if (name == "SAE-NAD") {
+    return std::make_unique<SaeNad>(std::move(dataset), dm, seed);
+  }
+  if (name == "HMT-GRN") {
+    return std::make_unique<HmtGrn>(std::move(dataset), dm, seed);
+  }
+  if (name == "Graph-Flashback") {
+    return std::make_unique<GraphFlashback>(std::move(dataset), dm, seed);
+  }
+  if (name == "STiSAN") return std::make_unique<Stisan>(std::move(dataset), dm, seed);
+  TSPN_CHECK(false) << "unknown baseline: " << name;
+  return nullptr;
+}
+
+}  // namespace tspn::baselines

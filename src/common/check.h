@@ -1,0 +1,54 @@
+#ifndef TSPN_COMMON_CHECK_H_
+#define TSPN_COMMON_CHECK_H_
+
+#include <sstream>
+#include <string>
+
+namespace tspn::common {
+
+/// Aborts the process with a diagnostic message. Used for programming errors
+/// (contract violations), never for recoverable conditions.
+[[noreturn]] void FatalError(const char* file, int line, const std::string& message);
+
+namespace internal {
+
+/// Stream-style message builder used by the TSPN_CHECK macros.
+class CheckMessageBuilder {
+ public:
+  CheckMessageBuilder(const char* file, int line, const char* condition)
+      : file_(file), line_(line) {
+    stream_ << "Check failed: " << condition << " ";
+  }
+
+  [[noreturn]] ~CheckMessageBuilder() { FatalError(file_, line_, stream_.str()); }
+
+  template <typename T>
+  CheckMessageBuilder& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace tspn::common
+
+/// Aborts with a message if `condition` is false. Usage:
+///   TSPN_CHECK(x > 0) << "x must be positive, got " << x;
+#define TSPN_CHECK(condition)                                             \
+  if (condition) {                                                        \
+  } else                                                                  \
+    ::tspn::common::internal::CheckMessageBuilder(__FILE__, __LINE__, #condition)
+
+#define TSPN_CHECK_EQ(a, b) TSPN_CHECK((a) == (b)) << "(" << (a) << " vs " << (b) << ") "
+#define TSPN_CHECK_NE(a, b) TSPN_CHECK((a) != (b)) << "(" << (a) << " vs " << (b) << ") "
+#define TSPN_CHECK_LT(a, b) TSPN_CHECK((a) < (b)) << "(" << (a) << " vs " << (b) << ") "
+#define TSPN_CHECK_LE(a, b) TSPN_CHECK((a) <= (b)) << "(" << (a) << " vs " << (b) << ") "
+#define TSPN_CHECK_GT(a, b) TSPN_CHECK((a) > (b)) << "(" << (a) << " vs " << (b) << ") "
+#define TSPN_CHECK_GE(a, b) TSPN_CHECK((a) >= (b)) << "(" << (a) << " vs " << (b) << ") "
+
+#endif  // TSPN_COMMON_CHECK_H_

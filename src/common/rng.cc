@@ -1,0 +1,67 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace tspn::common {
+
+uint64_t Rng::NextU64() {
+  // splitmix64: fast, high-quality for simulation purposes, trivially seedable.
+  uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+double Rng::Uniform() {
+  // 53 random bits -> double in [0, 1).
+  return static_cast<double>(NextU64() >> 11) * (1.0 / 9007199254740992.0);
+}
+
+double Rng::Uniform(double lo, double hi) { return lo + (hi - lo) * Uniform(); }
+
+int64_t Rng::UniformInt(int64_t n) {
+  TSPN_CHECK_GT(n, 0);
+  return static_cast<int64_t>(NextU64() % static_cast<uint64_t>(n));
+}
+
+double Rng::Gaussian() {
+  if (has_spare_gaussian_) {
+    has_spare_gaussian_ = false;
+    return spare_gaussian_;
+  }
+  double u1 = Uniform();
+  double u2 = Uniform();
+  while (u1 <= 1e-12) u1 = Uniform();
+  double r = std::sqrt(-2.0 * std::log(u1));
+  double theta = 2.0 * M_PI * u2;
+  spare_gaussian_ = r * std::sin(theta);
+  has_spare_gaussian_ = true;
+  return r * std::cos(theta);
+}
+
+double Rng::Gaussian(double mean, double stddev) { return mean + stddev * Gaussian(); }
+
+bool Rng::Bernoulli(double p) { return Uniform() < p; }
+
+int64_t Rng::Categorical(const std::vector<double>& weights) {
+  TSPN_CHECK(!weights.empty());
+  double total = 0.0;
+  for (double w : weights) {
+    TSPN_CHECK_GE(w, 0.0);
+    total += w;
+  }
+  TSPN_CHECK_GT(total, 0.0) << "Categorical requires a positive total weight";
+  double target = Uniform() * total;
+  double cumulative = 0.0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    cumulative += weights[i];
+    if (target < cumulative) return static_cast<int64_t>(i);
+  }
+  return static_cast<int64_t>(weights.size()) - 1;
+}
+
+Rng Rng::Fork() { return Rng(NextU64()); }
+
+}  // namespace tspn::common

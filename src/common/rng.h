@@ -1,0 +1,62 @@
+#ifndef TSPN_COMMON_RNG_H_
+#define TSPN_COMMON_RNG_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace tspn::common {
+
+/// Deterministic 64-bit random number generator (splitmix64 core). Every
+/// stochastic component in the library takes an explicit Rng (or seed) so
+/// experiments are reproducible; there is no global RNG state.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed + 0x9E3779B97F4A7C15ULL) {}
+
+  /// Next raw 64-bit value.
+  uint64_t NextU64();
+
+  /// Uniform double in [0, 1).
+  double Uniform();
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo, double hi);
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  int64_t UniformInt(int64_t n);
+
+  /// Standard normal via Box-Muller.
+  double Gaussian();
+
+  /// Gaussian with the given mean / standard deviation.
+  double Gaussian(double mean, double stddev);
+
+  /// True with probability p.
+  bool Bernoulli(double p);
+
+  /// Samples an index from an (unnormalized, non-negative) weight vector.
+  /// Requires at least one strictly positive weight.
+  int64_t Categorical(const std::vector<double>& weights);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>& items) {
+    for (int64_t i = static_cast<int64_t>(items.size()) - 1; i > 0; --i) {
+      int64_t j = UniformInt(i + 1);
+      std::swap(items[i], items[j]);
+    }
+  }
+
+  /// Derives an independent child generator; useful for giving each parallel
+  /// component its own stream.
+  Rng Fork();
+
+ private:
+  uint64_t state_;
+  bool has_spare_gaussian_ = false;
+  double spare_gaussian_ = 0.0;
+};
+
+}  // namespace tspn::common
+
+#endif  // TSPN_COMMON_RNG_H_

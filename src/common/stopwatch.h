@@ -1,0 +1,29 @@
+#ifndef TSPN_COMMON_STOPWATCH_H_
+#define TSPN_COMMON_STOPWATCH_H_
+
+#include <chrono>
+
+namespace tspn::common {
+
+/// Simple monotonic wall-clock stopwatch used by trainers and benches.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Resets the stopwatch to zero.
+  void Restart() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction / last Restart().
+  double ElapsedSeconds() const;
+
+  /// Elapsed milliseconds since construction / last Restart().
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace tspn::common
+
+#endif  // TSPN_COMMON_STOPWATCH_H_

@@ -1,0 +1,37 @@
+#ifndef TSPN_COMMON_TABLE_PRINTER_H_
+#define TSPN_COMMON_TABLE_PRINTER_H_
+
+#include <string>
+#include <vector>
+
+namespace tspn::common {
+
+/// Renders aligned ASCII tables matching the row/column layout of the paper's
+/// result tables. Cells are strings; numeric formatting is the caller's job.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  /// Appends one row; must have the same arity as the header.
+  void AddRow(std::vector<std::string> row);
+
+  /// Renders the table (with a rule under the header) to a string.
+  std::string ToString() const;
+
+  /// Convenience: renders and writes to stdout.
+  void Print() const;
+
+  /// Formats a double with the paper's 4-decimal metric convention.
+  static std::string Metric(double value);
+
+  /// Formats a double with fixed precision.
+  static std::string Fixed(double value, int precision);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace tspn::common
+
+#endif  // TSPN_COMMON_TABLE_PRINTER_H_

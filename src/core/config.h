@@ -1,0 +1,59 @@
+#ifndef TSPN_CORE_CONFIG_H_
+#define TSPN_CORE_CONFIG_H_
+
+#include <cstdint>
+
+namespace tspn::core {
+
+/// Hyper-parameters and ablation switches of TSPN-RA. Defaults follow the
+/// paper's Sec. VI-A choices scaled to CPU training (dm 512 -> 64 by
+/// default; the Fig. 10 bench sweeps dm itself).
+struct TspnRaConfig {
+  // --- Architecture -----------------------------------------------------------
+  int64_t dm = 64;                 ///< embedding dimension
+  int32_t image_resolution = 32;   ///< tile imagery side (paper: 256)
+  int32_t conv_channels[3] = {8, 16, 32};  ///< Me1's three strided conv layers
+  int32_t num_fusion_layers = 2;   ///< N attention blocks in MP1 / MP2
+  int32_t num_hgat_layers = 2;     ///< n in Sec. IV-C
+  float alpha = 0.7f;              ///< id/category merge ratio (Eq. 5)
+  float dropout = 0.1f;
+  int32_t max_seq_len = 16;        ///< prefix truncation for the encoders
+  int64_t max_history_checkins = 150;  ///< cap on QR-P input length
+  /// Multiplier mapping normalized [0,1] coordinates onto the sinusoidal
+  /// position axis (Eq. 4). 64 reproduces Fig. 8's smooth local falloff:
+  /// ~1% of the region span stays at cosine similarity > 0.9 while distant
+  /// points decorrelate.
+  float spatial_scale = 64.0f;
+
+  // --- Two-step prediction ------------------------------------------------------
+  int32_t top_k_tiles = 10;        ///< K (overridden from the city profile)
+  int64_t max_poi_candidates = 400;  ///< negative subsampling cap in training
+  /// Uniform random negatives mixed into the POI loss in addition to the
+  /// top-K-tile candidates. At paper scale the tile screen alone suffices;
+  /// at CPU scale embeddings outside visited tiles would otherwise never
+  /// receive gradient and stay randomly competitive at inference.
+  int64_t num_random_negatives = 96;
+  float arcface_scale = 10.0f;     ///< s in Eq. 8
+  float arcface_margin = 0.2f;     ///< m in Eq. 8
+  float beta = 1.0f;               ///< tile-loss weight in loss = beta*loss_t + loss_p
+
+  // --- Ablation switches (Table IV rows) -------------------------------------
+  bool use_quadtree = true;        ///< false: fixed grid partition
+  int32_t grid_cells_per_side = 12;///< granularity for the grid ablation
+  bool use_two_step = true;        ///< false: rank all POIs directly
+  bool use_graph = true;           ///< QR-P graph + historical knowledge
+  bool use_road_edges = true;
+  bool use_contain_edges = true;
+  bool use_imagery = true;         ///< false: learnable tile-id embeddings
+  bool use_st_encoder = true;      ///< spatial + temporal encoders
+  bool use_category = true;        ///< POI category in Me2
+
+  /// Fraction of imagery pixels replaced by noise (Fig. 12b case study).
+  double image_noise_fraction = 0.0;
+
+  uint64_t seed = 42;
+};
+
+}  // namespace tspn::core
+
+#endif  // TSPN_CORE_CONFIG_H_

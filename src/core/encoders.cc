@@ -1,0 +1,136 @@
+#include "core/encoders.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "data/poi.h"
+#include "nn/ops.h"
+
+namespace tspn::core {
+
+TileEncoder::TileEncoder(const TspnRaConfig& config, int64_t num_tiles,
+                         common::Rng& rng)
+    : config_(config), num_tiles_(num_tiles) {
+  id_embedding_ = std::make_unique<nn::Embedding>(num_tiles, config_.dm, rng);
+  RegisterChild(id_embedding_.get());
+  if (!config_.use_imagery) return;
+  const int32_t r = config_.image_resolution;
+  TSPN_CHECK_EQ(r % 8, 0) << "resolution must be divisible by 8 (three stride-2 convs)";
+  const int32_t c1 = config_.conv_channels[0];
+  const int32_t c2 = config_.conv_channels[1];
+  const int32_t c3 = config_.conv_channels[2];
+  auto make_param = [&](const nn::Shape& shape, float fan_in) {
+    return std::make_unique<nn::Tensor>(RegisterParameter(nn::Tensor::RandomUniform(
+        shape, std::sqrt(1.0f / fan_in), rng, /*requires_grad=*/true)));
+  };
+  conv1_w_ = make_param({c1, 3, 3, 3}, 3 * 9.0f);
+  conv1_b_ = make_param({c1}, static_cast<float>(c1));
+  conv2_w_ = make_param({c2, c1, 3, 3}, c1 * 9.0f);
+  conv2_b_ = make_param({c2}, static_cast<float>(c2));
+  conv3_w_ = make_param({c3, c2, 3, 3}, c2 * 9.0f);
+  conv3_b_ = make_param({c3}, static_cast<float>(c3));
+  flat_dim_ = static_cast<int64_t>(c3) * (r / 8) * (r / 8);
+  // No bias: a projection bias is a shared free direction across all tiles
+  // and lets the imagery path collapse every row onto it under Adam.
+  project_ = std::make_unique<nn::Linear>(flat_dim_, config_.dm, rng,
+                                          /*with_bias=*/false);
+  RegisterChild(project_.get());
+}
+
+nn::Tensor TileEncoder::EncodeAll(const nn::Tensor& images) const {
+  std::vector<int64_t> all(static_cast<size_t>(num_tiles_));
+  for (int64_t i = 0; i < num_tiles_; ++i) all[static_cast<size_t>(i)] = i;
+  nn::Tensor residual = nn::L2Normalize(id_embedding_->Forward(all));
+  if (!config_.use_imagery) return residual;
+  TSPN_CHECK(images.defined());
+  TSPN_CHECK_EQ(images.dim(0), num_tiles_);
+  nn::Tensor h = nn::Relu(nn::Conv2d(images, *conv1_w_, *conv1_b_, 2, 1));
+  h = nn::Relu(nn::Conv2d(h, *conv2_w_, *conv2_b_, 2, 1));
+  h = nn::Relu(nn::Conv2d(h, *conv3_w_, *conv3_b_, 2, 1));
+  h = nn::Reshape(h, {num_tiles_, flat_dim_});
+  // Both paths are normalized before the sum so neither can dominate and
+  // collapse the joint embedding onto a shared direction.
+  nn::Tensor imagery = nn::L2Normalize(project_->Forward(h));
+  return nn::L2Normalize(nn::Add(imagery, residual));
+}
+
+nn::Tensor PackImages(const std::vector<rs::Image>& images) {
+  TSPN_CHECK(!images.empty());
+  const int32_t r = images[0].height;
+  std::vector<float> packed;
+  packed.reserve(images.size() * images[0].data.size());
+  for (const rs::Image& img : images) {
+    TSPN_CHECK_EQ(img.height, r);
+    TSPN_CHECK_EQ(img.width, r);
+    TSPN_CHECK_EQ(img.channels, 3);
+    packed.insert(packed.end(), img.data.begin(), img.data.end());
+  }
+  return nn::Tensor::FromVector({static_cast<int64_t>(images.size()), 3, r, r},
+                                std::move(packed));
+}
+
+PoiEncoder::PoiEncoder(const TspnRaConfig& config, int64_t num_pois,
+                       int64_t num_categories, common::Rng& rng)
+    : config_(config) {
+  // POI ids start near zero: an unvisited POI is then represented almost
+  // entirely by its (well-trained, shared) category embedding instead of id
+  // noise, and ids grow to differentiate as visits provide gradient. This
+  // matters at CPU scale where most ids receive few updates.
+  id_embedding_ = std::make_unique<nn::Embedding>(num_pois, config_.dm, rng);
+  {
+    nn::Tensor w = id_embedding_->weight();
+    float* data = w.data();
+    for (int64_t i = 0; i < w.numel(); ++i) data[i] *= 0.2f;
+  }
+  RegisterChild(id_embedding_.get());
+  if (config_.use_category) {
+    category_embedding_ =
+        std::make_unique<nn::Embedding>(num_categories, config_.dm, rng);
+    RegisterChild(category_embedding_.get());
+  }
+}
+
+nn::Tensor PoiEncoder::Encode(const std::vector<int64_t>& poi_ids,
+                              const std::vector<int64_t>& categories) const {
+  TSPN_CHECK_EQ(poi_ids.size(), categories.size());
+  nn::Tensor ids = id_embedding_->Forward(poi_ids);
+  if (!config_.use_category) return ids;
+  nn::Tensor cats = category_embedding_->Forward(categories);
+  return nn::Add(nn::MulScalar(ids, config_.alpha),
+                 nn::MulScalar(cats, 1.0f - config_.alpha));
+}
+
+nn::Tensor SpatialEncoding(double x, double y, int64_t dm, float scale) {
+  TSPN_CHECK_EQ(dm % 4, 0) << "Eq. 4 requires dm divisible by 4";
+  std::vector<float> enc(static_cast<size_t>(dm));
+  const double xs = x * scale;
+  const double ys = y * scale;
+  const int64_t half = dm / 2;
+  // First half encodes x, second half encodes y, as in Eq. 4: index pairs
+  // (2i, 2i+1) hold (sin, cos) at frequency 10000^{-2i/dm}.
+  for (int64_t i = 0; 2 * i + 1 < half; ++i) {
+    double freq = std::pow(10000.0, -2.0 * static_cast<double>(i) /
+                                        static_cast<double>(dm));
+    enc[static_cast<size_t>(2 * i)] = static_cast<float>(std::sin(xs * freq));
+    enc[static_cast<size_t>(2 * i + 1)] = static_cast<float>(std::cos(xs * freq));
+    enc[static_cast<size_t>(half + 2 * i)] = static_cast<float>(std::sin(ys * freq));
+    enc[static_cast<size_t>(half + 2 * i + 1)] =
+        static_cast<float>(std::cos(ys * freq));
+  }
+  return nn::Tensor::FromVector({dm}, std::move(enc));
+}
+
+TemporalEncoder::TemporalEncoder(int64_t dm, common::Rng& rng) {
+  slots_ = std::make_unique<nn::Embedding>(data::kTimeSlotsPerDay, dm, rng);
+  RegisterChild(slots_.get());
+}
+
+nn::Tensor TemporalEncoder::SlotEmbedding(int64_t slot) const {
+  return slots_->ForwardOne(slot);
+}
+
+nn::Tensor TemporalEncoder::SlotEmbeddings(const std::vector<int64_t>& slots) const {
+  return slots_->Forward(slots);
+}
+
+}  // namespace tspn::core

@@ -1,0 +1,94 @@
+#ifndef TSPN_CORE_ENCODERS_H_
+#define TSPN_CORE_ENCODERS_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/config.h"
+#include "geo/geometry.h"
+#include "nn/conv.h"
+#include "nn/layers.h"
+#include "rs/image.h"
+
+namespace tspn::core {
+
+/// Me1 (Sec. IV-A): embeds every tile's remote-sensing image with three
+/// stride-2 convolutions (the memory-lean replacement for conv+pool the
+/// paper motivates), a projection to dm and row-wise L2 normalization.
+/// Following the paper's "cluster of adaptable tile embeddings" (whose
+/// gradient maps dominate training memory), each tile also carries a
+/// learnable residual embedding added to the CNN output — the imagery
+/// provides environmental context while the residual lets visually similar
+/// tiles stay separable. The No-Imagery ablation keeps only the residual
+/// table.
+class TileEncoder : public nn::Module {
+ public:
+  /// `tile_images` are the cached rendered images for all tiles (quad-tree
+  /// nodes or grid cells), indexed by tile id; ignored when use_imagery is
+  /// false, in which case `num_tiles` sizes the fallback embedding table.
+  TileEncoder(const TspnRaConfig& config, int64_t num_tiles, common::Rng& rng);
+
+  /// Computes ET for all tiles: [num_tiles, dm], rows L2-normalized.
+  /// `images` must be a [num_tiles, 3, R, R] tensor when imagery is on.
+  nn::Tensor EncodeAll(const nn::Tensor& images) const;
+
+  int64_t num_tiles() const { return num_tiles_; }
+
+ private:
+  const TspnRaConfig config_;
+  int64_t num_tiles_ = 0;
+  int64_t flat_dim_ = 0;
+  // Imagery path.
+  std::unique_ptr<nn::Tensor> conv1_w_, conv1_b_;
+  std::unique_ptr<nn::Tensor> conv2_w_, conv2_b_;
+  std::unique_ptr<nn::Tensor> conv3_w_, conv3_b_;
+  std::unique_ptr<nn::Linear> project_;
+  // Per-tile adaptable embeddings (sole path for the No-Imagery ablation).
+  std::unique_ptr<nn::Embedding> id_embedding_;
+};
+
+/// Packs rendered tile images into the [N, 3, R, R] constant tensor consumed
+/// by TileEncoder::EncodeAll.
+nn::Tensor PackImages(const std::vector<rs::Image>& images);
+
+/// Me2 (Sec. IV-B): EP(p) = alpha * embed(id) + (1 - alpha) * embed(cate).
+class PoiEncoder : public nn::Module {
+ public:
+  PoiEncoder(const TspnRaConfig& config, int64_t num_pois, int64_t num_categories,
+             common::Rng& rng);
+
+  /// Embeds a list of POIs given parallel id and category index vectors.
+  /// Returns [L, dm] (not normalized; normalization happens at scoring).
+  nn::Tensor Encode(const std::vector<int64_t>& poi_ids,
+                    const std::vector<int64_t>& categories) const;
+
+ private:
+  const TspnRaConfig config_;
+  std::unique_ptr<nn::Embedding> id_embedding_;
+  std::unique_ptr<nn::Embedding> category_embedding_;
+};
+
+/// The sinusoidal spatial encoding of Eq. 4 over normalized (x, y) in
+/// [0,1]^2 scaled by `spatial_scale`. Returns [dm] per location; requires
+/// dm % 4 == 0. Pure function of the location — no parameters.
+nn::Tensor SpatialEncoding(double x, double y, int64_t dm, float scale);
+
+/// Mt (Sec. IV-A): 48 learnable half-hour-slot embeddings added to sequence
+/// elements.
+class TemporalEncoder : public nn::Module {
+ public:
+  TemporalEncoder(int64_t dm, common::Rng& rng);
+
+  /// Embedding row for a time slot in [0, 48).
+  nn::Tensor SlotEmbedding(int64_t slot) const;
+
+  /// [L, dm] rows for a slot sequence.
+  nn::Tensor SlotEmbeddings(const std::vector<int64_t>& slots) const;
+
+ private:
+  std::unique_ptr<nn::Embedding> slots_;
+};
+
+}  // namespace tspn::core
+
+#endif  // TSPN_CORE_ENCODERS_H_

@@ -1,0 +1,52 @@
+#ifndef TSPN_CORE_FUSION_H_
+#define TSPN_CORE_FUSION_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/config.h"
+#include "nn/gru.h"
+#include "nn/layers.h"
+
+namespace tspn::core {
+
+/// One attention block AB_i of Sec. V-A: masked sequential self-attention,
+/// add & layer-norm, cross-attention over historical knowledge, and a
+/// position-wise feed-forward — each sublayer with a residual + norm for
+/// training stability.
+class AttentionBlock : public nn::Module {
+ public:
+  AttentionBlock(int64_t dm, common::Rng& rng);
+
+  /// sequence: [L, dm]; history: [H, dm] (H >= 1). Returns [L, dm].
+  nn::Tensor Forward(const nn::Tensor& sequence, const nn::Tensor& history,
+                     common::Rng& rng, float dropout) const;
+
+ private:
+  std::unique_ptr<nn::Attention> self_attention_;
+  std::unique_ptr<nn::LayerNormLayer> norm1_;
+  std::unique_ptr<nn::Attention> cross_attention_;
+  std::unique_ptr<nn::LayerNormLayer> norm2_;
+  std::unique_ptr<nn::Linear> feed_forward_;
+  std::unique_ptr<nn::LayerNormLayer> norm3_;
+};
+
+/// MP1 / MP2 (Sec. V-A): N stacked attention blocks fusing the current
+/// prefix-sequence embedding with historical knowledge; the last position of
+/// the final layer is the prediction vector h_out.
+class FusionModule : public nn::Module {
+ public:
+  FusionModule(const TspnRaConfig& config, common::Rng& rng);
+
+  /// Returns h_out = H_out[-1]: [dm].
+  nn::Tensor Forward(const nn::Tensor& sequence, const nn::Tensor& history,
+                     common::Rng& rng) const;
+
+ private:
+  const TspnRaConfig config_;
+  std::vector<std::unique_ptr<AttentionBlock>> blocks_;
+};
+
+}  // namespace tspn::core
+
+#endif  // TSPN_CORE_FUSION_H_

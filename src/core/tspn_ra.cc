@@ -1,0 +1,434 @@
+#include "core/tspn_ra.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/check.h"
+#include "core/tspn_ra_internal.h"
+#include "nn/ops.h"
+#include "nn/serialize.h"
+
+namespace tspn::core {
+
+TspnRa::TspnRa(std::shared_ptr<const data::CityDataset> dataset, TspnRaConfig config)
+    : dataset_(std::move(dataset)), config_(config),
+      inference_rng_(config.seed ^ 0xD00DULL) {
+  TSPN_CHECK(dataset_ != nullptr);
+  TSPN_CHECK_EQ(config_.dm % 4, 0);
+
+  if (config_.use_quadtree) {
+    const spatial::QuadTree& tree = dataset_->quadtree();
+    num_tile_ids_ = tree.NumNodes();
+    leaf_tile_ids_ = tree.LeafNodes();
+  } else {
+    grid_ = std::make_unique<spatial::GridIndex>(dataset_->profile().bbox,
+                                                 config_.grid_cells_per_side);
+    grid_adjacency_ = std::make_unique<roadnet::TileAdjacency>(
+        roadnet::TileAdjacency::Build(dataset_->roads(), *grid_));
+    num_tile_ids_ = grid_->NumTiles();
+    leaf_tile_ids_.resize(static_cast<size_t>(num_tile_ids_));
+    for (int64_t i = 0; i < num_tile_ids_; ++i) {
+      leaf_tile_ids_[static_cast<size_t>(i)] = static_cast<int32_t>(i);
+    }
+  }
+
+  BuildImageCache();
+  BuildTilePoiLists();
+
+  common::Rng rng(config_.seed);
+  net_ = std::make_unique<Net>(config_, num_tile_ids_,
+                               static_cast<int64_t>(dataset_->pois().size()),
+                               dataset_->profile().num_categories, rng);
+}
+
+TspnRa::~TspnRa() = default;
+
+void TspnRa::BuildImageCache() {
+  if (!config_.use_imagery) return;
+  // Imagery is a property of the simulated world, not of the model: seed the
+  // renderer from the dataset profile so differently-seeded models see the
+  // same ground truth.
+  rs::ImageSynthesizer synthesizer(
+      &dataset_->layout(), &dataset_->roads(),
+      {.resolution = config_.image_resolution,
+       .world_seed = dataset_->profile().seed});
+  common::Rng noise_rng(config_.seed ^ 0x401EULL);
+  std::vector<rs::Image> images;
+  images.reserve(static_cast<size_t>(num_tile_ids_));
+  for (int64_t id = 0; id < num_tile_ids_; ++id) {
+    geo::BoundingBox bounds =
+        config_.use_quadtree ? dataset_->quadtree().node(id).bounds
+                             : grid_->TileBounds(id);
+    rs::Image image = synthesizer.RenderTile(bounds);
+    if (config_.image_noise_fraction > 0.0) {
+      rs::AddPixelNoise(image, config_.image_noise_fraction, noise_rng);
+    }
+    images.push_back(std::move(image));
+  }
+  tile_images_ = PackImages(images);
+}
+
+void TspnRa::BuildTilePoiLists() {
+  tile_pois_.assign(leaf_tile_ids_.size(), {});
+  poi_tile_.assign(dataset_->pois().size(), 0);
+  for (const data::Poi& poi : dataset_->pois()) {
+    int64_t candidate;
+    if (config_.use_quadtree) {
+      candidate = dataset_->quadtree().LeafIndexOf(dataset_->LeafNodeOfPoi(poi.id));
+    } else {
+      candidate = grid_->TileOf(poi.loc);
+    }
+    tile_pois_[static_cast<size_t>(candidate)].push_back(poi.id);
+    poi_tile_[static_cast<size_t>(poi.id)] = candidate;
+  }
+}
+
+nn::Tensor TspnRa::TileCosinesFrom(const nn::Tensor& et,
+                                   const nn::Tensor& h_tile) const {
+  std::vector<int64_t> leaf_rows(leaf_tile_ids_.begin(), leaf_tile_ids_.end());
+  nn::Tensor leaf_embeddings = nn::EmbeddingGather(et, leaf_rows);
+  return nn::MatVec(leaf_embeddings, nn::L2Normalize(h_tile));
+}
+
+int64_t TspnRa::CandidateTileOfPoi(int64_t poi_id) const {
+  return poi_tile_[static_cast<size_t>(poi_id)];
+}
+
+const graph::QrpGraph* TspnRa::HistoryGraph(int32_t user, int32_t traj) const {
+  int64_t key = (static_cast<int64_t>(user) << 20) | traj;
+  auto it = graph_cache_.find(key);
+  if (it != graph_cache_.end()) return &it->second;
+  std::vector<int64_t> history = dataset_->HistoryPoiIds(user, traj);
+  if (static_cast<int64_t>(history.size()) > config_.max_history_checkins) {
+    history.erase(history.begin(),
+                  history.end() - config_.max_history_checkins);
+  }
+  graph::QrpGraph graph;
+  if (config_.use_quadtree) {
+    graph = graph::BuildQrpGraph(dataset_->quadtree(), dataset_->leaf_adjacency(),
+                                 dataset_->pois(), history);
+  } else {
+    graph = graph::BuildQrpGraphFromGrid(*grid_, *grid_adjacency_,
+                                         dataset_->pois(), history);
+  }
+  auto [inserted, unused] = graph_cache_.emplace(key, std::move(graph));
+  return &inserted->second;
+}
+
+TspnRa::Features TspnRa::ExtractFeatures(const data::SampleRef& sample) const {
+  const data::Trajectory& traj = dataset_->trajectory(sample);
+  Features f;
+  int64_t start = std::max<int64_t>(0, sample.prefix_len - config_.max_seq_len);
+  for (int64_t i = start; i < sample.prefix_len; ++i) {
+    const data::Checkin& c = traj.checkins[static_cast<size_t>(i)];
+    const data::Poi& poi = dataset_->poi(c.poi_id);
+    f.poi_ids.push_back(c.poi_id);
+    f.poi_cats.push_back(poi.category);
+    f.time_slots.push_back(data::TimeSlotOf(c.timestamp));
+    if (config_.use_quadtree) {
+      f.tile_rows.push_back(dataset_->LeafNodeOfPoi(c.poi_id));
+    } else {
+      f.tile_rows.push_back(grid_->TileOf(poi.loc));
+    }
+    double x, y;
+    dataset_->profile().bbox.Normalize(poi.loc, &x, &y);
+    f.norm_x.push_back(x);
+    f.norm_y.push_back(y);
+  }
+  if (config_.use_graph) {
+    f.history_graph = HistoryGraph(sample.user, sample.traj);
+  }
+  const data::Checkin& target = dataset_->Target(sample);
+  f.target_poi = target.poi_id;
+  const data::Poi& target_poi = dataset_->poi(target.poi_id);
+  if (config_.use_quadtree) {
+    f.target_tile_index =
+        dataset_->quadtree().LeafIndexOf(dataset_->LeafNodeOfPoi(target.poi_id));
+  } else {
+    f.target_tile_index = grid_->TileOf(target_poi.loc);
+  }
+  return f;
+}
+
+nn::Tensor TspnRa::ComputeTileEmbeddings() const {
+  return net_->tile_encoder.EncodeAll(tile_images_);
+}
+
+TspnRa::ForwardOut TspnRa::Forward(const Features& f, const nn::Tensor& et,
+                                   common::Rng& rng) const {
+  TSPN_CHECK(!f.poi_ids.empty());
+  // --- Tile sequence embedding (Sec. IV-A) ----------------------------------
+  nn::Tensor tile_seq = nn::EmbeddingGather(et, f.tile_rows);
+  if (config_.use_st_encoder) {
+    std::vector<nn::Tensor> locs;
+    locs.reserve(f.norm_x.size());
+    for (size_t i = 0; i < f.norm_x.size(); ++i) {
+      locs.push_back(SpatialEncoding(f.norm_x[i], f.norm_y[i], config_.dm,
+                                     config_.spatial_scale));
+    }
+    // The raw sinusoidal encoding has norm sqrt(dm/2); rescale to unit norm
+    // so it augments rather than drowns the unit-norm tile embeddings.
+    float loc_scale = std::sqrt(2.0f / static_cast<float>(config_.dm));
+    tile_seq = nn::Add(tile_seq, nn::MulScalar(nn::StackRows(locs), loc_scale));
+    tile_seq = nn::Add(tile_seq, net_->temporal.SlotEmbeddings(f.time_slots));
+  }
+  // --- POI sequence embedding (Sec. IV-B) -----------------------------------
+  nn::Tensor poi_seq = net_->poi_encoder.Encode(f.poi_ids, f.poi_cats);
+  if (config_.use_st_encoder) {
+    poi_seq = nn::Add(poi_seq, net_->temporal.SlotEmbeddings(f.time_slots));
+  }
+  // --- Historical graph knowledge (Sec. IV-C) --------------------------------
+  nn::Tensor tile_history = net_->null_tile_history;
+  nn::Tensor poi_history = net_->null_poi_history;
+  if (config_.use_graph && f.history_graph != nullptr && !f.history_graph->empty()) {
+    const graph::QrpGraph& g = *f.history_graph;
+    std::vector<int64_t> tile_rows(g.tile_ids.begin(), g.tile_ids.end());
+    nn::Tensor tile_init = nn::EmbeddingGather(et, tile_rows);
+    std::vector<int64_t> cats;
+    cats.reserve(g.poi_ids.size());
+    for (int64_t pid : g.poi_ids) cats.push_back(dataset_->poi(pid).category);
+    nn::Tensor poi_init = net_->poi_encoder.Encode(g.poi_ids, cats);
+    QrpEncoder::Output knowledge = net_->qrp.Encode(g, tile_init, poi_init);
+    tile_history = knowledge.tile_knowledge;
+    poi_history = knowledge.poi_knowledge;
+  }
+  // --- Attention fusion (Sec. V-A) -------------------------------------------
+  ForwardOut out;
+  out.h_tile = net_->mp1.Forward(tile_seq, tile_history, rng);
+  out.h_poi = net_->mp2.Forward(poi_seq, poi_history, rng);
+  return out;
+}
+
+std::vector<int64_t> TspnRa::GatherCandidates(
+    const std::vector<int64_t>& ranked_tiles, int32_t top_k) const {
+  std::vector<int64_t> candidates;
+  int64_t limit = std::min<int64_t>(top_k, static_cast<int64_t>(ranked_tiles.size()));
+  for (int64_t i = 0; i < limit; ++i) {
+    const auto& pois = tile_pois_[static_cast<size_t>(ranked_tiles[static_cast<size_t>(i)])];
+    candidates.insert(candidates.end(), pois.begin(), pois.end());
+  }
+  return candidates;
+}
+
+nn::Tensor TspnRa::SampleLoss(const data::SampleRef& sample, const nn::Tensor& et,
+                              common::Rng& rng) const {
+  Features f = ExtractFeatures(sample);
+  ForwardOut fwd = Forward(f, et, rng);
+
+  nn::Tensor loss = nn::Tensor::Scalar(0.0f);
+  std::vector<int64_t> candidate_pois;
+  nn::Tensor tile_cos_for_prior;
+
+  if (config_.use_two_step) {
+    // --- Step 1: tile ranking loss over all leaf candidates ------------------
+    nn::Tensor cos_tiles = TileCosinesFrom(et, fwd.h_tile);
+    nn::Tensor tile_logits =
+        nn::ArcFaceLogits(cos_tiles, f.target_tile_index, config_.arcface_scale,
+                          config_.arcface_margin);
+    nn::Tensor tile_loss =
+        nn::CrossEntropyWithLogits(tile_logits, f.target_tile_index);
+    loss = nn::Add(loss, nn::MulScalar(tile_loss, config_.beta));
+
+    // --- Step 2 candidates: POIs in the current top-K tiles (the tile
+    // selector acting as negative-sample generator, Sec. V-B). ---------------
+    std::vector<int64_t> order(leaf_tile_ids_.size());
+    std::iota(order.begin(), order.end(), 0);
+    const float* scores = cos_tiles.data();
+    std::sort(order.begin(), order.end(), [&](int64_t a, int64_t b) {
+      return scores[a] > scores[b];
+    });
+    candidate_pois = GatherCandidates(order, config_.top_k_tiles);
+    // Global random negatives keep never-screened POI embeddings trained
+    // (see TspnRaConfig::num_random_negatives).
+    int64_t num_pois = static_cast<int64_t>(dataset_->pois().size());
+    for (int64_t i = 0; i < config_.num_random_negatives; ++i) {
+      candidate_pois.push_back(rng.UniformInt(num_pois));
+    }
+    tile_cos_for_prior = cos_tiles;
+  } else {
+    // No-two-step ablation: sample negatives from the full POI set.
+    int64_t num_pois = static_cast<int64_t>(dataset_->pois().size());
+    for (int64_t i = 0;
+         i < std::min<int64_t>(config_.max_poi_candidates, num_pois); ++i) {
+      candidate_pois.push_back(rng.UniformInt(num_pois));
+    }
+  }
+
+  // Ensure the target is present, dedupe, and cap.
+  std::sort(candidate_pois.begin(), candidate_pois.end());
+  candidate_pois.erase(std::unique(candidate_pois.begin(), candidate_pois.end()),
+                       candidate_pois.end());
+  if (static_cast<int64_t>(candidate_pois.size()) > config_.max_poi_candidates) {
+    rng.Shuffle(candidate_pois);
+    candidate_pois.resize(static_cast<size_t>(config_.max_poi_candidates));
+    std::sort(candidate_pois.begin(), candidate_pois.end());
+  }
+  auto it = std::lower_bound(candidate_pois.begin(), candidate_pois.end(),
+                             f.target_poi);
+  if (it == candidate_pois.end() || *it != f.target_poi) {
+    candidate_pois.insert(it, f.target_poi);
+  }
+  int64_t target_pos =
+      std::lower_bound(candidate_pois.begin(), candidate_pois.end(), f.target_poi) -
+      candidate_pois.begin();
+
+  std::vector<int64_t> cats;
+  cats.reserve(candidate_pois.size());
+  for (int64_t pid : candidate_pois) cats.push_back(dataset_->poi(pid).category);
+  nn::Tensor cand_embeddings =
+      nn::L2Normalize(net_->poi_encoder.Encode(candidate_pois, cats));
+  nn::Tensor cos_pois = nn::MatVec(cand_embeddings, nn::L2Normalize(fwd.h_poi));
+  nn::Tensor poi_logits = nn::ArcFaceLogits(
+      cos_pois, target_pos, config_.arcface_scale, config_.arcface_margin);
+  if (config_.use_two_step) {
+    // Hierarchical score fusion: each candidate also carries its tile's
+    // stage-1 cosine, weighted by the learnable gamma. This couples the two
+    // steps so spatial plausibility keeps discriminating within the
+    // screened candidate set.
+    const nn::Tensor& leaf_cos = tile_cos_for_prior;
+    std::vector<int64_t> cand_tiles;
+    cand_tiles.reserve(candidate_pois.size());
+    for (int64_t pid : candidate_pois) {
+      cand_tiles.push_back(CandidateTileOfPoi(pid));
+    }
+    nn::Tensor prior = nn::Reshape(
+        nn::EmbeddingGather(nn::Reshape(leaf_cos, {NumCandidateTiles(), 1}),
+                            cand_tiles),
+        {static_cast<int64_t>(cand_tiles.size())});
+    poi_logits = nn::Add(
+        poi_logits, nn::Mul(nn::MulScalar(net_->tile_prior_weight,
+                                          config_.arcface_scale),
+                            prior));
+  }
+  nn::Tensor poi_loss = nn::CrossEntropyWithLogits(poi_logits, target_pos);
+  return nn::Add(loss, poi_loss);
+}
+
+void TspnRa::EnsureInferenceCaches() const {
+  // Inference is always deterministic: dropout off regardless of whether the
+  // model was ever trained.
+  net_->SetTraining(false);
+  if (!caches_dirty_ && et_cache_.defined()) return;
+  nn::NoGradGuard guard;
+  et_cache_ = ComputeTileEmbeddings();
+  caches_dirty_ = false;
+}
+
+std::vector<int64_t> TspnRa::RankTiles(const data::SampleRef& sample) const {
+  EnsureInferenceCaches();
+  nn::NoGradGuard guard;
+  Features f = ExtractFeatures(sample);
+  ForwardOut fwd = Forward(f, et_cache_, inference_rng_);
+  std::vector<int64_t> leaf_rows(leaf_tile_ids_.begin(), leaf_tile_ids_.end());
+  nn::Tensor leaf_embeddings = nn::EmbeddingGather(et_cache_, leaf_rows);
+  nn::Tensor cos_tiles = nn::MatVec(leaf_embeddings, nn::L2Normalize(fwd.h_tile));
+  std::vector<int64_t> order(leaf_tile_ids_.size());
+  std::iota(order.begin(), order.end(), 0);
+  const float* scores = cos_tiles.data();
+  std::sort(order.begin(), order.end(),
+            [&](int64_t a, int64_t b) { return scores[a] > scores[b]; });
+  return order;
+}
+
+int64_t TspnRa::TargetTileIndex(const data::SampleRef& sample) const {
+  const data::Checkin& target = dataset_->Target(sample);
+  if (config_.use_quadtree) {
+    return dataset_->quadtree().LeafIndexOf(dataset_->LeafNodeOfPoi(target.poi_id));
+  }
+  return grid_->TileOf(dataset_->poi(target.poi_id).loc);
+}
+
+int64_t TspnRa::CandidatePoiCount(const data::SampleRef& sample,
+                                  int32_t top_k) const {
+  std::vector<int64_t> ranked = RankTiles(sample);
+  return static_cast<int64_t>(GatherCandidates(ranked, top_k).size());
+}
+
+std::vector<int64_t> TspnRa::RecommendWithK(const data::SampleRef& sample,
+                                            int64_t top_n, int32_t top_k) const {
+  EnsureInferenceCaches();
+  nn::NoGradGuard guard;
+  Features f = ExtractFeatures(sample);
+  ForwardOut fwd = Forward(f, et_cache_, inference_rng_);
+
+  std::vector<int64_t> candidates;
+  nn::Tensor cos_tiles;
+  if (config_.use_two_step) {
+    cos_tiles = TileCosinesFrom(et_cache_, fwd.h_tile);
+    std::vector<int64_t> order(leaf_tile_ids_.size());
+    std::iota(order.begin(), order.end(), 0);
+    const float* scores = cos_tiles.data();
+    std::sort(order.begin(), order.end(),
+              [&](int64_t a, int64_t b) { return scores[a] > scores[b]; });
+    candidates = GatherCandidates(order, top_k);
+    // If every screened tile is POI-free (possible for small K on sparse
+    // partitions), widen the screen until candidates appear.
+    int32_t widened = top_k;
+    while (candidates.empty() &&
+           widened < static_cast<int32_t>(leaf_tile_ids_.size())) {
+      widened *= 2;
+      candidates = GatherCandidates(order, widened);
+    }
+  } else {
+    candidates.resize(dataset_->pois().size());
+    std::iota(candidates.begin(), candidates.end(), 0);
+  }
+  if (candidates.empty()) return {};
+
+  std::vector<int64_t> cats;
+  cats.reserve(candidates.size());
+  for (int64_t pid : candidates) cats.push_back(dataset_->poi(pid).category);
+  nn::Tensor cand_embeddings =
+      nn::L2Normalize(net_->poi_encoder.Encode(candidates, cats));
+  nn::Tensor cos_pois = nn::MatVec(cand_embeddings, nn::L2Normalize(fwd.h_poi));
+  if (config_.use_two_step) {
+    // Same hierarchical score fusion as training: stage-1 tile cosine as a
+    // gamma-weighted prior on each candidate.
+    float gamma = net_->tile_prior_weight.at(0);
+    std::vector<float> fused(candidates.size());
+    const float* pc = cos_pois.data();
+    const float* tc = cos_tiles.data();
+    for (size_t i = 0; i < candidates.size(); ++i) {
+      fused[i] = pc[i] + gamma * tc[CandidateTileOfPoi(candidates[i])];
+    }
+    cos_pois = nn::Tensor::FromVector(
+        {static_cast<int64_t>(candidates.size())}, std::move(fused));
+  }
+
+  std::vector<int64_t> order(candidates.size());
+  std::iota(order.begin(), order.end(), 0);
+  const float* scores = cos_pois.data();
+  std::sort(order.begin(), order.end(),
+            [&](int64_t a, int64_t b) { return scores[a] > scores[b]; });
+  std::vector<int64_t> result;
+  int64_t limit = std::min<int64_t>(top_n, static_cast<int64_t>(order.size()));
+  result.reserve(static_cast<size_t>(limit));
+  for (int64_t i = 0; i < limit; ++i) {
+    result.push_back(candidates[static_cast<size_t>(order[static_cast<size_t>(i)])]);
+  }
+  return result;
+}
+
+std::vector<int64_t> TspnRa::Recommend(const data::SampleRef& sample,
+                                       int64_t top_n) const {
+  return RecommendWithK(sample, top_n, config_.top_k_tiles);
+}
+
+int64_t TspnRa::ParameterCount() const { return net_->ParameterCount(); }
+
+std::vector<nn::Tensor> TspnRa::Parameters() const { return net_->Parameters(); }
+
+void TspnRa::SaveWeights(const std::string& path) const {
+  std::vector<nn::Tensor> params = net_->Parameters();
+  nn::SaveParametersToFile(params, path);
+}
+
+bool TspnRa::LoadWeights(const std::string& path) {
+  std::vector<nn::Tensor> params = net_->Parameters();
+  if (!nn::LoadParametersFromFile(params, path)) return false;
+  caches_dirty_ = true;  // ET must be recomputed from the loaded weights
+  return true;
+}
+
+}  // namespace tspn::core

@@ -1,0 +1,145 @@
+#ifndef TSPN_CORE_TSPN_RA_H_
+#define TSPN_CORE_TSPN_RA_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/config.h"
+#include "core/encoders.h"
+#include "core/fusion.h"
+#include "core/hgat.h"
+#include "data/dataset.h"
+#include "eval/model_api.h"
+#include "graph/qrp_graph.h"
+#include "rs/synthesizer.h"
+#include "spatial/grid_index.h"
+
+namespace tspn::core {
+
+/// TSPN-RA: the Two-Step Prediction Network with Remote Sensing Augmentation
+/// (the paper's model, Secs. III-V). Owns every sub-module — tile/POI
+/// embedding, spatial & temporal encoders, the QR-P graph encoder and the
+/// two attention-fusion predictors — and implements the tile-then-POI
+/// two-step prediction with the ArcFace-margin training loss (Eq. 8).
+class TspnRa : public eval::NextPoiModel {
+ public:
+  TspnRa(std::shared_ptr<const data::CityDataset> dataset, TspnRaConfig config);
+  ~TspnRa() override;
+
+  std::string name() const override { return "TSPN-RA"; }
+  void Train(const eval::TrainOptions& options) override;
+  std::vector<int64_t> Recommend(const data::SampleRef& sample,
+                                 int64_t top_n) const override;
+
+  // --- Extended API for the figure benches -----------------------------------
+
+  /// Ranked candidate-tile indices (dense leaf order), best first.
+  std::vector<int64_t> RankTiles(const data::SampleRef& sample) const;
+
+  /// Dense candidate-tile index containing the sample's target POI.
+  int64_t TargetTileIndex(const data::SampleRef& sample) const;
+
+  /// Recommend with an inference-time top-K override (Fig. 11 sweeps K).
+  std::vector<int64_t> RecommendWithK(const data::SampleRef& sample, int64_t top_n,
+                                      int32_t top_k) const;
+
+  /// Number of candidate POIs screened when keeping `top_k` tiles.
+  int64_t CandidatePoiCount(const data::SampleRef& sample, int32_t top_k) const;
+
+  int64_t NumCandidateTiles() const {
+    return static_cast<int64_t>(leaf_tile_ids_.size());
+  }
+
+  /// Debug/inspection: the inference-time tile embedding matrix (all tile
+  /// ids, rows L2-normalized) and the candidate-tile id list.
+  nn::Tensor DebugTileEmbeddings() const {
+    EnsureInferenceCaches();
+    return et_cache_;
+  }
+  const std::vector<int32_t>& candidate_tile_ids() const { return leaf_tile_ids_; }
+  const TspnRaConfig& config() const { return config_; }
+  int64_t ParameterCount() const;
+
+  /// All trainable parameters (for serialization).
+  std::vector<nn::Tensor> Parameters() const;
+
+  /// Saves / restores trained weights. Load requires an identically
+  /// configured model (same dataset + config); returns false on mismatch.
+  void SaveWeights(const std::string& path) const;
+  bool LoadWeights(const std::string& path);
+
+ private:
+  struct Net;
+  struct Features {
+    std::vector<int64_t> poi_ids;
+    std::vector<int64_t> poi_cats;
+    std::vector<int64_t> time_slots;
+    std::vector<int64_t> tile_rows;   // ET row (tile id) per prefix element
+    std::vector<double> norm_x, norm_y;
+    const graph::QrpGraph* history_graph = nullptr;  // may be null/empty
+    int64_t target_poi = -1;
+    int64_t target_tile_index = -1;   // dense candidate-tile index
+  };
+
+  /// Renders (and caches) the tile imagery tensor for all tile ids.
+  void BuildImageCache();
+  /// Precomputes per-candidate-tile POI lists.
+  void BuildTilePoiLists();
+
+  Features ExtractFeatures(const data::SampleRef& sample) const;
+  const graph::QrpGraph* HistoryGraph(int32_t user, int32_t traj) const;
+
+  /// ET for all tile ids ([num_tile_ids, dm], rows normalized); part of the
+  /// autograd graph during training.
+  nn::Tensor ComputeTileEmbeddings() const;
+
+  /// Forward pass producing (h_out_tau, h_out_p) for a sample.
+  struct ForwardOut {
+    nn::Tensor h_tile;
+    nn::Tensor h_poi;
+  };
+  ForwardOut Forward(const Features& features, const nn::Tensor& et,
+                     common::Rng& rng) const;
+
+  /// Per-sample training loss (Eq. 8): beta * loss_tile + loss_poi.
+  nn::Tensor SampleLoss(const data::SampleRef& sample, const nn::Tensor& et,
+                        common::Rng& rng) const;
+
+  /// Candidate POI ids when keeping the given ranked tiles.
+  std::vector<int64_t> GatherCandidates(const std::vector<int64_t>& ranked_tiles,
+                                        int32_t top_k) const;
+
+  /// Cosines between h_tile and every candidate tile's ET row ([num_tiles]).
+  nn::Tensor TileCosinesFrom(const nn::Tensor& et, const nn::Tensor& h_tile) const;
+
+  /// Dense candidate-tile index containing a POI.
+  int64_t CandidateTileOfPoi(int64_t poi_id) const;
+
+  void EnsureInferenceCaches() const;
+
+  std::shared_ptr<const data::CityDataset> dataset_;
+  TspnRaConfig config_;
+
+  // Partition: quad-tree (from the dataset) or grid (ablation). Tile ids are
+  // quad-tree node ids or grid cell indices; candidates are leaves / cells.
+  std::unique_ptr<spatial::GridIndex> grid_;
+  std::unique_ptr<roadnet::TileAdjacency> grid_adjacency_;
+  int64_t num_tile_ids_ = 0;
+  std::vector<int32_t> leaf_tile_ids_;              // candidate idx -> tile id
+  std::vector<std::vector<int64_t>> tile_pois_;     // candidate idx -> POI ids
+  std::vector<int64_t> poi_tile_;                   // POI id -> candidate idx
+
+  nn::Tensor tile_images_;  // [num_tile_ids, 3, R, R], constant
+  std::unique_ptr<Net> net_;
+
+  mutable std::unordered_map<int64_t, graph::QrpGraph> graph_cache_;
+  mutable nn::Tensor et_cache_;      // inference-time ET
+  mutable bool caches_dirty_ = true;
+  mutable common::Rng inference_rng_;
+};
+
+}  // namespace tspn::core
+
+#endif  // TSPN_CORE_TSPN_RA_H_

@@ -1,0 +1,344 @@
+#include "data/checkin_generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/check.h"
+#include "roadnet/generator.h"
+
+namespace tspn::data {
+
+namespace {
+
+using rs::CityLayout;
+using rs::CoastSpec;
+using rs::District;
+using rs::LandUse;
+
+/// District land-use mix for synthesized cities.
+LandUse SampleDistrictType(common::Rng& rng) {
+  static const LandUse kTypes[4] = {LandUse::kResidential, LandUse::kCommercial,
+                                    LandUse::kPark, LandUse::kIndustrial};
+  return kTypes[rng.Categorical({0.35, 0.30, 0.20, 0.15})];
+}
+
+/// POI capacity of a district type: commercial cores host the most venues.
+double DistrictCapacity(LandUse type) {
+  switch (type) {
+    case LandUse::kCommercial: return 3.0;
+    case LandUse::kResidential: return 2.0;
+    case LandUse::kPark: return 1.0;
+    case LandUse::kIndustrial: return 0.8;
+    default: return 0.5;
+  }
+}
+
+/// Diurnal archetypes assigned to categories.
+std::array<double, kNumDayParts> SampleTimeArchetype(common::Rng& rng) {
+  static const std::array<double, kNumDayParts> kArchetypes[5] = {
+      {3.0, 1.0, 0.5, 0.2},   // breakfast / commute
+      {1.0, 3.0, 1.5, 0.2},   // work / shopping
+      {0.2, 0.5, 3.0, 1.5},   // dinner / nightlife
+      {1.5, 2.0, 1.0, 0.2},   // outdoor / daytime leisure
+      {0.5, 1.0, 2.0, 2.0},   // home / late leisure
+  };
+  return kArchetypes[rng.UniformInt(5)];
+}
+
+/// Simple uniform-grid bucket index over POIs for radius queries.
+class PoiBuckets {
+ public:
+  PoiBuckets(const geo::BoundingBox& bbox, const std::vector<Poi>& pois, int32_t side)
+      : bbox_(bbox), side_(side), cells_(static_cast<size_t>(side) * side) {
+    for (size_t i = 0; i < pois.size(); ++i) {
+      cells_[CellOf(pois[i].loc)].push_back(static_cast<int64_t>(i));
+    }
+  }
+
+  /// Indices of POIs within a lat/lon box of half-width `radius_deg`.
+  void Collect(const geo::GeoPoint& center, double radius_deg,
+               std::vector<int64_t>* out) const {
+    out->clear();
+    double lat_cell = bbox_.LatSpan() / side_;
+    double lon_cell = bbox_.LonSpan() / side_;
+    int32_t r_lat = static_cast<int32_t>(radius_deg / lat_cell) + 1;
+    int32_t r_lon = static_cast<int32_t>(radius_deg / lon_cell) + 1;
+    int32_t crow, ccol;
+    RowCol(center, &crow, &ccol);
+    for (int32_t row = std::max(0, crow - r_lat);
+         row <= std::min(side_ - 1, crow + r_lat); ++row) {
+      for (int32_t col = std::max(0, ccol - r_lon);
+           col <= std::min(side_ - 1, ccol + r_lon); ++col) {
+        const auto& cell = cells_[static_cast<size_t>(row * side_ + col)];
+        out->insert(out->end(), cell.begin(), cell.end());
+      }
+    }
+  }
+
+ private:
+  void RowCol(const geo::GeoPoint& p, int32_t* row, int32_t* col) const {
+    double x, y;
+    bbox_.Normalize(p, &x, &y);
+    *row = std::min(side_ - 1, static_cast<int32_t>(y * side_));
+    *col = std::min(side_ - 1, static_cast<int32_t>(x * side_));
+  }
+  size_t CellOf(const geo::GeoPoint& p) const {
+    int32_t row, col;
+    RowCol(p, &row, &col);
+    return static_cast<size_t>(row * side_ + col);
+  }
+
+  geo::BoundingBox bbox_;
+  int32_t side_;
+  std::vector<std::vector<int64_t>> cells_;
+};
+
+}  // namespace
+
+World BuildWorld(const CityProfile& profile) {
+  common::Rng rng(profile.seed);
+  const geo::BoundingBox& bbox = profile.bbox;
+  double span = std::max(bbox.LatSpan(), bbox.LonSpan());
+
+  // --- Coast (Florida-style east coast) -------------------------------------
+  CoastSpec coast;
+  if (profile.coastal) {
+    coast.enabled = true;
+    coast.base_lon = bbox.max_lon - 0.22 * bbox.LonSpan();
+    coast.slope = -0.15;
+    coast.anchor_lat = bbox.min_lat;
+    coast.coastal_width_deg = 0.035 * bbox.LonSpan();
+  }
+
+  // --- Districts -------------------------------------------------------------
+  std::vector<District> districts;
+  std::vector<geo::GeoPoint> centers;
+  double radius = profile.district_radius_frac * span;
+  for (int32_t d = 0; d < profile.num_districts; ++d) {
+    geo::GeoPoint c;
+    for (int attempt = 0; attempt < 50; ++attempt) {
+      c = {rng.Uniform(bbox.min_lat + 0.08 * bbox.LatSpan(),
+                       bbox.max_lat - 0.08 * bbox.LatSpan()),
+           rng.Uniform(bbox.min_lon + 0.08 * bbox.LonSpan(),
+                       bbox.max_lon - 0.08 * bbox.LonSpan())};
+      if (!coast.enabled) break;
+      // Keep district centres on land, with the first quarter hugging the
+      // coast (coastal cities cluster along the shore).
+      double water_line = coast.base_lon + coast.slope * (c.lat - coast.anchor_lat);
+      if (c.lon < water_line - radius) {
+        if (d < profile.num_districts / 4) {
+          // Snap near the coast for seaside districts.
+          c.lon = water_line - radius - 0.02 * bbox.LonSpan() * rng.Uniform();
+        }
+        break;
+      }
+    }
+    districts.push_back({c, radius, SampleDistrictType(rng)});
+    centers.push_back(c);
+  }
+  CityLayout layout(bbox, districts, coast);
+
+  // --- Roads -------------------------------------------------------------
+  std::vector<geo::GeoPoint> highway;
+  if (coast.enabled) {
+    // Coastal highway tracking the waterline slightly inland.
+    for (int i = 0; i <= 12; ++i) {
+      double lat = bbox.min_lat + bbox.LatSpan() * i / 12.0;
+      double lon = coast.base_lon + coast.slope * (lat - coast.anchor_lat) -
+                   0.5 * coast.coastal_width_deg;
+      highway.push_back({lat, lon});
+    }
+  }
+  roadnet::GeneratorOptions road_opt;
+  road_opt.district_grid_radius_deg = radius * 0.8;
+  road_opt.grid_lines = 5;
+  common::Rng road_rng = rng.Fork();
+  roadnet::RoadNetwork roads =
+      roadnet::GenerateRoads(bbox, centers, highway, road_opt, road_rng);
+
+  // --- Categories -------------------------------------------------------------
+  std::vector<CategoryInfo> categories(static_cast<size_t>(profile.num_categories));
+  for (auto& cat : categories) {
+    int64_t pick = rng.Categorical(profile.coastal
+                                       ? std::vector<double>{0.15, 0.22, 0.25, 0.08,
+                                                             0.10, 0.20}
+                                       : std::vector<double>{0.18, 0.27, 0.32, 0.10,
+                                                             0.13, 0.00});
+    static const LandUse kAffinities[6] = {LandUse::kPark, LandUse::kResidential,
+                                           LandUse::kCommercial, LandUse::kIndustrial,
+                                           LandUse::kSuburban, LandUse::kCoastal};
+    cat.affinity = kAffinities[pick];
+    cat.time_weights = SampleTimeArchetype(rng);
+  }
+  // Category ids whose affinity matches each land use, for placement draws.
+  auto categories_of = [&](LandUse use) {
+    std::vector<int64_t> ids;
+    for (size_t c = 0; c < categories.size(); ++c) {
+      if (categories[c].affinity == use) ids.push_back(static_cast<int64_t>(c));
+    }
+    return ids;
+  };
+
+  // --- POIs -------------------------------------------------------------
+  std::vector<Poi> pois;
+  pois.reserve(static_cast<size_t>(profile.num_pois));
+  std::vector<double> district_capacity(districts.size());
+  for (size_t d = 0; d < districts.size(); ++d) {
+    district_capacity[d] = DistrictCapacity(districts[d].type);
+  }
+  const double coastal_fraction = profile.coastal ? 0.22 : 0.0;
+  for (int64_t i = 0; i < profile.num_pois; ++i) {
+    Poi poi;
+    poi.id = i;
+    LandUse site_use;
+    if (profile.coastal && rng.Uniform() < coastal_fraction) {
+      // Seaside POI: placed in the coastal strip.
+      double lat = rng.Uniform(bbox.min_lat, bbox.max_lat);
+      double water_line = coast.base_lon + coast.slope * (lat - coast.anchor_lat);
+      double lon = water_line - rng.Uniform() * coast.coastal_width_deg;
+      poi.loc = bbox.Clamp({lat, lon});
+      site_use = LandUse::kCoastal;
+    } else {
+      int64_t d = rng.Categorical(district_capacity);
+      const District& district = districts[static_cast<size_t>(d)];
+      geo::GeoPoint p;
+      for (int attempt = 0; attempt < 10; ++attempt) {
+        p = {rng.Gaussian(district.center.lat, district.radius_deg * 0.5),
+             rng.Gaussian(district.center.lon, district.radius_deg * 0.5)};
+        p = bbox.Clamp(p);
+        if (layout.LandUseAt(p) != LandUse::kWater) break;
+        p = district.center;  // fallback: centre is on land by construction
+      }
+      poi.loc = p;
+      site_use = layout.LandUseAt(p);
+    }
+    // Category: compatible with the site's land use w.p. 0.7, else any.
+    std::vector<int64_t> compatible = categories_of(site_use);
+    if (!compatible.empty() && rng.Uniform() < 0.7) {
+      poi.category = static_cast<int32_t>(
+          compatible[static_cast<size_t>(rng.UniformInt(
+              static_cast<int64_t>(compatible.size())))]);
+    } else {
+      poi.category = static_cast<int32_t>(rng.UniformInt(profile.num_categories));
+    }
+    pois.push_back(poi);
+  }
+  // Zipf-style popularity over a random permutation.
+  std::vector<int64_t> order(pois.size());
+  std::iota(order.begin(), order.end(), 0);
+  rng.Shuffle(order);
+  for (size_t rank = 0; rank < order.size(); ++rank) {
+    pois[static_cast<size_t>(order[rank])].popularity =
+        1.0 / std::pow(static_cast<double>(rank + 1), 0.8);
+  }
+
+  return World{std::move(layout), std::move(roads), std::move(categories),
+               std::move(pois)};
+}
+
+std::vector<UserStream> SimulateUsers(const CityProfile& profile, const World& world) {
+  common::Rng rng(profile.seed ^ 0xBEEF0000ULL);
+  const geo::BoundingBox& bbox = profile.bbox;
+  double span = std::max(bbox.LatSpan(), bbox.LonSpan());
+  double nearby_radius = profile.nearby_radius_frac * span;
+  double home_radius = profile.district_radius_frac * span * 2.0;
+
+  // Home-district weights: residential >> others.
+  std::vector<double> district_weights;
+  std::vector<geo::GeoPoint> centers;
+  for (const rs::District& d : world.layout.districts()) {
+    district_weights.push_back(d.type == rs::LandUse::kResidential ? 3.0 : 1.0);
+    centers.push_back(d.center);
+  }
+
+  PoiBuckets buckets(bbox, world.pois, 48);
+  std::vector<int64_t> nearby_scratch;
+  std::vector<double> weight_scratch;
+
+  // Map from poi id to index (ids are dense by construction, but stay safe).
+  const std::vector<Poi>& pois = world.pois;
+
+  std::vector<UserStream> users;
+  users.reserve(static_cast<size_t>(profile.num_users));
+  for (int64_t u = 0; u < profile.num_users; ++u) {
+    UserStream stream;
+    stream.profile = SampleUserProfile(
+        u, profile.num_categories, district_weights, pois, centers, home_radius,
+        /*frequent_count=*/12, rng);
+    const UserProfile& up = stream.profile;
+
+    int64_t t = rng.UniformInt(14 * kSecondsPerDay);
+    int64_t current =
+        up.frequent_pois[static_cast<size_t>(rng.UniformInt(
+            static_cast<int64_t>(up.frequent_pois.size())))];
+    for (int64_t n = 0; n < profile.checkins_per_user; ++n) {
+      stream.checkins.push_back({current, t});
+
+      // Advance time; occasional long gaps create the 72 h window breaks.
+      double gap_draw = rng.Uniform();
+      int64_t dt;
+      if (gap_draw < 0.78) {
+        dt = static_cast<int64_t>(rng.Uniform(1.0, 9.0) * 3600.0);
+      } else if (gap_draw < 0.92) {
+        dt = static_cast<int64_t>(rng.Uniform(10.0, 40.0) * 3600.0);
+      } else {
+        dt = static_cast<int64_t>(rng.Uniform(80.0, 240.0) * 3600.0);
+      }
+      t += dt;
+
+      // Choose the next POI. The squared category-time weight makes intent
+      // strongly time-of-day conditioned — a signal first-order transition
+      // models cannot see but temporal encoders can.
+      auto score = [&](int64_t poi_index) {
+        const Poi& p = pois[static_cast<size_t>(poi_index)];
+        double w = up.CategoryTimeWeight(world.categories, p.category, t);
+        return p.popularity * w * w;
+      };
+      double mode = rng.Uniform();
+      int64_t next = -1;
+      if (mode < profile.p_repeat) {
+        weight_scratch.clear();
+        for (int64_t pid : up.frequent_pois) {
+          weight_scratch.push_back(pid == current ? 0.0 : score(pid));
+        }
+        double total = std::accumulate(weight_scratch.begin(), weight_scratch.end(), 0.0);
+        if (total > 0.0) {
+          next = up.frequent_pois[static_cast<size_t>(
+              rng.Categorical(weight_scratch))];
+        }
+      } else if (mode < profile.p_repeat + profile.p_nearby) {
+        buckets.Collect(pois[static_cast<size_t>(current)].loc, nearby_radius,
+                        &nearby_scratch);
+        weight_scratch.clear();
+        for (int64_t idx : nearby_scratch) {
+          weight_scratch.push_back(idx == current ? 0.0 : score(idx));
+        }
+        double total = std::accumulate(weight_scratch.begin(), weight_scratch.end(), 0.0);
+        if (total > 0.0) {
+          next = nearby_scratch[static_cast<size_t>(rng.Categorical(weight_scratch))];
+        }
+      }
+      if (next < 0) {
+        // Exploration: popularity x time affinity over a random subsample.
+        weight_scratch.clear();
+        nearby_scratch.clear();
+        int64_t samples = std::min<int64_t>(200, static_cast<int64_t>(pois.size()));
+        for (int64_t s = 0; s < samples; ++s) {
+          int64_t idx = rng.UniformInt(static_cast<int64_t>(pois.size()));
+          nearby_scratch.push_back(idx);
+          weight_scratch.push_back(idx == current ? 0.0 : score(idx));
+        }
+        double total = std::accumulate(weight_scratch.begin(), weight_scratch.end(), 0.0);
+        next = total > 0.0
+                   ? nearby_scratch[static_cast<size_t>(rng.Categorical(weight_scratch))]
+                   : (current + 1) % static_cast<int64_t>(pois.size());
+      }
+      current = next;
+    }
+    users.push_back(std::move(stream));
+  }
+  return users;
+}
+
+}  // namespace tspn::data

@@ -1,0 +1,43 @@
+#ifndef TSPN_DATA_CHECKIN_GENERATOR_H_
+#define TSPN_DATA_CHECKIN_GENERATOR_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "data/city_profile.h"
+#include "data/poi.h"
+#include "data/user_model.h"
+#include "roadnet/road_network.h"
+#include "rs/land_use.h"
+
+namespace tspn::data {
+
+/// Everything the simulator synthesizes before user behaviour: the land-use
+/// world, its road network, the category semantics and the POI inventory.
+struct World {
+  rs::CityLayout layout;
+  roadnet::RoadNetwork roads;
+  std::vector<CategoryInfo> categories;
+  std::vector<Poi> pois;
+};
+
+/// Builds the world for a profile (deterministic given profile.seed).
+World BuildWorld(const CityProfile& profile);
+
+/// One user's raw check-in stream (time-ordered) plus the latent profile
+/// that generated it.
+struct UserStream {
+  UserProfile profile;
+  std::vector<Checkin> checkins;
+};
+
+/// Simulates check-in streams for every user. The movement policy mixes
+/// frequent-POI revisits (p_repeat), near-current moves (p_nearby) and
+/// global exploration, with category-time preferences shaping every draw —
+/// the regularities that give history-, sequence- and environment-aware
+/// models their respective edges.
+std::vector<UserStream> SimulateUsers(const CityProfile& profile, const World& world);
+
+}  // namespace tspn::data
+
+#endif  // TSPN_DATA_CHECKIN_GENERATOR_H_

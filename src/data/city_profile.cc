@@ -1,0 +1,114 @@
+#include "data/city_profile.h"
+
+namespace tspn::data {
+
+CityProfile CityProfile::Scaled(int64_t scale) const {
+  CityProfile scaled = *this;
+  if (scale <= 1) return scaled;
+  scaled.num_users *= scale;
+  scaled.num_pois *= scale;
+  scaled.checkins_per_user *= scale;
+  return scaled;
+}
+
+CityProfile CityProfile::FoursquareTky() {
+  CityProfile p;
+  p.name = "Foursquare(TKY-sim)";
+  // ~14 x 14 km urban core (paper: 211.98 km^2).
+  p.bbox = {35.55, 139.60, 35.68, 139.76};
+  p.num_districts = 12;
+  p.district_radius_frac = 0.09;
+  p.seed = 1001;
+  p.num_users = 48;
+  p.num_pois = 1400;
+  p.num_categories = 36;
+  p.checkins_per_user = 150;
+  p.p_repeat = 0.35;
+  p.p_nearby = 0.40;
+  p.quadtree_max_depth = 8;
+  p.quadtree_leaf_capacity = 40;
+  p.top_k_tiles = 8;
+  return p;
+}
+
+CityProfile CityProfile::FoursquareNyc() {
+  CityProfile p;
+  p.name = "Foursquare(NYC-sim)";
+  // ~22 x 22 km (paper: 482.75 km^2).
+  p.bbox = {40.58, -74.10, 40.78, -73.84};
+  p.num_districts = 10;
+  p.district_radius_frac = 0.08;
+  p.seed = 1002;
+  p.num_users = 40;
+  p.num_pois = 1000;
+  p.num_categories = 36;
+  p.checkins_per_user = 120;
+  p.p_repeat = 0.35;
+  p.p_nearby = 0.40;
+  p.quadtree_max_depth = 8;
+  p.quadtree_leaf_capacity = 30;
+  p.top_k_tiles = 8;
+  return p;
+}
+
+CityProfile CityProfile::WeeplacesCalifornia() {
+  CityProfile p;
+  p.name = "Weeplaces(California-sim)";
+  // ~4 x 4 degrees, about 1000x the urban coverage (paper: 423,967 km^2).
+  p.bbox = {34.0, -122.0, 38.0, -118.0};
+  p.num_districts = 9;
+  p.district_radius_frac = 0.035;
+  p.seed = 1003;
+  p.num_users = 52;
+  p.num_pois = 1500;
+  p.num_categories = 40;
+  p.checkins_per_user = 130;
+  p.p_repeat = 0.35;
+  p.p_nearby = 0.45;  // state-scale users roam within metro areas
+  p.nearby_radius_frac = 0.03;
+  p.quadtree_max_depth = 9;
+  p.quadtree_leaf_capacity = 40;
+  p.top_k_tiles = 6;
+  return p;
+}
+
+CityProfile CityProfile::WeeplacesFlorida() {
+  CityProfile p;
+  p.name = "Weeplaces(Florida-sim)";
+  // ~3 x 3 degrees with an eastern coastline (paper: 139,670 km^2).
+  p.bbox = {26.0, -82.5, 29.0, -79.5};
+  p.coastal = true;
+  p.num_districts = 8;
+  p.district_radius_frac = 0.04;
+  p.seed = 1004;
+  p.num_users = 40;
+  p.num_pois = 900;
+  p.num_categories = 34;
+  p.checkins_per_user = 110;
+  p.p_repeat = 0.35;
+  p.p_nearby = 0.45;
+  p.nearby_radius_frac = 0.03;
+  p.quadtree_max_depth = 8;
+  p.quadtree_leaf_capacity = 30;
+  p.top_k_tiles = 6;
+  return p;
+}
+
+CityProfile CityProfile::TestTiny() {
+  CityProfile p;
+  p.name = "TestTiny";
+  p.bbox = {0.0, 0.0, 0.2, 0.2};
+  p.num_districts = 4;
+  p.district_radius_frac = 0.12;
+  p.seed = 7;
+  p.num_users = 8;
+  p.num_pois = 120;
+  p.num_categories = 8;
+  p.checkins_per_user = 60;
+  p.quadtree_max_depth = 6;
+  p.quadtree_leaf_capacity = 12;
+  p.top_k_tiles = 5;
+  return p;
+}
+
+}  // namespace tspn::data

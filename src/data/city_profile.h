@@ -1,0 +1,65 @@
+#ifndef TSPN_DATA_CITY_PROFILE_H_
+#define TSPN_DATA_CITY_PROFILE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "geo/geometry.h"
+
+namespace tspn::data {
+
+/// Knobs describing a synthetic city + check-in workload. The four presets
+/// mirror the spatial/sparsity contrast of the paper's Table I datasets at a
+/// CPU-friendly scale: two dense urban regions (TKY/NYC analogues) and two
+/// sparse state-wide regions (California/Florida analogues, the latter with
+/// an eastern coastline). Sizes scale linearly with `scale` (TSPN_BENCH_SCALE).
+struct CityProfile {
+  std::string name;
+  geo::BoundingBox bbox;
+  bool coastal = false;
+
+  // World synthesis.
+  int32_t num_districts = 10;
+  double district_radius_frac = 0.08;  ///< district radius as fraction of bbox span
+  uint64_t seed = 1;
+
+  // Workload.
+  int64_t num_users = 40;
+  int64_t num_pois = 1000;
+  int32_t num_categories = 30;
+  int64_t checkins_per_user = 120;
+
+  // Behavioural mix (must sum to <= 1; remainder = exploration).
+  double p_repeat = 0.50;   ///< revisit a frequent POI
+  double p_nearby = 0.35;   ///< move to a POI near the current one
+  double nearby_radius_frac = 0.06;  ///< of bbox span
+
+  // Trajectory windowing (the paper's delta-t = 72 h).
+  int64_t window_gap_hours = 72;
+
+  // Quad-tree / prediction parameters (D, Omega, K of Sec. VI-A).
+  int32_t quadtree_max_depth = 8;
+  int64_t quadtree_leaf_capacity = 40;
+  int32_t top_k_tiles = 10;
+
+  /// Multiplies user/POI/check-in counts (>=1).
+  CityProfile Scaled(int64_t scale) const;
+
+  // --- Presets ---------------------------------------------------------------
+
+  /// Dense urban profile analogous to Foursquare Tokyo (largest workload).
+  static CityProfile FoursquareTky();
+  /// Dense urban profile analogous to Foursquare New York.
+  static CityProfile FoursquareNyc();
+  /// Sparse state-wide profile analogous to Weeplaces California.
+  static CityProfile WeeplacesCalifornia();
+  /// Sparse coastal state profile analogous to Weeplaces Florida.
+  static CityProfile WeeplacesFlorida();
+
+  /// Tiny profile for unit tests (seconds to build and train on).
+  static CityProfile TestTiny();
+};
+
+}  // namespace tspn::data
+
+#endif  // TSPN_DATA_CITY_PROFILE_H_

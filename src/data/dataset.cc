@@ -1,0 +1,120 @@
+#include "data/dataset.h"
+
+#include "common/check.h"
+
+namespace tspn::data {
+
+CityDataset::CityDataset(CityProfile profile, World world)
+    : profile_(std::move(profile)), world_(std::move(world)) {}
+
+std::shared_ptr<CityDataset> CityDataset::Generate(const CityProfile& profile) {
+  World world = BuildWorld(profile);
+  auto dataset = std::shared_ptr<CityDataset>(
+      new CityDataset(profile, std::move(world)));
+
+  // Quad-tree over every POI location (Sec. II-A: Q manages all POIs).
+  std::vector<geo::GeoPoint> points;
+  points.reserve(dataset->world_.pois.size());
+  for (const Poi& p : dataset->world_.pois) points.push_back(p.loc);
+  dataset->quadtree_ = std::make_unique<spatial::QuadTree>(spatial::QuadTree::Build(
+      profile.bbox, points,
+      {.max_depth = profile.quadtree_max_depth,
+       .leaf_capacity = profile.quadtree_leaf_capacity}));
+  dataset->leaf_adjacency_ = std::make_unique<roadnet::TileAdjacency>(
+      roadnet::TileAdjacency::Build(dataset->world_.roads, *dataset->quadtree_));
+
+  // User streams -> windowed trajectories. Split tags are assigned globally
+  // over the whole trajectory dataset (paper Sec. VI-A: "randomly select 80%
+  // of the trajectory dataset").
+  std::vector<UserStream> streams = SimulateUsers(profile, dataset->world_);
+  dataset->users_.reserve(streams.size());
+  int64_t total_trajectories = 0;
+  for (UserStream& stream : streams) {
+    UserData user;
+    user.profile = std::move(stream.profile);
+    user.trajectories =
+        SplitIntoTrajectories(stream.checkins, profile.window_gap_hours);
+    total_trajectories += static_cast<int64_t>(user.trajectories.size());
+    dataset->users_.push_back(std::move(user));
+  }
+  common::Rng split_rng(profile.seed ^ 0x5EED5EEDULL);
+  std::vector<Split> global_splits = AssignSplits(total_trajectories, split_rng);
+  size_t cursor = 0;
+  for (UserData& user : dataset->users_) {
+    user.splits.assign(global_splits.begin() + static_cast<int64_t>(cursor),
+                       global_splits.begin() + static_cast<int64_t>(cursor) +
+                           static_cast<int64_t>(user.trajectories.size()));
+    cursor += user.trajectories.size();
+  }
+  return dataset;
+}
+
+const Poi& CityDataset::poi(int64_t id) const {
+  TSPN_CHECK_GE(id, 0);
+  TSPN_CHECK_LT(id, static_cast<int64_t>(world_.pois.size()));
+  return world_.pois[static_cast<size_t>(id)];
+}
+
+int32_t CityDataset::LeafNodeOfPoi(int64_t poi_id) const {
+  return quadtree_->LeafOfPoint(poi_id);
+}
+
+std::vector<SampleRef> CityDataset::Samples(Split split) const {
+  std::vector<SampleRef> samples;
+  for (size_t u = 0; u < users_.size(); ++u) {
+    const UserData& user = users_[u];
+    for (size_t t = 0; t < user.trajectories.size(); ++t) {
+      if (user.splits[t] != split) continue;
+      int64_t len = user.trajectories[t].size();
+      for (int64_t j = 1; j < len; ++j) {
+        samples.push_back(SampleRef{static_cast<int32_t>(u), static_cast<int32_t>(t),
+                                    static_cast<int32_t>(j)});
+      }
+    }
+  }
+  return samples;
+}
+
+const Trajectory& CityDataset::trajectory(const SampleRef& s) const {
+  TSPN_CHECK_LT(static_cast<size_t>(s.user), users_.size());
+  const UserData& user = users_[static_cast<size_t>(s.user)];
+  TSPN_CHECK_LT(static_cast<size_t>(s.traj), user.trajectories.size());
+  return user.trajectories[static_cast<size_t>(s.traj)];
+}
+
+const Checkin& CityDataset::Target(const SampleRef& s) const {
+  const Trajectory& traj = trajectory(s);
+  TSPN_CHECK_LT(s.prefix_len, traj.size());
+  return traj.checkins[static_cast<size_t>(s.prefix_len)];
+}
+
+std::vector<int64_t> CityDataset::HistoryPoiIds(int32_t user, int32_t traj) const {
+  TSPN_CHECK_LT(static_cast<size_t>(user), users_.size());
+  const UserData& data = users_[static_cast<size_t>(user)];
+  std::vector<int64_t> ids;
+  int32_t limit = std::min<int32_t>(traj, static_cast<int32_t>(data.trajectories.size()));
+  for (int32_t t = 0; t < limit; ++t) {
+    for (const Checkin& c : data.trajectories[static_cast<size_t>(t)].checkins) {
+      ids.push_back(c.poi_id);
+    }
+  }
+  return ids;
+}
+
+int64_t CityDataset::TotalCheckins() const {
+  int64_t total = 0;
+  for (const UserData& user : users_) {
+    for (const Trajectory& t : user.trajectories) total += t.size();
+  }
+  return total;
+}
+
+int64_t CityDataset::NumTrajectories() const {
+  int64_t total = 0;
+  for (const UserData& user : users_) {
+    total += static_cast<int64_t>(user.trajectories.size());
+  }
+  return total;
+}
+
+}  // namespace tspn::data

@@ -1,0 +1,78 @@
+#ifndef TSPN_DATA_DATASET_H_
+#define TSPN_DATA_DATASET_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "data/checkin_generator.h"
+#include "data/city_profile.h"
+#include "data/poi.h"
+#include "data/trajectory.h"
+#include "data/user_model.h"
+#include "roadnet/tile_adjacency.h"
+#include "spatial/quadtree.h"
+
+namespace tspn::data {
+
+/// A fully generated city + workload, ready for model training/evaluation:
+/// world (land use, roads, POIs), per-user trajectories with 80/10/10 split
+/// tags, the region quad-tree over all POIs (D / Omega from the profile) and
+/// the road-induced adjacency between its leaf tiles.
+class CityDataset {
+ public:
+  struct UserData {
+    UserProfile profile;
+    std::vector<Trajectory> trajectories;
+    std::vector<Split> splits;  // one tag per trajectory
+  };
+
+  /// Generates everything deterministically from the profile.
+  static std::shared_ptr<CityDataset> Generate(const CityProfile& profile);
+
+  const CityProfile& profile() const { return profile_; }
+  const rs::CityLayout& layout() const { return world_.layout; }
+  const roadnet::RoadNetwork& roads() const { return world_.roads; }
+  const std::vector<CategoryInfo>& categories() const { return world_.categories; }
+  const std::vector<Poi>& pois() const { return world_.pois; }
+  const Poi& poi(int64_t id) const;
+  const std::vector<UserData>& users() const { return users_; }
+
+  const spatial::QuadTree& quadtree() const { return *quadtree_; }
+  const roadnet::TileAdjacency& leaf_adjacency() const { return *leaf_adjacency_; }
+
+  /// Quad-tree leaf node id containing the given POI.
+  int32_t LeafNodeOfPoi(int64_t poi_id) const;
+
+  // --- Samples ---------------------------------------------------------------
+
+  /// All prediction instances in the given split: every position >= 1 of
+  /// every tagged trajectory with at least two check-ins.
+  std::vector<SampleRef> Samples(Split split) const;
+
+  const Trajectory& trajectory(const SampleRef& s) const;
+  const Checkin& Target(const SampleRef& s) const;
+
+  /// POI ids of all check-ins in the user's trajectories strictly before
+  /// `traj` (the historical trajectories S_<i feeding the QR-P graph).
+  std::vector<int64_t> HistoryPoiIds(int32_t user, int32_t traj) const;
+
+  // --- Statistics (Table I) ----------------------------------------------------
+
+  int64_t TotalCheckins() const;
+  int64_t NumTrajectories() const;
+  double CoverageKm2() const { return profile_.bbox.AreaKm2(); }
+
+ private:
+  CityDataset(CityProfile profile, World world);
+
+  CityProfile profile_;
+  World world_;
+  std::vector<UserData> users_;
+  std::unique_ptr<spatial::QuadTree> quadtree_;
+  std::unique_ptr<roadnet::TileAdjacency> leaf_adjacency_;
+};
+
+}  // namespace tspn::data
+
+#endif  // TSPN_DATA_DATASET_H_

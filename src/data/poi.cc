@@ -1,0 +1,19 @@
+#include "data/poi.h"
+
+namespace tspn::data {
+
+int64_t TimeSlotOf(int64_t timestamp) {
+  int64_t seconds_of_day = ((timestamp % kSecondsPerDay) + kSecondsPerDay) %
+                           kSecondsPerDay;
+  return seconds_of_day / 1800;
+}
+
+DayPart DayPartOf(int64_t timestamp) {
+  int64_t hour = TimeSlotOf(timestamp) / 2;
+  if (hour >= 6 && hour < 11) return DayPart::kMorning;
+  if (hour >= 11 && hour < 17) return DayPart::kMidday;
+  if (hour >= 17 && hour < 23) return DayPart::kEvening;
+  return DayPart::kNight;
+}
+
+}  // namespace tspn::data

@@ -1,0 +1,60 @@
+#ifndef TSPN_DATA_POI_H_
+#define TSPN_DATA_POI_H_
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "geo/geometry.h"
+#include "rs/land_use.h"
+
+namespace tspn::data {
+
+/// Half-hour slots per day, as in the paper's temporal encoder (Sec. IV-A).
+constexpr int64_t kTimeSlotsPerDay = 48;
+constexpr int64_t kSecondsPerDay = 86400;
+
+/// Day-part buckets used by category/user temporal preferences.
+enum class DayPart : uint8_t { kMorning = 0, kMidday, kEvening, kNight };
+constexpr int kNumDayParts = 4;
+
+/// Time-of-day slot in [0, 48) of a unix-style timestamp (seconds).
+int64_t TimeSlotOf(int64_t timestamp);
+
+/// Day-part of a timestamp: morning 06-11, midday 11-17, evening 17-23,
+/// night 23-06.
+DayPart DayPartOf(int64_t timestamp);
+
+/// A point of interest: (id, loc, cate) per Sec. II-A.
+struct Poi {
+  int64_t id = 0;
+  geo::GeoPoint loc;
+  int32_t category = 0;
+  /// Zipf-style popularity weight used by the check-in simulator.
+  double popularity = 1.0;
+};
+
+/// Semantic description of a POI category: which land use it is native to
+/// and when during the day it attracts visits. The land-use affinity is what
+/// couples categories to satellite imagery appearance.
+struct CategoryInfo {
+  rs::LandUse affinity = rs::LandUse::kCommercial;
+  std::array<double, kNumDayParts> time_weights = {1.0, 1.0, 1.0, 1.0};
+};
+
+/// One check-in record (POI visit at a timestamp).
+struct Checkin {
+  int64_t poi_id = 0;
+  int64_t timestamp = 0;
+};
+
+/// A trajectory: check-ins within one time window (Sec. II-A), time-ordered.
+struct Trajectory {
+  std::vector<Checkin> checkins;
+
+  int64_t size() const { return static_cast<int64_t>(checkins.size()); }
+};
+
+}  // namespace tspn::data
+
+#endif  // TSPN_DATA_POI_H_

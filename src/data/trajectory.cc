@@ -1,0 +1,52 @@
+#include "data/trajectory.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace tspn::data {
+
+std::vector<Trajectory> SplitIntoTrajectories(const std::vector<Checkin>& checkins,
+                                              int64_t gap_hours) {
+  TSPN_CHECK_GT(gap_hours, 0);
+  const int64_t gap_seconds = gap_hours * 3600;
+  std::vector<Trajectory> trajectories;
+  Trajectory current;
+  for (const Checkin& c : checkins) {
+    if (!current.checkins.empty()) {
+      int64_t previous = current.checkins.back().timestamp;
+      TSPN_CHECK_GE(c.timestamp, previous) << "check-ins must be time-ordered";
+      if (c.timestamp - previous >= gap_seconds) {
+        trajectories.push_back(std::move(current));
+        current = Trajectory{};
+      }
+    }
+    current.checkins.push_back(c);
+  }
+  if (!current.checkins.empty()) trajectories.push_back(std::move(current));
+  return trajectories;
+}
+
+std::vector<Split> AssignSplits(int64_t count, common::Rng& rng) {
+  std::vector<Split> splits(static_cast<size_t>(count), Split::kTrain);
+  // Deterministic shuffled assignment of 80/10/10.
+  std::vector<int64_t> order(static_cast<size_t>(count));
+  for (int64_t i = 0; i < count; ++i) order[static_cast<size_t>(i)] = i;
+  rng.Shuffle(order);
+  // 80/10/10, with at least one val/test trajectory once there are >= 3.
+  int64_t val_count = count / 10;
+  int64_t test_count = count / 10;
+  if (count >= 3) {
+    val_count = std::max<int64_t>(val_count, 1);
+    test_count = std::max<int64_t>(test_count, 1);
+  }
+  for (int64_t i = 0; i < val_count; ++i) {
+    splits[static_cast<size_t>(order[static_cast<size_t>(i)])] = Split::kVal;
+  }
+  for (int64_t i = val_count; i < val_count + test_count; ++i) {
+    splits[static_cast<size_t>(order[static_cast<size_t>(i)])] = Split::kTest;
+  }
+  return splits;
+}
+
+}  // namespace tspn::data

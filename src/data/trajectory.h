@@ -1,0 +1,34 @@
+#ifndef TSPN_DATA_TRAJECTORY_H_
+#define TSPN_DATA_TRAJECTORY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "data/poi.h"
+
+namespace tspn::data {
+
+/// Splits a time-ordered check-in stream into disjoint trajectories: a new
+/// window starts whenever the gap to the previous check-in is at least
+/// `gap_hours` (the paper's delta-t = 72 h rule, Sec. II-A).
+std::vector<Trajectory> SplitIntoTrajectories(const std::vector<Checkin>& checkins,
+                                              int64_t gap_hours);
+
+/// Dataset split tags.
+enum class Split : uint8_t { kTrain = 0, kVal = 1, kTest = 2 };
+
+/// Randomly tags `count` trajectories 80/10/10 (paper Sec. VI-A).
+std::vector<Split> AssignSplits(int64_t count, common::Rng& rng);
+
+/// A prediction instance: within trajectory `traj` of user `user`, the
+/// prefix [0, prefix_len) is observed and checkins[prefix_len] is the target.
+struct SampleRef {
+  int32_t user = 0;
+  int32_t traj = 0;
+  int32_t prefix_len = 0;
+};
+
+}  // namespace tspn::data
+
+#endif  // TSPN_DATA_TRAJECTORY_H_

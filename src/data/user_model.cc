@@ -1,0 +1,62 @@
+#include "data/user_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace tspn::data {
+
+double UserProfile::CategoryTimeWeight(const std::vector<CategoryInfo>& categories,
+                                       int32_t cat, int64_t timestamp) const {
+  TSPN_CHECK_GE(cat, 0);
+  TSPN_CHECK_LT(static_cast<size_t>(cat), categories.size());
+  DayPart part = DayPartOf(timestamp);
+  double diurnal = categories[static_cast<size_t>(cat)]
+                       .time_weights[static_cast<size_t>(part)];
+  double taste = category_affinity.empty()
+                     ? 1.0
+                     : category_affinity[static_cast<size_t>(cat)];
+  return diurnal * taste;
+}
+
+UserProfile SampleUserProfile(int64_t user_id, int64_t num_categories,
+                              const std::vector<double>& district_weights,
+                              const std::vector<Poi>& pois,
+                              const std::vector<geo::GeoPoint>& district_centers,
+                              double home_radius_deg, int64_t frequent_count,
+                              common::Rng& rng) {
+  TSPN_CHECK(!pois.empty());
+  TSPN_CHECK_EQ(district_weights.size(), district_centers.size());
+  UserProfile profile;
+  profile.user_id = user_id;
+  profile.home_district = static_cast<int32_t>(rng.Categorical(district_weights));
+
+  // Per-category taste: mostly mild, a few strong favourites.
+  profile.category_affinity.resize(static_cast<size_t>(num_categories));
+  for (double& a : profile.category_affinity) {
+    double u = rng.Uniform();
+    a = 0.3 + 2.0 * u * u;
+  }
+
+  // Frequent-POI set: popularity-weighted, strongly biased towards home.
+  const geo::GeoPoint& home =
+      district_centers[static_cast<size_t>(profile.home_district)];
+  std::vector<double> weights(pois.size());
+  for (size_t i = 0; i < pois.size(); ++i) {
+    double d = std::hypot(pois[i].loc.lat - home.lat, pois[i].loc.lon - home.lon);
+    double locality = d < home_radius_deg ? 6.0 : (d < 2.0 * home_radius_deg ? 2.0 : 0.3);
+    double taste = profile.category_affinity[static_cast<size_t>(pois[i].category)];
+    weights[i] = pois[i].popularity * locality * taste;
+  }
+  std::vector<double> draw = weights;
+  int64_t count = std::min<int64_t>(frequent_count, static_cast<int64_t>(pois.size()));
+  for (int64_t k = 0; k < count; ++k) {
+    int64_t pick = rng.Categorical(draw);
+    profile.frequent_pois.push_back(pois[static_cast<size_t>(pick)].id);
+    draw[static_cast<size_t>(pick)] = 0.0;  // without replacement
+  }
+  return profile;
+}
+
+}  // namespace tspn::data

@@ -1,0 +1,41 @@
+#ifndef TSPN_DATA_USER_MODEL_H_
+#define TSPN_DATA_USER_MODEL_H_
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "data/poi.h"
+
+namespace tspn::data {
+
+/// Latent behavioural profile of a simulated user. These latents create the
+/// regularities next-POI models exploit: a frequent-POI set (repeat visits /
+/// periodicity), a home district (spatial locality), and per-category tastes
+/// modulated by time of day (semantic intent).
+struct UserProfile {
+  int64_t user_id = 0;
+  int32_t home_district = 0;
+  std::vector<int64_t> frequent_pois;
+  std::vector<double> category_affinity;  // one multiplier per category
+
+  /// Preference weight of visiting category `cat` at `timestamp`, combining
+  /// the user's taste with the category's diurnal profile.
+  double CategoryTimeWeight(const std::vector<CategoryInfo>& categories,
+                            int32_t cat, int64_t timestamp) const;
+};
+
+/// Samples a user profile. `district_weights` biases the home-district draw
+/// (residential districts should dominate), `poi_home_weight` multiplies the
+/// frequent-POI draw for POIs near home.
+UserProfile SampleUserProfile(int64_t user_id, int64_t num_categories,
+                              const std::vector<double>& district_weights,
+                              const std::vector<Poi>& pois,
+                              const std::vector<geo::GeoPoint>& district_centers,
+                              double home_radius_deg, int64_t frequent_count,
+                              common::Rng& rng);
+
+}  // namespace tspn::data
+
+#endif  // TSPN_DATA_USER_MODEL_H_

@@ -1,0 +1,56 @@
+#include "eval/efficiency.h"
+
+#include <cstdio>
+
+#include "common/stopwatch.h"
+#include "eval/metrics.h"
+#include "nn/tensor.h"
+
+namespace tspn::eval {
+
+EfficiencyReport MeasureEfficiency(
+    const std::function<std::unique_ptr<NextPoiModel>()>& factory,
+    const data::CityDataset& dataset, const TrainOptions& options,
+    int64_t eval_samples, uint64_t seed) {
+  EfficiencyReport report;
+  std::unique_ptr<NextPoiModel> model = factory();
+  report.model_name = model->name();
+
+  nn::ResetMemoryStats();
+  common::Stopwatch train_watch;
+  model->Train(options);
+  report.train_seconds = train_watch.ElapsedSeconds();
+  report.peak_train_bytes = nn::PeakTensorBytes();
+
+  common::Stopwatch infer_watch;
+  RankingMetrics metrics =
+      EvaluateModel(*model, dataset, data::Split::kTest, eval_samples, seed);
+  report.infer_seconds = infer_watch.ElapsedSeconds();
+  report.eval_samples = metrics.count();
+  return report;
+}
+
+std::string FormatBytes(int64_t bytes) {
+  char buffer[64];
+  if (bytes >= (1 << 20)) {
+    std::snprintf(buffer, sizeof(buffer), "%.1f MB",
+                  static_cast<double>(bytes) / (1 << 20));
+  } else if (bytes >= (1 << 10)) {
+    std::snprintf(buffer, sizeof(buffer), "%.1f KB",
+                  static_cast<double>(bytes) / (1 << 10));
+  } else {
+    std::snprintf(buffer, sizeof(buffer), "%lld B", static_cast<long long>(bytes));
+  }
+  return buffer;
+}
+
+std::string FormatMinSec(double seconds) {
+  int64_t total = static_cast<int64_t>(seconds + 0.5);
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%02lld:%02lld",
+                static_cast<long long>(total / 60),
+                static_cast<long long>(total % 60));
+  return buffer;
+}
+
+}  // namespace tspn::eval

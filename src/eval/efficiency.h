@@ -1,0 +1,40 @@
+#ifndef TSPN_EVAL_EFFICIENCY_H_
+#define TSPN_EVAL_EFFICIENCY_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "data/dataset.h"
+#include "eval/model_api.h"
+
+namespace tspn::eval {
+
+/// Cost measurements for Table V: training wall time, inference wall time
+/// over the test split, and peak live tensor bytes during training (the
+/// CPU analogue of the paper's GPU memory column).
+struct EfficiencyReport {
+  std::string model_name;
+  double train_seconds = 0.0;
+  double infer_seconds = 0.0;
+  int64_t peak_train_bytes = 0;
+  int64_t eval_samples = 0;
+};
+
+/// Trains and evaluates a freshly built model under instrumentation.
+/// `factory` must create an untrained model bound to `dataset`.
+EfficiencyReport MeasureEfficiency(
+    const std::function<std::unique_ptr<NextPoiModel>()>& factory,
+    const data::CityDataset& dataset, const TrainOptions& options,
+    int64_t eval_samples, uint64_t seed);
+
+/// Renders bytes as a human-friendly "12.3 MB" string.
+std::string FormatBytes(int64_t bytes);
+
+/// Renders seconds as "mm:ss" like the paper's Table V.
+std::string FormatMinSec(double seconds);
+
+}  // namespace tspn::eval
+
+#endif  // TSPN_EVAL_EFFICIENCY_H_

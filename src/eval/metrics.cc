@@ -1,0 +1,81 @@
+#include "eval/metrics.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace tspn::eval {
+
+namespace {
+constexpr int kCutoffs[3] = {5, 10, 20};
+}  // namespace
+
+int RankingMetrics::KIndex(int k) {
+  for (int i = 0; i < 3; ++i) {
+    if (kCutoffs[i] == k) return i;
+  }
+  TSPN_CHECK(false) << "unsupported cutoff " << k;
+  return -1;
+}
+
+void RankingMetrics::Add(const std::vector<int64_t>& ranked, int64_t target) {
+  ++count_;
+  int64_t position = -1;  // 1-based rank
+  for (size_t i = 0; i < ranked.size(); ++i) {
+    if (ranked[i] == target) {
+      position = static_cast<int64_t>(i) + 1;
+      break;
+    }
+  }
+  if (position < 0) return;  // miss: contributes zero
+  for (int i = 0; i < 3; ++i) {
+    if (position <= kCutoffs[i]) {
+      hits_[i] += 1.0;
+      // Single relevant item: DCG = 1/log2(1+pos), IDCG = 1.
+      ndcg_[i] += 1.0 / std::log2(static_cast<double>(position) + 1.0);
+    }
+  }
+  mrr_sum_ += 1.0 / static_cast<double>(position);
+}
+
+double RankingMetrics::RecallAt(int k) const {
+  return count_ == 0 ? 0.0 : hits_[KIndex(k)] / static_cast<double>(count_);
+}
+
+double RankingMetrics::NdcgAt(int k) const {
+  return count_ == 0 ? 0.0 : ndcg_[KIndex(k)] / static_cast<double>(count_);
+}
+
+double RankingMetrics::Mrr() const {
+  return count_ == 0 ? 0.0 : mrr_sum_ / static_cast<double>(count_);
+}
+
+void RankingMetrics::Merge(const RankingMetrics& other) {
+  count_ += other.count_;
+  for (int i = 0; i < 3; ++i) {
+    hits_[i] += other.hits_[i];
+    ndcg_[i] += other.ndcg_[i];
+  }
+  mrr_sum_ += other.mrr_sum_;
+}
+
+RankingMetrics EvaluateModel(const NextPoiModel& model,
+                             const data::CityDataset& dataset, data::Split split,
+                             int64_t max_samples, uint64_t seed,
+                             int64_t list_length) {
+  std::vector<data::SampleRef> samples = dataset.Samples(split);
+  if (max_samples > 0 && static_cast<int64_t>(samples.size()) > max_samples) {
+    common::Rng rng(seed);
+    rng.Shuffle(samples);
+    samples.resize(static_cast<size_t>(max_samples));
+  }
+  RankingMetrics metrics;
+  for (const data::SampleRef& sample : samples) {
+    std::vector<int64_t> ranked = model.Recommend(sample, list_length);
+    metrics.Add(ranked, dataset.Target(sample).poi_id);
+  }
+  return metrics;
+}
+
+}  // namespace tspn::eval

@@ -1,0 +1,47 @@
+#ifndef TSPN_EVAL_METRICS_H_
+#define TSPN_EVAL_METRICS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/dataset.h"
+#include "eval/model_api.h"
+
+namespace tspn::eval {
+
+/// Accumulates Recall@K, NDCG@K (K in {5,10,20}) and MRR over ranked lists,
+/// matching the paper's evaluation metrics (Sec. VI-A). A target missing from
+/// the list contributes zero everywhere (index = |R_P| + 1 convention).
+class RankingMetrics {
+ public:
+  /// Records one prediction: `ranked` is the model's list (best first).
+  void Add(const std::vector<int64_t>& ranked, int64_t target);
+
+  int64_t count() const { return count_; }
+  double RecallAt(int k) const;  ///< k in {5, 10, 20}
+  double NdcgAt(int k) const;    ///< k in {5, 10, 20}
+  double Mrr() const;
+
+  /// Merges another accumulator into this one.
+  void Merge(const RankingMetrics& other);
+
+ private:
+  static int KIndex(int k);
+  int64_t count_ = 0;
+  double hits_[3] = {0, 0, 0};
+  double ndcg_[3] = {0, 0, 0};
+  double mrr_sum_ = 0;
+};
+
+/// Evaluates a trained model on the given split. `max_samples` caps the
+/// number of evaluation points (<=0 = all), subsampled deterministically.
+/// Lists of length `list_length` are requested from the model (>= 20 so all
+/// metrics are computable).
+RankingMetrics EvaluateModel(const NextPoiModel& model,
+                             const data::CityDataset& dataset, data::Split split,
+                             int64_t max_samples, uint64_t seed,
+                             int64_t list_length = 50);
+
+}  // namespace tspn::eval
+
+#endif  // TSPN_EVAL_METRICS_H_

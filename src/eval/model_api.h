@@ -1,0 +1,43 @@
+#ifndef TSPN_EVAL_MODEL_API_H_
+#define TSPN_EVAL_MODEL_API_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "data/trajectory.h"
+
+namespace tspn::eval {
+
+/// Training hyper-parameters shared by all models.
+struct TrainOptions {
+  int32_t epochs = 4;
+  int32_t batch_size = 8;                  ///< paper default (Sec. VI-A)
+  float lr = 2e-3f;
+  float lr_decay = 0.95f;                  ///< multiplicative per epoch
+  int64_t max_samples_per_epoch = 600;     ///< subsample cap; <=0 = all
+  uint64_t seed = 1;
+  bool verbose = false;
+};
+
+/// Common interface for TSPN-RA and every baseline: train on the dataset's
+/// train split, then produce a ranked list of POI ids for a prediction
+/// instance. Models receive the dataset at construction.
+class NextPoiModel {
+ public:
+  virtual ~NextPoiModel() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Trains on the dataset's kTrain samples.
+  virtual void Train(const TrainOptions& options) = 0;
+
+  /// Ranked POI ids (best first), at most `top_n` entries.
+  virtual std::vector<int64_t> Recommend(const data::SampleRef& sample,
+                                         int64_t top_n) const = 0;
+};
+
+}  // namespace tspn::eval
+
+#endif  // TSPN_EVAL_MODEL_API_H_

@@ -1,0 +1,193 @@
+#include "nn/conv.h"
+
+#include <algorithm>
+#include <functional>
+#include <vector>
+
+#include "common/check.h"
+
+namespace tspn::nn {
+
+namespace {
+
+using internal::TensorNode;
+
+Tensor MakeConvOp(Shape shape, std::vector<float> data, std::vector<Tensor> parents,
+                  std::function<void(TensorNode&)> backward, const char* op) {
+  bool track = NoGradGuard::GradEnabled();
+  bool any_requires = false;
+  if (track) {
+    for (const Tensor& p : parents) {
+      if (p.defined() && p.requires_grad()) {
+        any_requires = true;
+        break;
+      }
+    }
+  }
+  Tensor out = Tensor::FromVector(shape, std::move(data), track && any_requires);
+  if (track && any_requires) {
+    TensorNode* node = out.node().get();
+    for (const Tensor& p : parents) {
+      if (p.defined()) node->parents.push_back(p.node());
+    }
+    node->backward = std::move(backward);
+    node->op = op;
+  }
+  return out;
+}
+
+}  // namespace
+
+Tensor Conv2d(const Tensor& input, const Tensor& weight, const Tensor& bias, int stride,
+              int padding) {
+  TSPN_CHECK_EQ(input.rank(), 4);
+  TSPN_CHECK_EQ(weight.rank(), 4);
+  TSPN_CHECK_GE(stride, 1);
+  TSPN_CHECK_GE(padding, 0);
+  const int64_t n = input.dim(0), ic = input.dim(1), h = input.dim(2), w = input.dim(3);
+  const int64_t oc = weight.dim(0), kh = weight.dim(2), kw = weight.dim(3);
+  TSPN_CHECK_EQ(weight.dim(1), ic);
+  const bool has_bias = bias.defined();
+  if (has_bias) {
+    TSPN_CHECK_EQ(bias.numel(), oc);
+  }
+  const int64_t oh = (h + 2 * padding - kh) / stride + 1;
+  const int64_t ow = (w + 2 * padding - kw) / stride + 1;
+  TSPN_CHECK_GT(oh, 0);
+  TSPN_CHECK_GT(ow, 0);
+
+  std::vector<float> out(static_cast<size_t>(n * oc * oh * ow), 0.0f);
+  const float* px = input.data();
+  const float* pw = weight.data();
+  const float* pb = has_bias ? bias.data() : nullptr;
+
+  for (int64_t b = 0; b < n; ++b) {
+    for (int64_t o = 0; o < oc; ++o) {
+      float bias_val = has_bias ? pb[o] : 0.0f;
+      for (int64_t oy = 0; oy < oh; ++oy) {
+        for (int64_t ox = 0; ox < ow; ++ox) {
+          float acc = bias_val;
+          const int64_t iy0 = oy * stride - padding;
+          const int64_t ix0 = ox * stride - padding;
+          for (int64_t c = 0; c < ic; ++c) {
+            const float* xplane = px + ((b * ic + c) * h) * w;
+            const float* wplane = pw + ((o * ic + c) * kh) * kw;
+            for (int64_t ky = 0; ky < kh; ++ky) {
+              const int64_t iy = iy0 + ky;
+              if (iy < 0 || iy >= h) continue;
+              for (int64_t kx = 0; kx < kw; ++kx) {
+                const int64_t ix = ix0 + kx;
+                if (ix < 0 || ix >= w) continue;
+                acc += xplane[iy * w + ix] * wplane[ky * kw + kx];
+              }
+            }
+          }
+          out[static_cast<size_t>(((b * oc + o) * oh + oy) * ow + ox)] = acc;
+        }
+      }
+    }
+  }
+
+  auto backward = [n, ic, h, w, oc, kh, kw, oh, ow, stride, padding,
+                   has_bias](TensorNode& node) {
+    const auto& x_node = node.parents[0];
+    const auto& w_node = node.parents[1];
+    TensorNode* b_node = has_bias ? node.parents[2].get() : nullptr;
+    const float* g = node.grad.data();
+    const float* xv = x_node->data.data();
+    const float* wv = w_node->data.data();
+    const bool need_x = x_node->requires_grad;
+    const bool need_w = w_node->requires_grad;
+    const bool need_b = b_node != nullptr && b_node->requires_grad;
+    if (need_x) x_node->EnsureGrad();
+    if (need_w) w_node->EnsureGrad();
+    if (need_b) b_node->EnsureGrad();
+    for (int64_t b = 0; b < n; ++b) {
+      for (int64_t o = 0; o < oc; ++o) {
+        for (int64_t oy = 0; oy < oh; ++oy) {
+          for (int64_t ox = 0; ox < ow; ++ox) {
+            float go = g[((b * oc + o) * oh + oy) * ow + ox];
+            if (go == 0.0f) continue;
+            if (need_b) b_node->grad[static_cast<size_t>(o)] += go;
+            const int64_t iy0 = oy * stride - padding;
+            const int64_t ix0 = ox * stride - padding;
+            for (int64_t c = 0; c < ic; ++c) {
+              const int64_t xbase = ((b * ic + c) * h) * w;
+              const int64_t wbase = ((o * ic + c) * kh) * kw;
+              for (int64_t ky = 0; ky < kh; ++ky) {
+                const int64_t iy = iy0 + ky;
+                if (iy < 0 || iy >= h) continue;
+                for (int64_t kx = 0; kx < kw; ++kx) {
+                  const int64_t ix = ix0 + kx;
+                  if (ix < 0 || ix >= w) continue;
+                  if (need_w) {
+                    w_node->grad[static_cast<size_t>(wbase + ky * kw + kx)] +=
+                        go * xv[xbase + iy * w + ix];
+                  }
+                  if (need_x) {
+                    x_node->grad[static_cast<size_t>(xbase + iy * w + ix)] +=
+                        go * wv[wbase + ky * kw + kx];
+                  }
+                }
+              }
+            }
+          }
+        }
+      }
+    }
+  };
+
+  std::vector<Tensor> parents = {input, weight};
+  if (has_bias) parents.push_back(bias);
+  return MakeConvOp({n, oc, oh, ow}, std::move(out), std::move(parents), backward,
+                    "conv2d");
+}
+
+Tensor MaxPool2x2(const Tensor& input) {
+  TSPN_CHECK_EQ(input.rank(), 4);
+  const int64_t n = input.dim(0), c = input.dim(1), h = input.dim(2), w = input.dim(3);
+  TSPN_CHECK_EQ(h % 2, 0);
+  TSPN_CHECK_EQ(w % 2, 0);
+  const int64_t oh = h / 2, ow = w / 2;
+  std::vector<float> out(static_cast<size_t>(n * c * oh * ow));
+  // argmax indices into the input, saved for backward. This is exactly the
+  // "3/4 redundant gradients" overhead the paper attributes to pooling: the
+  // pool layer must retain per-output bookkeeping plus a full-resolution
+  // gradient buffer upstream.
+  std::vector<int64_t> argmax(out.size());
+  const float* px = input.data();
+  for (int64_t b = 0; b < n; ++b) {
+    for (int64_t ch = 0; ch < c; ++ch) {
+      const int64_t base = ((b * c + ch) * h) * w;
+      for (int64_t oy = 0; oy < oh; ++oy) {
+        for (int64_t ox = 0; ox < ow; ++ox) {
+          int64_t best = base + (2 * oy) * w + 2 * ox;
+          float best_val = px[best];
+          const int64_t candidates[3] = {base + (2 * oy) * w + 2 * ox + 1,
+                                         base + (2 * oy + 1) * w + 2 * ox,
+                                         base + (2 * oy + 1) * w + 2 * ox + 1};
+          for (int64_t idx : candidates) {
+            if (px[idx] > best_val) {
+              best_val = px[idx];
+              best = idx;
+            }
+          }
+          size_t oidx = static_cast<size_t>(((b * c + ch) * oh + oy) * ow + ox);
+          out[oidx] = best_val;
+          argmax[oidx] = best;
+        }
+      }
+    }
+  }
+  auto backward = [argmax = std::move(argmax)](TensorNode& node) {
+    const auto& parent = node.parents[0];
+    if (!parent->requires_grad) return;
+    parent->EnsureGrad();
+    for (size_t i = 0; i < node.grad.size(); ++i) {
+      parent->grad[static_cast<size_t>(argmax[i])] += node.grad[i];
+    }
+  };
+  return MakeConvOp({n, c, oh, ow}, std::move(out), {input}, backward, "max_pool_2x2");
+}
+
+}  // namespace tspn::nn

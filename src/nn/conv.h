@@ -1,0 +1,22 @@
+#ifndef TSPN_NN_CONV_H_
+#define TSPN_NN_CONV_H_
+
+#include "nn/tensor.h"
+
+namespace tspn::nn {
+
+/// 2-D convolution on NCHW input.
+///   input  [N, IC, H, W]
+///   weight [OC, IC, KH, KW]
+///   bias   [OC] (pass an undefined Tensor for no bias)
+/// Output: [N, OC, OH, OW] with OH = (H + 2p - KH)/stride + 1.
+Tensor Conv2d(const Tensor& input, const Tensor& weight, const Tensor& bias,
+              int stride, int padding);
+
+/// 2x2 max pooling with stride 2 on NCHW input (used by the memory-ablation
+/// bench contrasting pooling with strided convolution, Sec. IV-A).
+Tensor MaxPool2x2(const Tensor& input);
+
+}  // namespace tspn::nn
+
+#endif  // TSPN_NN_CONV_H_

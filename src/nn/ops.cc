@@ -1,0 +1,799 @@
+#include "nn/ops.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <functional>
+
+#include "common/check.h"
+
+namespace tspn::nn {
+
+namespace {
+
+using internal::TensorNode;
+
+/// Creates an op-result tensor. If autograd is enabled and any parent
+/// requires grad, the node records its parents and backward closure.
+Tensor MakeOp(Shape shape, std::vector<float> data, std::vector<Tensor> parents,
+              std::function<void(TensorNode&)> backward, const char* op) {
+  bool track = NoGradGuard::GradEnabled();
+  bool any_requires = false;
+  if (track) {
+    for (const Tensor& p : parents) {
+      if (p.requires_grad()) {
+        any_requires = true;
+        break;
+      }
+    }
+  }
+  Tensor out = Tensor::FromVector(shape, std::move(data), track && any_requires);
+  if (track && any_requires) {
+    TensorNode* node = out.node().get();
+    node->parents.reserve(parents.size());
+    for (const Tensor& p : parents) node->parents.push_back(p.node());
+    node->backward = std::move(backward);
+    node->op = op;
+  }
+  return out;
+}
+
+/// Accumulates `value` into parent's grad at `index` if the parent wants it.
+inline void AccumulateInto(const std::shared_ptr<TensorNode>& parent, int64_t index,
+                           float value) {
+  if (!parent->requires_grad) return;
+  parent->EnsureGrad();
+  parent->grad[static_cast<size_t>(index)] += value;
+}
+
+// --- Broadcasting machinery -------------------------------------------------
+
+constexpr int kMaxRank = 4;
+
+struct BroadcastPlan {
+  Shape out_shape;
+  int64_t out_numel = 0;
+  int rank = 0;
+  int64_t out_dims[kMaxRank];
+  int64_t a_strides[kMaxRank];
+  int64_t b_strides[kMaxRank];
+};
+
+BroadcastPlan MakeBroadcastPlan(const Shape& a, const Shape& b) {
+  TSPN_CHECK_LE(a.size(), static_cast<size_t>(kMaxRank));
+  TSPN_CHECK_LE(b.size(), static_cast<size_t>(kMaxRank));
+  BroadcastPlan plan;
+  plan.rank = static_cast<int>(std::max(a.size(), b.size()));
+  // Right-align shapes.
+  int64_t a_dims[kMaxRank], b_dims[kMaxRank];
+  for (int i = 0; i < plan.rank; ++i) {
+    int ai = static_cast<int>(a.size()) - plan.rank + i;
+    int bi = static_cast<int>(b.size()) - plan.rank + i;
+    a_dims[i] = ai >= 0 ? a[static_cast<size_t>(ai)] : 1;
+    b_dims[i] = bi >= 0 ? b[static_cast<size_t>(bi)] : 1;
+    TSPN_CHECK(a_dims[i] == b_dims[i] || a_dims[i] == 1 || b_dims[i] == 1)
+        << "incompatible broadcast " << ShapeToString(a) << " vs " << ShapeToString(b);
+    plan.out_dims[i] = std::max(a_dims[i], b_dims[i]);
+  }
+  // Row-major strides with 0 on broadcast axes.
+  int64_t a_stride = 1, b_stride = 1;
+  for (int i = plan.rank - 1; i >= 0; --i) {
+    plan.a_strides[i] = (a_dims[i] == 1 && plan.out_dims[i] != 1) ? 0 : a_stride;
+    plan.b_strides[i] = (b_dims[i] == 1 && plan.out_dims[i] != 1) ? 0 : b_stride;
+    a_stride *= a_dims[i];
+    b_stride *= b_dims[i];
+  }
+  plan.out_shape.assign(plan.out_dims, plan.out_dims + plan.rank);
+  plan.out_numel = NumElements(plan.out_shape);
+  return plan;
+}
+
+/// Iterates the broadcast output space calling fn(out_index, a_index, b_index).
+template <typename Fn>
+void ForEachBroadcast(const BroadcastPlan& plan, Fn&& fn) {
+  int64_t counters[kMaxRank] = {0, 0, 0, 0};
+  int64_t ai = 0, bi = 0;
+  for (int64_t out = 0; out < plan.out_numel; ++out) {
+    fn(out, ai, bi);
+    for (int d = plan.rank - 1; d >= 0; --d) {
+      ++counters[d];
+      ai += plan.a_strides[d];
+      bi += plan.b_strides[d];
+      if (counters[d] < plan.out_dims[d]) break;
+      ai -= plan.a_strides[d] * plan.out_dims[d];
+      bi -= plan.b_strides[d] * plan.out_dims[d];
+      counters[d] = 0;
+    }
+  }
+}
+
+enum class BinaryKind { kAdd, kSub, kMul, kDiv };
+
+Tensor BroadcastBinary(const Tensor& a, const Tensor& b, BinaryKind kind,
+                       const char* name) {
+  BroadcastPlan plan = MakeBroadcastPlan(a.shape(), b.shape());
+  std::vector<float> out(static_cast<size_t>(plan.out_numel));
+  const float* pa = a.data();
+  const float* pb = b.data();
+  switch (kind) {
+    case BinaryKind::kAdd:
+      ForEachBroadcast(plan, [&](int64_t o, int64_t i, int64_t j) {
+        out[static_cast<size_t>(o)] = pa[i] + pb[j];
+      });
+      break;
+    case BinaryKind::kSub:
+      ForEachBroadcast(plan, [&](int64_t o, int64_t i, int64_t j) {
+        out[static_cast<size_t>(o)] = pa[i] - pb[j];
+      });
+      break;
+    case BinaryKind::kMul:
+      ForEachBroadcast(plan, [&](int64_t o, int64_t i, int64_t j) {
+        out[static_cast<size_t>(o)] = pa[i] * pb[j];
+      });
+      break;
+    case BinaryKind::kDiv:
+      ForEachBroadcast(plan, [&](int64_t o, int64_t i, int64_t j) {
+        out[static_cast<size_t>(o)] = pa[i] / pb[j];
+      });
+      break;
+  }
+  auto backward = [plan, kind](TensorNode& node) {
+    const auto& pa_node = node.parents[0];
+    const auto& pb_node = node.parents[1];
+    const float* g = node.grad.data();
+    const float* av = pa_node->data.data();
+    const float* bv = pb_node->data.data();
+    ForEachBroadcast(plan, [&](int64_t o, int64_t i, int64_t j) {
+      float go = g[o];
+      switch (kind) {
+        case BinaryKind::kAdd:
+          AccumulateInto(pa_node, i, go);
+          AccumulateInto(pb_node, j, go);
+          break;
+        case BinaryKind::kSub:
+          AccumulateInto(pa_node, i, go);
+          AccumulateInto(pb_node, j, -go);
+          break;
+        case BinaryKind::kMul:
+          AccumulateInto(pa_node, i, go * bv[j]);
+          AccumulateInto(pb_node, j, go * av[i]);
+          break;
+        case BinaryKind::kDiv:
+          AccumulateInto(pa_node, i, go / bv[j]);
+          AccumulateInto(pb_node, j, -go * av[i] / (bv[j] * bv[j]));
+          break;
+      }
+    });
+  };
+  return MakeOp(plan.out_shape, std::move(out), {a, b}, backward, name);
+}
+
+/// Unary op helper: fn computes value, dfn computes d(out)/d(in) given (x, y).
+Tensor UnaryOp(const Tensor& a, std::function<float(float)> fn,
+               std::function<float(float, float)> dfn, const char* name) {
+  std::vector<float> out(static_cast<size_t>(a.numel()));
+  const float* pa = a.data();
+  for (size_t i = 0; i < out.size(); ++i) out[i] = fn(pa[i]);
+  std::vector<float> saved = out;
+  auto backward = [saved = std::move(saved), dfn](TensorNode& node) {
+    const auto& parent = node.parents[0];
+    if (!parent->requires_grad) return;
+    parent->EnsureGrad();
+    for (size_t i = 0; i < node.grad.size(); ++i) {
+      parent->grad[i] += node.grad[i] * dfn(parent->data[i], saved[i]);
+    }
+  };
+  return MakeOp(a.shape(), std::move(out), {a}, backward, name);
+}
+
+}  // namespace
+
+Tensor Add(const Tensor& a, const Tensor& b) {
+  return BroadcastBinary(a, b, BinaryKind::kAdd, "add");
+}
+Tensor Sub(const Tensor& a, const Tensor& b) {
+  return BroadcastBinary(a, b, BinaryKind::kSub, "sub");
+}
+Tensor Mul(const Tensor& a, const Tensor& b) {
+  return BroadcastBinary(a, b, BinaryKind::kMul, "mul");
+}
+Tensor Div(const Tensor& a, const Tensor& b) {
+  return BroadcastBinary(a, b, BinaryKind::kDiv, "div");
+}
+
+Tensor AddScalar(const Tensor& a, float s) {
+  return UnaryOp(
+      a, [s](float x) { return x + s; }, [](float, float) { return 1.0f; },
+      "add_scalar");
+}
+
+Tensor MulScalar(const Tensor& a, float s) {
+  return UnaryOp(
+      a, [s](float x) { return x * s; }, [s](float, float) { return s; }, "mul_scalar");
+}
+
+Tensor Neg(const Tensor& a) { return MulScalar(a, -1.0f); }
+
+Tensor Exp(const Tensor& a) {
+  return UnaryOp(
+      a, [](float x) { return std::exp(x); }, [](float, float y) { return y; }, "exp");
+}
+
+Tensor Log(const Tensor& a) {
+  return UnaryOp(
+      a, [](float x) { return std::log(x); }, [](float x, float) { return 1.0f / x; },
+      "log");
+}
+
+Tensor Sqrt(const Tensor& a) {
+  return UnaryOp(
+      a, [](float x) { return std::sqrt(x); },
+      [](float, float y) { return 0.5f / std::max(y, 1e-12f); }, "sqrt");
+}
+
+Tensor Relu(const Tensor& a) {
+  return UnaryOp(
+      a, [](float x) { return x > 0.0f ? x : 0.0f; },
+      [](float x, float) { return x > 0.0f ? 1.0f : 0.0f; }, "relu");
+}
+
+Tensor LeakyRelu(const Tensor& a, float negative_slope) {
+  return UnaryOp(
+      a, [negative_slope](float x) { return x > 0.0f ? x : negative_slope * x; },
+      [negative_slope](float x, float) { return x > 0.0f ? 1.0f : negative_slope; },
+      "leaky_relu");
+}
+
+Tensor Elu(const Tensor& a, float alpha) {
+  return UnaryOp(
+      a, [alpha](float x) { return x > 0.0f ? x : alpha * (std::exp(x) - 1.0f); },
+      [alpha](float x, float y) { return x > 0.0f ? 1.0f : y + alpha; }, "elu");
+}
+
+Tensor Sigmoid(const Tensor& a) {
+  return UnaryOp(
+      a, [](float x) { return 1.0f / (1.0f + std::exp(-x)); },
+      [](float, float y) { return y * (1.0f - y); }, "sigmoid");
+}
+
+Tensor Tanh(const Tensor& a) {
+  return UnaryOp(
+      a, [](float x) { return std::tanh(x); },
+      [](float, float y) { return 1.0f - y * y; }, "tanh");
+}
+
+Tensor Reshape(const Tensor& a, const Shape& shape) {
+  TSPN_CHECK_EQ(NumElements(shape), a.numel());
+  auto backward = [](TensorNode& node) {
+    const auto& parent = node.parents[0];
+    if (!parent->requires_grad) return;
+    parent->EnsureGrad();
+    for (size_t i = 0; i < node.grad.size(); ++i) parent->grad[i] += node.grad[i];
+  };
+  return MakeOp(shape, a.ToVector(), {a}, backward, "reshape");
+}
+
+Tensor Transpose(const Tensor& a) {
+  TSPN_CHECK_EQ(a.rank(), 2);
+  int64_t m = a.dim(0), n = a.dim(1);
+  std::vector<float> out(static_cast<size_t>(m * n));
+  const float* pa = a.data();
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t j = 0; j < n; ++j) out[static_cast<size_t>(j * m + i)] = pa[i * n + j];
+  }
+  auto backward = [m, n](TensorNode& node) {
+    const auto& parent = node.parents[0];
+    if (!parent->requires_grad) return;
+    parent->EnsureGrad();
+    for (int64_t i = 0; i < m; ++i) {
+      for (int64_t j = 0; j < n; ++j) {
+        parent->grad[static_cast<size_t>(i * n + j)] +=
+            node.grad[static_cast<size_t>(j * m + i)];
+      }
+    }
+  };
+  return MakeOp({n, m}, std::move(out), {a}, backward, "transpose");
+}
+
+Tensor ConcatRows(const std::vector<Tensor>& parts) {
+  TSPN_CHECK(!parts.empty());
+  Shape shape = parts[0].shape();
+  int64_t total_rows = 0;
+  int64_t row_size = parts[0].numel() / std::max<int64_t>(shape[0], 1);
+  for (const Tensor& p : parts) {
+    TSPN_CHECK_EQ(p.rank(), static_cast<int>(shape.size()));
+    for (size_t d = 1; d < shape.size(); ++d) TSPN_CHECK_EQ(p.shape()[d], shape[d]);
+    total_rows += p.dim(0);
+  }
+  shape[0] = total_rows;
+  std::vector<float> out;
+  out.reserve(static_cast<size_t>(total_rows * row_size));
+  for (const Tensor& p : parts) {
+    const float* pp = p.data();
+    out.insert(out.end(), pp, pp + p.numel());
+  }
+  auto backward = [](TensorNode& node) {
+    size_t offset = 0;
+    for (const auto& parent : node.parents) {
+      size_t count = parent->data.size();
+      if (parent->requires_grad) {
+        parent->EnsureGrad();
+        for (size_t i = 0; i < count; ++i) parent->grad[i] += node.grad[offset + i];
+      }
+      offset += count;
+    }
+  };
+  return MakeOp(shape, std::move(out), parts, backward, "concat_rows");
+}
+
+Tensor ConcatLast(const std::vector<Tensor>& parts) {
+  TSPN_CHECK(!parts.empty());
+  int rank = parts[0].rank();
+  TSPN_CHECK(rank == 1 || rank == 2);
+  int64_t rows = rank == 1 ? 1 : parts[0].dim(0);
+  int64_t total_cols = 0;
+  std::vector<int64_t> cols(parts.size());
+  for (size_t i = 0; i < parts.size(); ++i) {
+    TSPN_CHECK_EQ(parts[i].rank(), rank);
+    if (rank == 2) {
+      TSPN_CHECK_EQ(parts[i].dim(0), rows);
+    }
+    cols[i] = rank == 1 ? parts[i].dim(0) : parts[i].dim(1);
+    total_cols += cols[i];
+  }
+  std::vector<float> out(static_cast<size_t>(rows * total_cols));
+  int64_t col_offset = 0;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    const float* pp = parts[i].data();
+    for (int64_t r = 0; r < rows; ++r) {
+      std::memcpy(&out[static_cast<size_t>(r * total_cols + col_offset)],
+                  pp + r * cols[i], static_cast<size_t>(cols[i]) * sizeof(float));
+    }
+    col_offset += cols[i];
+  }
+  Shape shape = rank == 1 ? Shape{total_cols} : Shape{rows, total_cols};
+  auto backward = [rows, total_cols, cols](TensorNode& node) {
+    int64_t offset = 0;
+    for (size_t i = 0; i < node.parents.size(); ++i) {
+      const auto& parent = node.parents[i];
+      if (parent->requires_grad) {
+        parent->EnsureGrad();
+        for (int64_t r = 0; r < rows; ++r) {
+          for (int64_t c = 0; c < cols[i]; ++c) {
+            parent->grad[static_cast<size_t>(r * cols[i] + c)] +=
+                node.grad[static_cast<size_t>(r * total_cols + offset + c)];
+          }
+        }
+      }
+      offset += cols[i];
+    }
+  };
+  return MakeOp(shape, std::move(out), parts, backward, "concat_last");
+}
+
+Tensor StackRows(const std::vector<Tensor>& rows) {
+  TSPN_CHECK(!rows.empty());
+  int64_t d = rows[0].numel();
+  std::vector<float> out;
+  out.reserve(rows.size() * static_cast<size_t>(d));
+  for (const Tensor& r : rows) {
+    TSPN_CHECK_EQ(r.numel(), d);
+    const float* pr = r.data();
+    out.insert(out.end(), pr, pr + d);
+  }
+  auto backward = [d](TensorNode& node) {
+    for (size_t i = 0; i < node.parents.size(); ++i) {
+      const auto& parent = node.parents[i];
+      if (!parent->requires_grad) continue;
+      parent->EnsureGrad();
+      for (int64_t j = 0; j < d; ++j) {
+        parent->grad[static_cast<size_t>(j)] +=
+            node.grad[i * static_cast<size_t>(d) + static_cast<size_t>(j)];
+      }
+    }
+  };
+  return MakeOp({static_cast<int64_t>(rows.size()), d}, std::move(out), rows, backward,
+                "stack_rows");
+}
+
+Tensor SliceRows(const Tensor& a, int64_t start, int64_t length) {
+  TSPN_CHECK_EQ(a.rank(), 2);
+  TSPN_CHECK_GE(start, 0);
+  TSPN_CHECK_LE(start + length, a.dim(0));
+  int64_t d = a.dim(1);
+  std::vector<float> out(static_cast<size_t>(length * d));
+  std::memcpy(out.data(), a.data() + start * d,
+              static_cast<size_t>(length * d) * sizeof(float));
+  auto backward = [start, length, d](TensorNode& node) {
+    const auto& parent = node.parents[0];
+    if (!parent->requires_grad) return;
+    parent->EnsureGrad();
+    for (int64_t i = 0; i < length * d; ++i) {
+      parent->grad[static_cast<size_t>(start * d + i)] +=
+          node.grad[static_cast<size_t>(i)];
+    }
+  };
+  return MakeOp({length, d}, std::move(out), {a}, backward, "slice_rows");
+}
+
+Tensor Row(const Tensor& a, int64_t index) {
+  Tensor sliced = SliceRows(a, index, 1);
+  return Reshape(sliced, {a.dim(1)});
+}
+
+Tensor SumAll(const Tensor& a) {
+  double total = 0.0;
+  const float* pa = a.data();
+  for (int64_t i = 0; i < a.numel(); ++i) total += pa[i];
+  auto backward = [](TensorNode& node) {
+    const auto& parent = node.parents[0];
+    if (!parent->requires_grad) return;
+    parent->EnsureGrad();
+    float g = node.grad[0];
+    for (size_t i = 0; i < parent->grad.size(); ++i) parent->grad[i] += g;
+  };
+  return MakeOp({1}, {static_cast<float>(total)}, {a}, backward, "sum_all");
+}
+
+Tensor MeanAll(const Tensor& a) {
+  return MulScalar(SumAll(a), 1.0f / static_cast<float>(a.numel()));
+}
+
+Tensor SumRows(const Tensor& a) {
+  TSPN_CHECK_EQ(a.rank(), 2);
+  int64_t n = a.dim(0), d = a.dim(1);
+  std::vector<float> out(static_cast<size_t>(d), 0.0f);
+  const float* pa = a.data();
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = 0; j < d; ++j) out[static_cast<size_t>(j)] += pa[i * d + j];
+  }
+  auto backward = [n, d](TensorNode& node) {
+    const auto& parent = node.parents[0];
+    if (!parent->requires_grad) return;
+    parent->EnsureGrad();
+    for (int64_t i = 0; i < n; ++i) {
+      for (int64_t j = 0; j < d; ++j) {
+        parent->grad[static_cast<size_t>(i * d + j)] +=
+            node.grad[static_cast<size_t>(j)];
+      }
+    }
+  };
+  return MakeOp({d}, std::move(out), {a}, backward, "sum_rows");
+}
+
+Tensor MeanRows(const Tensor& a) {
+  TSPN_CHECK_EQ(a.rank(), 2);
+  return MulScalar(SumRows(a), 1.0f / static_cast<float>(a.dim(0)));
+}
+
+Tensor MatMul(const Tensor& a, const Tensor& b) {
+  TSPN_CHECK_EQ(a.rank(), 2);
+  TSPN_CHECK_EQ(b.rank(), 2);
+  int64_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  TSPN_CHECK_EQ(b.dim(0), k) << "matmul inner dims";
+  std::vector<float> out(static_cast<size_t>(m * n), 0.0f);
+  const float* pa = a.data();
+  const float* pb = b.data();
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t kk = 0; kk < k; ++kk) {
+      float av = pa[i * k + kk];
+      if (av == 0.0f) continue;
+      const float* brow = pb + kk * n;
+      float* orow = out.data() + i * n;
+      for (int64_t j = 0; j < n; ++j) orow[j] += av * brow[j];
+    }
+  }
+  auto backward = [m, k, n](TensorNode& node) {
+    const auto& pa_node = node.parents[0];
+    const auto& pb_node = node.parents[1];
+    const float* g = node.grad.data();
+    if (pa_node->requires_grad) {
+      pa_node->EnsureGrad();
+      const float* bv = pb_node->data.data();
+      // dA = dOut * B^T
+      for (int64_t i = 0; i < m; ++i) {
+        for (int64_t kk = 0; kk < k; ++kk) {
+          float acc = 0.0f;
+          const float* grow = g + i * n;
+          const float* brow = bv + kk * n;
+          for (int64_t j = 0; j < n; ++j) acc += grow[j] * brow[j];
+          pa_node->grad[static_cast<size_t>(i * k + kk)] += acc;
+        }
+      }
+    }
+    if (pb_node->requires_grad) {
+      pb_node->EnsureGrad();
+      const float* av = pa_node->data.data();
+      // dB = A^T * dOut
+      for (int64_t kk = 0; kk < k; ++kk) {
+        for (int64_t i = 0; i < m; ++i) {
+          float a_ik = av[i * k + kk];
+          if (a_ik == 0.0f) continue;
+          const float* grow = g + i * n;
+          float* brow = pb_node->grad.data() + kk * n;
+          for (int64_t j = 0; j < n; ++j) brow[j] += a_ik * grow[j];
+        }
+      }
+    }
+  };
+  return MakeOp({m, n}, std::move(out), {a, b}, backward, "matmul");
+}
+
+Tensor MatVec(const Tensor& a, const Tensor& v) {
+  TSPN_CHECK_EQ(a.rank(), 2);
+  TSPN_CHECK_EQ(v.rank(), 1);
+  Tensor v2 = Reshape(v, {v.dim(0), 1});
+  Tensor out = MatMul(a, v2);
+  return Reshape(out, {a.dim(0)});
+}
+
+Tensor Dot(const Tensor& a, const Tensor& b) {
+  TSPN_CHECK_EQ(a.rank(), 1);
+  TSPN_CHECK_EQ(b.rank(), 1);
+  return SumAll(Mul(a, b));
+}
+
+namespace {
+
+/// Shared softmax/log-softmax implementation over the last axis.
+Tensor SoftmaxImpl(const Tensor& a, bool log_space) {
+  TSPN_CHECK(a.rank() == 1 || a.rank() == 2);
+  int64_t rows = a.rank() == 1 ? 1 : a.dim(0);
+  int64_t cols = a.rank() == 1 ? a.dim(0) : a.dim(1);
+  std::vector<float> out(static_cast<size_t>(rows * cols));
+  const float* pa = a.data();
+  for (int64_t r = 0; r < rows; ++r) {
+    const float* x = pa + r * cols;
+    float* y = out.data() + r * cols;
+    float mx = x[0];
+    for (int64_t c = 1; c < cols; ++c) mx = std::max(mx, x[c]);
+    double denom = 0.0;
+    for (int64_t c = 0; c < cols; ++c) denom += std::exp(static_cast<double>(x[c] - mx));
+    float log_denom = static_cast<float>(std::log(denom));
+    for (int64_t c = 0; c < cols; ++c) {
+      float logit = x[c] - mx - log_denom;
+      y[c] = log_space ? logit : std::exp(logit);
+    }
+  }
+  std::vector<float> saved = out;
+  auto backward = [rows, cols, log_space, saved = std::move(saved)](TensorNode& node) {
+    const auto& parent = node.parents[0];
+    if (!parent->requires_grad) return;
+    parent->EnsureGrad();
+    for (int64_t r = 0; r < rows; ++r) {
+      const float* y = saved.data() + r * cols;
+      const float* g = node.grad.data() + r * cols;
+      float* px = parent->grad.data() + r * cols;
+      if (log_space) {
+        // d log_softmax: dx = g - softmax * sum(g)
+        double gsum = 0.0;
+        for (int64_t c = 0; c < cols; ++c) gsum += g[c];
+        for (int64_t c = 0; c < cols; ++c) {
+          px[c] += g[c] - std::exp(y[c]) * static_cast<float>(gsum);
+        }
+      } else {
+        // d softmax: dx = y * (g - sum(g*y))
+        double dot = 0.0;
+        for (int64_t c = 0; c < cols; ++c) dot += static_cast<double>(g[c]) * y[c];
+        for (int64_t c = 0; c < cols; ++c) {
+          px[c] += y[c] * (g[c] - static_cast<float>(dot));
+        }
+      }
+    }
+  };
+  return MakeOp(a.shape(), std::move(out), {a}, backward,
+                log_space ? "log_softmax" : "softmax");
+}
+
+}  // namespace
+
+Tensor Softmax(const Tensor& a) { return SoftmaxImpl(a, /*log_space=*/false); }
+Tensor LogSoftmax(const Tensor& a) { return SoftmaxImpl(a, /*log_space=*/true); }
+
+Tensor L2Normalize(const Tensor& a, float eps) {
+  TSPN_CHECK(a.rank() == 1 || a.rank() == 2);
+  int64_t rows = a.rank() == 1 ? 1 : a.dim(0);
+  int64_t cols = a.rank() == 1 ? a.dim(0) : a.dim(1);
+  std::vector<float> out(static_cast<size_t>(rows * cols));
+  std::vector<float> norms(static_cast<size_t>(rows));
+  const float* pa = a.data();
+  for (int64_t r = 0; r < rows; ++r) {
+    const float* x = pa + r * cols;
+    double sq = 0.0;
+    for (int64_t c = 0; c < cols; ++c) sq += static_cast<double>(x[c]) * x[c];
+    float norm = std::max(static_cast<float>(std::sqrt(sq)), eps);
+    norms[static_cast<size_t>(r)] = norm;
+    for (int64_t c = 0; c < cols; ++c) out[static_cast<size_t>(r * cols + c)] = x[c] / norm;
+  }
+  auto backward = [rows, cols, norms = std::move(norms)](TensorNode& node) {
+    const auto& parent = node.parents[0];
+    if (!parent->requires_grad) return;
+    parent->EnsureGrad();
+    for (int64_t r = 0; r < rows; ++r) {
+      const float* x = parent->data.data() + r * cols;
+      const float* g = node.grad.data() + r * cols;
+      float* px = parent->grad.data() + r * cols;
+      float norm = norms[static_cast<size_t>(r)];
+      double dot = 0.0;  // g . x
+      for (int64_t c = 0; c < cols; ++c) dot += static_cast<double>(g[c]) * x[c];
+      float inv = 1.0f / norm;
+      float inv3 = inv * inv * inv;
+      for (int64_t c = 0; c < cols; ++c) {
+        px[c] += g[c] * inv - static_cast<float>(dot) * x[c] * inv3;
+      }
+    }
+  };
+  return MakeOp(a.shape(), std::move(out), {a}, backward, "l2_normalize");
+}
+
+Tensor LayerNorm(const Tensor& x, const Tensor& gamma, const Tensor& beta, float eps) {
+  TSPN_CHECK(x.rank() == 1 || x.rank() == 2);
+  int64_t rows = x.rank() == 1 ? 1 : x.dim(0);
+  int64_t cols = x.rank() == 1 ? x.dim(0) : x.dim(1);
+  TSPN_CHECK_EQ(gamma.numel(), cols);
+  TSPN_CHECK_EQ(beta.numel(), cols);
+  std::vector<float> out(static_cast<size_t>(rows * cols));
+  std::vector<float> xhat(static_cast<size_t>(rows * cols));
+  std::vector<float> inv_std(static_cast<size_t>(rows));
+  const float* px = x.data();
+  const float* pg = gamma.data();
+  const float* pb = beta.data();
+  for (int64_t r = 0; r < rows; ++r) {
+    const float* xr = px + r * cols;
+    double mean = 0.0;
+    for (int64_t c = 0; c < cols; ++c) mean += xr[c];
+    mean /= static_cast<double>(cols);
+    double var = 0.0;
+    for (int64_t c = 0; c < cols; ++c) {
+      double d = xr[c] - mean;
+      var += d * d;
+    }
+    var /= static_cast<double>(cols);
+    float istd = 1.0f / static_cast<float>(std::sqrt(var + eps));
+    inv_std[static_cast<size_t>(r)] = istd;
+    for (int64_t c = 0; c < cols; ++c) {
+      float h = (xr[c] - static_cast<float>(mean)) * istd;
+      xhat[static_cast<size_t>(r * cols + c)] = h;
+      out[static_cast<size_t>(r * cols + c)] = h * pg[c] + pb[c];
+    }
+  }
+  auto backward = [rows, cols, xhat = std::move(xhat),
+                   inv_std = std::move(inv_std)](TensorNode& node) {
+    const auto& x_node = node.parents[0];
+    const auto& g_node = node.parents[1];
+    const auto& b_node = node.parents[2];
+    const float* g = node.grad.data();
+    const float* gamma = g_node->data.data();
+    if (g_node->requires_grad) g_node->EnsureGrad();
+    if (b_node->requires_grad) b_node->EnsureGrad();
+    if (x_node->requires_grad) x_node->EnsureGrad();
+    for (int64_t r = 0; r < rows; ++r) {
+      const float* gr = g + r * cols;
+      const float* hr = xhat.data() + r * cols;
+      float istd = inv_std[static_cast<size_t>(r)];
+      if (g_node->requires_grad || b_node->requires_grad) {
+        for (int64_t c = 0; c < cols; ++c) {
+          if (g_node->requires_grad) {
+            g_node->grad[static_cast<size_t>(c)] += gr[c] * hr[c];
+          }
+          if (b_node->requires_grad) b_node->grad[static_cast<size_t>(c)] += gr[c];
+        }
+      }
+      if (x_node->requires_grad) {
+        // dxhat = g * gamma; dx = (dxhat - mean(dxhat) - xhat*mean(dxhat*xhat)) * istd
+        double sum_dh = 0.0, sum_dh_h = 0.0;
+        for (int64_t c = 0; c < cols; ++c) {
+          float dh = gr[c] * gamma[c];
+          sum_dh += dh;
+          sum_dh_h += static_cast<double>(dh) * hr[c];
+        }
+        float mean_dh = static_cast<float>(sum_dh / static_cast<double>(cols));
+        float mean_dh_h = static_cast<float>(sum_dh_h / static_cast<double>(cols));
+        for (int64_t c = 0; c < cols; ++c) {
+          float dh = gr[c] * gamma[c];
+          x_node->grad[static_cast<size_t>(r * cols + c)] +=
+              (dh - mean_dh - hr[c] * mean_dh_h) * istd;
+        }
+      }
+    }
+  };
+  return MakeOp(x.shape(), std::move(out), {x, gamma, beta}, backward, "layer_norm");
+}
+
+Tensor Dropout(const Tensor& a, float p, common::Rng& rng, bool training) {
+  if (!training || p <= 0.0f) return a;
+  TSPN_CHECK_LT(p, 1.0f);
+  float keep = 1.0f - p;
+  std::vector<float> mask(static_cast<size_t>(a.numel()));
+  for (float& m : mask) m = rng.Bernoulli(keep) ? 1.0f / keep : 0.0f;
+  std::vector<float> out(static_cast<size_t>(a.numel()));
+  const float* pa = a.data();
+  for (size_t i = 0; i < out.size(); ++i) out[i] = pa[i] * mask[i];
+  auto backward = [mask = std::move(mask)](TensorNode& node) {
+    const auto& parent = node.parents[0];
+    if (!parent->requires_grad) return;
+    parent->EnsureGrad();
+    for (size_t i = 0; i < node.grad.size(); ++i) {
+      parent->grad[i] += node.grad[i] * mask[i];
+    }
+  };
+  return MakeOp(a.shape(), std::move(out), {a}, backward, "dropout");
+}
+
+Tensor EmbeddingGather(const Tensor& weight, const std::vector<int64_t>& indices) {
+  TSPN_CHECK_EQ(weight.rank(), 2);
+  int64_t v = weight.dim(0), d = weight.dim(1);
+  int64_t l = static_cast<int64_t>(indices.size());
+  std::vector<float> out(static_cast<size_t>(l * d));
+  const float* pw = weight.data();
+  for (int64_t i = 0; i < l; ++i) {
+    int64_t idx = indices[static_cast<size_t>(i)];
+    TSPN_CHECK_GE(idx, 0);
+    TSPN_CHECK_LT(idx, v);
+    std::memcpy(&out[static_cast<size_t>(i * d)], pw + idx * d,
+                static_cast<size_t>(d) * sizeof(float));
+  }
+  auto backward = [indices, d](TensorNode& node) {
+    const auto& parent = node.parents[0];
+    if (!parent->requires_grad) return;
+    parent->EnsureGrad();
+    for (size_t i = 0; i < indices.size(); ++i) {
+      int64_t idx = indices[i];
+      for (int64_t j = 0; j < d; ++j) {
+        parent->grad[static_cast<size_t>(idx * d + j)] +=
+            node.grad[i * static_cast<size_t>(d) + static_cast<size_t>(j)];
+      }
+    }
+  };
+  return MakeOp({l, d}, std::move(out), {weight}, backward, "embedding_gather");
+}
+
+Tensor CrossEntropyWithLogits(const Tensor& logits, int64_t target) {
+  TSPN_CHECK_EQ(logits.rank(), 1);
+  TSPN_CHECK_GE(target, 0);
+  TSPN_CHECK_LT(target, logits.dim(0));
+  Tensor log_probs = LogSoftmax(logits);
+  // Select the target entry via slice: reshape to [N,1] rows then SliceRows.
+  Tensor as_rows = Reshape(log_probs, {logits.dim(0), 1});
+  Tensor picked = SliceRows(as_rows, target, 1);
+  return Neg(Reshape(picked, {1}));
+}
+
+Tensor ArcFaceLogits(const Tensor& cosines, int64_t target, float scale, float margin) {
+  TSPN_CHECK_EQ(cosines.rank(), 1);
+  int64_t n = cosines.dim(0);
+  TSPN_CHECK_GE(target, 0);
+  TSPN_CHECK_LT(target, n);
+  const float cos_m = std::cos(margin);
+  const float sin_m = std::sin(margin);
+  std::vector<float> out(static_cast<size_t>(n));
+  const float* pc = cosines.data();
+  for (int64_t i = 0; i < n; ++i) {
+    float c = std::clamp(pc[i], -1.0f, 1.0f);
+    if (i == target) {
+      float s = std::sqrt(std::max(0.0f, 1.0f - c * c));
+      out[static_cast<size_t>(i)] = scale * (c * cos_m - s * sin_m);
+    } else {
+      out[static_cast<size_t>(i)] = scale * c;
+    }
+  }
+  auto backward = [n, target, scale, cos_m, sin_m](TensorNode& node) {
+    const auto& parent = node.parents[0];
+    if (!parent->requires_grad) return;
+    parent->EnsureGrad();
+    for (int64_t i = 0; i < n; ++i) {
+      float g = node.grad[static_cast<size_t>(i)];
+      if (i == target) {
+        float c = std::clamp(parent->data[static_cast<size_t>(i)], -1.0f, 1.0f);
+        float s = std::sqrt(std::max(1e-6f, 1.0f - c * c));
+        // d/dc [c*cos_m - sqrt(1-c^2)*sin_m] = cos_m + c/sqrt(1-c^2) * sin_m
+        parent->grad[static_cast<size_t>(i)] += g * scale * (cos_m + (c / s) * sin_m);
+      } else {
+        parent->grad[static_cast<size_t>(i)] += g * scale;
+      }
+    }
+  };
+  return MakeOp({n}, std::move(out), {cosines}, backward, "arcface_logits");
+}
+
+}  // namespace tspn::nn

@@ -1,0 +1,129 @@
+#ifndef TSPN_NN_OPS_H_
+#define TSPN_NN_OPS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "nn/tensor.h"
+
+namespace tspn::nn {
+
+// ---------------------------------------------------------------------------
+// Elementwise binary ops with NumPy-style broadcasting (any ranks <= 4).
+// ---------------------------------------------------------------------------
+
+Tensor Add(const Tensor& a, const Tensor& b);
+Tensor Sub(const Tensor& a, const Tensor& b);
+Tensor Mul(const Tensor& a, const Tensor& b);
+Tensor Div(const Tensor& a, const Tensor& b);
+
+// ---------------------------------------------------------------------------
+// Scalar / unary ops.
+// ---------------------------------------------------------------------------
+
+Tensor AddScalar(const Tensor& a, float s);
+Tensor MulScalar(const Tensor& a, float s);
+Tensor Neg(const Tensor& a);
+Tensor Exp(const Tensor& a);
+Tensor Log(const Tensor& a);  ///< natural log; input must be positive
+Tensor Sqrt(const Tensor& a);
+Tensor Relu(const Tensor& a);
+Tensor LeakyRelu(const Tensor& a, float negative_slope = 0.2f);
+Tensor Elu(const Tensor& a, float alpha = 1.0f);
+Tensor Sigmoid(const Tensor& a);
+Tensor Tanh(const Tensor& a);
+
+// ---------------------------------------------------------------------------
+// Shape ops.
+// ---------------------------------------------------------------------------
+
+/// Reshape preserving element count (view-with-copy semantics).
+Tensor Reshape(const Tensor& a, const Shape& shape);
+
+/// 2-D transpose: [M, N] -> [N, M].
+Tensor Transpose(const Tensor& a);
+
+/// Concatenation along axis 0 of same-rank tensors.
+Tensor ConcatRows(const std::vector<Tensor>& parts);
+
+/// Concatenation along the last axis of rank-1 or rank-2 tensors.
+Tensor ConcatLast(const std::vector<Tensor>& parts);
+
+/// Stacks L rank-1 tensors of size D into [L, D].
+Tensor StackRows(const std::vector<Tensor>& rows);
+
+/// Slice of rows [start, start+length) of a rank-2 tensor.
+Tensor SliceRows(const Tensor& a, int64_t start, int64_t length);
+
+/// Single row of a rank-2 tensor as a rank-1 tensor.
+Tensor Row(const Tensor& a, int64_t index);
+
+// ---------------------------------------------------------------------------
+// Reductions.
+// ---------------------------------------------------------------------------
+
+Tensor SumAll(const Tensor& a);   ///< scalar sum of all elements
+Tensor MeanAll(const Tensor& a);  ///< scalar mean of all elements
+Tensor MeanRows(const Tensor& a); ///< [N, D] -> [D], mean over rows
+Tensor SumRows(const Tensor& a);  ///< [N, D] -> [D], sum over rows
+
+// ---------------------------------------------------------------------------
+// Linear algebra.
+// ---------------------------------------------------------------------------
+
+/// Matrix product of [M, K] x [K, N] -> [M, N].
+Tensor MatMul(const Tensor& a, const Tensor& b);
+
+/// [N, D] x [D] -> [N].
+Tensor MatVec(const Tensor& a, const Tensor& v);
+
+/// Dot product of two rank-1 tensors -> scalar.
+Tensor Dot(const Tensor& a, const Tensor& b);
+
+// ---------------------------------------------------------------------------
+// Normalization / probability.
+// ---------------------------------------------------------------------------
+
+/// Softmax over the last axis of a rank-1 or rank-2 tensor.
+Tensor Softmax(const Tensor& a);
+
+/// Log-softmax over the last axis (numerically stable).
+Tensor LogSoftmax(const Tensor& a);
+
+/// Rows scaled to unit L2 norm: x / max(|x|, eps). Works on rank-1 (the
+/// whole vector) and rank-2 (each row).
+Tensor L2Normalize(const Tensor& a, float eps = 1e-8f);
+
+/// Layer normalization over the last axis with affine parameters.
+/// gamma/beta have shape [D] where D is the last axis extent.
+Tensor LayerNorm(const Tensor& x, const Tensor& gamma, const Tensor& beta,
+                 float eps = 1e-5f);
+
+/// Inverted dropout. Identity when `training` is false or p == 0.
+Tensor Dropout(const Tensor& a, float p, common::Rng& rng, bool training);
+
+// ---------------------------------------------------------------------------
+// Embedding / gather.
+// ---------------------------------------------------------------------------
+
+/// Gathers rows of `weight` ([V, D]) at `indices` -> [L, D]. Gradient is
+/// scatter-added into the embedding matrix.
+Tensor EmbeddingGather(const Tensor& weight, const std::vector<int64_t>& indices);
+
+// ---------------------------------------------------------------------------
+// Losses / classification heads.
+// ---------------------------------------------------------------------------
+
+/// -log softmax(logits)[target] for a rank-1 logits vector.
+Tensor CrossEntropyWithLogits(const Tensor& logits, int64_t target);
+
+/// ArcFace-style margin injection (Deng et al., CVPR'19; Eq. 8 of the paper).
+/// Given cosines [N] between an output vector and N candidate embeddings,
+/// produces logits where the target entry is s*cos(theta_t + m) and all other
+/// entries are s*cos(theta_j).
+Tensor ArcFaceLogits(const Tensor& cosines, int64_t target, float scale, float margin);
+
+}  // namespace tspn::nn
+
+#endif  // TSPN_NN_OPS_H_

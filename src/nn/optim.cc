@@ -1,0 +1,79 @@
+#include "nn/optim.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace tspn::nn {
+
+Adam::Adam(std::vector<Tensor> parameters, Options options)
+    : parameters_(std::move(parameters)), options_(options) {
+  m_.reserve(parameters_.size());
+  v_.reserve(parameters_.size());
+  for (const Tensor& p : parameters_) {
+    TSPN_CHECK(p.requires_grad());
+    m_.emplace_back(static_cast<size_t>(p.numel()), 0.0f);
+    v_.emplace_back(static_cast<size_t>(p.numel()), 0.0f);
+  }
+}
+
+void Adam::Step() {
+  ++step_count_;
+  // Optional global-norm gradient clipping.
+  float scale = 1.0f;
+  if (options_.grad_clip > 0.0f) {
+    double sq = 0.0;
+    for (Tensor& p : parameters_) {
+      const float* g = p.grad();
+      for (int64_t i = 0; i < p.numel(); ++i) sq += static_cast<double>(g[i]) * g[i];
+    }
+    double norm = std::sqrt(sq);
+    if (norm > options_.grad_clip) {
+      scale = options_.grad_clip / static_cast<float>(norm + 1e-12);
+    }
+  }
+  const float bias1 = 1.0f - std::pow(options_.beta1, static_cast<float>(step_count_));
+  const float bias2 = 1.0f - std::pow(options_.beta2, static_cast<float>(step_count_));
+  for (size_t pi = 0; pi < parameters_.size(); ++pi) {
+    Tensor& p = parameters_[pi];
+    float* w = p.data();
+    const float* g = p.grad();
+    std::vector<float>& m = m_[pi];
+    std::vector<float>& v = v_[pi];
+    for (int64_t i = 0; i < p.numel(); ++i) {
+      float grad = g[i] * scale + options_.weight_decay * w[i];
+      m[static_cast<size_t>(i)] =
+          options_.beta1 * m[static_cast<size_t>(i)] + (1.0f - options_.beta1) * grad;
+      v[static_cast<size_t>(i)] = options_.beta2 * v[static_cast<size_t>(i)] +
+                                  (1.0f - options_.beta2) * grad * grad;
+      float m_hat = m[static_cast<size_t>(i)] / bias1;
+      float v_hat = v[static_cast<size_t>(i)] / bias2;
+      w[i] -= options_.lr * m_hat / (std::sqrt(v_hat) + options_.eps);
+    }
+  }
+}
+
+void Adam::ZeroGrad() {
+  for (Tensor& p : parameters_) p.ZeroGrad();
+}
+
+void Adam::DecayLr(float factor) { options_.lr *= factor; }
+
+Sgd::Sgd(std::vector<Tensor> parameters, float lr)
+    : parameters_(std::move(parameters)), lr_(lr) {
+  for (const Tensor& p : parameters_) TSPN_CHECK(p.requires_grad());
+}
+
+void Sgd::Step() {
+  for (Tensor& p : parameters_) {
+    float* w = p.data();
+    const float* g = p.grad();
+    for (int64_t i = 0; i < p.numel(); ++i) w[i] -= lr_ * g[i];
+  }
+}
+
+void Sgd::ZeroGrad() {
+  for (Tensor& p : parameters_) p.ZeroGrad();
+}
+
+}  // namespace tspn::nn

@@ -1,0 +1,60 @@
+#ifndef TSPN_NN_OPTIM_H_
+#define TSPN_NN_OPTIM_H_
+
+#include <vector>
+
+#include "nn/tensor.h"
+
+namespace tspn::nn {
+
+/// Adam optimizer (Kingma & Ba, 2015) with optional multiplicative learning
+/// rate decay per epoch (the paper uses lr=2e-5 with 0.95 decay).
+class Adam {
+ public:
+  struct Options {
+    float lr = 2e-4f;
+    float beta1 = 0.9f;
+    float beta2 = 0.999f;
+    float eps = 1e-8f;
+    float weight_decay = 0.0f;
+    float grad_clip = 5.0f;  ///< max global L2 norm; <= 0 disables clipping
+  };
+
+  Adam(std::vector<Tensor> parameters, Options options);
+
+  /// Applies one update from accumulated gradients, then leaves grads intact
+  /// (call ZeroGrad() to clear).
+  void Step();
+
+  /// Clears all parameter gradients.
+  void ZeroGrad();
+
+  /// Multiplies the learning rate (e.g. 0.95 per-epoch decay).
+  void DecayLr(float factor);
+
+  float lr() const { return options_.lr; }
+
+ private:
+  std::vector<Tensor> parameters_;
+  Options options_;
+  std::vector<std::vector<float>> m_;
+  std::vector<std::vector<float>> v_;
+  int64_t step_count_ = 0;
+};
+
+/// Plain SGD, used by a few baselines and tests.
+class Sgd {
+ public:
+  Sgd(std::vector<Tensor> parameters, float lr);
+
+  void Step();
+  void ZeroGrad();
+
+ private:
+  std::vector<Tensor> parameters_;
+  float lr_;
+};
+
+}  // namespace tspn::nn
+
+#endif  // TSPN_NN_OPTIM_H_

@@ -1,0 +1,27 @@
+#ifndef TSPN_NN_SERIALIZE_H_
+#define TSPN_NN_SERIALIZE_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "nn/tensor.h"
+
+namespace tspn::nn {
+
+/// Writes parameter tensors (shapes + float32 payloads) to a binary stream.
+/// Format: magic, count, then per-tensor rank/dims/data.
+void SaveParameters(const std::vector<Tensor>& parameters, std::ostream& out);
+
+/// Loads values into existing parameter tensors. Shapes must match exactly.
+/// Returns false on format or shape mismatch.
+bool LoadParameters(std::vector<Tensor>& parameters, std::istream& in);
+
+/// Convenience file wrappers. Save aborts on I/O failure; Load returns false.
+void SaveParametersToFile(const std::vector<Tensor>& parameters,
+                          const std::string& path);
+bool LoadParametersFromFile(std::vector<Tensor>& parameters, const std::string& path);
+
+}  // namespace tspn::nn
+
+#endif  // TSPN_NN_SERIALIZE_H_

@@ -1,0 +1,227 @@
+#include "nn/tensor.h"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_set>
+
+#include "common/check.h"
+
+namespace tspn::nn {
+
+namespace {
+thread_local bool g_grad_enabled = true;
+}  // namespace
+
+int64_t NumElements(const Shape& shape) {
+  int64_t n = 1;
+  for (int64_t d : shape) {
+    TSPN_CHECK_GE(d, 0);
+    n *= d;
+  }
+  return n;
+}
+
+std::string ShapeToString(const Shape& shape) {
+  std::ostringstream out;
+  out << "[";
+  for (size_t i = 0; i < shape.size(); ++i) {
+    if (i > 0) out << ", ";
+    out << shape[i];
+  }
+  out << "]";
+  return out.str();
+}
+
+namespace internal {
+
+MemoryStats& GetMemoryStats() {
+  static MemoryStats stats;
+  return stats;
+}
+
+void TrackAlloc(int64_t bytes) {
+  MemoryStats& stats = GetMemoryStats();
+  stats.live_bytes += bytes;
+  stats.peak_bytes = std::max(stats.peak_bytes, stats.live_bytes);
+  ++stats.total_allocations;
+}
+
+void TrackFree(int64_t bytes) { GetMemoryStats().live_bytes -= bytes; }
+
+TensorNode::TensorNode(Shape s, std::vector<float> values, bool rg)
+    : shape(std::move(s)), data(std::move(values)), requires_grad(rg) {
+  TSPN_CHECK_EQ(NumElements(shape), static_cast<int64_t>(data.size()));
+  TrackAlloc(static_cast<int64_t>(data.size() * sizeof(float)));
+}
+
+TensorNode::~TensorNode() {
+  TrackFree(static_cast<int64_t>((data.size() + grad.size()) * sizeof(float)));
+}
+
+void TensorNode::EnsureGrad() {
+  if (grad.empty()) {
+    grad.assign(data.size(), 0.0f);
+    TrackAlloc(static_cast<int64_t>(grad.size() * sizeof(float)));
+  }
+}
+
+}  // namespace internal
+
+void ResetMemoryStats() {
+  internal::MemoryStats& stats = internal::GetMemoryStats();
+  stats.live_bytes = 0;
+  stats.peak_bytes = 0;
+  stats.total_allocations = 0;
+}
+
+int64_t LiveTensorBytes() { return internal::GetMemoryStats().live_bytes; }
+int64_t PeakTensorBytes() { return internal::GetMemoryStats().peak_bytes; }
+
+Tensor Tensor::Zeros(const Shape& shape, bool requires_grad) {
+  return Full(shape, 0.0f, requires_grad);
+}
+
+Tensor Tensor::Full(const Shape& shape, float value, bool requires_grad) {
+  std::vector<float> values(static_cast<size_t>(NumElements(shape)), value);
+  return FromVector(shape, std::move(values), requires_grad);
+}
+
+Tensor Tensor::FromVector(const Shape& shape, std::vector<float> values,
+                          bool requires_grad) {
+  auto node =
+      std::make_shared<internal::TensorNode>(shape, std::move(values), requires_grad);
+  return Tensor(std::move(node));
+}
+
+Tensor Tensor::Scalar(float value, bool requires_grad) {
+  return FromVector({1}, {value}, requires_grad);
+}
+
+Tensor Tensor::RandomUniform(const Shape& shape, float bound, common::Rng& rng,
+                             bool requires_grad) {
+  std::vector<float> values(static_cast<size_t>(NumElements(shape)));
+  for (float& v : values) v = static_cast<float>(rng.Uniform(-bound, bound));
+  return FromVector(shape, std::move(values), requires_grad);
+}
+
+Tensor Tensor::RandomNormal(const Shape& shape, float stddev, common::Rng& rng,
+                            bool requires_grad) {
+  std::vector<float> values(static_cast<size_t>(NumElements(shape)));
+  for (float& v : values) v = static_cast<float>(rng.Gaussian(0.0, stddev));
+  return FromVector(shape, std::move(values), requires_grad);
+}
+
+const Shape& Tensor::shape() const {
+  TSPN_CHECK(defined());
+  return node_->shape;
+}
+
+int64_t Tensor::dim(int i) const {
+  TSPN_CHECK(defined());
+  TSPN_CHECK_LT(static_cast<size_t>(i), node_->shape.size());
+  return node_->shape[static_cast<size_t>(i)];
+}
+
+int Tensor::rank() const { return static_cast<int>(shape().size()); }
+
+int64_t Tensor::numel() const {
+  TSPN_CHECK(defined());
+  return static_cast<int64_t>(node_->data.size());
+}
+
+bool Tensor::requires_grad() const {
+  TSPN_CHECK(defined());
+  return node_->requires_grad;
+}
+
+float* Tensor::data() {
+  TSPN_CHECK(defined());
+  return node_->data.data();
+}
+
+const float* Tensor::data() const {
+  TSPN_CHECK(defined());
+  return node_->data.data();
+}
+
+std::vector<float> Tensor::ToVector() const {
+  TSPN_CHECK(defined());
+  return node_->data;
+}
+
+float Tensor::item() const {
+  TSPN_CHECK(defined());
+  TSPN_CHECK_EQ(numel(), 1);
+  return node_->data[0];
+}
+
+float Tensor::at(int64_t flat_index) const {
+  TSPN_CHECK(defined());
+  TSPN_CHECK_GE(flat_index, 0);
+  TSPN_CHECK_LT(flat_index, numel());
+  return node_->data[static_cast<size_t>(flat_index)];
+}
+
+float* Tensor::grad() {
+  TSPN_CHECK(defined());
+  node_->EnsureGrad();
+  return node_->grad.data();
+}
+
+const float* Tensor::grad() const {
+  TSPN_CHECK(defined());
+  TSPN_CHECK(!node_->grad.empty()) << "gradient not allocated";
+  return node_->grad.data();
+}
+
+std::vector<float> Tensor::GradToVector() const {
+  TSPN_CHECK(defined());
+  if (node_->grad.empty()) return std::vector<float>(node_->data.size(), 0.0f);
+  return node_->grad;
+}
+
+void Tensor::ZeroGrad() {
+  TSPN_CHECK(defined());
+  std::fill(node_->grad.begin(), node_->grad.end(), 0.0f);
+}
+
+void Tensor::Backward() {
+  TSPN_CHECK(defined());
+  TSPN_CHECK_EQ(numel(), 1) << "Backward() requires a scalar loss";
+
+  // Topological order via iterative post-order DFS over parents.
+  std::vector<internal::TensorNode*> order;
+  std::unordered_set<internal::TensorNode*> visited;
+  std::vector<std::pair<internal::TensorNode*, size_t>> stack;
+  stack.emplace_back(node_.get(), 0);
+  visited.insert(node_.get());
+  while (!stack.empty()) {
+    auto& [node, next_child] = stack.back();
+    if (next_child < node->parents.size()) {
+      internal::TensorNode* parent = node->parents[next_child].get();
+      ++next_child;
+      if (visited.insert(parent).second) stack.emplace_back(parent, 0);
+    } else {
+      order.push_back(node);
+      stack.pop_back();
+    }
+  }
+  // `order` is post-order: parents before children; reverse for backprop.
+  node_->EnsureGrad();
+  node_->grad[0] = 1.0f;
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    internal::TensorNode* node = *it;
+    if (node->backward && !node->grad.empty()) node->backward(*node);
+  }
+}
+
+Tensor Tensor::Detach() const {
+  TSPN_CHECK(defined());
+  return FromVector(node_->shape, node_->data, /*requires_grad=*/false);
+}
+
+NoGradGuard::NoGradGuard() : previous_(g_grad_enabled) { g_grad_enabled = false; }
+NoGradGuard::~NoGradGuard() { g_grad_enabled = previous_; }
+bool NoGradGuard::GradEnabled() { return g_grad_enabled; }
+
+}  // namespace tspn::nn

@@ -1,0 +1,162 @@
+#ifndef TSPN_NN_TENSOR_H_
+#define TSPN_NN_TENSOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace tspn::nn {
+
+/// Tensor shape: row-major, up to rank 4 in practice.
+using Shape = std::vector<int64_t>;
+
+/// Number of elements described by a shape.
+int64_t NumElements(const Shape& shape);
+
+/// Human-readable "[2, 3]" rendering.
+std::string ShapeToString(const Shape& shape);
+
+namespace internal {
+
+/// Process-wide accounting of live tensor bytes, used by the Table V
+/// efficiency bench and the pooling-vs-strided-conv memory ablation.
+struct MemoryStats {
+  int64_t live_bytes = 0;
+  int64_t peak_bytes = 0;
+  int64_t total_allocations = 0;
+};
+
+MemoryStats& GetMemoryStats();
+void TrackAlloc(int64_t bytes);
+void TrackFree(int64_t bytes);
+
+struct TensorNode;
+
+}  // namespace internal
+
+/// Resets the live/peak byte counters (live bytes are recomputed from zero, so
+/// call this only between experiments when all tensors are released).
+void ResetMemoryStats();
+
+/// Bytes of tensor payload (data + grad) currently alive.
+int64_t LiveTensorBytes();
+
+/// High-water mark of live tensor bytes since the last ResetMemoryStats().
+int64_t PeakTensorBytes();
+
+/// Dense float32 tensor with reverse-mode autodiff. `Tensor` is a cheap
+/// shared handle: copies alias the same storage/graph node. The autograd
+/// graph is define-by-run; calling Backward() on a scalar propagates
+/// gradients to every reachable tensor created with requires_grad=true.
+class Tensor {
+ public:
+  /// Null handle; most APIs require a non-null tensor.
+  Tensor() = default;
+
+  /// Factory: zero-filled tensor.
+  static Tensor Zeros(const Shape& shape, bool requires_grad = false);
+
+  /// Factory: constant-filled tensor.
+  static Tensor Full(const Shape& shape, float value, bool requires_grad = false);
+
+  /// Factory: takes ownership of `values` (size must match shape).
+  static Tensor FromVector(const Shape& shape, std::vector<float> values,
+                           bool requires_grad = false);
+
+  /// Factory: scalar (rank-0 stored as shape {1}).
+  static Tensor Scalar(float value, bool requires_grad = false);
+
+  /// Factory: U(-bound, bound) init.
+  static Tensor RandomUniform(const Shape& shape, float bound, common::Rng& rng,
+                              bool requires_grad = false);
+
+  /// Factory: N(0, stddev) init.
+  static Tensor RandomNormal(const Shape& shape, float stddev, common::Rng& rng,
+                             bool requires_grad = false);
+
+  bool defined() const { return node_ != nullptr; }
+  const Shape& shape() const;
+  int64_t dim(int i) const;
+  int rank() const;
+  int64_t numel() const;
+  bool requires_grad() const;
+
+  float* data();
+  const float* data() const;
+  std::vector<float> ToVector() const;
+
+  /// Value of a single-element tensor.
+  float item() const;
+  float at(int64_t flat_index) const;
+
+  /// Gradient storage (allocated on demand); only valid for requires_grad
+  /// tensors after Backward() has run.
+  float* grad();
+  const float* grad() const;
+  std::vector<float> GradToVector() const;
+
+  /// Zeroes this tensor's gradient buffer (if allocated).
+  void ZeroGrad();
+
+  /// Runs reverse-mode autodiff from this tensor. Requires numel() == 1.
+  void Backward();
+
+  /// Detaches from the autograd graph: returns a tensor sharing the same
+  /// data but with no parents and requires_grad=false.
+  Tensor Detach() const;
+
+  /// Internal: wraps an existing node.
+  explicit Tensor(std::shared_ptr<internal::TensorNode> node) : node_(std::move(node)) {}
+  const std::shared_ptr<internal::TensorNode>& node() const { return node_; }
+
+ private:
+  std::shared_ptr<internal::TensorNode> node_;
+};
+
+namespace internal {
+
+/// Heap node backing a Tensor. Holds storage, gradient, and the backward
+/// closure that scatters this node's gradient into its parents.
+struct TensorNode {
+  TensorNode(Shape s, std::vector<float> values, bool rg);
+  ~TensorNode();
+
+  TensorNode(const TensorNode&) = delete;
+  TensorNode& operator=(const TensorNode&) = delete;
+
+  void EnsureGrad();
+
+  Shape shape;
+  std::vector<float> data;
+  std::vector<float> grad;  // empty until EnsureGrad()
+  bool requires_grad = false;
+  std::vector<std::shared_ptr<TensorNode>> parents;
+  std::function<void(TensorNode&)> backward;  // may be empty for leaves
+  const char* op = "leaf";
+};
+
+}  // namespace internal
+
+/// RAII guard disabling autograd-graph construction (inference mode). While
+/// active, ops produce requires_grad=false tensors with no parents.
+class NoGradGuard {
+ public:
+  NoGradGuard();
+  ~NoGradGuard();
+  NoGradGuard(const NoGradGuard&) = delete;
+  NoGradGuard& operator=(const NoGradGuard&) = delete;
+
+  /// True if gradient recording is currently enabled on this thread.
+  static bool GradEnabled();
+
+ private:
+  bool previous_;
+};
+
+}  // namespace tspn::nn
+
+#endif  // TSPN_NN_TENSOR_H_

@@ -1,0 +1,101 @@
+#include "roadnet/generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+
+namespace tspn::roadnet {
+
+namespace {
+
+/// Index of the district whose centre is nearest to `p`.
+int64_t NearestDistrict(const std::vector<geo::GeoPoint>& centers,
+                        const geo::GeoPoint& p) {
+  int64_t best = 0;
+  double best_d = std::numeric_limits<double>::max();
+  for (size_t i = 0; i < centers.size(); ++i) {
+    double d = geo::EquirectangularKm(centers[i], p);
+    if (d < best_d) {
+      best_d = d;
+      best = static_cast<int64_t>(i);
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+RoadNetwork GenerateRoads(const geo::BoundingBox& region,
+                          const std::vector<geo::GeoPoint>& district_centers,
+                          const std::vector<geo::GeoPoint>& highway,
+                          const GeneratorOptions& options, common::Rng& rng) {
+  TSPN_CHECK(!district_centers.empty());
+  TSPN_CHECK_GE(options.grid_lines, 2);
+  RoadNetwork net;
+
+  // 1. Street grid per district: grid_lines x grid_lines jittered lattice.
+  std::vector<int32_t> district_hub(district_centers.size(), -1);
+  const int32_t g = options.grid_lines;
+  for (size_t d = 0; d < district_centers.size(); ++d) {
+    const geo::GeoPoint& c = district_centers[d];
+    double r = options.district_grid_radius_deg;
+    double step = 2.0 * r / (g - 1);
+    std::vector<int32_t> lattice(static_cast<size_t>(g) * g);
+    for (int32_t row = 0; row < g; ++row) {
+      for (int32_t col = 0; col < g; ++col) {
+        geo::GeoPoint p{
+            c.lat - r + row * step + rng.Uniform(-1, 1) * options.jitter * step,
+            c.lon - r + col * step + rng.Uniform(-1, 1) * options.jitter * step};
+        p = region.Clamp(p);
+        lattice[static_cast<size_t>(row * g + col)] = net.AddNode(p);
+      }
+    }
+    for (int32_t row = 0; row < g; ++row) {
+      for (int32_t col = 0; col < g; ++col) {
+        int32_t id = lattice[static_cast<size_t>(row * g + col)];
+        if (col + 1 < g) {
+          net.AddSegment(id, lattice[static_cast<size_t>(row * g + col + 1)], 0);
+        }
+        if (row + 1 < g) {
+          net.AddSegment(id, lattice[static_cast<size_t>((row + 1) * g + col)], 0);
+        }
+      }
+    }
+    district_hub[d] = lattice[static_cast<size_t>((g / 2) * g + g / 2)];
+  }
+
+  // 2. Arterial roads: connect each district to its nearest already-connected
+  // predecessor (a simple spanning construction keeps the network connected).
+  for (size_t d = 1; d < district_centers.size(); ++d) {
+    double best_dist = std::numeric_limits<double>::max();
+    size_t best_prev = 0;
+    for (size_t e = 0; e < d; ++e) {
+      double dist = geo::EquirectangularKm(district_centers[d], district_centers[e]);
+      if (dist < best_dist) {
+        best_dist = dist;
+        best_prev = e;
+      }
+    }
+    net.AddSegment(district_hub[d], district_hub[best_prev], 1);
+  }
+
+  // 3. Optional highway polyline (e.g. coastal highway).
+  if (highway.size() >= 2) {
+    std::vector<int32_t> hw_nodes;
+    hw_nodes.reserve(highway.size());
+    for (const geo::GeoPoint& p : highway) hw_nodes.push_back(net.AddNode(region.Clamp(p)));
+    for (size_t i = 0; i + 1 < highway.size(); ++i) {
+      net.AddSegment(hw_nodes[i], hw_nodes[i + 1], 2);
+    }
+    // Tie the highway into the road fabric at its midpoint.
+    int64_t d = NearestDistrict(district_centers, highway[highway.size() / 2]);
+    net.AddSegment(hw_nodes[highway.size() / 2], district_hub[static_cast<size_t>(d)],
+                   1);
+  }
+
+  return net;
+}
+
+}  // namespace tspn::roadnet

@@ -1,0 +1,35 @@
+#ifndef TSPN_ROADNET_GENERATOR_H_
+#define TSPN_ROADNET_GENERATOR_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "geo/geometry.h"
+#include "roadnet/road_network.h"
+
+namespace tspn::roadnet {
+
+/// Parameters for the synthetic road generator. The generator lays a local
+/// street grid inside each district, connects district centres with arterial
+/// roads (so the network is connected), and optionally adds a polyline
+/// highway (used for the coastal-Florida profile).
+struct GeneratorOptions {
+  /// Street-grid half-extent around each district centre, in degrees.
+  double district_grid_radius_deg = 0.01;
+  /// Number of grid lines per district side (>= 2).
+  int32_t grid_lines = 5;
+  /// Random jitter applied to grid intersections, as a fraction of spacing.
+  double jitter = 0.15;
+};
+
+/// Generates a connected synthetic road network for the given district
+/// centres inside `region`. `highway` may be empty; if given, its points are
+/// joined as a class-2 polyline and connected to the nearest district.
+RoadNetwork GenerateRoads(const geo::BoundingBox& region,
+                          const std::vector<geo::GeoPoint>& district_centers,
+                          const std::vector<geo::GeoPoint>& highway,
+                          const GeneratorOptions& options, common::Rng& rng);
+
+}  // namespace tspn::roadnet
+
+#endif  // TSPN_ROADNET_GENERATOR_H_

@@ -1,0 +1,88 @@
+#include "roadnet/road_network.h"
+
+#include <algorithm>
+#include <functional>
+#include <numeric>
+
+#include "common/check.h"
+
+namespace tspn::roadnet {
+
+int32_t RoadNetwork::AddNode(const geo::GeoPoint& position) {
+  nodes_.push_back(position);
+  return static_cast<int32_t>(nodes_.size()) - 1;
+}
+
+void RoadNetwork::AddSegment(int32_t a, int32_t b, int32_t klass) {
+  TSPN_CHECK_GE(a, 0);
+  TSPN_CHECK_LT(a, NumNodes());
+  TSPN_CHECK_GE(b, 0);
+  TSPN_CHECK_LT(b, NumNodes());
+  TSPN_CHECK_NE(a, b);
+  segments_.push_back(Segment{a, b, klass});
+}
+
+const geo::GeoPoint& RoadNetwork::node(int32_t id) const {
+  TSPN_CHECK_GE(id, 0);
+  TSPN_CHECK_LT(id, NumNodes());
+  return nodes_[static_cast<size_t>(id)];
+}
+
+const RoadNetwork::Segment& RoadNetwork::segment(int64_t index) const {
+  TSPN_CHECK_GE(index, 0);
+  TSPN_CHECK_LT(index, NumSegments());
+  return segments_[static_cast<size_t>(index)];
+}
+
+double RoadNetwork::TotalLengthKm() const {
+  double total = 0.0;
+  for (const Segment& s : segments_) {
+    total += geo::EquirectangularKm(node(s.a), node(s.b));
+  }
+  return total;
+}
+
+int64_t RoadNetwork::ConnectedComponents() const {
+  if (nodes_.empty()) return 0;
+  std::vector<int32_t> parent(nodes_.size());
+  std::iota(parent.begin(), parent.end(), 0);
+  std::function<int32_t(int32_t)> find = [&](int32_t x) {
+    while (parent[static_cast<size_t>(x)] != x) {
+      parent[static_cast<size_t>(x)] =
+          parent[static_cast<size_t>(parent[static_cast<size_t>(x)])];
+      x = parent[static_cast<size_t>(x)];
+    }
+    return x;
+  };
+  for (const Segment& s : segments_) {
+    int32_t ra = find(s.a), rb = find(s.b);
+    if (ra != rb) parent[static_cast<size_t>(ra)] = rb;
+  }
+  int64_t components = 0;
+  for (int32_t i = 0; i < static_cast<int32_t>(nodes_.size()); ++i) {
+    if (find(i) == i) ++components;
+  }
+  return components;
+}
+
+double RoadNetwork::DensityInBox(const geo::BoundingBox& box,
+                                 double sample_step_km) const {
+  TSPN_CHECK_GT(sample_step_km, 0.0);
+  double total = 0.0;
+  for (const Segment& s : segments_) {
+    const geo::GeoPoint& a = node(s.a);
+    const geo::GeoPoint& b = node(s.b);
+    double length = geo::EquirectangularKm(a, b);
+    if (length <= 0.0) continue;
+    int steps = std::max(1, static_cast<int>(length / sample_step_km));
+    double inside = 0.0;
+    for (int i = 0; i < steps; ++i) {
+      geo::GeoPoint p = geo::Lerp(a, b, (i + 0.5) / steps);
+      if (box.Contains(p)) inside += 1.0;
+    }
+    total += length * inside / steps;
+  }
+  return total;
+}
+
+}  // namespace tspn::roadnet

@@ -1,0 +1,54 @@
+#ifndef TSPN_ROADNET_ROAD_NETWORK_H_
+#define TSPN_ROADNET_ROAD_NETWORK_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "geo/geometry.h"
+
+namespace tspn::roadnet {
+
+/// Road graph: intersections (nodes) joined by straight segments. Stands in
+/// for the OpenStreetMap extract the paper uses; only geometry matters here
+/// because the model consumes roads solely through tile adjacency and image
+/// rendering.
+class RoadNetwork {
+ public:
+  struct Segment {
+    int32_t a = -1;
+    int32_t b = -1;
+    /// 0 = local street, 1 = arterial road, 2 = highway. Affects rendering
+    /// width and adjacency sampling density.
+    int32_t klass = 0;
+  };
+
+  /// Adds an intersection, returning its id.
+  int32_t AddNode(const geo::GeoPoint& position);
+
+  /// Adds a segment between existing nodes.
+  void AddSegment(int32_t a, int32_t b, int32_t klass = 0);
+
+  int64_t NumNodes() const { return static_cast<int64_t>(nodes_.size()); }
+  int64_t NumSegments() const { return static_cast<int64_t>(segments_.size()); }
+  const geo::GeoPoint& node(int32_t id) const;
+  const Segment& segment(int64_t index) const;
+  const std::vector<Segment>& segments() const { return segments_; }
+
+  /// Total length of all segments in km.
+  double TotalLengthKm() const;
+
+  /// Number of connected components (for generator sanity checks).
+  int64_t ConnectedComponents() const;
+
+  /// Sum of segment lengths intersecting the box, in km — the "road density"
+  /// environmental signal the paper motivates (Sec. I challenge 1).
+  double DensityInBox(const geo::BoundingBox& box, double sample_step_km = 0.05) const;
+
+ private:
+  std::vector<geo::GeoPoint> nodes_;
+  std::vector<Segment> segments_;
+};
+
+}  // namespace tspn::roadnet
+
+#endif  // TSPN_ROADNET_ROAD_NETWORK_H_

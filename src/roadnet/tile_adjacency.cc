@@ -1,0 +1,69 @@
+#include "roadnet/tile_adjacency.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <set>
+
+#include "common/check.h"
+
+namespace tspn::roadnet {
+
+TileAdjacency TileAdjacency::Build(const RoadNetwork& roads,
+                                   const spatial::TilePartition& partition) {
+  TileAdjacency adjacency;
+  const int64_t num_tiles = partition.NumTiles();
+  adjacency.neighbors_.assign(static_cast<size_t>(num_tiles), {});
+
+  // Find the smallest tile span to pick a safe sampling step.
+  double min_span_deg = std::numeric_limits<double>::max();
+  for (int64_t t = 0; t < num_tiles; ++t) {
+    geo::BoundingBox b = partition.TileBounds(t);
+    min_span_deg = std::min({min_span_deg, b.LatSpan(), b.LonSpan()});
+  }
+  if (num_tiles == 0) return adjacency;
+  const double step_deg = std::max(min_span_deg / 3.0, 1e-7);
+
+  std::set<std::pair<int64_t, int64_t>> pair_set;
+  for (int64_t s = 0; s < roads.NumSegments(); ++s) {
+    const RoadNetwork::Segment& seg = roads.segment(s);
+    const geo::GeoPoint& a = roads.node(seg.a);
+    const geo::GeoPoint& b = roads.node(seg.b);
+    double span = std::max(std::abs(a.lat - b.lat), std::abs(a.lon - b.lon));
+    int steps = std::max(1, static_cast<int>(std::ceil(span / step_deg)));
+    int64_t prev_tile = -1;
+    for (int i = 0; i <= steps; ++i) {
+      geo::GeoPoint p = geo::Lerp(a, b, static_cast<double>(i) / steps);
+      if (!partition.Region().Contains(p)) {
+        p = partition.Region().Clamp(p);
+      }
+      int64_t tile = partition.TileOf(p);
+      if (prev_tile >= 0 && tile != prev_tile) {
+        pair_set.insert({std::min(prev_tile, tile), std::max(prev_tile, tile)});
+      }
+      prev_tile = tile;
+    }
+  }
+
+  for (const auto& [lo, hi] : pair_set) {
+    adjacency.neighbors_[static_cast<size_t>(lo)].push_back(hi);
+    adjacency.neighbors_[static_cast<size_t>(hi)].push_back(lo);
+    adjacency.pairs_.emplace_back(lo, hi);
+  }
+  for (auto& list : adjacency.neighbors_) std::sort(list.begin(), list.end());
+  return adjacency;
+}
+
+bool TileAdjacency::Connected(int64_t a, int64_t b) const {
+  if (a < 0 || a >= NumTiles() || b < 0 || b >= NumTiles()) return false;
+  const std::vector<int64_t>& list = neighbors_[static_cast<size_t>(a)];
+  return std::binary_search(list.begin(), list.end(), b);
+}
+
+const std::vector<int64_t>& TileAdjacency::Neighbors(int64_t tile) const {
+  TSPN_CHECK_GE(tile, 0);
+  TSPN_CHECK_LT(tile, NumTiles());
+  return neighbors_[static_cast<size_t>(tile)];
+}
+
+}  // namespace tspn::roadnet

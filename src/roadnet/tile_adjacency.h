@@ -1,0 +1,41 @@
+#ifndef TSPN_ROADNET_TILE_ADJACENCY_H_
+#define TSPN_ROADNET_TILE_ADJACENCY_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "roadnet/road_network.h"
+#include "spatial/tile_partition.h"
+
+namespace tspn::roadnet {
+
+/// Undirected adjacency between tiles induced by the road network: two tiles
+/// are adjacent iff some road segment passes from one into the other. These
+/// become the "road" edges of the QR-P graph (Sec. II-B step 2).
+class TileAdjacency {
+ public:
+  /// Derives adjacency by sampling points along every segment. The sampling
+  /// step adapts to the smallest tile so no crossing is missed in practice.
+  static TileAdjacency Build(const RoadNetwork& roads,
+                             const spatial::TilePartition& partition);
+
+  /// True if tiles a and b are road-connected (order-insensitive).
+  bool Connected(int64_t a, int64_t b) const;
+
+  /// Road-neighbours of a tile (sorted, unique).
+  const std::vector<int64_t>& Neighbors(int64_t tile) const;
+
+  /// All unique undirected pairs (a < b).
+  const std::vector<std::pair<int64_t, int64_t>>& Pairs() const { return pairs_; }
+
+  int64_t NumTiles() const { return static_cast<int64_t>(neighbors_.size()); }
+
+ private:
+  std::vector<std::vector<int64_t>> neighbors_;
+  std::vector<std::pair<int64_t, int64_t>> pairs_;
+};
+
+}  // namespace tspn::roadnet
+
+#endif  // TSPN_ROADNET_TILE_ADJACENCY_H_

@@ -1,0 +1,49 @@
+#include "rs/image.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/check.h"
+
+namespace tspn::rs {
+
+float Image::ChannelMean(int32_t c) const {
+  TSPN_CHECK_GE(c, 0);
+  TSPN_CHECK_LT(c, channels);
+  double total = 0.0;
+  const float* plane = data.data() + static_cast<size_t>(c) * height * width;
+  for (int64_t i = 0; i < NumPixels(); ++i) total += plane[i];
+  return static_cast<float>(total / static_cast<double>(NumPixels()));
+}
+
+void AddPixelNoise(Image& image, double fraction, common::Rng& rng) {
+  TSPN_CHECK_GE(fraction, 0.0);
+  TSPN_CHECK_LE(fraction, 1.0);
+  for (int32_t y = 0; y < image.height; ++y) {
+    for (int32_t x = 0; x < image.width; ++x) {
+      if (!rng.Bernoulli(fraction)) continue;
+      for (int32_t c = 0; c < image.channels; ++c) {
+        image.at(c, y, x) = static_cast<float>(rng.Uniform());
+      }
+    }
+  }
+}
+
+void WritePpm(const Image& image, const std::string& path) {
+  TSPN_CHECK_EQ(image.channels, 3);
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  TSPN_CHECK(f != nullptr) << "cannot open " << path;
+  std::fprintf(f, "P6\n%d %d\n255\n", image.width, image.height);
+  for (int32_t y = 0; y < image.height; ++y) {
+    for (int32_t x = 0; x < image.width; ++x) {
+      for (int32_t c = 0; c < 3; ++c) {
+        float v = std::clamp(image.at(c, y, x), 0.0f, 1.0f);
+        unsigned char byte = static_cast<unsigned char>(v * 255.0f);
+        std::fwrite(&byte, 1, 1, f);
+      }
+    }
+  }
+  std::fclose(f);
+}
+
+}  // namespace tspn::rs

@@ -1,0 +1,48 @@
+#ifndef TSPN_RS_IMAGE_H_
+#define TSPN_RS_IMAGE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace tspn::rs {
+
+/// A dense CHW float image in [0, 1]; the synthetic analogue of the 256x256
+/// RGB tiles the paper extracts from Google Maps. Resolution is configurable
+/// so tests can exercise 256^2 while training loops stay CPU-friendly.
+struct Image {
+  int32_t channels = 3;
+  int32_t height = 0;
+  int32_t width = 0;
+  std::vector<float> data;  // channels * height * width, CHW
+
+  Image() = default;
+  Image(int32_t c, int32_t h, int32_t w)
+      : channels(c), height(h), width(w),
+        data(static_cast<size_t>(c) * h * w, 0.0f) {}
+
+  float& at(int32_t c, int32_t y, int32_t x) {
+    return data[static_cast<size_t>((c * height + y) * width + x)];
+  }
+  float at(int32_t c, int32_t y, int32_t x) const {
+    return data[static_cast<size_t>((c * height + y) * width + x)];
+  }
+
+  int64_t NumPixels() const { return static_cast<int64_t>(height) * width; }
+
+  /// Per-channel mean (e.g. "blueness" of a coastal tile in tests).
+  float ChannelMean(int32_t c) const;
+};
+
+/// Replaces `fraction` of the pixels with uniform random RGB noise — the
+/// corruption used by the paper's Fig. 12(b) "20% noisy imagery" case study.
+void AddPixelNoise(Image& image, double fraction, common::Rng& rng);
+
+/// Writes a binary PPM (P6) for eyeballing synthesized tiles.
+void WritePpm(const Image& image, const std::string& path);
+
+}  // namespace tspn::rs
+
+#endif  // TSPN_RS_IMAGE_H_

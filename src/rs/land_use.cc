@@ -1,0 +1,60 @@
+#include "rs/land_use.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+
+namespace tspn::rs {
+
+std::string LandUseName(LandUse value) {
+  switch (value) {
+    case LandUse::kWater: return "water";
+    case LandUse::kCoastal: return "coastal";
+    case LandUse::kPark: return "park";
+    case LandUse::kResidential: return "residential";
+    case LandUse::kCommercial: return "commercial";
+    case LandUse::kIndustrial: return "industrial";
+    case LandUse::kSuburban: return "suburban";
+  }
+  return "unknown";
+}
+
+CityLayout::CityLayout(geo::BoundingBox region, std::vector<District> districts,
+                       CoastSpec coast)
+    : region_(region), districts_(std::move(districts)), coast_(coast) {
+  TSPN_CHECK_GT(region_.LatSpan(), 0.0);
+  TSPN_CHECK_GT(region_.LonSpan(), 0.0);
+}
+
+double CityLayout::CoastLonAt(double lat) const {
+  TSPN_CHECK(coast_.enabled);
+  return coast_.base_lon + coast_.slope * (lat - coast_.anchor_lat);
+}
+
+double CityLayout::CoastDistanceDeg(const geo::GeoPoint& p) const {
+  if (!coast_.enabled) return -std::numeric_limits<double>::infinity();
+  return p.lon - CoastLonAt(p.lat);
+}
+
+LandUse CityLayout::LandUseAt(const geo::GeoPoint& p) const {
+  if (coast_.enabled) {
+    double d = CoastDistanceDeg(p);
+    if (d > 0.0) return LandUse::kWater;
+    if (d > -coast_.coastal_width_deg) return LandUse::kCoastal;
+  }
+  // Nearest covering district wins; ties broken by declaration order.
+  const District* best = nullptr;
+  double best_frac = std::numeric_limits<double>::max();
+  for (const District& d : districts_) {
+    double dist = std::hypot(p.lat - d.center.lat, p.lon - d.center.lon);
+    double frac = dist / std::max(d.radius_deg, 1e-12);
+    if (frac <= 1.0 && frac < best_frac) {
+      best_frac = frac;
+      best = &d;
+    }
+  }
+  return best != nullptr ? best->type : LandUse::kSuburban;
+}
+
+}  // namespace tspn::rs

@@ -1,0 +1,79 @@
+#ifndef TSPN_RS_LAND_USE_H_
+#define TSPN_RS_LAND_USE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "geo/geometry.h"
+
+namespace tspn::rs {
+
+/// Ground-truth land-use classes driving both POI placement (data simulator)
+/// and tile imagery (synthesizer). This shared provenance is exactly what
+/// lets the CNN recover POI-relevant signal from imagery, mirroring the role
+/// of real satellite data in the paper.
+enum class LandUse : uint8_t {
+  kWater = 0,
+  kCoastal,      // beach strip along a coastline
+  kPark,
+  kResidential,
+  kCommercial,
+  kIndustrial,
+  kSuburban,     // default background
+};
+
+constexpr int kNumLandUseClasses = 7;
+
+/// Human-readable name (for docs/debug dumps).
+std::string LandUseName(LandUse value);
+
+/// One urban district: a disc of a given land-use type.
+struct District {
+  geo::GeoPoint center;
+  double radius_deg = 0.01;
+  LandUse type = LandUse::kResidential;
+};
+
+/// Optional linear east-coast model: water where
+///   lon > base_lon + slope * (lat - anchor_lat),
+/// with a `coastal_width_deg` beach strip inland of the waterline.
+struct CoastSpec {
+  bool enabled = false;
+  double base_lon = 0.0;
+  double slope = 0.0;
+  double anchor_lat = 0.0;
+  double coastal_width_deg = 0.02;
+};
+
+/// The synthetic city "world": region, districts, optional coast.
+class CityLayout {
+ public:
+  CityLayout(geo::BoundingBox region, std::vector<District> districts,
+             CoastSpec coast);
+
+  const geo::BoundingBox& region() const { return region_; }
+  const std::vector<District>& districts() const { return districts_; }
+  const CoastSpec& coast() const { return coast_; }
+
+  /// Land use at a point: water/coast first, then the nearest covering
+  /// district, defaulting to suburban background.
+  LandUse LandUseAt(const geo::GeoPoint& p) const;
+
+  /// Signed distance to the waterline in degrees of longitude; negative
+  /// means inland, positive means in the water. Returns -inf when there is
+  /// no coast.
+  double CoastDistanceDeg(const geo::GeoPoint& p) const;
+
+  /// Longitude of the waterline at the given latitude (coast must be enabled).
+  double CoastLonAt(double lat) const;
+
+ private:
+  geo::BoundingBox region_;
+  std::vector<District> districts_;
+  CoastSpec coast_;
+};
+
+}  // namespace tspn::rs
+
+#endif  // TSPN_RS_LAND_USE_H_

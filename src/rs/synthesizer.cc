@@ -1,0 +1,140 @@
+#include "rs/synthesizer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace tspn::rs {
+
+namespace {
+
+struct Rgb {
+  float r, g, b;
+};
+
+/// Base palette per land-use class, loosely matching aerial appearance.
+Rgb BaseColor(LandUse use) {
+  switch (use) {
+    case LandUse::kWater: return {0.10f, 0.30f, 0.65f};
+    case LandUse::kCoastal: return {0.85f, 0.80f, 0.60f};
+    case LandUse::kPark: return {0.20f, 0.55f, 0.25f};
+    case LandUse::kResidential: return {0.75f, 0.65f, 0.55f};
+    case LandUse::kCommercial: return {0.55f, 0.55f, 0.60f};
+    case LandUse::kIndustrial: return {0.45f, 0.40f, 0.45f};
+    case LandUse::kSuburban: return {0.55f, 0.60f, 0.40f};
+  }
+  return {0.0f, 0.0f, 0.0f};
+}
+
+/// Deterministic hash of a quantized world coordinate; drives texture and
+/// building speckle so renders are resolution- and tile-independent.
+uint64_t HashCell(int64_t qlat, int64_t qlon, uint64_t salt) {
+  uint64_t h = salt;
+  h ^= static_cast<uint64_t>(qlat) * 0x9E3779B97F4A7C15ULL;
+  h = (h ^ (h >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  h ^= static_cast<uint64_t>(qlon) * 0xC2B2AE3D27D4EB4FULL;
+  h = (h ^ (h >> 27)) * 0x94D049BB133111EBULL;
+  return h ^ (h >> 31);
+}
+
+float HashUnit(uint64_t h) {
+  return static_cast<float>(h >> 11) * (1.0f / 9007199254740992.0f);
+}
+
+}  // namespace
+
+ImageSynthesizer::ImageSynthesizer(const CityLayout* layout,
+                                   const roadnet::RoadNetwork* roads,
+                                   const Options& options)
+    : layout_(layout), roads_(roads), options_(options) {
+  TSPN_CHECK(layout_ != nullptr);
+  TSPN_CHECK_GE(options_.resolution, 4);
+}
+
+Image ImageSynthesizer::RenderTile(const geo::BoundingBox& bounds) const {
+  Image image(3, options_.resolution, options_.resolution);
+  PaintLandUse(bounds, image);
+  if (roads_ != nullptr) PaintRoads(bounds, image);
+  return image;
+}
+
+void ImageSynthesizer::PaintLandUse(const geo::BoundingBox& bounds,
+                                    Image& image) const {
+  const int32_t res = options_.resolution;
+  const double lat_step = bounds.LatSpan() / res;
+  const double lon_step = bounds.LonSpan() / res;
+  // World-texture quantization: ~1/4096 of the full region so texture is
+  // stable across zoom levels.
+  const double q = std::max(layout_->region().LatSpan(),
+                            layout_->region().LonSpan()) / 4096.0;
+  for (int32_t y = 0; y < res; ++y) {
+    // Row 0 is the northern edge, like map imagery.
+    double lat = bounds.max_lat - (y + 0.5) * lat_step;
+    for (int32_t x = 0; x < res; ++x) {
+      double lon = bounds.min_lon + (x + 0.5) * lon_step;
+      geo::GeoPoint p{lat, lon};
+      LandUse use = layout_->LandUseAt(p);
+      Rgb color = BaseColor(use);
+      uint64_t h = HashCell(static_cast<int64_t>(std::floor(lat / q)),
+                            static_cast<int64_t>(std::floor(lon / q)),
+                            options_.world_seed);
+      float noise =
+          (HashUnit(h) - 0.5f) * 2.0f * static_cast<float>(options_.texture_noise);
+      // Building speckle in built-up districts: small dark/light squares.
+      float speckle = 0.0f;
+      if (use == LandUse::kResidential || use == LandUse::kCommercial ||
+          use == LandUse::kIndustrial) {
+        uint64_t h2 = HashCell(static_cast<int64_t>(std::floor(lat / (q * 2))),
+                               static_cast<int64_t>(std::floor(lon / (q * 2))),
+                               options_.world_seed ^ 0xABCDULL);
+        if (HashUnit(h2) < options_.building_density) {
+          speckle = (HashUnit(h2 * 31) - 0.5f) * 0.25f;
+        }
+      }
+      image.at(0, y, x) = std::clamp(color.r + noise + speckle, 0.0f, 1.0f);
+      image.at(1, y, x) = std::clamp(color.g + noise + speckle, 0.0f, 1.0f);
+      image.at(2, y, x) = std::clamp(color.b + noise + speckle, 0.0f, 1.0f);
+    }
+  }
+}
+
+void ImageSynthesizer::PaintRoads(const geo::BoundingBox& bounds,
+                                  Image& image) const {
+  const int32_t res = options_.resolution;
+  const double lat_step = bounds.LatSpan() / res;
+  const double lon_step = bounds.LonSpan() / res;
+  const float road_color[3] = {0.20f, 0.20f, 0.22f};
+  for (int64_t s = 0; s < roads_->NumSegments(); ++s) {
+    const roadnet::RoadNetwork::Segment& seg = roads_->segment(s);
+    geo::GeoPoint a = roads_->node(seg.a);
+    geo::GeoPoint b = roads_->node(seg.b);
+    // Quick reject: segment bounding box vs tile.
+    if (std::max(a.lat, b.lat) < bounds.min_lat ||
+        std::min(a.lat, b.lat) > bounds.max_lat ||
+        std::max(a.lon, b.lon) < bounds.min_lon ||
+        std::min(a.lon, b.lon) > bounds.max_lon) {
+      continue;
+    }
+    double span_px = std::max(std::abs(a.lat - b.lat) / lat_step,
+                              std::abs(a.lon - b.lon) / lon_step);
+    int steps = std::max(2, static_cast<int>(std::ceil(span_px * 2.0)));
+    int radius = seg.klass >= 2 ? 1 : 0;  // highways are wider
+    for (int i = 0; i <= steps; ++i) {
+      geo::GeoPoint p = geo::Lerp(a, b, static_cast<double>(i) / steps);
+      int32_t px = static_cast<int32_t>((p.lon - bounds.min_lon) / lon_step);
+      int32_t py = static_cast<int32_t>((bounds.max_lat - p.lat) / lat_step);
+      for (int32_t dy = -radius; dy <= radius; ++dy) {
+        for (int32_t dx = -radius; dx <= radius; ++dx) {
+          int32_t xx = px + dx, yy = py + dy;
+          if (xx < 0 || xx >= res || yy < 0 || yy >= res) continue;
+          image.at(0, yy, xx) = road_color[0];
+          image.at(1, yy, xx) = road_color[1];
+          image.at(2, yy, xx) = road_color[2];
+        }
+      }
+    }
+  }
+}
+
+}  // namespace tspn::rs

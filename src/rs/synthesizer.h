@@ -1,0 +1,46 @@
+#ifndef TSPN_RS_SYNTHESIZER_H_
+#define TSPN_RS_SYNTHESIZER_H_
+
+#include <cstdint>
+
+#include "geo/geometry.h"
+#include "roadnet/road_network.h"
+#include "rs/image.h"
+#include "rs/land_use.h"
+
+namespace tspn::rs {
+
+/// Procedural satellite-tile renderer. Each pixel's colour is a deterministic
+/// function of its *world* coordinate (land use + hashed texture), so
+/// overlapping tiles at different quad-tree depths depict the same ground —
+/// the multi-scale consistency Fig. 4 of the paper relies on. Roads are
+/// stroked from the road network with class-dependent width.
+class ImageSynthesizer {
+ public:
+  struct Options {
+    int32_t resolution = 64;       ///< output is resolution x resolution x 3
+    double texture_noise = 0.05;   ///< amplitude of hashed per-pixel texture
+    double building_density = 0.5; ///< speckle probability in built-up areas
+    uint64_t world_seed = 17;      ///< texture hash salt
+  };
+
+  ImageSynthesizer(const CityLayout* layout, const roadnet::RoadNetwork* roads,
+                   const Options& options);
+
+  /// Renders the tile covering `bounds`.
+  Image RenderTile(const geo::BoundingBox& bounds) const;
+
+  const Options& options() const { return options_; }
+
+ private:
+  void PaintLandUse(const geo::BoundingBox& bounds, Image& image) const;
+  void PaintRoads(const geo::BoundingBox& bounds, Image& image) const;
+
+  const CityLayout* layout_;        // not owned
+  const roadnet::RoadNetwork* roads_;  // not owned, may be null
+  Options options_;
+};
+
+}  // namespace tspn::rs
+
+#endif  // TSPN_RS_SYNTHESIZER_H_

@@ -1,0 +1,95 @@
+#ifndef TSPN_SPATIAL_QUADTREE_H_
+#define TSPN_SPATIAL_QUADTREE_H_
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "geo/geometry.h"
+#include "spatial/tile_partition.h"
+
+namespace tspn::spatial {
+
+/// One node ("tile") of the region quad-tree. Non-leaf nodes have exactly
+/// four children covering their quadrants.
+struct QuadTreeNode {
+  geo::BoundingBox bounds;
+  int32_t parent = -1;
+  std::array<int32_t, 4> children = {-1, -1, -1, -1};
+  int32_t depth = 0;
+  /// Indices (into the build-time point vector) stored at this leaf;
+  /// empty for internal nodes.
+  std::vector<int64_t> point_ids;
+
+  bool is_leaf() const { return children[0] < 0; }
+};
+
+/// Region quad-tree over a fixed bounding box (Finkel & Bentley, 1974; Sec.
+/// II-A of the paper). A node splits into four quadrants when it holds more
+/// than `leaf_capacity` points and is shallower than `max_depth` — so leaf
+/// tiles adapt their granularity to POI density, the property the paper
+/// exploits against fixed grids.
+class QuadTree : public TilePartition {
+ public:
+  struct Options {
+    int32_t max_depth = 8;       ///< D in the paper
+    int64_t leaf_capacity = 100; ///< Omega in the paper
+  };
+
+  /// Builds the tree over `points` (all inside or clamped into `region`).
+  static QuadTree Build(const geo::BoundingBox& region,
+                        const std::vector<geo::GeoPoint>& points,
+                        const Options& options);
+
+  // --- Tree structure -------------------------------------------------------
+
+  int64_t NumNodes() const { return static_cast<int64_t>(nodes_.size()); }
+  const QuadTreeNode& node(int64_t id) const;
+  int32_t root() const { return 0; }
+
+  /// Node id of the leaf containing the (clamped) point.
+  int32_t LocateLeaf(const geo::GeoPoint& point) const;
+
+  /// Node ids of all leaves, in dense-leaf-index order.
+  const std::vector<int32_t>& LeafNodes() const { return leaf_nodes_; }
+
+  /// Dense leaf index of a leaf node id (-1 for internal nodes).
+  int64_t LeafIndexOf(int32_t node_id) const;
+
+  /// Leaf node id that the i-th build point landed in.
+  int32_t LeafOfPoint(int64_t point_index) const;
+
+  /// Extracts the minimal sub-tree covering the given leaves: the deepest
+  /// common ancestor plus every node on the paths down to those leaves
+  /// (Sec. II-B construction step 1). Returns node ids sorted ascending.
+  std::vector<int32_t> MinimalSubtree(const std::vector<int32_t>& leaf_node_ids) const;
+
+  // --- TilePartition (atomic tiles = leaves) --------------------------------
+
+  int64_t NumTiles() const override {
+    return static_cast<int64_t>(leaf_nodes_.size());
+  }
+  int64_t TileOf(const geo::GeoPoint& point) const override;
+  geo::BoundingBox TileBounds(int64_t tile) const override;
+  const geo::BoundingBox& Region() const override { return region_; }
+
+  const Options& options() const { return options_; }
+
+ private:
+  QuadTree(geo::BoundingBox region, Options options)
+      : region_(region), options_(options) {}
+
+  void Split(int32_t node_id, const std::vector<geo::GeoPoint>& points);
+  void FinalizeLeaves();
+
+  geo::BoundingBox region_;
+  Options options_;
+  std::vector<QuadTreeNode> nodes_;
+  std::vector<int32_t> leaf_nodes_;          // dense leaf order
+  std::vector<int64_t> node_to_leaf_index_;  // node id -> dense leaf index or -1
+  std::vector<int32_t> point_leaf_;          // build point index -> leaf node id
+};
+
+}  // namespace tspn::spatial
+
+#endif  // TSPN_SPATIAL_QUADTREE_H_

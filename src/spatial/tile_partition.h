@@ -1,0 +1,32 @@
+#ifndef TSPN_SPATIAL_TILE_PARTITION_H_
+#define TSPN_SPATIAL_TILE_PARTITION_H_
+
+#include <cstdint>
+
+#include "geo/geometry.h"
+
+namespace tspn::spatial {
+
+/// Interface for a partitioning of a region into disjoint tiles that jointly
+/// cover it. Both the quad-tree (leaf tiles) and the fixed grid (ablation
+/// baseline) implement it, so the prediction pipeline can swap partitions.
+class TilePartition {
+ public:
+  virtual ~TilePartition() = default;
+
+  /// Number of atomic (predictable) tiles.
+  virtual int64_t NumTiles() const = 0;
+
+  /// Dense tile index in [0, NumTiles()) containing the (clamped) point.
+  virtual int64_t TileOf(const geo::GeoPoint& point) const = 0;
+
+  /// Boundary box of a tile.
+  virtual geo::BoundingBox TileBounds(int64_t tile) const = 0;
+
+  /// The covered region.
+  virtual const geo::BoundingBox& Region() const = 0;
+};
+
+}  // namespace tspn::spatial
+
+#endif  // TSPN_SPATIAL_TILE_PARTITION_H_

@@ -1,0 +1,44 @@
+#include "common/table_printer.h"
+
+#include <gtest/gtest.h>
+
+namespace tspn::common {
+namespace {
+
+TEST(TablePrinterTest, RendersHeaderAndRows) {
+  TablePrinter table({"Model", "Recall@5"});
+  table.AddRow({"MC", "0.0982"});
+  table.AddRow({"TSPN-RA", "0.3480"});
+  std::string text = table.ToString();
+  EXPECT_NE(text.find("Model"), std::string::npos);
+  EXPECT_NE(text.find("TSPN-RA"), std::string::npos);
+  EXPECT_NE(text.find("0.3480"), std::string::npos);
+}
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter table({"A", "B"});
+  table.AddRow({"xxxxxx", "1"});
+  std::string text = table.ToString();
+  // Every line should have the same length (aligned columns).
+  size_t first_len = text.find('\n');
+  size_t pos = first_len + 1;
+  while (pos < text.size()) {
+    size_t next = text.find('\n', pos);
+    if (next == std::string::npos) break;
+    EXPECT_EQ(next - pos, first_len);
+    pos = next + 1;
+  }
+}
+
+TEST(TablePrinterTest, MetricFormatsFourDecimals) {
+  EXPECT_EQ(TablePrinter::Metric(0.5), "0.5000");
+  EXPECT_EQ(TablePrinter::Metric(0.12345), "0.1235");
+}
+
+TEST(TablePrinterTest, FixedPrecision) {
+  EXPECT_EQ(TablePrinter::Fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(TablePrinter::Fixed(10.0, 0), "10");
+}
+
+}  // namespace
+}  // namespace tspn::common

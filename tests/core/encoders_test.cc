@@ -1,0 +1,151 @@
+#include "core/encoders.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "nn/ops.h"
+
+namespace tspn::core {
+namespace {
+
+TspnRaConfig SmallConfig() {
+  TspnRaConfig config;
+  config.dm = 16;
+  config.image_resolution = 16;
+  return config;
+}
+
+std::vector<rs::Image> RandomImages(int64_t n, int32_t res, uint64_t seed) {
+  common::Rng rng(seed);
+  std::vector<rs::Image> images;
+  for (int64_t i = 0; i < n; ++i) {
+    rs::Image img(3, res, res);
+    for (float& v : img.data) v = static_cast<float>(rng.Uniform());
+    images.push_back(std::move(img));
+  }
+  return images;
+}
+
+TEST(TileEncoderTest, OutputShapeAndNormalization) {
+  common::Rng rng(1);
+  TspnRaConfig config = SmallConfig();
+  TileEncoder encoder(config, 6, rng);
+  nn::Tensor images = PackImages(RandomImages(6, 16, 2));
+  nn::Tensor et = encoder.EncodeAll(images);
+  EXPECT_EQ(et.shape(), nn::Shape({6, 16}));
+  for (int64_t r = 0; r < 6; ++r) {
+    double norm = 0.0;
+    for (int64_t c = 0; c < 16; ++c) {
+      double v = et.at(r * 16 + c);
+      norm += v * v;
+    }
+    EXPECT_NEAR(norm, 1.0, 1e-4);
+  }
+}
+
+TEST(TileEncoderTest, DistinctImagesDistinctEmbeddings) {
+  common::Rng rng(3);
+  TspnRaConfig config = SmallConfig();
+  TileEncoder encoder(config, 2, rng);
+  std::vector<rs::Image> images = RandomImages(2, 16, 4);
+  nn::Tensor et = encoder.EncodeAll(PackImages(images));
+  double diff = 0.0;
+  for (int64_t c = 0; c < 16; ++c) diff += std::abs(et.at(c) - et.at(16 + c));
+  EXPECT_GT(diff, 1e-3);
+}
+
+TEST(TileEncoderTest, NoImageryFallbackUsesIdTable) {
+  common::Rng rng(5);
+  TspnRaConfig config = SmallConfig();
+  config.use_imagery = false;
+  TileEncoder encoder(config, 4, rng);
+  nn::Tensor et = encoder.EncodeAll(nn::Tensor());
+  EXPECT_EQ(et.shape(), nn::Shape({4, 16}));
+}
+
+TEST(TileEncoderTest, GradientReachesConvWeights) {
+  common::Rng rng(6);
+  TspnRaConfig config = SmallConfig();
+  TileEncoder encoder(config, 2, rng);
+  nn::Tensor et = encoder.EncodeAll(PackImages(RandomImages(2, 16, 7)));
+  nn::SumAll(nn::Mul(et, et)).Backward();
+  bool any_nonzero = false;
+  for (const nn::Tensor& p : encoder.Parameters()) {
+    auto g = p.GradToVector();
+    for (float v : g) any_nonzero |= (v != 0.0f);
+  }
+  EXPECT_TRUE(any_nonzero);
+}
+
+TEST(PoiEncoderTest, ShapeAndCategoryMixing) {
+  common::Rng rng(8);
+  TspnRaConfig config = SmallConfig();
+  config.alpha = 0.5f;
+  PoiEncoder encoder(config, 10, 4, rng);
+  nn::Tensor e1 = encoder.Encode({3, 3}, {0, 1});
+  // Same id, different category -> different embedding when alpha < 1.
+  double diff = 0.0;
+  for (int64_t c = 0; c < 16; ++c) diff += std::abs(e1.at(c) - e1.at(16 + c));
+  EXPECT_GT(diff, 1e-4);
+}
+
+TEST(PoiEncoderTest, NoCategoryAblationIgnoresCategory) {
+  common::Rng rng(9);
+  TspnRaConfig config = SmallConfig();
+  config.use_category = false;
+  PoiEncoder encoder(config, 10, 4, rng);
+  nn::Tensor e = encoder.Encode({3, 3}, {0, 1});
+  for (int64_t c = 0; c < 16; ++c) EXPECT_EQ(e.at(c), e.at(16 + c));
+}
+
+TEST(SpatialEncodingTest, ShapeAndRange) {
+  nn::Tensor enc = SpatialEncoding(0.3, 0.7, 32, 256.0f);
+  EXPECT_EQ(enc.shape(), nn::Shape({32}));
+  for (int64_t i = 0; i < 32; ++i) {
+    EXPECT_GE(enc.at(i), -1.0f);
+    EXPECT_LE(enc.at(i), 1.0f);
+  }
+}
+
+TEST(SpatialEncodingTest, LocalityProperty) {
+  // Fig. 8: nearby locations have higher cosine similarity of encodings.
+  auto cosine = [](const nn::Tensor& a, const nn::Tensor& b) {
+    double dot = 0.0, na = 0.0, nb = 0.0;
+    for (int64_t i = 0; i < a.numel(); ++i) {
+      dot += static_cast<double>(a.at(i)) * b.at(i);
+      na += static_cast<double>(a.at(i)) * a.at(i);
+      nb += static_cast<double>(b.at(i)) * b.at(i);
+    }
+    return dot / (std::sqrt(na) * std::sqrt(nb));
+  };
+  nn::Tensor anchor = SpatialEncoding(0.42, 0.38, 64, 64.0f);
+  nn::Tensor near = SpatialEncoding(0.43, 0.39, 64, 64.0f);
+  nn::Tensor far = SpatialEncoding(0.9, 0.9, 64, 64.0f);
+  EXPECT_GT(cosine(anchor, near), cosine(anchor, far));
+  EXPECT_GT(cosine(anchor, near), 0.8);
+}
+
+TEST(SpatialEncodingTest, DistinguishesXandY) {
+  nn::Tensor a = SpatialEncoding(0.2, 0.8, 32, 256.0f);
+  nn::Tensor b = SpatialEncoding(0.8, 0.2, 32, 256.0f);
+  double diff = 0.0;
+  for (int64_t i = 0; i < 32; ++i) diff += std::abs(a.at(i) - b.at(i));
+  EXPECT_GT(diff, 0.5);
+}
+
+TEST(TemporalEncoderTest, SlotsAreLearnableAndDistinct) {
+  common::Rng rng(10);
+  TemporalEncoder encoder(16, rng);
+  nn::Tensor morning = encoder.SlotEmbedding(14);  // 7:00
+  nn::Tensor night = encoder.SlotEmbedding(46);    // 23:00
+  double diff = 0.0;
+  for (int64_t i = 0; i < 16; ++i) diff += std::abs(morning.at(i) - night.at(i));
+  EXPECT_GT(diff, 1e-3);
+  EXPECT_EQ(encoder.SlotEmbeddings({0, 1, 2}).shape(), nn::Shape({3, 16}));
+  EXPECT_GT(encoder.ParameterCount(), 0);
+}
+
+}  // namespace
+}  // namespace tspn::core

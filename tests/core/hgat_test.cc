@@ -1,0 +1,131 @@
+#include "core/hgat.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "nn/ops.h"
+
+namespace tspn::core {
+namespace {
+
+graph::QrpGraph TinyGraph() {
+  // Tiles 0,1,2 (0 is parent of 1,2; 1-2 road-connected), POIs 3,4
+  // contained in tiles 1 and 2.
+  graph::QrpGraph g;
+  g.tile_ids = {10, 11, 12};
+  g.poi_ids = {100, 200};
+  g.branch_edges = {{0, 1}, {0, 2}};
+  g.road_edges = {{1, 2}};
+  g.contain_edges = {{1, 3}, {2, 4}};
+  return g;
+}
+
+TEST(HgatTest, AdjacencyBuildsSymmetricMasks) {
+  graph::QrpGraph g = TinyGraph();
+  auto adjacency = BuildAdjacency(g, true, true);
+  ASSERT_EQ(adjacency.size(), 3u);
+  // Branch mask: (0,1),(1,0),(0,2),(2,0).
+  const nn::Tensor& branch = adjacency[0];
+  EXPECT_EQ(branch.at(0 * 5 + 1), 1.0f);
+  EXPECT_EQ(branch.at(1 * 5 + 0), 1.0f);
+  EXPECT_EQ(branch.at(1 * 5 + 2), 0.0f);
+  // Road mask symmetric.
+  EXPECT_EQ(adjacency[1].at(1 * 5 + 2), 1.0f);
+  EXPECT_EQ(adjacency[1].at(2 * 5 + 1), 1.0f);
+  // Contain mask links tile and POI nodes.
+  EXPECT_EQ(adjacency[2].at(1 * 5 + 3), 1.0f);
+  EXPECT_EQ(adjacency[2].at(3 * 5 + 1), 1.0f);
+}
+
+TEST(HgatTest, DisablingEdgeTypesRemovesMasks) {
+  graph::QrpGraph g = TinyGraph();
+  auto adjacency = BuildAdjacency(g, /*use_road_edges=*/false,
+                                  /*use_contain_edges=*/false);
+  EXPECT_TRUE(adjacency[0].defined());
+  EXPECT_FALSE(adjacency[1].defined());
+  EXPECT_FALSE(adjacency[2].defined());
+}
+
+TEST(HgatTest, LayerOutputShape) {
+  common::Rng rng(1);
+  HgatLayer layer(8, rng);
+  graph::QrpGraph g = TinyGraph();
+  nn::Tensor h = nn::Tensor::RandomUniform({5, 8}, 1.0f, rng);
+  nn::Tensor out = layer.Forward(h, BuildAdjacency(g, true, true));
+  EXPECT_EQ(out.shape(), nn::Shape({5, 8}));
+}
+
+TEST(HgatTest, IsolatedNodeStillProducesOutput) {
+  common::Rng rng(2);
+  HgatLayer layer(8, rng);
+  graph::QrpGraph g;
+  g.tile_ids = {0, 1};  // two tiles, no edges at all
+  nn::Tensor h = nn::Tensor::RandomUniform({2, 8}, 1.0f, rng);
+  nn::Tensor out = layer.Forward(h, BuildAdjacency(g, true, true));
+  double norm = 0.0;
+  for (int64_t i = 0; i < out.numel(); ++i) norm += std::abs(out.at(i));
+  EXPECT_GT(norm, 1e-4);  // self-transform keeps the node informative
+}
+
+TEST(HgatTest, MessagePassingPropagatesInformation) {
+  // Node 0's output must change when a connected node's features change,
+  // and stay identical when a disconnected node changes.
+  common::Rng rng(3);
+  HgatLayer layer(8, rng);
+  graph::QrpGraph g;
+  g.tile_ids = {0, 1, 2};
+  g.branch_edges = {{0, 1}};  // 0-1 connected; 2 isolated
+  auto adjacency = BuildAdjacency(g, true, true);
+
+  nn::Tensor h1 = nn::Tensor::RandomUniform({3, 8}, 1.0f, rng);
+  std::vector<float> v2 = h1.ToVector();
+  for (int i = 0; i < 8; ++i) v2[8 + i] += 1.0f;  // perturb node 1
+  nn::Tensor h2 = nn::Tensor::FromVector({3, 8}, v2);
+  std::vector<float> v3 = h1.ToVector();
+  for (int i = 0; i < 8; ++i) v3[16 + i] += 1.0f;  // perturb node 2
+  nn::Tensor h3 = nn::Tensor::FromVector({3, 8}, v3);
+
+  nn::Tensor out1 = layer.Forward(h1, adjacency);
+  nn::Tensor out2 = layer.Forward(h2, adjacency);
+  nn::Tensor out3 = layer.Forward(h3, adjacency);
+  double diff_connected = 0.0, diff_isolated = 0.0;
+  for (int i = 0; i < 8; ++i) {
+    diff_connected += std::abs(out1.at(i) - out2.at(i));
+    diff_isolated += std::abs(out1.at(i) - out3.at(i));
+  }
+  EXPECT_GT(diff_connected, 1e-4);
+  EXPECT_NEAR(diff_isolated, 0.0, 1e-5);
+}
+
+TEST(QrpEncoderTest, SplitsTileAndPoiKnowledge) {
+  common::Rng rng(4);
+  TspnRaConfig config;
+  config.dm = 8;
+  config.num_hgat_layers = 2;
+  QrpEncoder encoder(config, rng);
+  graph::QrpGraph g = TinyGraph();
+  nn::Tensor tiles = nn::Tensor::RandomUniform({3, 8}, 1.0f, rng);
+  nn::Tensor pois = nn::Tensor::RandomUniform({2, 8}, 1.0f, rng);
+  QrpEncoder::Output out = encoder.Encode(g, tiles, pois);
+  EXPECT_EQ(out.tile_knowledge.shape(), nn::Shape({3, 8}));
+  EXPECT_EQ(out.poi_knowledge.shape(), nn::Shape({2, 8}));
+}
+
+TEST(QrpEncoderTest, GradientFlowsToInitialEmbeddings) {
+  common::Rng rng(5);
+  TspnRaConfig config;
+  config.dm = 8;
+  QrpEncoder encoder(config, rng);
+  graph::QrpGraph g = TinyGraph();
+  nn::Tensor tiles = nn::Tensor::RandomUniform({3, 8}, 1.0f, rng, true);
+  nn::Tensor pois = nn::Tensor::RandomUniform({2, 8}, 1.0f, rng, true);
+  QrpEncoder::Output out = encoder.Encode(g, tiles, pois);
+  nn::SumAll(nn::Mul(out.poi_knowledge, out.poi_knowledge)).Backward();
+  auto grad = tiles.GradToVector();
+  double total = 0.0;
+  for (float v : grad) total += std::abs(v);
+  EXPECT_GT(total, 1e-6) << "POI knowledge should depend on tile features";
+}
+
+}  // namespace
+}  // namespace tspn::core

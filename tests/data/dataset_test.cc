@@ -1,0 +1,192 @@
+#include "data/dataset.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace tspn::data {
+namespace {
+
+class DatasetTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    dataset_ = CityDataset::Generate(CityProfile::TestTiny()).get() == nullptr
+                   ? nullptr
+                   : CityDataset::Generate(CityProfile::TestTiny());
+  }
+  static std::shared_ptr<CityDataset> dataset_;
+};
+
+std::shared_ptr<CityDataset> DatasetTest::dataset_;
+
+TEST_F(DatasetTest, CountsMatchProfile) {
+  const CityProfile& p = dataset_->profile();
+  EXPECT_EQ(static_cast<int64_t>(dataset_->pois().size()), p.num_pois);
+  EXPECT_EQ(static_cast<int64_t>(dataset_->users().size()), p.num_users);
+  EXPECT_EQ(static_cast<int64_t>(dataset_->categories().size()), p.num_categories);
+  EXPECT_EQ(dataset_->TotalCheckins(), p.num_users * p.checkins_per_user);
+}
+
+TEST_F(DatasetTest, PoisInsideBbox) {
+  for (const Poi& poi : dataset_->pois()) {
+    EXPECT_TRUE(dataset_->profile().bbox.Contains(poi.loc));
+    EXPECT_GE(poi.category, 0);
+    EXPECT_LT(poi.category, dataset_->profile().num_categories);
+    EXPECT_GT(poi.popularity, 0.0);
+  }
+}
+
+TEST_F(DatasetTest, PoiIdsAreDense) {
+  for (size_t i = 0; i < dataset_->pois().size(); ++i) {
+    EXPECT_EQ(dataset_->pois()[i].id, static_cast<int64_t>(i));
+  }
+}
+
+TEST_F(DatasetTest, TimestampsSortedWithinUsers) {
+  for (const auto& user : dataset_->users()) {
+    int64_t prev = -1;
+    for (const Trajectory& traj : user.trajectories) {
+      for (const Checkin& c : traj.checkins) {
+        EXPECT_GE(c.timestamp, prev);
+        prev = c.timestamp;
+      }
+    }
+  }
+}
+
+TEST_F(DatasetTest, CheckinPoiIdsValid) {
+  for (const auto& user : dataset_->users()) {
+    for (const Trajectory& traj : user.trajectories) {
+      for (const Checkin& c : traj.checkins) {
+        EXPECT_GE(c.poi_id, 0);
+        EXPECT_LT(c.poi_id, static_cast<int64_t>(dataset_->pois().size()));
+      }
+    }
+  }
+}
+
+TEST_F(DatasetTest, SplitsCoverAllTrajectories) {
+  int64_t total = 0;
+  for (const auto& user : dataset_->users()) {
+    EXPECT_EQ(user.splits.size(), user.trajectories.size());
+    total += static_cast<int64_t>(user.trajectories.size());
+  }
+  EXPECT_EQ(total, dataset_->NumTrajectories());
+  EXPECT_GT(total, 0);
+}
+
+TEST_F(DatasetTest, SamplesHaveValidTargets) {
+  for (Split split : {Split::kTrain, Split::kVal, Split::kTest}) {
+    for (const SampleRef& s : dataset_->Samples(split)) {
+      EXPECT_GE(s.prefix_len, 1);
+      const Trajectory& traj = dataset_->trajectory(s);
+      EXPECT_LT(s.prefix_len, traj.size());
+      const Checkin& target = dataset_->Target(s);
+      EXPECT_EQ(target.poi_id, traj.checkins[static_cast<size_t>(s.prefix_len)].poi_id);
+    }
+  }
+}
+
+TEST_F(DatasetTest, TrainSamplesDominate) {
+  auto train = dataset_->Samples(Split::kTrain);
+  auto test = dataset_->Samples(Split::kTest);
+  EXPECT_GT(train.size(), test.size() * 3);
+  EXPECT_GT(test.size(), 0u);
+}
+
+TEST_F(DatasetTest, HistoryIsStrictlyEarlierTrajectories) {
+  const auto& users = dataset_->users();
+  for (size_t u = 0; u < users.size(); ++u) {
+    int32_t num_trajs = static_cast<int32_t>(users[u].trajectories.size());
+    if (num_trajs < 2) continue;
+    auto history = dataset_->HistoryPoiIds(static_cast<int32_t>(u), 2);
+    size_t expected = 0;
+    for (int32_t t = 0; t < std::min(2, num_trajs); ++t) {
+      expected += users[u].trajectories[static_cast<size_t>(t)].checkins.size();
+    }
+    EXPECT_EQ(history.size(), expected);
+    // First trajectory -> empty history.
+    EXPECT_TRUE(dataset_->HistoryPoiIds(static_cast<int32_t>(u), 0).empty());
+  }
+}
+
+TEST_F(DatasetTest, QuadtreeCoversAllPois) {
+  for (const Poi& poi : dataset_->pois()) {
+    int32_t leaf = dataset_->LeafNodeOfPoi(poi.id);
+    EXPECT_TRUE(dataset_->quadtree().node(leaf).bounds.Contains(poi.loc));
+  }
+}
+
+TEST_F(DatasetTest, LeafAdjacencyMatchesQuadtree) {
+  EXPECT_EQ(dataset_->leaf_adjacency().NumTiles(), dataset_->quadtree().NumTiles());
+  EXPECT_GT(dataset_->leaf_adjacency().Pairs().size(), 0u);
+}
+
+TEST_F(DatasetTest, RepeatVisitsExist) {
+  // The behavioural model must create revisits (periodicity signal).
+  int64_t repeats = 0, total = 0;
+  for (const auto& user : dataset_->users()) {
+    std::set<int64_t> seen;
+    for (const Trajectory& traj : user.trajectories) {
+      for (const Checkin& c : traj.checkins) {
+        repeats += seen.count(c.poi_id) > 0;
+        seen.insert(c.poi_id);
+        ++total;
+      }
+    }
+  }
+  EXPECT_GT(static_cast<double>(repeats) / static_cast<double>(total), 0.3);
+}
+
+TEST_F(DatasetTest, SpatialLocalityOfConsecutiveVisits) {
+  // Median consecutive-checkin distance should be far below the region span.
+  std::vector<double> dists;
+  for (const auto& user : dataset_->users()) {
+    for (const Trajectory& traj : user.trajectories) {
+      for (size_t i = 1; i < traj.checkins.size(); ++i) {
+        dists.push_back(geo::EquirectangularKm(
+            dataset_->poi(traj.checkins[i - 1].poi_id).loc,
+            dataset_->poi(traj.checkins[i].poi_id).loc));
+      }
+    }
+  }
+  ASSERT_FALSE(dists.empty());
+  std::sort(dists.begin(), dists.end());
+  double median = dists[dists.size() / 2];
+  geo::GeoPoint sw{dataset_->profile().bbox.min_lat, dataset_->profile().bbox.min_lon};
+  geo::GeoPoint ne{dataset_->profile().bbox.max_lat, dataset_->profile().bbox.max_lon};
+  EXPECT_LT(median, geo::EquirectangularKm(sw, ne) / 3.0);
+}
+
+TEST_F(DatasetTest, DeterministicRegeneration) {
+  auto again = CityDataset::Generate(CityProfile::TestTiny());
+  ASSERT_EQ(again->TotalCheckins(), dataset_->TotalCheckins());
+  const Checkin& a = dataset_->users()[0].trajectories[0].checkins[0];
+  const Checkin& b = again->users()[0].trajectories[0].checkins[0];
+  EXPECT_EQ(a.poi_id, b.poi_id);
+  EXPECT_EQ(a.timestamp, b.timestamp);
+}
+
+TEST(CityProfileTest, PresetsDiffer) {
+  CityProfile tky = CityProfile::FoursquareTky();
+  CityProfile nyc = CityProfile::FoursquareNyc();
+  CityProfile ca = CityProfile::WeeplacesCalifornia();
+  CityProfile fl = CityProfile::WeeplacesFlorida();
+  // State-wide regions are vastly larger than urban ones (Table I contrast).
+  EXPECT_GT(ca.bbox.AreaKm2(), tky.bbox.AreaKm2() * 100);
+  EXPECT_GT(fl.bbox.AreaKm2(), nyc.bbox.AreaKm2() * 100);
+  EXPECT_TRUE(fl.coastal);
+  EXPECT_FALSE(tky.coastal);
+}
+
+TEST(CityProfileTest, ScaledMultipliesWorkload) {
+  CityProfile base = CityProfile::TestTiny();
+  CityProfile big = base.Scaled(3);
+  EXPECT_EQ(big.num_users, base.num_users * 3);
+  EXPECT_EQ(big.num_pois, base.num_pois * 3);
+  EXPECT_EQ(big.checkins_per_user, base.checkins_per_user * 3);
+  EXPECT_EQ(base.Scaled(1).num_users, base.num_users);
+}
+
+}  // namespace
+}  // namespace tspn::data

@@ -1,0 +1,116 @@
+// Parameterized sweep over simulator configurations: dataset invariants must
+// hold for every seed / coastal flag / behavioural mix.
+
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "data/dataset.h"
+
+namespace tspn::data {
+namespace {
+
+// (seed, coastal, p_repeat, users)
+using Config = std::tuple<uint64_t, bool, double, int64_t>;
+
+class GeneratorPropertyTest : public ::testing::TestWithParam<Config> {
+ protected:
+  static CityProfile MakeProfile(const Config& config) {
+    auto [seed, coastal, p_repeat, users] = config;
+    CityProfile p = CityProfile::TestTiny();
+    p.seed = seed;
+    p.coastal = coastal;
+    p.p_repeat = p_repeat;
+    p.num_users = users;
+    return p;
+  }
+};
+
+TEST_P(GeneratorPropertyTest, DatasetInvariants) {
+  CityProfile profile = MakeProfile(GetParam());
+  auto dataset = CityDataset::Generate(profile);
+
+  // Counts.
+  EXPECT_EQ(static_cast<int64_t>(dataset->users().size()), profile.num_users);
+  EXPECT_EQ(static_cast<int64_t>(dataset->pois().size()), profile.num_pois);
+  EXPECT_EQ(dataset->TotalCheckins(), profile.num_users * profile.checkins_per_user);
+
+  // Geometry: POIs in-box and never in water.
+  for (const Poi& poi : dataset->pois()) {
+    EXPECT_TRUE(profile.bbox.Contains(poi.loc));
+    EXPECT_NE(dataset->layout().LandUseAt(poi.loc), rs::LandUse::kWater);
+  }
+
+  // Windows: intra-window gaps < 72h, inter-window gaps >= 72h.
+  const int64_t gap = profile.window_gap_hours * 3600;
+  for (const auto& user : dataset->users()) {
+    for (size_t t = 0; t < user.trajectories.size(); ++t) {
+      const auto& checkins = user.trajectories[t].checkins;
+      for (size_t i = 1; i < checkins.size(); ++i) {
+        EXPECT_LT(checkins[i].timestamp - checkins[i - 1].timestamp, gap);
+      }
+      if (t > 0) {
+        EXPECT_GE(checkins.front().timestamp -
+                      user.trajectories[t - 1].checkins.back().timestamp,
+                  gap);
+      }
+    }
+  }
+
+  // Splits cover all three classes once there are enough trajectories.
+  int64_t counts[3] = {0, 0, 0};
+  for (const auto& user : dataset->users()) {
+    for (Split s : user.splits) ++counts[static_cast<int>(s)];
+  }
+  EXPECT_GT(counts[0], 0);
+  EXPECT_GT(counts[1], 0);
+  EXPECT_GT(counts[2], 0);
+  EXPECT_GT(counts[0], counts[1] + counts[2]);  // train dominates
+
+  // Coastal profiles place a meaningful share of POIs in the coastal band.
+  if (profile.coastal) {
+    int64_t coastal_pois = 0;
+    for (const Poi& poi : dataset->pois()) {
+      double d = dataset->layout().CoastDistanceDeg(poi.loc);
+      if (d > -dataset->layout().coast().coastal_width_deg && d <= 0.0) {
+        ++coastal_pois;
+      }
+    }
+    EXPECT_GT(coastal_pois, profile.num_pois / 20);
+  }
+}
+
+TEST_P(GeneratorPropertyTest, HigherRepeatRateMoreRevisits) {
+  CityProfile low = MakeProfile(GetParam());
+  low.p_repeat = 0.10;
+  CityProfile high = low;
+  high.p_repeat = 0.70;
+  auto repeat_fraction = [](const CityDataset& d) {
+    int64_t repeats = 0, total = 0;
+    for (const auto& user : d.users()) {
+      std::set<int64_t> seen;
+      for (const auto& traj : user.trajectories) {
+        for (const Checkin& c : traj.checkins) {
+          repeats += seen.count(c.poi_id) > 0;
+          seen.insert(c.poi_id);
+          ++total;
+        }
+      }
+    }
+    return static_cast<double>(repeats) / static_cast<double>(total);
+  };
+  double low_frac = repeat_fraction(*CityDataset::Generate(low));
+  double high_frac = repeat_fraction(*CityDataset::Generate(high));
+  EXPECT_GT(high_frac, low_frac);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, GeneratorPropertyTest,
+    ::testing::Values(Config{11, false, 0.35, 6}, Config{12, true, 0.35, 6},
+                      Config{13, false, 0.60, 4}, Config{14, true, 0.20, 8},
+                      Config{15, true, 0.50, 5}));
+
+}  // namespace
+}  // namespace tspn::data

@@ -1,0 +1,101 @@
+#include "data/trajectory.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace tspn::data {
+namespace {
+
+constexpr int64_t kHour = 3600;
+
+TEST(TrajectoryTest, NoGapSingleWindow) {
+  std::vector<Checkin> checkins = {{0, 0}, {1, kHour}, {2, 2 * kHour}};
+  auto trajs = SplitIntoTrajectories(checkins, 72);
+  ASSERT_EQ(trajs.size(), 1u);
+  EXPECT_EQ(trajs[0].size(), 3);
+}
+
+TEST(TrajectoryTest, GapSplitsWindow) {
+  std::vector<Checkin> checkins = {{0, 0}, {1, kHour}, {2, kHour + 73 * kHour}};
+  auto trajs = SplitIntoTrajectories(checkins, 72);
+  ASSERT_EQ(trajs.size(), 2u);
+  EXPECT_EQ(trajs[0].size(), 2);
+  EXPECT_EQ(trajs[1].size(), 1);
+}
+
+TEST(TrajectoryTest, ExactGapIsABreak) {
+  std::vector<Checkin> checkins = {{0, 0}, {1, 72 * kHour}};
+  auto trajs = SplitIntoTrajectories(checkins, 72);
+  EXPECT_EQ(trajs.size(), 2u);
+}
+
+TEST(TrajectoryTest, JustUnderGapIsNoBreak) {
+  std::vector<Checkin> checkins = {{0, 0}, {1, 72 * kHour - 1}};
+  auto trajs = SplitIntoTrajectories(checkins, 72);
+  EXPECT_EQ(trajs.size(), 1u);
+}
+
+TEST(TrajectoryTest, EmptyStream) {
+  EXPECT_TRUE(SplitIntoTrajectories({}, 72).empty());
+}
+
+TEST(TrajectoryTest, AllCheckinsPreserved) {
+  common::Rng rng(1);
+  std::vector<Checkin> checkins;
+  int64_t t = 0;
+  for (int i = 0; i < 200; ++i) {
+    t += static_cast<int64_t>(rng.Uniform(1, 100)) * kHour;
+    checkins.push_back({i, t});
+  }
+  auto trajs = SplitIntoTrajectories(checkins, 72);
+  int64_t total = 0;
+  for (const auto& traj : trajs) total += traj.size();
+  EXPECT_EQ(total, 200);
+  // Windows are internally gap-free and separated by >= 72h.
+  for (const auto& traj : trajs) {
+    for (size_t i = 1; i < traj.checkins.size(); ++i) {
+      EXPECT_LT(traj.checkins[i].timestamp - traj.checkins[i - 1].timestamp,
+                72 * kHour);
+    }
+  }
+  for (size_t w = 1; w < trajs.size(); ++w) {
+    EXPECT_GE(trajs[w].checkins.front().timestamp -
+                  trajs[w - 1].checkins.back().timestamp,
+              72 * kHour);
+  }
+}
+
+TEST(SplitTest, ProportionsRoughly801010) {
+  common::Rng rng(2);
+  auto splits = AssignSplits(1000, rng);
+  int counts[3] = {0, 0, 0};
+  for (Split s : splits) ++counts[static_cast<int>(s)];
+  EXPECT_EQ(counts[1], 100);
+  EXPECT_EQ(counts[2], 100);
+  EXPECT_EQ(counts[0], 800);
+}
+
+TEST(SplitTest, DeterministicForSeed) {
+  common::Rng a(3), b(3);
+  EXPECT_EQ(AssignSplits(100, a), AssignSplits(100, b));
+}
+
+TEST(TimeSlotTest, SlotBoundaries) {
+  EXPECT_EQ(TimeSlotOf(0), 0);
+  EXPECT_EQ(TimeSlotOf(1799), 0);
+  EXPECT_EQ(TimeSlotOf(1800), 1);
+  EXPECT_EQ(TimeSlotOf(kSecondsPerDay - 1), 47);
+  EXPECT_EQ(TimeSlotOf(kSecondsPerDay), 0);  // wraps to next day
+}
+
+TEST(TimeSlotTest, DayParts) {
+  EXPECT_EQ(DayPartOf(7 * kHour), DayPart::kMorning);
+  EXPECT_EQ(DayPartOf(12 * kHour), DayPart::kMidday);
+  EXPECT_EQ(DayPartOf(19 * kHour), DayPart::kEvening);
+  EXPECT_EQ(DayPartOf(2 * kHour), DayPart::kNight);
+  EXPECT_EQ(DayPartOf(23 * kHour + 30 * 60), DayPart::kNight);
+}
+
+}  // namespace
+}  // namespace tspn::data

@@ -1,0 +1,61 @@
+// Parameterized checks of the ranking metrics against closed-form values
+// for every target rank.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "eval/metrics.h"
+
+namespace tspn::eval {
+namespace {
+
+class MetricsRankTest : public ::testing::TestWithParam<int64_t> {};
+
+TEST_P(MetricsRankTest, ClosedFormAtEveryRank) {
+  const int64_t rank = GetParam();  // 1-based position of the target
+  RankingMetrics metrics;
+  std::vector<int64_t> ranked(30);
+  for (int64_t i = 0; i < 30; ++i) ranked[static_cast<size_t>(i)] = 100 + i;
+  int64_t target = 100 + rank - 1;
+  metrics.Add(ranked, target);
+
+  for (int k : {5, 10, 20}) {
+    double expected_recall = rank <= k ? 1.0 : 0.0;
+    double expected_ndcg =
+        rank <= k ? 1.0 / std::log2(static_cast<double>(rank) + 1.0) : 0.0;
+    EXPECT_NEAR(metrics.RecallAt(k), expected_recall, 1e-12) << "k=" << k;
+    EXPECT_NEAR(metrics.NdcgAt(k), expected_ndcg, 1e-12) << "k=" << k;
+  }
+  EXPECT_NEAR(metrics.Mrr(), 1.0 / static_cast<double>(rank), 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ranks, MetricsRankTest,
+                         ::testing::Values(1, 2, 3, 5, 6, 10, 11, 20, 21, 30));
+
+TEST(MetricsEdgeTest, EmptyListIsMiss) {
+  RankingMetrics metrics;
+  metrics.Add({}, 42);
+  EXPECT_EQ(metrics.RecallAt(5), 0.0);
+  EXPECT_EQ(metrics.Mrr(), 0.0);
+  EXPECT_EQ(metrics.count(), 1);
+}
+
+TEST(MetricsEdgeTest, EmptyAccumulatorIsZero) {
+  RankingMetrics metrics;
+  EXPECT_EQ(metrics.RecallAt(5), 0.0);
+  EXPECT_EQ(metrics.NdcgAt(10), 0.0);
+  EXPECT_EQ(metrics.Mrr(), 0.0);
+}
+
+TEST(MetricsEdgeTest, AveragesOverMixedOutcomes) {
+  RankingMetrics metrics;
+  metrics.Add({1, 2, 3}, 1);   // rank 1
+  metrics.Add({1, 2, 3}, 3);   // rank 3
+  metrics.Add({1, 2, 3}, 99);  // miss
+  EXPECT_NEAR(metrics.RecallAt(5), 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(metrics.Mrr(), (1.0 + 1.0 / 3.0) / 3.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace tspn::eval

@@ -1,0 +1,131 @@
+#include "graph/qrp_graph.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "data/dataset.h"
+
+namespace tspn::graph {
+namespace {
+
+class QrpGraphTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    dataset_ = data::CityDataset::Generate(data::CityProfile::TestTiny());
+  }
+  static std::shared_ptr<data::CityDataset> dataset_;
+
+  /// Some visited POI ids spanning several tiles.
+  static std::vector<int64_t> SampleVisits() {
+    return {0, 5, 10, 40, 80, 5, 110, 0};
+  }
+};
+
+std::shared_ptr<data::CityDataset> QrpGraphTest::dataset_;
+
+TEST_F(QrpGraphTest, EmptyTrajectoryEmptyGraph) {
+  QrpGraph g = BuildQrpGraph(dataset_->quadtree(), dataset_->leaf_adjacency(),
+                             dataset_->pois(), {});
+  EXPECT_TRUE(g.empty());
+}
+
+TEST_F(QrpGraphTest, RepeatVisitsCollapseToOneNode) {
+  std::vector<int64_t> visits = SampleVisits();
+  QrpGraph g = BuildQrpGraph(dataset_->quadtree(), dataset_->leaf_adjacency(),
+                             dataset_->pois(), visits);
+  std::set<int64_t> unique(visits.begin(), visits.end());
+  EXPECT_EQ(g.NumPoiNodes(), static_cast<int64_t>(unique.size()));
+}
+
+TEST_F(QrpGraphTest, EveryPoiHasExactlyOneContainEdge) {
+  QrpGraph g = BuildQrpGraph(dataset_->quadtree(), dataset_->leaf_adjacency(),
+                             dataset_->pois(), SampleVisits());
+  std::vector<int> contain_count(static_cast<size_t>(g.NumPoiNodes()), 0);
+  for (const auto& [tile, poi] : g.contain_edges) {
+    EXPECT_GE(tile, 0);
+    EXPECT_LT(tile, g.NumTileNodes());
+    EXPECT_GE(poi, g.NumTileNodes());
+    EXPECT_LT(poi, g.NumNodes());
+    ++contain_count[static_cast<size_t>(poi - g.NumTileNodes())];
+  }
+  for (int c : contain_count) EXPECT_EQ(c, 1);
+}
+
+TEST_F(QrpGraphTest, ContainEdgeTileActuallyContainsPoi) {
+  QrpGraph g = BuildQrpGraph(dataset_->quadtree(), dataset_->leaf_adjacency(),
+                             dataset_->pois(), SampleVisits());
+  for (const auto& [tile, poi] : g.contain_edges) {
+    int32_t node_id = g.tile_ids[static_cast<size_t>(tile)];
+    int64_t poi_id = g.poi_ids[static_cast<size_t>(poi - g.NumTileNodes())];
+    EXPECT_TRUE(dataset_->quadtree().node(node_id).bounds.Contains(
+        dataset_->poi(poi_id).loc));
+  }
+}
+
+TEST_F(QrpGraphTest, BranchEdgesFormTreeOverTiles) {
+  QrpGraph g = BuildQrpGraph(dataset_->quadtree(), dataset_->leaf_adjacency(),
+                             dataset_->pois(), SampleVisits());
+  // A tree over the tile nodes has exactly |tiles| - 1 branch edges (the
+  // minimal subtree is connected and rooted).
+  EXPECT_EQ(static_cast<int64_t>(g.branch_edges.size()), g.NumTileNodes() - 1);
+  for (const auto& [parent, child] : g.branch_edges) {
+    int32_t parent_id = g.tile_ids[static_cast<size_t>(parent)];
+    int32_t child_id = g.tile_ids[static_cast<size_t>(child)];
+    EXPECT_EQ(dataset_->quadtree().node(child_id).parent, parent_id);
+  }
+}
+
+TEST_F(QrpGraphTest, RoadEdgesOnlyBetweenLeaves) {
+  QrpGraph g = BuildQrpGraph(dataset_->quadtree(), dataset_->leaf_adjacency(),
+                             dataset_->pois(), SampleVisits());
+  for (const auto& [a, b] : g.road_edges) {
+    int32_t na = g.tile_ids[static_cast<size_t>(a)];
+    int32_t nb = g.tile_ids[static_cast<size_t>(b)];
+    EXPECT_TRUE(dataset_->quadtree().node(na).is_leaf());
+    EXPECT_TRUE(dataset_->quadtree().node(nb).is_leaf());
+    EXPECT_TRUE(dataset_->leaf_adjacency().Connected(
+        dataset_->quadtree().LeafIndexOf(na), dataset_->quadtree().LeafIndexOf(nb)));
+  }
+}
+
+TEST_F(QrpGraphTest, SinglePoiGraphIsOneTileOnePoi) {
+  QrpGraph g = BuildQrpGraph(dataset_->quadtree(), dataset_->leaf_adjacency(),
+                             dataset_->pois(), {3});
+  EXPECT_EQ(g.NumPoiNodes(), 1);
+  EXPECT_EQ(g.NumTileNodes(), 1);
+  EXPECT_TRUE(g.branch_edges.empty());
+  EXPECT_EQ(g.contain_edges.size(), 1u);
+}
+
+TEST_F(QrpGraphTest, GridVariantHasNoBranchEdges) {
+  spatial::GridIndex grid(dataset_->profile().bbox, 8);
+  roadnet::TileAdjacency adj =
+      roadnet::TileAdjacency::Build(dataset_->roads(), grid);
+  QrpGraph g = BuildQrpGraphFromGrid(grid, adj, dataset_->pois(), SampleVisits());
+  EXPECT_TRUE(g.branch_edges.empty());
+  EXPECT_GT(g.NumTileNodes(), 0);
+  EXPECT_EQ(g.contain_edges.size(), static_cast<size_t>(g.NumPoiNodes()));
+  for (const auto& [tile, poi] : g.contain_edges) {
+    int64_t cell = g.tile_ids[static_cast<size_t>(tile)];
+    int64_t poi_id = g.poi_ids[static_cast<size_t>(poi - g.NumTileNodes())];
+    EXPECT_EQ(grid.TileOf(dataset_->poi(poi_id).loc), cell);
+  }
+}
+
+TEST_F(QrpGraphTest, GraphFromRealHistory) {
+  // Build from an actual user's history; invariants must hold.
+  const auto& users = dataset_->users();
+  for (size_t u = 0; u < users.size(); ++u) {
+    if (users[u].trajectories.size() < 3) continue;
+    auto history = dataset_->HistoryPoiIds(static_cast<int32_t>(u), 2);
+    QrpGraph g = BuildQrpGraph(dataset_->quadtree(), dataset_->leaf_adjacency(),
+                               dataset_->pois(), history);
+    EXPECT_GT(g.NumNodes(), 0);
+    EXPECT_EQ(g.contain_edges.size(), static_cast<size_t>(g.NumPoiNodes()));
+    break;
+  }
+}
+
+}  // namespace
+}  // namespace tspn::graph

@@ -1,0 +1,145 @@
+// Property tests: every broadcastable shape pair must match a naive
+// reference implementation and pass finite-difference gradient checks.
+
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "nn/ops.h"
+#include "tests/nn/grad_check.h"
+
+namespace tspn::nn {
+namespace {
+
+using ShapePair = std::tuple<Shape, Shape, Shape>;  // a, b, expected out
+
+class BroadcastShapeTest : public ::testing::TestWithParam<ShapePair> {};
+
+TEST_P(BroadcastShapeTest, AddMatchesReferenceAndOutShape) {
+  const auto& [sa, sb, expected] = GetParam();
+  common::Rng rng(13);
+  Tensor a = Tensor::RandomUniform(sa, 1.0f, rng);
+  Tensor b = Tensor::RandomUniform(sb, 1.0f, rng);
+  Tensor c = Add(a, b);
+  ASSERT_EQ(c.shape(), expected);
+  // Reference: index arithmetic with explicit modular strides.
+  auto index_of = [](const Shape& shape, const Shape& out,
+                     const std::vector<int64_t>& coord) {
+    int64_t offset = static_cast<int64_t>(out.size() - shape.size());
+    int64_t idx = 0;
+    for (size_t d = 0; d < shape.size(); ++d) {
+      int64_t c = coord[d + static_cast<size_t>(offset)];
+      int64_t dim = shape[d];
+      idx = idx * dim + (dim == 1 ? 0 : c);
+    }
+    return idx;
+  };
+  std::vector<int64_t> coord(expected.size(), 0);
+  for (int64_t flat = 0; flat < c.numel(); ++flat) {
+    int64_t rest = flat;
+    for (int64_t d = static_cast<int64_t>(expected.size()) - 1; d >= 0; --d) {
+      coord[static_cast<size_t>(d)] = rest % expected[static_cast<size_t>(d)];
+      rest /= expected[static_cast<size_t>(d)];
+    }
+    float want = a.at(index_of(sa, expected, coord)) +
+                 b.at(index_of(sb, expected, coord));
+    EXPECT_NEAR(c.at(flat), want, 1e-6) << "flat index " << flat;
+  }
+}
+
+TEST_P(BroadcastShapeTest, MulGradientsCheck) {
+  const auto& [sa, sb, expected] = GetParam();
+  (void)expected;
+  common::Rng rng(17);
+  Tensor a = Tensor::RandomUniform(sa, 1.0f, rng, /*requires_grad=*/true);
+  Tensor b = Tensor::RandomUniform(sb, 1.0f, rng, /*requires_grad=*/true);
+  testing::CheckGradients({a, b},
+                          [&] { return SumAll(Mul(Mul(a, b), Add(a, b))); });
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, BroadcastShapeTest,
+    ::testing::Values(
+        ShapePair{{3}, {3}, {3}},
+        ShapePair{{2, 3}, {3}, {2, 3}},
+        ShapePair{{3}, {2, 3}, {2, 3}},
+        ShapePair{{2, 3}, {2, 1}, {2, 3}},
+        ShapePair{{2, 1}, {1, 4}, {2, 4}},
+        ShapePair{{1}, {2, 3}, {2, 3}},
+        ShapePair{{2, 1, 4}, {3, 1}, {2, 3, 4}},
+        ShapePair{{1, 2, 1, 3}, {2, 4, 3}, {1, 2, 4, 3}},
+        ShapePair{{2, 2}, {1, 1}, {2, 2}}));
+
+class ActivationSweepTest : public ::testing::TestWithParam<float> {};
+
+TEST_P(ActivationSweepTest, SigmoidTanhBoundsAndMonotonicity) {
+  float x = GetParam();
+  Tensor t = Tensor::FromVector({2}, {x, x + 0.5f});
+  Tensor s = Sigmoid(t);
+  Tensor h = Tanh(t);
+  EXPECT_GT(s.at(0), 0.0f);
+  EXPECT_LT(s.at(0), 1.0f);
+  EXPECT_GT(h.at(0), -1.0f);
+  EXPECT_LT(h.at(0), 1.0f);
+  EXPECT_LT(s.at(0), s.at(1));  // strictly increasing
+  EXPECT_LT(h.at(0), h.at(1));
+}
+
+INSTANTIATE_TEST_SUITE_P(Points, ActivationSweepTest,
+                         ::testing::Values(-4.0f, -1.5f, -0.25f, 0.0f, 0.25f,
+                                           1.5f, 4.0f));
+
+class SoftmaxSizeTest : public ::testing::TestWithParam<int64_t> {};
+
+TEST_P(SoftmaxSizeTest, SumsToOneAndOrderPreserved) {
+  int64_t n = GetParam();
+  common::Rng rng(19 + static_cast<uint64_t>(n));
+  Tensor logits = Tensor::RandomUniform({n}, 3.0f, rng);
+  Tensor probs = Softmax(logits);
+  double total = 0.0;
+  for (int64_t i = 0; i < n; ++i) {
+    EXPECT_GT(probs.at(i), 0.0f);
+    total += probs.at(i);
+  }
+  EXPECT_NEAR(total, 1.0, 1e-4);
+  for (int64_t i = 0; i + 1 < n; ++i) {
+    if (logits.at(i) < logits.at(i + 1)) {
+      EXPECT_LT(probs.at(i), probs.at(i + 1));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SoftmaxSizeTest,
+                         ::testing::Values(1, 2, 3, 8, 33, 257));
+
+class MatMulSizeTest
+    : public ::testing::TestWithParam<std::tuple<int64_t, int64_t, int64_t>> {};
+
+TEST_P(MatMulSizeTest, MatchesNaiveReference) {
+  auto [m, k, n] = GetParam();
+  common::Rng rng(23);
+  Tensor a = Tensor::RandomUniform({m, k}, 1.0f, rng);
+  Tensor b = Tensor::RandomUniform({k, n}, 1.0f, rng);
+  Tensor c = MatMul(a, b);
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t j = 0; j < n; ++j) {
+      double want = 0.0;
+      for (int64_t kk = 0; kk < k; ++kk) {
+        want += static_cast<double>(a.at(i * k + kk)) * b.at(kk * n + j);
+      }
+      EXPECT_NEAR(c.at(i * n + j), want, 1e-3);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, MatMulSizeTest,
+                         ::testing::Values(std::make_tuple(1, 1, 1),
+                                           std::make_tuple(1, 5, 3),
+                                           std::make_tuple(4, 1, 4),
+                                           std::make_tuple(7, 3, 2),
+                                           std::make_tuple(16, 16, 16)));
+
+}  // namespace
+}  // namespace tspn::nn

@@ -1,0 +1,114 @@
+#include "nn/conv.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "nn/ops.h"
+#include "nn/tensor.h"
+
+namespace tspn::nn {
+namespace {
+
+TEST(ConvTest, IdentityKernelPreservesInput) {
+  // 1x1 kernel of weight 1 on one channel.
+  Tensor x = Tensor::FromVector({1, 1, 2, 2}, {1, 2, 3, 4});
+  Tensor w = Tensor::FromVector({1, 1, 1, 1}, {1.0f});
+  Tensor y = Conv2d(x, w, Tensor(), 1, 0);
+  EXPECT_EQ(y.ToVector(), std::vector<float>({1, 2, 3, 4}));
+}
+
+TEST(ConvTest, KnownSumKernel) {
+  // 2x2 all-ones kernel, stride 1, no padding: sliding window sums.
+  Tensor x = Tensor::FromVector({1, 1, 3, 3}, {1, 2, 3, 4, 5, 6, 7, 8, 9});
+  Tensor w = Tensor::FromVector({1, 1, 2, 2}, {1, 1, 1, 1});
+  Tensor y = Conv2d(x, w, Tensor(), 1, 0);
+  EXPECT_EQ(y.shape(), Shape({1, 1, 2, 2}));
+  EXPECT_EQ(y.ToVector(), std::vector<float>({12, 16, 24, 28}));
+}
+
+TEST(ConvTest, StrideTwoHalvesResolution) {
+  Tensor x = Tensor::Full({1, 1, 8, 8}, 1.0f);
+  Tensor w = Tensor::Full({4, 1, 3, 3}, 0.1f);
+  Tensor y = Conv2d(x, w, Tensor(), 2, 1);
+  EXPECT_EQ(y.shape(), Shape({1, 4, 4, 4}));
+}
+
+TEST(ConvTest, BiasIsAdded) {
+  Tensor x = Tensor::Zeros({1, 1, 2, 2});
+  Tensor w = Tensor::Full({2, 1, 1, 1}, 1.0f);
+  Tensor b = Tensor::FromVector({2}, {5.0f, -1.0f});
+  Tensor y = Conv2d(x, w, b, 1, 0);
+  EXPECT_EQ(y.at(0), 5.0f);
+  EXPECT_EQ(y.at(4), -1.0f);
+}
+
+TEST(ConvTest, MultiChannelAccumulates) {
+  Tensor x = Tensor::FromVector({1, 2, 1, 1}, {2.0f, 3.0f});
+  Tensor w = Tensor::FromVector({1, 2, 1, 1}, {10.0f, 100.0f});
+  Tensor y = Conv2d(x, w, Tensor(), 1, 0);
+  EXPECT_EQ(y.item(), 320.0f);
+}
+
+TEST(ConvTest, BatchDimensionIndependent) {
+  Tensor x = Tensor::FromVector({2, 1, 1, 1}, {1.0f, 2.0f});
+  Tensor w = Tensor::FromVector({1, 1, 1, 1}, {3.0f});
+  Tensor y = Conv2d(x, w, Tensor(), 1, 0);
+  EXPECT_EQ(y.at(0), 3.0f);
+  EXPECT_EQ(y.at(1), 6.0f);
+}
+
+TEST(ConvTest, PaddingContributesZeros) {
+  Tensor x = Tensor::FromVector({1, 1, 1, 1}, {1.0f});
+  Tensor w = Tensor::Full({1, 1, 3, 3}, 1.0f);
+  Tensor y = Conv2d(x, w, Tensor(), 1, 1);
+  EXPECT_EQ(y.shape(), Shape({1, 1, 1, 1}));
+  EXPECT_EQ(y.item(), 1.0f);  // only the centre tap hits real data
+}
+
+TEST(MaxPoolTest, PicksMaxPerWindow) {
+  Tensor x = Tensor::FromVector({1, 1, 4, 4},
+                                {1, 2, 5, 4,
+                                 3, 0, 1, 2,
+                                 9, 1, 0, 0,
+                                 1, 1, 0, 7});
+  Tensor y = MaxPool2x2(x);
+  EXPECT_EQ(y.shape(), Shape({1, 1, 2, 2}));
+  EXPECT_EQ(y.ToVector(), std::vector<float>({3, 5, 9, 7}));
+}
+
+TEST(MaxPoolTest, GradientFlowsOnlyToArgmax) {
+  Tensor x = Tensor::FromVector({1, 1, 2, 2}, {1, 4, 2, 3}, /*requires_grad=*/true);
+  Tensor y = MaxPool2x2(x);
+  SumAll(y).Backward();
+  EXPECT_EQ(x.grad()[0], 0.0f);
+  EXPECT_EQ(x.grad()[1], 1.0f);
+  EXPECT_EQ(x.grad()[2], 0.0f);
+  EXPECT_EQ(x.grad()[3], 0.0f);
+}
+
+TEST(ConvTest, StridedConvUsesLessPeakMemoryThanPoolInBackward) {
+  // Reproduces the Sec. IV-A observation motivating the strided-conv design:
+  // conv+pool keeps a full-resolution pre-pool activation (4x the elements)
+  // alive in the graph, while the strided conv emits the small map directly.
+  common::Rng rng(1);
+  auto run = [&](bool use_pool) {
+    ResetMemoryStats();
+    Tensor x = Tensor::RandomUniform({1, 3, 32, 32}, 1.0f, rng);
+    Tensor w = Tensor::RandomUniform({8, 3, 3, 3}, 0.2f, rng, true);
+    Tensor y;
+    if (use_pool) {
+      y = MaxPool2x2(Conv2d(x, w, Tensor(), 1, 1));
+    } else {
+      y = Conv2d(x, w, Tensor(), 2, 1);
+    }
+    Tensor loss = SumAll(Mul(y, y));
+    loss.Backward();
+    return PeakTensorBytes();
+  };
+  int64_t pool_peak = run(true);
+  int64_t stride_peak = run(false);
+  EXPECT_LT(stride_peak, pool_peak);
+}
+
+}  // namespace
+}  // namespace tspn::nn

@@ -1,0 +1,51 @@
+#ifndef TSPN_TESTS_NN_GRAD_CHECK_H_
+#define TSPN_TESTS_NN_GRAD_CHECK_H_
+
+#include <cmath>
+#include <functional>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "nn/tensor.h"
+
+namespace tspn::nn::testing {
+
+/// Compares analytic gradients against central finite differences for a
+/// scalar-valued function of the given inputs. `fn` must rebuild the graph
+/// from the current input values on every call.
+inline void CheckGradients(std::vector<Tensor> inputs,
+                           const std::function<Tensor()>& fn, float eps = 1e-3f,
+                           float tol = 2e-2f) {
+  // Analytic pass (clear any gradient left by a previous check on the same
+  // tensors — Backward() accumulates).
+  for (Tensor& input : inputs) input.ZeroGrad();
+  Tensor loss = fn();
+  ASSERT_EQ(loss.numel(), 1);
+  loss.Backward();
+  std::vector<std::vector<float>> analytic;
+  analytic.reserve(inputs.size());
+  for (Tensor& input : inputs) analytic.push_back(input.GradToVector());
+
+  // Numeric pass.
+  for (size_t t = 0; t < inputs.size(); ++t) {
+    Tensor& input = inputs[t];
+    for (int64_t i = 0; i < input.numel(); ++i) {
+      float original = input.data()[i];
+      input.data()[i] = original + eps;
+      float plus = fn().item();
+      input.data()[i] = original - eps;
+      float minus = fn().item();
+      input.data()[i] = original;
+      float numeric = (plus - minus) / (2.0f * eps);
+      float got = analytic[t][static_cast<size_t>(i)];
+      float scale = std::max({1.0f, std::fabs(numeric), std::fabs(got)});
+      EXPECT_NEAR(got, numeric, tol * scale)
+          << "input " << t << " element " << i;
+    }
+  }
+}
+
+}  // namespace tspn::nn::testing
+
+#endif  // TSPN_TESTS_NN_GRAD_CHECK_H_

@@ -1,0 +1,162 @@
+#include "nn/layers.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "nn/ops.h"
+#include "tests/nn/grad_check.h"
+
+namespace tspn::nn {
+namespace {
+
+TEST(LinearTest, ShapesAndBias) {
+  common::Rng rng(1);
+  Linear layer(3, 2, rng);
+  Tensor x = Tensor::FromVector({2, 3}, {1, 0, 0, 0, 1, 0});
+  Tensor y = layer.Forward(x);
+  EXPECT_EQ(y.shape(), Shape({2, 2}));
+  Tensor v = Tensor::FromVector({3}, {1, 2, 3});
+  Tensor yv = layer.Forward(v);
+  EXPECT_EQ(yv.shape(), Shape({2}));
+}
+
+TEST(LinearTest, MatchesManualAffine) {
+  common::Rng rng(2);
+  Linear layer(2, 1, rng);
+  const float* w = layer.weight().data();
+  const float* b = layer.bias().data();
+  Tensor x = Tensor::FromVector({2}, {3.0f, -1.0f});
+  Tensor y = layer.Forward(x);
+  EXPECT_NEAR(y.item(), w[0] * 3.0f + w[1] * -1.0f + b[0], 1e-5);
+}
+
+TEST(LinearTest, NoBiasOption) {
+  common::Rng rng(3);
+  Linear layer(2, 2, rng, /*with_bias=*/false);
+  EXPECT_EQ(layer.Parameters().size(), 1u);
+  Tensor zero = Tensor::Zeros({2});
+  Tensor y = layer.Forward(zero);
+  EXPECT_EQ(y.at(0), 0.0f);
+  EXPECT_EQ(y.at(1), 0.0f);
+}
+
+TEST(LinearTest, GradCheckThroughLayer) {
+  common::Rng rng(4);
+  Linear layer(3, 2, rng);
+  Tensor x = Tensor::RandomUniform({2, 3}, 1.0f, rng, true);
+  std::vector<Tensor> inputs = layer.Parameters();
+  inputs.push_back(x);
+  testing::CheckGradients(inputs, [&] {
+    Tensor y = layer.Forward(x);
+    return SumAll(Mul(y, y));
+  });
+}
+
+TEST(EmbeddingTest, LookupAndShapes) {
+  common::Rng rng(5);
+  Embedding emb(10, 4, rng);
+  Tensor e = emb.Forward({1, 3, 1});
+  EXPECT_EQ(e.shape(), Shape({3, 4}));
+  // Same index -> same row.
+  for (int j = 0; j < 4; ++j) EXPECT_EQ(e.at(j), e.at(8 + j));
+  Tensor one = emb.ForwardOne(3);
+  EXPECT_EQ(one.shape(), Shape({4}));
+  for (int j = 0; j < 4; ++j) EXPECT_EQ(one.at(j), e.at(4 + j));
+}
+
+TEST(EmbeddingTest, GradientScatters) {
+  common::Rng rng(6);
+  Embedding emb(5, 2, rng);
+  Tensor e = emb.Forward({2, 2});
+  SumAll(e).Backward();
+  const float* g = emb.weight().grad();
+  // Row 2 used twice -> grad 2; all others zero.
+  EXPECT_EQ(g[2 * 2 + 0], 2.0f);
+  EXPECT_EQ(g[2 * 2 + 1], 2.0f);
+  EXPECT_EQ(g[0], 0.0f);
+}
+
+TEST(LayerNormLayerTest, NormalizesRows) {
+  LayerNormLayer ln(4);
+  Tensor x = Tensor::FromVector({1, 4}, {10, 20, 30, 40});
+  Tensor y = ln.Forward(x);
+  float mean = 0.0f;
+  for (int i = 0; i < 4; ++i) mean += y.at(i);
+  EXPECT_NEAR(mean / 4.0f, 0.0f, 1e-5);
+}
+
+TEST(FeedForwardTest, ShapeAndGrad) {
+  common::Rng rng(7);
+  FeedForward ff(4, 8, rng);
+  Tensor x = Tensor::RandomUniform({3, 4}, 1.0f, rng, true);
+  Tensor y = ff.Forward(x);
+  EXPECT_EQ(y.shape(), Shape({3, 4}));
+  SumAll(Mul(y, y)).Backward();
+  // All parameters should receive gradient signal somewhere.
+  bool any_nonzero = false;
+  for (const Tensor& p : ff.Parameters()) {
+    for (int64_t i = 0; i < p.numel(); ++i) {
+      if (p.GradToVector()[static_cast<size_t>(i)] != 0.0f) any_nonzero = true;
+    }
+  }
+  EXPECT_TRUE(any_nonzero);
+}
+
+TEST(AttentionTest, OutputShape) {
+  common::Rng rng(8);
+  Attention attn(4, rng);
+  Tensor q = Tensor::RandomUniform({3, 4}, 1.0f, rng);
+  Tensor kv = Tensor::RandomUniform({5, 4}, 1.0f, rng);
+  Tensor y = attn.Forward(q, kv);
+  EXPECT_EQ(y.shape(), Shape({3, 4}));
+}
+
+TEST(AttentionTest, CausalMaskBlocksFuture) {
+  common::Rng rng(9);
+  Attention attn(4, rng);
+  // Build a sequence; the first output position must be independent of
+  // later positions under the causal mask.
+  Tensor seq1 = Tensor::RandomUniform({3, 4}, 1.0f, rng);
+  std::vector<float> v2 = seq1.ToVector();
+  // Perturb only the last row.
+  for (int j = 0; j < 4; ++j) v2[2 * 4 + j] += 10.0f;
+  Tensor seq2 = Tensor::FromVector({3, 4}, v2);
+  Tensor y1 = attn.Forward(seq1, seq1, /*causal=*/true);
+  Tensor y2 = attn.Forward(seq2, seq2, /*causal=*/true);
+  for (int j = 0; j < 4; ++j) {
+    EXPECT_NEAR(y1.at(j), y2.at(j), 1e-5) << "first row leaked future info";
+    EXPECT_NEAR(y1.at(4 + j), y2.at(4 + j), 1e-5) << "second row leaked future info";
+  }
+}
+
+TEST(AttentionTest, NonCausalAttendsEverywhere) {
+  common::Rng rng(10);
+  Attention attn(4, rng);
+  Tensor seq1 = Tensor::RandomUniform({3, 4}, 1.0f, rng);
+  std::vector<float> v2 = seq1.ToVector();
+  for (int j = 0; j < 4; ++j) v2[2 * 4 + j] += 10.0f;
+  Tensor seq2 = Tensor::FromVector({3, 4}, v2);
+  Tensor y1 = attn.Forward(seq1, seq1, /*causal=*/false);
+  Tensor y2 = attn.Forward(seq2, seq2, /*causal=*/false);
+  float diff = 0.0f;
+  for (int j = 0; j < 4; ++j) diff += std::abs(y1.at(j) - y2.at(j));
+  EXPECT_GT(diff, 1e-4);
+}
+
+TEST(ModuleTest, ParameterCountAggregatesChildren) {
+  common::Rng rng(11);
+  FeedForward ff(4, 8, rng);
+  // fc1: 4*8 + 8, fc2: 8*4 + 4.
+  EXPECT_EQ(ff.ParameterCount(), 4 * 8 + 8 + 8 * 4 + 4);
+}
+
+TEST(ModuleTest, SetTrainingPropagates) {
+  common::Rng rng(12);
+  FeedForward ff(4, 8, rng);
+  EXPECT_TRUE(ff.training());
+  ff.SetTraining(false);
+  EXPECT_FALSE(ff.training());
+}
+
+}  // namespace
+}  // namespace tspn::nn

@@ -1,0 +1,262 @@
+#include "nn/ops.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "nn/tensor.h"
+
+namespace tspn::nn {
+namespace {
+
+TEST(OpsTest, AddSameShape) {
+  Tensor a = Tensor::FromVector({2, 2}, {1, 2, 3, 4});
+  Tensor b = Tensor::FromVector({2, 2}, {10, 20, 30, 40});
+  Tensor c = Add(a, b);
+  EXPECT_EQ(c.ToVector(), std::vector<float>({11, 22, 33, 44}));
+}
+
+TEST(OpsTest, AddBroadcastRowVector) {
+  Tensor a = Tensor::FromVector({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor b = Tensor::FromVector({3}, {10, 20, 30});
+  Tensor c = Add(a, b);
+  EXPECT_EQ(c.ToVector(), std::vector<float>({11, 22, 33, 14, 25, 36}));
+}
+
+TEST(OpsTest, AddBroadcastOuterSum) {
+  Tensor col = Tensor::FromVector({3, 1}, {1, 2, 3});
+  Tensor row = Tensor::FromVector({1, 2}, {10, 20});
+  Tensor c = Add(col, row);
+  EXPECT_EQ(c.shape(), Shape({3, 2}));
+  EXPECT_EQ(c.ToVector(), std::vector<float>({11, 21, 12, 22, 13, 23}));
+}
+
+TEST(OpsTest, SubMulDiv) {
+  Tensor a = Tensor::FromVector({2}, {8, 6});
+  Tensor b = Tensor::FromVector({2}, {2, 3});
+  EXPECT_EQ(Sub(a, b).ToVector(), std::vector<float>({6, 3}));
+  EXPECT_EQ(Mul(a, b).ToVector(), std::vector<float>({16, 18}));
+  EXPECT_EQ(Div(a, b).ToVector(), std::vector<float>({4, 2}));
+}
+
+TEST(OpsTest, ScalarOps) {
+  Tensor a = Tensor::FromVector({3}, {1, 2, 3});
+  EXPECT_EQ(AddScalar(a, 1.0f).ToVector(), std::vector<float>({2, 3, 4}));
+  EXPECT_EQ(MulScalar(a, 2.0f).ToVector(), std::vector<float>({2, 4, 6}));
+  EXPECT_EQ(Neg(a).ToVector(), std::vector<float>({-1, -2, -3}));
+}
+
+TEST(OpsTest, UnaryMath) {
+  Tensor a = Tensor::FromVector({2}, {0.0f, 1.0f});
+  EXPECT_NEAR(Exp(a).at(1), std::exp(1.0f), 1e-5);
+  Tensor b = Tensor::FromVector({2}, {1.0f, std::exp(1.0f)});
+  EXPECT_NEAR(Log(b).at(1), 1.0f, 1e-5);
+  Tensor c = Tensor::FromVector({2}, {4.0f, 9.0f});
+  EXPECT_NEAR(Sqrt(c).at(1), 3.0f, 1e-5);
+}
+
+TEST(OpsTest, ReluFamilies) {
+  Tensor a = Tensor::FromVector({3}, {-2.0f, 0.0f, 3.0f});
+  EXPECT_EQ(Relu(a).ToVector(), std::vector<float>({0, 0, 3}));
+  Tensor lr = LeakyRelu(a, 0.1f);
+  EXPECT_NEAR(lr.at(0), -0.2f, 1e-6);
+  EXPECT_NEAR(lr.at(2), 3.0f, 1e-6);
+  Tensor e = Elu(a, 1.0f);
+  EXPECT_NEAR(e.at(0), std::exp(-2.0f) - 1.0f, 1e-5);
+  EXPECT_NEAR(e.at(2), 3.0f, 1e-6);
+}
+
+TEST(OpsTest, SigmoidTanhValues) {
+  Tensor a = Tensor::FromVector({1}, {0.0f});
+  EXPECT_NEAR(Sigmoid(a).item(), 0.5f, 1e-6);
+  EXPECT_NEAR(Tanh(a).item(), 0.0f, 1e-6);
+}
+
+TEST(OpsTest, ReshapeAndTranspose) {
+  Tensor a = Tensor::FromVector({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor r = Reshape(a, {3, 2});
+  EXPECT_EQ(r.shape(), Shape({3, 2}));
+  Tensor t = Transpose(a);
+  EXPECT_EQ(t.shape(), Shape({3, 2}));
+  EXPECT_EQ(t.ToVector(), std::vector<float>({1, 4, 2, 5, 3, 6}));
+}
+
+TEST(OpsTest, ConcatAndStack) {
+  Tensor a = Tensor::FromVector({1, 2}, {1, 2});
+  Tensor b = Tensor::FromVector({2, 2}, {3, 4, 5, 6});
+  Tensor c = ConcatRows({a, b});
+  EXPECT_EQ(c.shape(), Shape({3, 2}));
+  EXPECT_EQ(c.ToVector(), std::vector<float>({1, 2, 3, 4, 5, 6}));
+
+  Tensor x = Tensor::FromVector({2}, {1, 2});
+  Tensor y = Tensor::FromVector({2}, {3, 4});
+  Tensor s = StackRows({x, y});
+  EXPECT_EQ(s.shape(), Shape({2, 2}));
+
+  Tensor cl = ConcatLast({x, y});
+  EXPECT_EQ(cl.shape(), Shape({4}));
+  EXPECT_EQ(cl.ToVector(), std::vector<float>({1, 2, 3, 4}));
+
+  Tensor m1 = Tensor::FromVector({2, 1}, {1, 2});
+  Tensor m2 = Tensor::FromVector({2, 2}, {3, 4, 5, 6});
+  Tensor cm = ConcatLast({m1, m2});
+  EXPECT_EQ(cm.shape(), Shape({2, 3}));
+  EXPECT_EQ(cm.ToVector(), std::vector<float>({1, 3, 4, 2, 5, 6}));
+}
+
+TEST(OpsTest, SliceAndRow) {
+  Tensor a = Tensor::FromVector({3, 2}, {1, 2, 3, 4, 5, 6});
+  Tensor s = SliceRows(a, 1, 2);
+  EXPECT_EQ(s.ToVector(), std::vector<float>({3, 4, 5, 6}));
+  Tensor r = Row(a, 2);
+  EXPECT_EQ(r.shape(), Shape({2}));
+  EXPECT_EQ(r.ToVector(), std::vector<float>({5, 6}));
+}
+
+TEST(OpsTest, Reductions) {
+  Tensor a = Tensor::FromVector({2, 2}, {1, 2, 3, 4});
+  EXPECT_EQ(SumAll(a).item(), 10.0f);
+  EXPECT_EQ(MeanAll(a).item(), 2.5f);
+  EXPECT_EQ(SumRows(a).ToVector(), std::vector<float>({4, 6}));
+  EXPECT_EQ(MeanRows(a).ToVector(), std::vector<float>({2, 3}));
+}
+
+TEST(OpsTest, MatMulKnownResult) {
+  Tensor a = Tensor::FromVector({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor b = Tensor::FromVector({3, 2}, {7, 8, 9, 10, 11, 12});
+  Tensor c = MatMul(a, b);
+  EXPECT_EQ(c.ToVector(), std::vector<float>({58, 64, 139, 154}));
+}
+
+TEST(OpsTest, MatVecAndDot) {
+  Tensor a = Tensor::FromVector({2, 2}, {1, 2, 3, 4});
+  Tensor v = Tensor::FromVector({2}, {1, 1});
+  EXPECT_EQ(MatVec(a, v).ToVector(), std::vector<float>({3, 7}));
+  Tensor u = Tensor::FromVector({2}, {2, 3});
+  EXPECT_EQ(Dot(v, u).item(), 5.0f);
+}
+
+TEST(OpsTest, SoftmaxRowsSumToOne) {
+  Tensor a = Tensor::FromVector({2, 3}, {1, 2, 3, 0, 0, 0});
+  Tensor s = Softmax(a);
+  for (int r = 0; r < 2; ++r) {
+    float total = 0.0f;
+    for (int c = 0; c < 3; ++c) total += s.at(r * 3 + c);
+    EXPECT_NEAR(total, 1.0f, 1e-5);
+  }
+  // Uniform logits -> uniform distribution.
+  EXPECT_NEAR(s.at(3), 1.0f / 3.0f, 1e-5);
+}
+
+TEST(OpsTest, SoftmaxIsShiftInvariantAndStable) {
+  Tensor a = Tensor::FromVector({3}, {1000.0f, 1001.0f, 1002.0f});
+  Tensor s = Softmax(a);
+  Tensor b = Tensor::FromVector({3}, {0.0f, 1.0f, 2.0f});
+  Tensor t = Softmax(b);
+  for (int i = 0; i < 3; ++i) EXPECT_NEAR(s.at(i), t.at(i), 1e-5);
+}
+
+TEST(OpsTest, LogSoftmaxMatchesLogOfSoftmax) {
+  Tensor a = Tensor::FromVector({4}, {0.5f, -1.0f, 2.0f, 0.0f});
+  Tensor ls = LogSoftmax(a);
+  Tensor s = Softmax(a);
+  for (int i = 0; i < 4; ++i) EXPECT_NEAR(ls.at(i), std::log(s.at(i)), 1e-5);
+}
+
+TEST(OpsTest, L2NormalizeUnitNorm) {
+  Tensor a = Tensor::FromVector({2, 2}, {3, 4, 0.6f, 0.8f});
+  Tensor n = L2Normalize(a);
+  EXPECT_NEAR(n.at(0), 0.6f, 1e-5);
+  EXPECT_NEAR(n.at(1), 0.8f, 1e-5);
+  EXPECT_NEAR(n.at(2), 0.6f, 1e-5);
+  EXPECT_NEAR(n.at(3), 0.8f, 1e-5);
+}
+
+TEST(OpsTest, LayerNormZeroMeanUnitVar) {
+  Tensor x = Tensor::FromVector({2, 4}, {1, 2, 3, 4, -1, -2, -3, -4});
+  Tensor gamma = Tensor::Full({4}, 1.0f);
+  Tensor beta = Tensor::Zeros({4});
+  Tensor y = LayerNorm(x, gamma, beta);
+  for (int r = 0; r < 2; ++r) {
+    float mean = 0.0f, var = 0.0f;
+    for (int c = 0; c < 4; ++c) mean += y.at(r * 4 + c);
+    mean /= 4.0f;
+    for (int c = 0; c < 4; ++c) {
+      float d = y.at(r * 4 + c) - mean;
+      var += d * d;
+    }
+    var /= 4.0f;
+    EXPECT_NEAR(mean, 0.0f, 1e-4);
+    EXPECT_NEAR(var, 1.0f, 1e-2);
+  }
+}
+
+TEST(OpsTest, DropoutTrainingZerosAndScales) {
+  common::Rng rng(3);
+  Tensor a = Tensor::Full({10000}, 1.0f);
+  Tensor d = Dropout(a, 0.5f, rng, /*training=*/true);
+  int64_t zeros = 0;
+  for (int64_t i = 0; i < d.numel(); ++i) {
+    if (d.at(i) == 0.0f) {
+      ++zeros;
+    } else {
+      EXPECT_NEAR(d.at(i), 2.0f, 1e-6);
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(zeros) / static_cast<double>(d.numel()), 0.5, 0.05);
+}
+
+TEST(OpsTest, DropoutEvalIsIdentity) {
+  common::Rng rng(3);
+  Tensor a = Tensor::Full({16}, 1.0f);
+  Tensor d = Dropout(a, 0.5f, rng, /*training=*/false);
+  for (int64_t i = 0; i < d.numel(); ++i) EXPECT_EQ(d.at(i), 1.0f);
+}
+
+TEST(OpsTest, EmbeddingGatherPicksRows) {
+  Tensor w = Tensor::FromVector({3, 2}, {1, 2, 3, 4, 5, 6});
+  Tensor e = EmbeddingGather(w, {2, 0, 2});
+  EXPECT_EQ(e.shape(), Shape({3, 2}));
+  EXPECT_EQ(e.ToVector(), std::vector<float>({5, 6, 1, 2, 5, 6}));
+}
+
+TEST(OpsTest, CrossEntropyMatchesManual) {
+  Tensor logits = Tensor::FromVector({3}, {1.0f, 2.0f, 3.0f});
+  Tensor loss = CrossEntropyWithLogits(logits, 2);
+  double denom = std::exp(1.0) + std::exp(2.0) + std::exp(3.0);
+  EXPECT_NEAR(loss.item(), -std::log(std::exp(3.0) / denom), 1e-5);
+}
+
+TEST(OpsTest, ArcFaceTargetPenalized) {
+  Tensor cosines = Tensor::FromVector({3}, {0.9f, 0.5f, 0.2f});
+  Tensor plain = ArcFaceLogits(cosines, 0, /*scale=*/10.0f, /*margin=*/0.0f);
+  Tensor margined = ArcFaceLogits(cosines, 0, /*scale=*/10.0f, /*margin=*/0.3f);
+  // Margin only reduces the target logit.
+  EXPECT_LT(margined.at(0), plain.at(0));
+  EXPECT_EQ(margined.at(1), plain.at(1));
+  EXPECT_EQ(margined.at(2), plain.at(2));
+  // cos(theta + m) identity for the target.
+  float theta = std::acos(0.9f);
+  EXPECT_NEAR(margined.at(0), 10.0f * std::cos(theta + 0.3f), 1e-4);
+}
+
+TEST(OpsTest, NoGradSkipsGraphConstruction) {
+  Tensor a = Tensor::Full({2}, 1.0f, /*requires_grad=*/true);
+  NoGradGuard guard;
+  Tensor b = Add(a, a);
+  EXPECT_FALSE(b.requires_grad());
+}
+
+TEST(OpsTest, BackwardThroughSharedSubexpression) {
+  // loss = sum((a + a) * a) = sum(2 a^2), d/da = 4a.
+  Tensor a = Tensor::FromVector({2}, {1.0f, 3.0f}, /*requires_grad=*/true);
+  Tensor loss = SumAll(Mul(Add(a, a), a));
+  loss.Backward();
+  EXPECT_NEAR(a.grad()[0], 4.0f, 1e-5);
+  EXPECT_NEAR(a.grad()[1], 12.0f, 1e-5);
+}
+
+}  // namespace
+}  // namespace tspn::nn

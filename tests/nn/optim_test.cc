@@ -1,0 +1,92 @@
+#include "nn/optim.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "nn/layers.h"
+#include "nn/ops.h"
+
+namespace tspn::nn {
+namespace {
+
+TEST(AdamTest, MinimizesQuadratic) {
+  Tensor x = Tensor::FromVector({2}, {5.0f, -3.0f}, /*requires_grad=*/true);
+  Adam optimizer({x}, {.lr = 0.1f});
+  for (int i = 0; i < 300; ++i) {
+    optimizer.ZeroGrad();
+    Tensor loss = SumAll(Mul(x, x));
+    loss.Backward();
+    optimizer.Step();
+  }
+  EXPECT_NEAR(x.at(0), 0.0f, 0.05f);
+  EXPECT_NEAR(x.at(1), 0.0f, 0.05f);
+}
+
+TEST(AdamTest, LearnsLinearRegression) {
+  common::Rng rng(1);
+  // y = 2x0 - x1 + 0.5
+  Linear model(2, 1, rng);
+  Adam optimizer(model.Parameters(), {.lr = 0.05f});
+  for (int step = 0; step < 400; ++step) {
+    optimizer.ZeroGrad();
+    Tensor loss = Tensor::Scalar(0.0f);
+    for (int s = 0; s < 8; ++s) {
+      float x0 = static_cast<float>(rng.Uniform(-1, 1));
+      float x1 = static_cast<float>(rng.Uniform(-1, 1));
+      float target = 2.0f * x0 - x1 + 0.5f;
+      Tensor x = Tensor::FromVector({2}, {x0, x1});
+      Tensor err = AddScalar(model.Forward(x), -target);
+      loss = Add(loss, Mul(err, err));
+    }
+    loss.Backward();
+    optimizer.Step();
+  }
+  const float* w = model.weight().data();
+  const float* b = model.bias().data();
+  EXPECT_NEAR(w[0], 2.0f, 0.1f);
+  EXPECT_NEAR(w[1], -1.0f, 0.1f);
+  EXPECT_NEAR(b[0], 0.5f, 0.1f);
+}
+
+TEST(AdamTest, GradClipBoundsUpdate) {
+  Tensor x = Tensor::FromVector({1}, {0.0f}, /*requires_grad=*/true);
+  Adam optimizer({x}, {.lr = 1.0f, .grad_clip = 1.0f});
+  optimizer.ZeroGrad();
+  x.grad()[0] = 1000.0f;
+  optimizer.Step();
+  // With clipping the effective grad is 1.0; Adam's first step is ~lr.
+  EXPECT_NEAR(std::abs(x.at(0)), 1.0f, 0.1f);
+}
+
+TEST(AdamTest, DecayLrReducesRate) {
+  Tensor x = Tensor::FromVector({1}, {0.0f}, /*requires_grad=*/true);
+  Adam optimizer({x}, {.lr = 0.1f});
+  optimizer.DecayLr(0.5f);
+  EXPECT_NEAR(optimizer.lr(), 0.05f, 1e-6);
+}
+
+TEST(AdamTest, ZeroGradClears) {
+  Tensor x = Tensor::FromVector({2}, {1.0f, 2.0f}, /*requires_grad=*/true);
+  Adam optimizer({x}, {});
+  SumAll(Mul(x, x)).Backward();
+  EXPECT_NE(x.grad()[0], 0.0f);
+  optimizer.ZeroGrad();
+  EXPECT_EQ(x.grad()[0], 0.0f);
+  EXPECT_EQ(x.grad()[1], 0.0f);
+}
+
+TEST(SgdTest, MinimizesQuadratic) {
+  Tensor x = Tensor::FromVector({1}, {4.0f}, /*requires_grad=*/true);
+  Sgd optimizer({x}, 0.1f);
+  for (int i = 0; i < 100; ++i) {
+    optimizer.ZeroGrad();
+    SumAll(Mul(x, x)).Backward();
+    optimizer.Step();
+  }
+  EXPECT_NEAR(x.at(0), 0.0f, 1e-3f);
+}
+
+}  // namespace
+}  // namespace tspn::nn

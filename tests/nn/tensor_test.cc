@@ -1,0 +1,117 @@
+#include "nn/tensor.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace tspn::nn {
+namespace {
+
+TEST(TensorTest, ZerosHasShapeAndValues) {
+  Tensor t = Tensor::Zeros({2, 3});
+  EXPECT_EQ(t.rank(), 2);
+  EXPECT_EQ(t.dim(0), 2);
+  EXPECT_EQ(t.dim(1), 3);
+  EXPECT_EQ(t.numel(), 6);
+  for (int64_t i = 0; i < t.numel(); ++i) EXPECT_EQ(t.at(i), 0.0f);
+}
+
+TEST(TensorTest, FullFillsValue) {
+  Tensor t = Tensor::Full({4}, 2.5f);
+  for (int64_t i = 0; i < 4; ++i) EXPECT_EQ(t.at(i), 2.5f);
+}
+
+TEST(TensorTest, FromVectorKeepsData) {
+  Tensor t = Tensor::FromVector({2, 2}, {1.0f, 2.0f, 3.0f, 4.0f});
+  EXPECT_EQ(t.at(0), 1.0f);
+  EXPECT_EQ(t.at(3), 4.0f);
+}
+
+TEST(TensorTest, ScalarItem) {
+  Tensor t = Tensor::Scalar(7.0f);
+  EXPECT_EQ(t.item(), 7.0f);
+}
+
+TEST(TensorTest, CopyAliasesStorage) {
+  Tensor a = Tensor::Zeros({3});
+  Tensor b = a;
+  b.data()[0] = 9.0f;
+  EXPECT_EQ(a.at(0), 9.0f);
+}
+
+TEST(TensorTest, DetachSharesValuesNotGraph) {
+  Tensor a = Tensor::Full({2}, 3.0f, /*requires_grad=*/true);
+  Tensor d = a.Detach();
+  EXPECT_FALSE(d.requires_grad());
+  EXPECT_EQ(d.at(0), 3.0f);
+}
+
+TEST(TensorTest, RandomUniformWithinBound) {
+  common::Rng rng(1);
+  Tensor t = Tensor::RandomUniform({1000}, 0.5f, rng);
+  for (int64_t i = 0; i < t.numel(); ++i) {
+    EXPECT_GE(t.at(i), -0.5f);
+    EXPECT_LE(t.at(i), 0.5f);
+  }
+}
+
+TEST(TensorTest, RandomNormalRoughStats) {
+  common::Rng rng(2);
+  Tensor t = Tensor::RandomNormal({20000}, 2.0f, rng);
+  double sum = 0.0, sq = 0.0;
+  for (int64_t i = 0; i < t.numel(); ++i) {
+    sum += t.at(i);
+    sq += static_cast<double>(t.at(i)) * t.at(i);
+  }
+  double mean = sum / static_cast<double>(t.numel());
+  double var = sq / static_cast<double>(t.numel()) - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.1);
+  EXPECT_NEAR(var, 4.0, 0.3);
+}
+
+TEST(TensorTest, MemoryAccountingTracksAllocations) {
+  ResetMemoryStats();
+  int64_t before = LiveTensorBytes();
+  {
+    Tensor t = Tensor::Zeros({1024});
+    EXPECT_EQ(LiveTensorBytes() - before, 4096);
+    EXPECT_GE(PeakTensorBytes(), 4096);
+  }
+  EXPECT_EQ(LiveTensorBytes(), before);
+}
+
+TEST(TensorTest, GradAllocationCountsTowardMemory) {
+  ResetMemoryStats();
+  Tensor t = Tensor::Zeros({256}, /*requires_grad=*/true);
+  int64_t data_only = LiveTensorBytes();
+  (void)t.grad();  // forces allocation
+  EXPECT_EQ(LiveTensorBytes(), data_only + 1024);
+}
+
+TEST(TensorTest, ShapeToStringFormats) {
+  EXPECT_EQ(ShapeToString({2, 3}), "[2, 3]");
+  EXPECT_EQ(ShapeToString({}), "[]");
+}
+
+TEST(TensorTest, NumElementsProduct) {
+  EXPECT_EQ(NumElements({2, 3, 4}), 24);
+  EXPECT_EQ(NumElements({}), 1);
+  EXPECT_EQ(NumElements({0, 5}), 0);
+}
+
+TEST(TensorTest, NoGradGuardDisablesTracking) {
+  EXPECT_TRUE(NoGradGuard::GradEnabled());
+  {
+    NoGradGuard guard;
+    EXPECT_FALSE(NoGradGuard::GradEnabled());
+    {
+      NoGradGuard nested;
+      EXPECT_FALSE(NoGradGuard::GradEnabled());
+    }
+    EXPECT_FALSE(NoGradGuard::GradEnabled());
+  }
+  EXPECT_TRUE(NoGradGuard::GradEnabled());
+}
+
+}  // namespace
+}  // namespace tspn::nn

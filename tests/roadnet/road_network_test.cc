@@ -1,0 +1,102 @@
+#include "roadnet/road_network.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "roadnet/generator.h"
+
+namespace tspn::roadnet {
+namespace {
+
+TEST(RoadNetworkTest, AddNodesAndSegments) {
+  RoadNetwork net;
+  int32_t a = net.AddNode({0.0, 0.0});
+  int32_t b = net.AddNode({0.0, 1.0});
+  net.AddSegment(a, b, 1);
+  EXPECT_EQ(net.NumNodes(), 2);
+  EXPECT_EQ(net.NumSegments(), 1);
+  EXPECT_EQ(net.segment(0).klass, 1);
+}
+
+TEST(RoadNetworkTest, TotalLength) {
+  RoadNetwork net;
+  int32_t a = net.AddNode({0.0, 0.0});
+  int32_t b = net.AddNode({1.0, 0.0});  // ~111.19 km
+  net.AddSegment(a, b);
+  EXPECT_NEAR(net.TotalLengthKm(), 111.19, 1.0);
+}
+
+TEST(RoadNetworkTest, ConnectedComponents) {
+  RoadNetwork net;
+  int32_t a = net.AddNode({0, 0});
+  int32_t b = net.AddNode({0, 1});
+  int32_t c = net.AddNode({1, 0});
+  int32_t d = net.AddNode({1, 1});
+  net.AddSegment(a, b);
+  net.AddSegment(c, d);
+  EXPECT_EQ(net.ConnectedComponents(), 2);
+  net.AddSegment(b, c);
+  EXPECT_EQ(net.ConnectedComponents(), 1);
+}
+
+TEST(RoadNetworkTest, DensityInBoxCountsOnlyInsidePortion) {
+  RoadNetwork net;
+  int32_t a = net.AddNode({0.5, 0.0});
+  int32_t b = net.AddNode({0.5, 2.0});
+  net.AddSegment(a, b);
+  geo::BoundingBox left_half{0.0, 0.0, 1.0, 1.0};
+  double density = net.DensityInBox(left_half, 0.5);
+  double total = net.TotalLengthKm();
+  EXPECT_NEAR(density, total / 2.0, total * 0.05);
+}
+
+TEST(GeneratorTest, ProducesConnectedNetwork) {
+  common::Rng rng(1);
+  geo::BoundingBox region{0.0, 0.0, 1.0, 1.0};
+  std::vector<geo::GeoPoint> centers = {
+      {0.2, 0.2}, {0.8, 0.3}, {0.5, 0.7}, {0.1, 0.9}};
+  RoadNetwork net = GenerateRoads(region, centers, {}, GeneratorOptions{}, rng);
+  EXPECT_GT(net.NumSegments(), 0);
+  EXPECT_EQ(net.ConnectedComponents(), 1);
+}
+
+TEST(GeneratorTest, HigherDensityNearDistricts) {
+  common::Rng rng(2);
+  geo::BoundingBox region{0.0, 0.0, 1.0, 1.0};
+  std::vector<geo::GeoPoint> centers = {{0.25, 0.25}};
+  GeneratorOptions opt;
+  opt.district_grid_radius_deg = 0.05;
+  RoadNetwork net = GenerateRoads(region, centers, {}, opt, rng);
+  geo::BoundingBox near_district{0.15, 0.15, 0.35, 0.35};
+  geo::BoundingBox far_corner{0.65, 0.65, 0.85, 0.85};
+  EXPECT_GT(net.DensityInBox(near_district, 0.2),
+            net.DensityInBox(far_corner, 0.2) + 1.0);
+}
+
+TEST(GeneratorTest, HighwayAddedAndConnected) {
+  common::Rng rng(3);
+  geo::BoundingBox region{0.0, 0.0, 1.0, 1.0};
+  std::vector<geo::GeoPoint> centers = {{0.5, 0.5}};
+  std::vector<geo::GeoPoint> highway = {{0.0, 0.9}, {0.5, 0.9}, {0.99, 0.9}};
+  RoadNetwork net = GenerateRoads(region, centers, highway, GeneratorOptions{}, rng);
+  EXPECT_EQ(net.ConnectedComponents(), 1);
+  bool has_highway_class = false;
+  for (const auto& seg : net.segments()) has_highway_class |= (seg.klass == 2);
+  EXPECT_TRUE(has_highway_class);
+}
+
+TEST(GeneratorTest, DeterministicForSameSeed) {
+  geo::BoundingBox region{0.0, 0.0, 1.0, 1.0};
+  std::vector<geo::GeoPoint> centers = {{0.3, 0.3}, {0.7, 0.7}};
+  common::Rng rng1(7), rng2(7);
+  RoadNetwork n1 = GenerateRoads(region, centers, {}, GeneratorOptions{}, rng1);
+  RoadNetwork n2 = GenerateRoads(region, centers, {}, GeneratorOptions{}, rng2);
+  ASSERT_EQ(n1.NumNodes(), n2.NumNodes());
+  for (int32_t i = 0; i < n1.NumNodes(); ++i) {
+    EXPECT_EQ(n1.node(i).lat, n2.node(i).lat);
+    EXPECT_EQ(n1.node(i).lon, n2.node(i).lon);
+  }
+}
+
+}  // namespace
+}  // namespace tspn::roadnet

@@ -1,0 +1,93 @@
+#include "roadnet/tile_adjacency.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "spatial/grid_index.h"
+#include "spatial/quadtree.h"
+
+namespace tspn::roadnet {
+namespace {
+
+TEST(TileAdjacencyTest, SegmentCrossingTwoCellsConnectsThem) {
+  spatial::GridIndex grid({0, 0, 1, 1}, 2);
+  RoadNetwork net;
+  int32_t a = net.AddNode({0.25, 0.25});  // SW cell (tile 0)
+  int32_t b = net.AddNode({0.25, 0.75});  // SE cell (tile 1)
+  net.AddSegment(a, b);
+  TileAdjacency adj = TileAdjacency::Build(net, grid);
+  EXPECT_TRUE(adj.Connected(0, 1));
+  EXPECT_TRUE(adj.Connected(1, 0));
+  EXPECT_FALSE(adj.Connected(0, 2));
+  EXPECT_FALSE(adj.Connected(2, 3));
+}
+
+TEST(TileAdjacencyTest, DiagonalSegmentConnectsChain) {
+  spatial::GridIndex grid({0, 0, 1, 1}, 4);
+  RoadNetwork net;
+  int32_t a = net.AddNode({0.05, 0.05});
+  int32_t b = net.AddNode({0.95, 0.95});
+  net.AddSegment(a, b);
+  TileAdjacency adj = TileAdjacency::Build(net, grid);
+  // Every consecutive diagonal cell pair must be connected.
+  EXPECT_TRUE(adj.Connected(grid.TileOf({0.1, 0.1}), grid.TileOf({0.3, 0.3})) ||
+              adj.Connected(grid.TileOf({0.1, 0.1}), grid.TileOf({0.3, 0.1})) ||
+              adj.Connected(grid.TileOf({0.1, 0.1}), grid.TileOf({0.1, 0.3})));
+  EXPECT_GE(static_cast<int64_t>(adj.Pairs().size()), 3);
+}
+
+TEST(TileAdjacencyTest, NeighborsSortedAndSymmetric) {
+  spatial::GridIndex grid({0, 0, 1, 1}, 3);
+  RoadNetwork net;
+  int32_t center = net.AddNode({0.5, 0.5});
+  int32_t north = net.AddNode({0.9, 0.5});
+  int32_t east = net.AddNode({0.5, 0.9});
+  net.AddSegment(center, north);
+  net.AddSegment(center, east);
+  TileAdjacency adj = TileAdjacency::Build(net, grid);
+  for (int64_t t = 0; t < grid.NumTiles(); ++t) {
+    const auto& neighbors = adj.Neighbors(t);
+    EXPECT_TRUE(std::is_sorted(neighbors.begin(), neighbors.end()));
+    for (int64_t n : neighbors) EXPECT_TRUE(adj.Connected(n, t));
+  }
+}
+
+TEST(TileAdjacencyTest, WorksWithQuadTreeLeaves) {
+  common::Rng rng(1);
+  std::vector<geo::GeoPoint> pts;
+  for (int i = 0; i < 400; ++i) pts.push_back({rng.Uniform(), rng.Uniform()});
+  spatial::QuadTree tree = spatial::QuadTree::Build(
+      {0, 0, 1, 1}, pts, {.max_depth = 6, .leaf_capacity = 30});
+  RoadNetwork net;
+  int32_t a = net.AddNode({0.1, 0.1});
+  int32_t b = net.AddNode({0.9, 0.9});
+  net.AddSegment(a, b);
+  TileAdjacency adj = TileAdjacency::Build(net, tree);
+  EXPECT_EQ(adj.NumTiles(), tree.NumTiles());
+  EXPECT_GE(static_cast<int64_t>(adj.Pairs().size()), 1);
+  // The leaf holding (0.1,0.1) must be connected to something.
+  EXPECT_FALSE(adj.Neighbors(tree.TileOf({0.1, 0.1})).empty());
+}
+
+TEST(TileAdjacencyTest, NoRoadsNoEdges) {
+  spatial::GridIndex grid({0, 0, 1, 1}, 4);
+  RoadNetwork net;
+  TileAdjacency adj = TileAdjacency::Build(net, grid);
+  EXPECT_TRUE(adj.Pairs().empty());
+  for (int64_t t = 0; t < grid.NumTiles(); ++t) {
+    EXPECT_TRUE(adj.Neighbors(t).empty());
+  }
+}
+
+TEST(TileAdjacencyTest, SegmentWithinOneTileAddsNothing) {
+  spatial::GridIndex grid({0, 0, 1, 1}, 2);
+  RoadNetwork net;
+  int32_t a = net.AddNode({0.1, 0.1});
+  int32_t b = net.AddNode({0.2, 0.2});
+  net.AddSegment(a, b);
+  TileAdjacency adj = TileAdjacency::Build(net, grid);
+  EXPECT_TRUE(adj.Pairs().empty());
+}
+
+}  // namespace
+}  // namespace tspn::roadnet

@@ -1,0 +1,86 @@
+#include "rs/land_use.h"
+
+#include <gtest/gtest.h>
+
+namespace tspn::rs {
+namespace {
+
+CityLayout CoastalLayout() {
+  geo::BoundingBox region{0.0, 0.0, 1.0, 1.0};
+  std::vector<District> districts = {
+      {{0.5, 0.3}, 0.1, LandUse::kCommercial},
+      {{0.2, 0.2}, 0.15, LandUse::kResidential},
+      {{0.8, 0.2}, 0.1, LandUse::kPark},
+  };
+  CoastSpec coast;
+  coast.enabled = true;
+  coast.base_lon = 0.8;
+  coast.slope = 0.0;
+  coast.anchor_lat = 0.0;
+  coast.coastal_width_deg = 0.05;
+  return CityLayout(region, districts, coast);
+}
+
+TEST(LandUseTest, WaterBeyondCoast) {
+  CityLayout layout = CoastalLayout();
+  EXPECT_EQ(layout.LandUseAt({0.5, 0.9}), LandUse::kWater);
+}
+
+TEST(LandUseTest, CoastalStripInlandOfWater) {
+  CityLayout layout = CoastalLayout();
+  EXPECT_EQ(layout.LandUseAt({0.5, 0.78}), LandUse::kCoastal);
+}
+
+TEST(LandUseTest, DistrictTypesApply) {
+  CityLayout layout = CoastalLayout();
+  EXPECT_EQ(layout.LandUseAt({0.5, 0.3}), LandUse::kCommercial);
+  EXPECT_EQ(layout.LandUseAt({0.2, 0.2}), LandUse::kResidential);
+  EXPECT_EQ(layout.LandUseAt({0.8, 0.2}), LandUse::kPark);
+}
+
+TEST(LandUseTest, SuburbanBackgroundElsewhere) {
+  CityLayout layout = CoastalLayout();
+  EXPECT_EQ(layout.LandUseAt({0.95, 0.5}), LandUse::kSuburban);
+}
+
+TEST(LandUseTest, NearestDistrictWinsOnOverlap) {
+  geo::BoundingBox region{0.0, 0.0, 1.0, 1.0};
+  std::vector<District> districts = {
+      {{0.5, 0.45}, 0.2, LandUse::kPark},
+      {{0.5, 0.55}, 0.2, LandUse::kIndustrial},
+  };
+  CityLayout layout(region, districts, CoastSpec{});
+  EXPECT_EQ(layout.LandUseAt({0.5, 0.46}), LandUse::kPark);
+  EXPECT_EQ(layout.LandUseAt({0.5, 0.54}), LandUse::kIndustrial);
+}
+
+TEST(LandUseTest, CoastDistanceSigns) {
+  CityLayout layout = CoastalLayout();
+  EXPECT_GT(layout.CoastDistanceDeg({0.5, 0.9}), 0.0);   // in water
+  EXPECT_LT(layout.CoastDistanceDeg({0.5, 0.5}), 0.0);   // inland
+  EXPECT_NEAR(layout.CoastLonAt(0.5), 0.8, 1e-12);
+}
+
+TEST(LandUseTest, SlopedCoastline) {
+  geo::BoundingBox region{0.0, 0.0, 1.0, 1.0};
+  CoastSpec coast;
+  coast.enabled = true;
+  coast.base_lon = 0.5;
+  coast.slope = 0.4;
+  coast.anchor_lat = 0.0;
+  CityLayout layout(region, {}, coast);
+  EXPECT_NEAR(layout.CoastLonAt(0.5), 0.7, 1e-12);
+  EXPECT_EQ(layout.LandUseAt({0.0, 0.6}), LandUse::kWater);
+  EXPECT_EQ(layout.LandUseAt({0.9, 0.6}), LandUse::kSuburban);
+}
+
+TEST(LandUseTest, NamesAreUnique) {
+  std::set<std::string> names;
+  for (int i = 0; i < kNumLandUseClasses; ++i) {
+    names.insert(LandUseName(static_cast<LandUse>(i)));
+  }
+  EXPECT_EQ(static_cast<int>(names.size()), kNumLandUseClasses);
+}
+
+}  // namespace
+}  // namespace tspn::rs

@@ -1,0 +1,150 @@
+#include "rs/synthesizer.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "roadnet/generator.h"
+
+namespace tspn::rs {
+namespace {
+
+CityLayout MakeLayout() {
+  geo::BoundingBox region{0.0, 0.0, 1.0, 1.0};
+  std::vector<District> districts = {
+      {{0.25, 0.25}, 0.15, LandUse::kCommercial},
+      {{0.75, 0.25}, 0.15, LandUse::kPark},
+  };
+  CoastSpec coast;
+  coast.enabled = true;
+  coast.base_lon = 0.85;
+  return CityLayout(region, districts, coast);
+}
+
+TEST(SynthesizerTest, OutputShapeMatchesResolution) {
+  CityLayout layout = MakeLayout();
+  ImageSynthesizer synth(&layout, nullptr, {.resolution = 32});
+  Image img = synth.RenderTile({0.0, 0.0, 0.5, 0.5});
+  EXPECT_EQ(img.channels, 3);
+  EXPECT_EQ(img.height, 32);
+  EXPECT_EQ(img.width, 32);
+  EXPECT_EQ(img.data.size(), 3u * 32u * 32u);
+}
+
+TEST(SynthesizerTest, SupportsPaperResolution256) {
+  CityLayout layout = MakeLayout();
+  ImageSynthesizer synth(&layout, nullptr, {.resolution = 256});
+  Image img = synth.RenderTile({0.0, 0.0, 0.25, 0.25});
+  EXPECT_EQ(img.height, 256);
+  for (float v : img.data) {
+    EXPECT_GE(v, 0.0f);
+    EXPECT_LE(v, 1.0f);
+  }
+}
+
+TEST(SynthesizerTest, WaterTilesAreBlue) {
+  CityLayout layout = MakeLayout();
+  ImageSynthesizer synth(&layout, nullptr, {.resolution = 16});
+  Image water = synth.RenderTile({0.4, 0.9, 0.6, 1.0});  // east of coast
+  EXPECT_GT(water.ChannelMean(2), water.ChannelMean(0));  // blue > red
+  EXPECT_GT(water.ChannelMean(2), 0.5f);
+}
+
+TEST(SynthesizerTest, ParkTilesAreGreen) {
+  CityLayout layout = MakeLayout();
+  ImageSynthesizer synth(&layout, nullptr, {.resolution = 16});
+  Image park = synth.RenderTile({0.70, 0.20, 0.80, 0.30});
+  EXPECT_GT(park.ChannelMean(1), park.ChannelMean(0));
+  EXPECT_GT(park.ChannelMean(1), park.ChannelMean(2));
+}
+
+TEST(SynthesizerTest, DistinctLandUseDistinctImages) {
+  CityLayout layout = MakeLayout();
+  ImageSynthesizer synth(&layout, nullptr, {.resolution = 16});
+  Image commercial = synth.RenderTile({0.20, 0.20, 0.30, 0.30});
+  Image water = synth.RenderTile({0.45, 0.90, 0.55, 1.00});
+  double diff = 0.0;
+  for (size_t i = 0; i < commercial.data.size(); ++i) {
+    diff += std::abs(commercial.data[i] - water.data[i]);
+  }
+  EXPECT_GT(diff / static_cast<double>(commercial.data.size()), 0.1);
+}
+
+TEST(SynthesizerTest, DeterministicRendering) {
+  CityLayout layout = MakeLayout();
+  ImageSynthesizer synth(&layout, nullptr, {.resolution = 24});
+  Image a = synth.RenderTile({0.1, 0.1, 0.3, 0.3});
+  Image b = synth.RenderTile({0.1, 0.1, 0.3, 0.3});
+  EXPECT_EQ(a.data, b.data);
+}
+
+TEST(SynthesizerTest, RoadsDarkenPixels) {
+  CityLayout layout = MakeLayout();
+  roadnet::RoadNetwork roads;
+  int32_t a = roads.AddNode({0.5, 0.0});
+  int32_t b = roads.AddNode({0.5, 0.5});
+  roads.AddSegment(a, b, 2);
+  ImageSynthesizer with_roads(&layout, &roads, {.resolution = 32});
+  ImageSynthesizer without_roads(&layout, nullptr, {.resolution = 32});
+  geo::BoundingBox tile{0.4, 0.1, 0.6, 0.4};
+  Image img_roads = with_roads.RenderTile(tile);
+  Image img_plain = without_roads.RenderTile(tile);
+  // Road pixels lower the mean brightness.
+  double bright_roads = img_roads.ChannelMean(0) + img_roads.ChannelMean(1);
+  double bright_plain = img_plain.ChannelMean(0) + img_plain.ChannelMean(1);
+  EXPECT_LT(bright_roads, bright_plain);
+}
+
+TEST(SynthesizerTest, MultiScaleConsistency) {
+  // A zoomed-in render of a sub-box should depict the same ground: its mean
+  // color must be closer to the matching sub-window of the parent tile than
+  // to a disjoint tile elsewhere.
+  CityLayout layout = MakeLayout();
+  ImageSynthesizer synth(&layout, nullptr, {.resolution = 32});
+  Image parent = synth.RenderTile({0.0, 0.0, 0.5, 0.5});
+  Image child = synth.RenderTile({0.0, 0.0, 0.25, 0.25});   // SW quadrant
+  Image far_tile = synth.RenderTile({0.4, 0.9, 0.65, 1.0}); // water
+  // SW quadrant of parent = lower-left = rows 16..31, cols 0..15.
+  double parent_sw_mean = 0.0;
+  for (int y = 16; y < 32; ++y) {
+    for (int x = 0; x < 16; ++x) parent_sw_mean += parent.at(1, y, x);
+  }
+  parent_sw_mean /= 256.0;
+  double child_mean = child.ChannelMean(1);
+  double far_mean = far_tile.ChannelMean(1);
+  EXPECT_LT(std::abs(child_mean - parent_sw_mean),
+            std::abs(child_mean - far_mean));
+}
+
+TEST(ImageTest, AddPixelNoiseChangesRequestedFraction) {
+  Image img(3, 32, 32);
+  for (float& v : img.data) v = 0.5f;
+  common::Rng rng(1);
+  AddPixelNoise(img, 0.2, rng);
+  int changed = 0;
+  for (int y = 0; y < 32; ++y) {
+    for (int x = 0; x < 32; ++x) {
+      if (img.at(0, y, x) != 0.5f || img.at(1, y, x) != 0.5f ||
+          img.at(2, y, x) != 0.5f) {
+        ++changed;
+      }
+    }
+  }
+  EXPECT_NEAR(changed / 1024.0, 0.2, 0.05);
+}
+
+TEST(ImageTest, PpmWriteProducesFile) {
+  Image img(3, 8, 8);
+  for (float& v : img.data) v = 0.25f;
+  std::string path = ::testing::TempDir() + "/tile.ppm";
+  WritePpm(img, path);
+  FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  char header[3] = {0};
+  ASSERT_EQ(std::fread(header, 1, 2, f), 2u);
+  EXPECT_EQ(header[0], 'P');
+  EXPECT_EQ(header[1], '6');
+  std::fclose(f);
+}
+
+}  // namespace
+}  // namespace tspn::rs

@@ -1,0 +1,117 @@
+// Parameterized property sweep over quad-tree configurations: the structural
+// invariants of Sec. II-A must hold for every (D, Omega, N, distribution).
+
+#include <set>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "spatial/grid_index.h"
+#include "spatial/quadtree.h"
+
+namespace tspn::spatial {
+namespace {
+
+// (max_depth, leaf_capacity, num_points, clustered?, seed)
+using Config = std::tuple<int32_t, int64_t, int64_t, bool, uint64_t>;
+
+class QuadTreePropertyTest : public ::testing::TestWithParam<Config> {
+ protected:
+  static std::vector<geo::GeoPoint> MakePoints(int64_t n, bool clustered,
+                                               uint64_t seed) {
+    common::Rng rng(seed);
+    std::vector<geo::GeoPoint> pts;
+    pts.reserve(static_cast<size_t>(n));
+    for (int64_t i = 0; i < n; ++i) {
+      if (clustered && i % 3 != 0) {
+        // Two dense clusters plus background.
+        bool first = rng.Bernoulli(0.5);
+        double clat = first ? 0.2 : 0.7, clon = first ? 0.3 : 0.8;
+        pts.push_back({std::clamp(rng.Gaussian(clat, 0.02), 0.0, 0.999),
+                       std::clamp(rng.Gaussian(clon, 0.02), 0.0, 0.999)});
+      } else {
+        pts.push_back({rng.Uniform(), rng.Uniform()});
+      }
+    }
+    return pts;
+  }
+};
+
+TEST_P(QuadTreePropertyTest, StructuralInvariants) {
+  auto [depth, capacity, n, clustered, seed] = GetParam();
+  auto points = MakePoints(n, clustered, seed);
+  geo::BoundingBox region{0, 0, 1, 1};
+  QuadTree tree = QuadTree::Build(region, points,
+                                  {.max_depth = depth, .leaf_capacity = capacity});
+
+  // 1. Node count bookkeeping: every non-leaf has exactly 4 children.
+  int64_t leaves = 0;
+  for (int64_t i = 0; i < tree.NumNodes(); ++i) {
+    const QuadTreeNode& node = tree.node(i);
+    EXPECT_LE(node.depth, depth);
+    if (node.is_leaf()) {
+      ++leaves;
+      // 2. Capacity respected unless forced by max depth.
+      if (node.depth < depth) {
+        EXPECT_LE(static_cast<int64_t>(node.point_ids.size()), capacity);
+      }
+    } else {
+      EXPECT_TRUE(node.point_ids.empty());
+    }
+  }
+  EXPECT_EQ(leaves, tree.NumTiles());
+  // Quad-tree node-count identity: nodes = 4 * internals + 1.
+  EXPECT_EQ(tree.NumNodes() % 4, 1);
+
+  // 3. Every point lands in exactly the leaf that contains it.
+  int64_t assigned = 0;
+  for (int64_t i = 0; i < static_cast<int64_t>(points.size()); ++i) {
+    int32_t leaf = tree.LeafOfPoint(i);
+    EXPECT_TRUE(tree.node(leaf).bounds.Contains(points[static_cast<size_t>(i)]));
+    ++assigned;
+  }
+  EXPECT_EQ(assigned, n);
+
+  // 4. Leaf areas tile the region.
+  double area = 0.0;
+  for (int32_t leaf : tree.LeafNodes()) area += tree.node(leaf).bounds.AreaKm2();
+  EXPECT_NEAR(area, region.AreaKm2(), region.AreaKm2() * 0.02);
+
+  // 5. Minimal subtree of ALL leaves contains every node of the tree
+  // whenever the root has >= 2 populated children.
+  std::vector<int32_t> all_leaves = tree.LeafNodes();
+  std::vector<int32_t> subtree = tree.MinimalSubtree(all_leaves);
+  std::set<int32_t> in_subtree(subtree.begin(), subtree.end());
+  for (int32_t leaf : all_leaves) EXPECT_TRUE(in_subtree.count(leaf) > 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, QuadTreePropertyTest,
+    ::testing::Values(Config{4, 8, 100, false, 1}, Config{4, 8, 100, true, 2},
+                      Config{8, 25, 1000, false, 3}, Config{8, 25, 1000, true, 4},
+                      Config{10, 50, 3000, true, 5}, Config{2, 5, 500, true, 6},
+                      Config{6, 100, 50, false, 7}, Config{9, 10, 2000, true, 8}));
+
+class GridSizeSweep : public ::testing::TestWithParam<int32_t> {};
+
+TEST_P(GridSizeSweep, GridAndQuadtreePartitionConsistently) {
+  int32_t g = GetParam();
+  GridIndex grid({0, 0, 1, 1}, g);
+  common::Rng rng(99);
+  for (int i = 0; i < 100; ++i) {
+    geo::GeoPoint p{rng.Uniform(), rng.Uniform()};
+    int64_t tile = grid.TileOf(p);
+    EXPECT_TRUE(grid.TileBounds(tile).Contains(p));
+  }
+  // Cell areas sum to region area.
+  double area = 0.0;
+  for (int64_t t = 0; t < grid.NumTiles(); ++t) area += grid.TileBounds(t).AreaKm2();
+  geo::BoundingBox region{0, 0, 1, 1};
+  EXPECT_NEAR(area, region.AreaKm2(), region.AreaKm2() * 0.02);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, GridSizeSweep, ::testing::Values(1, 2, 5, 9, 16));
+
+}  // namespace
+}  // namespace tspn::spatial

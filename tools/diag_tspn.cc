@@ -1,0 +1,85 @@
+// Diagnostic: decomposes TSPN-RA quality on a dataset into (1) training-loss
+// trajectory, (2) tile-selection accuracy, (3) candidate coverage of the
+// target, (4) POI ranking quality conditioned on coverage. Not a paper
+// bench — a development tool.
+
+#include <algorithm>
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "common/env.h"
+
+int main(int argc, char** argv) {
+  using namespace tspn;
+  bench::BenchSettings settings = bench::DefaultSettings();
+  auto dataset = bench::MakeDataset(data::CityProfile::FoursquareNyc());
+  core::TspnRaConfig config = bench::MakeTspnConfig(*dataset, settings);
+  if (argc > 1) config.top_k_tiles = std::atoi(argv[1]);
+  core::TspnRa model(dataset, config);
+  float lr = static_cast<float>(common::EnvDouble("TSPN_DIAG_LR", 3e-3));
+  eval::TrainOptions options = bench::MakeTrainOptions(settings, lr);
+  options.max_samples_per_epoch = settings.train_samples * 2;
+  options.verbose = true;
+  model.Train(options);
+
+  std::vector<data::SampleRef> samples = dataset->Samples(data::Split::kTest);
+  common::Rng rng(settings.seed);
+  rng.Shuffle(samples);
+  samples.resize(std::min<size_t>(samples.size(), 150));
+
+  for (int64_t k : {4L, 8L, 12L, 16L, 24L, 32L}) {
+  double tile_hit = 0, covered = 0, hit5_covered = 0, hit5 = 0, hit5_allk = 0;
+  for (const auto& sample : samples) {
+    auto ranked_tiles = model.RankTiles(sample);
+    int64_t target_tile = model.TargetTileIndex(sample);
+    bool tile_in_k =
+        std::find(ranked_tiles.begin(),
+                  ranked_tiles.begin() + std::min<int64_t>(k, ranked_tiles.size()),
+                  target_tile) !=
+        ranked_tiles.begin() + std::min<int64_t>(k, ranked_tiles.size());
+    tile_hit += tile_in_k;
+    int64_t target = dataset->Target(sample).poi_id;
+    auto top5 = model.RecommendWithK(sample, 5, static_cast<int32_t>(k));
+    bool hit = std::find(top5.begin(), top5.end(), target) != top5.end();
+    hit5 += hit;
+    if (tile_in_k) {
+      covered += 1;
+      hit5_covered += hit;
+    }
+    auto top5_all = model.RecommendWithK(
+        sample, 5, static_cast<int32_t>(model.NumCandidateTiles()));
+    hit5_allk += std::find(top5_all.begin(), top5_all.end(), target) !=
+                 top5_all.end();
+  }
+  double n = static_cast<double>(samples.size());
+  std::printf("K=%-3lld tile_acc@K=%.3f  Recall@5=%.3f  "
+              "Recall@5|covered=%.3f  Recall@5(K=all)=%.3f\n",
+              static_cast<long long>(k), tile_hit / n, hit5 / n,
+              covered > 0 ? hit5_covered / covered : 0.0, hit5_allk / n);
+  }
+
+  // Geometry of the learned tile embeddings: mean/min/max pairwise cosine of
+  // candidate-tile rows (collapse shows up as mean ~ 1).
+  nn::Tensor et = model.DebugTileEmbeddings();
+  const auto& leaf_ids = model.candidate_tile_ids();
+  double sum = 0, mn = 1, mx = -1;
+  int64_t pairs = 0;
+  int64_t dm = et.dim(1);
+  for (size_t i = 0; i < leaf_ids.size(); i += 3) {
+    for (size_t j = i + 1; j < leaf_ids.size(); j += 3) {
+      double dot = 0;
+      for (int64_t d = 0; d < dm; ++d) {
+        dot += static_cast<double>(et.at(leaf_ids[i] * dm + d)) *
+               et.at(leaf_ids[j] * dm + d);
+      }
+      sum += dot;
+      mn = std::min(mn, dot);
+      mx = std::max(mx, dot);
+      ++pairs;
+    }
+  }
+  std::printf("leaf-ET pairwise cosine: mean=%.3f min=%.3f max=%.3f over %lld "
+              "pairs\n",
+              sum / pairs, mn, mx, static_cast<long long>(pairs));
+  return 0;
+}
