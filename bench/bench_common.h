@@ -6,8 +6,10 @@
 // by default and can be scaled up towards paper-sized runs.
 
 #include <cstdio>
+#include <fstream>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "baselines/base.h"
@@ -20,6 +22,65 @@
 #include "eval/model_api.h"
 
 namespace tspn::bench {
+
+// --- JSON bench reporting ----------------------------------------------------
+//
+// Every bench that participates in perf tracking writes a
+// BENCH_<name>.json artifact next to the binary (or into
+// TSPN_BENCH_JSON_DIR). tools/run_benches.sh diffs these against the
+// committed baselines in bench/baselines/ to catch regressions.
+
+/// One named result with free-form numeric fields, e.g.
+///   {"name": "matmul_256", "ns_per_op": ..., "ns_per_op_before": ...,
+///    "speedup": ...}
+struct JsonResult {
+  std::string name;
+  std::vector<std::pair<std::string, double>> fields;
+};
+
+/// Collects JsonResult rows and renders BENCH_<bench_name>.json.
+class JsonReporter {
+ public:
+  explicit JsonReporter(std::string bench_name) : bench_name_(std::move(bench_name)) {}
+
+  /// Appends one result row with all its fields.
+  void Add(const std::string& name,
+           std::initializer_list<std::pair<const char*, double>> fields) {
+    JsonResult r{name, {}};
+    for (const auto& [key, value] : fields) r.fields.emplace_back(key, value);
+    results_.push_back(std::move(r));
+  }
+
+  /// Writes the artifact; returns the path written (empty on failure).
+  std::string Write() const {
+    std::string dir = ".";
+    if (const char* env = std::getenv("TSPN_BENCH_JSON_DIR")) dir = env;
+    std::string path = dir + "/BENCH_" + bench_name_ + ".json";
+    std::ofstream out(path);
+    if (!out) {
+      std::fprintf(stderr, "[bench] cannot write %s\n", path.c_str());
+      return "";
+    }
+    out << "{\n  \"bench\": \"" << bench_name_ << "\",\n  \"results\": [\n";
+    for (size_t i = 0; i < results_.size(); ++i) {
+      const JsonResult& r = results_[i];
+      out << "    {\"name\": \"" << r.name << "\"";
+      for (const auto& [key, value] : r.fields) {
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "%.6g", value);
+        out << ", \"" << key << "\": " << buf;
+      }
+      out << "}" << (i + 1 < results_.size() ? "," : "") << "\n";
+    }
+    out << "  ]\n}\n";
+    std::printf("[bench] wrote %s\n", path.c_str());
+    return path;
+  }
+
+ private:
+  std::string bench_name_;
+  std::vector<JsonResult> results_;
+};
 
 struct BenchSettings {
   int32_t epochs;

@@ -1,15 +1,25 @@
-// Micro-benchmarks of the substrates (google-benchmark): tensor ops, conv,
-// attention, quad-tree construction/query, QR-P graph construction, image
-// synthesis. These are throughput sanity checks, not paper experiments.
+// Micro-benchmarks of the nn kernel layer with before/after tracking.
+//
+// Each case times the seed implementation (kept verbatim below as the
+// reference, namespace seedref) against the current library kernels and
+// reports ns/op plus speedup, printing a table and writing
+// BENCH_micro_ops.json for tools/run_benches.sh to diff against the
+// committed baseline.
 
-#include <benchmark/benchmark.h>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <functional>
+#include <vector>
 
+#include "bench/bench_common.h"
 #include "common/rng.h"
-#include "data/dataset.h"
 #include "graph/qrp_graph.h"
 #include "nn/conv.h"
+#include "nn/kernels.h"
 #include "nn/layers.h"
 #include "nn/ops.h"
+#include "nn/tensor.h"
 #include "rs/synthesizer.h"
 #include "spatial/quadtree.h"
 
@@ -17,113 +27,304 @@ namespace {
 
 using namespace tspn;
 
-void BM_MatMul(benchmark::State& state) {
-  int64_t n = state.range(0);
-  common::Rng rng(1);
-  nn::Tensor a = nn::Tensor::RandomUniform({n, n}, 1.0f, rng);
-  nn::Tensor b = nn::Tensor::RandomUniform({n, n}, 1.0f, rng);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(nn::MatMul(a, b).data());
-  }
-  state.SetItemsProcessed(state.iterations() * n * n * n);
-}
-BENCHMARK(BM_MatMul)->Arg(64)->Arg(128)->Arg(256);
+// --- Seed reference implementations -----------------------------------------
+// Copied from the pre-kernel-rewrite src/nn/ops.cc so the speedup column
+// keeps meaning after the originals are gone.
 
-void BM_Conv2dStride2(benchmark::State& state) {
-  int64_t res = state.range(0);
-  common::Rng rng(2);
-  nn::Tensor x = nn::Tensor::RandomUniform({1, 3, res, res}, 1.0f, rng);
-  nn::Tensor w = nn::Tensor::RandomUniform({8, 3, 3, 3}, 0.2f, rng);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(nn::Conv2d(x, w, nn::Tensor(), 2, 1).data());
-  }
-}
-BENCHMARK(BM_Conv2dStride2)->Arg(32)->Arg(64)->Arg(128);
+namespace seedref {
 
-void BM_AttentionForward(benchmark::State& state) {
-  int64_t len = state.range(0);
-  common::Rng rng(3);
-  nn::Attention attn(64, rng);
-  nn::Tensor seq = nn::Tensor::RandomUniform({len, 64}, 1.0f, rng);
-  nn::NoGradGuard guard;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(attn.Forward(seq, seq, true).data());
-  }
-}
-BENCHMARK(BM_AttentionForward)->Arg(16)->Arg(64);
+constexpr int kMaxRank = 4;
 
-void BM_TrainStepBackward(benchmark::State& state) {
-  common::Rng rng(4);
-  nn::Linear layer(64, 64, rng);
-  nn::Tensor x = nn::Tensor::RandomUniform({32, 64}, 1.0f, rng);
-  for (auto _ : state) {
-    nn::Tensor loss = nn::SumAll(nn::Mul(layer.Forward(x), layer.Forward(x)));
-    loss.Backward();
-    for (nn::Tensor& p : layer.Parameters()) p.ZeroGrad();
-  }
-}
-BENCHMARK(BM_TrainStepBackward);
+struct BroadcastPlan {
+  nn::Shape out_shape;
+  int64_t out_numel = 0;
+  int rank = 0;
+  int64_t out_dims[kMaxRank];
+  int64_t a_strides[kMaxRank];
+  int64_t b_strides[kMaxRank];
+};
 
-void BM_QuadTreeBuild(benchmark::State& state) {
-  int64_t n = state.range(0);
-  common::Rng rng(5);
-  std::vector<geo::GeoPoint> points;
-  points.reserve(static_cast<size_t>(n));
-  for (int64_t i = 0; i < n; ++i) {
-    points.push_back({rng.Uniform(), rng.Uniform()});
+BroadcastPlan MakeBroadcastPlan(const nn::Shape& a, const nn::Shape& b) {
+  BroadcastPlan plan;
+  plan.rank = static_cast<int>(std::max(a.size(), b.size()));
+  int64_t a_dims[kMaxRank], b_dims[kMaxRank];
+  for (int i = 0; i < plan.rank; ++i) {
+    int ai = static_cast<int>(a.size()) - plan.rank + i;
+    int bi = static_cast<int>(b.size()) - plan.rank + i;
+    a_dims[i] = ai >= 0 ? a[static_cast<size_t>(ai)] : 1;
+    b_dims[i] = bi >= 0 ? b[static_cast<size_t>(bi)] : 1;
+    plan.out_dims[i] = std::max(a_dims[i], b_dims[i]);
   }
-  for (auto _ : state) {
-    auto tree = spatial::QuadTree::Build({0, 0, 1, 1}, points,
-                                         {.max_depth = 9, .leaf_capacity = 50});
-    benchmark::DoNotOptimize(tree.NumTiles());
+  int64_t a_stride = 1, b_stride = 1;
+  for (int i = plan.rank - 1; i >= 0; --i) {
+    plan.a_strides[i] = (a_dims[i] == 1 && plan.out_dims[i] != 1) ? 0 : a_stride;
+    plan.b_strides[i] = (b_dims[i] == 1 && plan.out_dims[i] != 1) ? 0 : b_stride;
+    a_stride *= a_dims[i];
+    b_stride *= b_dims[i];
   }
-  state.SetItemsProcessed(state.iterations() * n);
+  plan.out_shape.assign(plan.out_dims, plan.out_dims + plan.rank);
+  plan.out_numel = nn::NumElements(plan.out_shape);
+  return plan;
 }
-BENCHMARK(BM_QuadTreeBuild)->Arg(1000)->Arg(10000);
 
-void BM_QuadTreeLocate(benchmark::State& state) {
-  common::Rng rng(6);
-  std::vector<geo::GeoPoint> points;
-  for (int64_t i = 0; i < 20000; ++i) {
-    points.push_back({rng.Uniform(), rng.Uniform()});
-  }
-  auto tree = spatial::QuadTree::Build({0, 0, 1, 1}, points,
-                                       {.max_depth = 9, .leaf_capacity = 50});
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(
-        tree.LocateLeaf({rng.Uniform(), rng.Uniform()}));
+template <typename Fn>
+void ForEachBroadcast(const BroadcastPlan& plan, Fn&& fn) {
+  int64_t counters[kMaxRank] = {0, 0, 0, 0};
+  int64_t ai = 0, bi = 0;
+  for (int64_t out = 0; out < plan.out_numel; ++out) {
+    fn(out, ai, bi);
+    for (int d = plan.rank - 1; d >= 0; --d) {
+      ++counters[d];
+      ai += plan.a_strides[d];
+      bi += plan.b_strides[d];
+      if (counters[d] < plan.out_dims[d]) break;
+      ai -= plan.a_strides[d] * plan.out_dims[d];
+      bi -= plan.b_strides[d] * plan.out_dims[d];
+      counters[d] = 0;
+    }
   }
 }
-BENCHMARK(BM_QuadTreeLocate);
 
-void BM_QrpGraphBuild(benchmark::State& state) {
-  auto dataset = data::CityDataset::Generate(data::CityProfile::TestTiny());
-  common::Rng rng(7);
-  std::vector<int64_t> visits;
-  for (int i = 0; i < 100; ++i) {
-    visits.push_back(rng.UniformInt(static_cast<int64_t>(dataset->pois().size())));
-  }
-  for (auto _ : state) {
-    auto graph = graph::BuildQrpGraph(dataset->quadtree(),
-                                      dataset->leaf_adjacency(),
-                                      dataset->pois(), visits);
-    benchmark::DoNotOptimize(graph.NumNodes());
-  }
+nn::Tensor Add(const nn::Tensor& a, const nn::Tensor& b) {
+  BroadcastPlan plan = MakeBroadcastPlan(a.shape(), b.shape());
+  std::vector<float> out(static_cast<size_t>(plan.out_numel));
+  const float* pa = a.data();
+  const float* pb = b.data();
+  ForEachBroadcast(plan, [&](int64_t o, int64_t i, int64_t j) {
+    out[static_cast<size_t>(o)] = pa[i] + pb[j];
+  });
+  return nn::Tensor::FromVector(plan.out_shape, std::move(out));
 }
-BENCHMARK(BM_QrpGraphBuild);
 
-void BM_RenderTile(benchmark::State& state) {
-  int32_t res = static_cast<int32_t>(state.range(0));
-  auto dataset = data::CityDataset::Generate(data::CityProfile::TestTiny());
-  rs::ImageSynthesizer synth(&dataset->layout(), &dataset->roads(),
-                             {.resolution = res});
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(
-        synth.RenderTile({0.0, 0.0, 0.1, 0.1}).data.data());
+nn::Tensor Mul(const nn::Tensor& a, const nn::Tensor& b) {
+  BroadcastPlan plan = MakeBroadcastPlan(a.shape(), b.shape());
+  std::vector<float> out(static_cast<size_t>(plan.out_numel));
+  const float* pa = a.data();
+  const float* pb = b.data();
+  ForEachBroadcast(plan, [&](int64_t o, int64_t i, int64_t j) {
+    out[static_cast<size_t>(o)] = pa[i] * pb[j];
+  });
+  return nn::Tensor::FromVector(plan.out_shape, std::move(out));
+}
+
+/// Seed UnaryOp: per-element dispatch through std::function.
+nn::Tensor Unary(const nn::Tensor& a, std::function<float(float)> fn) {
+  std::vector<float> out(static_cast<size_t>(a.numel()));
+  const float* pa = a.data();
+  for (size_t i = 0; i < out.size(); ++i) out[i] = fn(pa[i]);
+  std::vector<float> saved = out;  // the seed always saved the output
+  (void)saved;
+  return nn::Tensor::FromVector(a.shape(), std::move(out));
+}
+
+nn::Tensor Reshape(const nn::Tensor& a, const nn::Shape& shape) {
+  return nn::Tensor::FromVector(shape, a.ToVector());
+}
+
+nn::Tensor MatMul(const nn::Tensor& a, const nn::Tensor& b) {
+  int64_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  std::vector<float> out(static_cast<size_t>(m * n), 0.0f);
+  const float* pa = a.data();
+  const float* pb = b.data();
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t kk = 0; kk < k; ++kk) {
+      float av = pa[i * k + kk];
+      if (av == 0.0f) continue;
+      const float* brow = pb + kk * n;
+      float* orow = out.data() + i * n;
+      for (int64_t j = 0; j < n; ++j) orow[j] += av * brow[j];
+    }
+  }
+  return nn::Tensor::FromVector({m, n}, std::move(out));
+}
+
+/// Seed MatMul backward: dA via scalar-accumulator dots, dB via saxpy.
+void MatMulBackward(const float* av, const float* bv, const float* g, float* ga,
+                    float* gb, int64_t m, int64_t k, int64_t n) {
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t kk = 0; kk < k; ++kk) {
+      float acc = 0.0f;
+      const float* grow = g + i * n;
+      const float* brow = bv + kk * n;
+      for (int64_t j = 0; j < n; ++j) acc += grow[j] * brow[j];
+      ga[i * k + kk] += acc;
+    }
+  }
+  for (int64_t kk = 0; kk < k; ++kk) {
+    for (int64_t i = 0; i < m; ++i) {
+      float a_ik = av[i * k + kk];
+      if (a_ik == 0.0f) continue;
+      const float* grow = g + i * n;
+      float* brow = gb + kk * n;
+      for (int64_t j = 0; j < n; ++j) brow[j] += a_ik * grow[j];
+    }
   }
 }
-BENCHMARK(BM_RenderTile)->Arg(32)->Arg(256);
+
+}  // namespace seedref
+
+// --- Harness -----------------------------------------------------------------
+
+/// Runs fn repeatedly for ~TSPN_BENCH_MICRO_MS milliseconds (default 150)
+/// and returns ns per call.
+double TimeNs(const std::function<void()>& fn) {
+  static const double budget_ms =
+      static_cast<double>(common::EnvInt("TSPN_BENCH_MICRO_MS", 150));
+  fn();  // warmup
+  int64_t iters = 0;
+  auto start = std::chrono::steady_clock::now();
+  double elapsed_ns = 0.0;
+  while (true) {
+    fn();
+    ++iters;
+    elapsed_ns = std::chrono::duration<double, std::nano>(
+                     std::chrono::steady_clock::now() - start)
+                     .count();
+    if (elapsed_ns >= budget_ms * 1e6 && iters >= 3) break;
+  }
+  return elapsed_ns / static_cast<double>(iters);
+}
+
+struct Case {
+  std::string name;
+  std::function<void()> before;
+  std::function<void()> after;
+};
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main() {
+  using nn::Tensor;
+  common::Rng rng(17);
+  std::printf("Micro-benchmarks: seed reference kernels vs current nn layer\n");
+
+  // Elementwise operands: 256x256 (64k elements).
+  const Tensor ew_a = Tensor::RandomUniform({256, 256}, 1.0f, rng);
+  const Tensor ew_b = Tensor::RandomUniform({256, 256}, 1.0f, rng);
+  const Tensor ew_row = Tensor::RandomUniform({256}, 1.0f, rng);
+  const Tensor ew_scalar = Tensor::Scalar(1.5f);
+
+  std::vector<Case> cases;
+  cases.push_back({"add_same_shape",
+                   [&] { seedref::Add(ew_a, ew_b); },
+                   [&] { nn::Add(ew_a, ew_b); }});
+  cases.push_back({"mul_same_shape",
+                   [&] { seedref::Mul(ew_a, ew_b); },
+                   [&] { nn::Mul(ew_a, ew_b); }});
+  cases.push_back({"mul_scalar_broadcast",
+                   [&] { seedref::Mul(ew_a, ew_scalar); },
+                   [&] { nn::Mul(ew_a, ew_scalar); }});
+  cases.push_back({"add_row_broadcast",
+                   [&] { seedref::Add(ew_a, ew_row); },
+                   [&] { nn::Add(ew_a, ew_row); }});
+  cases.push_back({"sigmoid",
+                   [&] {
+                     seedref::Unary(
+                         ew_a, [](float x) { return 1.0f / (1.0f + std::exp(-x)); });
+                   },
+                   [&] { nn::Sigmoid(ew_a); }});
+  cases.push_back({"reshape",
+                   [&] { seedref::Reshape(ew_a, {65536}); },
+                   [&] { nn::Reshape(ew_a, {65536}); }});
+
+  for (int64_t n : {64, 128, 256}) {
+    Tensor ma = Tensor::RandomUniform({n, n}, 1.0f, rng);
+    Tensor mb = Tensor::RandomUniform({n, n}, 1.0f, rng);
+    cases.push_back({"matmul_fwd_" + std::to_string(n),
+                     [ma, mb] { seedref::MatMul(ma, mb); },
+                     [ma, mb] { nn::MatMul(ma, mb); }});
+  }
+
+  // The training-path op: forward + both backward passes. This is the
+  // MatMul cost that bounds training throughput.
+  for (int64_t n : {128, 256}) {
+    Tensor ma = Tensor::RandomUniform({n, n}, 1.0f, rng);
+    Tensor mb = Tensor::RandomUniform({n, n}, 1.0f, rng);
+    Tensor ga = Tensor::RandomUniform({n, n}, 1.0f, rng, /*requires_grad=*/true);
+    Tensor gb = Tensor::RandomUniform({n, n}, 1.0f, rng, /*requires_grad=*/true);
+    cases.push_back(
+        {"matmul_" + std::to_string(n),
+         [ma, mb, n] {
+           Tensor y = seedref::MatMul(ma, mb);
+           std::vector<float> grad_a(static_cast<size_t>(n * n), 0.0f);
+           std::vector<float> grad_b(static_cast<size_t>(n * n), 0.0f);
+           std::vector<float> g(static_cast<size_t>(n * n), 1.0f);
+           seedref::MatMulBackward(ma.data(), mb.data(), g.data(), grad_a.data(),
+                                   grad_b.data(), n, n, n);
+         },
+         [ga, gb]() mutable {
+           Tensor y = nn::MatMul(ga, gb);
+           auto& node = *y.node();
+           node.EnsureGrad();
+           std::fill(node.grad.begin(), node.grad.end(), 1.0f);
+           node.backward(node);
+           ga.ZeroGrad();
+           gb.ZeroGrad();
+         }});
+  }
+
+  bench::JsonReporter reporter("micro_ops");
+  common::TablePrinter table({"Op", "Seed ns/op", "Now ns/op", "Speedup"});
+  for (const Case& c : cases) {
+    double before = TimeNs(c.before);
+    double after = TimeNs(c.after);
+    double speedup = before / after;
+    char before_s[32], after_s[32], speedup_s[32];
+    std::snprintf(before_s, sizeof(before_s), "%.0f", before);
+    std::snprintf(after_s, sizeof(after_s), "%.0f", after);
+    std::snprintf(speedup_s, sizeof(speedup_s), "%.2fx", speedup);
+    table.AddRow({c.name, before_s, after_s, speedup_s});
+    reporter.Add(c.name, {{"ns_per_op", after},
+                          {"ns_per_op_before", before},
+                          {"speedup", speedup}});
+  }
+
+  // Substrate throughput tracking without a seed reference: these paths are
+  // unchanged by the kernel rewrite (conv, attention, spatial/graph/imagery)
+  // but stay in the JSON so run_benches.sh catches future regressions.
+  {
+    auto tiny = data::CityDataset::Generate(data::CityProfile::TestTiny());
+    nn::Tensor cx = Tensor::RandomUniform({1, 3, 64, 64}, 1.0f, rng);
+    nn::Tensor cw = Tensor::RandomUniform({8, 3, 3, 3}, 0.2f, rng);
+    nn::Attention attn(64, rng);
+    Tensor seq = Tensor::RandomUniform({32, 64}, 1.0f, rng);
+    std::vector<geo::GeoPoint> points;
+    for (int64_t i = 0; i < 10000; ++i) points.push_back({rng.Uniform(), rng.Uniform()});
+    std::vector<int64_t> visits;
+    for (int i = 0; i < 100; ++i) {
+      visits.push_back(rng.UniformInt(static_cast<int64_t>(tiny->pois().size())));
+    }
+    rs::ImageSynthesizer synth(&tiny->layout(), &tiny->roads(), {.resolution = 32});
+    std::vector<Case> tracked;
+    tracked.push_back({"conv2d_stride2_64", {}, [&] {
+                         nn::Conv2d(cx, cw, nn::Tensor(), 2, 1);
+                       }});
+    tracked.push_back({"attention_fwd_32x64", {}, [&] {
+                         nn::NoGradGuard guard;
+                         attn.Forward(seq, seq, true);
+                       }});
+    tracked.push_back({"quadtree_build_10k", {}, [&] {
+                         spatial::QuadTree::Build({0, 0, 1, 1}, points,
+                                                  {.max_depth = 9, .leaf_capacity = 50});
+                       }});
+    tracked.push_back({"qrp_graph_build_100", {}, [&] {
+                         graph::BuildQrpGraph(tiny->quadtree(), tiny->leaf_adjacency(),
+                                              tiny->pois(), visits);
+                       }});
+    tracked.push_back({"render_tile_32", {}, [&] {
+                         synth.RenderTile({0.0, 0.0, 0.1, 0.1});
+                       }});
+    common::TablePrinter tracked_table({"Substrate", "ns/op"});
+    for (const Case& c : tracked) {
+      double ns = TimeNs(c.after);
+      char ns_s[32];
+      std::snprintf(ns_s, sizeof(ns_s), "%.0f", ns);
+      tracked_table.AddRow({c.name, ns_s});
+      reporter.Add(c.name, {{"ns_per_op", ns}});
+    }
+    table.Print();
+    tracked_table.Print();
+  }
+  reporter.Write();
+  return 0;
+}

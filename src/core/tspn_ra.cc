@@ -5,11 +5,43 @@
 #include <numeric>
 
 #include "common/check.h"
+#include "common/env.h"
 #include "core/tspn_ra_internal.h"
 #include "nn/ops.h"
 #include "nn/serialize.h"
 
 namespace tspn::core {
+
+namespace {
+
+/// Indices of the k largest entries of scores[0..n), ordered by (score desc,
+/// index asc). k >= n degenerates to a full deterministic ranking; k < n uses
+/// nth_element + a sort of only the kept prefix instead of sorting all n.
+std::vector<int64_t> TopKIndices(const float* scores, int64_t n, int64_t k) {
+  std::vector<int64_t> order(static_cast<size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  auto better = [scores](int64_t a, int64_t b) {
+    if (scores[a] != scores[b]) return scores[a] > scores[b];
+    return a < b;
+  };
+  if (k >= n) {
+    std::sort(order.begin(), order.end(), better);
+    return order;
+  }
+  std::nth_element(order.begin(), order.begin() + k, order.end(), better);
+  order.resize(static_cast<size_t>(k));
+  std::sort(order.begin(), order.end(), better);
+  return order;
+}
+
+/// When set, inference recomputes the leaf gather per query and ranks with a
+/// full sort (the pre-cache behavior). Kept as an A/B switch for the Table V
+/// efficiency bench.
+bool InferenceCacheDisabled() {
+  return common::EnvInt("TSPN_DISABLE_INFERENCE_CACHE", 0) != 0;
+}
+
+}  // namespace
 
 TspnRa::TspnRa(std::shared_ptr<const data::CityDataset> dataset, TspnRaConfig config)
     : dataset_(std::move(dataset)), config_(config),
@@ -91,12 +123,25 @@ nn::Tensor TspnRa::TileCosinesFrom(const nn::Tensor& et,
   return nn::MatVec(leaf_embeddings, nn::L2Normalize(h_tile));
 }
 
+nn::Tensor TspnRa::InferenceLeafCosines(const nn::Tensor& h_tile) const {
+  if (!leaf_et_cache_.defined()) {
+    // Cache disabled (or not yet built): per-query gather, as the seed did.
+    return TileCosinesFrom(et_cache_, h_tile);
+  }
+  return nn::MatVec(leaf_et_cache_, nn::L2Normalize(h_tile));
+}
+
 int64_t TspnRa::CandidateTileOfPoi(int64_t poi_id) const {
   return poi_tile_[static_cast<size_t>(poi_id)];
 }
 
 const graph::QrpGraph* TspnRa::HistoryGraph(int32_t user, int32_t traj) const {
-  int64_t key = (static_cast<int64_t>(user) << 20) | traj;
+  // Full-width packing: the old (user << 20 | traj) key silently collided
+  // once traj reached 2^20.
+  TSPN_CHECK_GE(user, 0);
+  TSPN_CHECK_GE(traj, 0);
+  int64_t key = (static_cast<int64_t>(user) << 32) |
+                static_cast<int64_t>(static_cast<uint32_t>(traj));
   auto it = graph_cache_.find(key);
   if (it != graph_cache_.end()) return &it->second;
   std::vector<int64_t> history = dataset_->HistoryPoiIds(user, traj);
@@ -231,13 +276,11 @@ nn::Tensor TspnRa::SampleLoss(const data::SampleRef& sample, const nn::Tensor& e
     loss = nn::Add(loss, nn::MulScalar(tile_loss, config_.beta));
 
     // --- Step 2 candidates: POIs in the current top-K tiles (the tile
-    // selector acting as negative-sample generator, Sec. V-B). ---------------
-    std::vector<int64_t> order(leaf_tile_ids_.size());
-    std::iota(order.begin(), order.end(), 0);
-    const float* scores = cos_tiles.data();
-    std::sort(order.begin(), order.end(), [&](int64_t a, int64_t b) {
-      return scores[a] > scores[b];
-    });
+    // selector acting as negative-sample generator, Sec. V-B). Only the
+    // top-K prefix is consumed, so partial selection suffices. ---------------
+    std::vector<int64_t> order =
+        TopKIndices(cos_tiles.data(), static_cast<int64_t>(leaf_tile_ids_.size()),
+                    config_.top_k_tiles);
     candidate_pois = GatherCandidates(order, config_.top_k_tiles);
     // Global random negatives keep never-screened POI embeddings trained
     // (see TspnRaConfig::num_random_negatives).
@@ -309,26 +352,51 @@ void TspnRa::EnsureInferenceCaches() const {
   // Inference is always deterministic: dropout off regardless of whether the
   // model was ever trained.
   net_->SetTraining(false);
-  if (!caches_dirty_ && et_cache_.defined()) return;
+  const bool cache_leaf = !InferenceCacheDisabled();
+  if (!caches_dirty_ && et_cache_.defined() &&
+      leaf_et_cache_.defined() == cache_leaf) {
+    return;
+  }
   nn::NoGradGuard guard;
   et_cache_ = ComputeTileEmbeddings();
+  if (cache_leaf) {
+    // Gather + normalize the leaf-tile matrix once so every query is a single
+    // MatVec against it, instead of re-running EmbeddingGather + L2Normalize.
+    std::vector<int64_t> leaf_rows(leaf_tile_ids_.begin(), leaf_tile_ids_.end());
+    leaf_et_cache_ =
+        nn::L2Normalize(nn::EmbeddingGather(et_cache_, leaf_rows));
+    // Same for the POI side: encode + normalize every POI once; per-query
+    // stage-2 scoring then just gathers candidate rows. Row i is bitwise
+    // identical to L2Normalize(Encode({i}, ...)), so results don't change.
+    const int64_t num_pois = static_cast<int64_t>(dataset_->pois().size());
+    std::vector<int64_t> all_pois(static_cast<size_t>(num_pois));
+    std::vector<int64_t> all_cats(static_cast<size_t>(num_pois));
+    for (int64_t i = 0; i < num_pois; ++i) {
+      all_pois[static_cast<size_t>(i)] = i;
+      all_cats[static_cast<size_t>(i)] = dataset_->poi(i).category;
+    }
+    poi_et_cache_ =
+        nn::L2Normalize(net_->poi_encoder.Encode(all_pois, all_cats));
+  } else {
+    leaf_et_cache_ = nn::Tensor();
+    poi_et_cache_ = nn::Tensor();
+  }
   caches_dirty_ = false;
 }
 
 std::vector<int64_t> TspnRa::RankTiles(const data::SampleRef& sample) const {
+  return RankTilesTopK(sample, static_cast<int64_t>(leaf_tile_ids_.size()));
+}
+
+std::vector<int64_t> TspnRa::RankTilesTopK(const data::SampleRef& sample,
+                                           int64_t k) const {
   EnsureInferenceCaches();
   nn::NoGradGuard guard;
   Features f = ExtractFeatures(sample);
   ForwardOut fwd = Forward(f, et_cache_, inference_rng_);
-  std::vector<int64_t> leaf_rows(leaf_tile_ids_.begin(), leaf_tile_ids_.end());
-  nn::Tensor leaf_embeddings = nn::EmbeddingGather(et_cache_, leaf_rows);
-  nn::Tensor cos_tiles = nn::MatVec(leaf_embeddings, nn::L2Normalize(fwd.h_tile));
-  std::vector<int64_t> order(leaf_tile_ids_.size());
-  std::iota(order.begin(), order.end(), 0);
-  const float* scores = cos_tiles.data();
-  std::sort(order.begin(), order.end(),
-            [&](int64_t a, int64_t b) { return scores[a] > scores[b]; });
-  return order;
+  nn::Tensor cos_tiles = InferenceLeafCosines(fwd.h_tile);
+  return TopKIndices(cos_tiles.data(),
+                     static_cast<int64_t>(leaf_tile_ids_.size()), k);
 }
 
 int64_t TspnRa::TargetTileIndex(const data::SampleRef& sample) const {
@@ -341,7 +409,7 @@ int64_t TspnRa::TargetTileIndex(const data::SampleRef& sample) const {
 
 int64_t TspnRa::CandidatePoiCount(const data::SampleRef& sample,
                                   int32_t top_k) const {
-  std::vector<int64_t> ranked = RankTiles(sample);
+  std::vector<int64_t> ranked = RankTilesTopK(sample, top_k);
   return static_cast<int64_t>(GatherCandidates(ranked, top_k).size());
 }
 
@@ -355,12 +423,10 @@ std::vector<int64_t> TspnRa::RecommendWithK(const data::SampleRef& sample,
   std::vector<int64_t> candidates;
   nn::Tensor cos_tiles;
   if (config_.use_two_step) {
-    cos_tiles = TileCosinesFrom(et_cache_, fwd.h_tile);
-    std::vector<int64_t> order(leaf_tile_ids_.size());
-    std::iota(order.begin(), order.end(), 0);
-    const float* scores = cos_tiles.data();
-    std::sort(order.begin(), order.end(),
-              [&](int64_t a, int64_t b) { return scores[a] > scores[b]; });
+    cos_tiles = InferenceLeafCosines(fwd.h_tile);
+    const int64_t num_tiles = static_cast<int64_t>(leaf_tile_ids_.size());
+    std::vector<int64_t> order =
+        TopKIndices(cos_tiles.data(), num_tiles, top_k);
     candidates = GatherCandidates(order, top_k);
     // If every screened tile is POI-free (possible for small K on sparse
     // partitions), widen the screen until candidates appear.
@@ -368,6 +434,7 @@ std::vector<int64_t> TspnRa::RecommendWithK(const data::SampleRef& sample,
     while (candidates.empty() &&
            widened < static_cast<int32_t>(leaf_tile_ids_.size())) {
       widened *= 2;
+      order = TopKIndices(cos_tiles.data(), num_tiles, widened);
       candidates = GatherCandidates(order, widened);
     }
   } else {
@@ -376,11 +443,15 @@ std::vector<int64_t> TspnRa::RecommendWithK(const data::SampleRef& sample,
   }
   if (candidates.empty()) return {};
 
-  std::vector<int64_t> cats;
-  cats.reserve(candidates.size());
-  for (int64_t pid : candidates) cats.push_back(dataset_->poi(pid).category);
-  nn::Tensor cand_embeddings =
-      nn::L2Normalize(net_->poi_encoder.Encode(candidates, cats));
+  nn::Tensor cand_embeddings;
+  if (poi_et_cache_.defined()) {
+    cand_embeddings = nn::EmbeddingGather(poi_et_cache_, candidates);
+  } else {
+    std::vector<int64_t> cats;
+    cats.reserve(candidates.size());
+    for (int64_t pid : candidates) cats.push_back(dataset_->poi(pid).category);
+    cand_embeddings = nn::L2Normalize(net_->poi_encoder.Encode(candidates, cats));
+  }
   nn::Tensor cos_pois = nn::MatVec(cand_embeddings, nn::L2Normalize(fwd.h_poi));
   if (config_.use_two_step) {
     // Same hierarchical score fusion as training: stage-1 tile cosine as a
@@ -396,16 +467,14 @@ std::vector<int64_t> TspnRa::RecommendWithK(const data::SampleRef& sample,
         {static_cast<int64_t>(candidates.size())}, std::move(fused));
   }
 
-  std::vector<int64_t> order(candidates.size());
-  std::iota(order.begin(), order.end(), 0);
-  const float* scores = cos_pois.data();
-  std::sort(order.begin(), order.end(),
-            [&](int64_t a, int64_t b) { return scores[a] > scores[b]; });
+  // Only the top-N ordering is returned; select instead of sorting all
+  // candidates.
+  std::vector<int64_t> order = TopKIndices(
+      cos_pois.data(), static_cast<int64_t>(candidates.size()), top_n);
   std::vector<int64_t> result;
-  int64_t limit = std::min<int64_t>(top_n, static_cast<int64_t>(order.size()));
-  result.reserve(static_cast<size_t>(limit));
-  for (int64_t i = 0; i < limit; ++i) {
-    result.push_back(candidates[static_cast<size_t>(order[static_cast<size_t>(i)])]);
+  result.reserve(order.size());
+  for (int64_t idx : order) {
+    result.push_back(candidates[static_cast<size_t>(idx)]);
   }
   return result;
 }

@@ -36,7 +36,13 @@ class TspnRa : public eval::NextPoiModel {
   // --- Extended API for the figure benches -----------------------------------
 
   /// Ranked candidate-tile indices (dense leaf order), best first.
+  /// Ties rank by ascending tile index, so orderings are deterministic.
   std::vector<int64_t> RankTiles(const data::SampleRef& sample) const;
+
+  /// Top-k prefix of RankTiles via partial selection: identical ordering to
+  /// RankTiles(sample) truncated to k, without sorting the full tile set.
+  std::vector<int64_t> RankTilesTopK(const data::SampleRef& sample,
+                                     int64_t k) const;
 
   /// Dense candidate-tile index containing the sample's target POI.
   int64_t TargetTileIndex(const data::SampleRef& sample) const;
@@ -112,7 +118,13 @@ class TspnRa : public eval::NextPoiModel {
                                         int32_t top_k) const;
 
   /// Cosines between h_tile and every candidate tile's ET row ([num_tiles]).
+  /// Training path: gathers from the autograd-tracked `et` every call.
   nn::Tensor TileCosinesFrom(const nn::Tensor& et, const nn::Tensor& h_tile) const;
+
+  /// Inference path: cosines against the cached, pre-normalized leaf-tile
+  /// matrix (EnsureInferenceCaches must have run). Falls back to the
+  /// per-query gather when TSPN_DISABLE_INFERENCE_CACHE is set.
+  nn::Tensor InferenceLeafCosines(const nn::Tensor& h_tile) const;
 
   /// Dense candidate-tile index containing a POI.
   int64_t CandidateTileOfPoi(int64_t poi_id) const;
@@ -135,7 +147,9 @@ class TspnRa : public eval::NextPoiModel {
   std::unique_ptr<Net> net_;
 
   mutable std::unordered_map<int64_t, graph::QrpGraph> graph_cache_;
-  mutable nn::Tensor et_cache_;      // inference-time ET
+  mutable nn::Tensor et_cache_;       // inference-time ET
+  mutable nn::Tensor leaf_et_cache_;  // gathered + L2-normalized leaf rows
+  mutable nn::Tensor poi_et_cache_;   // all POI embeddings, L2-normalized
   mutable bool caches_dirty_ = true;
   mutable common::Rng inference_rng_;
 };

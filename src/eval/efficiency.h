@@ -20,6 +20,12 @@ struct EfficiencyReport {
   double infer_seconds = 0.0;
   int64_t peak_train_bytes = 0;
   int64_t eval_samples = 0;
+
+  /// Mean inference latency per query in milliseconds.
+  double MsPerQuery() const {
+    return eval_samples > 0 ? infer_seconds * 1000.0 / static_cast<double>(eval_samples)
+                            : 0.0;
+  }
 };
 
 /// Trains and evaluates a freshly built model under instrumentation.

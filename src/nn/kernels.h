@@ -1,0 +1,38 @@
+#ifndef TSPN_NN_KERNELS_H_
+#define TSPN_NN_KERNELS_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace tspn::nn::kernels {
+
+/// Number of worker threads for the row-parallel GEMM split. Controlled by
+/// TSPN_NUM_THREADS (default 1 = single-threaded, clamped to [1, 64]); read
+/// once per process.
+int NumThreads();
+
+/// The one matrix kernel behind MatMul forward and both backward passes:
+///
+///   C[p, q] (+)= sum_r Y[p, r] * Z[q, r]       i.e.  C = Y * Z^T
+///
+/// with Y [p_rows, r_len], Z [q_rows, r_len] and C [p_rows, q_rows], all
+/// row-major and dense. Rows of both operands are contiguous, so the inner
+/// reduction runs on SIMD FMA accumulators (AVX2/AVX-512 when compiled in),
+/// and a 4x4 register tile amortizes each operand load across four partial
+/// products. Blocking over q keeps the active Z rows in L1.
+///
+/// With `accumulate` false C is overwritten, otherwise the products are
+/// added into C (the gradient-accumulation mode). When TSPN_NUM_THREADS > 1
+/// and the product is large enough, rows of C are split across std::thread
+/// workers.
+void DotProductGemm(const float* y, const float* z, float* c, int64_t p_rows,
+                    int64_t q_rows, int64_t r_len, bool accumulate);
+
+/// Row-major transpose into a fresh buffer: src [rows, cols] -> [cols, rows].
+/// O(rows*cols); used to feed DotProductGemm operands that are needed
+/// column-major (B in the forward pass, A and dOut in the dB pass).
+std::vector<float> TransposeCopy(const float* src, int64_t rows, int64_t cols);
+
+}  // namespace tspn::nn::kernels
+
+#endif  // TSPN_NN_KERNELS_H_

@@ -6,6 +6,7 @@
 #include <functional>
 
 #include "common/check.h"
+#include "nn/kernels.h"
 
 namespace tspn::nn {
 
@@ -38,12 +39,14 @@ Tensor MakeOp(Shape shape, std::vector<float> data, std::vector<Tensor> parents,
   return out;
 }
 
-/// Accumulates `value` into parent's grad at `index` if the parent wants it.
-inline void AccumulateInto(const std::shared_ptr<TensorNode>& parent, int64_t index,
-                           float value) {
-  if (!parent->requires_grad) return;
+/// Raw gradient pointer of `parent` (allocating on first use), or nullptr if
+/// the parent does not participate in the backward pass. Lets backward inner
+/// loops run on raw pointers with the requires_grad/EnsureGrad check hoisted
+/// out entirely.
+inline float* GradPtr(const std::shared_ptr<TensorNode>& parent) {
+  if (!parent->requires_grad) return nullptr;
   parent->EnsureGrad();
-  parent->grad[static_cast<size_t>(index)] += value;
+  return parent->grad.data();
 }
 
 // --- Broadcasting machinery -------------------------------------------------
@@ -109,168 +112,274 @@ void ForEachBroadcast(const BroadcastPlan& plan, Fn&& fn) {
 
 enum class BinaryKind { kAdd, kSub, kMul, kDiv };
 
-Tensor BroadcastBinary(const Tensor& a, const Tensor& b, BinaryKind kind,
-                       const char* name) {
-  BroadcastPlan plan = MakeBroadcastPlan(a.shape(), b.shape());
-  std::vector<float> out(static_cast<size_t>(plan.out_numel));
-  const float* pa = a.data();
-  const float* pb = b.data();
-  switch (kind) {
-    case BinaryKind::kAdd:
-      ForEachBroadcast(plan, [&](int64_t o, int64_t i, int64_t j) {
-        out[static_cast<size_t>(o)] = pa[i] + pb[j];
-      });
+template <BinaryKind kKind>
+inline float BinaryApply(float x, float y) {
+  if constexpr (kKind == BinaryKind::kAdd) return x + y;
+  if constexpr (kKind == BinaryKind::kSub) return x - y;
+  if constexpr (kKind == BinaryKind::kMul) return x * y;
+  return x / y;
+}
+
+/// Memory layout of a binary op's operands relative to its output. Everything
+/// except kGeneric runs on flat contiguous loops with no odometer dispatch.
+enum class BinaryLayout { kSameShape, kScalarLhs, kScalarRhs, kGeneric };
+
+BinaryLayout ClassifyBinaryLayout(const BroadcastPlan& plan, int64_t a_numel,
+                                  int64_t b_numel) {
+  // An operand whose numel matches the output cannot have a broadcast axis,
+  // so its traversal is contiguous row-major even if ranks differ.
+  if (a_numel == plan.out_numel && b_numel == plan.out_numel) {
+    return BinaryLayout::kSameShape;
+  }
+  if (a_numel == 1) return BinaryLayout::kScalarLhs;
+  if (b_numel == 1) return BinaryLayout::kScalarRhs;
+  return BinaryLayout::kGeneric;
+}
+
+template <BinaryKind kKind>
+void BinaryForwardFill(BinaryLayout layout, const BroadcastPlan& plan,
+                       const float* pa, const float* pb, float* out) {
+  const int64_t n = plan.out_numel;
+  switch (layout) {
+    case BinaryLayout::kSameShape:
+      for (int64_t i = 0; i < n; ++i) out[i] = BinaryApply<kKind>(pa[i], pb[i]);
       break;
-    case BinaryKind::kSub:
-      ForEachBroadcast(plan, [&](int64_t o, int64_t i, int64_t j) {
-        out[static_cast<size_t>(o)] = pa[i] - pb[j];
-      });
+    case BinaryLayout::kScalarLhs: {
+      const float a0 = pa[0];
+      for (int64_t i = 0; i < n; ++i) out[i] = BinaryApply<kKind>(a0, pb[i]);
       break;
-    case BinaryKind::kMul:
-      ForEachBroadcast(plan, [&](int64_t o, int64_t i, int64_t j) {
-        out[static_cast<size_t>(o)] = pa[i] * pb[j];
-      });
+    }
+    case BinaryLayout::kScalarRhs: {
+      const float b0 = pb[0];
+      for (int64_t i = 0; i < n; ++i) out[i] = BinaryApply<kKind>(pa[i], b0);
       break;
-    case BinaryKind::kDiv:
+    }
+    case BinaryLayout::kGeneric:
       ForEachBroadcast(plan, [&](int64_t o, int64_t i, int64_t j) {
-        out[static_cast<size_t>(o)] = pa[i] / pb[j];
+        out[o] = BinaryApply<kKind>(pa[i], pb[j]);
       });
       break;
   }
-  auto backward = [plan, kind](TensorNode& node) {
-    const auto& pa_node = node.parents[0];
-    const auto& pb_node = node.parents[1];
-    const float* g = node.grad.data();
-    const float* av = pa_node->data.data();
-    const float* bv = pb_node->data.data();
-    ForEachBroadcast(plan, [&](int64_t o, int64_t i, int64_t j) {
-      float go = g[o];
-      switch (kind) {
-        case BinaryKind::kAdd:
-          AccumulateInto(pa_node, i, go);
-          AccumulateInto(pb_node, j, go);
-          break;
-        case BinaryKind::kSub:
-          AccumulateInto(pa_node, i, go);
-          AccumulateInto(pb_node, j, -go);
-          break;
-        case BinaryKind::kMul:
-          AccumulateInto(pa_node, i, go * bv[j]);
-          AccumulateInto(pb_node, j, go * av[i]);
-          break;
-        case BinaryKind::kDiv:
-          AccumulateInto(pa_node, i, go / bv[j]);
-          AccumulateInto(pb_node, j, -go * av[i] / (bv[j] * bv[j]));
-          break;
-      }
-    });
-  };
-  return MakeOp(plan.out_shape, std::move(out), {a, b}, backward, name);
 }
 
-/// Unary op helper: fn computes value, dfn computes d(out)/d(in) given (x, y).
-Tensor UnaryOp(const Tensor& a, std::function<float(float)> fn,
-               std::function<float(float, float)> dfn, const char* name) {
-  std::vector<float> out(static_cast<size_t>(a.numel()));
+/// d(out)/da and d(out)/db of one output element.
+template <BinaryKind kKind>
+inline float BinaryGradA(float go, float /*av*/, float bv) {
+  if constexpr (kKind == BinaryKind::kAdd) return go;
+  if constexpr (kKind == BinaryKind::kSub) return go;
+  if constexpr (kKind == BinaryKind::kMul) return go * bv;
+  return go / bv;
+}
+
+template <BinaryKind kKind>
+inline float BinaryGradB(float go, float av, float bv) {
+  if constexpr (kKind == BinaryKind::kAdd) return go;
+  if constexpr (kKind == BinaryKind::kSub) return -go;
+  if constexpr (kKind == BinaryKind::kMul) return go * av;
+  return -go * av / (bv * bv);
+}
+
+template <BinaryKind kKind>
+void BinaryBackward(BinaryLayout layout, const BroadcastPlan& plan,
+                    TensorNode& node) {
+  const auto& pa_node = node.parents[0];
+  const auto& pb_node = node.parents[1];
+  float* ga = GradPtr(pa_node);
+  float* gb = GradPtr(pb_node);
+  if (ga == nullptr && gb == nullptr) return;
+  const float* g = node.grad.data();
+  const float* av = pa_node->data.data();
+  const float* bv = pb_node->data.data();
+  const int64_t n = plan.out_numel;
+  switch (layout) {
+    case BinaryLayout::kSameShape:
+      if (ga != nullptr) {
+        for (int64_t i = 0; i < n; ++i) {
+          ga[i] += BinaryGradA<kKind>(g[i], av[i], bv[i]);
+        }
+      }
+      if (gb != nullptr) {
+        for (int64_t i = 0; i < n; ++i) {
+          gb[i] += BinaryGradB<kKind>(g[i], av[i], bv[i]);
+        }
+      }
+      break;
+    case BinaryLayout::kScalarLhs: {
+      const float a0 = av[0];
+      if (ga != nullptr) {
+        double acc = 0.0;  // scalar side reduces over the whole output
+        for (int64_t i = 0; i < n; ++i) acc += BinaryGradA<kKind>(g[i], a0, bv[i]);
+        ga[0] += static_cast<float>(acc);
+      }
+      if (gb != nullptr) {
+        for (int64_t i = 0; i < n; ++i) {
+          gb[i] += BinaryGradB<kKind>(g[i], a0, bv[i]);
+        }
+      }
+      break;
+    }
+    case BinaryLayout::kScalarRhs: {
+      const float b0 = bv[0];
+      if (ga != nullptr) {
+        for (int64_t i = 0; i < n; ++i) {
+          ga[i] += BinaryGradA<kKind>(g[i], av[i], b0);
+        }
+      }
+      if (gb != nullptr) {
+        double acc = 0.0;
+        for (int64_t i = 0; i < n; ++i) acc += BinaryGradB<kKind>(g[i], av[i], b0);
+        gb[0] += static_cast<float>(acc);
+      }
+      break;
+    }
+    case BinaryLayout::kGeneric:
+      ForEachBroadcast(plan, [&](int64_t o, int64_t i, int64_t j) {
+        const float go = g[o];
+        if (ga != nullptr) ga[i] += BinaryGradA<kKind>(go, av[i], bv[j]);
+        if (gb != nullptr) gb[j] += BinaryGradB<kKind>(go, av[i], bv[j]);
+      });
+      break;
+  }
+}
+
+template <BinaryKind kKind>
+Tensor BroadcastBinary(const Tensor& a, const Tensor& b, const char* name) {
+  BroadcastPlan plan = MakeBroadcastPlan(a.shape(), b.shape());
+  BinaryLayout layout = ClassifyBinaryLayout(plan, a.numel(), b.numel());
+  std::vector<float> out(static_cast<size_t>(plan.out_numel));
+  BinaryForwardFill<kKind>(layout, plan, a.data(), b.data(), out.data());
+  auto backward = [plan, layout](TensorNode& node) {
+    BinaryBackward<kKind>(layout, plan, node);
+  };
+  return MakeOp(plan.out_shape, std::move(out), {a, b}, std::move(backward), name);
+}
+
+/// Unary op helper: `fn(x)` computes the value, `dfn(x, y)` computes
+/// d(out)/d(in) from the input and (when kSaveOutput) the saved output.
+/// Both are compile-time functors, so the per-element dispatch of the old
+/// std::function implementation inlines away.
+template <bool kSaveOutput, typename Fwd, typename Bwd>
+Tensor UnaryOp(const Tensor& a, Fwd fn, Bwd dfn, const char* name) {
+  const int64_t n = a.numel();
+  std::vector<float> out(static_cast<size_t>(n));
   const float* pa = a.data();
-  for (size_t i = 0; i < out.size(); ++i) out[i] = fn(pa[i]);
-  std::vector<float> saved = out;
+  for (int64_t i = 0; i < n; ++i) out[static_cast<size_t>(i)] = fn(pa[i]);
+  const bool track = NoGradGuard::GradEnabled() && a.requires_grad();
+  std::vector<float> saved;
+  if (kSaveOutput && track) saved = out;
   auto backward = [saved = std::move(saved), dfn](TensorNode& node) {
     const auto& parent = node.parents[0];
-    if (!parent->requires_grad) return;
-    parent->EnsureGrad();
-    for (size_t i = 0; i < node.grad.size(); ++i) {
-      parent->grad[i] += node.grad[i] * dfn(parent->data[i], saved[i]);
+    float* pg = GradPtr(parent);
+    if (pg == nullptr) return;
+    const float* g = node.grad.data();
+    const float* x = parent->data.data();
+    const int64_t count = static_cast<int64_t>(node.grad.size());
+    for (int64_t i = 0; i < count; ++i) {
+      if constexpr (kSaveOutput) {
+        pg[i] += g[i] * dfn(x[i], saved[static_cast<size_t>(i)]);
+      } else {
+        pg[i] += g[i] * dfn(x[i], 0.0f);
+      }
     }
   };
-  return MakeOp(a.shape(), std::move(out), {a}, backward, name);
+  return MakeOp(a.shape(), std::move(out), {a}, std::move(backward), name);
 }
 
 }  // namespace
 
 Tensor Add(const Tensor& a, const Tensor& b) {
-  return BroadcastBinary(a, b, BinaryKind::kAdd, "add");
+  return BroadcastBinary<BinaryKind::kAdd>(a, b, "add");
 }
 Tensor Sub(const Tensor& a, const Tensor& b) {
-  return BroadcastBinary(a, b, BinaryKind::kSub, "sub");
+  return BroadcastBinary<BinaryKind::kSub>(a, b, "sub");
 }
 Tensor Mul(const Tensor& a, const Tensor& b) {
-  return BroadcastBinary(a, b, BinaryKind::kMul, "mul");
+  return BroadcastBinary<BinaryKind::kMul>(a, b, "mul");
 }
 Tensor Div(const Tensor& a, const Tensor& b) {
-  return BroadcastBinary(a, b, BinaryKind::kDiv, "div");
+  return BroadcastBinary<BinaryKind::kDiv>(a, b, "div");
 }
 
 Tensor AddScalar(const Tensor& a, float s) {
-  return UnaryOp(
+  return UnaryOp<false>(
       a, [s](float x) { return x + s; }, [](float, float) { return 1.0f; },
       "add_scalar");
 }
 
 Tensor MulScalar(const Tensor& a, float s) {
-  return UnaryOp(
+  return UnaryOp<false>(
       a, [s](float x) { return x * s; }, [s](float, float) { return s; }, "mul_scalar");
 }
 
 Tensor Neg(const Tensor& a) { return MulScalar(a, -1.0f); }
 
 Tensor Exp(const Tensor& a) {
-  return UnaryOp(
+  return UnaryOp<true>(
       a, [](float x) { return std::exp(x); }, [](float, float y) { return y; }, "exp");
 }
 
 Tensor Log(const Tensor& a) {
-  return UnaryOp(
+  return UnaryOp<false>(
       a, [](float x) { return std::log(x); }, [](float x, float) { return 1.0f / x; },
       "log");
 }
 
 Tensor Sqrt(const Tensor& a) {
-  return UnaryOp(
+  return UnaryOp<true>(
       a, [](float x) { return std::sqrt(x); },
       [](float, float y) { return 0.5f / std::max(y, 1e-12f); }, "sqrt");
 }
 
 Tensor Relu(const Tensor& a) {
-  return UnaryOp(
+  return UnaryOp<false>(
       a, [](float x) { return x > 0.0f ? x : 0.0f; },
       [](float x, float) { return x > 0.0f ? 1.0f : 0.0f; }, "relu");
 }
 
 Tensor LeakyRelu(const Tensor& a, float negative_slope) {
-  return UnaryOp(
+  return UnaryOp<false>(
       a, [negative_slope](float x) { return x > 0.0f ? x : negative_slope * x; },
       [negative_slope](float x, float) { return x > 0.0f ? 1.0f : negative_slope; },
       "leaky_relu");
 }
 
 Tensor Elu(const Tensor& a, float alpha) {
-  return UnaryOp(
+  return UnaryOp<true>(
       a, [alpha](float x) { return x > 0.0f ? x : alpha * (std::exp(x) - 1.0f); },
       [alpha](float x, float y) { return x > 0.0f ? 1.0f : y + alpha; }, "elu");
 }
 
 Tensor Sigmoid(const Tensor& a) {
-  return UnaryOp(
+  return UnaryOp<true>(
       a, [](float x) { return 1.0f / (1.0f + std::exp(-x)); },
       [](float, float y) { return y * (1.0f - y); }, "sigmoid");
 }
 
 Tensor Tanh(const Tensor& a) {
-  return UnaryOp(
+  return UnaryOp<true>(
       a, [](float x) { return std::tanh(x); },
       [](float, float y) { return 1.0f - y * y; }, "tanh");
 }
 
 Tensor Reshape(const Tensor& a, const Shape& shape) {
   TSPN_CHECK_EQ(NumElements(shape), a.numel());
-  auto backward = [](TensorNode& node) {
-    const auto& parent = node.parents[0];
-    if (!parent->requires_grad) return;
-    parent->EnsureGrad();
-    for (size_t i = 0; i < node.grad.size(); ++i) parent->grad[i] += node.grad[i];
-  };
-  return MakeOp(shape, a.ToVector(), {a}, backward, "reshape");
+  // Aliasing view: the output node shares the input's storage, so no element
+  // is copied. Mutating either tensor's data is visible through both.
+  const bool track = NoGradGuard::GradEnabled() && a.requires_grad();
+  auto node = std::make_shared<TensorNode>(shape, a.node()->storage, track);
+  if (track) {
+    node->parents.push_back(a.node());
+    node->backward = [](TensorNode& self) {
+      const auto& parent = self.parents[0];
+      float* pg = GradPtr(parent);
+      if (pg == nullptr) return;
+      const float* g = self.grad.data();
+      const int64_t count = static_cast<int64_t>(self.grad.size());
+      for (int64_t i = 0; i < count; ++i) pg[i] += g[i];
+    };
+    node->op = "reshape";
+  }
+  return Tensor(std::move(node));
 }
 
 Tensor Transpose(const Tensor& a) {
@@ -283,13 +392,11 @@ Tensor Transpose(const Tensor& a) {
   }
   auto backward = [m, n](TensorNode& node) {
     const auto& parent = node.parents[0];
-    if (!parent->requires_grad) return;
-    parent->EnsureGrad();
+    float* pg = GradPtr(parent);
+    if (pg == nullptr) return;
+    const float* g = node.grad.data();
     for (int64_t i = 0; i < m; ++i) {
-      for (int64_t j = 0; j < n; ++j) {
-        parent->grad[static_cast<size_t>(i * n + j)] +=
-            node.grad[static_cast<size_t>(j * m + i)];
-      }
+      for (int64_t j = 0; j < n; ++j) pg[i * n + j] += g[j * m + i];
     }
   };
   return MakeOp({n, m}, std::move(out), {a}, backward, "transpose");
@@ -299,7 +406,10 @@ Tensor ConcatRows(const std::vector<Tensor>& parts) {
   TSPN_CHECK(!parts.empty());
   Shape shape = parts[0].shape();
   int64_t total_rows = 0;
-  int64_t row_size = parts[0].numel() / std::max<int64_t>(shape[0], 1);
+  // Row size comes from the trailing dims: numel()/dim(0) is wrong when the
+  // first part has zero rows.
+  int64_t row_size = 1;
+  for (size_t d = 1; d < shape.size(); ++d) row_size *= shape[d];
   for (const Tensor& p : parts) {
     TSPN_CHECK_EQ(p.rank(), static_cast<int>(shape.size()));
     for (size_t d = 1; d < shape.size(); ++d) TSPN_CHECK_EQ(p.shape()[d], shape[d]);
@@ -313,12 +423,12 @@ Tensor ConcatRows(const std::vector<Tensor>& parts) {
     out.insert(out.end(), pp, pp + p.numel());
   }
   auto backward = [](TensorNode& node) {
+    const float* g = node.grad.data();
     size_t offset = 0;
     for (const auto& parent : node.parents) {
       size_t count = parent->data.size();
-      if (parent->requires_grad) {
-        parent->EnsureGrad();
-        for (size_t i = 0; i < count; ++i) parent->grad[i] += node.grad[offset + i];
+      if (float* pg = GradPtr(parent)) {
+        for (size_t i = 0; i < count; ++i) pg[i] += g[offset + i];
       }
       offset += count;
     }
@@ -353,15 +463,13 @@ Tensor ConcatLast(const std::vector<Tensor>& parts) {
   }
   Shape shape = rank == 1 ? Shape{total_cols} : Shape{rows, total_cols};
   auto backward = [rows, total_cols, cols](TensorNode& node) {
+    const float* g = node.grad.data();
     int64_t offset = 0;
     for (size_t i = 0; i < node.parents.size(); ++i) {
-      const auto& parent = node.parents[i];
-      if (parent->requires_grad) {
-        parent->EnsureGrad();
+      if (float* pg = GradPtr(node.parents[i])) {
         for (int64_t r = 0; r < rows; ++r) {
           for (int64_t c = 0; c < cols[i]; ++c) {
-            parent->grad[static_cast<size_t>(r * cols[i] + c)] +=
-                node.grad[static_cast<size_t>(r * total_cols + offset + c)];
+            pg[r * cols[i] + c] += g[r * total_cols + offset + c];
           }
         }
       }
@@ -382,14 +490,12 @@ Tensor StackRows(const std::vector<Tensor>& rows) {
     out.insert(out.end(), pr, pr + d);
   }
   auto backward = [d](TensorNode& node) {
+    const float* g = node.grad.data();
     for (size_t i = 0; i < node.parents.size(); ++i) {
-      const auto& parent = node.parents[i];
-      if (!parent->requires_grad) continue;
-      parent->EnsureGrad();
-      for (int64_t j = 0; j < d; ++j) {
-        parent->grad[static_cast<size_t>(j)] +=
-            node.grad[i * static_cast<size_t>(d) + static_cast<size_t>(j)];
-      }
+      float* pg = GradPtr(node.parents[i]);
+      if (pg == nullptr) continue;
+      const float* grow = g + i * static_cast<size_t>(d);
+      for (int64_t j = 0; j < d; ++j) pg[j] += grow[j];
     }
   };
   return MakeOp({static_cast<int64_t>(rows.size()), d}, std::move(out), rows, backward,
@@ -404,14 +510,14 @@ Tensor SliceRows(const Tensor& a, int64_t start, int64_t length) {
   std::vector<float> out(static_cast<size_t>(length * d));
   std::memcpy(out.data(), a.data() + start * d,
               static_cast<size_t>(length * d) * sizeof(float));
-  auto backward = [start, length, d](TensorNode& node) {
+  auto backward = [start, d](TensorNode& node) {
     const auto& parent = node.parents[0];
-    if (!parent->requires_grad) return;
-    parent->EnsureGrad();
-    for (int64_t i = 0; i < length * d; ++i) {
-      parent->grad[static_cast<size_t>(start * d + i)] +=
-          node.grad[static_cast<size_t>(i)];
-    }
+    float* pg = GradPtr(parent);
+    if (pg == nullptr) return;
+    const float* g = node.grad.data();
+    const int64_t count = static_cast<int64_t>(node.grad.size());
+    pg += start * d;
+    for (int64_t i = 0; i < count; ++i) pg[i] += g[i];
   };
   return MakeOp({length, d}, std::move(out), {a}, backward, "slice_rows");
 }
@@ -427,10 +533,11 @@ Tensor SumAll(const Tensor& a) {
   for (int64_t i = 0; i < a.numel(); ++i) total += pa[i];
   auto backward = [](TensorNode& node) {
     const auto& parent = node.parents[0];
-    if (!parent->requires_grad) return;
-    parent->EnsureGrad();
-    float g = node.grad[0];
-    for (size_t i = 0; i < parent->grad.size(); ++i) parent->grad[i] += g;
+    float* pg = GradPtr(parent);
+    if (pg == nullptr) return;
+    const float g = node.grad[0];
+    const int64_t count = static_cast<int64_t>(parent->grad.size());
+    for (int64_t i = 0; i < count; ++i) pg[i] += g;
   };
   return MakeOp({1}, {static_cast<float>(total)}, {a}, backward, "sum_all");
 }
@@ -449,13 +556,12 @@ Tensor SumRows(const Tensor& a) {
   }
   auto backward = [n, d](TensorNode& node) {
     const auto& parent = node.parents[0];
-    if (!parent->requires_grad) return;
-    parent->EnsureGrad();
+    float* pg = GradPtr(parent);
+    if (pg == nullptr) return;
+    const float* g = node.grad.data();
     for (int64_t i = 0; i < n; ++i) {
-      for (int64_t j = 0; j < d; ++j) {
-        parent->grad[static_cast<size_t>(i * d + j)] +=
-            node.grad[static_cast<size_t>(j)];
-      }
+      float* prow = pg + i * d;
+      for (int64_t j = 0; j < d; ++j) prow[j] += g[j];
     }
   };
   return MakeOp({d}, std::move(out), {a}, backward, "sum_rows");
@@ -471,52 +577,33 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
   TSPN_CHECK_EQ(b.rank(), 2);
   int64_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
   TSPN_CHECK_EQ(b.dim(0), k) << "matmul inner dims";
-  std::vector<float> out(static_cast<size_t>(m * n), 0.0f);
-  const float* pa = a.data();
-  const float* pb = b.data();
-  for (int64_t i = 0; i < m; ++i) {
-    for (int64_t kk = 0; kk < k; ++kk) {
-      float av = pa[i * k + kk];
-      if (av == 0.0f) continue;
-      const float* brow = pb + kk * n;
-      float* orow = out.data() + i * n;
-      for (int64_t j = 0; j < n; ++j) orow[j] += av * brow[j];
-    }
+  // Forward, dA and dB all run through the same blocked dot-product kernel
+  // C = Y * Z^T (kernels::DotProductGemm); only the operands differ:
+  //   forward: out = A * (B^T)^T      -> Y = A,   Z = B^T (one transpose)
+  //   dA      = dOut * B^T            -> Y = dOut, Z = B  (no transpose)
+  //   dB      = A^T * dOut            -> Y = A^T, Z = dOut^T
+  std::vector<float> out(static_cast<size_t>(m * n));
+  {
+    std::vector<float> bt = kernels::TransposeCopy(b.data(), k, n);
+    kernels::DotProductGemm(a.data(), bt.data(), out.data(), m, n, k,
+                            /*accumulate=*/false);
   }
   auto backward = [m, k, n](TensorNode& node) {
     const auto& pa_node = node.parents[0];
     const auto& pb_node = node.parents[1];
     const float* g = node.grad.data();
-    if (pa_node->requires_grad) {
-      pa_node->EnsureGrad();
-      const float* bv = pb_node->data.data();
-      // dA = dOut * B^T
-      for (int64_t i = 0; i < m; ++i) {
-        for (int64_t kk = 0; kk < k; ++kk) {
-          float acc = 0.0f;
-          const float* grow = g + i * n;
-          const float* brow = bv + kk * n;
-          for (int64_t j = 0; j < n; ++j) acc += grow[j] * brow[j];
-          pa_node->grad[static_cast<size_t>(i * k + kk)] += acc;
-        }
-      }
+    if (float* ga = GradPtr(pa_node)) {
+      kernels::DotProductGemm(g, pb_node->data.data(), ga, m, k, n,
+                              /*accumulate=*/true);
     }
-    if (pb_node->requires_grad) {
-      pb_node->EnsureGrad();
-      const float* av = pa_node->data.data();
-      // dB = A^T * dOut
-      for (int64_t kk = 0; kk < k; ++kk) {
-        for (int64_t i = 0; i < m; ++i) {
-          float a_ik = av[i * k + kk];
-          if (a_ik == 0.0f) continue;
-          const float* grow = g + i * n;
-          float* brow = pb_node->grad.data() + kk * n;
-          for (int64_t j = 0; j < n; ++j) brow[j] += a_ik * grow[j];
-        }
-      }
+    if (float* gb = GradPtr(pb_node)) {
+      std::vector<float> at = kernels::TransposeCopy(pa_node->data.data(), m, k);
+      std::vector<float> gt = kernels::TransposeCopy(g, m, n);
+      kernels::DotProductGemm(at.data(), gt.data(), gb, k, n, m,
+                              /*accumulate=*/true);
     }
   };
-  return MakeOp({m, n}, std::move(out), {a, b}, backward, "matmul");
+  return MakeOp({m, n}, std::move(out), {a, b}, std::move(backward), "matmul");
 }
 
 Tensor MatVec(const Tensor& a, const Tensor& v) {
@@ -558,12 +645,12 @@ Tensor SoftmaxImpl(const Tensor& a, bool log_space) {
   std::vector<float> saved = out;
   auto backward = [rows, cols, log_space, saved = std::move(saved)](TensorNode& node) {
     const auto& parent = node.parents[0];
-    if (!parent->requires_grad) return;
-    parent->EnsureGrad();
+    float* pg = GradPtr(parent);
+    if (pg == nullptr) return;
     for (int64_t r = 0; r < rows; ++r) {
       const float* y = saved.data() + r * cols;
       const float* g = node.grad.data() + r * cols;
-      float* px = parent->grad.data() + r * cols;
+      float* px = pg + r * cols;
       if (log_space) {
         // d log_softmax: dx = g - softmax * sum(g)
         double gsum = 0.0;
@@ -607,12 +694,12 @@ Tensor L2Normalize(const Tensor& a, float eps) {
   }
   auto backward = [rows, cols, norms = std::move(norms)](TensorNode& node) {
     const auto& parent = node.parents[0];
-    if (!parent->requires_grad) return;
-    parent->EnsureGrad();
+    float* pg = GradPtr(parent);
+    if (pg == nullptr) return;
     for (int64_t r = 0; r < rows; ++r) {
       const float* x = parent->data.data() + r * cols;
       const float* g = node.grad.data() + r * cols;
-      float* px = parent->grad.data() + r * cols;
+      float* px = pg + r * cols;
       float norm = norms[static_cast<size_t>(r)];
       double dot = 0.0;  // g . x
       for (int64_t c = 0; c < cols; ++c) dot += static_cast<double>(g[c]) * x[c];
@@ -664,22 +751,20 @@ Tensor LayerNorm(const Tensor& x, const Tensor& gamma, const Tensor& beta, float
     const auto& b_node = node.parents[2];
     const float* g = node.grad.data();
     const float* gamma = g_node->data.data();
-    if (g_node->requires_grad) g_node->EnsureGrad();
-    if (b_node->requires_grad) b_node->EnsureGrad();
-    if (x_node->requires_grad) x_node->EnsureGrad();
+    float* gg = GradPtr(g_node);
+    float* gb = GradPtr(b_node);
+    float* gx = GradPtr(x_node);
     for (int64_t r = 0; r < rows; ++r) {
       const float* gr = g + r * cols;
       const float* hr = xhat.data() + r * cols;
       float istd = inv_std[static_cast<size_t>(r)];
-      if (g_node->requires_grad || b_node->requires_grad) {
-        for (int64_t c = 0; c < cols; ++c) {
-          if (g_node->requires_grad) {
-            g_node->grad[static_cast<size_t>(c)] += gr[c] * hr[c];
-          }
-          if (b_node->requires_grad) b_node->grad[static_cast<size_t>(c)] += gr[c];
-        }
+      if (gg != nullptr) {
+        for (int64_t c = 0; c < cols; ++c) gg[c] += gr[c] * hr[c];
       }
-      if (x_node->requires_grad) {
+      if (gb != nullptr) {
+        for (int64_t c = 0; c < cols; ++c) gb[c] += gr[c];
+      }
+      if (gx != nullptr) {
         // dxhat = g * gamma; dx = (dxhat - mean(dxhat) - xhat*mean(dxhat*xhat)) * istd
         double sum_dh = 0.0, sum_dh_h = 0.0;
         for (int64_t c = 0; c < cols; ++c) {
@@ -689,10 +774,10 @@ Tensor LayerNorm(const Tensor& x, const Tensor& gamma, const Tensor& beta, float
         }
         float mean_dh = static_cast<float>(sum_dh / static_cast<double>(cols));
         float mean_dh_h = static_cast<float>(sum_dh_h / static_cast<double>(cols));
+        float* gxr = gx + r * cols;
         for (int64_t c = 0; c < cols; ++c) {
           float dh = gr[c] * gamma[c];
-          x_node->grad[static_cast<size_t>(r * cols + c)] +=
-              (dh - mean_dh - hr[c] * mean_dh_h) * istd;
+          gxr[c] += (dh - mean_dh - hr[c] * mean_dh_h) * istd;
         }
       }
     }
@@ -711,11 +796,11 @@ Tensor Dropout(const Tensor& a, float p, common::Rng& rng, bool training) {
   for (size_t i = 0; i < out.size(); ++i) out[i] = pa[i] * mask[i];
   auto backward = [mask = std::move(mask)](TensorNode& node) {
     const auto& parent = node.parents[0];
-    if (!parent->requires_grad) return;
-    parent->EnsureGrad();
-    for (size_t i = 0; i < node.grad.size(); ++i) {
-      parent->grad[i] += node.grad[i] * mask[i];
-    }
+    float* pg = GradPtr(parent);
+    if (pg == nullptr) return;
+    const float* g = node.grad.data();
+    const int64_t count = static_cast<int64_t>(node.grad.size());
+    for (int64_t i = 0; i < count; ++i) pg[i] += g[i] * mask[static_cast<size_t>(i)];
   };
   return MakeOp(a.shape(), std::move(out), {a}, backward, "dropout");
 }
@@ -735,14 +820,13 @@ Tensor EmbeddingGather(const Tensor& weight, const std::vector<int64_t>& indices
   }
   auto backward = [indices, d](TensorNode& node) {
     const auto& parent = node.parents[0];
-    if (!parent->requires_grad) return;
-    parent->EnsureGrad();
+    float* pg = GradPtr(parent);
+    if (pg == nullptr) return;
+    const float* g = node.grad.data();
     for (size_t i = 0; i < indices.size(); ++i) {
-      int64_t idx = indices[i];
-      for (int64_t j = 0; j < d; ++j) {
-        parent->grad[static_cast<size_t>(idx * d + j)] +=
-            node.grad[i * static_cast<size_t>(d) + static_cast<size_t>(j)];
-      }
+      float* prow = pg + indices[i] * d;
+      const float* grow = g + i * static_cast<size_t>(d);
+      for (int64_t j = 0; j < d; ++j) prow[j] += grow[j];
     }
   };
   return MakeOp({l, d}, std::move(out), {weight}, backward, "embedding_gather");
@@ -779,17 +863,17 @@ Tensor ArcFaceLogits(const Tensor& cosines, int64_t target, float scale, float m
   }
   auto backward = [n, target, scale, cos_m, sin_m](TensorNode& node) {
     const auto& parent = node.parents[0];
-    if (!parent->requires_grad) return;
-    parent->EnsureGrad();
+    float* pg = GradPtr(parent);
+    if (pg == nullptr) return;
+    const float* g = node.grad.data();
     for (int64_t i = 0; i < n; ++i) {
-      float g = node.grad[static_cast<size_t>(i)];
       if (i == target) {
         float c = std::clamp(parent->data[static_cast<size_t>(i)], -1.0f, 1.0f);
         float s = std::sqrt(std::max(1e-6f, 1.0f - c * c));
         // d/dc [c*cos_m - sqrt(1-c^2)*sin_m] = cos_m + c/sqrt(1-c^2) * sin_m
-        parent->grad[static_cast<size_t>(i)] += g * scale * (cos_m + (c / s) * sin_m);
+        pg[i] += g[i] * scale * (cos_m + (c / s) * sin_m);
       } else {
-        parent->grad[static_cast<size_t>(i)] += g * scale;
+        pg[i] += g[i] * scale;
       }
     }
   };

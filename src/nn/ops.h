@@ -38,7 +38,9 @@ Tensor Tanh(const Tensor& a);
 // Shape ops.
 // ---------------------------------------------------------------------------
 
-/// Reshape preserving element count (view-with-copy semantics).
+/// Reshape preserving element count. The result is an aliasing view: it
+/// shares the input's storage (no copy), so in-place writes through either
+/// tensor are visible in both.
 Tensor Reshape(const Tensor& a, const Shape& shape);
 
 /// 2-D transpose: [M, N] -> [N, M].

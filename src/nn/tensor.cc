@@ -48,14 +48,32 @@ void TrackAlloc(int64_t bytes) {
 
 void TrackFree(int64_t bytes) { GetMemoryStats().live_bytes -= bytes; }
 
+Storage::Storage(std::vector<float> v) : values(std::move(v)) {
+  TrackAlloc(static_cast<int64_t>(values.size() * sizeof(float)));
+}
+
+Storage::~Storage() {
+  TrackFree(static_cast<int64_t>(values.size() * sizeof(float)));
+}
+
 TensorNode::TensorNode(Shape s, std::vector<float> values, bool rg)
-    : shape(std::move(s)), data(std::move(values)), requires_grad(rg) {
+    : shape(std::move(s)),
+      storage(std::make_shared<Storage>(std::move(values))),
+      data(storage->values),
+      requires_grad(rg) {
   TSPN_CHECK_EQ(NumElements(shape), static_cast<int64_t>(data.size()));
-  TrackAlloc(static_cast<int64_t>(data.size() * sizeof(float)));
+}
+
+TensorNode::TensorNode(Shape s, std::shared_ptr<Storage> existing, bool rg)
+    : shape(std::move(s)),
+      storage(std::move(existing)),
+      data(storage->values),
+      requires_grad(rg) {
+  TSPN_CHECK_EQ(NumElements(shape), static_cast<int64_t>(data.size()));
 }
 
 TensorNode::~TensorNode() {
-  TrackFree(static_cast<int64_t>((data.size() + grad.size()) * sizeof(float)));
+  TrackFree(static_cast<int64_t>(grad.size() * sizeof(float)));
 }
 
 void TensorNode::EnsureGrad() {

@@ -34,6 +34,7 @@ MemoryStats& GetMemoryStats();
 void TrackAlloc(int64_t bytes);
 void TrackFree(int64_t bytes);
 
+struct Storage;
 struct TensorNode;
 
 }  // namespace internal
@@ -119,10 +120,25 @@ class Tensor {
 
 namespace internal {
 
+/// Reference-counted value buffer. Aliasing views (e.g. Reshape) share one
+/// Storage between nodes; byte accounting lives here so aliases are not
+/// double-counted.
+struct Storage {
+  explicit Storage(std::vector<float> v);
+  ~Storage();
+
+  Storage(const Storage&) = delete;
+  Storage& operator=(const Storage&) = delete;
+
+  std::vector<float> values;
+};
+
 /// Heap node backing a Tensor. Holds storage, gradient, and the backward
 /// closure that scatters this node's gradient into its parents.
 struct TensorNode {
   TensorNode(Shape s, std::vector<float> values, bool rg);
+  /// Aliasing view over existing storage (numel must match the shape).
+  TensorNode(Shape s, std::shared_ptr<Storage> existing, bool rg);
   ~TensorNode();
 
   TensorNode(const TensorNode&) = delete;
@@ -131,8 +147,9 @@ struct TensorNode {
   void EnsureGrad();
 
   Shape shape;
-  std::vector<float> data;
-  std::vector<float> grad;  // empty until EnsureGrad()
+  std::shared_ptr<Storage> storage;
+  std::vector<float>& data;  // alias of storage->values
+  std::vector<float> grad;   // empty until EnsureGrad()
   bool requires_grad = false;
   std::vector<std::shared_ptr<TensorNode>> parents;
   std::function<void(TensorNode&)> backward;  // may be empty for leaves

@@ -58,6 +58,47 @@ TEST_F(TspnRaTest, RankTilesIsPermutationOfCandidates) {
   EXPECT_EQ(static_cast<int64_t>(unique.size()), model.NumCandidateTiles());
 }
 
+TEST_F(TspnRaTest, RankTilesTopKMatchesFullSortPrefix) {
+  // The partial top-k selection must reproduce the full-sort ordering
+  // exactly (ties broken by ascending tile index in both paths).
+  TspnRa model(dataset_, TinyConfig());
+  auto samples = dataset_->Samples(data::Split::kTest);
+  ASSERT_FALSE(samples.empty());
+  for (size_t s = 0; s < std::min<size_t>(3, samples.size()); ++s) {
+    std::vector<int64_t> full = model.RankTiles(samples[s]);
+    for (int64_t k : {int64_t{1}, int64_t{2}, int64_t{5}, model.NumCandidateTiles()}) {
+      std::vector<int64_t> topk = model.RankTilesTopK(samples[s], k);
+      ASSERT_EQ(static_cast<int64_t>(topk.size()),
+                std::min<int64_t>(k, model.NumCandidateTiles()));
+      for (size_t i = 0; i < topk.size(); ++i) {
+        EXPECT_EQ(topk[i], full[i]) << "k=" << k << " position " << i;
+      }
+    }
+  }
+}
+
+TEST_F(TspnRaTest, CachedInferenceMatchesUncachedPath) {
+  // The cached leaf-matrix + partial-sort inference path must recommend
+  // exactly what the per-query gather + full-sort path (the seed behavior,
+  // kept behind TSPN_DISABLE_INFERENCE_CACHE) recommends.
+  TspnRa model(dataset_, TinyConfig());
+  auto samples = dataset_->Samples(data::Split::kTest);
+  ASSERT_FALSE(samples.empty());
+  const size_t count = std::min<size_t>(4, samples.size());
+  std::vector<std::vector<int64_t>> cached_recs, cached_tiles;
+  for (size_t s = 0; s < count; ++s) {
+    cached_recs.push_back(model.RecommendWithK(samples[s], 10, 3));
+    cached_tiles.push_back(model.RankTiles(samples[s]));
+  }
+  setenv("TSPN_DISABLE_INFERENCE_CACHE", "1", 1);
+  for (size_t s = 0; s < count; ++s) {
+    EXPECT_EQ(model.RecommendWithK(samples[s], 10, 3), cached_recs[s])
+        << "sample " << s;
+    EXPECT_EQ(model.RankTiles(samples[s]), cached_tiles[s]) << "sample " << s;
+  }
+  unsetenv("TSPN_DISABLE_INFERENCE_CACHE");
+}
+
 TEST_F(TspnRaTest, CandidateCountMonotonicInK) {
   TspnRa model(dataset_, TinyConfig());
   auto samples = dataset_->Samples(data::Split::kTest);

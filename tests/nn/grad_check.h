@@ -46,6 +46,56 @@ inline void CheckGradients(std::vector<Tensor> inputs,
   }
 }
 
+/// Asserts two tensors have identical shape and elementwise-equal values
+/// within `tol` (tol == 0 demands bitwise equality).
+inline void CheckTensorsNear(const Tensor& got, const Tensor& want,
+                             float tol = 0.0f) {
+  ASSERT_EQ(got.shape(), want.shape());
+  for (int64_t i = 0; i < got.numel(); ++i) {
+    if (tol == 0.0f) {
+      EXPECT_EQ(got.at(i), want.at(i)) << "element " << i;
+    } else {
+      float scale = std::max({1.0f, std::fabs(got.at(i)), std::fabs(want.at(i))});
+      EXPECT_NEAR(got.at(i), want.at(i), tol * scale) << "element " << i;
+    }
+  }
+}
+
+/// Implementation-parity check: runs two scalar-loss builders over the same
+/// inputs and asserts that both the loss values and every input gradient
+/// agree within `tol`. Used to pin the fast kernel paths to the generic
+/// reference path.
+inline void CheckGradParity(std::vector<Tensor> inputs,
+                            const std::function<Tensor()>& fast,
+                            const std::function<Tensor()>& reference,
+                            float tol = 1e-5f) {
+  for (Tensor& input : inputs) input.ZeroGrad();
+  Tensor fast_loss = fast();
+  ASSERT_EQ(fast_loss.numel(), 1);
+  fast_loss.Backward();
+  std::vector<std::vector<float>> fast_grads;
+  fast_grads.reserve(inputs.size());
+  for (Tensor& input : inputs) fast_grads.push_back(input.GradToVector());
+
+  for (Tensor& input : inputs) input.ZeroGrad();
+  Tensor ref_loss = reference();
+  ASSERT_EQ(ref_loss.numel(), 1);
+  ref_loss.Backward();
+
+  float loss_scale =
+      std::max({1.0f, std::fabs(fast_loss.item()), std::fabs(ref_loss.item())});
+  EXPECT_NEAR(fast_loss.item(), ref_loss.item(), tol * loss_scale);
+  for (size_t t = 0; t < inputs.size(); ++t) {
+    std::vector<float> ref_grad = inputs[t].GradToVector();
+    for (size_t i = 0; i < ref_grad.size(); ++i) {
+      float got = fast_grads[t][i];
+      float want = ref_grad[i];
+      float scale = std::max({1.0f, std::fabs(got), std::fabs(want)});
+      EXPECT_NEAR(got, want, tol * scale) << "input " << t << " element " << i;
+    }
+  }
+}
+
 }  // namespace tspn::nn::testing
 
 #endif  // TSPN_TESTS_NN_GRAD_CHECK_H_

@@ -1,5 +1,6 @@
 #include "nn/ops.h"
 
+#include <array>
 #include <cmath>
 #include <vector>
 
@@ -7,6 +8,7 @@
 
 #include "common/rng.h"
 #include "nn/tensor.h"
+#include "tests/nn/grad_check.h"
 
 namespace tspn::nn {
 namespace {
@@ -247,6 +249,265 @@ TEST(OpsTest, NoGradSkipsGraphConstruction) {
   NoGradGuard guard;
   Tensor b = Add(a, a);
   EXPECT_FALSE(b.requires_grad());
+}
+
+// --- Fast-path vs generic-path parity ---------------------------------------
+// The same-shape and scalar binary layouts bypass the broadcast odometer
+// entirely; these tests pin them to the generic path on identical numbers.
+
+/// Stacks `b` twice into a [2, ...b.shape] tensor, forcing the generic
+/// broadcast layout when combined with a plain `a` (2 != 1 on a new axis).
+Tensor DuplicateLeading(const Tensor& b) {
+  std::vector<float> doubled = b.ToVector();
+  std::vector<float> data = doubled;
+  data.insert(data.end(), doubled.begin(), doubled.end());
+  Shape shape = b.shape();
+  shape.insert(shape.begin(), 2);
+  return Tensor::FromVector(shape, std::move(data));
+}
+
+TEST(OpsFastPathTest, SameShapeMatchesGenericBroadcastValues) {
+  common::Rng rng(11);
+  Tensor a = Tensor::RandomUniform({5, 7}, 1.0f, rng);
+  Tensor b = Tensor::RandomUniform({5, 7}, 1.0f, rng);
+  // Generic layout: a broadcast over the leading axis of [2, 5, 7].
+  Tensor b2 = DuplicateLeading(b);
+  for (auto op : {Add, Sub, Mul, Div}) {
+    Tensor fast = op(a, b);  // same-shape fast path
+    Tensor generic = op(a, b2);
+    ASSERT_EQ(generic.shape(), Shape({2, 5, 7}));
+    // Both planes of the generic result must equal the fast result bitwise:
+    // identical arithmetic per element, only the traversal differs.
+    for (int64_t i = 0; i < fast.numel(); ++i) {
+      EXPECT_EQ(generic.at(i), fast.at(i)) << "plane 0 element " << i;
+      EXPECT_EQ(generic.at(fast.numel() + i), fast.at(i))
+          << "plane 1 element " << i;
+    }
+  }
+}
+
+TEST(OpsFastPathTest, ScalarOperandMatchesFullTensorValues) {
+  common::Rng rng(12);
+  Tensor a = Tensor::RandomUniform({6, 4}, 1.0f, rng);
+  const float s = 0.37f;
+  Tensor scalar = Tensor::Scalar(s);
+  Tensor full = Tensor::Full({6, 4}, s);
+  for (auto op : {Add, Sub, Mul, Div}) {
+    testing::CheckTensorsNear(op(a, scalar), op(a, full));  // scalar-rhs fast path
+    testing::CheckTensorsNear(op(scalar, a), op(full, a));  // scalar-lhs fast path
+  }
+}
+
+TEST(OpsFastPathTest, SameShapeGradsMatchGenericBroadcast) {
+  common::Rng rng(13);
+  for (auto op : {Add, Sub, Mul, Div}) {
+    Tensor a = Tensor::RandomUniform({4, 6}, 1.0f, rng, /*requires_grad=*/true);
+    Tensor bvals = Tensor::RandomUniform({4, 6}, 1.0f, rng);
+    // Shift b away from zero so Div stays well-conditioned.
+    Tensor b = Tensor::FromVector({4, 6}, AddScalar(bvals, 2.0f).ToVector(),
+                                  /*requires_grad=*/true);
+    Tensor b2vals = DuplicateLeading(b);  // [2, 4, 6], both planes == b
+    Tensor b2 = Tensor::FromVector(b2vals.shape(), b2vals.ToVector(),
+                                   /*requires_grad=*/true);
+    // Fast pass: same-shape layout.
+    a.ZeroGrad();
+    b.ZeroGrad();
+    SumAll(op(a, b)).Backward();
+    std::vector<float> ga_fast = a.GradToVector();
+    std::vector<float> gb_fast = b.GradToVector();
+    // Generic pass: a broadcast over the leading axis of [2, 4, 6] forces
+    // the odometer layout on identical numbers. a's grad accumulates over
+    // both planes (exactly 2x the fast grad); each plane of b2's grad must
+    // equal the fast b grad.
+    a.ZeroGrad();
+    SumAll(op(a, b2)).Backward();
+    std::vector<float> ga_gen = a.GradToVector();
+    std::vector<float> gb_gen = b2.GradToVector();
+    for (size_t i = 0; i < ga_fast.size(); ++i) {
+      EXPECT_NEAR(2.0f * ga_fast[i], ga_gen[i], 2e-5) << "dA element " << i;
+      EXPECT_NEAR(gb_fast[i], gb_gen[i], 1e-5) << "dB plane 0 element " << i;
+      EXPECT_NEAR(gb_fast[i], gb_gen[ga_fast.size() + i], 1e-5)
+          << "dB plane 1 element " << i;
+    }
+  }
+}
+
+TEST(OpsFastPathTest, ScalarPathGradsMatchFullTensor) {
+  common::Rng rng(14);
+  for (auto op : {Add, Sub, Mul, Div}) {
+    Tensor a = Tensor::RandomUniform({3, 5}, 1.0f, rng, /*requires_grad=*/true);
+    Tensor scalar = Tensor::FromVector({1}, {1.7f}, /*requires_grad=*/true);
+    Tensor full = Tensor::Full({3, 5}, 1.7f, /*requires_grad=*/true);
+    a.ZeroGrad();
+    scalar.ZeroGrad();
+    SumAll(op(a, scalar)).Backward();
+    std::vector<float> ga_fast = a.GradToVector();
+    float gs_fast = scalar.GradToVector()[0];
+    a.ZeroGrad();
+    SumAll(op(a, full)).Backward();
+    std::vector<float> ga_ref = a.GradToVector();
+    std::vector<float> gfull = full.GradToVector();
+    double gs_ref = 0.0;
+    for (float g : gfull) gs_ref += g;  // scalar grad reduces the full grads
+    for (size_t i = 0; i < ga_fast.size(); ++i) {
+      EXPECT_NEAR(ga_fast[i], ga_ref[i], 1e-5);
+    }
+    EXPECT_NEAR(gs_fast, gs_ref, 1e-4);
+  }
+}
+
+TEST(OpsFastPathTest, ScalarPathGradParityViaHelper) {
+  common::Rng rng(21);
+  Tensor a = Tensor::RandomUniform({4, 5}, 1.0f, rng, /*requires_grad=*/true);
+  Tensor scalar = Tensor::Scalar(2.25f);
+  Tensor full = Tensor::Full({4, 5}, 2.25f);
+  for (auto op : {Add, Sub, Mul, Div}) {
+    testing::CheckGradParity(
+        {a}, [&] { return SumAll(op(a, scalar)); },
+        [&] { return SumAll(op(a, full)); });
+    testing::CheckGradParity(
+        {a}, [&] { return SumAll(op(scalar, a)); },
+        [&] { return SumAll(op(full, a)); });
+  }
+}
+
+TEST(OpsFastPathTest, BinaryGradsMatchFiniteDifferences) {
+  common::Rng rng(15);
+  // Same-shape, scalar, and generic-broadcast layouts against numeric
+  // ground truth.
+  Tensor a = Tensor::RandomUniform({3, 4}, 1.0f, rng, /*requires_grad=*/true);
+  Tensor b = Tensor::FromVector(
+      {3, 4}, AddScalar(Tensor::RandomUniform({3, 4}, 0.5f, rng), 2.0f).ToVector(),
+      /*requires_grad=*/true);
+  Tensor s = Tensor::FromVector({1}, {2.5f}, /*requires_grad=*/true);
+  Tensor row = Tensor::FromVector(
+      {4}, AddScalar(Tensor::RandomUniform({4}, 0.5f, rng), 2.0f).ToVector(),
+      /*requires_grad=*/true);
+  testing::CheckGradients({a, b}, [&] { return SumAll(Mul(a, b)); });
+  testing::CheckGradients({a, b}, [&] { return SumAll(Div(a, b)); });
+  testing::CheckGradients({a, s}, [&] { return SumAll(Div(a, s)); });
+  testing::CheckGradients({a, s}, [&] { return SumAll(Mul(s, a)); });
+  testing::CheckGradients({a, row}, [&] { return SumAll(Div(a, row)); });
+}
+
+// --- Blocked MatMul parity ---------------------------------------------------
+
+/// Reference triple-loop matmul with double accumulation.
+std::vector<float> NaiveMatMul(const Tensor& a, const Tensor& b) {
+  int64_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  std::vector<float> out(static_cast<size_t>(m * n));
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (int64_t kk = 0; kk < k; ++kk) {
+        acc += static_cast<double>(a.at(i * k + kk)) * b.at(kk * n + j);
+      }
+      out[static_cast<size_t>(i * n + j)] = static_cast<float>(acc);
+    }
+  }
+  return out;
+}
+
+TEST(OpsFastPathTest, BlockedMatMulMatchesNaiveValues) {
+  common::Rng rng(16);
+  // Sizes straddle the 4x4 register tile and the SIMD width, including
+  // remainders in every dimension.
+  for (auto [m, k, n] : std::vector<std::array<int64_t, 3>>{
+           {1, 1, 1}, {3, 5, 2}, {4, 8, 4}, {7, 9, 6}, {16, 33, 12}, {65, 17, 70}}) {
+    Tensor a = Tensor::RandomUniform({m, k}, 1.0f, rng);
+    Tensor b = Tensor::RandomUniform({k, n}, 1.0f, rng);
+    Tensor c = MatMul(a, b);
+    std::vector<float> want = NaiveMatMul(a, b);
+    for (int64_t i = 0; i < c.numel(); ++i) {
+      float scale = std::max(1.0f, std::fabs(want[static_cast<size_t>(i)]));
+      EXPECT_NEAR(c.at(i), want[static_cast<size_t>(i)], 1e-5f * scale)
+          << m << "x" << k << "x" << n << " element " << i;
+    }
+  }
+}
+
+TEST(OpsFastPathTest, BlockedMatMulGradsMatchFiniteDifferences) {
+  common::Rng rng(17);
+  Tensor a = Tensor::RandomUniform({5, 7}, 1.0f, rng, /*requires_grad=*/true);
+  Tensor b = Tensor::RandomUniform({7, 6}, 1.0f, rng, /*requires_grad=*/true);
+  testing::CheckGradients({a, b}, [&] { return SumAll(MatMul(a, b)); });
+  // Weighted loss so dOut is non-uniform.
+  Tensor w = Tensor::RandomUniform({5, 6}, 1.0f, rng);
+  testing::CheckGradients({a, b}, [&] { return SumAll(Mul(MatMul(a, b), w)); });
+}
+
+TEST(OpsFastPathTest, BlockedMatMulGradsMatchNaiveReference) {
+  common::Rng rng(18);
+  int64_t m = 9, k = 13, n = 11;
+  Tensor a = Tensor::RandomUniform({m, k}, 1.0f, rng, /*requires_grad=*/true);
+  Tensor b = Tensor::RandomUniform({k, n}, 1.0f, rng, /*requires_grad=*/true);
+  Tensor w = Tensor::RandomUniform({m, n}, 1.0f, rng);
+  a.ZeroGrad();
+  b.ZeroGrad();
+  SumAll(Mul(MatMul(a, b), w)).Backward();
+  // dA = (w) * B^T, dB = A^T * (w) computed with double-accumulator loops.
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t kk = 0; kk < k; ++kk) {
+      double acc = 0.0;
+      for (int64_t j = 0; j < n; ++j) {
+        acc += static_cast<double>(w.at(i * n + j)) * b.at(kk * n + j);
+      }
+      float got = a.grad()[i * k + kk];
+      float scale = std::max(1.0f, std::fabs(static_cast<float>(acc)));
+      EXPECT_NEAR(got, acc, 1e-5f * scale) << "dA(" << i << "," << kk << ")";
+    }
+  }
+  for (int64_t kk = 0; kk < k; ++kk) {
+    for (int64_t j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (int64_t i = 0; i < m; ++i) {
+        acc += static_cast<double>(a.at(i * k + kk)) * w.at(i * n + j);
+      }
+      float got = b.grad()[kk * n + j];
+      float scale = std::max(1.0f, std::fabs(static_cast<float>(acc)));
+      EXPECT_NEAR(got, acc, 1e-5f * scale) << "dB(" << kk << "," << j << ")";
+    }
+  }
+}
+
+TEST(OpsFastPathTest, UnaryGradParityAfterTemplatedRewrite) {
+  common::Rng rng(19);
+  Tensor x = Tensor::RandomUniform({3, 5}, 1.5f, rng, /*requires_grad=*/true);
+  testing::CheckGradients({x}, [&] { return SumAll(Sigmoid(x)); });
+  testing::CheckGradients({x}, [&] { return SumAll(Tanh(x)); });
+  testing::CheckGradients({x}, [&] { return SumAll(Relu(x)); });
+  testing::CheckGradients({x}, [&] { return SumAll(Elu(x)); });
+  testing::CheckGradients({x}, [&] { return SumAll(MulScalar(x, 3.0f)); });
+  testing::CheckGradients({x}, [&] { return SumAll(Exp(x)); });
+}
+
+TEST(OpsReshapeTest, ReshapeAliasesStorage) {
+  Tensor a = Tensor::FromVector({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor r = Reshape(a, {3, 2});
+  // Same storage: no copy, and writes through one view are visible in the
+  // other.
+  EXPECT_EQ(r.data(), a.data());
+  a.data()[0] = 42.0f;
+  EXPECT_EQ(r.at(0), 42.0f);
+}
+
+TEST(OpsReshapeTest, ReshapeGradStillFlowsToParent) {
+  Tensor a = Tensor::FromVector({4}, {1, 2, 3, 4}, /*requires_grad=*/true);
+  Tensor r = Reshape(a, {2, 2});
+  SumAll(Mul(r, r)).Backward();  // d/da sum(a^2) = 2a
+  for (int64_t i = 0; i < 4; ++i) {
+    EXPECT_NEAR(a.grad()[i], 2.0f * a.at(i), 1e-5);
+  }
+}
+
+TEST(OpsTest, ConcatRowsWithZeroRowFirstPart) {
+  // Regression: row size used to be derived as numel()/dim(0), which is 0/0
+  // when the first part is empty.
+  Tensor empty = Tensor::FromVector({0, 3}, {});
+  Tensor rest = Tensor::FromVector({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor c = ConcatRows({empty, rest});
+  EXPECT_EQ(c.shape(), Shape({2, 3}));
+  EXPECT_EQ(c.ToVector(), std::vector<float>({1, 2, 3, 4, 5, 6}));
 }
 
 TEST(OpsTest, BackwardThroughSharedSubexpression) {

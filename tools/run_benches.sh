@@ -1,0 +1,98 @@
+#!/usr/bin/env bash
+# Builds Release, runs the micro-op + Table V benches at smoke scale, and
+# diffs the emitted BENCH_*.json artifacts against the committed baselines in
+# bench/baselines/. Exits non-zero when a tracked latency metric regresses by
+# more than the threshold.
+#
+# Usage: tools/run_benches.sh [--threshold X] [--update-baselines]
+#   --threshold X        allowed slowdown factor per metric (default 2.0 —
+#                        wall-clock metrics on shared/1-core CI boxes jitter
+#                        hard; run on an otherwise idle machine, anything
+#                        else contends for the only core and trips the diff)
+#   --update-baselines   copy the fresh JSONs over bench/baselines/ instead
+#                        of diffing
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD_DIR="${TSPN_BENCH_BUILD_DIR:-${REPO_ROOT}/build-bench}"
+BASELINE_DIR="${REPO_ROOT}/bench/baselines"
+OUT_DIR="${BUILD_DIR}/bench-json"
+THRESHOLD=2.0
+UPDATE=0
+
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --threshold) THRESHOLD="$2"; shift 2 ;;
+    --update-baselines) UPDATE=1; shift ;;
+    *) echo "unknown arg: $1" >&2; exit 2 ;;
+  esac
+done
+
+cmake -B "${BUILD_DIR}" -S "${REPO_ROOT}" -DCMAKE_BUILD_TYPE=Release
+cmake --build "${BUILD_DIR}" -j"$(nproc)" --target bench_micro_ops bench_table5_efficiency
+
+mkdir -p "${OUT_DIR}"
+
+# Smoke scale: one epoch, small sample budgets, short timing windows. The
+# knobs only shrink workloads; per-op and per-query metrics stay comparable.
+export TSPN_BENCH_EPOCHS="${TSPN_BENCH_EPOCHS:-1}"
+export TSPN_BENCH_TRAIN_SAMPLES="${TSPN_BENCH_TRAIN_SAMPLES:-48}"
+export TSPN_BENCH_EVAL_SAMPLES="${TSPN_BENCH_EVAL_SAMPLES:-40}"
+export TSPN_BENCH_MICRO_MS="${TSPN_BENCH_MICRO_MS:-60}"
+export TSPN_BENCH_JSON_DIR="${OUT_DIR}"
+
+"${BUILD_DIR}/bench_micro_ops"
+"${BUILD_DIR}/bench_table5_efficiency"
+
+if [[ "${UPDATE}" == 1 ]]; then
+  mkdir -p "${BASELINE_DIR}"
+  cp "${OUT_DIR}"/BENCH_*.json "${BASELINE_DIR}/"
+  echo "baselines updated in ${BASELINE_DIR}"
+  exit 0
+fi
+
+python3 - "$THRESHOLD" "$BASELINE_DIR" "$OUT_DIR" <<'EOF'
+import json, sys, os
+
+threshold = float(sys.argv[1])
+baseline_dir, out_dir = sys.argv[2], sys.argv[3]
+# Lower-is-better metrics tracked for regressions.
+TRACKED = ("ns_per_op", "ms_per_query")
+
+def load(path):
+    with open(path) as f:
+        doc = json.load(f)
+    return {r["name"]: r for r in doc.get("results", [])}
+
+failures = []
+checked = 0
+for fname in sorted(os.listdir(baseline_dir)):
+    if not fname.startswith("BENCH_") or not fname.endswith(".json"):
+        continue
+    new_path = os.path.join(out_dir, fname)
+    if not os.path.exists(new_path):
+        failures.append(f"{fname}: bench artifact missing from this run")
+        continue
+    base, new = load(os.path.join(baseline_dir, fname)), load(new_path)
+    for name, row in base.items():
+        if name not in new:
+            failures.append(f"{fname}:{name}: result disappeared")
+            continue
+        for metric in TRACKED:
+            if metric not in row or metric not in new[name]:
+                continue
+            old_v, new_v = row[metric], new[name][metric]
+            checked += 1
+            if old_v > 0 and new_v > old_v * threshold:
+                failures.append(
+                    f"{fname}:{name}: {metric} {old_v:.4g} -> {new_v:.4g} "
+                    f"({new_v / old_v:.2f}x, threshold {threshold}x)")
+
+print(f"[run_benches] {checked} metrics checked against baselines")
+if failures:
+    print("[run_benches] REGRESSIONS:")
+    for f in failures:
+        print("  " + f)
+    sys.exit(1)
+print("[run_benches] OK: no metric regressed beyond threshold")
+EOF
