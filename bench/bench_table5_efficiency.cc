@@ -2,12 +2,20 @@
 // main models on the two urban datasets. Also writes
 // BENCH_table5_efficiency.json with per-model ms/query, plus a before/after
 // pair for TSPN-RA inference (cached top-k screen vs the seed's per-query
-// gather + full sort, toggled via TSPN_DISABLE_INFERENCE_CACHE).
+// gather + full sort, toggled via TSPN_DISABLE_INFERENCE_CACHE), plus a
+// throughput mode: QPS and p50/p95 latency of the serial per-query loop vs
+// RecommendBatch at several batch sizes vs the serve::InferenceEngine
+// worker pool with request coalescing.
 
+#include <algorithm>
 #include <cstdlib>
+#include <future>
 
 #include "bench/bench_common.h"
+#include "common/percentile.h"
+#include "common/span.h"
 #include "eval/efficiency.h"
+#include "serve/inference_engine.h"
 
 namespace {
 
@@ -113,6 +121,134 @@ void RunEfficiency(const std::string& title,
   table.Print();
 }
 
+struct ThroughputResult {
+  double qps = 0.0;
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
+};
+
+void ReportThroughput(bench::JsonReporter& reporter, const char* mode,
+                      const ThroughputResult& r, double serial_qps) {
+  char name[96];
+  std::snprintf(name, sizeof(name), "TSPN-RA-throughput/%s", mode);
+  reporter.Add(name, {{"qps", r.qps},
+                      {"p50_latency_ms", r.p50_ms},
+                      {"p95_latency_ms", r.p95_ms},
+                      {"speedup_vs_serial",
+                       serial_qps > 0.0 ? r.qps / serial_qps : 0.0}});
+  std::printf("  [throughput] %-10s %8.1f qps  p50 %7.3f ms  p95 %7.3f ms"
+              "  (%.2fx serial)\n",
+              mode, r.qps, r.p50_ms, r.p95_ms,
+              serial_qps > 0.0 ? r.qps / serial_qps : 0.0);
+}
+
+/// Serial per-query loop: the pre-batching serving story. Per-query latency
+/// is the query's own wall time.
+ThroughputResult MeasureSerial(const core::TspnRa& tspn,
+                               const std::vector<data::SampleRef>& samples,
+                               int64_t top_n) {
+  ThroughputResult r;
+  std::vector<double> latencies;
+  latencies.reserve(samples.size());
+  common::Stopwatch total;
+  for (const data::SampleRef& sample : samples) {
+    common::Stopwatch query;
+    tspn.Recommend(sample, top_n);
+    latencies.push_back(query.ElapsedSeconds() * 1000.0);
+  }
+  const double seconds = total.ElapsedSeconds();
+  r.qps = seconds > 0.0 ? static_cast<double>(samples.size()) / seconds : 0.0;
+  r.p50_ms = common::PercentileOf(latencies, 0.50);
+  r.p95_ms = common::PercentileOf(latencies, 0.95);
+  return r;
+}
+
+/// RecommendBatch over fixed-size chunks; every query in a chunk shares the
+/// chunk's wall time as its latency (it waits for the whole batch).
+ThroughputResult MeasureBatched(const core::TspnRa& tspn,
+                                const std::vector<data::SampleRef>& samples,
+                                int64_t top_n, size_t batch_size) {
+  ThroughputResult r;
+  std::vector<double> latencies;
+  latencies.reserve(samples.size());
+  common::Span<data::SampleRef> all(samples);
+  common::Stopwatch total;
+  for (size_t begin = 0; begin < all.size(); begin += batch_size) {
+    common::Span<data::SampleRef> chunk = all.subspan(begin, batch_size);
+    common::Stopwatch batch_watch;
+    tspn.RecommendBatch(chunk, top_n);
+    const double batch_ms = batch_watch.ElapsedSeconds() * 1000.0;
+    for (size_t i = 0; i < chunk.size(); ++i) latencies.push_back(batch_ms);
+  }
+  const double seconds = total.ElapsedSeconds();
+  r.qps = seconds > 0.0 ? static_cast<double>(samples.size()) / seconds : 0.0;
+  r.p50_ms = common::PercentileOf(latencies, 0.50);
+  r.p95_ms = common::PercentileOf(latencies, 0.95);
+  return r;
+}
+
+/// The full serving path: queue + worker pool + time/size coalescing.
+/// Latencies come from the engine's own submit-to-completion stats.
+ThroughputResult MeasureEngine(const core::TspnRa& tspn,
+                               const std::vector<data::SampleRef>& samples,
+                               int64_t top_n) {
+  serve::EngineOptions options = serve::EngineOptions::FromEnv();
+  serve::InferenceEngine engine(tspn, options);
+  std::vector<std::future<std::vector<int64_t>>> futures;
+  futures.reserve(samples.size());
+  common::Stopwatch total;
+  for (const data::SampleRef& sample : samples) {
+    futures.push_back(engine.Submit(sample, top_n));
+  }
+  for (auto& future : futures) future.get();
+  const double seconds = total.ElapsedSeconds();
+  serve::EngineStats stats = engine.GetStats();
+  ThroughputResult r;
+  r.qps = seconds > 0.0 ? static_cast<double>(samples.size()) / seconds : 0.0;
+  r.p50_ms = stats.p50_latency_ms;
+  r.p95_ms = stats.p95_latency_ms;
+  std::printf("  [throughput] engine coalesced %lld requests into %lld "
+              "batches (mean %.1f, max %lld) on %d thread(s)\n",
+              static_cast<long long>(stats.completed),
+              static_cast<long long>(stats.batches), stats.mean_batch_size,
+              static_cast<long long>(stats.max_batch_observed),
+              options.num_threads);
+  return r;
+}
+
+/// Throughput mode: the same trained screen-stress model serving the test
+/// split through the three serving strategies. Batched must beat serial at
+/// batch >= 8 (tracked as speedup_vs_serial in the JSON artifact).
+void RunThroughput(const core::TspnRa& tspn,
+                   const data::CityDataset& dataset,
+                   const bench::BenchSettings& settings,
+                   bench::JsonReporter& reporter) {
+  std::vector<data::SampleRef> samples = dataset.Samples(data::Split::kTest);
+  if (settings.eval_samples > 0 &&
+      static_cast<int64_t>(samples.size()) > settings.eval_samples) {
+    samples.resize(static_cast<size_t>(settings.eval_samples));
+  }
+  const int64_t top_n = 10;
+  std::printf("\n== Throughput (batched vs serial, %zu queries) ==\n",
+              samples.size());
+  // Warm-up: caches built, allocator warmed.
+  tspn.RecommendBatch(
+      common::Span<data::SampleRef>(samples.data(),
+                                    std::min<size_t>(8, samples.size())),
+      top_n);
+  ThroughputResult serial = MeasureSerial(tspn, samples, top_n);
+  ReportThroughput(reporter, "serial", serial, serial.qps);
+  for (size_t batch_size : {size_t{8}, size_t{32}}) {
+    ThroughputResult batched =
+        MeasureBatched(tspn, samples, top_n, batch_size);
+    char mode[32];
+    std::snprintf(mode, sizeof(mode), "batch%zu", batch_size);
+    ReportThroughput(reporter, mode, batched, serial.qps);
+  }
+  ThroughputResult engine = MeasureEngine(tspn, samples, top_n);
+  ReportThroughput(reporter, "engine", engine, serial.qps);
+}
+
 /// Production-leaning configuration where stage-1 screening dominates: a
 /// fine fixed-grid partition (~9.2k candidate tiles vs ~100 quad-tree
 /// leaves) and no history-graph module, so the per-query cost is mostly the
@@ -151,6 +287,11 @@ void RunScreenStress(std::shared_ptr<data::CityDataset> dataset,
               "(%.2fx)\n",
               MsString(ab.cached_ms).c_str(), MsString(ab.uncached_ms).c_str(),
               ab.Speedup());
+
+  // Throughput mode reuses the trained stress model: with ~9.2k candidate
+  // tiles the per-query cost is dominated by exactly the stages that batch
+  // into shared GEMMs.
+  RunThroughput(tspn, *dataset, settings, reporter);
 }
 
 }  // namespace

@@ -18,6 +18,13 @@ namespace tspn::baselines {
 /// Adam/cross-entropy training loop and rank-by-score recommendation.
 /// Subclasses implement ScoreAllPois() — a [num_pois] logits tensor for one
 /// sample — which serves both the loss and inference.
+///
+/// Thread-safety (audited for serve::InferenceEngine): after Train(),
+/// Recommend() only reads model weights and dataset state — no baseline
+/// keeps mutable caches or rngs behind its const methods (grad-mode is a
+/// thread_local flag and tensor byte accounting is atomic), so concurrent
+/// Recommend/RecommendBatch calls are safe on every model in this directory.
+/// Subclasses adding lazily built inference state must guard it themselves.
 class SequenceModelBase : public eval::NextPoiModel {
  public:
   explicit SequenceModelBase(std::shared_ptr<const data::CityDataset> dataset)

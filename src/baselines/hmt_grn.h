@@ -20,6 +20,8 @@ class HmtGrn : public SequenceModelBase {
          uint64_t seed);
 
   std::string name() const override { return "HMT-GRN"; }
+  /// Hierarchical beam search; reads only trained weights and per-call
+  /// locals, so concurrent calls are safe (NextPoiModel contract).
   std::vector<int64_t> Recommend(const data::SampleRef& sample,
                                  int64_t top_n) const override;
 

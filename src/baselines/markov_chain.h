@@ -26,6 +26,8 @@ class MarkovChain : public eval::NextPoiModel {
 
  private:
   std::shared_ptr<const data::CityDataset> dataset_;
+  // Both structures are written only by Train() and read-only afterwards, so
+  // concurrent Recommend() calls are safe (NextPoiModel contract).
   /// transitions_[cur] = {(next, count), ...}
   std::unordered_map<int64_t, std::unordered_map<int64_t, double>> transitions_;
   std::vector<double> popularity_;

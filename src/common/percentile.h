@@ -1,0 +1,23 @@
+#ifndef TSPN_COMMON_PERCENTILE_H_
+#define TSPN_COMMON_PERCENTILE_H_
+
+#include <algorithm>
+#include <vector>
+
+namespace tspn::common {
+
+/// p-th percentile (p in [0, 1]) by nearest-rank with rounding, via a single
+/// nth_element pass. Takes its input by value (it must reorder); 0 on empty.
+/// Shared by the serving engine's latency stats and the throughput bench so
+/// both report percentiles with the same convention.
+inline double PercentileOf(std::vector<double> values, double p) {
+  if (values.empty()) return 0.0;
+  const size_t idx =
+      static_cast<size_t>(p * static_cast<double>(values.size() - 1) + 0.5);
+  std::nth_element(values.begin(), values.begin() + idx, values.end());
+  return values[idx];
+}
+
+}  // namespace tspn::common
+
+#endif  // TSPN_COMMON_PERCENTILE_H_

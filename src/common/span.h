@@ -1,0 +1,39 @@
+#ifndef TSPN_COMMON_SPAN_H_
+#define TSPN_COMMON_SPAN_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace tspn::common {
+
+/// Minimal non-owning view over a contiguous range (std::span arrives with
+/// C++20; this project builds as C++17). Cheap to copy; the caller must keep
+/// the underlying storage alive for the view's lifetime.
+template <typename T>
+class Span {
+ public:
+  Span() = default;
+  Span(const T* data, size_t size) : data_(data), size_(size) {}
+  Span(const std::vector<T>& v) : data_(v.data()), size_(v.size()) {}  // NOLINT
+
+  const T* data() const { return data_; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  const T& operator[](size_t i) const { return data_[i]; }
+  const T* begin() const { return data_; }
+  const T* end() const { return data_ + size_; }
+
+  /// Sub-view of [offset, offset + count); count is clamped to the tail.
+  Span subspan(size_t offset, size_t count) const {
+    if (offset >= size_) return Span();
+    return Span(data_ + offset, count < size_ - offset ? count : size_ - offset);
+  }
+
+ private:
+  const T* data_ = nullptr;
+  size_t size_ = 0;
+};
+
+}  // namespace tspn::common
+
+#endif  // TSPN_COMMON_SPAN_H_

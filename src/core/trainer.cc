@@ -49,7 +49,7 @@ void TspnRa::Train(const eval::TrainOptions& options) {
     }
   }
   net_->SetTraining(false);
-  caches_dirty_ = true;
+  cache_state_.store(0);  // inference caches must be rebuilt from new weights
 }
 
 }  // namespace tspn::core

@@ -7,6 +7,7 @@
 #include "common/check.h"
 #include "common/env.h"
 #include "core/tspn_ra_internal.h"
+#include "nn/kernels.h"
 #include "nn/ops.h"
 #include "nn/serialize.h"
 
@@ -44,8 +45,7 @@ bool InferenceCacheDisabled() {
 }  // namespace
 
 TspnRa::TspnRa(std::shared_ptr<const data::CityDataset> dataset, TspnRaConfig config)
-    : dataset_(std::move(dataset)), config_(config),
-      inference_rng_(config.seed ^ 0xD00DULL) {
+    : dataset_(std::move(dataset)), config_(config) {
   TSPN_CHECK(dataset_ != nullptr);
   TSPN_CHECK_EQ(config_.dm % 4, 0);
 
@@ -142,8 +142,15 @@ const graph::QrpGraph* TspnRa::HistoryGraph(int32_t user, int32_t traj) const {
   TSPN_CHECK_GE(traj, 0);
   int64_t key = (static_cast<int64_t>(user) << 32) |
                 static_cast<int64_t>(static_cast<uint32_t>(traj));
-  auto it = graph_cache_.find(key);
-  if (it != graph_cache_.end()) return &it->second;
+  {
+    std::lock_guard<std::mutex> lock(graph_mutex_);
+    auto it = graph_cache_.find(key);
+    if (it != graph_cache_.end()) return &it->second;
+  }
+  // Build outside the lock: graph construction is the expensive part, and
+  // two workers racing on the same key merely duplicate work — emplace below
+  // keeps the first copy. unordered_map nodes are pointer-stable, so the
+  // returned pointer survives later inserts.
   std::vector<int64_t> history = dataset_->HistoryPoiIds(user, traj);
   if (static_cast<int64_t>(history.size()) > config_.max_history_checkins) {
     history.erase(history.begin(),
@@ -157,6 +164,7 @@ const graph::QrpGraph* TspnRa::HistoryGraph(int32_t user, int32_t traj) const {
     graph = graph::BuildQrpGraphFromGrid(*grid_, *grid_adjacency_,
                                          dataset_->pois(), history);
   }
+  std::lock_guard<std::mutex> lock(graph_mutex_);
   auto [inserted, unused] = graph_cache_.emplace(key, std::move(graph));
   return &inserted->second;
 }
@@ -349,14 +357,17 @@ nn::Tensor TspnRa::SampleLoss(const data::SampleRef& sample, const nn::Tensor& e
 }
 
 void TspnRa::EnsureInferenceCaches() const {
+  const bool cache_leaf = !InferenceCacheDisabled();
+  const int want = cache_leaf ? 1 : 2;
+  // Double-checked build so concurrent Recommend calls from the serving
+  // workers are safe: the fast path is one acquire load, the build runs once
+  // under the mutex, and the release store publishes the cache tensors.
+  if (cache_state_.load(std::memory_order_acquire) == want) return;
+  std::lock_guard<std::mutex> lock(cache_mutex_);
+  if (cache_state_.load(std::memory_order_relaxed) == want) return;
   // Inference is always deterministic: dropout off regardless of whether the
   // model was ever trained.
   net_->SetTraining(false);
-  const bool cache_leaf = !InferenceCacheDisabled();
-  if (!caches_dirty_ && et_cache_.defined() &&
-      leaf_et_cache_.defined() == cache_leaf) {
-    return;
-  }
   nn::NoGradGuard guard;
   et_cache_ = ComputeTileEmbeddings();
   if (cache_leaf) {
@@ -381,7 +392,7 @@ void TspnRa::EnsureInferenceCaches() const {
     leaf_et_cache_ = nn::Tensor();
     poi_et_cache_ = nn::Tensor();
   }
-  caches_dirty_ = false;
+  cache_state_.store(want, std::memory_order_release);
 }
 
 std::vector<int64_t> TspnRa::RankTiles(const data::SampleRef& sample) const {
@@ -392,8 +403,11 @@ std::vector<int64_t> TspnRa::RankTilesTopK(const data::SampleRef& sample,
                                            int64_t k) const {
   EnsureInferenceCaches();
   nn::NoGradGuard guard;
+  // Dropout is off at inference, so the rng is never consumed; a local one
+  // (rather than a shared mutable member) keeps const paths race-free.
+  common::Rng rng(config_.seed ^ 0xD00DULL);
   Features f = ExtractFeatures(sample);
-  ForwardOut fwd = Forward(f, et_cache_, inference_rng_);
+  ForwardOut fwd = Forward(f, et_cache_, rng);
   nn::Tensor cos_tiles = InferenceLeafCosines(fwd.h_tile);
   return TopKIndices(cos_tiles.data(),
                      static_cast<int64_t>(leaf_tile_ids_.size()), k);
@@ -417,8 +431,9 @@ std::vector<int64_t> TspnRa::RecommendWithK(const data::SampleRef& sample,
                                             int64_t top_n, int32_t top_k) const {
   EnsureInferenceCaches();
   nn::NoGradGuard guard;
+  common::Rng rng(config_.seed ^ 0xD00DULL);
   Features f = ExtractFeatures(sample);
-  ForwardOut fwd = Forward(f, et_cache_, inference_rng_);
+  ForwardOut fwd = Forward(f, et_cache_, rng);
 
   std::vector<int64_t> candidates;
   nn::Tensor cos_tiles;
@@ -484,6 +499,96 @@ std::vector<int64_t> TspnRa::Recommend(const data::SampleRef& sample,
   return RecommendWithK(sample, top_n, config_.top_k_tiles);
 }
 
+std::vector<std::vector<int64_t>> TspnRa::RecommendBatch(
+    common::Span<data::SampleRef> samples, int64_t top_n) const {
+  const int64_t batch = static_cast<int64_t>(samples.size());
+  if (batch == 0) return {};
+  EnsureInferenceCaches();
+  if (!leaf_et_cache_.defined() || !poi_et_cache_.defined()) {
+    // Cache-disabled A/B mode keeps the seed's per-query gather path; defer
+    // to the serial fallback rather than duplicating it here.
+    return eval::NextPoiModel::RecommendBatch(samples, top_n);
+  }
+  nn::NoGradGuard guard;
+  common::Rng rng(config_.seed ^ 0xD00DULL);
+  const int64_t dm = config_.dm;
+  const int64_t num_tiles = static_cast<int64_t>(leaf_tile_ids_.size());
+  const int64_t num_pois = static_cast<int64_t>(dataset_->pois().size());
+
+  // The sequence encoders are inherently per-query; the batching win is
+  // downstream. Stack every query's L2-normalized fused outputs into
+  // [batch, dm] matrices...
+  std::vector<float> h_tiles(static_cast<size_t>(batch * dm));
+  std::vector<float> h_pois(static_cast<size_t>(batch * dm));
+  for (int64_t b = 0; b < batch; ++b) {
+    Features f = ExtractFeatures(samples[static_cast<size_t>(b)]);
+    ForwardOut fwd = Forward(f, et_cache_, rng);
+    nn::Tensor ht = nn::L2Normalize(fwd.h_tile);
+    nn::Tensor hp = nn::L2Normalize(fwd.h_poi);
+    std::copy_n(ht.data(), dm, h_tiles.data() + b * dm);
+    std::copy_n(hp.data(), dm, h_pois.data() + b * dm);
+  }
+
+  // ...then score all queries against the cached normalized tile and POI
+  // matrices with one GEMM per prediction stage. Per-element math matches the
+  // per-query MatVec (identical accumulation order in the kernel), so the
+  // rankings below are bitwise-reproducible against Recommend().
+  std::vector<float> cos_tiles;
+  if (config_.use_two_step) {
+    cos_tiles.resize(static_cast<size_t>(batch * num_tiles));
+    nn::kernels::DotProductGemm(h_tiles.data(), leaf_et_cache_.data(),
+                            cos_tiles.data(), batch, num_tiles, dm,
+                            /*accumulate=*/false);
+  }
+  std::vector<float> cos_pois(static_cast<size_t>(batch * num_pois));
+  nn::kernels::DotProductGemm(h_pois.data(), poi_et_cache_.data(), cos_pois.data(),
+                          batch, num_pois, dm, /*accumulate=*/false);
+
+  const float gamma = net_->tile_prior_weight.at(0);
+  std::vector<std::vector<int64_t>> results(static_cast<size_t>(batch));
+  for (int64_t b = 0; b < batch; ++b) {
+    std::vector<int64_t> candidates;
+    const float* tc = cos_tiles.empty() ? nullptr : cos_tiles.data() + b * num_tiles;
+    if (config_.use_two_step) {
+      std::vector<int64_t> order =
+          TopKIndices(tc, num_tiles, config_.top_k_tiles);
+      candidates = GatherCandidates(order, config_.top_k_tiles);
+      // Same widening as RecommendWithK when every screened tile is POI-free.
+      int32_t widened = config_.top_k_tiles;
+      while (candidates.empty() && widened < static_cast<int32_t>(num_tiles)) {
+        widened *= 2;
+        order = TopKIndices(tc, num_tiles, widened);
+        candidates = GatherCandidates(order, widened);
+      }
+    } else {
+      candidates.resize(static_cast<size_t>(num_pois));
+      std::iota(candidates.begin(), candidates.end(), 0);
+    }
+    if (candidates.empty()) continue;
+
+    const float* pc = cos_pois.data() + b * num_pois;
+    std::vector<float> fused(candidates.size());
+    if (config_.use_two_step) {
+      for (size_t i = 0; i < candidates.size(); ++i) {
+        fused[i] = pc[candidates[i]] +
+                   gamma * tc[CandidateTileOfPoi(candidates[i])];
+      }
+    } else {
+      for (size_t i = 0; i < candidates.size(); ++i) {
+        fused[i] = pc[candidates[i]];
+      }
+    }
+    std::vector<int64_t> order = TopKIndices(
+        fused.data(), static_cast<int64_t>(candidates.size()), top_n);
+    std::vector<int64_t>& ranked = results[static_cast<size_t>(b)];
+    ranked.reserve(order.size());
+    for (int64_t idx : order) {
+      ranked.push_back(candidates[static_cast<size_t>(idx)]);
+    }
+  }
+  return results;
+}
+
 int64_t TspnRa::ParameterCount() const { return net_->ParameterCount(); }
 
 std::vector<nn::Tensor> TspnRa::Parameters() const { return net_->Parameters(); }
@@ -496,7 +601,7 @@ void TspnRa::SaveWeights(const std::string& path) const {
 bool TspnRa::LoadWeights(const std::string& path) {
   std::vector<nn::Tensor> params = net_->Parameters();
   if (!nn::LoadParametersFromFile(params, path)) return false;
-  caches_dirty_ = true;  // ET must be recomputed from the loaded weights
+  cache_state_.store(0);  // ET must be recomputed from the loaded weights
   return true;
 }
 

@@ -1,7 +1,9 @@
 #ifndef TSPN_CORE_TSPN_RA_H_
 #define TSPN_CORE_TSPN_RA_H_
 
+#include <atomic>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -32,6 +34,16 @@ class TspnRa : public eval::NextPoiModel {
   void Train(const eval::TrainOptions& options) override;
   std::vector<int64_t> Recommend(const data::SampleRef& sample,
                                  int64_t top_n) const override;
+
+  /// Batch-first inference: the per-query sequence encoders still run one
+  /// sample at a time, but both scoring stages are batched — the queries'
+  /// fused outputs are stacked into [batch, dm] matrices and scored against
+  /// the cached normalized leaf-tile and POI matrices with one
+  /// kernels::DotProductGemm each, followed by per-row top-k selection.
+  /// Rankings are identical to per-query Recommend(). Falls back to the
+  /// serial loop when TSPN_DISABLE_INFERENCE_CACHE is set.
+  std::vector<std::vector<int64_t>> RecommendBatch(
+      common::Span<data::SampleRef> samples, int64_t top_n) const override;
 
   // --- Extended API for the figure benches -----------------------------------
 
@@ -146,12 +158,21 @@ class TspnRa : public eval::NextPoiModel {
   nn::Tensor tile_images_;  // [num_tile_ids, 3, R, R], constant
   std::unique_ptr<Net> net_;
 
+  // --- Inference-only state. Recommend/RecommendBatch are const and must be
+  // callable concurrently (serve::InferenceEngine workers); every lazily
+  // built mutable member below is guarded. --------------------------------
+  mutable std::mutex graph_mutex_;    // guards graph_cache_
   mutable std::unordered_map<int64_t, graph::QrpGraph> graph_cache_;
+  mutable std::mutex cache_mutex_;    // guards the cache build below
   mutable nn::Tensor et_cache_;       // inference-time ET
   mutable nn::Tensor leaf_et_cache_;  // gathered + L2-normalized leaf rows
   mutable nn::Tensor poi_et_cache_;   // all POI embeddings, L2-normalized
-  mutable bool caches_dirty_ = true;
-  mutable common::Rng inference_rng_;
+  /// Which mode the caches are built for: 0 = dirty/unbuilt, 1 = built with
+  /// the leaf/POI matrices, 2 = built without (cache-disabled A/B mode).
+  /// An atomic mode tag instead of a std::once_flag because Train() and
+  /// LoadWeights() re-dirty the caches and the A/B env switch can change the
+  /// requested mode between calls; a once_flag cannot be re-armed.
+  mutable std::atomic<int> cache_state_{0};
 };
 
 }  // namespace tspn::core

@@ -60,20 +60,56 @@ void RankingMetrics::Merge(const RankingMetrics& other) {
   mrr_sum_ += other.mrr_sum_;
 }
 
-RankingMetrics EvaluateModel(const NextPoiModel& model,
-                             const data::CityDataset& dataset, data::Split split,
-                             int64_t max_samples, uint64_t seed,
-                             int64_t list_length) {
+namespace {
+
+/// Deterministic evaluation subset shared by both evaluation drivers.
+std::vector<data::SampleRef> EvalSamples(const data::CityDataset& dataset,
+                                         data::Split split, int64_t max_samples,
+                                         uint64_t seed) {
   std::vector<data::SampleRef> samples = dataset.Samples(split);
   if (max_samples > 0 && static_cast<int64_t>(samples.size()) > max_samples) {
     common::Rng rng(seed);
     rng.Shuffle(samples);
     samples.resize(static_cast<size_t>(max_samples));
   }
+  return samples;
+}
+
+}  // namespace
+
+RankingMetrics EvaluateModel(const NextPoiModel& model,
+                             const data::CityDataset& dataset, data::Split split,
+                             int64_t max_samples, uint64_t seed,
+                             int64_t list_length) {
+  std::vector<data::SampleRef> samples =
+      EvalSamples(dataset, split, max_samples, seed);
   RankingMetrics metrics;
   for (const data::SampleRef& sample : samples) {
     std::vector<int64_t> ranked = model.Recommend(sample, list_length);
     metrics.Add(ranked, dataset.Target(sample).poi_id);
+  }
+  return metrics;
+}
+
+RankingMetrics EvaluateModelBatched(const NextPoiModel& model,
+                                    const data::CityDataset& dataset,
+                                    data::Split split, int64_t max_samples,
+                                    uint64_t seed, int64_t batch_size,
+                                    int64_t list_length) {
+  TSPN_CHECK_GE(batch_size, 1);
+  std::vector<data::SampleRef> samples =
+      EvalSamples(dataset, split, max_samples, seed);
+  common::Span<data::SampleRef> all(samples);
+  RankingMetrics metrics;
+  for (size_t begin = 0; begin < all.size();
+       begin += static_cast<size_t>(batch_size)) {
+    common::Span<data::SampleRef> chunk =
+        all.subspan(begin, static_cast<size_t>(batch_size));
+    std::vector<std::vector<int64_t>> ranked =
+        model.RecommendBatch(chunk, list_length);
+    for (size_t i = 0; i < chunk.size(); ++i) {
+      metrics.Add(ranked[i], dataset.Target(chunk[i]).poi_id);
+    }
   }
   return metrics;
 }

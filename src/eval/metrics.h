@@ -42,6 +42,17 @@ RankingMetrics EvaluateModel(const NextPoiModel& model,
                              int64_t max_samples, uint64_t seed,
                              int64_t list_length = 50);
 
+/// Batched counterpart of EvaluateModel: identical sample selection and
+/// metrics, but the model is queried through RecommendBatch() in chunks of
+/// `batch_size` — the production-shaped path where many queries share one
+/// GEMM per prediction stage. With a parity-preserving RecommendBatch the
+/// resulting metrics equal EvaluateModel's exactly.
+RankingMetrics EvaluateModelBatched(const NextPoiModel& model,
+                                    const data::CityDataset& dataset,
+                                    data::Split split, int64_t max_samples,
+                                    uint64_t seed, int64_t batch_size,
+                                    int64_t list_length = 50);
+
 }  // namespace tspn::eval
 
 #endif  // TSPN_EVAL_METRICS_H_

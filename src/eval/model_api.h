@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "common/span.h"
 #include "data/dataset.h"
 #include "data/trajectory.h"
 
@@ -24,6 +25,11 @@ struct TrainOptions {
 /// Common interface for TSPN-RA and every baseline: train on the dataset's
 /// train split, then produce a ranked list of POI ids for a prediction
 /// instance. Models receive the dataset at construction.
+///
+/// Thread-safety contract: after Train() has returned, Recommend() and
+/// RecommendBatch() must be safe to call concurrently from multiple threads
+/// (the serving layer in src/serve/ relies on this). Implementations with
+/// lazily built inference state must guard it themselves.
 class NextPoiModel {
  public:
   virtual ~NextPoiModel() = default;
@@ -36,6 +42,23 @@ class NextPoiModel {
   /// Ranked POI ids (best first), at most `top_n` entries.
   virtual std::vector<int64_t> Recommend(const data::SampleRef& sample,
                                          int64_t top_n) const = 0;
+
+  /// Ranked POI ids for a batch of prediction instances; result[i] is what
+  /// Recommend(samples[i], top_n) would return. The default implementation
+  /// is the serial per-query loop, so every model supports the batched API;
+  /// models whose scoring amortizes across queries (TSPN-RA stacks the batch
+  /// into one GEMM per prediction stage) override this with a true batched
+  /// path. Overrides must preserve per-query ranking parity with
+  /// Recommend().
+  virtual std::vector<std::vector<int64_t>> RecommendBatch(
+      common::Span<data::SampleRef> samples, int64_t top_n) const {
+    std::vector<std::vector<int64_t>> results;
+    results.reserve(samples.size());
+    for (const data::SampleRef& sample : samples) {
+      results.push_back(Recommend(sample, top_n));
+    }
+    return results;
+  }
 };
 
 }  // namespace tspn::eval

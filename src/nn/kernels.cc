@@ -253,15 +253,33 @@ void DotProductGemm(const float* y, const float* z, float* c, int64_t p_rows,
   for (std::thread& t : workers) t.join();
 }
 
-std::vector<float> TransposeCopy(const float* src, int64_t rows, int64_t cols) {
-  std::vector<float> out(static_cast<size_t>(rows * cols));
+namespace {
+
+void TransposeInto(const float* src, int64_t rows, int64_t cols, float* dst) {
   for (int64_t i = 0; i < rows; ++i) {
     const float* srow = src + i * cols;
     for (int64_t j = 0; j < cols; ++j) {
-      out[static_cast<size_t>(j * rows + i)] = srow[j];
+      dst[j * rows + i] = srow[j];
     }
   }
+}
+
+}  // namespace
+
+std::vector<float> TransposeCopy(const float* src, int64_t rows, int64_t cols) {
+  std::vector<float> out(static_cast<size_t>(rows * cols));
+  TransposeInto(src, rows, cols, out.data());
   return out;
+}
+
+const float* TransposeScratch(const float* src, int64_t rows, int64_t cols,
+                              int slot) {
+  thread_local std::vector<float> scratch[2];
+  std::vector<float>& buf = scratch[slot & 1];
+  const size_t need = static_cast<size_t>(rows * cols);
+  if (buf.size() < need) buf.resize(need);
+  TransposeInto(src, rows, cols, buf.data());
+  return buf.data();
 }
 
 }  // namespace tspn::nn::kernels

@@ -33,6 +33,16 @@ void DotProductGemm(const float* y, const float* z, float* c, int64_t p_rows,
 /// column-major (B in the forward pass, A and dOut in the dB pass).
 std::vector<float> TransposeCopy(const float* src, int64_t rows, int64_t cols);
 
+/// Transpose into a reusable per-thread scratch buffer instead of a fresh
+/// heap allocation: at the small sizes that dominate this model (64-128) the
+/// malloc + free around every matmul is a first-order cost. `slot` selects
+/// one of two independent buffers per thread so a caller may hold two
+/// transposed operands at once (the dB pass needs A^T and dOut^T together).
+/// The returned pointer is valid until the same slot is requested again on
+/// the calling thread; buffers only ever grow.
+const float* TransposeScratch(const float* src, int64_t rows, int64_t cols,
+                              int slot);
+
 }  // namespace tspn::nn::kernels
 
 #endif  // TSPN_NN_KERNELS_H_

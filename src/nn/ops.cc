@@ -584,8 +584,8 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
   //   dB      = A^T * dOut            -> Y = A^T, Z = dOut^T
   std::vector<float> out(static_cast<size_t>(m * n));
   {
-    std::vector<float> bt = kernels::TransposeCopy(b.data(), k, n);
-    kernels::DotProductGemm(a.data(), bt.data(), out.data(), m, n, k,
+    const float* bt = kernels::TransposeScratch(b.data(), k, n, 0);
+    kernels::DotProductGemm(a.data(), bt, out.data(), m, n, k,
                             /*accumulate=*/false);
   }
   auto backward = [m, k, n](TensorNode& node) {
@@ -597,9 +597,9 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
                               /*accumulate=*/true);
     }
     if (float* gb = GradPtr(pb_node)) {
-      std::vector<float> at = kernels::TransposeCopy(pa_node->data.data(), m, k);
-      std::vector<float> gt = kernels::TransposeCopy(g, m, n);
-      kernels::DotProductGemm(at.data(), gt.data(), gb, k, n, m,
+      const float* at = kernels::TransposeScratch(pa_node->data.data(), m, k, 0);
+      const float* gt = kernels::TransposeScratch(g, m, n, 1);
+      kernels::DotProductGemm(at, gt, gb, k, n, m,
                               /*accumulate=*/true);
     }
   };

@@ -41,12 +41,18 @@ MemoryStats& GetMemoryStats() {
 
 void TrackAlloc(int64_t bytes) {
   MemoryStats& stats = GetMemoryStats();
-  stats.live_bytes += bytes;
-  stats.peak_bytes = std::max(stats.peak_bytes, stats.live_bytes);
-  ++stats.total_allocations;
+  int64_t live = stats.live_bytes.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+  int64_t peak = stats.peak_bytes.load(std::memory_order_relaxed);
+  while (live > peak &&
+         !stats.peak_bytes.compare_exchange_weak(peak, live,
+                                                 std::memory_order_relaxed)) {
+  }
+  stats.total_allocations.fetch_add(1, std::memory_order_relaxed);
 }
 
-void TrackFree(int64_t bytes) { GetMemoryStats().live_bytes -= bytes; }
+void TrackFree(int64_t bytes) {
+  GetMemoryStats().live_bytes.fetch_sub(bytes, std::memory_order_relaxed);
+}
 
 Storage::Storage(std::vector<float> v) : values(std::move(v)) {
   TrackAlloc(static_cast<int64_t>(values.size() * sizeof(float)));
@@ -87,13 +93,17 @@ void TensorNode::EnsureGrad() {
 
 void ResetMemoryStats() {
   internal::MemoryStats& stats = internal::GetMemoryStats();
-  stats.live_bytes = 0;
-  stats.peak_bytes = 0;
-  stats.total_allocations = 0;
+  stats.live_bytes.store(0, std::memory_order_relaxed);
+  stats.peak_bytes.store(0, std::memory_order_relaxed);
+  stats.total_allocations.store(0, std::memory_order_relaxed);
 }
 
-int64_t LiveTensorBytes() { return internal::GetMemoryStats().live_bytes; }
-int64_t PeakTensorBytes() { return internal::GetMemoryStats().peak_bytes; }
+int64_t LiveTensorBytes() {
+  return internal::GetMemoryStats().live_bytes.load(std::memory_order_relaxed);
+}
+int64_t PeakTensorBytes() {
+  return internal::GetMemoryStats().peak_bytes.load(std::memory_order_relaxed);
+}
 
 Tensor Tensor::Zeros(const Shape& shape, bool requires_grad) {
   return Full(shape, 0.0f, requires_grad);

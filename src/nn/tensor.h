@@ -1,6 +1,7 @@
 #ifndef TSPN_NN_TENSOR_H_
 #define TSPN_NN_TENSOR_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -24,10 +25,13 @@ namespace internal {
 
 /// Process-wide accounting of live tensor bytes, used by the Table V
 /// efficiency bench and the pooling-vs-strided-conv memory ablation.
+/// Counters are atomic so tensors may be created and destroyed from the
+/// serving worker threads; the peak is maintained with a CAS loop and stays
+/// exact under concurrency.
 struct MemoryStats {
-  int64_t live_bytes = 0;
-  int64_t peak_bytes = 0;
-  int64_t total_allocations = 0;
+  std::atomic<int64_t> live_bytes{0};
+  std::atomic<int64_t> peak_bytes{0};
+  std::atomic<int64_t> total_allocations{0};
 };
 
 MemoryStats& GetMemoryStats();

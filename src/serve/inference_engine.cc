@@ -1,0 +1,214 @@
+#include "serve/inference_engine.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "common/check.h"
+#include "common/env.h"
+#include "common/percentile.h"
+#include "common/span.h"
+
+namespace tspn::serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+}  // namespace
+
+EngineOptions EngineOptions::FromEnv() {
+  EngineOptions o;
+  o.num_threads = static_cast<int>(
+      std::clamp<int64_t>(common::EnvInt("TSPN_SERVE_THREADS", o.num_threads),
+                          1, 64));
+  o.max_queue_depth = std::clamp<int64_t>(
+      common::EnvInt("TSPN_SERVE_QUEUE_DEPTH", o.max_queue_depth), 1, 1 << 20);
+  o.max_batch = std::clamp<int64_t>(
+      common::EnvInt("TSPN_SERVE_MAX_BATCH", o.max_batch), 1, 4096);
+  o.coalesce_window_us = std::clamp<int64_t>(
+      common::EnvInt("TSPN_SERVE_COALESCE_US", o.coalesce_window_us), 0,
+      1000000);
+  return o;
+}
+
+InferenceEngine::InferenceEngine(const eval::NextPoiModel& model,
+                                 EngineOptions options)
+    : model_(model), options_(options) {
+  TSPN_CHECK_GE(options_.num_threads, 1);
+  TSPN_CHECK_GE(options_.max_batch, 1);
+  TSPN_CHECK_GE(options_.max_queue_depth, 1);
+  workers_.reserve(static_cast<size_t>(options_.num_threads));
+  for (int i = 0; i < options_.num_threads; ++i) {
+    workers_.emplace_back(&InferenceEngine::WorkerLoop, this);
+  }
+}
+
+InferenceEngine::~InferenceEngine() { Shutdown(); }
+
+std::future<std::vector<int64_t>> InferenceEngine::Enqueue(
+    const data::SampleRef& sample, int64_t top_n,
+    std::unique_lock<std::mutex>& lock) {
+  Request request;
+  request.sample = sample;
+  request.top_n = top_n;
+  request.enqueue_time = Clock::now();
+  std::future<std::vector<int64_t>> future = request.promise.get_future();
+  // Count the submission before the request becomes visible to workers so
+  // GetStats() never observes completed > submitted.
+  {
+    std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+    ++submitted_;
+  }
+  queue_.push_back(std::move(request));
+  lock.unlock();
+  not_empty_.notify_one();
+  return future;
+}
+
+std::future<std::vector<int64_t>> InferenceEngine::Submit(
+    const data::SampleRef& sample, int64_t top_n) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  not_full_.wait(lock, [&] {
+    return stopping_ ||
+           static_cast<int64_t>(queue_.size()) < options_.max_queue_depth;
+  });
+  if (stopping_) {
+    lock.unlock();
+    {
+      std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+      ++rejected_;
+    }
+    std::promise<std::vector<int64_t>> broken;
+    broken.set_exception(std::make_exception_ptr(
+        std::runtime_error("InferenceEngine is shut down")));
+    return broken.get_future();
+  }
+  return Enqueue(sample, top_n, lock);
+}
+
+bool InferenceEngine::TrySubmit(const data::SampleRef& sample, int64_t top_n,
+                                std::future<std::vector<int64_t>>* out) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (stopping_ ||
+      static_cast<int64_t>(queue_.size()) >= options_.max_queue_depth) {
+    lock.unlock();
+    std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+    ++rejected_;
+    return false;
+  }
+  *out = Enqueue(sample, top_n, lock);
+  return true;
+}
+
+void InferenceEngine::WorkerLoop() {
+  for (;;) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_empty_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
+    if (queue_.empty()) {
+      if (stopping_) return;
+      continue;
+    }
+    // Coalesce: the batch closes when it is full or when the oldest request
+    // has waited out the coalescing window, whichever comes first. A zero
+    // window serves whatever is queued right now.
+    const auto deadline =
+        queue_.front().enqueue_time +
+        std::chrono::microseconds(options_.coalesce_window_us);
+    while (static_cast<int64_t>(queue_.size()) < options_.max_batch &&
+           !stopping_) {
+      if (not_empty_.wait_until(lock, deadline) == std::cv_status::timeout) {
+        break;
+      }
+    }
+    const size_t take = std::min<size_t>(
+        queue_.size(), static_cast<size_t>(options_.max_batch));
+    std::vector<Request> batch;
+    batch.reserve(take);
+    for (size_t i = 0; i < take; ++i) {
+      batch.push_back(std::move(queue_.front()));
+      queue_.pop_front();
+    }
+    lock.unlock();
+    not_full_.notify_all();
+    ServeBatch(std::move(batch));
+  }
+}
+
+void InferenceEngine::ServeBatch(std::vector<Request> batch) {
+  if (batch.empty()) return;
+  std::vector<data::SampleRef> samples;
+  samples.reserve(batch.size());
+  int64_t top_n = 0;
+  for (const Request& r : batch) {
+    samples.push_back(r.sample);
+    top_n = std::max(top_n, r.top_n);
+  }
+  std::vector<std::vector<int64_t>> results =
+      model_.RecommendBatch(common::Span<data::SampleRef>(samples), top_n);
+  const auto done = Clock::now();
+  // Record the batch in the stats BEFORE fulfilling any promise: a client
+  // that calls GetStats() right after future.get() must see its own request
+  // counted.
+  {
+    std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+    ++batches_;
+    completed_ += static_cast<int64_t>(batch.size());
+    batch_size_sum_ += static_cast<int64_t>(batch.size());
+    max_batch_observed_ =
+        std::max(max_batch_observed_, static_cast<int64_t>(batch.size()));
+    for (const Request& r : batch) {
+      const double ms =
+          std::chrono::duration<double, std::milli>(done - r.enqueue_time)
+              .count();
+      // Bounded ring of recent latencies: percentiles reflect recent traffic
+      // and the history cannot grow with total requests served.
+      if (latencies_ms_.size() < kMaxLatencySamples) {
+        latencies_ms_.push_back(ms);
+      } else {
+        latencies_ms_[latency_next_] = ms;
+      }
+      latency_next_ = (latency_next_ + 1) % kMaxLatencySamples;
+    }
+  }
+  for (size_t i = 0; i < batch.size(); ++i) {
+    std::vector<int64_t>& ranked = results[i];
+    if (static_cast<int64_t>(ranked.size()) > batch[i].top_n) {
+      ranked.resize(static_cast<size_t>(batch[i].top_n));
+    }
+    batch[i].promise.set_value(std::move(ranked));
+  }
+}
+
+void InferenceEngine::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_ && workers_.empty()) return;
+    stopping_ = true;
+  }
+  not_empty_.notify_all();
+  not_full_.notify_all();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  workers_.clear();
+}
+
+EngineStats InferenceEngine::GetStats() const {
+  std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+  EngineStats s;
+  s.submitted = submitted_;
+  s.rejected = rejected_;
+  s.completed = completed_;
+  s.batches = batches_;
+  s.max_batch_observed = max_batch_observed_;
+  s.mean_batch_size =
+      batches_ > 0 ? static_cast<double>(batch_size_sum_) /
+                         static_cast<double>(batches_)
+                   : 0.0;
+  s.p50_latency_ms = common::PercentileOf(latencies_ms_, 0.50);
+  s.p95_latency_ms = common::PercentileOf(latencies_ms_, 0.95);
+  return s;
+}
+
+}  // namespace tspn::serve

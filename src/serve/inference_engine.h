@@ -1,0 +1,131 @@
+#ifndef TSPN_SERVE_INFERENCE_ENGINE_H_
+#define TSPN_SERVE_INFERENCE_ENGINE_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "data/trajectory.h"
+#include "eval/model_api.h"
+
+namespace tspn::serve {
+
+/// Tuning knobs for InferenceEngine. Every field has an environment-variable
+/// override read by FromEnv() so deployments can be tuned without a rebuild:
+///
+///   TSPN_SERVE_THREADS      worker threads draining the queue   (default 2)
+///   TSPN_SERVE_QUEUE_DEPTH  bounded request-queue capacity      (default 1024)
+///   TSPN_SERVE_MAX_BATCH    max requests coalesced per batch    (default 32)
+///   TSPN_SERVE_COALESCE_US  max micro-seconds a worker waits for
+///                           the batch to fill before serving it (default 200)
+struct EngineOptions {
+  int num_threads = 2;
+  int64_t max_queue_depth = 1024;
+  int64_t max_batch = 32;
+  int64_t coalesce_window_us = 200;
+
+  /// Defaults above overridden from the environment, clamped to sane ranges.
+  static EngineOptions FromEnv();
+};
+
+/// Aggregate serving counters; returned by InferenceEngine::GetStats().
+struct EngineStats {
+  int64_t submitted = 0;   ///< accepted requests
+  int64_t rejected = 0;    ///< TrySubmit refusals (queue full) + post-shutdown
+  int64_t completed = 0;   ///< promises fulfilled
+  int64_t batches = 0;     ///< RecommendBatch invocations
+  int64_t max_batch_observed = 0;
+  double mean_batch_size = 0.0;
+  double p50_latency_ms = 0.0;  ///< submit-to-completion, per request
+  double p95_latency_ms = 0.0;
+};
+
+/// Multi-threaded batching inference front-end over any NextPoiModel: a
+/// bounded request queue, a pool of worker threads, and time/size-based
+/// request coalescing. A worker that pops a request keeps collecting until
+/// the batch reaches `max_batch` or the oldest request has waited
+/// `coalesce_window_us`, then serves the whole batch with one
+/// RecommendBatch() call — with TSPN-RA that turns the queue's concurrent
+/// single queries into shared GEMMs against the cached tile/POI matrices.
+///
+/// Requests in one batch are served at the batch's largest top_n and each
+/// reply is truncated to its requested length; models with deterministic
+/// tie-breaking (TSPN-RA) make this exactly equal to a direct Recommend().
+/// The model must be trained before submissions start and must honour the
+/// NextPoiModel concurrency contract (model_api.h).
+class InferenceEngine {
+ public:
+  explicit InferenceEngine(const eval::NextPoiModel& model,
+                           EngineOptions options = EngineOptions::FromEnv());
+  ~InferenceEngine();
+
+  InferenceEngine(const InferenceEngine&) = delete;
+  InferenceEngine& operator=(const InferenceEngine&) = delete;
+
+  /// Enqueues a request, blocking while the queue is at capacity
+  /// (backpressure). After Shutdown() the returned future holds a
+  /// std::runtime_error.
+  std::future<std::vector<int64_t>> Submit(const data::SampleRef& sample,
+                                           int64_t top_n);
+
+  /// Non-blocking variant: returns false (and counts a rejection) when the
+  /// queue is full or the engine is shut down.
+  bool TrySubmit(const data::SampleRef& sample, int64_t top_n,
+                 std::future<std::vector<int64_t>>* out);
+
+  /// Stops accepting requests, serves everything already queued, and joins
+  /// the workers. Idempotent; also run by the destructor.
+  void Shutdown();
+
+  EngineStats GetStats() const;
+
+  const EngineOptions& options() const { return options_; }
+
+ private:
+  struct Request {
+    data::SampleRef sample;
+    int64_t top_n = 0;
+    std::promise<std::vector<int64_t>> promise;
+    std::chrono::steady_clock::time_point enqueue_time;
+  };
+
+  std::future<std::vector<int64_t>> Enqueue(const data::SampleRef& sample,
+                                            int64_t top_n,
+                                            std::unique_lock<std::mutex>& lock);
+  void WorkerLoop();
+  void ServeBatch(std::vector<Request> batch);
+
+  const eval::NextPoiModel& model_;
+  const EngineOptions options_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<Request> queue_;
+  bool stopping_ = false;
+
+  /// Latency percentiles come from a bounded ring of the most recent
+  /// samples, so a long-lived engine's stats memory stays constant.
+  static constexpr size_t kMaxLatencySamples = 4096;
+
+  mutable std::mutex stats_mutex_;
+  int64_t submitted_ = 0;
+  int64_t rejected_ = 0;
+  int64_t completed_ = 0;
+  int64_t batches_ = 0;
+  int64_t batch_size_sum_ = 0;
+  int64_t max_batch_observed_ = 0;
+  std::vector<double> latencies_ms_;  // ring buffer, see kMaxLatencySamples
+  size_t latency_next_ = 0;
+
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace tspn::serve
+
+#endif  // TSPN_SERVE_INFERENCE_ENGINE_H_

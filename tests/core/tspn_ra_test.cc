@@ -99,6 +99,87 @@ TEST_F(TspnRaTest, CachedInferenceMatchesUncachedPath) {
   unsetenv("TSPN_DISABLE_INFERENCE_CACHE");
 }
 
+TEST_F(TspnRaTest, RecommendBatchMatchesSingleQuery) {
+  // The batched GEMM path must return exactly what per-query Recommend
+  // returns, for every query in the batch, at several batch sizes (including
+  // the 4-row GEMM tile boundary and a non-multiple-of-4 tail).
+  TspnRa model(dataset_, TinyConfig());
+  auto samples = dataset_->Samples(data::Split::kTest);
+  ASSERT_GE(samples.size(), 2u);
+  for (size_t batch : {size_t{1}, size_t{3}, size_t{4}, size_t{9}}) {
+    std::vector<data::SampleRef> query(batch);
+    for (size_t i = 0; i < batch; ++i) query[i] = samples[i % samples.size()];
+    std::vector<std::vector<int64_t>> batched =
+        model.RecommendBatch(common::Span<data::SampleRef>(query), 10);
+    ASSERT_EQ(batched.size(), batch);
+    for (size_t i = 0; i < batch; ++i) {
+      EXPECT_EQ(batched[i], model.Recommend(query[i], 10))
+          << "batch=" << batch << " query " << i;
+    }
+  }
+}
+
+TEST_F(TspnRaTest, RecommendBatchParityAfterTrainingAndOnAblations) {
+  // Parity must survive a trained model (non-degenerate scores) and the
+  // structurally different ablations: grid partition and no-two-step.
+  eval::TrainOptions options;
+  options.epochs = 1;
+  options.max_samples_per_epoch = 24;
+  auto samples = dataset_->Samples(data::Split::kTest);
+  std::vector<TspnRaConfig> configs;
+  configs.push_back(TinyConfig());
+  {
+    TspnRaConfig c = TinyConfig();
+    c.use_quadtree = false;
+    c.grid_cells_per_side = 6;
+    configs.push_back(c);
+  }
+  {
+    TspnRaConfig c = TinyConfig();
+    c.use_two_step = false;
+    configs.push_back(c);
+  }
+  std::vector<data::SampleRef> query(samples.begin(),
+                                     samples.begin() +
+                                         std::min<size_t>(6, samples.size()));
+  for (const TspnRaConfig& config : configs) {
+    TspnRa model(dataset_, config);
+    model.Train(options);
+    std::vector<std::vector<int64_t>> batched =
+        model.RecommendBatch(common::Span<data::SampleRef>(query), 10);
+    for (size_t i = 0; i < query.size(); ++i) {
+      EXPECT_EQ(batched[i], model.Recommend(query[i], 10)) << "query " << i;
+    }
+  }
+}
+
+TEST_F(TspnRaTest, RecommendBatchFallsBackWhenCacheDisabled) {
+  TspnRa model(dataset_, TinyConfig());
+  auto samples = dataset_->Samples(data::Split::kTest);
+  std::vector<data::SampleRef> query(samples.begin(),
+                                     samples.begin() +
+                                         std::min<size_t>(3, samples.size()));
+  setenv("TSPN_DISABLE_INFERENCE_CACHE", "1", 1);
+  std::vector<std::vector<int64_t>> batched =
+      model.RecommendBatch(common::Span<data::SampleRef>(query), 10);
+  for (size_t i = 0; i < query.size(); ++i) {
+    EXPECT_EQ(batched[i], model.Recommend(query[i], 10)) << "query " << i;
+  }
+  unsetenv("TSPN_DISABLE_INFERENCE_CACHE");
+}
+
+TEST_F(TspnRaTest, BatchedEvaluationMatchesSerialEvaluation) {
+  TspnRa model(dataset_, TinyConfig());
+  eval::RankingMetrics serial =
+      eval::EvaluateModel(model, *dataset_, data::Split::kTest, 40, 5);
+  eval::RankingMetrics batched = eval::EvaluateModelBatched(
+      model, *dataset_, data::Split::kTest, 40, 5, /*batch_size=*/8);
+  EXPECT_EQ(serial.count(), batched.count());
+  EXPECT_DOUBLE_EQ(serial.RecallAt(10), batched.RecallAt(10));
+  EXPECT_DOUBLE_EQ(serial.NdcgAt(10), batched.NdcgAt(10));
+  EXPECT_DOUBLE_EQ(serial.Mrr(), batched.Mrr());
+}
+
 TEST_F(TspnRaTest, CandidateCountMonotonicInK) {
   TspnRa model(dataset_, TinyConfig());
   auto samples = dataset_->Samples(data::Split::kTest);

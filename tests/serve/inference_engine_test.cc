@@ -1,0 +1,177 @@
+// Tests of the batching inference engine: per-request answers must match
+// direct model calls, backpressure/shutdown must behave, and the whole thing
+// must hold up under concurrent submitters.
+
+#include "serve/inference_engine.h"
+
+#include <atomic>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "baselines/base.h"
+#include "core/tspn_ra.h"
+#include "data/dataset.h"
+
+namespace tspn::serve {
+namespace {
+
+core::TspnRaConfig TinyConfig() {
+  core::TspnRaConfig config;
+  config.dm = 16;
+  config.image_resolution = 16;
+  config.num_fusion_layers = 1;
+  config.num_hgat_layers = 1;
+  config.max_seq_len = 8;
+  config.top_k_tiles = 5;
+  config.seed = 3;
+  return config;
+}
+
+class InferenceEngineTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    dataset_ = data::CityDataset::Generate(data::CityProfile::TestTiny());
+    model_ = std::make_unique<core::TspnRa>(dataset_, TinyConfig());
+    eval::TrainOptions options;
+    options.epochs = 1;
+    options.max_samples_per_epoch = 24;
+    model_->Train(options);
+  }
+  static void TearDownTestSuite() { model_.reset(); }
+
+  static std::shared_ptr<data::CityDataset> dataset_;
+  static std::unique_ptr<core::TspnRa> model_;
+};
+
+std::shared_ptr<data::CityDataset> InferenceEngineTest::dataset_;
+std::unique_ptr<core::TspnRa> InferenceEngineTest::model_;
+
+EngineOptions TestOptions(int threads) {
+  EngineOptions options;
+  options.num_threads = threads;
+  options.max_queue_depth = 64;
+  options.max_batch = 8;
+  options.coalesce_window_us = 500;
+  return options;
+}
+
+TEST_F(InferenceEngineTest, ServedAnswersMatchDirectRecommend) {
+  auto samples = dataset_->Samples(data::Split::kTest);
+  ASSERT_FALSE(samples.empty());
+  InferenceEngine engine(*model_, TestOptions(2));
+  std::vector<std::future<std::vector<int64_t>>> futures;
+  const size_t count = std::min<size_t>(24, samples.size());
+  futures.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    futures.push_back(engine.Submit(samples[i], 10));
+  }
+  for (size_t i = 0; i < count; ++i) {
+    EXPECT_EQ(futures[i].get(), model_->Recommend(samples[i], 10))
+        << "request " << i;
+  }
+  EngineStats stats = engine.GetStats();
+  EXPECT_EQ(stats.submitted, static_cast<int64_t>(count));
+  EXPECT_EQ(stats.completed, static_cast<int64_t>(count));
+  EXPECT_GE(stats.batches, 1);
+  EXPECT_LE(stats.max_batch_observed, 8);
+}
+
+TEST_F(InferenceEngineTest, MixedTopNRequestsAreTruncatedPerRequest) {
+  auto samples = dataset_->Samples(data::Split::kTest);
+  InferenceEngine engine(*model_, TestOptions(1));
+  auto short_future = engine.Submit(samples[0], 3);
+  auto long_future = engine.Submit(samples[0], 15);
+  std::vector<int64_t> short_ranked = short_future.get();
+  std::vector<int64_t> long_ranked = long_future.get();
+  EXPECT_EQ(short_ranked, model_->Recommend(samples[0], 3));
+  EXPECT_EQ(long_ranked, model_->Recommend(samples[0], 15));
+  // Deterministic tie-breaking makes the short list a prefix of the long.
+  ASSERT_LE(short_ranked.size(), long_ranked.size());
+  for (size_t i = 0; i < short_ranked.size(); ++i) {
+    EXPECT_EQ(short_ranked[i], long_ranked[i]);
+  }
+}
+
+TEST_F(InferenceEngineTest, ConcurrentSubmittersStressParity) {
+  // Several client threads hammer the engine at once; every reply must still
+  // equal a direct per-query Recommend. This also exercises the thread
+  // safety of the model's lazily built inference caches and graph cache.
+  auto samples = dataset_->Samples(data::Split::kTest);
+  ASSERT_FALSE(samples.empty());
+  // A fresh model so EnsureInferenceCaches races from a cold start.
+  core::TspnRa fresh(dataset_, TinyConfig());
+  InferenceEngine engine(fresh, TestOptions(4));
+  constexpr int kClients = 4;
+  constexpr int kPerClient = 12;
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      for (int i = 0; i < kPerClient; ++i) {
+        const data::SampleRef& sample =
+            samples[static_cast<size_t>(c * kPerClient + i) % samples.size()];
+        std::vector<int64_t> served = engine.Submit(sample, 10).get();
+        if (served != fresh.Recommend(sample, 10)) mismatches.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  EXPECT_EQ(mismatches.load(), 0);
+  EngineStats stats = engine.GetStats();
+  EXPECT_EQ(stats.completed, kClients * kPerClient);
+}
+
+TEST_F(InferenceEngineTest, ShutdownServesQueuedThenRejects) {
+  auto samples = dataset_->Samples(data::Split::kTest);
+  auto engine = std::make_unique<InferenceEngine>(*model_, TestOptions(1));
+  auto pending = engine->Submit(samples[0], 5);
+  engine->Shutdown();
+  // Queued work was served before the workers exited.
+  EXPECT_EQ(pending.get(), model_->Recommend(samples[0], 5));
+  // New submissions are refused.
+  auto refused = engine->Submit(samples[0], 5);
+  EXPECT_THROW(refused.get(), std::runtime_error);
+  std::future<std::vector<int64_t>> unused;
+  EXPECT_FALSE(engine->TrySubmit(samples[0], 5, &unused));
+  EXPECT_GE(engine->GetStats().rejected, 2);
+}
+
+TEST_F(InferenceEngineTest, DefaultSerialFallbackServesBaselines) {
+  // Models that don't override RecommendBatch are served through the default
+  // per-query loop; answers must match direct calls.
+  auto model = baselines::MakeBaseline("MC", dataset_, 16, 7);
+  eval::TrainOptions options;
+  options.epochs = 1;
+  model->Train(options);
+  auto samples = dataset_->Samples(data::Split::kTest);
+  InferenceEngine engine(*model, TestOptions(2));
+  std::vector<std::future<std::vector<int64_t>>> futures;
+  const size_t count = std::min<size_t>(8, samples.size());
+  for (size_t i = 0; i < count; ++i) {
+    futures.push_back(engine.Submit(samples[i], 10));
+  }
+  for (size_t i = 0; i < count; ++i) {
+    EXPECT_EQ(futures[i].get(), model->Recommend(samples[i], 10));
+  }
+}
+
+TEST(EngineOptionsTest, EnvOverridesAreReadAndClamped) {
+  setenv("TSPN_SERVE_THREADS", "3", 1);
+  setenv("TSPN_SERVE_QUEUE_DEPTH", "7", 1);
+  setenv("TSPN_SERVE_MAX_BATCH", "0", 1);  // clamped up to 1
+  setenv("TSPN_SERVE_COALESCE_US", "1234", 1);
+  EngineOptions options = EngineOptions::FromEnv();
+  EXPECT_EQ(options.num_threads, 3);
+  EXPECT_EQ(options.max_queue_depth, 7);
+  EXPECT_EQ(options.max_batch, 1);
+  EXPECT_EQ(options.coalesce_window_us, 1234);
+  unsetenv("TSPN_SERVE_THREADS");
+  unsetenv("TSPN_SERVE_QUEUE_DEPTH");
+  unsetenv("TSPN_SERVE_MAX_BATCH");
+  unsetenv("TSPN_SERVE_COALESCE_US");
+}
+
+}  // namespace
+}  // namespace tspn::serve

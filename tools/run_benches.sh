@@ -58,6 +58,9 @@ threshold = float(sys.argv[1])
 baseline_dir, out_dir = sys.argv[2], sys.argv[3]
 # Lower-is-better metrics tracked for regressions.
 TRACKED = ("ns_per_op", "ms_per_query")
+# Higher-is-better metrics (serving throughput): regress when the new value
+# drops below baseline / threshold.
+TRACKED_HIGHER = ("qps",)
 
 def load(path):
     with open(path) as f:
@@ -87,6 +90,16 @@ for fname in sorted(os.listdir(baseline_dir)):
                 failures.append(
                     f"{fname}:{name}: {metric} {old_v:.4g} -> {new_v:.4g} "
                     f"({new_v / old_v:.2f}x, threshold {threshold}x)")
+        for metric in TRACKED_HIGHER:
+            if metric not in row or metric not in new[name]:
+                continue
+            old_v, new_v = row[metric], new[name][metric]
+            checked += 1
+            if old_v > 0 and new_v < old_v / threshold:
+                failures.append(
+                    f"{fname}:{name}: {metric} {old_v:.4g} -> {new_v:.4g} "
+                    f"({old_v / max(new_v, 1e-12):.2f}x slower, "
+                    f"threshold {threshold}x)")
 
 print(f"[run_benches] {checked} metrics checked against baselines")
 if failures:
