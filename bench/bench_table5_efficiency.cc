@@ -194,7 +194,7 @@ ThroughputResult MeasureEngine(const core::TspnRa& tspn,
                                int64_t top_n) {
   serve::EngineOptions options = serve::EngineOptions::FromEnv();
   serve::InferenceEngine engine(tspn, options);
-  std::vector<std::future<std::vector<int64_t>>> futures;
+  std::vector<std::future<eval::RecommendResponse>> futures;
   futures.reserve(samples.size());
   common::Stopwatch total;
   for (const data::SampleRef& sample : samples) {
@@ -214,6 +214,55 @@ ThroughputResult MeasureEngine(const core::TspnRa& tspn,
               static_cast<long long>(stats.max_batch_observed),
               options.num_threads);
   return r;
+}
+
+/// Constrained-query row: the same trained model serving geo-fenced,
+/// novelty-seeking requests through the batched v2 path. Constraints apply
+/// before top-k selection (the screen widens until the allowed pool fills
+/// top_n), so this gates the filtering hot path; ms/query is tracked by
+/// tools/run_benches.sh next to the unconstrained rows.
+void MeasureConstrained(const core::TspnRa& tspn,
+                        const data::CityDataset& dataset,
+                        const std::vector<data::SampleRef>& samples,
+                        int64_t top_n, bench::JsonReporter& reporter) {
+  const geo::BoundingBox& bbox = dataset.profile().bbox;
+  const double radius_km =
+      0.25 * geo::HaversineKm({bbox.min_lat, bbox.min_lon},
+                              {bbox.max_lat, bbox.max_lon});
+  std::vector<eval::RecommendRequest> requests;
+  requests.reserve(samples.size());
+  for (const data::SampleRef& sample : samples) {
+    eval::RecommendRequest request;
+    request.sample = sample;
+    request.top_n = top_n;
+    request.constraints.geo_center = bbox.Center();
+    request.constraints.geo_radius_km = radius_km;
+    request.constraints.exclude_visited = true;
+    requests.push_back(request);
+  }
+  // Fastest of kPasses, like MeasureInferenceAb: at smoke scale the whole
+  // pass is a few tens of ms, well inside scheduler-noise territory.
+  constexpr size_t kBatch = 32;
+  constexpr int kPasses = 3;
+  common::Span<eval::RecommendRequest> all(requests);
+  double best_seconds = 0.0;
+  for (int pass = 0; pass < kPasses; ++pass) {
+    common::Stopwatch watch;
+    for (size_t begin = 0; begin < all.size(); begin += kBatch) {
+      tspn.RecommendBatch(all.subspan(begin, kBatch));
+    }
+    const double seconds = watch.ElapsedSeconds();
+    if (pass == 0 || seconds < best_seconds) best_seconds = seconds;
+  }
+  const double ms_per_query =
+      requests.empty() ? 0.0
+                       : best_seconds * 1000.0 /
+                             static_cast<double>(requests.size());
+  reporter.Add("TSPN-RA-constrained/geo-fence+novelty",
+               {{"ms_per_query", ms_per_query}});
+  std::printf("  [constrained] geo fence %.1f km + exclude-visited: %s "
+              "ms/query (batch %zu)\n",
+              radius_km, MsString(ms_per_query).c_str(), kBatch);
 }
 
 /// Throughput mode: the same trained screen-stress model serving the test
@@ -247,6 +296,7 @@ void RunThroughput(const core::TspnRa& tspn,
   }
   ThroughputResult engine = MeasureEngine(tspn, samples, top_n);
   ReportThroughput(reporter, "engine", engine, serial.qps);
+  MeasureConstrained(tspn, dataset, samples, top_n, reporter);
 }
 
 /// Production-leaning configuration where stage-1 screening dominates: a

@@ -1,5 +1,7 @@
 // Quickstart: generate a small synthetic city, train TSPN-RA for a couple of
-// epochs, and print next-POI recommendations for a held-out trajectory.
+// epochs, and print scored next-POI recommendations for a held-out
+// trajectory — plus one constrained query (a geo-fenced radius around the
+// user's last check-in) through the same v2 request/response API.
 //
 //   ./build/examples/quickstart
 
@@ -8,6 +10,7 @@
 #include "core/tspn_ra.h"
 #include "data/dataset.h"
 #include "eval/metrics.h"
+#include "eval/recommend.h"
 
 int main() {
   using namespace tspn;
@@ -55,15 +58,41 @@ int main() {
     const data::Poi& poi = dataset->poi(traj.checkins[i].poi_id);
     std::printf(" POI#%lld(cat%d)", static_cast<long long>(poi.id), poi.category);
   }
-  std::printf("\nTop-5 predictions:\n");
-  std::vector<int64_t> top5 = model.Recommend(sample, 5);
+  std::printf("\nTop-5 predictions (scored, v2 API):\n");
+  eval::RecommendRequest request;
+  request.sample = sample;
+  request.top_n = 5;
+  eval::RecommendResponse response = model.Recommend(request);
   int64_t actual = dataset->Target(sample).poi_id;
-  for (size_t r = 0; r < top5.size(); ++r) {
-    const data::Poi& poi = dataset->poi(top5[r]);
-    std::printf("  %zu. POI#%-4lld category=%-2d (%.4f, %.4f)%s\n", r + 1,
-                static_cast<long long>(poi.id), poi.category, poi.loc.lat,
-                poi.loc.lon, top5[r] == actual ? "   <-- actual next visit" : "");
+  for (size_t r = 0; r < response.items.size(); ++r) {
+    const eval::ScoredPoi& item = response.items[r];
+    const data::Poi& poi = dataset->poi(item.poi_id);
+    std::printf("  %zu. POI#%-4lld score=%+.4f tile=%-3lld category=%-2d%s\n",
+                r + 1, static_cast<long long>(poi.id), item.score,
+                static_cast<long long>(item.tile_index), poi.category,
+                item.poi_id == actual ? "   <-- actual next visit" : "");
   }
-  std::printf("Actual next visit: POI#%lld\n", static_cast<long long>(actual));
+  std::printf("Actual next visit: POI#%lld (stage-1 screened %lld tiles)\n",
+              static_cast<long long>(actual),
+              static_cast<long long>(response.tiles_screened));
+
+  // 5. The same query, geo-fenced to 2 km around the user's last check-in:
+  // constraints are applied before top-k selection, so the list still fills
+  // top_n from within the fence (the tile screen widens if needed).
+  const data::Poi& last =
+      dataset->poi(traj.checkins[sample.prefix_len - 1].poi_id);
+  request.constraints.geo_center = last.loc;
+  request.constraints.geo_radius_km = 2.0;
+  eval::RecommendResponse fenced = model.Recommend(request);
+  std::printf("\nTop-5 within 2 km of the last check-in (%.4f, %.4f):\n",
+              last.loc.lat, last.loc.lon);
+  for (size_t r = 0; r < fenced.items.size(); ++r) {
+    const eval::ScoredPoi& item = fenced.items[r];
+    const data::Poi& poi = dataset->poi(item.poi_id);
+    std::printf("  %zu. POI#%-4lld score=%+.4f  %.2f km away%s\n", r + 1,
+                static_cast<long long>(poi.id), item.score,
+                geo::HaversineKm(poi.loc, last.loc),
+                item.poi_id == actual ? "   <-- actual next visit" : "");
+  }
   return 0;
 }

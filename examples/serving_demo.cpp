@@ -1,41 +1,60 @@
-// Serving demo: train TSPN-RA on a small synthetic city, stand up the
-// batching InferenceEngine, and serve concurrent recommendation traffic.
+// Serving demo: build TSPN-RA through the eval::ModelRegistry, load a
+// pretrained checkpoint when one exists (training only on the first run,
+// then saving it), stand up the batching InferenceEngine, and serve
+// concurrent structured recommendation traffic — including a geo-fenced
+// constrained query answered from the same coalesced batches.
 //
 //   ./build/serving_demo
 //
 // Knobs (see README.md): TSPN_SERVE_THREADS, TSPN_SERVE_QUEUE_DEPTH,
-// TSPN_SERVE_MAX_BATCH, TSPN_SERVE_COALESCE_US.
+// TSPN_SERVE_MAX_BATCH, TSPN_SERVE_COALESCE_US; TSPN_CHECKPOINT overrides
+// the checkpoint path (default ./tspn_ra_demo.ckpt).
 
 #include <cstdio>
+#include <cstdlib>
 #include <future>
 #include <thread>
 #include <vector>
 
 #include "common/stopwatch.h"
-#include "core/tspn_ra.h"
 #include "data/dataset.h"
+#include "eval/model_registry.h"
 #include "serve/inference_engine.h"
 
 int main() {
   using namespace tspn;
 
-  // 1. Dataset + model, trained briefly (see examples/quickstart.cpp).
+  // 1. Dataset + model from the unified registry (one name -> factory map
+  // covering TSPN-RA and every baseline).
   auto dataset = data::CityDataset::Generate(data::CityProfile::TestTiny());
-  core::TspnRaConfig config;
-  config.dm = 32;
-  config.image_resolution = 16;
-  config.top_k_tiles = dataset->profile().top_k_tiles;
-  core::TspnRa model(dataset, config);
-  eval::TrainOptions options;
-  options.epochs = 2;
-  options.max_samples_per_epoch = 128;
-  std::printf("Training TSPN-RA...\n");
-  model.Train(options);
+  eval::ModelOptions model_options;
+  model_options.dm = 32;
+  std::unique_ptr<eval::NextPoiModel> model =
+      eval::ModelRegistry::Global().Create("TSPN-RA", dataset, model_options);
 
-  // 2. Engine: bounded queue, worker pool, request coalescing. Defaults come
+  // 2. Restore a pretrained checkpoint if present; otherwise train once and
+  // save one, so the next run serves without retraining.
+  const char* env_path = std::getenv("TSPN_CHECKPOINT");
+  const std::string checkpoint_path =
+      env_path != nullptr ? env_path : "tspn_ra_demo.ckpt";
+  if (model->LoadCheckpoint(checkpoint_path)) {
+    std::printf("Loaded checkpoint '%s' — serving without retraining.\n",
+                checkpoint_path.c_str());
+  } else {
+    std::printf("No usable checkpoint at '%s'; training TSPN-RA...\n",
+                checkpoint_path.c_str());
+    eval::TrainOptions options;
+    options.epochs = 2;
+    options.max_samples_per_epoch = 128;
+    model->Train(options);
+    model->SaveCheckpoint(checkpoint_path);
+    std::printf("Checkpoint saved to '%s'.\n", checkpoint_path.c_str());
+  }
+
+  // 3. Engine: bounded queue, worker pool, request coalescing. Defaults come
   // from the TSPN_SERVE_* environment knobs.
   serve::EngineOptions engine_options = serve::EngineOptions::FromEnv();
-  serve::InferenceEngine engine(model, engine_options);
+  serve::InferenceEngine engine(*model, engine_options);
   std::printf("Engine up: %d worker(s), queue depth %lld, max batch %lld, "
               "coalesce window %lld us\n",
               engine_options.num_threads,
@@ -43,7 +62,7 @@ int main() {
               static_cast<long long>(engine_options.max_batch),
               static_cast<long long>(engine_options.coalesce_window_us));
 
-  // 3. Simulated traffic: several client threads submitting the test split.
+  // 4. Simulated traffic: several client threads submitting the test split.
   std::vector<data::SampleRef> samples = dataset->Samples(data::Split::kTest);
   constexpr int kClients = 4;
   common::Stopwatch watch;
@@ -70,16 +89,40 @@ int main() {
   std::printf("Latency: p50 %.3f ms, p95 %.3f ms\n", stats.p50_latency_ms,
               stats.p95_latency_ms);
 
-  // 4. One last request, printed as a recommendation list.
-  data::SampleRef sample = samples.front();
-  std::vector<int64_t> top5 = engine.Submit(sample, 5).get();
-  int64_t actual = dataset->Target(sample).poi_id;
-  std::printf("\nTop-5 for user %d:\n", sample.user);
-  for (size_t r = 0; r < top5.size(); ++r) {
-    const data::Poi& poi = dataset->poi(top5[r]);
-    std::printf("  %zu. POI#%-4lld category=%-2d%s\n", r + 1,
-                static_cast<long long>(poi.id), poi.category,
-                top5[r] == actual ? "   <-- actual next visit" : "");
+  // 5. Two structured queries through the same engine: an unconstrained
+  // top-5 and a geo-fenced, novelty-seeking top-5 (only unvisited POIs
+  // within 3 km of the city centre), served with per-request constraints.
+  eval::RecommendRequest plain;
+  plain.sample = samples.front();
+  plain.top_n = 5;
+  eval::RecommendRequest fenced = plain;
+  fenced.constraints.geo_center = dataset->profile().bbox.Center();
+  fenced.constraints.geo_radius_km = 3.0;
+  fenced.constraints.exclude_visited = true;
+  auto plain_future = engine.Submit(plain);
+  auto fenced_future = engine.Submit(fenced);
+  eval::RecommendResponse plain_response = plain_future.get();
+  eval::RecommendResponse fenced_response = fenced_future.get();
+  int64_t actual = dataset->Target(plain.sample).poi_id;
+
+  std::printf("\nTop-5 for user %d (scores from the two-step ranker):\n",
+              plain.sample.user);
+  for (size_t r = 0; r < plain_response.items.size(); ++r) {
+    const eval::ScoredPoi& item = plain_response.items[r];
+    std::printf("  %zu. POI#%-4lld score=%+.4f tile=%lld%s\n", r + 1,
+                static_cast<long long>(item.poi_id), item.score,
+                static_cast<long long>(item.tile_index),
+                item.poi_id == actual ? "   <-- actual next visit" : "");
+  }
+  std::printf("Geo-fenced novelty top-5 (3 km around the centre, unvisited "
+              "only; screen widened to %lld tiles):\n",
+              static_cast<long long>(fenced_response.tiles_screened));
+  for (size_t r = 0; r < fenced_response.items.size(); ++r) {
+    const eval::ScoredPoi& item = fenced_response.items[r];
+    std::printf("  %zu. POI#%-4lld score=%+.4f  %.2f km from centre\n", r + 1,
+                static_cast<long long>(item.poi_id), item.score,
+                geo::HaversineKm(dataset->poi(item.poi_id).loc,
+                                 fenced.constraints.geo_center));
   }
   return 0;
 }

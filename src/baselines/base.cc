@@ -4,6 +4,8 @@
 #include <numeric>
 
 #include "common/check.h"
+#include "eval/constraints.h"
+#include "nn/serialize.h"
 
 namespace tspn::baselines {
 
@@ -64,20 +66,38 @@ void SequenceModelBase::Train(const eval::TrainOptions& options) {
   net().SetTraining(false);
 }
 
-std::vector<int64_t> SequenceModelBase::Recommend(const data::SampleRef& sample,
-                                                  int64_t top_n) const {
+eval::RecommendResponse SequenceModelBase::RecommendImpl(
+    const eval::RecommendRequest& request) const {
   nn::NoGradGuard guard;
-  Prefix prefix = ExtractPrefix(sample, max_seq_len_);
+  Prefix prefix = ExtractPrefix(request.sample, max_seq_len_);
   nn::Tensor logits = ScoreAllPois(prefix);
   TSPN_CHECK_EQ(logits.numel(), num_pois());
-  std::vector<int64_t> order(static_cast<size_t>(num_pois()));
-  std::iota(order.begin(), order.end(), 0);
-  const float* scores = logits.data();
-  int64_t keep = std::min<int64_t>(top_n, num_pois());
-  std::partial_sort(order.begin(), order.begin() + keep, order.end(),
-                    [&](int64_t a, int64_t b) { return scores[a] > scores[b]; });
-  order.resize(static_cast<size_t>(keep));
-  return order;
+  return eval::RankAllPois(logits.data(), num_pois(), request, *dataset_);
+}
+
+void SequenceModelBase::SaveState(std::ostream& out) const {
+  nn::SaveParameters(net_const().Parameters(), out);
+}
+
+bool SequenceModelBase::LoadState(std::istream& in) {
+  // Validate the whole payload into staged tensors BEFORE mutating any live
+  // state: Prepare() is not read-only everywhere (Graph-Flashback smooths
+  // the embedding table in place), so running it ahead of validation would
+  // corrupt a trained model on a rejected load. On success, replay a
+  // Train() run's state order — Prepare() (count-based structures rebuild
+  // deterministically from the dataset), then the checkpointed parameters
+  // overwrite the weights, then inference mode. Parameter tensors share
+  // storage with the live net, so copying into them updates the model in
+  // place.
+  std::vector<nn::Tensor> params = net().Parameters();
+  std::vector<nn::Tensor> staged;
+  if (!nn::LoadParametersStaged(params, in, &staged)) return false;
+  Prepare();
+  for (size_t i = 0; i < params.size(); ++i) {
+    std::copy_n(staged[i].data(), staged[i].numel(), params[i].data());
+  }
+  net().SetTraining(false);
+  return true;
 }
 
 }  // namespace tspn::baselines

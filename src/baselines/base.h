@@ -31,10 +31,20 @@ class SequenceModelBase : public eval::NextPoiModel {
       : dataset_(std::move(dataset)) {}
 
   void Train(const eval::TrainOptions& options) override;
-  std::vector<int64_t> Recommend(const data::SampleRef& sample,
-                                 int64_t top_n) const override;
 
  protected:
+  /// v2 core shared by all ScoreAllPois-shaped baselines: score the whole
+  /// vocabulary once, then let eval::RankAllPois apply the request's
+  /// constraints before top-k selection (so constrained queries still fill
+  /// top_n) and attach the logits as ranking scores.
+  eval::RecommendResponse RecommendImpl(
+      const eval::RecommendRequest& request) const override;
+
+  /// Checkpoint payload: the subclass net's parameter tensors via
+  /// nn::serialize; shapes are validated on load.
+  void SaveState(std::ostream& out) const override;
+  bool LoadState(std::istream& in) override;
+
   /// Truncated prefix features of a sample.
   struct Prefix {
     std::vector<int64_t> poi_ids;

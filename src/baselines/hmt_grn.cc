@@ -4,6 +4,8 @@
 #include <cmath>
 #include <numeric>
 
+#include "eval/constraints.h"
+
 namespace tspn::baselines {
 
 HmtGrn::HmtGrn(std::shared_ptr<const data::CityDataset> dataset, int64_t dm,
@@ -46,10 +48,16 @@ nn::Tensor HmtGrn::SampleLoss(const Prefix& prefix, common::Rng& rng) const {
   return nn::Add(poi_loss, nn::Add(coarse_loss, fine_loss));
 }
 
-std::vector<int64_t> HmtGrn::Recommend(const data::SampleRef& sample,
-                                       int64_t top_n) const {
+eval::RecommendResponse HmtGrn::RecommendImpl(
+    const eval::RecommendRequest& request) const {
   nn::NoGradGuard guard;
-  Prefix prefix = ExtractPrefix(sample, max_seq_len_);
+  const int64_t top_n = request.top_n;
+  std::unique_ptr<eval::ConstraintEvaluator> filter =
+      eval::MakeConstraintFilter(*dataset_, request);
+  auto allows = [&](int64_t pid) {
+    return filter == nullptr || filter->Allows(pid);
+  };
+  Prefix prefix = ExtractPrefix(request.sample, max_seq_len_);
   nn::Tensor h = EncodeState(prefix);
   nn::Tensor poi_logits =
       nn::MatVec(net_->poi_embedding.weight(), net_->out.Forward(h));
@@ -87,36 +95,39 @@ std::vector<int64_t> HmtGrn::Recommend(const data::SampleRef& sample,
   std::vector<std::pair<double, int64_t>> candidates;
   for (const auto& [cell_score, cell] : fine_scored) {
     for (int64_t pid : pois_per_fine_cell_[static_cast<size_t>(cell)]) {
+      if (!allows(pid)) continue;  // constraints apply before selection
       candidates.emplace_back(cell_score + ps[pid], pid);
     }
   }
   std::sort(candidates.begin(), candidates.end(),
             [](const auto& a, const auto& b) { return a.first > b.first; });
 
-  std::vector<int64_t> result;
+  eval::RecommendResponse response;
+  response.stages_used = 2;  // region beam, then POI scoring
+  response.tiles_screened = static_cast<int64_t>(fine_scored.size());
   std::vector<bool> used(static_cast<size_t>(num_pois()), false);
   for (const auto& [score, pid] : candidates) {
-    if (static_cast<int64_t>(result.size()) >= top_n) break;
+    if (static_cast<int64_t>(response.items.size()) >= top_n) break;
     if (!used[static_cast<size_t>(pid)]) {
-      result.push_back(pid);
+      response.items.push_back({pid, static_cast<float>(score), -1});
       used[static_cast<size_t>(pid)] = true;
     }
   }
-  // Back-fill with globally ranked POIs if the beam under-produced.
-  if (static_cast<int64_t>(result.size()) < top_n) {
+  // Back-fill with globally ranked (allowed) POIs if the beam under-produced.
+  if (static_cast<int64_t>(response.items.size()) < top_n) {
     std::vector<int64_t> order(static_cast<size_t>(num_pois()));
     std::iota(order.begin(), order.end(), 0);
     std::sort(order.begin(), order.end(),
               [&](int64_t a, int64_t b) { return ps[a] > ps[b]; });
     for (int64_t pid : order) {
-      if (static_cast<int64_t>(result.size()) >= top_n) break;
-      if (!used[static_cast<size_t>(pid)]) {
-        result.push_back(pid);
+      if (static_cast<int64_t>(response.items.size()) >= top_n) break;
+      if (!used[static_cast<size_t>(pid)] && allows(pid)) {
+        response.items.push_back({pid, ps[pid], -1});
         used[static_cast<size_t>(pid)] = true;
       }
     }
   }
-  return result;
+  return response;
 }
 
 }  // namespace tspn::baselines

@@ -20,12 +20,15 @@ class HmtGrn : public SequenceModelBase {
          uint64_t seed);
 
   std::string name() const override { return "HMT-GRN"; }
-  /// Hierarchical beam search; reads only trained weights and per-call
-  /// locals, so concurrent calls are safe (NextPoiModel contract).
-  std::vector<int64_t> Recommend(const data::SampleRef& sample,
-                                 int64_t top_n) const override;
 
  protected:
+  /// Hierarchical beam search (not the base's all-POI ranking); constraints
+  /// filter beam candidates and the global back-fill before top-n selection,
+  /// so constrained queries still fill top_n. Reads only trained weights and
+  /// per-call locals, so concurrent calls are safe (NextPoiModel contract).
+  eval::RecommendResponse RecommendImpl(
+      const eval::RecommendRequest& request) const override;
+
   nn::Tensor ScoreAllPois(const Prefix& prefix) const override;
   nn::Tensor SampleLoss(const Prefix& prefix, common::Rng& rng) const override;
   nn::Module& net() override { return *net_; }

@@ -3,7 +3,13 @@
 #include <algorithm>
 #include <numeric>
 
+#include "common/binary_io.h"
+#include "eval/constraints.h"
+
 namespace tspn::baselines {
+
+using common::ReadPod;
+using common::WritePod;
 
 MarkovChain::MarkovChain(std::shared_ptr<const data::CityDataset> dataset)
     : dataset_(std::move(dataset)) {}
@@ -25,37 +31,114 @@ void MarkovChain::Train(const eval::TrainOptions& options) {
       }
     }
   }
+  RebuildPopularityRanks();
 }
 
-std::vector<int64_t> MarkovChain::Recommend(const data::SampleRef& sample,
-                                            int64_t top_n) const {
-  const data::Trajectory& traj = dataset_->trajectory(sample);
-  int64_t current =
-      traj.checkins[static_cast<size_t>(sample.prefix_len - 1)].poi_id;
-  // Score: transition count dominates; popularity is an epsilon-scaled
-  // tiebreaker/back-off.
-  double max_pop = 1.0;
-  for (double p : popularity_) max_pop = std::max(max_pop, p);
-  std::vector<double> scores(dataset_->pois().size(), 0.0);
-  for (size_t i = 0; i < scores.size(); ++i) {
-    scores[i] = 1e-3 * popularity_[i] / max_pop;
+void MarkovChain::RebuildPopularityRanks() {
+  // The tiebreaker is the POI's popularity *rank* mapped into [0, 1) — the
+  // same ordering as raw popularity, but with a spacing of 1/num_pois that
+  // survives float quantization next to integer transition counts (a
+  // 1e-3-scaled raw value would be absorbed by the float ulp once counts
+  // reach a few hundred). Built once per Train/LoadState, not per query.
+  const size_t n = popularity_.size();
+  std::vector<int64_t> by_pop(n);
+  std::iota(by_pop.begin(), by_pop.end(), 0);
+  // Ascending popularity; among equal popularity, descending id, so the
+  // lower id gets the larger fraction and wins ties (matching the ranking
+  // helper's id-ascending convention).
+  std::sort(by_pop.begin(), by_pop.end(), [&](int64_t a, int64_t b) {
+    if (popularity_[static_cast<size_t>(a)] !=
+        popularity_[static_cast<size_t>(b)]) {
+      return popularity_[static_cast<size_t>(a)] <
+             popularity_[static_cast<size_t>(b)];
+    }
+    return a > b;
+  });
+  pop_rank_scores_.assign(n, 0.0f);
+  for (size_t rank = 0; rank < n; ++rank) {
+    pop_rank_scores_[static_cast<size_t>(by_pop[rank])] =
+        static_cast<float>(rank) / static_cast<float>(n + 1);
   }
+}
+
+eval::RecommendResponse MarkovChain::RecommendImpl(
+    const eval::RecommendRequest& request) const {
+  const data::Trajectory& traj = dataset_->trajectory(request.sample);
+  int64_t current =
+      traj.checkins[static_cast<size_t>(request.sample.prefix_len - 1)].poi_id;
+  // Score: transition count dominates; the precomputed popularity-rank
+  // fraction is the tiebreaker/back-off.
+  const size_t n = dataset_->pois().size();
+  std::vector<float> scores = pop_rank_scores_.size() == n
+                                  ? pop_rank_scores_
+                                  : std::vector<float>(n, 0.0f);
   auto it = transitions_.find(current);
   if (it != transitions_.end()) {
     for (const auto& [next, count] : it->second) {
-      scores[static_cast<size_t>(next)] += count;
+      scores[static_cast<size_t>(next)] += static_cast<float>(count);
     }
   }
-  std::vector<int64_t> order(scores.size());
-  std::iota(order.begin(), order.end(), 0);
-  int64_t keep = std::min<int64_t>(top_n, static_cast<int64_t>(order.size()));
-  std::partial_sort(order.begin(), order.begin() + keep, order.end(),
-                    [&](int64_t a, int64_t b) {
-                      return scores[static_cast<size_t>(a)] >
-                             scores[static_cast<size_t>(b)];
-                    });
-  order.resize(static_cast<size_t>(keep));
-  return order;
+  return eval::RankAllPois(scores.data(), static_cast<int64_t>(n), request,
+                           *dataset_);
+}
+
+void MarkovChain::SaveState(std::ostream& out) const {
+  WritePod(out, static_cast<uint64_t>(popularity_.size()));
+  out.write(reinterpret_cast<const char*>(popularity_.data()),
+            static_cast<std::streamsize>(popularity_.size() * sizeof(double)));
+  std::vector<int64_t> sources;
+  sources.reserve(transitions_.size());
+  for (const auto& [src, unused] : transitions_) sources.push_back(src);
+  std::sort(sources.begin(), sources.end());
+  WritePod(out, static_cast<uint64_t>(sources.size()));
+  for (int64_t src : sources) {
+    const auto& successors = transitions_.at(src);
+    std::vector<std::pair<int64_t, double>> sorted(successors.begin(),
+                                                   successors.end());
+    std::sort(sorted.begin(), sorted.end());
+    WritePod(out, src);
+    WritePod(out, static_cast<uint64_t>(sorted.size()));
+    for (const auto& [next, count] : sorted) {
+      WritePod(out, next);
+      WritePod(out, count);
+    }
+  }
+}
+
+bool MarkovChain::LoadState(std::istream& in) {
+  const uint64_t num_pois = dataset_->pois().size();
+  uint64_t stored_pois = 0;
+  if (!ReadPod(in, &stored_pois) || stored_pois != num_pois) return false;
+  std::vector<double> popularity(stored_pois);
+  in.read(reinterpret_cast<char*>(popularity.data()),
+          static_cast<std::streamsize>(stored_pois * sizeof(double)));
+  if (!in.good()) return false;
+  uint64_t num_sources = 0;
+  if (!ReadPod(in, &num_sources) || num_sources > num_pois) return false;
+  std::unordered_map<int64_t, std::unordered_map<int64_t, double>> transitions;
+  for (uint64_t s = 0; s < num_sources; ++s) {
+    int64_t src = 0;
+    uint64_t num_next = 0;
+    if (!ReadPod(in, &src) || src < 0 ||
+        src >= static_cast<int64_t>(num_pois) || !ReadPod(in, &num_next) ||
+        num_next > num_pois) {
+      return false;
+    }
+    auto& successors = transitions[src];
+    for (uint64_t n = 0; n < num_next; ++n) {
+      int64_t next = 0;
+      double count = 0.0;
+      if (!ReadPod(in, &next) || next < 0 ||
+          next >= static_cast<int64_t>(num_pois) || !ReadPod(in, &count)) {
+        return false;
+      }
+      successors[next] = count;
+    }
+  }
+  popularity_ = std::move(popularity);
+  transitions_ = std::move(transitions);
+  RebuildPopularityRanks();
+  return true;
 }
 
 }  // namespace tspn::baselines

@@ -21,16 +21,30 @@ class MarkovChain : public eval::NextPoiModel {
 
   std::string name() const override { return "MC"; }
   void Train(const eval::TrainOptions& options) override;
-  std::vector<int64_t> Recommend(const data::SampleRef& sample,
-                                 int64_t top_n) const override;
+
+ protected:
+  eval::RecommendResponse RecommendImpl(
+      const eval::RecommendRequest& request) const override;
+
+  /// Checkpoint payload: popularity vector + transition counts (sources and
+  /// successors written in sorted order so checkpoints are deterministic).
+  void SaveState(std::ostream& out) const override;
+  bool LoadState(std::istream& in) override;
 
  private:
+  /// Rebuilds pop_rank_scores_ from popularity_ (after Train/LoadState).
+  void RebuildPopularityRanks();
+
   std::shared_ptr<const data::CityDataset> dataset_;
-  // Both structures are written only by Train() and read-only afterwards, so
-  // concurrent Recommend() calls are safe (NextPoiModel contract).
+  // All structures are written only by Train()/LoadState() and read-only
+  // afterwards, so concurrent Recommend() calls are safe (NextPoiModel
+  // contract).
   /// transitions_[cur] = {(next, count), ...}
   std::unordered_map<int64_t, std::unordered_map<int64_t, double>> transitions_;
   std::vector<double> popularity_;
+  /// Per-POI popularity-rank fraction in [0, 1): the back-off/tiebreaker
+  /// added to transition counts at scoring time (see RecommendImpl).
+  std::vector<float> pop_rank_scores_;
 };
 
 }  // namespace tspn::baselines

@@ -1,22 +1,17 @@
-// Baseline registry: names and factory.
+// Deprecated baseline factory shims: the general name -> factory registry
+// (covering TSPN-RA as well) moved to eval::ModelRegistry; these wrappers
+// keep pre-registry call sites compiling during migration.
 
 #include "baselines/base.h"
 
-#include "baselines/deepmove.h"
-#include "baselines/graph_flashback.h"
-#include "baselines/gru_model.h"
-#include "baselines/hmt_grn.h"
-#include "baselines/lstpm.h"
-#include "baselines/markov_chain.h"
-#include "baselines/sae_nad.h"
-#include "baselines/stan.h"
-#include "baselines/stisan.h"
-#include "baselines/strnn.h"
 #include "common/check.h"
+#include "eval/model_registry.h"
 
 namespace tspn::baselines {
 
 std::vector<std::string> BaselineNames() {
+  // The paper's Table II order (not the registry's sorted order), without
+  // TSPN-RA: bench tables iterate this list for baseline rows.
   return {"MC",      "GRU",     "STRNN",   "DeepMove",        "LSTPM",
           "STAN",    "SAE-NAD", "HMT-GRN", "Graph-Flashback", "STiSAN"};
 }
@@ -24,26 +19,13 @@ std::vector<std::string> BaselineNames() {
 std::unique_ptr<eval::NextPoiModel> MakeBaseline(
     const std::string& name, std::shared_ptr<const data::CityDataset> dataset,
     int64_t dm, uint64_t seed) {
-  if (name == "MC") return std::make_unique<MarkovChain>(std::move(dataset));
-  if (name == "GRU") return std::make_unique<GruModel>(std::move(dataset), dm, seed);
-  if (name == "STRNN") return std::make_unique<Strnn>(std::move(dataset), dm, seed);
-  if (name == "DeepMove") {
-    return std::make_unique<DeepMove>(std::move(dataset), dm, seed);
-  }
-  if (name == "LSTPM") return std::make_unique<Lstpm>(std::move(dataset), dm, seed);
-  if (name == "STAN") return std::make_unique<Stan>(std::move(dataset), dm, seed);
-  if (name == "SAE-NAD") {
-    return std::make_unique<SaeNad>(std::move(dataset), dm, seed);
-  }
-  if (name == "HMT-GRN") {
-    return std::make_unique<HmtGrn>(std::move(dataset), dm, seed);
-  }
-  if (name == "Graph-Flashback") {
-    return std::make_unique<GraphFlashback>(std::move(dataset), dm, seed);
-  }
-  if (name == "STiSAN") return std::make_unique<Stisan>(std::move(dataset), dm, seed);
-  TSPN_CHECK(false) << "unknown baseline: " << name;
-  return nullptr;
+  eval::ModelOptions options;
+  options.dm = dm;
+  options.seed = seed;
+  std::unique_ptr<eval::NextPoiModel> model =
+      eval::ModelRegistry::Global().Create(name, std::move(dataset), options);
+  TSPN_CHECK(model != nullptr) << "unknown baseline: " << name;
+  return model;
 }
 
 }  // namespace tspn::baselines

@@ -1,0 +1,26 @@
+#ifndef TSPN_COMMON_BINARY_IO_H_
+#define TSPN_COMMON_BINARY_IO_H_
+
+#include <istream>
+#include <ostream>
+
+namespace tspn::common {
+
+/// Raw little-endian POD stream I/O shared by the checkpoint writers
+/// (eval::NextPoiModel header, MarkovChain state). Only trivially copyable
+/// scalar/struct types belong here.
+template <typename T>
+void WritePod(std::ostream& out, const T& value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(value));
+}
+
+/// Reads one POD value; false when the stream cannot supply it.
+template <typename T>
+bool ReadPod(std::istream& in, T* value) {
+  in.read(reinterpret_cast<char*>(value), sizeof(*value));
+  return in.good();
+}
+
+}  // namespace tspn::common
+
+#endif  // TSPN_COMMON_BINARY_IO_H_

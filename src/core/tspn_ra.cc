@@ -7,6 +7,7 @@
 #include "common/check.h"
 #include "common/env.h"
 #include "core/tspn_ra_internal.h"
+#include "eval/constraints.h"
 #include "nn/kernels.h"
 #include "nn/ops.h"
 #include "nn/serialize.h"
@@ -427,36 +428,113 @@ int64_t TspnRa::CandidatePoiCount(const data::SampleRef& sample,
   return static_cast<int64_t>(GatherCandidates(ranked, top_k).size());
 }
 
-std::vector<int64_t> TspnRa::RecommendWithK(const data::SampleRef& sample,
-                                            int64_t top_n, int32_t top_k) const {
+geo::BoundingBox TspnRa::CandidateTileBounds(int64_t candidate) const {
+  if (config_.use_quadtree) {
+    return dataset_->quadtree()
+        .node(leaf_tile_ids_[static_cast<size_t>(candidate)])
+        .bounds;
+  }
+  return grid_->TileBounds(candidate);
+}
+
+std::vector<int64_t> TspnRa::GatherAllowedCandidates(
+    const float* cos_tiles, int32_t top_k, int64_t required,
+    const eval::ConstraintEvaluator* filter, int64_t* tiles_screened) const {
+  const int64_t num_tiles = static_cast<int64_t>(leaf_tile_ids_.size());
+  std::vector<int64_t> candidates;
+  // Gathers tiles order[consumed, limit) into `candidates`, through the
+  // constraint filter when one is active.
+  auto gather = [&](const std::vector<int64_t>& order, int64_t consumed,
+                    int64_t limit) {
+    for (int64_t i = consumed; i < limit; ++i) {
+      const int64_t tile = order[static_cast<size_t>(i)];
+      if (filter != nullptr &&
+          !filter->BoundsMayIntersectFence(CandidateTileBounds(tile))) {
+        continue;  // the whole tile lies outside the geo fence
+      }
+      for (int64_t pid : tile_pois_[static_cast<size_t>(tile)]) {
+        if (filter == nullptr || filter->Allows(pid)) candidates.push_back(pid);
+      }
+    }
+  };
+  // Constraints are applied before top-k selection, so the screen must keep
+  // widening until the allowed pool can fill the request (required = top_n)
+  // — not merely until it is non-empty as in the unconstrained case
+  // (required = 1, the exact v1 behavior). Widening is incremental: the
+  // (score desc, index asc) tile order is a fixed total order, so top-2k's
+  // prefix equals top-k and only the newly admitted tiles need gathering;
+  // the first widening switches to the full ranking once instead of
+  // re-selecting per round.
+  int32_t widened = top_k;
+  std::vector<int64_t> order = TopKIndices(cos_tiles, num_tiles, top_k);
+  int64_t consumed = std::min<int64_t>(widened, num_tiles);
+  gather(order, 0, consumed);
+  while (static_cast<int64_t>(candidates.size()) < required &&
+         widened < static_cast<int32_t>(num_tiles)) {
+    widened *= 2;
+    if (static_cast<int64_t>(order.size()) < num_tiles) {
+      order = TopKIndices(cos_tiles, num_tiles, num_tiles);
+    }
+    const int64_t limit = std::min<int64_t>(widened, num_tiles);
+    gather(order, consumed, limit);
+    consumed = limit;
+  }
+  if (tiles_screened != nullptr) {
+    *tiles_screened = std::min<int64_t>(widened, num_tiles);
+  }
+  return candidates;
+}
+
+std::vector<int64_t> TspnRa::AllAllowedPois(
+    const eval::ConstraintEvaluator* filter) const {
+  const int64_t num_pois = static_cast<int64_t>(dataset_->pois().size());
+  std::vector<int64_t> candidates;
+  candidates.reserve(static_cast<size_t>(num_pois));
+  for (int64_t id = 0; id < num_pois; ++id) {
+    if (filter == nullptr || filter->Allows(id)) candidates.push_back(id);
+  }
+  return candidates;
+}
+
+void TspnRa::FillRankedItems(const std::vector<int64_t>& candidates,
+                             const float* scores, int64_t top_n,
+                             eval::RecommendResponse* response) const {
+  std::vector<int64_t> order = TopKIndices(
+      scores, static_cast<int64_t>(candidates.size()), top_n);
+  response->items.reserve(order.size());
+  for (int64_t idx : order) {
+    const int64_t poi = candidates[static_cast<size_t>(idx)];
+    response->items.push_back(
+        {poi, scores[static_cast<size_t>(idx)],
+         config_.use_two_step ? CandidateTileOfPoi(poi) : int64_t{-1}});
+  }
+}
+
+eval::RecommendResponse TspnRa::ScoredRecommend(
+    const eval::RecommendRequest& request, int32_t top_k) const {
   EnsureInferenceCaches();
   nn::NoGradGuard guard;
   common::Rng rng(config_.seed ^ 0xD00DULL);
-  Features f = ExtractFeatures(sample);
+  Features f = ExtractFeatures(request.sample);
   ForwardOut fwd = Forward(f, et_cache_, rng);
 
+  std::unique_ptr<eval::ConstraintEvaluator> filter =
+      eval::MakeConstraintFilter(*dataset_, request);
+
+  eval::RecommendResponse response;
   std::vector<int64_t> candidates;
   nn::Tensor cos_tiles;
   if (config_.use_two_step) {
+    response.stages_used = 2;
     cos_tiles = InferenceLeafCosines(fwd.h_tile);
-    const int64_t num_tiles = static_cast<int64_t>(leaf_tile_ids_.size());
-    std::vector<int64_t> order =
-        TopKIndices(cos_tiles.data(), num_tiles, top_k);
-    candidates = GatherCandidates(order, top_k);
-    // If every screened tile is POI-free (possible for small K on sparse
-    // partitions), widen the screen until candidates appear.
-    int32_t widened = top_k;
-    while (candidates.empty() &&
-           widened < static_cast<int32_t>(leaf_tile_ids_.size())) {
-      widened *= 2;
-      order = TopKIndices(cos_tiles.data(), num_tiles, widened);
-      candidates = GatherCandidates(order, widened);
-    }
+    candidates = GatherAllowedCandidates(
+        cos_tiles.data(), top_k, filter != nullptr ? request.top_n : 1,
+        filter.get(), &response.tiles_screened);
   } else {
-    candidates.resize(dataset_->pois().size());
-    std::iota(candidates.begin(), candidates.end(), 0);
+    response.stages_used = 1;
+    candidates = AllAllowedPois(filter.get());
   }
-  if (candidates.empty()) return {};
+  if (candidates.empty()) return response;
 
   nn::Tensor cand_embeddings;
   if (poi_et_cache_.defined()) {
@@ -468,46 +546,49 @@ std::vector<int64_t> TspnRa::RecommendWithK(const data::SampleRef& sample,
     cand_embeddings = nn::L2Normalize(net_->poi_encoder.Encode(candidates, cats));
   }
   nn::Tensor cos_pois = nn::MatVec(cand_embeddings, nn::L2Normalize(fwd.h_poi));
+
+  std::vector<float> scores(candidates.size());
+  const float* pc = cos_pois.data();
   if (config_.use_two_step) {
     // Same hierarchical score fusion as training: stage-1 tile cosine as a
     // gamma-weighted prior on each candidate.
-    float gamma = net_->tile_prior_weight.at(0);
-    std::vector<float> fused(candidates.size());
-    const float* pc = cos_pois.data();
+    const float gamma = net_->tile_prior_weight.at(0);
     const float* tc = cos_tiles.data();
     for (size_t i = 0; i < candidates.size(); ++i) {
-      fused[i] = pc[i] + gamma * tc[CandidateTileOfPoi(candidates[i])];
+      scores[i] = pc[i] + gamma * tc[CandidateTileOfPoi(candidates[i])];
     }
-    cos_pois = nn::Tensor::FromVector(
-        {static_cast<int64_t>(candidates.size())}, std::move(fused));
+  } else {
+    std::copy_n(pc, candidates.size(), scores.data());
   }
 
-  // Only the top-N ordering is returned; select instead of sorting all
-  // candidates.
-  std::vector<int64_t> order = TopKIndices(
-      cos_pois.data(), static_cast<int64_t>(candidates.size()), top_n);
-  std::vector<int64_t> result;
-  result.reserve(order.size());
-  for (int64_t idx : order) {
-    result.push_back(candidates[static_cast<size_t>(idx)]);
-  }
-  return result;
+  // Only the top-N ordering is returned; FillRankedItems selects instead of
+  // sorting all candidates.
+  FillRankedItems(candidates, scores.data(), request.top_n, &response);
+  return response;
 }
 
-std::vector<int64_t> TspnRa::Recommend(const data::SampleRef& sample,
-                                       int64_t top_n) const {
-  return RecommendWithK(sample, top_n, config_.top_k_tiles);
+std::vector<int64_t> TspnRa::RecommendWithK(const data::SampleRef& sample,
+                                            int64_t top_n, int32_t top_k) const {
+  eval::RecommendRequest request;
+  request.sample = sample;
+  request.top_n = top_n;
+  return ScoredRecommend(request, top_k).PoiIds();
 }
 
-std::vector<std::vector<int64_t>> TspnRa::RecommendBatch(
-    common::Span<data::SampleRef> samples, int64_t top_n) const {
-  const int64_t batch = static_cast<int64_t>(samples.size());
+eval::RecommendResponse TspnRa::RecommendImpl(
+    const eval::RecommendRequest& request) const {
+  return ScoredRecommend(request, config_.top_k_tiles);
+}
+
+std::vector<eval::RecommendResponse> TspnRa::RecommendBatchImpl(
+    common::Span<eval::RecommendRequest> requests) const {
+  const int64_t batch = static_cast<int64_t>(requests.size());
   if (batch == 0) return {};
   EnsureInferenceCaches();
   if (!leaf_et_cache_.defined() || !poi_et_cache_.defined()) {
     // Cache-disabled A/B mode keeps the seed's per-query gather path; defer
     // to the serial fallback rather than duplicating it here.
-    return eval::NextPoiModel::RecommendBatch(samples, top_n);
+    return eval::NextPoiModel::RecommendBatchImpl(requests);
   }
   nn::NoGradGuard guard;
   common::Rng rng(config_.seed ^ 0xD00DULL);
@@ -521,7 +602,7 @@ std::vector<std::vector<int64_t>> TspnRa::RecommendBatch(
   std::vector<float> h_tiles(static_cast<size_t>(batch * dm));
   std::vector<float> h_pois(static_cast<size_t>(batch * dm));
   for (int64_t b = 0; b < batch; ++b) {
-    Features f = ExtractFeatures(samples[static_cast<size_t>(b)]);
+    Features f = ExtractFeatures(requests[static_cast<size_t>(b)].sample);
     ForwardOut fwd = Forward(f, et_cache_, rng);
     nn::Tensor ht = nn::L2Normalize(fwd.h_tile);
     nn::Tensor hp = nn::L2Normalize(fwd.h_poi);
@@ -532,7 +613,9 @@ std::vector<std::vector<int64_t>> TspnRa::RecommendBatch(
   // ...then score all queries against the cached normalized tile and POI
   // matrices with one GEMM per prediction stage. Per-element math matches the
   // per-query MatVec (identical accumulation order in the kernel), so the
-  // rankings below are bitwise-reproducible against Recommend().
+  // per-request results below are bitwise-reproducible against
+  // RecommendImpl() — constraints and top_n apply per request, after the
+  // shared GEMMs.
   std::vector<float> cos_tiles;
   if (config_.use_two_step) {
     cos_tiles.resize(static_cast<size_t>(batch * num_tiles));
@@ -545,24 +628,22 @@ std::vector<std::vector<int64_t>> TspnRa::RecommendBatch(
                           batch, num_pois, dm, /*accumulate=*/false);
 
   const float gamma = net_->tile_prior_weight.at(0);
-  std::vector<std::vector<int64_t>> results(static_cast<size_t>(batch));
+  std::vector<eval::RecommendResponse> responses(static_cast<size_t>(batch));
   for (int64_t b = 0; b < batch; ++b) {
+    const eval::RecommendRequest& request = requests[static_cast<size_t>(b)];
+    eval::RecommendResponse& response = responses[static_cast<size_t>(b)];
+    std::unique_ptr<eval::ConstraintEvaluator> filter =
+        eval::MakeConstraintFilter(*dataset_, request);
     std::vector<int64_t> candidates;
     const float* tc = cos_tiles.empty() ? nullptr : cos_tiles.data() + b * num_tiles;
     if (config_.use_two_step) {
-      std::vector<int64_t> order =
-          TopKIndices(tc, num_tiles, config_.top_k_tiles);
-      candidates = GatherCandidates(order, config_.top_k_tiles);
-      // Same widening as RecommendWithK when every screened tile is POI-free.
-      int32_t widened = config_.top_k_tiles;
-      while (candidates.empty() && widened < static_cast<int32_t>(num_tiles)) {
-        widened *= 2;
-        order = TopKIndices(tc, num_tiles, widened);
-        candidates = GatherCandidates(order, widened);
-      }
+      response.stages_used = 2;
+      candidates = GatherAllowedCandidates(
+          tc, config_.top_k_tiles, filter != nullptr ? request.top_n : 1,
+          filter.get(), &response.tiles_screened);
     } else {
-      candidates.resize(static_cast<size_t>(num_pois));
-      std::iota(candidates.begin(), candidates.end(), 0);
+      response.stages_used = 1;
+      candidates = AllAllowedPois(filter.get());
     }
     if (candidates.empty()) continue;
 
@@ -578,15 +659,9 @@ std::vector<std::vector<int64_t>> TspnRa::RecommendBatch(
         fused[i] = pc[candidates[i]];
       }
     }
-    std::vector<int64_t> order = TopKIndices(
-        fused.data(), static_cast<int64_t>(candidates.size()), top_n);
-    std::vector<int64_t>& ranked = results[static_cast<size_t>(b)];
-    ranked.reserve(order.size());
-    for (int64_t idx : order) {
-      ranked.push_back(candidates[static_cast<size_t>(idx)]);
-    }
+    FillRankedItems(candidates, fused.data(), request.top_n, &response);
   }
-  return results;
+  return responses;
 }
 
 int64_t TspnRa::ParameterCount() const { return net_->ParameterCount(); }
@@ -601,6 +676,19 @@ void TspnRa::SaveWeights(const std::string& path) const {
 bool TspnRa::LoadWeights(const std::string& path) {
   std::vector<nn::Tensor> params = net_->Parameters();
   if (!nn::LoadParametersFromFile(params, path)) return false;
+  cache_state_.store(0);  // ET must be recomputed from the loaded weights
+  return true;
+}
+
+void TspnRa::SaveState(std::ostream& out) const {
+  nn::SaveParameters(net_->Parameters(), out);
+}
+
+bool TspnRa::LoadState(std::istream& in) {
+  // Atomic load: a corrupted payload must leave the live weights (and the
+  // inference caches built from them) untouched.
+  std::vector<nn::Tensor> params = net_->Parameters();
+  if (!nn::LoadParametersAtomic(params, in)) return false;
   cache_state_.store(0);  // ET must be recomputed from the loaded weights
   return true;
 }

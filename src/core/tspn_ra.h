@@ -2,6 +2,7 @@
 #define TSPN_CORE_TSPN_RA_H_
 
 #include <atomic>
+#include <iosfwd>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -18,6 +19,10 @@
 #include "rs/synthesizer.h"
 #include "spatial/grid_index.h"
 
+namespace tspn::eval {
+class ConstraintEvaluator;
+}  // namespace tspn::eval
+
 namespace tspn::core {
 
 /// TSPN-RA: the Two-Step Prediction Network with Remote Sensing Augmentation
@@ -32,18 +37,6 @@ class TspnRa : public eval::NextPoiModel {
 
   std::string name() const override { return "TSPN-RA"; }
   void Train(const eval::TrainOptions& options) override;
-  std::vector<int64_t> Recommend(const data::SampleRef& sample,
-                                 int64_t top_n) const override;
-
-  /// Batch-first inference: the per-query sequence encoders still run one
-  /// sample at a time, but both scoring stages are batched — the queries'
-  /// fused outputs are stacked into [batch, dm] matrices and scored against
-  /// the cached normalized leaf-tile and POI matrices with one
-  /// kernels::DotProductGemm each, followed by per-row top-k selection.
-  /// Rankings are identical to per-query Recommend(). Falls back to the
-  /// serial loop when TSPN_DISABLE_INFERENCE_CACHE is set.
-  std::vector<std::vector<int64_t>> RecommendBatch(
-      common::Span<data::SampleRef> samples, int64_t top_n) const override;
 
   // --- Extended API for the figure benches -----------------------------------
 
@@ -85,8 +78,32 @@ class TspnRa : public eval::NextPoiModel {
 
   /// Saves / restores trained weights. Load requires an identically
   /// configured model (same dataset + config); returns false on mismatch.
+  /// Deprecated: raw nn::serialize payloads without the checkpoint header —
+  /// prefer SaveCheckpoint/LoadCheckpoint (eval::NextPoiModel).
   void SaveWeights(const std::string& path) const;
   bool LoadWeights(const std::string& path);
+
+ protected:
+  /// Scored, constraint-aware single query (the v2 core): the stage-1 tile
+  /// screen applies constraints before top-k selection, widening until the
+  /// allowed candidate pool can fill request.top_n.
+  eval::RecommendResponse RecommendImpl(
+      const eval::RecommendRequest& request) const override;
+
+  /// Batch-first inference: the per-query sequence encoders still run one
+  /// sample at a time, but both scoring stages are batched — the queries'
+  /// fused outputs are stacked into [batch, dm] matrices and scored against
+  /// the cached normalized leaf-tile and POI matrices with one
+  /// kernels::DotProductGemm each, followed by per-request constraint
+  /// filtering and top-k selection. Requests may differ in top_n and
+  /// constraints; per-request results are identical to RecommendImpl().
+  /// Falls back to the serial loop when TSPN_DISABLE_INFERENCE_CACHE is set.
+  std::vector<eval::RecommendResponse> RecommendBatchImpl(
+      common::Span<eval::RecommendRequest> requests) const override;
+
+  /// Checkpoint payload: the trained parameter tensors via nn::serialize.
+  void SaveState(std::ostream& out) const override;
+  bool LoadState(std::istream& in) override;
 
  private:
   struct Net;
@@ -128,6 +145,37 @@ class TspnRa : public eval::NextPoiModel {
   /// Candidate POI ids when keeping the given ranked tiles.
   std::vector<int64_t> GatherCandidates(const std::vector<int64_t>& ranked_tiles,
                                         int32_t top_k) const;
+
+  /// Shared v2 core behind RecommendImpl and RecommendWithK: forward pass,
+  /// constraint-aware stage-1 screen, scored stage-2 ranking.
+  eval::RecommendResponse ScoredRecommend(const eval::RecommendRequest& request,
+                                          int32_t top_k) const;
+
+  /// Stage-1 candidate gather with constraints applied before selection:
+  /// keeps the top_k tiles by cosine, skips fence-disjoint tiles, filters
+  /// POIs through `filter`, and doubles the screen until at least
+  /// `required` allowed candidates exist (or every tile was screened).
+  /// `required` = 1 without constraints, reproducing the v1 behavior
+  /// exactly. Writes the final screen width to `tiles_screened`.
+  std::vector<int64_t> GatherAllowedCandidates(
+      const float* cos_tiles, int32_t top_k, int64_t required,
+      const eval::ConstraintEvaluator* filter, int64_t* tiles_screened) const;
+
+  /// Bounding box of a dense candidate-tile index (quad-tree leaf or grid
+  /// cell).
+  geo::BoundingBox CandidateTileBounds(int64_t candidate) const;
+
+  /// All POI ids passing `filter` (the no-two-step candidate set).
+  std::vector<int64_t> AllAllowedPois(
+      const eval::ConstraintEvaluator* filter) const;
+
+  /// Shared response tail of the single and batched paths: top-n selection
+  /// over the fused candidate scores and ScoredPoi item construction. One
+  /// copy, so selection and tie-breaking can never drift between the two
+  /// paths (their bitwise parity is a serving-layer contract).
+  void FillRankedItems(const std::vector<int64_t>& candidates,
+                       const float* scores, int64_t top_n,
+                       eval::RecommendResponse* response) const;
 
   /// Cosines between h_tile and every candidate tile's ET row ([num_tiles]).
   /// Training path: gathers from the autograd-tracked `et` every call.

@@ -1,0 +1,184 @@
+#include "eval/constraints.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace tspn::eval {
+
+namespace {
+
+/// Cells per side of the geo-fence prefilter grid. 32x32 keeps the one-off
+/// classification cheap (only cells inside the fence's bounding box are
+/// visited) while making boundary cells — the only ones that still need a
+/// per-POI haversine — a thin ring around the fence circle.
+constexpr int32_t kFenceGridCells = 32;
+
+/// Degrees of latitude per kilometre (and of longitude at the equator).
+constexpr double kDegPerKm = 1.0 / 111.19;
+
+}  // namespace
+
+ConstraintEvaluator::ConstraintEvaluator(const data::CityDataset& dataset,
+                                         const CandidateConstraints& constraints,
+                                         const data::SampleRef& sample)
+    : dataset_(dataset), constraints_(constraints), active_(constraints.Active()) {
+  if (!active_) return;
+
+  const bool category_shaped = !constraints.allowed_categories.empty() ||
+                               !constraints.blocked_categories.empty() ||
+                               constraints.open_at >= 0;
+  if (category_shaped) {
+    const size_t num_categories =
+        static_cast<size_t>(dataset.profile().num_categories);
+    category_allowed_.assign(num_categories,
+                             constraints.allowed_categories.empty() ? 1 : 0);
+    for (int32_t cat : constraints.allowed_categories) {
+      if (cat >= 0 && static_cast<size_t>(cat) < num_categories) {
+        category_allowed_[static_cast<size_t>(cat)] = 1;
+      }
+    }
+    for (int32_t cat : constraints.blocked_categories) {
+      if (cat >= 0 && static_cast<size_t>(cat) < num_categories) {
+        category_allowed_[static_cast<size_t>(cat)] = 0;
+      }
+    }
+    if (constraints.open_at >= 0) {
+      const data::DayPart part = data::DayPartOf(constraints.open_at);
+      const auto& categories = dataset.categories();
+      for (size_t cat = 0; cat < num_categories && cat < categories.size();
+           ++cat) {
+        if (categories[cat].time_weights[static_cast<size_t>(part)] <
+            constraints.min_open_weight) {
+          category_allowed_[cat] = 0;
+        }
+      }
+    }
+  }
+
+  if (constraints.exclude_visited) {
+    const data::Trajectory& traj = dataset.trajectory(sample);
+    for (int32_t i = 0; i < sample.prefix_len; ++i) {
+      visited_.insert(traj.checkins[static_cast<size_t>(i)].poi_id);
+    }
+  }
+
+  if (constraints.geo_radius_km > 0.0) {
+    fence_grid_ = std::make_unique<spatial::GridIndex>(dataset.profile().bbox,
+                                                       kFenceGridCells);
+    cell_state_.assign(static_cast<size_t>(fence_grid_->NumTiles()), kOutside);
+    // Classify only the cells the fence's bounding box can reach; everything
+    // else stays kOutside.
+    // 10% slack on the box so spherical-vs-planar drift can never leave a
+    // fence-reaching cell unclassified (unvisited cells read as kOutside).
+    const double dlat = 1.1 * constraints.geo_radius_km * kDegPerKm;
+    const double dlon =
+        1.1 * constraints.geo_radius_km * kDegPerKm /
+        std::max(0.1, std::cos(constraints.geo_center.lat * M_PI / 180.0));
+    geo::BoundingBox fence_box{constraints.geo_center.lat - dlat,
+                               constraints.geo_center.lon - dlon,
+                               constraints.geo_center.lat + dlat,
+                               constraints.geo_center.lon + dlon};
+    int32_t row0, row1, col0, col1;
+    if (fence_grid_->TileSpan(fence_box, &row0, &row1, &col0, &col1)) {
+      for (int32_t row = row0; row <= row1; ++row) {
+        for (int32_t col = col0; col <= col1; ++col) {
+          const int64_t cell =
+              static_cast<int64_t>(row) * kFenceGridCells + col;
+          const geo::BoundingBox bounds = fence_grid_->TileBounds(cell);
+          if (geo::MinDistanceKm(bounds, constraints.geo_center) >
+              constraints.geo_radius_km) {
+            continue;  // stays kOutside
+          }
+          cell_state_[static_cast<size_t>(cell)] =
+              geo::MaxCornerDistanceKm(bounds, constraints.geo_center) <=
+                      constraints.geo_radius_km
+                  ? kInside
+                  : kBoundary;
+        }
+      }
+    }
+  }
+}
+
+bool ConstraintEvaluator::Allows(int64_t poi_id) const {
+  if (!active_) return true;
+  const data::Poi& poi = dataset_.poi(poi_id);
+  if (!category_allowed_.empty()) {
+    const size_t cat = static_cast<size_t>(poi.category);
+    if (cat >= category_allowed_.size() || !category_allowed_[cat]) return false;
+  }
+  if (!visited_.empty() && visited_.count(poi_id) > 0) return false;
+  if (fence_grid_ != nullptr) {
+    switch (cell_state_[static_cast<size_t>(fence_grid_->TileOf(poi.loc))]) {
+      case kOutside:
+        return false;
+      case kInside:
+        break;
+      case kBoundary:
+        if (geo::HaversineKm(poi.loc, constraints_.geo_center) >
+            constraints_.geo_radius_km) {
+          return false;
+        }
+        break;
+    }
+  }
+  return true;
+}
+
+bool ConstraintEvaluator::BoundsMayIntersectFence(
+    const geo::BoundingBox& bounds) const {
+  if (fence_grid_ == nullptr) return true;
+  return geo::MinDistanceKm(bounds, constraints_.geo_center) <=
+         constraints_.geo_radius_km;
+}
+
+std::unique_ptr<ConstraintEvaluator> MakeConstraintFilter(
+    const data::CityDataset& dataset, const RecommendRequest& request) {
+  if (!request.constraints.Active()) return nullptr;
+  return std::make_unique<ConstraintEvaluator>(dataset, request.constraints,
+                                               request.sample);
+}
+
+RecommendResponse RankAllPois(const float* scores, int64_t num_pois,
+                              const RecommendRequest& request,
+                              const data::CityDataset& dataset) {
+  std::vector<int64_t> allowed;
+  if (request.constraints.Active()) {
+    ConstraintEvaluator filter(dataset, request.constraints, request.sample);
+    allowed.reserve(static_cast<size_t>(num_pois));
+    for (int64_t id = 0; id < num_pois; ++id) {
+      if (filter.Allows(id)) allowed.push_back(id);
+    }
+  } else {
+    allowed.resize(static_cast<size_t>(num_pois));
+    for (int64_t id = 0; id < num_pois; ++id) {
+      allowed[static_cast<size_t>(id)] = id;
+    }
+  }
+
+  auto better = [scores](int64_t a, int64_t b) {
+    const float sa = scores[a], sb = scores[b];
+    if (sa != sb) return sa > sb;
+    return a < b;
+  };
+  const int64_t keep =
+      std::min<int64_t>(request.top_n, static_cast<int64_t>(allowed.size()));
+  if (keep < static_cast<int64_t>(allowed.size())) {
+    std::nth_element(allowed.begin(), allowed.begin() + keep, allowed.end(),
+                     better);
+    allowed.resize(static_cast<size_t>(keep));
+  }
+  std::sort(allowed.begin(), allowed.end(), better);
+
+  RecommendResponse response;
+  response.stages_used = 1;
+  response.items.reserve(allowed.size());
+  for (int64_t id : allowed) {
+    response.items.push_back({id, scores[id], /*tile_index=*/-1});
+  }
+  return response;
+}
+
+}  // namespace tspn::eval

@@ -1,0 +1,76 @@
+#ifndef TSPN_EVAL_CONSTRAINTS_H_
+#define TSPN_EVAL_CONSTRAINTS_H_
+
+#include <cstdint>
+#include <memory>
+#include <unordered_set>
+#include <vector>
+
+#include "data/dataset.h"
+#include "eval/recommend.h"
+#include "spatial/grid_index.h"
+
+namespace tspn::eval {
+
+/// Binds a request's CandidateConstraints to the dataset and sample so
+/// models can test candidates with one Allows() call. Construction is
+/// per-request: category sets become a bitmask over category ids, the
+/// observed prefix becomes a visited set, and the geo fence is compiled
+/// into a coarse spatial::GridIndex cell classification (outside /
+/// boundary / inside) so most POIs resolve without a distance computation.
+///
+/// The referenced dataset and constraints must outlive the evaluator.
+class ConstraintEvaluator {
+ public:
+  ConstraintEvaluator(const data::CityDataset& dataset,
+                      const CandidateConstraints& constraints,
+                      const data::SampleRef& sample);
+
+  /// Whether any constraint is active; an inactive evaluator allows all.
+  bool active() const { return active_; }
+
+  /// Whether the POI satisfies every active constraint.
+  bool Allows(int64_t poi_id) const;
+
+  /// Conservative tile-level prune: false only when no point of `bounds`
+  /// can lie inside the geo fence, so an entire candidate tile can be
+  /// skipped before its POIs are gathered. Always true without a fence.
+  bool BoundsMayIntersectFence(const geo::BoundingBox& bounds) const;
+
+ private:
+  /// Fence classification of one prefilter grid cell.
+  enum CellState : uint8_t { kOutside = 0, kBoundary = 1, kInside = 2 };
+
+  const data::CityDataset& dataset_;
+  const CandidateConstraints& constraints_;
+  bool active_ = false;
+
+  /// category id -> allowed, folding allow/block lists and the open-time
+  /// window (all three are per-category predicates). Empty when no
+  /// category-shaped constraint is active.
+  std::vector<char> category_allowed_;
+  std::unordered_set<int64_t> visited_;
+
+  /// Geo-fence prefilter (only when the fence is active): every cell of a
+  /// fixed grid over the dataset region is classified against the fence
+  /// circle once; Allows() then needs a haversine only for boundary cells.
+  std::unique_ptr<spatial::GridIndex> fence_grid_;
+  std::vector<uint8_t> cell_state_;
+};
+
+/// Evaluator bound to a request's constraints, or null when none are
+/// active — the one idiom every model uses to go from request to filter.
+std::unique_ptr<ConstraintEvaluator> MakeConstraintFilter(
+    const data::CityDataset& dataset, const RecommendRequest& request);
+
+/// Shared single-stage ranking: selects the request's top_n from a dense
+/// score vector over the whole POI vocabulary, applying the request's
+/// constraints *before* selection (ties rank by ascending POI id). This is
+/// how every all-POI-scoring model (the baselines) serves the v2 API.
+RecommendResponse RankAllPois(const float* scores, int64_t num_pois,
+                              const RecommendRequest& request,
+                              const data::CityDataset& dataset);
+
+}  // namespace tspn::eval
+
+#endif  // TSPN_EVAL_CONSTRAINTS_H_

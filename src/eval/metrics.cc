@@ -84,9 +84,12 @@ RankingMetrics EvaluateModel(const NextPoiModel& model,
   std::vector<data::SampleRef> samples =
       EvalSamples(dataset, split, max_samples, seed);
   RankingMetrics metrics;
+  RecommendRequest request;
+  request.top_n = list_length;
   for (const data::SampleRef& sample : samples) {
-    std::vector<int64_t> ranked = model.Recommend(sample, list_length);
-    metrics.Add(ranked, dataset.Target(sample).poi_id);
+    request.sample = sample;
+    metrics.Add(model.Recommend(request).PoiIds(),
+                dataset.Target(sample).poi_id);
   }
   return metrics;
 }
@@ -99,16 +102,20 @@ RankingMetrics EvaluateModelBatched(const NextPoiModel& model,
   TSPN_CHECK_GE(batch_size, 1);
   std::vector<data::SampleRef> samples =
       EvalSamples(dataset, split, max_samples, seed);
-  common::Span<data::SampleRef> all(samples);
+  std::vector<RecommendRequest> requests(samples.size());
+  for (size_t i = 0; i < samples.size(); ++i) {
+    requests[i].sample = samples[i];
+    requests[i].top_n = list_length;
+  }
+  common::Span<RecommendRequest> all(requests);
   RankingMetrics metrics;
   for (size_t begin = 0; begin < all.size();
        begin += static_cast<size_t>(batch_size)) {
-    common::Span<data::SampleRef> chunk =
+    common::Span<RecommendRequest> chunk =
         all.subspan(begin, static_cast<size_t>(batch_size));
-    std::vector<std::vector<int64_t>> ranked =
-        model.RecommendBatch(chunk, list_length);
+    std::vector<RecommendResponse> ranked = model.RecommendBatch(chunk);
     for (size_t i = 0; i < chunk.size(); ++i) {
-      metrics.Add(ranked[i], dataset.Target(chunk[i]).poi_id);
+      metrics.Add(ranked[i].PoiIds(), dataset.Target(chunk[i].sample).poi_id);
     }
   }
   return metrics;

@@ -1,0 +1,89 @@
+#include "eval/model_api.h"
+
+#include <cstdint>
+#include <fstream>
+
+#include "common/binary_io.h"
+#include "common/check.h"
+
+namespace tspn::eval {
+
+namespace {
+
+// Checkpoint container header: magic + format version + the producing
+// model's name. The payload that follows is model-defined (SaveState).
+constexpr uint32_t kCheckpointMagic = 0x4B435354;  // "TSCK"
+constexpr uint32_t kCheckpointVersion = 1;
+
+}  // namespace
+
+std::vector<RecommendResponse> NextPoiModel::RecommendBatchImpl(
+    common::Span<RecommendRequest> requests) const {
+  std::vector<RecommendResponse> responses;
+  responses.reserve(requests.size());
+  for (const RecommendRequest& request : requests) {
+    responses.push_back(RecommendImpl(request));
+  }
+  return responses;
+}
+
+std::vector<int64_t> NextPoiModel::Recommend(const data::SampleRef& sample,
+                                             int64_t top_n) const {
+  RecommendRequest request;
+  request.sample = sample;
+  request.top_n = top_n;
+  return RecommendImpl(request).PoiIds();
+}
+
+std::vector<std::vector<int64_t>> NextPoiModel::RecommendBatch(
+    common::Span<data::SampleRef> samples, int64_t top_n) const {
+  std::vector<RecommendRequest> requests(samples.size());
+  for (size_t i = 0; i < samples.size(); ++i) {
+    requests[i].sample = samples[i];
+    requests[i].top_n = top_n;
+  }
+  std::vector<RecommendResponse> responses =
+      RecommendBatchImpl(common::Span<RecommendRequest>(requests));
+  std::vector<std::vector<int64_t>> results;
+  results.reserve(responses.size());
+  for (const RecommendResponse& response : responses) {
+    results.push_back(response.PoiIds());
+  }
+  return results;
+}
+
+void NextPoiModel::SaveState(std::ostream& out) const { (void)out; }
+
+bool NextPoiModel::LoadState(std::istream& in) { return in.good(); }
+
+void NextPoiModel::SaveCheckpoint(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  TSPN_CHECK(out.is_open()) << "cannot open " << path;
+  common::WritePod(out, kCheckpointMagic);
+  common::WritePod(out, kCheckpointVersion);
+  const std::string model_name = name();
+  common::WritePod(out, static_cast<uint32_t>(model_name.size()));
+  out.write(model_name.data(),
+            static_cast<std::streamsize>(model_name.size()));
+  SaveState(out);
+  TSPN_CHECK(out.good()) << "checkpoint write failed: " << path;
+}
+
+bool NextPoiModel::LoadCheckpoint(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) return false;
+  uint32_t magic = 0;
+  if (!common::ReadPod(in, &magic) || magic != kCheckpointMagic) return false;
+  uint32_t version = 0;
+  if (!common::ReadPod(in, &version) || version != kCheckpointVersion) {
+    return false;
+  }
+  uint32_t name_len = 0;
+  if (!common::ReadPod(in, &name_len) || name_len > 256) return false;
+  std::string stored_name(name_len, '\0');
+  in.read(stored_name.data(), static_cast<std::streamsize>(name_len));
+  if (!in.good() || stored_name != name()) return false;
+  return LoadState(in);
+}
+
+}  // namespace tspn::eval

@@ -2,12 +2,14 @@
 #define TSPN_EVAL_MODEL_API_H_
 
 #include <cstdint>
+#include <iosfwd>
 #include <string>
 #include <vector>
 
 #include "common/span.h"
 #include "data/dataset.h"
 #include "data/trajectory.h"
+#include "eval/recommend.h"
 
 namespace tspn::eval {
 
@@ -23,8 +25,18 @@ struct TrainOptions {
 };
 
 /// Common interface for TSPN-RA and every baseline: train on the dataset's
-/// train split, then produce a ranked list of POI ids for a prediction
-/// instance. Models receive the dataset at construction.
+/// train split, then serve structured recommendation requests. Models
+/// receive the dataset at construction and are created by name through
+/// eval::ModelRegistry (model_registry.h).
+///
+/// The v2 surface is request/response-shaped: callers build a
+/// RecommendRequest (sample, top_n, CandidateConstraints) and receive a
+/// RecommendResponse of ranked {poi_id, score} pairs. Constraints are
+/// applied *before* top-k selection, so a filtered query fills its full
+/// top_n whenever enough candidates satisfy the predicate. The public
+/// methods are non-virtual; implementations override the protected *Impl
+/// hooks (so the deprecated id-only overloads below keep resolving on every
+/// concrete model without per-class using-declarations).
 ///
 /// Thread-safety contract: after Train() has returned, Recommend() and
 /// RecommendBatch() must be safe to call concurrently from multiple threads
@@ -39,26 +51,64 @@ class NextPoiModel {
   /// Trains on the dataset's kTrain samples.
   virtual void Train(const TrainOptions& options) = 0;
 
-  /// Ranked POI ids (best first), at most `top_n` entries.
-  virtual std::vector<int64_t> Recommend(const data::SampleRef& sample,
-                                         int64_t top_n) const = 0;
-
-  /// Ranked POI ids for a batch of prediction instances; result[i] is what
-  /// Recommend(samples[i], top_n) would return. The default implementation
-  /// is the serial per-query loop, so every model supports the batched API;
-  /// models whose scoring amortizes across queries (TSPN-RA stacks the batch
-  /// into one GEMM per prediction stage) override this with a true batched
-  /// path. Overrides must preserve per-query ranking parity with
-  /// Recommend().
-  virtual std::vector<std::vector<int64_t>> RecommendBatch(
-      common::Span<data::SampleRef> samples, int64_t top_n) const {
-    std::vector<std::vector<int64_t>> results;
-    results.reserve(samples.size());
-    for (const data::SampleRef& sample : samples) {
-      results.push_back(Recommend(sample, top_n));
-    }
-    return results;
+  /// Serves one structured request: ranked {poi_id, score} pairs, best
+  /// first, at most request.top_n entries, every one satisfying the
+  /// request's constraints.
+  RecommendResponse Recommend(const RecommendRequest& request) const {
+    return RecommendImpl(request);
   }
+
+  /// Serves a batch of requests; result[i] is what Recommend(requests[i])
+  /// would return. Requests in one batch may differ in top_n and
+  /// constraints — implementations must honour each request individually.
+  std::vector<RecommendResponse> RecommendBatch(
+      common::Span<RecommendRequest> requests) const {
+    return RecommendBatchImpl(requests);
+  }
+
+  // --- Deprecated v1 surface (id-only, unconstrained) ------------------------
+  // Thin shims over the scored API, kept so pre-v2 call sites compile during
+  // migration. New code should build RecommendRequests.
+
+  /// Ranked POI ids (best first), at most `top_n` entries.
+  std::vector<int64_t> Recommend(const data::SampleRef& sample,
+                                 int64_t top_n) const;
+
+  /// Ranked POI ids for a batch of prediction instances sharing one top_n.
+  std::vector<std::vector<int64_t>> RecommendBatch(
+      common::Span<data::SampleRef> samples, int64_t top_n) const;
+
+  // --- Checkpoints -----------------------------------------------------------
+
+  /// Writes a versioned checkpoint: a header (magic, format version, model
+  /// name) followed by the model's serialized state (nn::serialize payload
+  /// for the learned models). Aborts on I/O failure.
+  void SaveCheckpoint(const std::string& path) const;
+
+  /// Restores a checkpoint written by SaveCheckpoint on an identically
+  /// configured model. Returns false — leaving the model usable — when the
+  /// file is missing, corrupted, from a different model, or shape-mismatched.
+  bool LoadCheckpoint(const std::string& path);
+
+ protected:
+  /// The scored, constraint-aware core every model implements.
+  virtual RecommendResponse RecommendImpl(const RecommendRequest& request) const = 0;
+
+  /// Default: the serial per-query loop, so every model supports the batched
+  /// API. Models whose scoring amortizes across queries (TSPN-RA stacks the
+  /// batch into one GEMM per prediction stage) override this with a true
+  /// batched path; overrides must preserve per-request parity with
+  /// RecommendImpl().
+  virtual std::vector<RecommendResponse> RecommendBatchImpl(
+      common::Span<RecommendRequest> requests) const;
+
+  /// Serializes model state after the checkpoint header. The default writes
+  /// nothing (a stateless model); models with learned or counted state
+  /// must override both hooks.
+  virtual void SaveState(std::ostream& out) const;
+
+  /// Restores what SaveState wrote; false on corruption or shape mismatch.
+  virtual bool LoadState(std::istream& in);
 };
 
 }  // namespace tspn::eval

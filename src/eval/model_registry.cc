@@ -1,0 +1,95 @@
+// The registry implementation deliberately lives in eval/ but reaches into
+// core/ and baselines/ (everything is one library; the dependency is
+// link-time only): a lazy builtin-registration function avoids the
+// static-initializer-in-static-library pitfall where self-registering
+// translation units are dropped by the linker.
+
+#include "eval/model_registry.h"
+
+#include <utility>
+
+#include "baselines/deepmove.h"
+#include "baselines/graph_flashback.h"
+#include "baselines/gru_model.h"
+#include "baselines/hmt_grn.h"
+#include "baselines/lstpm.h"
+#include "baselines/markov_chain.h"
+#include "baselines/sae_nad.h"
+#include "baselines/stan.h"
+#include "baselines/stisan.h"
+#include "baselines/strnn.h"
+#include "core/tspn_ra.h"
+
+namespace tspn::eval {
+
+namespace {
+
+using Dataset = std::shared_ptr<const data::CityDataset>;
+
+template <typename Model>
+ModelRegistry::Factory EmbeddingBaseline() {
+  return [](Dataset dataset, const ModelOptions& options) {
+    return std::make_unique<Model>(std::move(dataset), options.dm,
+                                   options.seed);
+  };
+}
+
+void RegisterBuiltins(ModelRegistry& registry) {
+  registry.Register("TSPN-RA", [](Dataset dataset, const ModelOptions& options) {
+    core::TspnRaConfig config;
+    config.dm = options.dm;
+    config.seed = options.seed;
+    config.image_resolution = options.image_resolution;
+    config.top_k_tiles = dataset->profile().top_k_tiles;
+    return std::make_unique<core::TspnRa>(std::move(dataset), config);
+  });
+  registry.Register("MC", [](Dataset dataset, const ModelOptions&) {
+    return std::make_unique<baselines::MarkovChain>(std::move(dataset));
+  });
+  registry.Register("GRU", EmbeddingBaseline<baselines::GruModel>());
+  registry.Register("STRNN", EmbeddingBaseline<baselines::Strnn>());
+  registry.Register("DeepMove", EmbeddingBaseline<baselines::DeepMove>());
+  registry.Register("LSTPM", EmbeddingBaseline<baselines::Lstpm>());
+  registry.Register("STAN", EmbeddingBaseline<baselines::Stan>());
+  registry.Register("SAE-NAD", EmbeddingBaseline<baselines::SaeNad>());
+  registry.Register("HMT-GRN", EmbeddingBaseline<baselines::HmtGrn>());
+  registry.Register("Graph-Flashback",
+                    EmbeddingBaseline<baselines::GraphFlashback>());
+  registry.Register("STiSAN", EmbeddingBaseline<baselines::Stisan>());
+}
+
+}  // namespace
+
+ModelRegistry& ModelRegistry::Global() {
+  static ModelRegistry* registry = [] {
+    auto* r = new ModelRegistry();
+    RegisterBuiltins(*r);
+    return r;
+  }();
+  return *registry;
+}
+
+void ModelRegistry::Register(const std::string& name, Factory factory) {
+  factories_[name] = std::move(factory);
+}
+
+std::unique_ptr<NextPoiModel> ModelRegistry::Create(
+    const std::string& name, std::shared_ptr<const data::CityDataset> dataset,
+    const ModelOptions& options) const {
+  auto it = factories_.find(name);
+  if (it == factories_.end()) return nullptr;
+  return it->second(std::move(dataset), options);
+}
+
+bool ModelRegistry::Contains(const std::string& name) const {
+  return factories_.count(name) > 0;
+}
+
+std::vector<std::string> ModelRegistry::Names() const {
+  std::vector<std::string> names;
+  names.reserve(factories_.size());
+  for (const auto& [name, unused] : factories_) names.push_back(name);
+  return names;
+}
+
+}  // namespace tspn::eval

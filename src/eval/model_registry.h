@@ -1,0 +1,60 @@
+#ifndef TSPN_EVAL_MODEL_REGISTRY_H_
+#define TSPN_EVAL_MODEL_REGISTRY_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "eval/model_api.h"
+
+namespace tspn::eval {
+
+/// Construction knobs shared by every registered model factory. Factories
+/// ignore what does not apply to them (MC has no embeddings, so `dm` is
+/// unused there).
+struct ModelOptions {
+  int64_t dm = 32;                 ///< embedding dimension
+  uint64_t seed = 7;               ///< weight-init seed
+  int32_t image_resolution = 16;   ///< TSPN-RA tile imagery side
+};
+
+/// Unified model lifecycle: one name -> factory registry over NextPoiModel
+/// covering TSPN-RA and every baseline, so benches, demos and the serving
+/// layer build models the same way — and a checkpoint saved by one process
+/// can be restored into a registry-built model in another (see
+/// NextPoiModel::SaveCheckpoint/LoadCheckpoint).
+class ModelRegistry {
+ public:
+  using Factory = std::function<std::unique_ptr<NextPoiModel>(
+      std::shared_ptr<const data::CityDataset> dataset,
+      const ModelOptions& options)>;
+
+  /// The process-wide registry, with every built-in model pre-registered:
+  /// "TSPN-RA" plus the ten baselines ("MC", "GRU", "STRNN", "DeepMove",
+  /// "LSTPM", "STAN", "SAE-NAD", "HMT-GRN", "Graph-Flashback", "STiSAN").
+  static ModelRegistry& Global();
+
+  /// Registers (or replaces) a factory under `name`.
+  void Register(const std::string& name, Factory factory);
+
+  /// Builds an untrained model; nullptr when `name` is not registered.
+  std::unique_ptr<NextPoiModel> Create(
+      const std::string& name,
+      std::shared_ptr<const data::CityDataset> dataset,
+      const ModelOptions& options = {}) const;
+
+  bool Contains(const std::string& name) const;
+
+  /// All registered names, sorted.
+  std::vector<std::string> Names() const;
+
+ private:
+  std::map<std::string, Factory> factories_;
+};
+
+}  // namespace tspn::eval
+
+#endif  // TSPN_EVAL_MODEL_REGISTRY_H_

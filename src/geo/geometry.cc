@@ -64,4 +64,22 @@ GeoPoint Lerp(const GeoPoint& a, const GeoPoint& b, double t) {
   return {a.lat + (b.lat - a.lat) * t, a.lon + (b.lon - a.lon) * t};
 }
 
+double MinDistanceKm(const BoundingBox& box, const GeoPoint& p) {
+  // The nearest point of an axis-aligned lat/lon rectangle is the point
+  // clamped into it (per-axis independence holds at city scales).
+  GeoPoint nearest{std::clamp(p.lat, box.min_lat, box.max_lat),
+                   std::clamp(p.lon, box.min_lon, box.max_lon)};
+  return HaversineKm(nearest, p);
+}
+
+double MaxCornerDistanceKm(const BoundingBox& box, const GeoPoint& p) {
+  double best = 0.0;
+  for (double lat : {box.min_lat, box.max_lat}) {
+    for (double lon : {box.min_lon, box.max_lon}) {
+      best = std::max(best, HaversineKm({lat, lon}, p));
+    }
+  }
+  return best;
+}
+
 }  // namespace tspn::geo

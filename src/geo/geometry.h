@@ -55,6 +55,14 @@ struct BoundingBox {
 /// Linear interpolation between two points.
 GeoPoint Lerp(const GeoPoint& a, const GeoPoint& b, double t);
 
+/// Great-circle distance from `p` to the nearest point of `box`; 0 when the
+/// point lies inside. Used for circle-vs-tile intersection tests.
+double MinDistanceKm(const BoundingBox& box, const GeoPoint& p);
+
+/// Great-circle distance from `p` to the farthest corner of `box` — an upper
+/// bound on the distance to any point of the box at city scales.
+double MaxCornerDistanceKm(const BoundingBox& box, const GeoPoint& p);
+
 }  // namespace tspn::geo
 
 #endif  // TSPN_GEO_GEOMETRY_H_

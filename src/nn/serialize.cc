@@ -1,5 +1,6 @@
 #include "nn/serialize.h"
 
+#include <algorithm>
 #include <cstdint>
 #include <fstream>
 #include <ostream>
@@ -49,6 +50,25 @@ bool LoadParameters(std::vector<Tensor>& parameters, std::istream& in) {
     in.read(reinterpret_cast<char*>(p.data()),
             static_cast<std::streamsize>(p.numel() * sizeof(float)));
     if (!in.good()) return false;
+  }
+  return true;
+}
+
+bool LoadParametersStaged(const std::vector<Tensor>& like, std::istream& in,
+                          std::vector<Tensor>* staged) {
+  staged->clear();
+  staged->reserve(like.size());
+  for (const Tensor& p : like) {
+    staged->push_back(Tensor::Zeros(p.shape()));
+  }
+  return LoadParameters(*staged, in);
+}
+
+bool LoadParametersAtomic(std::vector<Tensor>& parameters, std::istream& in) {
+  std::vector<Tensor> staged;
+  if (!LoadParametersStaged(parameters, in, &staged)) return false;
+  for (size_t i = 0; i < parameters.size(); ++i) {
+    std::copy_n(staged[i].data(), staged[i].numel(), parameters[i].data());
   }
   return true;
 }

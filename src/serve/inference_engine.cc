@@ -46,28 +46,27 @@ InferenceEngine::InferenceEngine(const eval::NextPoiModel& model,
 
 InferenceEngine::~InferenceEngine() { Shutdown(); }
 
-std::future<std::vector<int64_t>> InferenceEngine::Enqueue(
-    const data::SampleRef& sample, int64_t top_n,
+std::future<eval::RecommendResponse> InferenceEngine::Enqueue(
+    const eval::RecommendRequest& request,
     std::unique_lock<std::mutex>& lock) {
-  Request request;
-  request.sample = sample;
-  request.top_n = top_n;
-  request.enqueue_time = Clock::now();
-  std::future<std::vector<int64_t>> future = request.promise.get_future();
+  Request entry;
+  entry.request = request;
+  entry.enqueue_time = Clock::now();
+  std::future<eval::RecommendResponse> future = entry.promise.get_future();
   // Count the submission before the request becomes visible to workers so
   // GetStats() never observes completed > submitted.
   {
     std::lock_guard<std::mutex> stats_lock(stats_mutex_);
     ++submitted_;
   }
-  queue_.push_back(std::move(request));
+  queue_.push_back(std::move(entry));
   lock.unlock();
   not_empty_.notify_one();
   return future;
 }
 
-std::future<std::vector<int64_t>> InferenceEngine::Submit(
-    const data::SampleRef& sample, int64_t top_n) {
+std::future<eval::RecommendResponse> InferenceEngine::Submit(
+    const eval::RecommendRequest& request) {
   std::unique_lock<std::mutex> lock(mutex_);
   not_full_.wait(lock, [&] {
     return stopping_ ||
@@ -79,16 +78,24 @@ std::future<std::vector<int64_t>> InferenceEngine::Submit(
       std::lock_guard<std::mutex> stats_lock(stats_mutex_);
       ++rejected_;
     }
-    std::promise<std::vector<int64_t>> broken;
+    std::promise<eval::RecommendResponse> broken;
     broken.set_exception(std::make_exception_ptr(
         std::runtime_error("InferenceEngine is shut down")));
     return broken.get_future();
   }
-  return Enqueue(sample, top_n, lock);
+  return Enqueue(request, lock);
 }
 
-bool InferenceEngine::TrySubmit(const data::SampleRef& sample, int64_t top_n,
-                                std::future<std::vector<int64_t>>* out) {
+std::future<eval::RecommendResponse> InferenceEngine::Submit(
+    const data::SampleRef& sample, int64_t top_n) {
+  eval::RecommendRequest request;
+  request.sample = sample;
+  request.top_n = top_n;
+  return Submit(request);
+}
+
+bool InferenceEngine::TrySubmit(const eval::RecommendRequest& request,
+                                std::future<eval::RecommendResponse>* out) {
   std::unique_lock<std::mutex> lock(mutex_);
   if (stopping_ ||
       static_cast<int64_t>(queue_.size()) >= options_.max_queue_depth) {
@@ -97,7 +104,7 @@ bool InferenceEngine::TrySubmit(const data::SampleRef& sample, int64_t top_n,
     ++rejected_;
     return false;
   }
-  *out = Enqueue(sample, top_n, lock);
+  *out = Enqueue(request, lock);
   return true;
 }
 
@@ -137,15 +144,25 @@ void InferenceEngine::WorkerLoop() {
 
 void InferenceEngine::ServeBatch(std::vector<Request> batch) {
   if (batch.empty()) return;
-  std::vector<data::SampleRef> samples;
-  samples.reserve(batch.size());
-  int64_t top_n = 0;
-  for (const Request& r : batch) {
-    samples.push_back(r.sample);
-    top_n = std::max(top_n, r.top_n);
+  // The v2 batch contract serves every request at its own top_n with its
+  // own constraints, so a heterogeneous coalesced batch needs no grouping
+  // or per-request truncation.
+  std::vector<eval::RecommendRequest> requests;
+  requests.reserve(batch.size());
+  for (Request& r : batch) {
+    // Moved, not copied: the entry's request (constraint vectors included)
+    // is not read again after the batch is served.
+    requests.push_back(std::move(r.request));
   }
-  std::vector<std::vector<int64_t>> results =
-      model_.RecommendBatch(common::Span<data::SampleRef>(samples), top_n);
+  // A throwing model must not escape the worker thread (std::terminate) or
+  // strand the batch's futures; the failure is confined to these requests.
+  std::vector<eval::RecommendResponse> results;
+  std::exception_ptr error;
+  try {
+    results = model_.RecommendBatch(common::Span<eval::RecommendRequest>(requests));
+  } catch (...) {
+    error = std::current_exception();
+  }
   const auto done = Clock::now();
   // Record the batch in the stats BEFORE fulfilling any promise: a client
   // that calls GetStats() right after future.get() must see its own request
@@ -172,11 +189,11 @@ void InferenceEngine::ServeBatch(std::vector<Request> batch) {
     }
   }
   for (size_t i = 0; i < batch.size(); ++i) {
-    std::vector<int64_t>& ranked = results[i];
-    if (static_cast<int64_t>(ranked.size()) > batch[i].top_n) {
-      ranked.resize(static_cast<size_t>(batch[i].top_n));
+    if (error != nullptr) {
+      batch[i].promise.set_exception(error);
+    } else {
+      batch[i].promise.set_value(std::move(results[i]));
     }
-    batch[i].promise.set_value(std::move(ranked));
   }
 }
 

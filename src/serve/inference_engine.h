@@ -12,6 +12,7 @@
 
 #include "data/trajectory.h"
 #include "eval/model_api.h"
+#include "eval/recommend.h"
 
 namespace tspn::serve {
 
@@ -53,11 +54,18 @@ struct EngineStats {
 /// RecommendBatch() call — with TSPN-RA that turns the queue's concurrent
 /// single queries into shared GEMMs against the cached tile/POI matrices.
 ///
-/// Requests in one batch are served at the batch's largest top_n and each
-/// reply is truncated to its requested length; models with deterministic
-/// tie-breaking (TSPN-RA) make this exactly equal to a direct Recommend().
-/// The model must be trained before submissions start and must honour the
-/// NextPoiModel concurrency contract (model_api.h).
+/// Requests are structured eval::RecommendRequests, and a coalesced batch
+/// may mix top_n values and constraints freely: the v2 model contract
+/// serves every request in a batch at its own top_n with its own
+/// constraints (filter-before-top-k), so nothing is served at "batch max
+/// then truncated" anymore — the pre-v2 scheme, which per-request
+/// constraints made unsound (a truncated shared ranking cannot fill a
+/// filtered request's top_n). Compatibility grouping is therefore
+/// unnecessary; batches stay maximal.
+///
+/// The model must be trained (or checkpoint-loaded) before submissions
+/// start and must honour the NextPoiModel concurrency contract
+/// (model_api.h).
 class InferenceEngine {
  public:
   explicit InferenceEngine(const eval::NextPoiModel& model,
@@ -67,16 +75,20 @@ class InferenceEngine {
   InferenceEngine(const InferenceEngine&) = delete;
   InferenceEngine& operator=(const InferenceEngine&) = delete;
 
-  /// Enqueues a request, blocking while the queue is at capacity
+  /// Enqueues a structured request, blocking while the queue is at capacity
   /// (backpressure). After Shutdown() the returned future holds a
   /// std::runtime_error.
-  std::future<std::vector<int64_t>> Submit(const data::SampleRef& sample,
-                                           int64_t top_n);
+  std::future<eval::RecommendResponse> Submit(
+      const eval::RecommendRequest& request);
+
+  /// Convenience overload for unconstrained queries.
+  std::future<eval::RecommendResponse> Submit(const data::SampleRef& sample,
+                                              int64_t top_n);
 
   /// Non-blocking variant: returns false (and counts a rejection) when the
   /// queue is full or the engine is shut down.
-  bool TrySubmit(const data::SampleRef& sample, int64_t top_n,
-                 std::future<std::vector<int64_t>>* out);
+  bool TrySubmit(const eval::RecommendRequest& request,
+                 std::future<eval::RecommendResponse>* out);
 
   /// Stops accepting requests, serves everything already queued, and joins
   /// the workers. Idempotent; also run by the destructor.
@@ -88,15 +100,14 @@ class InferenceEngine {
 
  private:
   struct Request {
-    data::SampleRef sample;
-    int64_t top_n = 0;
-    std::promise<std::vector<int64_t>> promise;
+    eval::RecommendRequest request;
+    std::promise<eval::RecommendResponse> promise;
     std::chrono::steady_clock::time_point enqueue_time;
   };
 
-  std::future<std::vector<int64_t>> Enqueue(const data::SampleRef& sample,
-                                            int64_t top_n,
-                                            std::unique_lock<std::mutex>& lock);
+  std::future<eval::RecommendResponse> Enqueue(
+      const eval::RecommendRequest& request,
+      std::unique_lock<std::mutex>& lock);
   void WorkerLoop();
   void ServeBatch(std::vector<Request> batch);
 

@@ -46,4 +46,24 @@ void GridIndex::TileRowCol(int64_t tile, int32_t* row, int32_t* col) const {
   *col = static_cast<int32_t>(tile % cells_per_side_);
 }
 
+bool GridIndex::TileSpan(const geo::BoundingBox& box, int32_t* row_begin,
+                         int32_t* row_end, int32_t* col_begin,
+                         int32_t* col_end) const {
+  if (box.max_lat < region_.min_lat || box.min_lat >= region_.max_lat ||
+      box.max_lon < region_.min_lon || box.min_lon >= region_.max_lon) {
+    return false;
+  }
+  double lat_step = region_.LatSpan() / cells_per_side_;
+  double lon_step = region_.LonSpan() / cells_per_side_;
+  auto clamp_cell = [this](double offset, double step) {
+    return std::clamp<int32_t>(static_cast<int32_t>(std::floor(offset / step)),
+                               0, cells_per_side_ - 1);
+  };
+  *row_begin = clamp_cell(box.min_lat - region_.min_lat, lat_step);
+  *row_end = clamp_cell(box.max_lat - region_.min_lat, lat_step);
+  *col_begin = clamp_cell(box.min_lon - region_.min_lon, lon_step);
+  *col_end = clamp_cell(box.max_lon - region_.min_lon, lon_step);
+  return true;
+}
+
 }  // namespace tspn::spatial

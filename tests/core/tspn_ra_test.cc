@@ -343,6 +343,192 @@ TEST_F(TspnRaTest, LoadWeightsRejectsMismatchedArchitecture) {
   EXPECT_FALSE(b.LoadWeights(path));
 }
 
+TEST_F(TspnRaTest, ScoredV2MatchesV1RankingCachedAndUncached) {
+  // The v2 scored response must rank exactly as the v1 id list on both the
+  // cached and the cache-disabled inference paths; scores agree across the
+  // two paths to float precision (the cached leaf matrix is re-normalized,
+  // an identity up to ulps on the already-unit-norm ET rows).
+  TspnRa model(dataset_, TinyConfig());
+  eval::TrainOptions options;
+  options.epochs = 1;
+  options.max_samples_per_epoch = 24;
+  model.Train(options);
+  auto samples = dataset_->Samples(data::Split::kTest);
+  ASSERT_FALSE(samples.empty());
+  const size_t count = std::min<size_t>(4, samples.size());
+  std::vector<eval::RecommendResponse> cached;
+  for (size_t s = 0; s < count; ++s) {
+    eval::RecommendRequest request;
+    request.sample = samples[s];
+    request.top_n = 10;
+    eval::RecommendResponse response = model.Recommend(request);
+    EXPECT_EQ(response.PoiIds(), model.Recommend(samples[s], 10));
+    EXPECT_EQ(response.stages_used, 2);
+    EXPECT_GE(response.tiles_screened, TinyConfig().top_k_tiles);
+    for (size_t i = 1; i < response.items.size(); ++i) {
+      EXPECT_GE(response.items[i - 1].score, response.items[i].score);
+    }
+    for (const eval::ScoredPoi& item : response.items) {
+      EXPECT_GE(item.tile_index, 0);
+      EXPECT_LT(item.tile_index, model.NumCandidateTiles());
+    }
+    cached.push_back(std::move(response));
+  }
+  setenv("TSPN_DISABLE_INFERENCE_CACHE", "1", 1);
+  for (size_t s = 0; s < count; ++s) {
+    eval::RecommendRequest request;
+    request.sample = samples[s];
+    request.top_n = 10;
+    eval::RecommendResponse uncached = model.Recommend(request);
+    ASSERT_EQ(uncached.items.size(), cached[s].items.size()) << "sample " << s;
+    for (size_t i = 0; i < uncached.items.size(); ++i) {
+      EXPECT_EQ(uncached.items[i].poi_id, cached[s].items[i].poi_id)
+          << "sample " << s << " rank " << i;
+      EXPECT_NEAR(uncached.items[i].score, cached[s].items[i].score, 1e-5)
+          << "sample " << s << " rank " << i;
+    }
+  }
+  unsetenv("TSPN_DISABLE_INFERENCE_CACHE");
+}
+
+TEST_F(TspnRaTest, BatchScoresBitwiseMatchSingleQuery) {
+  // The batched GEMM path must reproduce per-query scores bitwise — same
+  // accumulation order in the kernel — for plain and constrained requests
+  // alike, at several batch sizes.
+  TspnRa model(dataset_, TinyConfig());
+  eval::TrainOptions options;
+  options.epochs = 1;
+  options.max_samples_per_epoch = 24;
+  model.Train(options);
+  auto samples = dataset_->Samples(data::Split::kTest);
+  ASSERT_GE(samples.size(), 2u);
+  for (size_t batch : {size_t{1}, size_t{3}, size_t{9}}) {
+    std::vector<eval::RecommendRequest> requests(batch);
+    for (size_t i = 0; i < batch; ++i) {
+      requests[i].sample = samples[i % samples.size()];
+      requests[i].top_n = 5 + static_cast<int64_t>(i % 3) * 5;  // mixed top_n
+      if (i % 2 == 1) {
+        requests[i].constraints.geo_center = dataset_->profile().bbox.Center();
+        requests[i].constraints.geo_radius_km = 5.0;
+        requests[i].constraints.exclude_visited = true;
+      }
+    }
+    std::vector<eval::RecommendResponse> batched =
+        model.RecommendBatch(common::Span<eval::RecommendRequest>(requests));
+    ASSERT_EQ(batched.size(), batch);
+    for (size_t i = 0; i < batch; ++i) {
+      eval::RecommendResponse single = model.Recommend(requests[i]);
+      ASSERT_EQ(batched[i].items.size(), single.items.size())
+          << "batch=" << batch << " query " << i;
+      EXPECT_EQ(batched[i].tiles_screened, single.tiles_screened);
+      for (size_t r = 0; r < single.items.size(); ++r) {
+        EXPECT_EQ(batched[i].items[r].poi_id, single.items[r].poi_id)
+            << "batch=" << batch << " query " << i << " rank " << r;
+        EXPECT_EQ(batched[i].items[r].score, single.items[r].score)
+            << "batch=" << batch << " query " << i << " rank " << r;
+        EXPECT_EQ(batched[i].items[r].tile_index, single.items[r].tile_index);
+      }
+    }
+  }
+}
+
+TEST_F(TspnRaTest, ConstrainedQueriesSatisfyPredicatesAndFillTopN) {
+  // Filter-before-top-k: every returned POI satisfies the constraints, and
+  // the list fills top_n whenever enough allowed candidates exist — the
+  // stage-1 screen widens past top_k_tiles as needed.
+  TspnRa model(dataset_, TinyConfig());
+  eval::TrainOptions options;
+  options.epochs = 1;
+  options.max_samples_per_epoch = 24;
+  model.Train(options);
+  auto samples = dataset_->Samples(data::Split::kTest);
+  ASSERT_FALSE(samples.empty());
+
+  // Geo fence around the sample's last check-in.
+  const data::Trajectory& traj = dataset_->trajectory(samples[0]);
+  const geo::GeoPoint center =
+      dataset_->poi(traj.checkins[samples[0].prefix_len - 1].poi_id).loc;
+  eval::RecommendRequest fenced;
+  fenced.sample = samples[0];
+  fenced.top_n = 10;
+  fenced.constraints.geo_center = center;
+  fenced.constraints.geo_radius_km = 4.0;
+  int64_t in_fence = 0;
+  for (const data::Poi& poi : dataset_->pois()) {
+    if (geo::HaversineKm(poi.loc, center) <= 4.0) ++in_fence;
+  }
+  eval::RecommendResponse fenced_response = model.Recommend(fenced);
+  EXPECT_EQ(static_cast<int64_t>(fenced_response.items.size()),
+            std::min<int64_t>(10, in_fence));
+  for (const eval::ScoredPoi& item : fenced_response.items) {
+    EXPECT_LE(geo::HaversineKm(dataset_->poi(item.poi_id).loc, center), 4.0);
+  }
+
+  // Category block of the unconstrained winner.
+  eval::RecommendRequest blocked;
+  blocked.sample = samples[0];
+  blocked.top_n = 10;
+  const int64_t winner = model.Recommend(samples[0], 1)[0];
+  const int32_t blocked_cat = dataset_->poi(winner).category;
+  blocked.constraints.blocked_categories = {blocked_cat};
+  int64_t allowed = 0;
+  for (const data::Poi& poi : dataset_->pois()) {
+    if (poi.category != blocked_cat) ++allowed;
+  }
+  eval::RecommendResponse blocked_response = model.Recommend(blocked);
+  EXPECT_EQ(static_cast<int64_t>(blocked_response.items.size()),
+            std::min<int64_t>(10, allowed));
+  for (const eval::ScoredPoi& item : blocked_response.items) {
+    EXPECT_NE(dataset_->poi(item.poi_id).category, blocked_cat);
+    EXPECT_NE(item.poi_id, winner);
+  }
+
+  // Exclude-visited: nothing from the observed prefix comes back.
+  eval::RecommendRequest novel;
+  novel.sample = samples[0];
+  novel.top_n = 10;
+  novel.constraints.exclude_visited = true;
+  eval::RecommendResponse novel_response = model.Recommend(novel);
+  EXPECT_EQ(novel_response.items.size(), 10u);
+  for (const eval::ScoredPoi& item : novel_response.items) {
+    for (int32_t i = 0; i < samples[0].prefix_len; ++i) {
+      EXPECT_NE(item.poi_id, traj.checkins[static_cast<size_t>(i)].poi_id);
+    }
+  }
+
+  // Unconstrained v2 == v1 (the constraints must not perturb the default
+  // path).
+  eval::RecommendRequest plain;
+  plain.sample = samples[0];
+  plain.top_n = 10;
+  EXPECT_EQ(model.Recommend(plain).PoiIds(), model.Recommend(samples[0], 10));
+}
+
+TEST_F(TspnRaTest, CheckpointRoundTripPreservesRecommendations) {
+  TspnRa a(dataset_, TinyConfig());
+  eval::TrainOptions options;
+  options.epochs = 1;
+  options.max_samples_per_epoch = 32;
+  a.Train(options);
+  std::string path = ::testing::TempDir() + "/tspn_ckpt.bin";
+  a.SaveCheckpoint(path);
+
+  TspnRaConfig other = TinyConfig();
+  other.seed = 99;  // different init
+  TspnRa b(dataset_, other);
+  ASSERT_TRUE(b.LoadCheckpoint(path));
+  auto samples = dataset_->Samples(data::Split::kTest);
+  for (size_t i = 0; i < std::min<size_t>(3, samples.size()); ++i) {
+    EXPECT_EQ(a.Recommend(samples[i], 10), b.Recommend(samples[i], 10));
+  }
+  // A structurally different model rejects the checkpoint and stays usable.
+  TspnRaConfig bigger = TinyConfig();
+  bigger.dm = 32;
+  TspnRa c(dataset_, bigger);
+  EXPECT_FALSE(c.LoadCheckpoint(path));
+  EXPECT_FALSE(c.Recommend(samples[0], 5).empty());
+}
+
 TEST(RankingMetricsTest, FormulasMatchHandComputation) {
   eval::RankingMetrics metrics;
   // Target at rank 3.

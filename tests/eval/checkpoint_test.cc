@@ -1,0 +1,182 @@
+// Checkpoint round-trip tests: train -> SaveCheckpoint -> fresh model from
+// the ModelRegistry -> LoadCheckpoint -> identical recommendations, for
+// every registered model; plus graceful rejection of missing, corrupted,
+// cross-model and shape-mismatched files.
+
+#include <cstdio>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "data/dataset.h"
+#include "eval/model_registry.h"
+
+namespace tspn::eval {
+namespace {
+
+class CheckpointTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    dataset_ = data::CityDataset::Generate(data::CityProfile::TestTiny());
+  }
+  static std::shared_ptr<data::CityDataset> dataset_;
+};
+
+std::shared_ptr<data::CityDataset> CheckpointTest::dataset_;
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+TEST_F(CheckpointTest, RoundTripEveryRegistryModel) {
+  const auto samples = dataset_->Samples(data::Split::kTest);
+  ASSERT_GE(samples.size(), 3u);
+  TrainOptions train;
+  train.epochs = 1;
+  train.max_samples_per_epoch = 12;
+  for (const std::string& name : ModelRegistry::Global().Names()) {
+    SCOPED_TRACE(name);
+    ModelOptions options;
+    options.dm = 16;
+    auto trained = ModelRegistry::Global().Create(name, dataset_, options);
+    ASSERT_NE(trained, nullptr);
+    trained->Train(train);
+    const std::string path = TempPath("ckpt_" + name + ".bin");
+    trained->SaveCheckpoint(path);
+
+    // A fresh, differently seeded (differently initialized) model must
+    // reproduce the trained model's recommendations after loading.
+    ModelOptions other = options;
+    other.seed = 99;
+    auto restored = ModelRegistry::Global().Create(name, dataset_, other);
+    ASSERT_NE(restored, nullptr);
+    ASSERT_TRUE(restored->LoadCheckpoint(path));
+    for (size_t s = 0; s < 3; ++s) {
+      RecommendRequest request;
+      request.sample = samples[s];
+      request.top_n = 10;
+      RecommendResponse a = trained->Recommend(request);
+      RecommendResponse b = restored->Recommend(request);
+      ASSERT_EQ(a.items.size(), b.items.size()) << "sample " << s;
+      for (size_t i = 0; i < a.items.size(); ++i) {
+        EXPECT_EQ(a.items[i].poi_id, b.items[i].poi_id)
+            << "sample " << s << " rank " << i;
+      }
+    }
+  }
+}
+
+TEST_F(CheckpointTest, MissingFileIsRejected) {
+  auto model = ModelRegistry::Global().Create("GRU", dataset_);
+  EXPECT_FALSE(model->LoadCheckpoint(TempPath("does_not_exist.bin")));
+}
+
+TEST_F(CheckpointTest, WrongModelNameIsRejected) {
+  ModelOptions options;
+  options.dm = 16;
+  auto gru = ModelRegistry::Global().Create("GRU", dataset_, options);
+  const std::string path = TempPath("ckpt_gru_for_strnn.bin");
+  gru->SaveCheckpoint(path);
+  auto strnn = ModelRegistry::Global().Create("STRNN", dataset_, options);
+  EXPECT_FALSE(strnn->LoadCheckpoint(path));
+}
+
+TEST_F(CheckpointTest, ShapeMismatchIsRejected) {
+  ModelOptions small;
+  small.dm = 16;
+  auto a = ModelRegistry::Global().Create("GRU", dataset_, small);
+  const std::string path = TempPath("ckpt_gru_dm16.bin");
+  a->SaveCheckpoint(path);
+  ModelOptions big;
+  big.dm = 32;
+  auto b = ModelRegistry::Global().Create("GRU", dataset_, big);
+  EXPECT_FALSE(b->LoadCheckpoint(path));
+  // The rejected model keeps serving.
+  EXPECT_FALSE(
+      b->Recommend(dataset_->Samples(data::Split::kTest)[0], 5).empty());
+}
+
+TEST_F(CheckpointTest, FailedLoadLeavesLiveWeightsUntouched) {
+  // A payload that validates the header but dies mid-parameters must not
+  // mutate a serving model at all (atomic load). Graph-Flashback matters
+  // here beyond GRU: its Prepare() smooths the embedding table in place, so
+  // it would corrupt the weights if replayed before payload validation.
+  const auto samples = dataset_->Samples(data::Split::kTest);
+  TrainOptions train;
+  train.epochs = 1;
+  train.max_samples_per_epoch = 12;
+  for (const std::string name : {"GRU", "Graph-Flashback"}) {
+    SCOPED_TRACE(name);
+    ModelOptions options;
+    options.dm = 16;
+    auto model = ModelRegistry::Global().Create(name, dataset_, options);
+    model->Train(train);
+    const std::vector<int64_t> before = model->Recommend(samples[0], 10);
+
+    const std::string path = TempPath("ckpt_atomic_" + name + ".bin");
+    model->SaveCheckpoint(path);
+    std::ifstream in(path, std::ios::binary);
+    std::string bytes((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+    const std::string bad = TempPath("ckpt_atomic_trunc_" + name + ".bin");
+    std::ofstream out(bad, std::ios::binary);
+    // Keep the header + roughly half of the tensor payload.
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size() / 2));
+    out.close();
+
+    EXPECT_FALSE(model->LoadCheckpoint(bad));
+    EXPECT_EQ(model->Recommend(samples[0], 10), before);
+  }
+}
+
+TEST_F(CheckpointTest, CorruptedFilesAreRejected) {
+  ModelOptions options;
+  options.dm = 16;
+  auto model = ModelRegistry::Global().Create("MC", dataset_, options);
+  TrainOptions train;
+  train.epochs = 1;
+  model->Train(train);
+  const std::string path = TempPath("ckpt_mc.bin");
+  model->SaveCheckpoint(path);
+
+  auto fresh = [&] { return ModelRegistry::Global().Create("MC", dataset_); };
+
+  {  // Bad magic.
+    std::string bad = TempPath("ckpt_bad_magic.bin");
+    std::ifstream in(path, std::ios::binary);
+    std::string bytes((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+    bytes[0] = static_cast<char>(~bytes[0]);
+    std::ofstream out(bad, std::ios::binary);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    out.close();
+    EXPECT_FALSE(fresh()->LoadCheckpoint(bad));
+  }
+  {  // Truncated payload.
+    std::string bad = TempPath("ckpt_truncated.bin");
+    std::ifstream in(path, std::ios::binary);
+    std::string bytes((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+    ASSERT_GT(bytes.size(), 12u);
+    std::ofstream out(bad, std::ios::binary);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size() / 2));
+    out.close();
+    EXPECT_FALSE(fresh()->LoadCheckpoint(bad));
+  }
+  {  // Garbage body after a valid-looking header.
+    std::string bad = TempPath("ckpt_garbage.bin");
+    std::ifstream in(path, std::ios::binary);
+    std::string bytes((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+    for (size_t i = 14; i < bytes.size(); ++i) {
+      bytes[i] = static_cast<char>(0xFF);
+    }
+    std::ofstream out(bad, std::ios::binary);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    out.close();
+    EXPECT_FALSE(fresh()->LoadCheckpoint(bad));
+  }
+}
+
+}  // namespace
+}  // namespace tspn::eval

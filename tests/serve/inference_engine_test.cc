@@ -1,6 +1,7 @@
 // Tests of the batching inference engine: per-request answers must match
-// direct model calls, backpressure/shutdown must behave, and the whole thing
-// must hold up under concurrent submitters.
+// direct model calls, heterogeneous batches (mixed top_n and constraints)
+// must be served per-request, backpressure/shutdown must behave, and the
+// whole thing must hold up under concurrent submitters.
 
 #include "serve/inference_engine.h"
 
@@ -12,6 +13,7 @@
 #include "baselines/base.h"
 #include "core/tspn_ra.h"
 #include "data/dataset.h"
+#include "eval/constraints.h"
 
 namespace tspn::serve {
 namespace {
@@ -60,14 +62,14 @@ TEST_F(InferenceEngineTest, ServedAnswersMatchDirectRecommend) {
   auto samples = dataset_->Samples(data::Split::kTest);
   ASSERT_FALSE(samples.empty());
   InferenceEngine engine(*model_, TestOptions(2));
-  std::vector<std::future<std::vector<int64_t>>> futures;
+  std::vector<std::future<eval::RecommendResponse>> futures;
   const size_t count = std::min<size_t>(24, samples.size());
   futures.reserve(count);
   for (size_t i = 0; i < count; ++i) {
     futures.push_back(engine.Submit(samples[i], 10));
   }
   for (size_t i = 0; i < count; ++i) {
-    EXPECT_EQ(futures[i].get(), model_->Recommend(samples[i], 10))
+    EXPECT_EQ(futures[i].get().PoiIds(), model_->Recommend(samples[i], 10))
         << "request " << i;
   }
   EngineStats stats = engine.GetStats();
@@ -77,13 +79,13 @@ TEST_F(InferenceEngineTest, ServedAnswersMatchDirectRecommend) {
   EXPECT_LE(stats.max_batch_observed, 8);
 }
 
-TEST_F(InferenceEngineTest, MixedTopNRequestsAreTruncatedPerRequest) {
+TEST_F(InferenceEngineTest, MixedTopNRequestsAreServedPerRequest) {
   auto samples = dataset_->Samples(data::Split::kTest);
   InferenceEngine engine(*model_, TestOptions(1));
   auto short_future = engine.Submit(samples[0], 3);
   auto long_future = engine.Submit(samples[0], 15);
-  std::vector<int64_t> short_ranked = short_future.get();
-  std::vector<int64_t> long_ranked = long_future.get();
+  std::vector<int64_t> short_ranked = short_future.get().PoiIds();
+  std::vector<int64_t> long_ranked = long_future.get().PoiIds();
   EXPECT_EQ(short_ranked, model_->Recommend(samples[0], 3));
   EXPECT_EQ(long_ranked, model_->Recommend(samples[0], 15));
   // Deterministic tie-breaking makes the short list a prefix of the long.
@@ -91,6 +93,72 @@ TEST_F(InferenceEngineTest, MixedTopNRequestsAreTruncatedPerRequest) {
   for (size_t i = 0; i < short_ranked.size(); ++i) {
     EXPECT_EQ(short_ranked[i], long_ranked[i]);
   }
+}
+
+TEST_F(InferenceEngineTest, HeterogeneousBatchServedPerRequest) {
+  // Requests mixing top_n AND constraints coalesce into one batch; each must
+  // be answered exactly as a direct model call — the pre-v2 "serve at batch
+  // max top_n then truncate" scheme cannot express this. One worker and a
+  // generous coalesce window force genuine coalescing.
+  auto samples = dataset_->Samples(data::Split::kTest);
+  ASSERT_GE(samples.size(), 3u);
+  EngineOptions options = TestOptions(1);
+  options.coalesce_window_us = 50000;  // 50 ms: all submissions land together
+  InferenceEngine engine(*model_, options);
+
+  eval::RecommendRequest plain;
+  plain.sample = samples[0];
+  plain.top_n = 4;
+
+  eval::RecommendRequest fenced;
+  fenced.sample = samples[1];
+  fenced.top_n = 9;
+  fenced.constraints.geo_center = dataset_->profile().bbox.Center();
+  fenced.constraints.geo_radius_km = 3.0;
+
+  eval::RecommendRequest novel;
+  novel.sample = samples[2];
+  novel.top_n = 6;
+  novel.constraints.exclude_visited = true;
+
+  auto f_plain = engine.Submit(plain);
+  auto f_fenced = engine.Submit(fenced);
+  auto f_novel = engine.Submit(novel);
+
+  const eval::RecommendResponse r_plain = f_plain.get();
+  const eval::RecommendResponse r_fenced = f_fenced.get();
+  const eval::RecommendResponse r_novel = f_novel.get();
+
+  auto expect_matches_direct = [&](const eval::RecommendResponse& served,
+                                   const eval::RecommendRequest& request) {
+    const eval::RecommendResponse direct = model_->Recommend(request);
+    ASSERT_EQ(served.items.size(), direct.items.size());
+    EXPECT_LE(static_cast<int64_t>(served.items.size()), request.top_n);
+    for (size_t i = 0; i < served.items.size(); ++i) {
+      EXPECT_EQ(served.items[i].poi_id, direct.items[i].poi_id) << "rank " << i;
+      EXPECT_EQ(served.items[i].score, direct.items[i].score) << "rank " << i;
+    }
+  };
+  expect_matches_direct(r_plain, plain);
+  expect_matches_direct(r_fenced, fenced);
+  expect_matches_direct(r_novel, novel);
+
+  // Constraint predicates hold on every served item.
+  for (const eval::ScoredPoi& item : r_fenced.items) {
+    EXPECT_LE(geo::HaversineKm(dataset_->poi(item.poi_id).loc,
+                               fenced.constraints.geo_center),
+              fenced.constraints.geo_radius_km);
+  }
+  const data::Trajectory& traj = dataset_->trajectory(novel.sample);
+  for (const eval::ScoredPoi& item : r_novel.items) {
+    for (int32_t i = 0; i < novel.sample.prefix_len; ++i) {
+      EXPECT_NE(item.poi_id, traj.checkins[static_cast<size_t>(i)].poi_id);
+    }
+  }
+
+  // The three requests really were coalesced (one worker, long window).
+  EngineStats stats = engine.GetStats();
+  EXPECT_GE(stats.max_batch_observed, 2);
 }
 
 TEST_F(InferenceEngineTest, ConcurrentSubmittersStressParity) {
@@ -112,7 +180,7 @@ TEST_F(InferenceEngineTest, ConcurrentSubmittersStressParity) {
       for (int i = 0; i < kPerClient; ++i) {
         const data::SampleRef& sample =
             samples[static_cast<size_t>(c * kPerClient + i) % samples.size()];
-        std::vector<int64_t> served = engine.Submit(sample, 10).get();
+        std::vector<int64_t> served = engine.Submit(sample, 10).get().PoiIds();
         if (served != fresh.Recommend(sample, 10)) mismatches.fetch_add(1);
       }
     });
@@ -129,32 +197,78 @@ TEST_F(InferenceEngineTest, ShutdownServesQueuedThenRejects) {
   auto pending = engine->Submit(samples[0], 5);
   engine->Shutdown();
   // Queued work was served before the workers exited.
-  EXPECT_EQ(pending.get(), model_->Recommend(samples[0], 5));
+  EXPECT_EQ(pending.get().PoiIds(), model_->Recommend(samples[0], 5));
   // New submissions are refused.
   auto refused = engine->Submit(samples[0], 5);
   EXPECT_THROW(refused.get(), std::runtime_error);
-  std::future<std::vector<int64_t>> unused;
-  EXPECT_FALSE(engine->TrySubmit(samples[0], 5, &unused));
+  eval::RecommendRequest request;
+  request.sample = samples[0];
+  request.top_n = 5;
+  std::future<eval::RecommendResponse> unused;
+  EXPECT_FALSE(engine->TrySubmit(request, &unused));
   EXPECT_GE(engine->GetStats().rejected, 2);
 }
 
 TEST_F(InferenceEngineTest, DefaultSerialFallbackServesBaselines) {
-  // Models that don't override RecommendBatch are served through the default
-  // per-query loop; answers must match direct calls.
+  // Models that don't override the batched path are served through the
+  // default per-request loop; answers must match direct calls, constraints
+  // included.
   auto model = baselines::MakeBaseline("MC", dataset_, 16, 7);
   eval::TrainOptions options;
   options.epochs = 1;
   model->Train(options);
   auto samples = dataset_->Samples(data::Split::kTest);
   InferenceEngine engine(*model, TestOptions(2));
-  std::vector<std::future<std::vector<int64_t>>> futures;
+  std::vector<std::future<eval::RecommendResponse>> futures;
+  std::vector<eval::RecommendRequest> requests;
   const size_t count = std::min<size_t>(8, samples.size());
   for (size_t i = 0; i < count; ++i) {
-    futures.push_back(engine.Submit(samples[i], 10));
+    eval::RecommendRequest request;
+    request.sample = samples[i];
+    request.top_n = 10;
+    if (i % 2 == 1) request.constraints.exclude_visited = true;
+    requests.push_back(request);
+  }
+  futures.reserve(count);
+  for (const eval::RecommendRequest& request : requests) {
+    futures.push_back(engine.Submit(request));
   }
   for (size_t i = 0; i < count; ++i) {
-    EXPECT_EQ(futures[i].get(), model->Recommend(samples[i], 10));
+    EXPECT_EQ(futures[i].get().PoiIds(),
+              model->Recommend(requests[i]).PoiIds())
+        << "request " << i;
   }
+}
+
+/// A model whose inference always throws: the engine must confine the
+/// failure to the affected requests instead of killing the worker.
+class ThrowingModel : public eval::NextPoiModel {
+ public:
+  std::string name() const override { return "Throwing"; }
+  void Train(const eval::TrainOptions&) override {}
+
+ protected:
+  eval::RecommendResponse RecommendImpl(
+      const eval::RecommendRequest&) const override {
+    throw std::runtime_error("model failure");
+  }
+};
+
+TEST(InferenceEngineErrorTest, ThrowingModelFailsFuturesNotTheEngine) {
+  ThrowingModel model;
+  EngineOptions options = TestOptions(2);
+  InferenceEngine engine(model, options);
+  data::SampleRef sample;
+  sample.prefix_len = 1;
+  auto first = engine.Submit(sample, 5);
+  EXPECT_THROW(first.get(), std::runtime_error);
+  // Workers survived; later requests still get (failed) answers and stats
+  // keep accounting.
+  auto second = engine.Submit(sample, 5);
+  EXPECT_THROW(second.get(), std::runtime_error);
+  EngineStats stats = engine.GetStats();
+  EXPECT_EQ(stats.completed, 2);
+  engine.Shutdown();
 }
 
 TEST(EngineOptionsTest, EnvOverridesAreReadAndClamped) {
