@@ -1,128 +1,234 @@
-// Serving demo: build TSPN-RA through the eval::ModelRegistry, load a
-// pretrained checkpoint when one exists (training only on the first run,
-// then saving it), stand up the batching InferenceEngine, and serve
-// concurrent structured recommendation traffic — including a geo-fenced
-// constrained query answered from the same coalesced batches.
+// Serving-gateway demo: two cities served side by side from one process
+// through serve::Gateway, with wire-encoded traffic and a mid-run hot swap.
+//
+//   1. Two synthetic cities are generated and a TSPN-RA checkpoint is
+//      trained (or restored from a previous run) for each, plus a "v2"
+//      checkpoint for the first city (one extra epoch of training).
+//   2. The gateway deploys endpoint "uptown" (city A) and "harbor"
+//      (city B), each with its own InferenceEngine, via the model
+//      registry + ModelOptions key/value knobs.
+//   3. Client threads fire frame-encoded requests (serve/codec.h) at both
+//      endpoints through Gateway::ServeFrame — the wire path a socket
+//      front-end would use.
+//   4. Mid-run, "uptown" is hot-swapped onto the v2 checkpoint: in-flight
+//      requests finish on the old weights, new ones see the new model, and
+//      no future is dropped.
+//   5. The aggregate GatewayStats snapshot prints per-endpoint QPS,
+//      latency percentiles, queue depth and swap counts.
 //
 //   ./build/serving_demo
 //
 // Knobs (see README.md): TSPN_SERVE_THREADS, TSPN_SERVE_QUEUE_DEPTH,
-// TSPN_SERVE_MAX_BATCH, TSPN_SERVE_COALESCE_US; TSPN_CHECKPOINT overrides
-// the checkpoint path (default ./tspn_ra_demo.ckpt).
+// TSPN_SERVE_MAX_BATCH, TSPN_SERVE_COALESCE_US; TSPN_CHECKPOINT_DIR
+// overrides where the demo's checkpoints live (default ".").
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
-#include <future>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "common/stopwatch.h"
 #include "data/dataset.h"
 #include "eval/model_registry.h"
-#include "serve/inference_engine.h"
+#include "serve/codec.h"
+#include "serve/gateway.h"
+
+using namespace tspn;
+
+namespace {
+
+/// Restores `path` into a registry-built model, or trains one and saves it
+/// so the next run deploys without retraining. Returns false on failure.
+bool EnsureCheckpoint(const std::string& model_name,
+                      std::shared_ptr<const data::CityDataset> dataset,
+                      const eval::ModelOptions& options, int32_t epochs,
+                      const std::string& path) {
+  auto model = eval::ModelRegistry::Global().Create(model_name, dataset, options);
+  if (model == nullptr) return false;
+  if (model->LoadCheckpoint(path)) {
+    std::printf("  checkpoint '%s' already usable\n", path.c_str());
+    return true;
+  }
+  std::printf("  training %s (%d epoch%s) -> '%s'\n", model_name.c_str(),
+              epochs, epochs == 1 ? "" : "s", path.c_str());
+  eval::TrainOptions train;
+  train.epochs = epochs;
+  train.max_samples_per_epoch = 96;
+  model->Train(train);
+  model->SaveCheckpoint(path);
+  return true;
+}
+
+}  // namespace
 
 int main() {
-  using namespace tspn;
+  // 1. Two cities: a dense "uptown" grid and a second, differently seeded
+  // "harbor" city — the multi-tenant case of one process serving several
+  // spatially distinct regions.
+  data::CityProfile uptown_profile = data::CityProfile::TestTiny();
+  uptown_profile.name = "UptownSim";
+  data::CityProfile harbor_profile = data::CityProfile::TestTiny();
+  harbor_profile.name = "HarborSim";
+  harbor_profile.seed = 11;
+  harbor_profile.coastal = true;
+  auto uptown = data::CityDataset::Generate(uptown_profile);
+  auto harbor = data::CityDataset::Generate(harbor_profile);
 
-  // 1. Dataset + model from the unified registry (one name -> factory map
-  // covering TSPN-RA and every baseline).
-  auto dataset = data::CityDataset::Generate(data::CityProfile::TestTiny());
-  eval::ModelOptions model_options;
-  model_options.dm = 32;
-  std::unique_ptr<eval::NextPoiModel> model =
-      eval::ModelRegistry::Global().Create("TSPN-RA", dataset, model_options);
+  const char* dir_env = std::getenv("TSPN_CHECKPOINT_DIR");
+  const std::string dir = dir_env != nullptr ? dir_env : ".";
+  const std::string uptown_v1 = dir + "/gateway_uptown_v1.ckpt";
+  const std::string uptown_v2 = dir + "/gateway_uptown_v2.ckpt";
+  const std::string harbor_v1 = dir + "/gateway_harbor_v1.ckpt";
 
-  // 2. Restore a pretrained checkpoint if present; otherwise train once and
-  // save one, so the next run serves without retraining.
-  const char* env_path = std::getenv("TSPN_CHECKPOINT");
-  const std::string checkpoint_path =
-      env_path != nullptr ? env_path : "tspn_ra_demo.ckpt";
-  if (model->LoadCheckpoint(checkpoint_path)) {
-    std::printf("Loaded checkpoint '%s' — serving without retraining.\n",
-                checkpoint_path.c_str());
-  } else {
-    std::printf("No usable checkpoint at '%s'; training TSPN-RA...\n",
-                checkpoint_path.c_str());
-    eval::TrainOptions options;
-    options.epochs = 2;
-    options.max_samples_per_epoch = 128;
-    model->Train(options);
-    model->SaveCheckpoint(checkpoint_path);
-    std::printf("Checkpoint saved to '%s'.\n", checkpoint_path.c_str());
+  eval::ModelOptions options;
+  options.dm = 32;
+
+  std::printf("Preparing checkpoints:\n");
+  if (!EnsureCheckpoint("TSPN-RA", uptown, options, 1, uptown_v1) ||
+      !EnsureCheckpoint("TSPN-RA", uptown, options, 2, uptown_v2) ||
+      !EnsureCheckpoint("TSPN-RA", harbor, options, 1, harbor_v1)) {
+    std::printf("checkpoint preparation failed\n");
+    return 1;
   }
 
-  // 3. Engine: bounded queue, worker pool, request coalescing. Defaults come
-  // from the TSPN_SERVE_* environment knobs.
-  serve::EngineOptions engine_options = serve::EngineOptions::FromEnv();
-  serve::InferenceEngine engine(*model, engine_options);
-  std::printf("Engine up: %d worker(s), queue depth %lld, max batch %lld, "
-              "coalesce window %lld us\n",
-              engine_options.num_threads,
-              static_cast<long long>(engine_options.max_queue_depth),
-              static_cast<long long>(engine_options.max_batch),
-              static_cast<long long>(engine_options.coalesce_window_us));
+  // 2. Gateway with two named endpoints. Model knobs travel as key/value
+  // strings (unknown keys would fail the deploy loudly).
+  serve::Gateway gateway;
+  serve::DeployConfig uptown_config;
+  uptown_config.model_name = "TSPN-RA";
+  uptown_config.dataset = uptown;
+  uptown_config.checkpoint_path = uptown_v1;
+  uptown_config.model_options = options.ToKeyValues();
+  serve::DeployConfig harbor_config = uptown_config;
+  harbor_config.dataset = harbor;
+  harbor_config.checkpoint_path = harbor_v1;
 
-  // 4. Simulated traffic: several client threads submitting the test split.
-  std::vector<data::SampleRef> samples = dataset->Samples(data::Split::kTest);
+  std::string error;
+  if (!gateway.Deploy("uptown", uptown_config, &error) ||
+      !gateway.Deploy("harbor", harbor_config, &error)) {
+    std::printf("deploy failed: %s\n", error.c_str());
+    return 1;
+  }
+  std::printf("\nDeployed endpoints:");
+  for (const std::string& name : gateway.Endpoints()) {
+    std::printf(" %s", name.c_str());
+  }
+  std::printf("\n");
+
+  // 3. Wire traffic: each client encodes requests with the versioned codec
+  // and serves them through ServeFrame, exactly as a socket front-end
+  // would. The harbor clients add a geo fence to show constrained frames.
+  const std::vector<data::SampleRef> uptown_samples =
+      uptown->Samples(data::Split::kTest);
+  const std::vector<data::SampleRef> harbor_samples =
+      harbor->Samples(data::Split::kTest);
   constexpr int kClients = 4;
+  constexpr int kRounds = 3;
+  std::atomic<int64_t> answered{0};
+  std::atomic<int64_t> errored{0};
+  std::atomic<bool> swapped{false};
+
   common::Stopwatch watch;
   std::vector<std::thread> clients;
   clients.reserve(kClients);
   for (int c = 0; c < kClients; ++c) {
     clients.emplace_back([&, c] {
-      for (size_t i = static_cast<size_t>(c); i < samples.size();
-           i += kClients) {
-        engine.Submit(samples[i], 10).get();
+      const bool to_uptown = c % 2 == 0;
+      const auto& samples = to_uptown ? uptown_samples : harbor_samples;
+      const auto& dataset = to_uptown ? uptown : harbor;
+      for (int round = 0; round < kRounds; ++round) {
+        for (size_t i = static_cast<size_t>(c) / 2; i < samples.size();
+             i += kClients / 2) {
+          eval::RecommendRequest request;
+          request.sample = samples[i];
+          request.top_n = 10;
+          if (!to_uptown) {
+            request.constraints.geo_center = dataset->profile().bbox.Center();
+            request.constraints.geo_radius_km = 3.0;
+          }
+          const std::vector<uint8_t> reply = gateway.ServeFrame(
+              serve::EncodeRecommendRequest(to_uptown ? "uptown" : "harbor",
+                                            request));
+          eval::RecommendResponse response;
+          if (serve::DecodeRecommendResponse(reply, &response) ==
+              serve::DecodeStatus::kOk) {
+            answered.fetch_add(1);
+          } else {
+            errored.fetch_add(1);
+          }
+        }
       }
     });
   }
+
+  // 4. Mid-run hot swap: "uptown" moves to the v2 weights while the
+  // clients keep hammering both endpoints. In-flight requests drain on v1.
+  std::thread swapper([&] {
+    std::string swap_error;
+    if (gateway.Swap("uptown", uptown_v2, &swap_error)) {
+      swapped.store(true);
+    } else {
+      std::printf("hot swap failed: %s\n", swap_error.c_str());
+    }
+  });
+
   for (std::thread& t : clients) t.join();
+  swapper.join();
   const double seconds = watch.ElapsedSeconds();
 
-  serve::EngineStats stats = engine.GetStats();
-  std::printf("\nServed %lld requests in %.2fs (%.1f qps) across %lld "
-              "batches (mean batch %.1f, max %lld)\n",
-              static_cast<long long>(stats.completed), seconds,
-              static_cast<double>(stats.completed) / seconds,
-              static_cast<long long>(stats.batches), stats.mean_batch_size,
-              static_cast<long long>(stats.max_batch_observed));
-  std::printf("Latency: p50 %.3f ms, p95 %.3f ms\n", stats.p50_latency_ms,
-              stats.p95_latency_ms);
+  std::printf("\nServed %lld wire frames in %.2fs (%.1f qps overall), "
+              "%lld error frames, hot swap %s mid-run\n",
+              static_cast<long long>(answered.load()), seconds,
+              static_cast<double>(answered.load()) / seconds,
+              static_cast<long long>(errored.load()),
+              swapped.load() ? "completed" : "did not complete");
 
-  // 5. Two structured queries through the same engine: an unconstrained
-  // top-5 and a geo-fenced, novelty-seeking top-5 (only unvisited POIs
-  // within 3 km of the city centre), served with per-request constraints.
-  eval::RecommendRequest plain;
-  plain.sample = samples.front();
-  plain.top_n = 5;
-  eval::RecommendRequest fenced = plain;
-  fenced.constraints.geo_center = dataset->profile().bbox.Center();
-  fenced.constraints.geo_radius_km = 3.0;
-  fenced.constraints.exclude_visited = true;
-  auto plain_future = engine.Submit(plain);
-  auto fenced_future = engine.Submit(fenced);
-  eval::RecommendResponse plain_response = plain_future.get();
-  eval::RecommendResponse fenced_response = fenced_future.get();
-  int64_t actual = dataset->Target(plain.sample).poi_id;
+  // 5. Aggregate snapshot: one row per endpoint.
+  serve::GatewayStats snapshot = gateway.Snapshot();
+  std::printf("\nGateway snapshot: %lld endpoints, %lld completed, "
+              "%lld swaps\n",
+              static_cast<long long>(snapshot.endpoints),
+              static_cast<long long>(snapshot.total_completed),
+              static_cast<long long>(snapshot.total_swaps));
+  for (const serve::EndpointStats& ep : snapshot.per_endpoint) {
+    std::printf("  %-8s %-8s ckpt=%-28s qps=%7.1f p50=%6.3fms p95=%6.3fms "
+                "queue=%lld swaps=%lld\n",
+                ep.endpoint.c_str(), ep.model_name.c_str(),
+                ep.checkpoint_path.c_str(), ep.qps, ep.engine.p50_latency_ms,
+                ep.engine.p95_latency_ms,
+                static_cast<long long>(ep.queue_depth),
+                static_cast<long long>(ep.swaps));
+  }
 
-  std::printf("\nTop-5 for user %d (scores from the two-step ranker):\n",
-              plain.sample.user);
-  for (size_t r = 0; r < plain_response.items.size(); ++r) {
-    const eval::ScoredPoi& item = plain_response.items[r];
-    std::printf("  %zu. POI#%-4lld score=%+.4f tile=%lld%s\n", r + 1,
-                static_cast<long long>(item.poi_id), item.score,
-                static_cast<long long>(item.tile_index),
-                item.poi_id == actual ? "   <-- actual next visit" : "");
+  // One decoded answer per endpoint, to show the payload end to end.
+  for (const char* endpoint : {"uptown", "harbor"}) {
+    const auto& dataset = endpoint == std::string("uptown") ? uptown : harbor;
+    const auto& samples =
+        endpoint == std::string("uptown") ? uptown_samples : harbor_samples;
+    eval::RecommendRequest request;
+    request.sample = samples.front();
+    request.top_n = 5;
+    eval::RecommendResponse response;
+    if (serve::DecodeRecommendResponse(
+            gateway.ServeFrame(serve::EncodeRecommendRequest(endpoint, request)),
+            &response) != serve::DecodeStatus::kOk) {
+      continue;
+    }
+    const int64_t actual = dataset->Target(request.sample).poi_id;
+    std::printf("\nTop-5 on '%s' (user %d):\n", endpoint, request.sample.user);
+    for (size_t r = 0; r < response.items.size(); ++r) {
+      const eval::ScoredPoi& item = response.items[r];
+      std::printf("  %zu. POI#%-4lld score=%+.4f tile=%lld%s\n", r + 1,
+                  static_cast<long long>(item.poi_id), item.score,
+                  static_cast<long long>(item.tile_index),
+                  item.poi_id == actual ? "   <-- actual next visit" : "");
+    }
   }
-  std::printf("Geo-fenced novelty top-5 (3 km around the centre, unvisited "
-              "only; screen widened to %lld tiles):\n",
-              static_cast<long long>(fenced_response.tiles_screened));
-  for (size_t r = 0; r < fenced_response.items.size(); ++r) {
-    const eval::ScoredPoi& item = fenced_response.items[r];
-    std::printf("  %zu. POI#%-4lld score=%+.4f  %.2f km from centre\n", r + 1,
-                static_cast<long long>(item.poi_id), item.score,
-                geo::HaversineKm(dataset->poi(item.poi_id).loc,
-                                 fenced.constraints.geo_center));
-  }
-  return 0;
+
+  // Clean teardown: undeploy drains both endpoints.
+  gateway.Undeploy("uptown");
+  gateway.Undeploy("harbor");
+  return errored.load() == 0 && swapped.load() ? 0 : 1;
 }

@@ -1,8 +1,13 @@
 #ifndef TSPN_COMMON_BINARY_IO_H_
 #define TSPN_COMMON_BINARY_IO_H_
 
+#include <cstdint>
+#include <cstring>
 #include <istream>
 #include <ostream>
+#include <string>
+#include <type_traits>
+#include <vector>
 
 namespace tspn::common {
 
@@ -20,6 +25,83 @@ bool ReadPod(std::istream& in, T* value) {
   in.read(reinterpret_cast<char*>(value), sizeof(*value));
   return in.good();
 }
+
+/// Append-only in-memory byte sink for building wire frames (serve::codec).
+/// Same POD convention as WritePod, but over a growable byte vector instead
+/// of a stream, so an encoded frame is one contiguous buffer.
+class ByteWriter {
+ public:
+  template <typename T>
+  void Pod(const T& value) {
+    static_assert(std::is_trivially_copyable<T>::value,
+                  "ByteWriter only serializes trivially copyable types");
+    const auto* p = reinterpret_cast<const uint8_t*>(&value);
+    bytes_.insert(bytes_.end(), p, p + sizeof(value));
+  }
+
+  void Raw(const void* data, size_t size) {
+    const auto* p = static_cast<const uint8_t*>(data);
+    bytes_.insert(bytes_.end(), p, p + size);
+  }
+
+  /// Length-prefixed string (uint32 count + raw bytes).
+  void String(const std::string& s) {
+    Pod(static_cast<uint32_t>(s.size()));
+    Raw(s.data(), s.size());
+  }
+
+  size_t size() const { return bytes_.size(); }
+  const std::vector<uint8_t>& bytes() const { return bytes_; }
+  std::vector<uint8_t> Take() { return std::move(bytes_); }
+
+  /// Overwrites sizeof(T) bytes at `offset` — used to back-patch a frame's
+  /// payload-length field after the payload is written.
+  template <typename T>
+  void PatchPod(size_t offset, const T& value) {
+    std::memcpy(bytes_.data() + offset, &value, sizeof(value));
+  }
+
+ private:
+  std::vector<uint8_t> bytes_;
+};
+
+/// Bounds-checked reader over a received byte buffer. Every accessor
+/// returns false instead of reading past the end, and `Remaining()` lets
+/// strict decoders reject trailing garbage.
+class ByteReader {
+ public:
+  ByteReader(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+  explicit ByteReader(const std::vector<uint8_t>& bytes)
+      : ByteReader(bytes.data(), bytes.size()) {}
+
+  template <typename T>
+  bool Pod(T* value) {
+    static_assert(std::is_trivially_copyable<T>::value,
+                  "ByteReader only deserializes trivially copyable types");
+    if (size_ - pos_ < sizeof(*value)) return false;
+    std::memcpy(value, data_ + pos_, sizeof(*value));
+    pos_ += sizeof(*value);
+    return true;
+  }
+
+  /// Reads a uint32-length-prefixed string; `max_len` guards against
+  /// corrupt lengths allocating gigabytes.
+  bool String(std::string* out, uint32_t max_len = 4096) {
+    uint32_t len = 0;
+    if (!Pod(&len) || len > max_len || size_ - pos_ < len) return false;
+    out->assign(reinterpret_cast<const char*>(data_ + pos_), len);
+    pos_ += len;
+    return true;
+  }
+
+  size_t Remaining() const { return size_ - pos_; }
+  size_t position() const { return pos_; }
+
+ private:
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
 
 }  // namespace tspn::common
 

@@ -1,11 +1,30 @@
 #include "eval/constraints.h"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
+#include <cstring>
+#include <deque>
+#include <map>
+#include <mutex>
 
 #include "common/check.h"
+#include "common/env.h"
+#include "spatial/grid_index.h"
 
 namespace tspn::eval {
+
+/// See constraints.h: one fence circle compiled against the prefilter grid.
+struct FenceClassification {
+  /// Classification of one prefilter grid cell.
+  enum CellState : uint8_t { kOutside = 0, kBoundary = 1, kInside = 2 };
+
+  explicit FenceClassification(const geo::BoundingBox& region, int32_t cells)
+      : grid(region, cells) {}
+
+  spatial::GridIndex grid;
+  std::vector<uint8_t> cell_state;
+};
 
 namespace {
 
@@ -18,7 +37,133 @@ constexpr int32_t kFenceGridCells = 32;
 /// Degrees of latitude per kilometre (and of longitude at the equator).
 constexpr double kDegPerKm = 1.0 / 111.19;
 
+/// Compiles one fence circle: classify every grid cell the fence's bounding
+/// box can reach as outside/boundary/inside the circle.
+std::shared_ptr<const FenceClassification> CompileFence(
+    const geo::BoundingBox& region, const geo::GeoPoint& center,
+    double radius_km) {
+  auto fence = std::make_shared<FenceClassification>(region, kFenceGridCells);
+  fence->cell_state.assign(static_cast<size_t>(fence->grid.NumTiles()),
+                           FenceClassification::kOutside);
+  // Classify only the cells the fence's bounding box can reach; everything
+  // else stays kOutside.
+  // 10% slack on the box so spherical-vs-planar drift can never leave a
+  // fence-reaching cell unclassified (unvisited cells read as kOutside).
+  const double dlat = 1.1 * radius_km * kDegPerKm;
+  const double dlon = 1.1 * radius_km * kDegPerKm /
+                      std::max(0.1, std::cos(center.lat * M_PI / 180.0));
+  geo::BoundingBox fence_box{center.lat - dlat, center.lon - dlon,
+                             center.lat + dlat, center.lon + dlon};
+  int32_t row0, row1, col0, col1;
+  if (fence->grid.TileSpan(fence_box, &row0, &row1, &col0, &col1)) {
+    for (int32_t row = row0; row <= row1; ++row) {
+      for (int32_t col = col0; col <= col1; ++col) {
+        const int64_t cell = static_cast<int64_t>(row) * kFenceGridCells + col;
+        const geo::BoundingBox bounds = fence->grid.TileBounds(cell);
+        if (geo::MinDistanceKm(bounds, center) > radius_km) {
+          continue;  // stays kOutside
+        }
+        fence->cell_state[static_cast<size_t>(cell)] =
+            geo::MaxCornerDistanceKm(bounds, center) <= radius_km
+                ? FenceClassification::kInside
+                : FenceClassification::kBoundary;
+      }
+    }
+  }
+  return fence;
+}
+
+/// Process-wide classification cache. The classification is a pure function
+/// of (region, center, radius) — nothing dataset-lifetime-bound is stored —
+/// so the key is the exact bit patterns of those seven doubles: any change
+/// of fence or region recompiles, identical recurring fences share one
+/// immutable compiled entry. Bounded FIFO so a scan over many distinct
+/// fences cannot grow it without bound.
+class FenceCache {
+ public:
+  static constexpr size_t kMaxEntries = 128;
+  using Key = std::array<uint64_t, 7>;
+
+  static Key MakeKey(const geo::BoundingBox& region, const geo::GeoPoint& center,
+                     double radius_km) {
+    const double values[7] = {region.min_lat, region.min_lon, region.max_lat,
+                              region.max_lon, center.lat,     center.lon,
+                              radius_km};
+    Key key;
+    std::memcpy(key.data(), values, sizeof(values));
+    return key;
+  }
+
+  std::shared_ptr<const FenceClassification> Get(const geo::BoundingBox& region,
+                                                 const geo::GeoPoint& center,
+                                                 double radius_km) {
+    const Key key = MakeKey(region, center, radius_km);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      auto it = entries_.find(key);
+      if (it != entries_.end()) {
+        ++hits_;
+        return it->second;
+      }
+    }
+    // Compile outside the lock: concurrent first-seen fences build in
+    // parallel. On a racing duplicate, emplace keeps the first-inserted
+    // entry and this thread's identical compilation is discarded — Get
+    // never replaces an existing entry, so changing the compile logic
+    // requires a Clear(), not a re-Get.
+    std::shared_ptr<const FenceClassification> fence =
+        CompileFence(region, center, radius_km);
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++misses_;
+    auto [it, inserted] = entries_.emplace(key, fence);
+    if (inserted) {
+      order_.push_back(key);
+      if (order_.size() > kMaxEntries) {
+        entries_.erase(order_.front());
+        order_.pop_front();
+      }
+    }
+    return it->second;
+  }
+
+  void CountMiss() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++misses_;
+  }
+
+  FenceCacheStats Stats() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return {hits_, misses_};
+  }
+
+  void Clear() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    entries_.clear();
+    order_.clear();
+    hits_ = 0;
+    misses_ = 0;
+  }
+
+  static FenceCache& Global() {
+    static FenceCache* cache = new FenceCache();
+    return *cache;
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<Key, std::shared_ptr<const FenceClassification>> entries_;
+  std::deque<Key> order_;
+  int64_t hits_ = 0;
+  int64_t misses_ = 0;
+};
+
 }  // namespace
+
+FenceCacheStats FenceClassificationCacheStats() {
+  return FenceCache::Global().Stats();
+}
+
+void ClearFenceClassificationCache() { FenceCache::Global().Clear(); }
 
 ConstraintEvaluator::ConstraintEvaluator(const data::CityDataset& dataset,
                                          const CandidateConstraints& constraints,
@@ -65,39 +210,14 @@ ConstraintEvaluator::ConstraintEvaluator(const data::CityDataset& dataset,
   }
 
   if (constraints.geo_radius_km > 0.0) {
-    fence_grid_ = std::make_unique<spatial::GridIndex>(dataset.profile().bbox,
-                                                       kFenceGridCells);
-    cell_state_.assign(static_cast<size_t>(fence_grid_->NumTiles()), kOutside);
-    // Classify only the cells the fence's bounding box can reach; everything
-    // else stays kOutside.
-    // 10% slack on the box so spherical-vs-planar drift can never leave a
-    // fence-reaching cell unclassified (unvisited cells read as kOutside).
-    const double dlat = 1.1 * constraints.geo_radius_km * kDegPerKm;
-    const double dlon =
-        1.1 * constraints.geo_radius_km * kDegPerKm /
-        std::max(0.1, std::cos(constraints.geo_center.lat * M_PI / 180.0));
-    geo::BoundingBox fence_box{constraints.geo_center.lat - dlat,
-                               constraints.geo_center.lon - dlon,
-                               constraints.geo_center.lat + dlat,
-                               constraints.geo_center.lon + dlon};
-    int32_t row0, row1, col0, col1;
-    if (fence_grid_->TileSpan(fence_box, &row0, &row1, &col0, &col1)) {
-      for (int32_t row = row0; row <= row1; ++row) {
-        for (int32_t col = col0; col <= col1; ++col) {
-          const int64_t cell =
-              static_cast<int64_t>(row) * kFenceGridCells + col;
-          const geo::BoundingBox bounds = fence_grid_->TileBounds(cell);
-          if (geo::MinDistanceKm(bounds, constraints.geo_center) >
-              constraints.geo_radius_km) {
-            continue;  // stays kOutside
-          }
-          cell_state_[static_cast<size_t>(cell)] =
-              geo::MaxCornerDistanceKm(bounds, constraints.geo_center) <=
-                      constraints.geo_radius_km
-                  ? kInside
-                  : kBoundary;
-        }
-      }
+    if (common::EnvInt("TSPN_DISABLE_FENCE_CACHE", 0) != 0) {
+      fence_ = CompileFence(dataset.profile().bbox, constraints.geo_center,
+                            constraints.geo_radius_km);
+      FenceCache::Global().CountMiss();
+    } else {
+      fence_ = FenceCache::Global().Get(dataset.profile().bbox,
+                                        constraints.geo_center,
+                                        constraints.geo_radius_km);
     }
   }
 }
@@ -110,13 +230,14 @@ bool ConstraintEvaluator::Allows(int64_t poi_id) const {
     if (cat >= category_allowed_.size() || !category_allowed_[cat]) return false;
   }
   if (!visited_.empty() && visited_.count(poi_id) > 0) return false;
-  if (fence_grid_ != nullptr) {
-    switch (cell_state_[static_cast<size_t>(fence_grid_->TileOf(poi.loc))]) {
-      case kOutside:
+  if (fence_ != nullptr) {
+    switch (
+        fence_->cell_state[static_cast<size_t>(fence_->grid.TileOf(poi.loc))]) {
+      case FenceClassification::kOutside:
         return false;
-      case kInside:
+      case FenceClassification::kInside:
         break;
-      case kBoundary:
+      case FenceClassification::kBoundary:
         if (geo::HaversineKm(poi.loc, constraints_.geo_center) >
             constraints_.geo_radius_km) {
           return false;
@@ -129,7 +250,7 @@ bool ConstraintEvaluator::Allows(int64_t poi_id) const {
 
 bool ConstraintEvaluator::BoundsMayIntersectFence(
     const geo::BoundingBox& bounds) const {
-  if (fence_grid_ == nullptr) return true;
+  if (fence_ == nullptr) return true;
   return geo::MinDistanceKm(bounds, constraints_.geo_center) <=
          constraints_.geo_radius_km;
 }

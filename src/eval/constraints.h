@@ -8,9 +8,14 @@
 
 #include "data/dataset.h"
 #include "eval/recommend.h"
-#include "spatial/grid_index.h"
 
 namespace tspn::eval {
+
+/// A compiled geo-fence: every cell of a fixed grid over the dataset
+/// region classified against the fence circle (outside/boundary/inside).
+/// Immutable once built, so recurring fences are shared across evaluators
+/// through the process-wide classification cache below.
+struct FenceClassification;
 
 /// Binds a request's CandidateConstraints to the dataset and sample so
 /// models can test candidates with one Allows() call. Construction is
@@ -18,6 +23,13 @@ namespace tspn::eval {
 /// observed prefix becomes a visited set, and the geo fence is compiled
 /// into a coarse spatial::GridIndex cell classification (outside /
 /// boundary / inside) so most POIs resolve without a distance computation.
+///
+/// Fence compilation is cached per (dataset region, center, radius): a
+/// recurring fence — e.g. one fixed city-center fence across millions of
+/// queries — classifies its grid once and every later evaluator reuses the
+/// shared immutable classification (see FenceClassificationCacheStats).
+/// TSPN_DISABLE_FENCE_CACHE=1 restores per-request compilation (A/B +
+/// parity testing).
 ///
 /// The referenced dataset and constraints must outlive the evaluator.
 class ConstraintEvaluator {
@@ -38,9 +50,6 @@ class ConstraintEvaluator {
   bool BoundsMayIntersectFence(const geo::BoundingBox& bounds) const;
 
  private:
-  /// Fence classification of one prefilter grid cell.
-  enum CellState : uint8_t { kOutside = 0, kBoundary = 1, kInside = 2 };
-
   const data::CityDataset& dataset_;
   const CandidateConstraints& constraints_;
   bool active_ = false;
@@ -51,12 +60,22 @@ class ConstraintEvaluator {
   std::vector<char> category_allowed_;
   std::unordered_set<int64_t> visited_;
 
-  /// Geo-fence prefilter (only when the fence is active): every cell of a
-  /// fixed grid over the dataset region is classified against the fence
-  /// circle once; Allows() then needs a haversine only for boundary cells.
-  std::unique_ptr<spatial::GridIndex> fence_grid_;
-  std::vector<uint8_t> cell_state_;
+  /// Geo-fence prefilter (only when the fence is active): the shared
+  /// immutable cell classification, from the cache or freshly compiled;
+  /// Allows() then needs a haversine only for boundary cells.
+  std::shared_ptr<const FenceClassification> fence_;
 };
+
+/// Hit/miss counters of the process-wide fence-classification cache.
+struct FenceCacheStats {
+  int64_t hits = 0;
+  int64_t misses = 0;  ///< compilations (cache disabled counts here too)
+};
+
+FenceCacheStats FenceClassificationCacheStats();
+
+/// Drops every cached classification and zeroes the counters (tests).
+void ClearFenceClassificationCache();
 
 /// Evaluator bound to a request's constraints, or null when none are
 /// active — the one idiom every model uses to go from request to filter.

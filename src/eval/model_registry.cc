@@ -6,6 +6,9 @@
 
 #include "eval/model_registry.h"
 
+#include <cerrno>
+#include <cstdlib>
+#include <limits>
 #include <utility>
 
 #include "baselines/deepmove.h"
@@ -58,7 +61,93 @@ void RegisterBuiltins(ModelRegistry& registry) {
   registry.Register("STiSAN", EmbeddingBaseline<baselines::Stisan>());
 }
 
+/// Strict base-10 integer parse: the whole string must be consumed.
+bool ParseInt64(const std::string& value, int64_t* out) {
+  if (value.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  const long long parsed = std::strtoll(value.c_str(), &end, 10);
+  if (errno != 0 || end != value.c_str() + value.size()) return false;
+  *out = parsed;
+  return true;
+}
+
+/// Unsigned variant for the seed knob: ToKeyValues emits the full uint64
+/// range, so FromKeyValues must accept it (round-trip contract).
+bool ParseUint64(const std::string& value, uint64_t* out) {
+  if (value.empty() || value[0] == '-') return false;
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(value.c_str(), &end, 10);
+  if (errno != 0 || end != value.c_str() + value.size()) return false;
+  *out = parsed;
+  return true;
+}
+
 }  // namespace
+
+bool ModelOptions::Set(const std::string& key, const std::string& value,
+                       std::string* error) {
+  if (key == "seed") {
+    // Seed spans the full uint64 range ToKeyValues can emit.
+    uint64_t parsed = 0;
+    if (!ParseUint64(value, &parsed)) {
+      if (error != nullptr) {
+        *error = "model option 'seed' has non-integer or negative value '" +
+                 value + "'";
+      }
+      return false;
+    }
+    seed = parsed;
+    return true;
+  }
+  if (key == "dm" || key == "image_resolution") {
+    int64_t parsed = 0;
+    if (!ParseInt64(value, &parsed) || parsed < 0) {
+      if (error != nullptr) {
+        *error = "model option '" + key + "' has non-integer or negative value '" +
+                 value + "'";
+      }
+      return false;
+    }
+    if (key == "image_resolution" &&
+        parsed > std::numeric_limits<int32_t>::max()) {
+      // Rejected, not truncated: a silent int32 wrap would deploy a model
+      // with a corrupt knob.
+      if (error != nullptr) {
+        *error = "model option 'image_resolution' value '" + value +
+                 "' is out of range";
+      }
+      return false;
+    }
+    if (key == "dm") {
+      dm = parsed;
+    } else {
+      image_resolution = static_cast<int32_t>(parsed);
+    }
+    return true;
+  }
+  if (error != nullptr) {
+    *error = "unknown model option '" + key + "' (known: dm, seed, image_resolution)";
+  }
+  return false;
+}
+
+bool ModelOptions::FromKeyValues(const std::map<std::string, std::string>& kv,
+                                 ModelOptions* out, std::string* error) {
+  ModelOptions options;
+  for (const auto& [key, value] : kv) {
+    if (!options.Set(key, value, error)) return false;
+  }
+  *out = options;
+  return true;
+}
+
+std::map<std::string, std::string> ModelOptions::ToKeyValues() const {
+  return {{"dm", std::to_string(dm)},
+          {"seed", std::to_string(seed)},
+          {"image_resolution", std::to_string(image_resolution)}};
+}
 
 ModelRegistry& ModelRegistry::Global() {
   static ModelRegistry* registry = [] {

@@ -15,10 +15,28 @@ namespace tspn::eval {
 /// Construction knobs shared by every registered model factory. Factories
 /// ignore what does not apply to them (MC has no embeddings, so `dm` is
 /// unused there).
+///
+/// Besides the typed fields, options travel as string key/value pairs
+/// through config-shaped surfaces (serve::DeployConfig, future RPC/file
+/// configs): FromKeyValues parses the knobs by name and *rejects unknown
+/// keys loudly* — a typoed knob must fail the deploy, not silently fall
+/// back to a default — and ToKeyValues round-trips every field.
 struct ModelOptions {
   int64_t dm = 32;                 ///< embedding dimension
   uint64_t seed = 7;               ///< weight-init seed
   int32_t image_resolution = 16;   ///< TSPN-RA tile imagery side
+
+  /// Applies one named knob ("dm", "seed", "image_resolution"). Returns
+  /// false — with *error naming the offending key/value — on an unknown
+  /// key, an unparsable integer, or an out-of-range value.
+  bool Set(const std::string& key, const std::string& value, std::string* error);
+
+  /// Defaults overridden by `kv`; false (with *error) on any bad entry.
+  static bool FromKeyValues(const std::map<std::string, std::string>& kv,
+                            ModelOptions* out, std::string* error);
+
+  /// Every knob as strings; FromKeyValues(ToKeyValues()) reproduces *this.
+  std::map<std::string, std::string> ToKeyValues() const;
 };
 
 /// Unified model lifecycle: one name -> factory registry over NextPoiModel

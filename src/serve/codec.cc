@@ -1,0 +1,239 @@
+#include "serve/codec.h"
+
+#include "common/binary_io.h"
+
+namespace tspn::serve {
+
+namespace {
+
+/// Sanity caps on variable-length payload fields, so a corrupt count can
+/// never turn into a multi-gigabyte allocation. (The endpoint-name cap is
+/// kMaxEndpointNameLen in the header — Gateway::Deploy enforces it too.)
+constexpr uint32_t kMaxCategories = 1u << 20;
+constexpr uint32_t kMaxItems = 1u << 20;
+constexpr uint32_t kMaxErrorLen = 4096;
+
+/// Starts a frame, returning the offset of the payload-length field so
+/// FinishFrame can back-patch it once the payload size is known.
+size_t BeginFrame(common::ByteWriter& w, FrameType type) {
+  w.Pod(kWireMagic);
+  w.Pod(kWireVersion);
+  w.Pod(static_cast<uint8_t>(type));
+  const size_t length_offset = w.size();
+  w.Pod(static_cast<uint32_t>(0));  // patched by FinishFrame
+  return length_offset;
+}
+
+void FinishFrame(common::ByteWriter& w, size_t length_offset) {
+  w.PatchPod(length_offset,
+             static_cast<uint32_t>(w.size() - length_offset - sizeof(uint32_t)));
+}
+
+/// Validates the frame header against `want` and leaves `reader` positioned
+/// at the payload. On kOk the payload occupies exactly the rest of the
+/// buffer (trailing bytes after the declared payload are rejected here;
+/// under-consumption within the payload is caught by the callers).
+DecodeStatus OpenFrame(common::ByteReader& reader, FrameType want) {
+  uint32_t magic = 0;
+  if (!reader.Pod(&magic)) return DecodeStatus::kTruncated;
+  if (magic != kWireMagic) return DecodeStatus::kBadMagic;
+  uint32_t version = 0;
+  if (!reader.Pod(&version)) return DecodeStatus::kTruncated;
+  if (version > kWireVersion) return DecodeStatus::kFutureVersion;
+  if (version < 1) return DecodeStatus::kMalformedPayload;
+  uint8_t type = 0;
+  if (!reader.Pod(&type)) return DecodeStatus::kTruncated;
+  uint32_t payload_len = 0;
+  if (!reader.Pod(&payload_len)) return DecodeStatus::kTruncated;
+  if (reader.Remaining() < payload_len) return DecodeStatus::kTruncated;
+  if (reader.Remaining() > payload_len) return DecodeStatus::kTrailingGarbage;
+  if (type != static_cast<uint8_t>(FrameType::kRequest) &&
+      type != static_cast<uint8_t>(FrameType::kResponse) &&
+      type != static_cast<uint8_t>(FrameType::kError)) {
+    return DecodeStatus::kMalformedPayload;
+  }
+  if (type != static_cast<uint8_t>(want)) return DecodeStatus::kWrongFrameType;
+  return DecodeStatus::kOk;
+}
+
+bool ReadCategoryList(common::ByteReader& reader, std::vector<int32_t>* out) {
+  uint32_t count = 0;
+  if (!reader.Pod(&count) || count > kMaxCategories) return false;
+  // A corrupt count must fail before it allocates: the payload cannot hold
+  // more entries than it has bytes left.
+  if (static_cast<size_t>(count) * sizeof(int32_t) > reader.Remaining()) {
+    return false;
+  }
+  out->resize(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    if (!reader.Pod(&(*out)[i])) return false;
+  }
+  return true;
+}
+
+void WriteCategoryList(common::ByteWriter& w, const std::vector<int32_t>& list) {
+  w.Pod(static_cast<uint32_t>(list.size()));
+  for (int32_t cat : list) w.Pod(cat);
+}
+
+}  // namespace
+
+const char* DecodeStatusName(DecodeStatus status) {
+  switch (status) {
+    case DecodeStatus::kOk: return "kOk";
+    case DecodeStatus::kTruncated: return "kTruncated";
+    case DecodeStatus::kBadMagic: return "kBadMagic";
+    case DecodeStatus::kFutureVersion: return "kFutureVersion";
+    case DecodeStatus::kWrongFrameType: return "kWrongFrameType";
+    case DecodeStatus::kMalformedPayload: return "kMalformedPayload";
+    case DecodeStatus::kTrailingGarbage: return "kTrailingGarbage";
+  }
+  return "kUnknown";
+}
+
+DecodeStatus PeekFrameType(const std::vector<uint8_t>& frame, FrameType* type) {
+  // OpenFrame with each type in turn: the first non-kWrongFrameType result
+  // is the header's verdict; kWrongFrameType against kRequest means the
+  // header is valid but of another type, so retry identifies it.
+  for (FrameType candidate :
+       {FrameType::kRequest, FrameType::kResponse, FrameType::kError}) {
+    common::ByteReader r(frame);
+    const DecodeStatus status = OpenFrame(r, candidate);
+    if (status == DecodeStatus::kOk) {
+      *type = candidate;
+      return DecodeStatus::kOk;
+    }
+    if (status != DecodeStatus::kWrongFrameType) return status;
+  }
+  return DecodeStatus::kMalformedPayload;
+}
+
+std::vector<uint8_t> EncodeRecommendRequest(const std::string& endpoint,
+                                            const eval::RecommendRequest& request) {
+  common::ByteWriter w;
+  const size_t length_offset = BeginFrame(w, FrameType::kRequest);
+  w.String(endpoint);
+  w.Pod(request.sample.user);
+  w.Pod(request.sample.traj);
+  w.Pod(request.sample.prefix_len);
+  w.Pod(request.top_n);
+  const eval::CandidateConstraints& c = request.constraints;
+  w.Pod(c.geo_center.lat);
+  w.Pod(c.geo_center.lon);
+  w.Pod(c.geo_radius_km);
+  WriteCategoryList(w, c.allowed_categories);
+  WriteCategoryList(w, c.blocked_categories);
+  w.Pod(static_cast<uint8_t>(c.exclude_visited ? 1 : 0));
+  w.Pod(c.open_at);
+  w.Pod(c.min_open_weight);
+  FinishFrame(w, length_offset);
+  return w.Take();
+}
+
+DecodeStatus DecodeRecommendRequest(const std::vector<uint8_t>& frame,
+                                    std::string* endpoint,
+                                    eval::RecommendRequest* request) {
+  common::ByteReader reader(frame);
+  const DecodeStatus header = OpenFrame(reader, FrameType::kRequest);
+  if (header != DecodeStatus::kOk) return header;
+
+  std::string name;
+  eval::RecommendRequest decoded;
+  if (!reader.String(&name, kMaxEndpointNameLen)) {
+    return DecodeStatus::kMalformedPayload;
+  }
+  eval::CandidateConstraints& c = decoded.constraints;
+  uint8_t exclude_visited = 0;
+  const bool ok = reader.Pod(&decoded.sample.user) &&
+                  reader.Pod(&decoded.sample.traj) &&
+                  reader.Pod(&decoded.sample.prefix_len) &&
+                  reader.Pod(&decoded.top_n) && reader.Pod(&c.geo_center.lat) &&
+                  reader.Pod(&c.geo_center.lon) && reader.Pod(&c.geo_radius_km) &&
+                  ReadCategoryList(reader, &c.allowed_categories) &&
+                  ReadCategoryList(reader, &c.blocked_categories) &&
+                  reader.Pod(&exclude_visited) && reader.Pod(&c.open_at) &&
+                  reader.Pod(&c.min_open_weight);
+  if (!ok) return DecodeStatus::kMalformedPayload;
+  if (exclude_visited > 1) return DecodeStatus::kMalformedPayload;
+  c.exclude_visited = exclude_visited == 1;
+  if (reader.Remaining() != 0) return DecodeStatus::kTrailingGarbage;
+
+  *endpoint = std::move(name);
+  *request = std::move(decoded);
+  return DecodeStatus::kOk;
+}
+
+std::vector<uint8_t> EncodeRecommendResponse(const eval::RecommendResponse& response) {
+  common::ByteWriter w;
+  const size_t length_offset = BeginFrame(w, FrameType::kResponse);
+  w.Pod(static_cast<uint32_t>(response.items.size()));
+  for (const eval::ScoredPoi& item : response.items) {
+    w.Pod(item.poi_id);
+    w.Pod(item.score);
+    w.Pod(item.tile_index);
+  }
+  w.Pod(response.stages_used);
+  w.Pod(response.tiles_screened);
+  FinishFrame(w, length_offset);
+  return w.Take();
+}
+
+DecodeStatus DecodeRecommendResponse(const std::vector<uint8_t>& frame,
+                                     eval::RecommendResponse* response) {
+  common::ByteReader reader(frame);
+  const DecodeStatus header = OpenFrame(reader, FrameType::kResponse);
+  if (header != DecodeStatus::kOk) return header;
+
+  eval::RecommendResponse decoded;
+  uint32_t count = 0;
+  if (!reader.Pod(&count) || count > kMaxItems) {
+    return DecodeStatus::kMalformedPayload;
+  }
+  // Bytes-remaining check before the allocation, so a corrupt count in a
+  // tiny frame cannot trigger a multi-megabyte resize.
+  constexpr size_t kItemBytes =
+      sizeof(int64_t) + sizeof(float) + sizeof(int64_t);
+  if (static_cast<size_t>(count) * kItemBytes > reader.Remaining()) {
+    return DecodeStatus::kMalformedPayload;
+  }
+  decoded.items.resize(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    eval::ScoredPoi& item = decoded.items[i];
+    if (!reader.Pod(&item.poi_id) || !reader.Pod(&item.score) ||
+        !reader.Pod(&item.tile_index)) {
+      return DecodeStatus::kMalformedPayload;
+    }
+  }
+  if (!reader.Pod(&decoded.stages_used) || !reader.Pod(&decoded.tiles_screened)) {
+    return DecodeStatus::kMalformedPayload;
+  }
+  if (reader.Remaining() != 0) return DecodeStatus::kTrailingGarbage;
+
+  *response = std::move(decoded);
+  return DecodeStatus::kOk;
+}
+
+std::vector<uint8_t> EncodeErrorFrame(const std::string& message) {
+  common::ByteWriter w;
+  const size_t length_offset = BeginFrame(w, FrameType::kError);
+  w.String(message.size() > kMaxErrorLen ? message.substr(0, kMaxErrorLen)
+                                         : message);
+  FinishFrame(w, length_offset);
+  return w.Take();
+}
+
+DecodeStatus DecodeErrorFrame(const std::vector<uint8_t>& frame,
+                              std::string* message) {
+  common::ByteReader reader(frame);
+  const DecodeStatus header = OpenFrame(reader, FrameType::kError);
+  if (header != DecodeStatus::kOk) return header;
+  std::string decoded;
+  if (!reader.String(&decoded, kMaxErrorLen)) {
+    return DecodeStatus::kMalformedPayload;
+  }
+  if (reader.Remaining() != 0) return DecodeStatus::kTrailingGarbage;
+  *message = std::move(decoded);
+  return DecodeStatus::kOk;
+}
+
+}  // namespace tspn::serve

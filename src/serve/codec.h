@@ -1,0 +1,90 @@
+#ifndef TSPN_SERVE_CODEC_H_
+#define TSPN_SERVE_CODEC_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "eval/recommend.h"
+
+namespace tspn::serve {
+
+/// Versioned binary wire protocol for recommendation traffic — the seam a
+/// socket front-end will plug into. Every frame is
+///
+///   uint32  magic          "TSWP" (0x50575354)
+///   uint32  wire version   kWireVersion
+///   uint8   frame type     FrameType
+///   uint32  payload bytes  (exactly what follows; nothing may trail it)
+///   ...     payload        POD fields via common::ByteWriter/ByteReader
+///
+/// Decoders are strict: truncated buffers, wrong magic, versions newer than
+/// this build, unknown frame types, payload-length mismatches and trailing
+/// garbage are all rejected with a specific DecodeStatus instead of a crash
+/// or a partially filled struct (outputs are untouched on failure).
+inline constexpr uint32_t kWireMagic = 0x50575354;  // "TSWP"
+inline constexpr uint32_t kWireVersion = 1;
+
+/// Longest endpoint name a request frame may carry. Gateway::Deploy
+/// enforces the same cap, so every deployable endpoint is addressable over
+/// the wire.
+inline constexpr uint32_t kMaxEndpointNameLen = 256;
+
+enum class FrameType : uint8_t {
+  kRequest = 1,   ///< endpoint name + eval::RecommendRequest
+  kResponse = 2,  ///< eval::RecommendResponse
+  kError = 3,     ///< human-readable error message
+};
+
+enum class DecodeStatus : uint8_t {
+  kOk = 0,
+  kTruncated,        ///< buffer ends before the header or payload does
+  kBadMagic,         ///< first word is not kWireMagic
+  kFutureVersion,    ///< frame written by a newer wire version
+  kWrongFrameType,   ///< well-formed frame of a different FrameType
+  kMalformedPayload, ///< payload fields inconsistent or over their limits
+  kTrailingGarbage,  ///< bytes remain after the declared payload
+};
+
+/// Human-readable status name ("kOk", "kTruncated", ...), for logs/errors.
+const char* DecodeStatusName(DecodeStatus status);
+
+/// Peeks at a well-formed frame's type without decoding the payload.
+/// Returns kOk and sets *type when the header is valid and the payload
+/// length matches the buffer.
+DecodeStatus PeekFrameType(const std::vector<uint8_t>& frame, FrameType* type);
+
+// --- Request frames ----------------------------------------------------------
+
+/// Encodes `request` addressed to the named gateway endpoint. The name must
+/// respect kMaxEndpointNameLen — the encoder does not truncate, so a longer
+/// name produces a frame the strict decoder rejects (Gateway::Deploy
+/// enforces the same cap, so no deployable endpoint can hit this).
+std::vector<uint8_t> EncodeRecommendRequest(const std::string& endpoint,
+                                            const eval::RecommendRequest& request);
+
+/// Strict inverse of EncodeRecommendRequest. On kOk, *endpoint and *request
+/// hold exactly what was encoded (bit-identical constraints included).
+DecodeStatus DecodeRecommendRequest(const std::vector<uint8_t>& frame,
+                                    std::string* endpoint,
+                                    eval::RecommendRequest* request);
+
+// --- Response frames ---------------------------------------------------------
+
+std::vector<uint8_t> EncodeRecommendResponse(const eval::RecommendResponse& response);
+
+DecodeStatus DecodeRecommendResponse(const std::vector<uint8_t>& frame,
+                                     eval::RecommendResponse* response);
+
+// --- Error frames ------------------------------------------------------------
+
+/// What Gateway::ServeFrame returns instead of a response when the request
+/// frame is invalid or the endpoint/model fails.
+std::vector<uint8_t> EncodeErrorFrame(const std::string& message);
+
+DecodeStatus DecodeErrorFrame(const std::vector<uint8_t>& frame,
+                              std::string* message);
+
+}  // namespace tspn::serve
+
+#endif  // TSPN_SERVE_CODEC_H_

@@ -1,0 +1,339 @@
+#include "serve/gateway.h"
+
+#include <stdexcept>
+#include <tuple>
+#include <utility>
+
+#include "serve/codec.h"
+
+namespace tspn::serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::future<eval::RecommendResponse> BrokenFuture(const std::string& message) {
+  std::promise<eval::RecommendResponse> broken;
+  broken.set_exception(std::make_exception_ptr(std::runtime_error(message)));
+  return broken.get_future();
+}
+
+void SetError(std::string* error, const std::string& message) {
+  if (error != nullptr) *error = message;
+}
+
+/// Guards the serving threads against out-of-range requests: dataset
+/// accessors bounds-check with TSPN_CHECK, which aborts the process — a
+/// wire frame with a bogus sample index must come back as a failed future
+/// (ServeFrame turns it into an error frame), never kill the gateway.
+/// Returns an empty string when the request is servable.
+std::string ValidateRequest(const data::CityDataset& dataset,
+                            const eval::RecommendRequest& request) {
+  if (request.top_n < 0) return "top_n must be non-negative";
+  const auto& users = dataset.users();
+  if (request.sample.user < 0 ||
+      static_cast<size_t>(request.sample.user) >= users.size()) {
+    return "sample.user out of range";
+  }
+  const auto& trajectories =
+      users[static_cast<size_t>(request.sample.user)].trajectories;
+  if (request.sample.traj < 0 ||
+      static_cast<size_t>(request.sample.traj) >= trajectories.size()) {
+    return "sample.traj out of range";
+  }
+  const auto& checkins =
+      trajectories[static_cast<size_t>(request.sample.traj)].checkins;
+  // prefix_len check-ins observed, checkins[prefix_len] is the target: a
+  // servable sample needs at least one observed check-in and a target slot.
+  if (request.sample.prefix_len < 1 ||
+      static_cast<size_t>(request.sample.prefix_len) >= checkins.size()) {
+    return "sample.prefix_len out of range";
+  }
+  return "";
+}
+
+}  // namespace
+
+Gateway::Deployment::~Deployment() {
+  // Drain before teardown: Shutdown() serves everything already queued and
+  // joins the workers, so no accepted request's future is ever dropped.
+  if (engine != nullptr) engine->Shutdown();
+}
+
+std::shared_ptr<Gateway::Deployment> Gateway::BuildDeployment(
+    const DeployConfig& config, std::string* error) {
+  if (config.dataset == nullptr) {
+    SetError(error, "deploy config has no dataset");
+    return nullptr;
+  }
+  eval::ModelOptions options;
+  std::string option_error;
+  if (!eval::ModelOptions::FromKeyValues(config.model_options, &options,
+                                         &option_error)) {
+    SetError(error, "bad model options: " + option_error);
+    return nullptr;
+  }
+  std::unique_ptr<eval::NextPoiModel> model =
+      eval::ModelRegistry::Global().Create(config.model_name, config.dataset,
+                                           options);
+  if (model == nullptr) {
+    SetError(error, "unknown model '" + config.model_name + "' (registered: " +
+                        [] {
+                          std::string names;
+                          for (const std::string& n :
+                               eval::ModelRegistry::Global().Names()) {
+                            if (!names.empty()) names += ", ";
+                            names += n;
+                          }
+                          return names;
+                        }() +
+                        ")");
+    return nullptr;
+  }
+  if (!config.checkpoint_path.empty() &&
+      !model->LoadCheckpoint(config.checkpoint_path)) {
+    SetError(error, "checkpoint '" + config.checkpoint_path +
+                        "' failed to load into model '" + config.model_name +
+                        "'");
+    return nullptr;
+  }
+  auto deployment = std::make_shared<Deployment>();
+  deployment->config = config;
+  deployment->model = std::move(model);
+  deployment->engine = std::make_unique<InferenceEngine>(
+      *deployment->model, config.engine_options);
+  deployment->live_since = Clock::now();
+  return deployment;
+}
+
+bool Gateway::Deploy(const std::string& endpoint, const DeployConfig& config,
+                     std::string* error) {
+  if (endpoint.empty()) {
+    SetError(error, "endpoint name must be non-empty");
+    return false;
+  }
+  if (endpoint.size() > kMaxEndpointNameLen) {
+    // The wire decoder caps endpoint names; a longer name would deploy an
+    // endpoint that ServeFrame could never address.
+    SetError(error, "endpoint name exceeds " +
+                        std::to_string(kMaxEndpointNameLen) + " bytes");
+    return false;
+  }
+  // Cheap duplicate pre-check before the expensive build; the authoritative
+  // recheck under the lock below still handles a racing deploy.
+  if (Has(endpoint)) {
+    SetError(error, "endpoint '" + endpoint +
+                        "' is already deployed (use Swap to hot-reload)");
+    return false;
+  }
+  // Built outside the lock: model construction + checkpoint restore can be
+  // slow, and other endpoints must keep serving meanwhile.
+  std::shared_ptr<Deployment> deployment = BuildDeployment(config, error);
+  if (deployment == nullptr) return false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto [it, inserted] = endpoints_.try_emplace(endpoint);
+    if (!inserted) {
+      SetError(error, "endpoint '" + endpoint +
+                          "' is already deployed (use Swap to hot-reload)");
+      return false;
+    }
+    it->second.current = std::move(deployment);
+  }
+  return true;
+}
+
+bool Gateway::Swap(const std::string& endpoint,
+                   const std::string& checkpoint_path, std::string* error) {
+  // Snapshot the endpoint's deployment, build the replacement outside the
+  // lock (zero downtime: the old deployment keeps serving during the build).
+  std::shared_ptr<Deployment> snapshot;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = endpoints_.find(endpoint);
+    if (it == endpoints_.end()) {
+      SetError(error, "endpoint '" + endpoint + "' is not deployed");
+      return false;
+    }
+    snapshot = it->second.current;
+  }
+  DeployConfig config = snapshot->config;
+  config.checkpoint_path = checkpoint_path;
+  std::shared_ptr<Deployment> fresh = BuildDeployment(config, error);
+  if (fresh == nullptr) return false;
+
+  std::shared_ptr<Deployment> old;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = endpoints_.find(endpoint);
+    // The swap only lands on the generation it snapshotted: if the endpoint
+    // was undeployed — or undeployed and redeployed as something else —
+    // while we were building, installing `fresh` would silently revert that
+    // lifecycle change, so the swap aborts and discards the build instead
+    // (it never accepted a request).
+    if (it == endpoints_.end() || it->second.current != snapshot) {
+      SetError(error, "endpoint '" + endpoint + "' changed during swap");
+      return false;
+    }
+    old = std::move(it->second.current);
+    it->second.current = std::move(fresh);
+    ++it->second.swaps;
+  }
+  // `old` dies here (or when the last in-flight submitter releases it):
+  // its engine drains every queued request against the old weights first.
+  return true;
+}
+
+bool Gateway::Undeploy(const std::string& endpoint, std::string* error) {
+  std::shared_ptr<Deployment> removed;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = endpoints_.find(endpoint);
+    if (it == endpoints_.end()) {
+      SetError(error, "endpoint '" + endpoint + "' is not deployed");
+      return false;
+    }
+    removed = std::move(it->second.current);
+    endpoints_.erase(it);
+  }
+  // Drain outside the lock so teardown of one endpoint cannot stall the
+  // others' submits.
+  removed.reset();
+  return true;
+}
+
+std::shared_ptr<Gateway::Deployment> Gateway::CurrentDeployment(
+    const std::string& endpoint) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = endpoints_.find(endpoint);
+  if (it == endpoints_.end()) return nullptr;
+  return it->second.current;
+}
+
+std::future<eval::RecommendResponse> Gateway::Submit(
+    const std::string& endpoint, const eval::RecommendRequest& request) {
+  // The copied shared_ptr pins this deployment generation for the duration
+  // of the call: a concurrent Swap/Undeploy cannot destroy the engine
+  // while it is accepting this request.
+  std::shared_ptr<Deployment> deployment = CurrentDeployment(endpoint);
+  if (deployment == nullptr) {
+    return BrokenFuture("no endpoint '" + endpoint + "' is deployed");
+  }
+  const std::string invalid =
+      ValidateRequest(*deployment->config.dataset, request);
+  if (!invalid.empty()) {
+    return BrokenFuture("invalid request for endpoint '" + endpoint +
+                        "': " + invalid);
+  }
+  return deployment->engine->Submit(request);
+}
+
+std::vector<uint8_t> Gateway::ServeFrame(const std::vector<uint8_t>& request_frame) {
+  std::string endpoint;
+  eval::RecommendRequest request;
+  const DecodeStatus status =
+      DecodeRecommendRequest(request_frame, &endpoint, &request);
+  if (status != DecodeStatus::kOk) {
+    return EncodeErrorFrame(std::string("bad request frame: ") +
+                            DecodeStatusName(status));
+  }
+  try {
+    return EncodeRecommendResponse(Submit(endpoint, request).get());
+  } catch (const std::exception& e) {
+    return EncodeErrorFrame(e.what());
+  } catch (...) {
+    return EncodeErrorFrame("request failed");
+  }
+}
+
+bool Gateway::Has(const std::string& endpoint) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return endpoints_.count(endpoint) > 0;
+}
+
+std::vector<std::string> Gateway::Endpoints() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> names;
+  names.reserve(endpoints_.size());
+  for (const auto& [name, unused] : endpoints_) names.push_back(name);
+  return names;
+}
+
+EndpointStats Gateway::StatsOf(const std::string& name,
+                               const std::shared_ptr<Deployment>& deployment,
+                               int64_t swaps) {
+  EndpointStats stats;
+  stats.endpoint = name;
+  stats.model_name = deployment->config.model_name;
+  stats.checkpoint_path = deployment->config.checkpoint_path;
+  stats.swaps = swaps;
+  stats.queue_depth = deployment->engine->QueueDepth();
+  stats.engine = deployment->engine->GetStats();
+  stats.uptime_seconds =
+      std::chrono::duration<double>(Clock::now() - deployment->live_since)
+          .count();
+  stats.qps = stats.uptime_seconds > 0.0
+                  ? static_cast<double>(stats.engine.completed) /
+                        stats.uptime_seconds
+                  : 0.0;
+  return stats;
+}
+
+bool Gateway::GetEndpointStats(const std::string& endpoint,
+                               EndpointStats* out) const {
+  std::shared_ptr<Deployment> deployment;
+  int64_t swaps = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = endpoints_.find(endpoint);
+    if (it == endpoints_.end()) return false;
+    deployment = it->second.current;
+    swaps = it->second.swaps;
+  }
+  // Engine-stats queries (their own mutex, percentile computation) run with
+  // the gateway mutex released so they never stall request routing.
+  *out = StatsOf(endpoint, deployment, swaps);
+  return true;
+}
+
+GatewayStats Gateway::Snapshot() const {
+  // Copy the endpoint table under the lock, compute per-endpoint stats off
+  // it: a monitoring scrape must not block Submit/ServeFrame on any
+  // endpoint while engines sort their latency rings. The shared_ptrs pin
+  // each deployment exactly like an in-flight submit does.
+  std::vector<std::tuple<std::string, std::shared_ptr<Deployment>, int64_t>>
+      entries;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    entries.reserve(endpoints_.size());
+    for (const auto& [name, ep] : endpoints_) {
+      entries.emplace_back(name, ep.current, ep.swaps);
+    }
+  }
+  GatewayStats snapshot;
+  snapshot.endpoints = static_cast<int64_t>(entries.size());
+  snapshot.per_endpoint.reserve(entries.size());
+  for (const auto& [name, deployment, swaps] : entries) {
+    EndpointStats stats = StatsOf(name, deployment, swaps);
+    snapshot.total_submitted += stats.engine.submitted;
+    snapshot.total_completed += stats.engine.completed;
+    snapshot.total_rejected += stats.engine.rejected;
+    snapshot.total_swaps += stats.swaps;
+    snapshot.total_qps += stats.qps;
+    snapshot.per_endpoint.push_back(std::move(stats));
+  }
+  return snapshot;
+}
+
+Gateway::~Gateway() {
+  std::map<std::string, Endpoint> endpoints;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    endpoints = std::move(endpoints_);
+    endpoints_.clear();
+  }
+  // Deployment destructors drain each endpoint's queue.
+  endpoints.clear();
+}
+
+}  // namespace tspn::serve

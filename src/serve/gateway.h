@@ -1,0 +1,175 @@
+#ifndef TSPN_SERVE_GATEWAY_H_
+#define TSPN_SERVE_GATEWAY_H_
+
+#include <chrono>
+#include <cstdint>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "eval/model_api.h"
+#include "eval/model_registry.h"
+#include "eval/recommend.h"
+#include "serve/inference_engine.h"
+
+namespace tspn::serve {
+
+/// Everything needed to stand up one named endpoint: which registry model
+/// to build, over which dataset, from which checkpoint, with which knobs.
+struct DeployConfig {
+  /// eval::ModelRegistry name ("TSPN-RA", "MC", ...). Unknown names fail
+  /// the deploy.
+  std::string model_name;
+
+  /// Dataset the model is constructed over; shared so many endpoints (and
+  /// the caller) can serve the same city without copies.
+  std::shared_ptr<const data::CityDataset> dataset;
+
+  /// Checkpoint restored into the freshly built model. Empty deploys the
+  /// model untrained (useful for tests); a non-empty path that fails to
+  /// load fails the deploy — a gateway must never silently serve garbage
+  /// weights.
+  std::string checkpoint_path;
+
+  /// eval::ModelOptions as string knobs ("dm", "seed", "image_resolution"),
+  /// parsed by ModelOptions::FromKeyValues — unknown keys fail the deploy
+  /// loudly rather than falling back to defaults.
+  std::map<std::string, std::string> model_options;
+
+  /// Per-endpoint InferenceEngine sizing (workers, queue depth, coalescing).
+  EngineOptions engine_options = EngineOptions::FromEnv();
+};
+
+/// Point-in-time serving counters for one endpoint.
+struct EndpointStats {
+  std::string endpoint;
+  std::string model_name;
+  std::string checkpoint_path;  ///< checkpoint currently serving
+  int64_t swaps = 0;            ///< hot swaps since Deploy
+  int64_t queue_depth = 0;      ///< requests queued, not yet being served
+  double uptime_seconds = 0.0;  ///< since the current deployment went live
+  double qps = 0.0;             ///< completed / uptime of current deployment
+  EngineStats engine;           ///< queue/batch/latency counters
+};
+
+/// Aggregate gateway snapshot: fleet totals plus one row per endpoint.
+struct GatewayStats {
+  int64_t endpoints = 0;
+  int64_t total_submitted = 0;
+  int64_t total_completed = 0;
+  int64_t total_rejected = 0;
+  int64_t total_swaps = 0;
+  double total_qps = 0.0;  ///< sum of per-endpoint qps
+  std::vector<EndpointStats> per_endpoint;  ///< sorted by endpoint name
+};
+
+/// Multi-tenant serving gateway: a thread-safe router from endpoint names
+/// to {model, InferenceEngine} deployments, so several models — different
+/// cities, TSPN-RA next to baselines, A/B candidates — serve side by side
+/// in one process.
+///
+/// Lifecycle: Deploy() builds the model through eval::ModelRegistry,
+/// restores the checkpoint, and stands up a dedicated engine; Swap()
+/// hot-reloads a new checkpoint with zero downtime; Undeploy() drains and
+/// tears down. Submit() routes a structured request to the endpoint's
+/// engine; ServeFrame() does the same for a wire-encoded frame
+/// (serve/codec.h) — the seam a socket front-end plugs into.
+///
+/// Hot-swap semantics (epoch via shared_ptr): each endpoint holds its
+/// current deployment behind a shared_ptr that submitters copy under the
+/// gateway mutex. Swap() builds the replacement *outside* the lock, then
+/// publishes it with one pointer swap — new submits instantly land on the
+/// new model while in-flight requests finish on the old deployment, which
+/// is destroyed (draining its queue first, so no future is ever dropped)
+/// when the last submitter releases it. A swap to the same checkpoint is
+/// response-bit-identical: the registry rebuilds the same weights from the
+/// same options and checkpoint bytes.
+class Gateway {
+ public:
+  Gateway() = default;
+  ~Gateway();
+
+  Gateway(const Gateway&) = delete;
+  Gateway& operator=(const Gateway&) = delete;
+
+  /// Creates the named endpoint. Fails (false, *error set) on a duplicate
+  /// endpoint name, unknown model name, bad model option, missing dataset,
+  /// or a checkpoint that does not load cleanly.
+  bool Deploy(const std::string& endpoint, const DeployConfig& config,
+              std::string* error = nullptr);
+
+  /// Hot-reloads the endpoint onto `checkpoint_path` (same model, dataset
+  /// and knobs as the original Deploy). In-flight requests finish on the
+  /// old weights; requests submitted after Swap returns see the new ones.
+  bool Swap(const std::string& endpoint, const std::string& checkpoint_path,
+            std::string* error = nullptr);
+
+  /// Removes the endpoint, serving everything already queued before the
+  /// teardown completes. Subsequent submits to the name fail.
+  bool Undeploy(const std::string& endpoint, std::string* error = nullptr);
+
+  /// Routes the request to the endpoint's engine. Unknown endpoints yield
+  /// a future holding std::runtime_error (never a crash).
+  std::future<eval::RecommendResponse> Submit(
+      const std::string& endpoint, const eval::RecommendRequest& request);
+
+  /// Wire entry point: decodes a request frame (which names its endpoint),
+  /// serves it, and returns an encoded response frame — or an encoded
+  /// error frame for malformed/unknown/failed requests. Never throws.
+  std::vector<uint8_t> ServeFrame(const std::vector<uint8_t>& request_frame);
+
+  bool Has(const std::string& endpoint) const;
+
+  /// Deployed endpoint names, sorted.
+  std::vector<std::string> Endpoints() const;
+
+  /// Stats for one endpoint; false when it is not deployed.
+  bool GetEndpointStats(const std::string& endpoint, EndpointStats* out) const;
+
+  /// Aggregate snapshot across every deployed endpoint.
+  GatewayStats Snapshot() const;
+
+ private:
+  /// One served model generation: the engine references the model, so the
+  /// member order (model first) makes ~Deployment shut the engine down —
+  /// draining queued requests — before the model dies.
+  struct Deployment {
+    DeployConfig config;
+    std::unique_ptr<eval::NextPoiModel> model;
+    std::unique_ptr<InferenceEngine> engine;
+    std::chrono::steady_clock::time_point live_since;
+
+    ~Deployment();
+  };
+
+  struct Endpoint {
+    std::shared_ptr<Deployment> current;
+    int64_t swaps = 0;
+  };
+
+  /// Builds model + engine from the config (registry create, option parse,
+  /// checkpoint load). Null with *error set on any failure.
+  static std::shared_ptr<Deployment> BuildDeployment(const DeployConfig& config,
+                                                     std::string* error);
+
+  /// The endpoint's current deployment, or null when not deployed.
+  std::shared_ptr<Deployment> CurrentDeployment(
+      const std::string& endpoint) const;
+
+  /// Queries one deployment's engine; called with the gateway mutex
+  /// released (the shared_ptr keeps the deployment alive).
+  static EndpointStats StatsOf(const std::string& name,
+                               const std::shared_ptr<Deployment>& deployment,
+                               int64_t swaps);
+
+  mutable std::mutex mutex_;
+  std::map<std::string, Endpoint> endpoints_;
+};
+
+}  // namespace tspn::serve
+
+#endif  // TSPN_SERVE_GATEWAY_H_

@@ -53,12 +53,10 @@ std::future<eval::RecommendResponse> InferenceEngine::Enqueue(
   entry.request = request;
   entry.enqueue_time = Clock::now();
   std::future<eval::RecommendResponse> future = entry.promise.get_future();
-  // Count the submission before the request becomes visible to workers so
-  // GetStats() never observes completed > submitted.
-  {
-    std::lock_guard<std::mutex> stats_lock(stats_mutex_);
-    ++submitted_;
-  }
+  // Count the submission (lock-free: the counter is atomic) before the
+  // request becomes visible to workers so GetStats() never observes
+  // completed > submitted.
+  submitted_.fetch_add(1, std::memory_order_relaxed);
   queue_.push_back(std::move(entry));
   lock.unlock();
   not_empty_.notify_one();
@@ -74,10 +72,7 @@ std::future<eval::RecommendResponse> InferenceEngine::Submit(
   });
   if (stopping_) {
     lock.unlock();
-    {
-      std::lock_guard<std::mutex> stats_lock(stats_mutex_);
-      ++rejected_;
-    }
+    rejected_.fetch_add(1, std::memory_order_relaxed);
     std::promise<eval::RecommendResponse> broken;
     broken.set_exception(std::make_exception_ptr(
         std::runtime_error("InferenceEngine is shut down")));
@@ -100,8 +95,7 @@ bool InferenceEngine::TrySubmit(const eval::RecommendRequest& request,
   if (stopping_ ||
       static_cast<int64_t>(queue_.size()) >= options_.max_queue_depth) {
     lock.unlock();
-    std::lock_guard<std::mutex> stats_lock(stats_mutex_);
-    ++rejected_;
+    rejected_.fetch_add(1, std::memory_order_relaxed);
     return false;
   }
   *out = Enqueue(request, lock);
@@ -109,6 +103,9 @@ bool InferenceEngine::TrySubmit(const eval::RecommendRequest& request,
 }
 
 void InferenceEngine::WorkerLoop() {
+  // Batch scratch lives for the worker's whole life: its vectors' heap
+  // capacity is reused across every batch this worker serves.
+  WorkerScratch scratch;
   for (;;) {
     std::unique_lock<std::mutex> lock(mutex_);
     not_empty_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
@@ -130,24 +127,26 @@ void InferenceEngine::WorkerLoop() {
     }
     const size_t take = std::min<size_t>(
         queue_.size(), static_cast<size_t>(options_.max_batch));
-    std::vector<Request> batch;
-    batch.reserve(take);
+    scratch.batch.clear();
+    scratch.batch.reserve(take);
     for (size_t i = 0; i < take; ++i) {
-      batch.push_back(std::move(queue_.front()));
+      scratch.batch.push_back(std::move(queue_.front()));
       queue_.pop_front();
     }
     lock.unlock();
     not_full_.notify_all();
-    ServeBatch(std::move(batch));
+    ServeBatch(scratch);
   }
 }
 
-void InferenceEngine::ServeBatch(std::vector<Request> batch) {
+void InferenceEngine::ServeBatch(WorkerScratch& scratch) {
+  std::vector<Request>& batch = scratch.batch;
   if (batch.empty()) return;
   // The v2 batch contract serves every request at its own top_n with its
   // own constraints, so a heterogeneous coalesced batch needs no grouping
   // or per-request truncation.
-  std::vector<eval::RecommendRequest> requests;
+  std::vector<eval::RecommendRequest>& requests = scratch.requests;
+  requests.clear();
   requests.reserve(batch.size());
   for (Request& r : batch) {
     // Moved, not copied: the entry's request (constraint vectors included)
@@ -211,11 +210,16 @@ void InferenceEngine::Shutdown() {
   workers_.clear();
 }
 
+int64_t InferenceEngine::QueueDepth() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return static_cast<int64_t>(queue_.size());
+}
+
 EngineStats InferenceEngine::GetStats() const {
   std::lock_guard<std::mutex> stats_lock(stats_mutex_);
   EngineStats s;
-  s.submitted = submitted_;
-  s.rejected = rejected_;
+  s.submitted = submitted_.load(std::memory_order_relaxed);
+  s.rejected = rejected_.load(std::memory_order_relaxed);
   s.completed = completed_;
   s.batches = batches_;
   s.max_batch_observed = max_batch_observed_;

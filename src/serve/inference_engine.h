@@ -1,6 +1,7 @@
 #ifndef TSPN_SERVE_INFERENCE_ENGINE_H_
 #define TSPN_SERVE_INFERENCE_ENGINE_H_
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
@@ -96,6 +97,10 @@ class InferenceEngine {
 
   EngineStats GetStats() const;
 
+  /// Requests queued but not yet claimed by a worker — the gateway's
+  /// per-endpoint queue-depth signal.
+  int64_t QueueDepth() const;
+
   const EngineOptions& options() const { return options_; }
 
  private:
@@ -105,11 +110,19 @@ class InferenceEngine {
     std::chrono::steady_clock::time_point enqueue_time;
   };
 
+  /// Per-worker reusable scratch: batch entries and the flattened request
+  /// view keep their heap capacity across batches, so steady-state serving
+  /// stops paying two vector growths per batch on the hot path.
+  struct WorkerScratch {
+    std::vector<Request> batch;
+    std::vector<eval::RecommendRequest> requests;
+  };
+
   std::future<eval::RecommendResponse> Enqueue(
       const eval::RecommendRequest& request,
       std::unique_lock<std::mutex>& lock);
   void WorkerLoop();
-  void ServeBatch(std::vector<Request> batch);
+  void ServeBatch(WorkerScratch& scratch);
 
   const eval::NextPoiModel& model_;
   const EngineOptions options_;
@@ -124,9 +137,12 @@ class InferenceEngine {
   /// samples, so a long-lived engine's stats memory stays constant.
   static constexpr size_t kMaxLatencySamples = 4096;
 
+  /// Submit-path counters are atomics, not stats_mutex_-guarded: Submit and
+  /// TrySubmit touch no lock beyond the queue mutex they already hold.
+  std::atomic<int64_t> submitted_{0};
+  std::atomic<int64_t> rejected_{0};
+
   mutable std::mutex stats_mutex_;
-  int64_t submitted_ = 0;
-  int64_t rejected_ = 0;
   int64_t completed_ = 0;
   int64_t batches_ = 0;
   int64_t batch_size_sum_ = 0;

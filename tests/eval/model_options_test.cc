@@ -1,0 +1,73 @@
+// ModelOptions key/value plumbing: every knob round-trips through strings,
+// unknown keys and bad values are rejected loudly (naming the key), and an
+// empty map yields the defaults.
+
+#include "eval/model_registry.h"
+
+#include <gtest/gtest.h>
+
+namespace tspn::eval {
+namespace {
+
+TEST(ModelOptionsTest, EmptyKeyValuesYieldDefaults) {
+  ModelOptions parsed;
+  std::string error;
+  ASSERT_TRUE(ModelOptions::FromKeyValues({}, &parsed, &error)) << error;
+  const ModelOptions defaults;
+  EXPECT_EQ(parsed.dm, defaults.dm);
+  EXPECT_EQ(parsed.seed, defaults.seed);
+  EXPECT_EQ(parsed.image_resolution, defaults.image_resolution);
+}
+
+TEST(ModelOptionsTest, EveryKnobRoundTrips) {
+  ModelOptions options;
+  options.dm = 48;
+  // A seed above INT64_MAX: ToKeyValues emits it, FromKeyValues must take
+  // it back (full uint64 round-trip).
+  options.seed = 0x8000000000000001ULL;
+  options.image_resolution = 32;
+  ModelOptions parsed;
+  std::string error;
+  ASSERT_TRUE(ModelOptions::FromKeyValues(options.ToKeyValues(), &parsed, &error))
+      << error;
+  EXPECT_EQ(parsed.dm, 48);
+  EXPECT_EQ(parsed.seed, 0x8000000000000001ULL);
+  EXPECT_EQ(parsed.image_resolution, 32);
+}
+
+TEST(ModelOptionsTest, UnknownKeyIsRejectedByName) {
+  ModelOptions parsed;
+  std::string error;
+  EXPECT_FALSE(
+      ModelOptions::FromKeyValues({{"learning_rate", "0.1"}}, &parsed, &error));
+  EXPECT_NE(error.find("learning_rate"), std::string::npos) << error;
+  // The known knobs are listed so the caller can fix the config.
+  EXPECT_NE(error.find("dm"), std::string::npos) << error;
+}
+
+TEST(ModelOptionsTest, BadValuesAreRejected) {
+  ModelOptions options;
+  std::string error;
+  EXPECT_FALSE(options.Set("dm", "sixteen", &error));
+  EXPECT_NE(error.find("dm"), std::string::npos);
+  EXPECT_FALSE(options.Set("dm", "", &error));
+  EXPECT_FALSE(options.Set("dm", "-4", &error));
+  EXPECT_FALSE(options.Set("seed", "7.5", &error));
+  EXPECT_FALSE(options.Set("image_resolution", "16px", &error));
+  // Out-of-int32-range resolutions are rejected, not silently wrapped.
+  EXPECT_FALSE(options.Set("image_resolution", "4294967296", &error));
+  EXPECT_NE(error.find("out of range"), std::string::npos) << error;
+  // A failed Set leaves the options untouched.
+  const ModelOptions defaults;
+  EXPECT_EQ(options.dm, defaults.dm);
+  EXPECT_EQ(options.seed, defaults.seed);
+  EXPECT_EQ(options.image_resolution, defaults.image_resolution);
+
+  // nullptr error out-param is allowed.
+  EXPECT_FALSE(options.Set("nope", "1", nullptr));
+  EXPECT_TRUE(options.Set("dm", "64", nullptr));
+  EXPECT_EQ(options.dm, 64);
+}
+
+}  // namespace
+}  // namespace tspn::eval

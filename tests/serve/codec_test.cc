@@ -1,0 +1,240 @@
+// Wire-codec tests: round-trips must be bit-exact for every
+// CandidateConstraints field combination, and every corruption mode —
+// truncation at any length, bad magic, future version, wrong frame type,
+// malformed payload counts, trailing garbage — must be rejected with the
+// right DecodeStatus, without crashing and without touching the outputs.
+
+#include "serve/codec.h"
+
+#include <cstring>
+
+#include <gtest/gtest.h>
+
+namespace tspn::serve {
+namespace {
+
+/// One representative value per constraint axis; combined by bitmask below.
+eval::CandidateConstraints ConstraintsFor(unsigned mask) {
+  eval::CandidateConstraints c;
+  if (mask & 1u) {
+    c.geo_center = {40.75, -73.99};
+    c.geo_radius_km = 2.5;
+  }
+  if (mask & 2u) c.allowed_categories = {0, 3, 7, 2147483647};
+  if (mask & 4u) c.blocked_categories = {-1, 5};
+  if (mask & 8u) c.exclude_visited = true;
+  if (mask & 16u) {
+    c.open_at = 1234567890;
+    c.min_open_weight = 0.625;
+  }
+  return c;
+}
+
+eval::RecommendRequest RequestFor(unsigned mask) {
+  eval::RecommendRequest request;
+  request.sample = {7, 3, 11};
+  request.top_n = 15;
+  request.constraints = ConstraintsFor(mask);
+  return request;
+}
+
+void ExpectSameConstraints(const eval::CandidateConstraints& a,
+                           const eval::CandidateConstraints& b) {
+  // Bit-level equality for the floating-point fields: the wire format must
+  // not round anything.
+  EXPECT_EQ(std::memcmp(&a.geo_center.lat, &b.geo_center.lat, sizeof(double)), 0);
+  EXPECT_EQ(std::memcmp(&a.geo_center.lon, &b.geo_center.lon, sizeof(double)), 0);
+  EXPECT_EQ(std::memcmp(&a.geo_radius_km, &b.geo_radius_km, sizeof(double)), 0);
+  EXPECT_EQ(a.allowed_categories, b.allowed_categories);
+  EXPECT_EQ(a.blocked_categories, b.blocked_categories);
+  EXPECT_EQ(a.exclude_visited, b.exclude_visited);
+  EXPECT_EQ(a.open_at, b.open_at);
+  EXPECT_EQ(std::memcmp(&a.min_open_weight, &b.min_open_weight, sizeof(double)),
+            0);
+}
+
+TEST(CodecRequestTest, RoundTripEveryConstraintCombination) {
+  // All 2^5 combinations of {geo fence, allow-list, block-list,
+  // exclude-visited, open-time} — the full CandidateConstraints surface.
+  for (unsigned mask = 0; mask < 32; ++mask) {
+    SCOPED_TRACE("constraint mask " + std::to_string(mask));
+    const eval::RecommendRequest request = RequestFor(mask);
+    const std::vector<uint8_t> frame =
+        EncodeRecommendRequest("endpoint-a", request);
+
+    std::string endpoint;
+    eval::RecommendRequest decoded;
+    ASSERT_EQ(DecodeRecommendRequest(frame, &endpoint, &decoded),
+              DecodeStatus::kOk);
+    EXPECT_EQ(endpoint, "endpoint-a");
+    EXPECT_EQ(decoded.sample.user, request.sample.user);
+    EXPECT_EQ(decoded.sample.traj, request.sample.traj);
+    EXPECT_EQ(decoded.sample.prefix_len, request.sample.prefix_len);
+    EXPECT_EQ(decoded.top_n, request.top_n);
+    ExpectSameConstraints(decoded.constraints, request.constraints);
+    EXPECT_EQ(decoded.constraints.Active(), request.constraints.Active());
+
+    // Encode(Decode(frame)) must reproduce the frame byte for byte.
+    EXPECT_EQ(EncodeRecommendRequest(endpoint, decoded), frame);
+  }
+}
+
+TEST(CodecResponseTest, RoundTripIsBitExact) {
+  eval::RecommendResponse response;
+  response.stages_used = 2;
+  response.tiles_screened = 37;
+  response.items = {{101, 0.875f, 4},
+                    {7, -0.125f, -1},
+                    {99999999999LL, 3.14159f, 9000}};
+
+  const std::vector<uint8_t> frame = EncodeRecommendResponse(response);
+  eval::RecommendResponse decoded;
+  ASSERT_EQ(DecodeRecommendResponse(frame, &decoded), DecodeStatus::kOk);
+  ASSERT_EQ(decoded.items.size(), response.items.size());
+  for (size_t i = 0; i < response.items.size(); ++i) {
+    EXPECT_EQ(decoded.items[i].poi_id, response.items[i].poi_id);
+    EXPECT_EQ(std::memcmp(&decoded.items[i].score, &response.items[i].score,
+                          sizeof(float)),
+              0);
+    EXPECT_EQ(decoded.items[i].tile_index, response.items[i].tile_index);
+  }
+  EXPECT_EQ(decoded.stages_used, response.stages_used);
+  EXPECT_EQ(decoded.tiles_screened, response.tiles_screened);
+  EXPECT_EQ(EncodeRecommendResponse(decoded), frame);
+}
+
+TEST(CodecResponseTest, EmptyResponseRoundTrips) {
+  eval::RecommendResponse response;
+  eval::RecommendResponse decoded;
+  ASSERT_EQ(DecodeRecommendResponse(EncodeRecommendResponse(response), &decoded),
+            DecodeStatus::kOk);
+  EXPECT_TRUE(decoded.items.empty());
+  EXPECT_EQ(decoded.stages_used, 1);
+  EXPECT_EQ(decoded.tiles_screened, 0);
+}
+
+TEST(CodecErrorFrameTest, RoundTrips) {
+  const std::vector<uint8_t> frame = EncodeErrorFrame("no such endpoint");
+  std::string message;
+  ASSERT_EQ(DecodeErrorFrame(frame, &message), DecodeStatus::kOk);
+  EXPECT_EQ(message, "no such endpoint");
+  FrameType type;
+  ASSERT_EQ(PeekFrameType(frame, &type), DecodeStatus::kOk);
+  EXPECT_EQ(type, FrameType::kError);
+}
+
+TEST(CodecCorruptionTest, TruncationAtEveryLengthIsRejected) {
+  const std::vector<uint8_t> frame =
+      EncodeRecommendRequest("city-a", RequestFor(31));
+  std::string endpoint = "untouched";
+  eval::RecommendRequest request;
+  request.top_n = 42;
+  for (size_t len = 0; len < frame.size(); ++len) {
+    SCOPED_TRACE("prefix length " + std::to_string(len));
+    const std::vector<uint8_t> cut(frame.begin(), frame.begin() + len);
+    const DecodeStatus status =
+        DecodeRecommendRequest(cut, &endpoint, &request);
+    EXPECT_NE(status, DecodeStatus::kOk);
+    // A pure prefix can only read as truncated or (once the header survives
+    // but the payload-length field lies) malformed.
+    EXPECT_TRUE(status == DecodeStatus::kTruncated ||
+                status == DecodeStatus::kMalformedPayload)
+        << DecodeStatusName(status);
+  }
+  // Failed decodes never touched the outputs.
+  EXPECT_EQ(endpoint, "untouched");
+  EXPECT_EQ(request.top_n, 42);
+}
+
+TEST(CodecCorruptionTest, BadMagicIsRejected) {
+  std::vector<uint8_t> frame = EncodeRecommendRequest("x", RequestFor(0));
+  frame[0] ^= 0xFF;
+  std::string endpoint;
+  eval::RecommendRequest request;
+  EXPECT_EQ(DecodeRecommendRequest(frame, &endpoint, &request),
+            DecodeStatus::kBadMagic);
+  FrameType type;
+  EXPECT_EQ(PeekFrameType(frame, &type), DecodeStatus::kBadMagic);
+}
+
+TEST(CodecCorruptionTest, FutureVersionIsRejected) {
+  std::vector<uint8_t> frame = EncodeRecommendRequest("x", RequestFor(0));
+  const uint32_t future = kWireVersion + 1;
+  std::memcpy(frame.data() + sizeof(uint32_t), &future, sizeof(future));
+  std::string endpoint;
+  eval::RecommendRequest request;
+  EXPECT_EQ(DecodeRecommendRequest(frame, &endpoint, &request),
+            DecodeStatus::kFutureVersion);
+}
+
+TEST(CodecCorruptionTest, TrailingGarbageIsRejected) {
+  std::vector<uint8_t> frame = EncodeRecommendRequest("x", RequestFor(17));
+  frame.push_back(0xAB);
+  std::string endpoint;
+  eval::RecommendRequest request;
+  EXPECT_EQ(DecodeRecommendRequest(frame, &endpoint, &request),
+            DecodeStatus::kTrailingGarbage);
+
+  std::vector<uint8_t> response_frame =
+      EncodeRecommendResponse(eval::RecommendResponse{});
+  response_frame.push_back(0x00);
+  eval::RecommendResponse response;
+  EXPECT_EQ(DecodeRecommendResponse(response_frame, &response),
+            DecodeStatus::kTrailingGarbage);
+}
+
+TEST(CodecCorruptionTest, WrongFrameTypeIsRejected) {
+  const std::vector<uint8_t> response_frame =
+      EncodeRecommendResponse(eval::RecommendResponse{});
+  std::string endpoint;
+  eval::RecommendRequest request;
+  EXPECT_EQ(DecodeRecommendRequest(response_frame, &endpoint, &request),
+            DecodeStatus::kWrongFrameType);
+
+  const std::vector<uint8_t> request_frame =
+      EncodeRecommendRequest("x", RequestFor(0));
+  eval::RecommendResponse response;
+  EXPECT_EQ(DecodeRecommendResponse(request_frame, &response),
+            DecodeStatus::kWrongFrameType);
+}
+
+TEST(CodecCorruptionTest, AbsurdCategoryCountIsRejected) {
+  // Corrupt the allow-list count field into ~4 billion: the decoder must
+  // refuse rather than allocate. The count sits right after the endpoint
+  // string, sample and top_n plus the three fence doubles.
+  eval::RecommendRequest request = RequestFor(2);
+  std::vector<uint8_t> frame = EncodeRecommendRequest("e", request);
+  const size_t header = 4 + 4 + 1 + 4;
+  const size_t count_offset = header + (4 + 1) /* endpoint */ +
+                              3 * sizeof(int32_t) + sizeof(int64_t) +
+                              3 * sizeof(double);
+  const uint32_t absurd = 0xFFFFFFFFu;
+  std::memcpy(frame.data() + count_offset, &absurd, sizeof(absurd));
+  std::string endpoint;
+  eval::RecommendRequest decoded;
+  EXPECT_EQ(DecodeRecommendRequest(frame, &endpoint, &decoded),
+            DecodeStatus::kMalformedPayload);
+}
+
+TEST(CodecCorruptionTest, HugeItemCountInTinyResponseFrameIsRejected) {
+  // A near-empty frame claiming kMaxItems entries must be refused by the
+  // bytes-remaining check, not satisfied by a multi-megabyte resize.
+  std::vector<uint8_t> frame = EncodeRecommendResponse(eval::RecommendResponse{});
+  const size_t header = 4 + 4 + 1 + 4;
+  const uint32_t huge = (1u << 20) - 1;
+  std::memcpy(frame.data() + header, &huge, sizeof(huge));
+  eval::RecommendResponse response;
+  EXPECT_EQ(DecodeRecommendResponse(frame, &response),
+            DecodeStatus::kMalformedPayload);
+}
+
+TEST(CodecCorruptionTest, EmptyAndHeaderOnlyBuffersAreTruncated) {
+  std::vector<uint8_t> empty;
+  eval::RecommendResponse response;
+  EXPECT_EQ(DecodeRecommendResponse(empty, &response), DecodeStatus::kTruncated);
+  FrameType type;
+  EXPECT_EQ(PeekFrameType(empty, &type), DecodeStatus::kTruncated);
+}
+
+}  // namespace
+}  // namespace tspn::serve

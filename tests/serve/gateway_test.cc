@@ -1,0 +1,467 @@
+// Gateway tests: endpoint lifecycle (deploy/swap/undeploy with loud
+// failures), routing parity with direct model calls, hot-swap
+// bit-identical responses under concurrent submitters (the PR's acceptance
+// criterion), wire-frame serving, and a deploy/swap/undeploy-vs-submit
+// race that the TSan CI job runs.
+
+#include "serve/gateway.h"
+
+#include <atomic>
+#include <cstdio>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "serve/codec.h"
+
+namespace tspn::serve {
+namespace {
+
+EngineOptions SmallEngine(int threads) {
+  EngineOptions options;
+  options.num_threads = threads;
+  options.max_queue_depth = 64;
+  options.max_batch = 8;
+  options.coalesce_window_us = 200;
+  return options;
+}
+
+/// Shared fixture state: one tiny city, one trained TSPN-RA checkpoint and
+/// one trained MC checkpoint — training runs once for the whole suite.
+class GatewayTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    dataset_ = data::CityDataset::Generate(data::CityProfile::TestTiny());
+    tspn_checkpoint_ = testing::TempDir() + "/gateway_tspn.ckpt";
+    mc_checkpoint_ = testing::TempDir() + "/gateway_mc.ckpt";
+
+    eval::TrainOptions train;
+    train.epochs = 1;
+    train.max_samples_per_epoch = 24;
+
+    {
+      auto trained = eval::ModelRegistry::Global().Create("TSPN-RA", dataset_,
+                                                          TinyOptions());
+      trained->Train(train);
+      trained->SaveCheckpoint(tspn_checkpoint_);
+    }
+    // The parity reference restores from the checkpoint exactly like the
+    // gateway's deployments do.
+    reference_ = eval::ModelRegistry::Global().Create("TSPN-RA", dataset_,
+                                                      TinyOptions());
+    ASSERT_TRUE(reference_->LoadCheckpoint(tspn_checkpoint_));
+
+    auto mc = eval::ModelRegistry::Global().Create("MC", dataset_, {});
+    mc->Train(train);
+    mc->SaveCheckpoint(mc_checkpoint_);
+  }
+  static void TearDownTestSuite() {
+    reference_.reset();
+    std::remove(tspn_checkpoint_.c_str());
+    std::remove(mc_checkpoint_.c_str());
+  }
+
+  static eval::ModelOptions TinyOptions() {
+    eval::ModelOptions options;
+    options.dm = 16;
+    options.seed = 3;
+    options.image_resolution = 16;
+    return options;
+  }
+
+  static DeployConfig TspnConfig(int threads = 2) {
+    DeployConfig config;
+    config.model_name = "TSPN-RA";
+    config.dataset = dataset_;
+    config.checkpoint_path = tspn_checkpoint_;
+    config.model_options = TinyOptions().ToKeyValues();
+    config.engine_options = SmallEngine(threads);
+    return config;
+  }
+
+  static DeployConfig McConfig() {
+    DeployConfig config;
+    config.model_name = "MC";
+    config.dataset = dataset_;
+    config.checkpoint_path = mc_checkpoint_;
+    config.engine_options = SmallEngine(1);
+    return config;
+  }
+
+  static void ExpectBitIdentical(const eval::RecommendResponse& a,
+                                 const eval::RecommendResponse& b) {
+    ASSERT_EQ(a.items.size(), b.items.size());
+    for (size_t i = 0; i < a.items.size(); ++i) {
+      EXPECT_EQ(a.items[i].poi_id, b.items[i].poi_id) << "rank " << i;
+      EXPECT_EQ(a.items[i].score, b.items[i].score) << "rank " << i;
+      EXPECT_EQ(a.items[i].tile_index, b.items[i].tile_index) << "rank " << i;
+    }
+    EXPECT_EQ(a.stages_used, b.stages_used);
+    EXPECT_EQ(a.tiles_screened, b.tiles_screened);
+  }
+
+  static std::shared_ptr<data::CityDataset> dataset_;
+  static std::unique_ptr<eval::NextPoiModel> reference_;
+  static std::string tspn_checkpoint_;
+  static std::string mc_checkpoint_;
+};
+
+std::shared_ptr<data::CityDataset> GatewayTest::dataset_;
+std::unique_ptr<eval::NextPoiModel> GatewayTest::reference_;
+std::string GatewayTest::tspn_checkpoint_;
+std::string GatewayTest::mc_checkpoint_;
+
+TEST_F(GatewayTest, DeployFailuresAreLoudAndLeaveNoEndpoint) {
+  Gateway gateway;
+  std::string error;
+
+  DeployConfig config = TspnConfig();
+  config.model_name = "NoSuchModel";
+  EXPECT_FALSE(gateway.Deploy("a", config, &error));
+  EXPECT_NE(error.find("NoSuchModel"), std::string::npos);
+
+  config = TspnConfig();
+  config.model_options["not_a_knob"] = "1";
+  EXPECT_FALSE(gateway.Deploy("a", config, &error));
+  EXPECT_NE(error.find("not_a_knob"), std::string::npos)
+      << "unknown keys must be named in the error: " << error;
+
+  config = TspnConfig();
+  config.model_options["dm"] = "sixteen";
+  EXPECT_FALSE(gateway.Deploy("a", config, &error));
+  EXPECT_NE(error.find("dm"), std::string::npos);
+
+  config = TspnConfig();
+  config.checkpoint_path = testing::TempDir() + "/does_not_exist.ckpt";
+  EXPECT_FALSE(gateway.Deploy("a", config, &error));
+  EXPECT_NE(error.find("does_not_exist"), std::string::npos);
+
+  config = TspnConfig();
+  config.dataset = nullptr;
+  EXPECT_FALSE(gateway.Deploy("a", config, &error));
+
+  EXPECT_FALSE(gateway.Deploy("", TspnConfig(), &error));
+
+  // Names the wire decoder could never address are refused at deploy time.
+  EXPECT_FALSE(
+      gateway.Deploy(std::string(kMaxEndpointNameLen + 1, 'x'), TspnConfig(),
+                     &error));
+  EXPECT_NE(error.find("exceeds"), std::string::npos);
+
+  EXPECT_TRUE(gateway.Endpoints().empty());
+  EXPECT_THROW(gateway.Submit("a", eval::RecommendRequest{}).get(),
+               std::runtime_error);
+}
+
+TEST_F(GatewayTest, OptionsRoundTripThroughDeploy) {
+  // dm/seed/image_resolution must reach the registry factory: a checkpoint
+  // saved at dm=16 loads only into a dm=16 model, so a deploy carrying the
+  // options as strings succeeds exactly when they round-tripped.
+  Gateway gateway;
+  std::string error;
+  ASSERT_TRUE(gateway.Deploy("ok", TspnConfig(), &error)) << error;
+
+  DeployConfig mismatched = TspnConfig();
+  mismatched.model_options["dm"] = "24";  // checkpoint was written at dm=16
+  EXPECT_FALSE(gateway.Deploy("mismatched", mismatched, &error));
+  EXPECT_NE(error.find("checkpoint"), std::string::npos);
+
+  // Pure ModelOptions round-trip, independent of the gateway.
+  eval::ModelOptions parsed;
+  ASSERT_TRUE(eval::ModelOptions::FromKeyValues(TinyOptions().ToKeyValues(),
+                                                &parsed, &error));
+  EXPECT_EQ(parsed.dm, 16);
+  EXPECT_EQ(parsed.seed, 3u);
+  EXPECT_EQ(parsed.image_resolution, 16);
+}
+
+TEST_F(GatewayTest, TwoEndpointsRouteToTheirOwnModels) {
+  Gateway gateway;
+  std::string error;
+  ASSERT_TRUE(gateway.Deploy("tspn", TspnConfig(), &error)) << error;
+  ASSERT_TRUE(gateway.Deploy("mc", McConfig(), &error)) << error;
+  EXPECT_TRUE(gateway.Has("tspn"));
+  EXPECT_TRUE(gateway.Has("mc"));
+  EXPECT_EQ(gateway.Endpoints(), (std::vector<std::string>{"mc", "tspn"}));
+
+  // Duplicate deploys are refused.
+  EXPECT_FALSE(gateway.Deploy("tspn", TspnConfig(), &error));
+  EXPECT_NE(error.find("already deployed"), std::string::npos);
+
+  auto mc = eval::ModelRegistry::Global().Create("MC", dataset_, {});
+  ASSERT_TRUE(mc->LoadCheckpoint(mc_checkpoint_));
+
+  auto samples = dataset_->Samples(data::Split::kTest);
+  ASSERT_GE(samples.size(), 4u);
+  for (size_t i = 0; i < 4; ++i) {
+    eval::RecommendRequest request;
+    request.sample = samples[i];
+    request.top_n = 10;
+    if (i % 2 == 1) request.constraints.exclude_visited = true;
+    ExpectBitIdentical(gateway.Submit("tspn", request).get(),
+                       reference_->Recommend(request));
+    ExpectBitIdentical(gateway.Submit("mc", request).get(),
+                       mc->Recommend(request));
+  }
+
+  GatewayStats snapshot = gateway.Snapshot();
+  EXPECT_EQ(snapshot.endpoints, 2);
+  EXPECT_EQ(snapshot.total_completed, 8);
+  EXPECT_EQ(snapshot.total_submitted, 8);
+  ASSERT_EQ(snapshot.per_endpoint.size(), 2u);
+  EXPECT_EQ(snapshot.per_endpoint[0].endpoint, "mc");
+  EXPECT_EQ(snapshot.per_endpoint[0].model_name, "MC");
+  EXPECT_EQ(snapshot.per_endpoint[1].endpoint, "tspn");
+  EXPECT_EQ(snapshot.per_endpoint[1].engine.completed, 4);
+
+  EndpointStats stats;
+  ASSERT_TRUE(gateway.GetEndpointStats("tspn", &stats));
+  EXPECT_EQ(stats.checkpoint_path, tspn_checkpoint_);
+  EXPECT_FALSE(gateway.GetEndpointStats("absent", &stats));
+}
+
+TEST_F(GatewayTest, HotSwapSameCheckpointIsBitIdenticalUnderLoad) {
+  // The acceptance criterion: swapping an endpoint to the same checkpoint
+  // while submitters hammer it yields bit-identical rankings before/during/
+  // after the swap, with zero dropped or errored futures.
+  Gateway gateway;
+  std::string error;
+  ASSERT_TRUE(gateway.Deploy("live", TspnConfig(4), &error)) << error;
+
+  auto samples = dataset_->Samples(data::Split::kTest);
+  ASSERT_FALSE(samples.empty());
+
+  constexpr int kClients = 4;
+  constexpr int kPerClient = 30;
+  std::atomic<int> mismatches{0};
+  std::atomic<int> errored{0};
+  std::atomic<bool> swap_done{false};
+
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      for (int i = 0; i < kPerClient; ++i) {
+        eval::RecommendRequest request;
+        request.sample =
+            samples[static_cast<size_t>(c * kPerClient + i) % samples.size()];
+        request.top_n = 10;
+        if (i % 3 == 1) {
+          request.constraints.geo_center = dataset_->profile().bbox.Center();
+          request.constraints.geo_radius_km = 3.0;
+        }
+        try {
+          const eval::RecommendResponse served =
+              gateway.Submit("live", request).get();
+          const eval::RecommendResponse direct = reference_->Recommend(request);
+          if (served.items.size() != direct.items.size()) {
+            mismatches.fetch_add(1);
+            continue;
+          }
+          for (size_t r = 0; r < served.items.size(); ++r) {
+            if (served.items[r].poi_id != direct.items[r].poi_id ||
+                served.items[r].score != direct.items[r].score) {
+              mismatches.fetch_add(1);
+              break;
+            }
+          }
+        } catch (...) {
+          errored.fetch_add(1);
+        }
+      }
+    });
+  }
+
+  // Mid-run hot swaps to the same checkpoint, racing the clients.
+  std::thread swapper([&] {
+    for (int s = 0; s < 3; ++s) {
+      std::string swap_error;
+      EXPECT_TRUE(gateway.Swap("live", tspn_checkpoint_, &swap_error))
+          << swap_error;
+    }
+    swap_done.store(true);
+  });
+
+  for (std::thread& t : clients) t.join();
+  swapper.join();
+
+  EXPECT_TRUE(swap_done.load());
+  EXPECT_EQ(mismatches.load(), 0);
+  EXPECT_EQ(errored.load(), 0) << "hot swap dropped or errored futures";
+
+  EndpointStats stats;
+  ASSERT_TRUE(gateway.GetEndpointStats("live", &stats));
+  EXPECT_EQ(stats.swaps, 3);
+  // The current deployment's engine only counts post-swap traffic; the
+  // fleet never lost a request (none errored), so the swap was transparent.
+  GatewayStats snapshot = gateway.Snapshot();
+  EXPECT_EQ(snapshot.total_swaps, 3);
+}
+
+TEST_F(GatewayTest, SwapFailuresKeepTheOldDeploymentServing) {
+  Gateway gateway;
+  std::string error;
+  ASSERT_TRUE(gateway.Deploy("live", TspnConfig(), &error)) << error;
+
+  EXPECT_FALSE(gateway.Swap("absent", tspn_checkpoint_, &error));
+  EXPECT_FALSE(
+      gateway.Swap("live", testing::TempDir() + "/missing.ckpt", &error));
+  EXPECT_NE(error.find("missing.ckpt"), std::string::npos);
+
+  // Still serving on the original weights.
+  auto samples = dataset_->Samples(data::Split::kTest);
+  eval::RecommendRequest request;
+  request.sample = samples[0];
+  request.top_n = 5;
+  ExpectBitIdentical(gateway.Submit("live", request).get(),
+                     reference_->Recommend(request));
+  EndpointStats stats;
+  ASSERT_TRUE(gateway.GetEndpointStats("live", &stats));
+  EXPECT_EQ(stats.swaps, 0);
+}
+
+TEST_F(GatewayTest, UndeployDrainsAndRefusesNewTraffic) {
+  Gateway gateway;
+  std::string error;
+  ASSERT_TRUE(gateway.Deploy("gone-soon", TspnConfig(1), &error)) << error;
+
+  auto samples = dataset_->Samples(data::Split::kTest);
+  eval::RecommendRequest request;
+  request.sample = samples[0];
+  request.top_n = 5;
+  auto pending = gateway.Submit("gone-soon", request);
+  ASSERT_TRUE(gateway.Undeploy("gone-soon", &error)) << error;
+
+  // The queued request was served before teardown finished.
+  ExpectBitIdentical(pending.get(), reference_->Recommend(request));
+  EXPECT_FALSE(gateway.Has("gone-soon"));
+  EXPECT_THROW(gateway.Submit("gone-soon", request).get(), std::runtime_error);
+  EXPECT_FALSE(gateway.Undeploy("gone-soon", &error));
+}
+
+TEST_F(GatewayTest, ServeFrameRoundTripsTheWireProtocol) {
+  Gateway gateway;
+  std::string error;
+  ASSERT_TRUE(gateway.Deploy("wire", TspnConfig(), &error)) << error;
+
+  auto samples = dataset_->Samples(data::Split::kTest);
+  eval::RecommendRequest request;
+  request.sample = samples[0];
+  request.top_n = 7;
+  request.constraints.exclude_visited = true;
+
+  const std::vector<uint8_t> reply =
+      gateway.ServeFrame(EncodeRecommendRequest("wire", request));
+  eval::RecommendResponse response;
+  ASSERT_EQ(DecodeRecommendResponse(reply, &response), DecodeStatus::kOk)
+      << "reply was not a response frame";
+  ExpectBitIdentical(response, reference_->Recommend(request));
+
+  // Unknown endpoint -> error frame naming the endpoint.
+  const std::vector<uint8_t> unknown =
+      gateway.ServeFrame(EncodeRecommendRequest("nope", request));
+  std::string message;
+  ASSERT_EQ(DecodeErrorFrame(unknown, &message), DecodeStatus::kOk);
+  EXPECT_NE(message.find("nope"), std::string::npos);
+
+  // Corrupt request -> error frame naming the decode failure, not a crash.
+  std::vector<uint8_t> corrupt = EncodeRecommendRequest("wire", request);
+  corrupt.resize(corrupt.size() / 2);
+  ASSERT_EQ(DecodeErrorFrame(gateway.ServeFrame(corrupt), &message),
+            DecodeStatus::kOk);
+  EXPECT_NE(message.find("kTruncated"), std::string::npos);
+
+  // A response frame submitted as a request is rejected as the wrong type.
+  ASSERT_EQ(DecodeErrorFrame(gateway.ServeFrame(reply), &message),
+            DecodeStatus::kOk);
+  EXPECT_NE(message.find("kWrongFrameType"), std::string::npos);
+
+  // A well-formed frame carrying out-of-range sample indices must come
+  // back as an error frame — dataset bounds checks abort the process, so
+  // these must never reach a worker thread.
+  const std::vector<data::SampleRef> bogus_samples = {
+      {100000, 0, 1}, {0, 100000, 1}, {0, 0, 100000}, {-1, 0, 1}, {0, 0, 0}};
+  for (const data::SampleRef& sample : bogus_samples) {
+    eval::RecommendRequest bogus;
+    bogus.sample = sample;
+    bogus.top_n = 5;
+    ASSERT_EQ(DecodeErrorFrame(
+                  gateway.ServeFrame(EncodeRecommendRequest("wire", bogus)),
+                  &message),
+              DecodeStatus::kOk)
+        << sample.user << "/" << sample.traj << "/" << sample.prefix_len;
+    EXPECT_NE(message.find("out of range"), std::string::npos) << message;
+  }
+  eval::RecommendRequest negative_topn;
+  negative_topn.sample = samples[0];
+  negative_topn.top_n = -1;
+  ASSERT_EQ(
+      DecodeErrorFrame(
+          gateway.ServeFrame(EncodeRecommendRequest("wire", negative_topn)),
+          &message),
+      DecodeStatus::kOk);
+  EXPECT_NE(message.find("top_n"), std::string::npos);
+
+  // The endpoint survived all of it.
+  ASSERT_EQ(DecodeRecommendResponse(
+                gateway.ServeFrame(EncodeRecommendRequest("wire", request)),
+                &response),
+            DecodeStatus::kOk);
+}
+
+TEST_F(GatewayTest, LifecycleRacesSubmittersWithoutCrashOrHang) {
+  // Deploy/swap/undeploy cycling on two endpoints while submitter threads
+  // fire at both names the whole time: every future must resolve (value or
+  // clean error), the gateway must never crash. This is the TSan-gated
+  // concurrency test.
+  Gateway gateway;
+  std::string error;
+  ASSERT_TRUE(gateway.Deploy("a", TspnConfig(2), &error)) << error;
+  ASSERT_TRUE(gateway.Deploy("b", McConfig(), &error)) << error;
+
+  auto samples = dataset_->Samples(data::Split::kTest);
+  std::atomic<bool> stop{false};
+  std::atomic<int> resolved{0};
+  std::atomic<int> clean_errors{0};
+
+  std::vector<std::thread> submitters;
+  for (int c = 0; c < 3; ++c) {
+    submitters.emplace_back([&, c] {
+      int i = 0;
+      while (!stop.load()) {
+        eval::RecommendRequest request;
+        request.sample = samples[static_cast<size_t>(i++) % samples.size()];
+        request.top_n = 5;
+        const char* endpoint = (c + i) % 2 == 0 ? "a" : "b";
+        try {
+          gateway.Submit(endpoint, request).get();
+          resolved.fetch_add(1);
+        } catch (const std::runtime_error&) {
+          clean_errors.fetch_add(1);  // undeployed window: acceptable
+        }
+      }
+    });
+  }
+
+  std::thread lifecycle([&] {
+    for (int cycle = 0; cycle < 4; ++cycle) {
+      std::string e;
+      EXPECT_TRUE(gateway.Swap("a", tspn_checkpoint_, &e)) << e;
+      EXPECT_TRUE(gateway.Undeploy("b", &e)) << e;
+      EXPECT_TRUE(gateway.Deploy("b", McConfig(), &e)) << e;
+    }
+  });
+
+  lifecycle.join();
+  stop.store(true);
+  for (std::thread& t : submitters) t.join();
+
+  EXPECT_GT(resolved.load(), 0);
+  // Undeploy drains accepted requests, so errors can only come from submits
+  // that arrived while "b" was absent — never from dropped futures.
+  GatewayStats snapshot = gateway.Snapshot();
+  EXPECT_EQ(snapshot.endpoints, 2);
+}
+
+}  // namespace
+}  // namespace tspn::serve
