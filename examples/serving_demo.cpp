@@ -4,27 +4,33 @@
 //   1. Two synthetic cities are generated and a TSPN-RA checkpoint is
 //      trained (or restored from a previous run) for each, plus a "v2"
 //      checkpoint for the first city (one extra epoch of training).
-//   2. The gateway deploys endpoint "uptown" (city A) and "harbor"
-//      (city B), each with its own InferenceEngine, via the model
-//      registry + ModelOptions key/value knobs.
+//   2. The gateway deploys endpoint "uptown" (city A) synchronously and
+//      "harbor" (city B) via DeployAsync — the caller polls DeployStatus
+//      while the model builds on a background thread.
 //   3. Client threads fire frame-encoded requests (serve/codec.h) at both
-//      endpoints through Gateway::ServeFrame — the wire path a socket
-//      front-end would use.
-//   4. Mid-run, "uptown" is hot-swapped onto the v2 checkpoint: in-flight
-//      requests finish on the old weights, new ones see the new model, and
-//      no future is dropped.
-//   5. The aggregate GatewayStats snapshot prints per-endpoint QPS,
-//      latency percentiles, queue depth and swap counts.
+//      endpoints. Default mode drives Gateway::ServeFrame in-process;
+//      `--socket` starts a serve::FrameServer on an ephemeral loopback
+//      port and the clients connect over real TCP with serve::FrameClient
+//      (length-delimited TSWP frames, pipelined per connection).
+//   4. Mid-run, "uptown" is hot-swapped onto the v2 checkpoint with
+//      SwapAsync: in-flight requests finish on the old weights, new ones
+//      see the new model, and no reply is dropped.
+//   5. The aggregate GatewayStats snapshot prints per-endpoint lifetime
+//      QPS, latency percentiles, queue depth and swap counts — plus the
+//      FrameServer's socket counters in --socket mode.
 //
-//   ./build/serving_demo
+//   ./build/serving_demo [--socket]
 //
-// Knobs (see README.md): TSPN_SERVE_THREADS, TSPN_SERVE_QUEUE_DEPTH,
-// TSPN_SERVE_MAX_BATCH, TSPN_SERVE_COALESCE_US; TSPN_CHECKPOINT_DIR
-// overrides where the demo's checkpoints live (default ".").
+// Knobs (docs/operations.md): TSPN_SERVE_THREADS, TSPN_SERVE_QUEUE_DEPTH,
+// TSPN_SERVE_MAX_BATCH, TSPN_SERVE_COALESCE_US, TSPN_SERVE_IO_THREADS;
+// TSPN_CHECKPOINT_DIR overrides where the demo's checkpoints live
+// (default ".").
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <string>
 #include <thread>
 #include <vector>
@@ -33,6 +39,8 @@
 #include "data/dataset.h"
 #include "eval/model_registry.h"
 #include "serve/codec.h"
+#include "serve/frame_client.h"
+#include "serve/frame_server.h"
 #include "serve/gateway.h"
 
 using namespace tspn;
@@ -61,9 +69,25 @@ bool EnsureCheckpoint(const std::string& model_name,
   return true;
 }
 
+/// Polls until the endpoint's async operation settles. Returns the final
+/// status (kLive on success).
+serve::DeployStatus AwaitSettled(const serve::Gateway& gateway,
+                                 const std::string& endpoint) {
+  for (;;) {
+    serve::DeployStatus status = gateway.GetDeployStatus(endpoint);
+    if (status.state != serve::DeployState::kBuilding) return status;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bool socket_mode = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--socket") == 0) socket_mode = true;
+  }
+
   // 1. Two cities: a dense "uptown" grid and a second, differently seeded
   // "harbor" city — the multi-tenant case of one process serving several
   // spatially distinct regions.
@@ -93,8 +117,10 @@ int main() {
     return 1;
   }
 
-  // 2. Gateway with two named endpoints. Model knobs travel as key/value
-  // strings (unknown keys would fail the deploy loudly).
+  // 2. Gateway with two named endpoints. "uptown" deploys synchronously;
+  // "harbor" uses the async path — the build runs on a background thread
+  // and the caller polls DeployStatus, exactly how an operator console
+  // would keep its UI responsive during a slow model construction.
   serve::Gateway gateway;
   serve::DeployConfig uptown_config;
   uptown_config.model_name = "TSPN-RA";
@@ -107,19 +133,37 @@ int main() {
 
   std::string error;
   if (!gateway.Deploy("uptown", uptown_config, &error) ||
-      !gateway.Deploy("harbor", harbor_config, &error)) {
+      !gateway.DeployAsync("harbor", harbor_config, &error)) {
     std::printf("deploy failed: %s\n", error.c_str());
+    return 1;
+  }
+  const serve::DeployStatus harbor_status = AwaitSettled(gateway, "harbor");
+  if (harbor_status.state != serve::DeployState::kLive) {
+    std::printf("async deploy failed: %s\n", harbor_status.error.c_str());
     return 1;
   }
   std::printf("\nDeployed endpoints:");
   for (const std::string& name : gateway.Endpoints()) {
     std::printf(" %s", name.c_str());
   }
-  std::printf("\n");
+  std::printf(" (harbor via DeployAsync)\n");
 
-  // 3. Wire traffic: each client encodes requests with the versioned codec
-  // and serves them through ServeFrame, exactly as a socket front-end
-  // would. The harbor clients add a geo fence to show constrained frames.
+  // In --socket mode, the gateway gets its TCP front-end: the same frames
+  // now cross a real socket and the server pipelines them through the
+  // engines without blocking a thread per request.
+  serve::FrameServer server(gateway);
+  if (socket_mode) {
+    if (!server.Start(&error)) {
+      std::printf("frame server failed to start: %s\n", error.c_str());
+      return 1;
+    }
+    std::printf("FrameServer listening on %s:%u (%d io threads)\n",
+                server.options().host.c_str(), server.port(),
+                server.options().io_threads);
+  }
+
+  // 3. Wire traffic: each client encodes requests with the versioned codec.
+  // The harbor clients add a geo fence to show constrained frames.
   const std::vector<data::SampleRef> uptown_samples =
       uptown->Samples(data::Split::kTest);
   const std::vector<data::SampleRef> harbor_samples =
@@ -128,7 +172,6 @@ int main() {
   constexpr int kRounds = 3;
   std::atomic<int64_t> answered{0};
   std::atomic<int64_t> errored{0};
-  std::atomic<bool> swapped{false};
 
   common::Stopwatch watch;
   std::vector<std::thread> clients;
@@ -138,6 +181,12 @@ int main() {
       const bool to_uptown = c % 2 == 0;
       const auto& samples = to_uptown ? uptown_samples : harbor_samples;
       const auto& dataset = to_uptown ? uptown : harbor;
+      serve::FrameClient socket_client;
+      if (socket_mode &&
+          !socket_client.Connect("127.0.0.1", server.port())) {
+        errored.fetch_add(1);
+        return;
+      }
       for (int round = 0; round < kRounds; ++round) {
         for (size_t i = static_cast<size_t>(c) / 2; i < samples.size();
              i += kClients / 2) {
@@ -148,9 +197,11 @@ int main() {
             request.constraints.geo_center = dataset->profile().bbox.Center();
             request.constraints.geo_radius_km = 3.0;
           }
-          const std::vector<uint8_t> reply = gateway.ServeFrame(
-              serve::EncodeRecommendRequest(to_uptown ? "uptown" : "harbor",
-                                            request));
+          const std::vector<uint8_t> frame = serve::EncodeRecommendRequest(
+              to_uptown ? "uptown" : "harbor", request);
+          const std::vector<uint8_t> reply =
+              socket_mode ? socket_client.Call(frame)
+                          : gateway.ServeFrame(frame);
           eval::RecommendResponse response;
           if (serve::DecodeRecommendResponse(reply, &response) ==
               serve::DecodeStatus::kOk) {
@@ -164,28 +215,32 @@ int main() {
   }
 
   // 4. Mid-run hot swap: "uptown" moves to the v2 weights while the
-  // clients keep hammering both endpoints. In-flight requests drain on v1.
-  std::thread swapper([&] {
-    std::string swap_error;
-    if (gateway.Swap("uptown", uptown_v2, &swap_error)) {
-      swapped.store(true);
-    } else {
-      std::printf("hot swap failed: %s\n", swap_error.c_str());
-    }
-  });
+  // clients keep hammering both endpoints. SwapAsync builds the
+  // replacement off-thread; in-flight requests drain on v1.
+  std::string swap_error;
+  bool swapped = false;
+  if (gateway.SwapAsync("uptown", uptown_v2, &swap_error)) {
+    const serve::DeployStatus status = AwaitSettled(gateway, "uptown");
+    swapped = status.state == serve::DeployState::kLive;
+    if (!swapped) swap_error = status.error;
+  }
+  if (!swapped) {
+    std::printf("hot swap failed: %s\n", swap_error.c_str());
+  }
 
   for (std::thread& t : clients) t.join();
-  swapper.join();
   const double seconds = watch.ElapsedSeconds();
 
-  std::printf("\nServed %lld wire frames in %.2fs (%.1f qps overall), "
+  std::printf("\nServed %lld wire frames in %.2fs (%.1f qps overall) via %s, "
               "%lld error frames, hot swap %s mid-run\n",
               static_cast<long long>(answered.load()), seconds,
               static_cast<double>(answered.load()) / seconds,
+              socket_mode ? "TCP loopback" : "in-process ServeFrame",
               static_cast<long long>(errored.load()),
-              swapped.load() ? "completed" : "did not complete");
+              swapped ? "completed" : "did not complete");
 
-  // 5. Aggregate snapshot: one row per endpoint.
+  // 5. Aggregate snapshot: one row per endpoint. qps/uptime are lifetime
+  // scoped (they survive the swap); the window columns reset with it.
   serve::GatewayStats snapshot = gateway.Snapshot();
   std::printf("\nGateway snapshot: %lld endpoints, %lld completed, "
               "%lld swaps\n",
@@ -193,13 +248,24 @@ int main() {
               static_cast<long long>(snapshot.total_completed),
               static_cast<long long>(snapshot.total_swaps));
   for (const serve::EndpointStats& ep : snapshot.per_endpoint) {
-    std::printf("  %-8s %-8s ckpt=%-28s qps=%7.1f p50=%6.3fms p95=%6.3fms "
-                "queue=%lld swaps=%lld\n",
+    std::printf("  %-8s %-8s ckpt=%-28s qps=%7.1f (window %7.1f) "
+                "p50=%6.3fms p95=%6.3fms queue=%lld swaps=%lld\n",
                 ep.endpoint.c_str(), ep.model_name.c_str(),
-                ep.checkpoint_path.c_str(), ep.qps, ep.engine.p50_latency_ms,
-                ep.engine.p95_latency_ms,
+                ep.checkpoint_path.c_str(), ep.qps, ep.window_qps,
+                ep.engine.p50_latency_ms, ep.engine.p95_latency_ms,
                 static_cast<long long>(ep.queue_depth),
                 static_cast<long long>(ep.swaps));
+  }
+  if (socket_mode) {
+    const serve::FrameServerStats fs = server.GetStats();
+    std::printf("\nFrameServer: %lld conns, %lld frames in, %lld out, "
+                "max in-flight %lld, %lld transport errors\n",
+                static_cast<long long>(fs.connections_accepted),
+                static_cast<long long>(fs.frames_received),
+                static_cast<long long>(fs.frames_sent),
+                static_cast<long long>(fs.max_in_flight_observed),
+                static_cast<long long>(fs.transport_errors));
+    server.Stop();
   }
 
   // One decoded answer per endpoint, to show the payload end to end.
@@ -230,5 +296,5 @@ int main() {
   // Clean teardown: undeploy drains both endpoints.
   gateway.Undeploy("uptown");
   gateway.Undeploy("harbor");
-  return errored.load() == 0 && swapped.load() ? 0 : 1;
+  return errored.load() == 0 && swapped ? 0 : 1;
 }

@@ -1,0 +1,191 @@
+#include "common/net.h"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace tspn::common {
+
+namespace {
+
+void SetError(std::string* error, const std::string& what) {
+  if (error != nullptr) *error = what + ": " + std::strerror(errno);
+}
+
+/// Parses a dotted-quad host into an IPv4 sockaddr. The serving stack is
+/// loopback/LAN-oriented; name resolution is the caller's business.
+bool FillAddr(const std::string& host, uint16_t port, sockaddr_in* addr,
+              std::string* error) {
+  std::memset(addr, 0, sizeof(*addr));
+  addr->sin_family = AF_INET;
+  addr->sin_port = htons(port);
+  if (host.empty() || host == "0.0.0.0") {
+    addr->sin_addr.s_addr = htonl(INADDR_ANY);
+    return true;
+  }
+  if (inet_pton(AF_INET, host.c_str(), &addr->sin_addr) == 1) return true;
+  if (error != nullptr) {
+    *error = "host '" + host + "' is not a dotted-quad IPv4 address";
+  }
+  return false;
+}
+
+}  // namespace
+
+void UniqueFd::Reset(int fd) {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = fd;
+}
+
+bool SetNonBlocking(int fd, std::string* error) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    SetError(error, "fcntl(O_NONBLOCK)");
+    return false;
+  }
+  return true;
+}
+
+UniqueFd ListenTcp(const std::string& host, uint16_t port, int backlog,
+                   uint16_t* bound_port, std::string* error) {
+  sockaddr_in addr;
+  if (!FillAddr(host, port, &addr, error)) return UniqueFd();
+  UniqueFd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) {
+    SetError(error, "socket");
+    return UniqueFd();
+  }
+  const int one = 1;
+  ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (::bind(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) < 0) {
+    SetError(error, "bind " + host + ":" + std::to_string(port));
+    return UniqueFd();
+  }
+  if (::listen(fd.get(), backlog) < 0) {
+    SetError(error, "listen");
+    return UniqueFd();
+  }
+  if (!SetNonBlocking(fd.get(), error)) return UniqueFd();
+  if (bound_port != nullptr) {
+    sockaddr_in actual;
+    socklen_t len = sizeof(actual);
+    if (::getsockname(fd.get(), reinterpret_cast<sockaddr*>(&actual), &len) <
+        0) {
+      SetError(error, "getsockname");
+      return UniqueFd();
+    }
+    *bound_port = ntohs(actual.sin_port);
+  }
+  return fd;
+}
+
+UniqueFd ConnectTcp(const std::string& host, uint16_t port,
+                    std::string* error) {
+  sockaddr_in addr;
+  if (!FillAddr(host.empty() ? "127.0.0.1" : host, port, &addr, error)) {
+    return UniqueFd();
+  }
+  UniqueFd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) {
+    SetError(error, "socket");
+    return UniqueFd();
+  }
+  int rc;
+  do {
+    rc = ::connect(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+                   sizeof(addr));
+  } while (rc < 0 && errno == EINTR);
+  if (rc < 0) {
+    SetError(error, "connect " + host + ":" + std::to_string(port));
+    return UniqueFd();
+  }
+  // Frames are small and latency-sensitive; don't let Nagle hold a response
+  // frame hostage to the next one.
+  const int one = 1;
+  ::setsockopt(fd.get(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
+bool WriteAll(int fd, const void* data, size_t size) {
+  const auto* p = static_cast<const uint8_t*>(data);
+  while (size > 0) {
+    // MSG_NOSIGNAL: a peer that closed mid-write must surface as an error
+    // return, never as a process-killing SIGPIPE. send() fails with ENOTSOCK
+    // on non-socket fds, where plain write() (no SIGPIPE concern from
+    // sockets) takes over.
+    ssize_t n = ::send(fd, p, size, MSG_NOSIGNAL);
+    if (n < 0 && errno == ENOTSOCK) n = ::write(fd, p, size);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (n == 0) return false;
+    p += n;
+    size -= static_cast<size_t>(n);
+  }
+  return true;
+}
+
+bool ReadAll(int fd, void* data, size_t size) {
+  auto* p = static_cast<uint8_t*>(data);
+  while (size > 0) {
+    const ssize_t n = ::read(fd, p, size);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (n == 0) return false;  // EOF mid-object
+    p += n;
+    size -= static_cast<size_t>(n);
+  }
+  return true;
+}
+
+void StoreU32Le(uint32_t value, uint8_t out[4]) {
+  out[0] = static_cast<uint8_t>(value & 0xff);
+  out[1] = static_cast<uint8_t>((value >> 8) & 0xff);
+  out[2] = static_cast<uint8_t>((value >> 16) & 0xff);
+  out[3] = static_cast<uint8_t>((value >> 24) & 0xff);
+}
+
+uint32_t LoadU32Le(const uint8_t bytes[4]) {
+  return static_cast<uint32_t>(bytes[0]) |
+         (static_cast<uint32_t>(bytes[1]) << 8) |
+         (static_cast<uint32_t>(bytes[2]) << 16) |
+         (static_cast<uint32_t>(bytes[3]) << 24);
+}
+
+WakePipe::WakePipe() {
+  int fds[2];
+  if (::pipe(fds) != 0) return;
+  read_.Reset(fds[0]);
+  write_.Reset(fds[1]);
+  SetNonBlocking(read_.get());
+  SetNonBlocking(write_.get());
+}
+
+void WakePipe::Notify() {
+  if (!write_.valid()) return;
+  const uint8_t byte = 1;
+  // EAGAIN means the pipe already holds unconsumed wake bytes: the poller is
+  // guaranteed to wake, so dropping this one is correct.
+  ssize_t rc;
+  do {
+    rc = ::write(write_.get(), &byte, 1);
+  } while (rc < 0 && errno == EINTR);
+}
+
+void WakePipe::Drain() {
+  if (!read_.valid()) return;
+  uint8_t scratch[64];
+  while (::read(read_.get(), scratch, sizeof(scratch)) > 0) {
+  }
+}
+
+}  // namespace tspn::common

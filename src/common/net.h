@@ -1,0 +1,104 @@
+#ifndef TSPN_COMMON_NET_H_
+#define TSPN_COMMON_NET_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <utility>
+
+namespace tspn::common {
+
+/// RAII owner of one POSIX file descriptor (socket, pipe end, ...). Closes
+/// on destruction; movable, not copyable, so a descriptor has exactly one
+/// owner and a leaked fd is a compile-time shape error, not a runtime hunt.
+class UniqueFd {
+ public:
+  UniqueFd() = default;
+  explicit UniqueFd(int fd) : fd_(fd) {}
+  ~UniqueFd() { Reset(); }
+
+  UniqueFd(UniqueFd&& other) noexcept : fd_(other.Release()) {}
+  UniqueFd& operator=(UniqueFd&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      fd_ = other.Release();
+    }
+    return *this;
+  }
+
+  UniqueFd(const UniqueFd&) = delete;
+  UniqueFd& operator=(const UniqueFd&) = delete;
+
+  int get() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+
+  /// Closes the held descriptor (if any) and takes ownership of `fd`.
+  void Reset(int fd = -1);
+
+  /// Gives up ownership without closing; returns the descriptor.
+  int Release() {
+    int fd = fd_;
+    fd_ = -1;
+    return fd;
+  }
+
+ private:
+  int fd_ = -1;
+};
+
+/// Puts the descriptor into non-blocking mode. False (with *error set) on
+/// fcntl failure.
+bool SetNonBlocking(int fd, std::string* error = nullptr);
+
+/// Opens a TCP listener bound to host:port (port 0 picks an ephemeral port;
+/// the actual one is written to *bound_port). Returns an invalid UniqueFd
+/// with *error set on failure. The socket is non-blocking with SO_REUSEADDR.
+UniqueFd ListenTcp(const std::string& host, uint16_t port, int backlog,
+                   uint16_t* bound_port, std::string* error = nullptr);
+
+/// Blocking TCP connect to host:port. Invalid UniqueFd with *error on
+/// failure. The returned socket is in blocking mode (callers that want a
+/// non-blocking socket run SetNonBlocking on it).
+UniqueFd ConnectTcp(const std::string& host, uint16_t port,
+                    std::string* error = nullptr);
+
+/// Blocking, EINTR-safe full write of `size` bytes. Uses send(MSG_NOSIGNAL)
+/// on sockets so a peer that hung up yields `false`, not SIGPIPE.
+bool WriteAll(int fd, const void* data, size_t size);
+
+/// Blocking, EINTR-safe full read of `size` bytes; false on EOF or error.
+bool ReadAll(int fd, void* data, size_t size);
+
+/// Little-endian uint32 byte helpers — the single definition of the
+/// length-prefix framing shared by serve::FrameServer and
+/// serve::FrameClient (docs/wire_protocol.md "Transport framing").
+void StoreU32Le(uint32_t value, uint8_t out[4]);
+uint32_t LoadU32Le(const uint8_t bytes[4]);
+
+/// Self-pipe for waking a poll() loop from another thread: the loop polls
+/// read_fd() for POLLIN, any thread calls Notify(), the loop calls Drain()
+/// when woken. Both ends are non-blocking, so Notify never stalls (a full
+/// pipe already guarantees a pending wake-up).
+class WakePipe {
+ public:
+  WakePipe();
+
+  bool valid() const { return read_.valid() && write_.valid(); }
+  int read_fd() const { return read_.get(); }
+
+  /// Wakes the poller. Safe from any thread; a no-op if the pipe is full
+  /// (the reader is already due to wake).
+  void Notify();
+
+  /// Discards every pending wake byte. Called by the poll loop after it
+  /// observes POLLIN on read_fd().
+  void Drain();
+
+ private:
+  UniqueFd read_;
+  UniqueFd write_;
+};
+
+}  // namespace tspn::common
+
+#endif  // TSPN_COMMON_NET_H_

@@ -1,0 +1,51 @@
+#include "serve/frame_client.h"
+
+namespace tspn::serve {
+
+bool FrameClient::Connect(const std::string& host, uint16_t port,
+                          std::string* error) {
+  fd_ = common::ConnectTcp(host, port, error);
+  return fd_.valid();
+}
+
+bool FrameClient::SendFrame(const std::vector<uint8_t>& frame) {
+  if (!fd_.valid()) return false;
+  uint8_t prefix[4];
+  common::StoreU32Le(static_cast<uint32_t>(frame.size()), prefix);
+  if (!common::WriteAll(fd_.get(), prefix, sizeof(prefix)) ||
+      !common::WriteAll(fd_.get(), frame.data(), frame.size())) {
+    Close();
+    return false;
+  }
+  return true;
+}
+
+bool FrameClient::RecvFrame(std::vector<uint8_t>* frame,
+                            int64_t max_frame_bytes) {
+  if (!fd_.valid()) return false;
+  uint8_t prefix[4];
+  if (!common::ReadAll(fd_.get(), prefix, sizeof(prefix))) {
+    Close();
+    return false;
+  }
+  const uint32_t length = common::LoadU32Le(prefix);
+  if (static_cast<int64_t>(length) > max_frame_bytes) {
+    Close();
+    return false;
+  }
+  frame->resize(length);
+  if (length > 0 && !common::ReadAll(fd_.get(), frame->data(), length)) {
+    Close();
+    return false;
+  }
+  return true;
+}
+
+std::vector<uint8_t> FrameClient::Call(
+    const std::vector<uint8_t>& request_frame) {
+  std::vector<uint8_t> reply;
+  if (!SendFrame(request_frame) || !RecvFrame(&reply)) reply.clear();
+  return reply;
+}
+
+}  // namespace tspn::serve

@@ -1,0 +1,52 @@
+#ifndef TSPN_SERVE_FRAME_CLIENT_H_
+#define TSPN_SERVE_FRAME_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/net.h"
+
+namespace tspn::serve {
+
+/// Minimal blocking TCP client for the FrameServer transport: each frame
+/// travels as a uint32 little-endian length prefix followed by the TSWP
+/// frame bytes (docs/wire_protocol.md). Split Send/Recv lets callers
+/// pipeline — fire several requests, then collect the replies, which the
+/// server returns strictly in request order per connection.
+///
+/// Blocking by design: this is the convenience side (tests, demos, simple
+/// tools). The server side is the one that must never park a thread.
+/// Not thread-safe; one FrameClient per thread.
+class FrameClient {
+ public:
+  FrameClient() = default;
+
+  bool Connect(const std::string& host, uint16_t port,
+               std::string* error = nullptr);
+  bool connected() const { return fd_.valid(); }
+  void Close() { fd_.Reset(); }
+
+  /// Writes one length-delimited frame. False on transport failure (the
+  /// connection is closed — a half-written frame is unrecoverable).
+  bool SendFrame(const std::vector<uint8_t>& frame);
+
+  /// Blocks for the next length-delimited frame. False on EOF, transport
+  /// failure, or a declared length above `max_frame_bytes`.
+  bool RecvFrame(std::vector<uint8_t>* frame,
+                 int64_t max_frame_bytes = 1 << 20);
+
+  /// SendFrame + RecvFrame; empty vector on any transport failure.
+  std::vector<uint8_t> Call(const std::vector<uint8_t>& request_frame);
+
+  /// The raw socket, for tests that need to write byte dribbles or tear
+  /// the connection down mid-frame.
+  int fd() const { return fd_.get(); }
+
+ private:
+  common::UniqueFd fd_;
+};
+
+}  // namespace tspn::serve
+
+#endif  // TSPN_SERVE_FRAME_CLIENT_H_

@@ -54,10 +54,45 @@ std::string ValidateRequest(const data::CityDataset& dataset,
 
 }  // namespace
 
+const char* DeployStateName(DeployState state) {
+  switch (state) {
+    case DeployState::kNone: return "kNone";
+    case DeployState::kBuilding: return "kBuilding";
+    case DeployState::kLive: return "kLive";
+    case DeployState::kFailed: return "kFailed";
+  }
+  return "kUnknown";
+}
+
 Gateway::Deployment::~Deployment() {
   // Drain before teardown: Shutdown() serves everything already queued and
   // joins the workers, so no accepted request's future is ever dropped.
-  if (engine != nullptr) engine->Shutdown();
+  if (engine != nullptr) {
+    engine->Shutdown();
+    // Fold this generation's final counters into the endpoint's lifetime
+    // totals. Running after the drain means every request this deployment
+    // ever accepted is in these numbers — the reason the fold lives here
+    // and not at swap time, when stragglers may still be in flight.
+    if (cumulative != nullptr) {
+      const EngineStats final_stats = engine->GetStats();
+      cumulative->submitted.fetch_add(final_stats.submitted);
+      cumulative->completed.fetch_add(final_stats.completed);
+      cumulative->rejected.fetch_add(final_stats.rejected);
+      cumulative->batches.fetch_add(final_stats.batches);
+    }
+  }
+}
+
+void Gateway::InstallLocked(Endpoint& entry,
+                           std::shared_ptr<Deployment> deployment) {
+  if (entry.cumulative == nullptr) {
+    // First generation for this endpoint name: the lifetime clock and
+    // counters start here. Later generations inherit both across swaps.
+    entry.cumulative = std::make_shared<CumulativeCounters>();
+    entry.first_live = deployment->live_since;
+  }
+  deployment->cumulative = entry.cumulative;
+  entry.current = std::move(deployment);
 }
 
 std::shared_ptr<Gateway::Deployment> Gateway::BuildDeployment(
@@ -134,12 +169,77 @@ bool Gateway::Deploy(const std::string& endpoint, const DeployConfig& config,
     std::lock_guard<std::mutex> lock(mutex_);
     auto [it, inserted] = endpoints_.try_emplace(endpoint);
     if (!inserted) {
-      SetError(error, "endpoint '" + endpoint +
-                          "' is already deployed (use Swap to hot-reload)");
+      SetError(error, it->second.current == nullptr
+                          ? "endpoint '" + endpoint +
+                                "' is still deploying asynchronously"
+                          : "endpoint '" + endpoint +
+                                "' is already deployed (use Swap to "
+                                "hot-reload)");
       return false;
     }
-    it->second.current = std::move(deployment);
+    InstallLocked(it->second, std::move(deployment));
+    async_status_.erase(endpoint);  // sync success supersedes async history
   }
+  return true;
+}
+
+bool Gateway::DeployAsync(const std::string& endpoint,
+                          const DeployConfig& config, std::string* error) {
+  if (endpoint.empty()) {
+    SetError(error, "endpoint name must be non-empty");
+    return false;
+  }
+  if (endpoint.size() > kMaxEndpointNameLen) {
+    SetError(error, "endpoint name exceeds " +
+                        std::to_string(kMaxEndpointNameLen) + " bytes");
+    return false;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    // Reserve the name with a placeholder entry (null current): duplicate
+    // deploys fail instantly, submits are rejected until the build lands.
+    auto [it, inserted] = endpoints_.try_emplace(endpoint);
+    if (!inserted) {
+      SetError(error, it->second.current == nullptr
+                          ? "endpoint '" + endpoint +
+                                "' is still deploying asynchronously"
+                          : "endpoint '" + endpoint + "' is already deployed");
+      return false;
+    }
+    async_status_[endpoint] = {DeployState::kBuilding, ""};
+  }
+  StartAsyncOp([this, endpoint, config] {
+    std::string build_error;
+    std::shared_ptr<Deployment> deployment =
+        BuildDeployment(config, &build_error);
+    // `discarded` (if any) is released after the lock: its engine teardown
+    // must never run under the gateway mutex.
+    std::shared_ptr<Deployment> discarded;
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = endpoints_.find(endpoint);
+    const bool reserved =
+        it != endpoints_.end() && it->second.current == nullptr;
+    if (deployment == nullptr) {
+      // Release the reservation so the name can be deployed again; the
+      // failure stays pollable until then.
+      if (reserved) endpoints_.erase(it);
+      async_status_[endpoint] = {DeployState::kFailed, build_error};
+      return;
+    }
+    if (!reserved) {
+      // The placeholder vanished or was replaced while building (a
+      // lifecycle race only the gateway destructor can cause today, since
+      // Undeploy refuses placeholders). Discard the build: it never
+      // accepted a request.
+      discarded = std::move(deployment);
+      async_status_[endpoint] = {DeployState::kFailed,
+                                 "endpoint '" + endpoint +
+                                     "' changed during async deploy"};
+      return;
+    }
+    InstallLocked(it->second, std::move(deployment));
+    async_status_[endpoint] = {DeployState::kLive, ""};
+  });
   return true;
 }
 
@@ -151,7 +251,7 @@ bool Gateway::Swap(const std::string& endpoint,
   {
     std::lock_guard<std::mutex> lock(mutex_);
     auto it = endpoints_.find(endpoint);
-    if (it == endpoints_.end()) {
+    if (it == endpoints_.end() || it->second.current == nullptr) {
       SetError(error, "endpoint '" + endpoint + "' is not deployed");
       return false;
     }
@@ -176,12 +276,131 @@ bool Gateway::Swap(const std::string& endpoint,
       return false;
     }
     old = std::move(it->second.current);
-    it->second.current = std::move(fresh);
+    InstallLocked(it->second, std::move(fresh));
     ++it->second.swaps;
+    async_status_.erase(endpoint);  // sync success supersedes async history
   }
   // `old` dies here (or when the last in-flight submitter releases it):
-  // its engine drains every queued request against the old weights first.
+  // its engine drains every queued request against the old weights first,
+  // then folds its counters into the endpoint's lifetime totals.
   return true;
+}
+
+bool Gateway::SwapAsync(const std::string& endpoint,
+                        const std::string& checkpoint_path,
+                        std::string* error) {
+  std::shared_ptr<Deployment> snapshot;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = endpoints_.find(endpoint);
+    if (it == endpoints_.end() || it->second.current == nullptr) {
+      SetError(error, "endpoint '" + endpoint + "' is not deployed");
+      return false;
+    }
+    auto status = async_status_.find(endpoint);
+    if (status != async_status_.end() &&
+        status->second.state == DeployState::kBuilding) {
+      SetError(error, "endpoint '" + endpoint +
+                          "' already has an async operation in progress");
+      return false;
+    }
+    snapshot = it->second.current;
+    async_status_[endpoint] = {DeployState::kBuilding, ""};
+  }
+  // Mutable so the op can drop its `snapshot` pin before it finishes: the
+  // retiring generation must drain on THIS builder thread (or an in-flight
+  // submitter), never on whoever later joins the builder.
+  StartAsyncOp([this, endpoint, checkpoint_path, snapshot]() mutable {
+    DeployConfig config = snapshot->config;
+    config.checkpoint_path = checkpoint_path;
+    std::string build_error;
+    std::shared_ptr<Deployment> fresh = BuildDeployment(config, &build_error);
+    if (fresh == nullptr) {
+      SetAsyncStatus(endpoint, DeployState::kFailed, build_error);
+      return;
+    }
+    {
+      // Same install rules as the synchronous Swap: the build only lands
+      // on the generation it snapshotted. `old`/`discarded` drain outside
+      // the lock (reverse destruction order: the lock_guard dies first).
+      std::shared_ptr<Deployment> old;
+      std::shared_ptr<Deployment> discarded;
+      std::lock_guard<std::mutex> lock(mutex_);
+      auto it = endpoints_.find(endpoint);
+      if (it == endpoints_.end()) {
+        // Undeployed while we were building: the name's async history
+        // ended with it — recording a failure here would leave a phantom
+        // kFailed status on a nonexistent endpoint forever.
+        discarded = std::move(fresh);
+        async_status_.erase(endpoint);
+      } else if (it->second.current != snapshot) {
+        discarded = std::move(fresh);
+        async_status_[endpoint] = {
+            DeployState::kFailed,
+            "endpoint '" + endpoint + "' changed during async swap"};
+      } else {
+        old = std::move(it->second.current);
+        InstallLocked(it->second, std::move(fresh));
+        ++it->second.swaps;
+        async_status_[endpoint] = {DeployState::kLive, ""};
+      }
+    }
+    // Release the capture's pin on the old generation here, inside the op:
+    // if this was the last reference, the drain runs now on the builder
+    // thread — before the done flag — so a later join never inherits it.
+    snapshot.reset();
+  });
+  return true;
+}
+
+DeployStatus Gateway::GetDeployStatus(const std::string& endpoint) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  // The async record is authoritative while it exists — in particular a
+  // failed SwapAsync must stay visible even though the endpoint keeps
+  // serving the old weights. Successful synchronous lifecycle operations
+  // erase the record, so pure-sync users simply see kLive/kNone.
+  auto status = async_status_.find(endpoint);
+  if (status != async_status_.end()) return status->second;
+  auto it = endpoints_.find(endpoint);
+  if (it != endpoints_.end() && it->second.current != nullptr) {
+    return {DeployState::kLive, ""};
+  }
+  return {};
+}
+
+void Gateway::SetAsyncStatus(const std::string& endpoint, DeployState state,
+                             const std::string& error) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  async_status_[endpoint] = {state, error};
+}
+
+void Gateway::StartAsyncOp(std::function<void()> op) {
+  auto done = std::make_shared<std::atomic<bool>>(false);
+  std::thread thread([op = std::move(op), done] {
+    op();
+    done->store(true);
+  });
+  // Reap builders that already finished, so the worker list stays bounded
+  // by the number of genuinely concurrent builds. The joins run with the
+  // gateway mutex RELEASED: a finished builder's epilogue is trivial, but
+  // holding mutex_ across any join would stall every Submit/ServeFrame on
+  // every endpoint if that ever stopped being true.
+  std::vector<AsyncWorker> finished;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto it = async_workers_.begin(); it != async_workers_.end();) {
+      if (it->done->load()) {
+        finished.push_back(std::move(*it));
+        it = async_workers_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    async_workers_.push_back({std::move(thread), std::move(done)});
+  }
+  for (AsyncWorker& worker : finished) {
+    if (worker.thread.joinable()) worker.thread.join();
+  }
 }
 
 bool Gateway::Undeploy(const std::string& endpoint, std::string* error) {
@@ -193,8 +412,16 @@ bool Gateway::Undeploy(const std::string& endpoint, std::string* error) {
       SetError(error, "endpoint '" + endpoint + "' is not deployed");
       return false;
     }
+    if (it->second.current == nullptr) {
+      // A DeployAsync build is reserving this name; there is nothing to
+      // drain yet and erasing the placeholder would race the installer.
+      SetError(error, "endpoint '" + endpoint +
+                          "' is still deploying asynchronously");
+      return false;
+    }
     removed = std::move(it->second.current);
     endpoints_.erase(it);
+    async_status_.erase(endpoint);  // the name's async history ends with it
   }
   // Drain outside the lock so teardown of one endpoint cannot stall the
   // others' submits.
@@ -246,34 +473,113 @@ std::vector<uint8_t> Gateway::ServeFrame(const std::vector<uint8_t>& request_fra
   }
 }
 
+void Gateway::ServeFrameAsync(const std::vector<uint8_t>& request_frame,
+                              FrameCallback done) {
+  std::string endpoint;
+  eval::RecommendRequest request;
+  const DecodeStatus status =
+      DecodeRecommendRequest(request_frame, &endpoint, &request);
+  if (status != DecodeStatus::kOk) {
+    done(EncodeErrorFrame(std::string("bad request frame: ") +
+                          DecodeStatusName(status)));
+    return;
+  }
+  std::shared_ptr<Deployment> deployment = CurrentDeployment(endpoint);
+  if (deployment == nullptr) {
+    done(EncodeErrorFrame("no endpoint '" + endpoint + "' is deployed"));
+    return;
+  }
+  const std::string invalid =
+      ValidateRequest(*deployment->config.dataset, request);
+  if (!invalid.empty()) {
+    done(EncodeErrorFrame("invalid request for endpoint '" + endpoint +
+                          "': " + invalid));
+    return;
+  }
+  // The continuation deliberately does NOT capture the deployment: it does
+  // not need it (the response is fully computed before the callback runs,
+  // and ~Deployment's drain guarantees every queued continuation runs
+  // before the engine/model die — the same contract the future-based
+  // Submit relies on), and owning it would be a self-join hazard — the
+  // callback runs on the deployment's own engine worker, so dropping the
+  // last reference there would make the worker join itself in Shutdown.
+  // `done` is copied (not moved) into the continuation because a rejected
+  // submit never runs it — the overload error below still needs the
+  // original.
+  const bool accepted = deployment->engine->TrySubmitAsync(
+      request, [done](eval::RecommendResponse response,
+                      std::exception_ptr error) {
+        if (error != nullptr) {
+          try {
+            std::rethrow_exception(error);
+          } catch (const std::exception& e) {
+            done(EncodeErrorFrame(e.what()));
+          } catch (...) {
+            done(EncodeErrorFrame("request failed"));
+          }
+          return;
+        }
+        done(EncodeRecommendResponse(response));
+      });
+  if (!accepted) {
+    done(EncodeErrorFrame("endpoint '" + endpoint +
+                          "' is overloaded (request queue full)"));
+  }
+}
+
 bool Gateway::Has(const std::string& endpoint) const {
   std::lock_guard<std::mutex> lock(mutex_);
-  return endpoints_.count(endpoint) > 0;
+  auto it = endpoints_.find(endpoint);
+  // A placeholder reserved by DeployAsync is not serving yet.
+  return it != endpoints_.end() && it->second.current != nullptr;
 }
 
 std::vector<std::string> Gateway::Endpoints() const {
   std::lock_guard<std::mutex> lock(mutex_);
   std::vector<std::string> names;
   names.reserve(endpoints_.size());
-  for (const auto& [name, unused] : endpoints_) names.push_back(name);
+  for (const auto& [name, ep] : endpoints_) {
+    if (ep.current != nullptr) names.push_back(name);
+  }
   return names;
 }
 
-EndpointStats Gateway::StatsOf(const std::string& name,
-                               const std::shared_ptr<Deployment>& deployment,
-                               int64_t swaps) {
+EndpointStats Gateway::StatsOf(const EndpointSnapshot& snapshot) {
+  const auto now = Clock::now();
+  const std::shared_ptr<Deployment>& deployment = snapshot.deployment;
   EndpointStats stats;
-  stats.endpoint = name;
+  stats.endpoint = snapshot.name;
   stats.model_name = deployment->config.model_name;
   stats.checkpoint_path = deployment->config.checkpoint_path;
-  stats.swaps = swaps;
+  stats.swaps = snapshot.swaps;
+
+  // Window: the current deployment's engine and uptime.
   stats.queue_depth = deployment->engine->QueueDepth();
   stats.engine = deployment->engine->GetStats();
+  stats.window_uptime_seconds =
+      std::chrono::duration<double>(now - deployment->live_since).count();
+  stats.window_qps = stats.window_uptime_seconds > 0.0
+                         ? static_cast<double>(stats.engine.completed) /
+                               stats.window_uptime_seconds
+                         : 0.0;
+
+  // Lifetime: counters retired deployments folded in, plus the live window.
+  int64_t retired_submitted = 0, retired_completed = 0, retired_rejected = 0,
+          retired_batches = 0;
+  if (snapshot.cumulative != nullptr) {
+    retired_submitted = snapshot.cumulative->submitted.load();
+    retired_completed = snapshot.cumulative->completed.load();
+    retired_rejected = snapshot.cumulative->rejected.load();
+    retired_batches = snapshot.cumulative->batches.load();
+  }
+  stats.lifetime_submitted = retired_submitted + stats.engine.submitted;
+  stats.lifetime_completed = retired_completed + stats.engine.completed;
+  stats.lifetime_rejected = retired_rejected + stats.engine.rejected;
+  stats.lifetime_batches = retired_batches + stats.engine.batches;
   stats.uptime_seconds =
-      std::chrono::duration<double>(Clock::now() - deployment->live_since)
-          .count();
+      std::chrono::duration<double>(now - snapshot.first_live).count();
   stats.qps = stats.uptime_seconds > 0.0
-                  ? static_cast<double>(stats.engine.completed) /
+                  ? static_cast<double>(stats.lifetime_completed) /
                         stats.uptime_seconds
                   : 0.0;
   return stats;
@@ -281,18 +587,17 @@ EndpointStats Gateway::StatsOf(const std::string& name,
 
 bool Gateway::GetEndpointStats(const std::string& endpoint,
                                EndpointStats* out) const {
-  std::shared_ptr<Deployment> deployment;
-  int64_t swaps = 0;
+  EndpointSnapshot snapshot;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     auto it = endpoints_.find(endpoint);
-    if (it == endpoints_.end()) return false;
-    deployment = it->second.current;
-    swaps = it->second.swaps;
+    if (it == endpoints_.end() || it->second.current == nullptr) return false;
+    snapshot = {endpoint, it->second.current, it->second.swaps,
+                it->second.cumulative, it->second.first_live};
   }
   // Engine-stats queries (their own mutex, percentile computation) run with
   // the gateway mutex released so they never stall request routing.
-  *out = StatsOf(endpoint, deployment, swaps);
+  *out = StatsOf(snapshot);
   return true;
 }
 
@@ -301,23 +606,24 @@ GatewayStats Gateway::Snapshot() const {
   // it: a monitoring scrape must not block Submit/ServeFrame on any
   // endpoint while engines sort their latency rings. The shared_ptrs pin
   // each deployment exactly like an in-flight submit does.
-  std::vector<std::tuple<std::string, std::shared_ptr<Deployment>, int64_t>>
-      entries;
+  std::vector<EndpointSnapshot> entries;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     entries.reserve(endpoints_.size());
     for (const auto& [name, ep] : endpoints_) {
-      entries.emplace_back(name, ep.current, ep.swaps);
+      if (ep.current == nullptr) continue;  // DeployAsync placeholder
+      entries.push_back({name, ep.current, ep.swaps, ep.cumulative,
+                         ep.first_live});
     }
   }
   GatewayStats snapshot;
   snapshot.endpoints = static_cast<int64_t>(entries.size());
   snapshot.per_endpoint.reserve(entries.size());
-  for (const auto& [name, deployment, swaps] : entries) {
-    EndpointStats stats = StatsOf(name, deployment, swaps);
-    snapshot.total_submitted += stats.engine.submitted;
-    snapshot.total_completed += stats.engine.completed;
-    snapshot.total_rejected += stats.engine.rejected;
+  for (const EndpointSnapshot& entry : entries) {
+    EndpointStats stats = StatsOf(entry);
+    snapshot.total_submitted += stats.lifetime_submitted;
+    snapshot.total_completed += stats.lifetime_completed;
+    snapshot.total_rejected += stats.lifetime_rejected;
     snapshot.total_swaps += stats.swaps;
     snapshot.total_qps += stats.qps;
     snapshot.per_endpoint.push_back(std::move(stats));
@@ -326,6 +632,17 @@ GatewayStats Gateway::Snapshot() const {
 }
 
 Gateway::~Gateway() {
+  // Background builders first: joining them before the endpoint teardown
+  // guarantees no installer runs against a half-destroyed gateway.
+  std::vector<AsyncWorker> workers;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    workers = std::move(async_workers_);
+    async_workers_.clear();
+  }
+  for (AsyncWorker& worker : workers) {
+    if (worker.thread.joinable()) worker.thread.join();
+  }
   std::map<std::string, Endpoint> endpoints;
   {
     std::lock_guard<std::mutex> lock(mutex_);

@@ -1,13 +1,16 @@
 #ifndef TSPN_SERVE_GATEWAY_H_
 #define TSPN_SERVE_GATEWAY_H_
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <functional>
 #include <future>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "data/dataset.h"
@@ -44,26 +47,72 @@ struct DeployConfig {
   EngineOptions engine_options = EngineOptions::FromEnv();
 };
 
-/// Point-in-time serving counters for one endpoint.
+/// Point-in-time serving counters for one endpoint, split into two scopes
+/// (docs/serving.md "Window vs lifetime" spells out the semantics):
+///
+///  * the *window* — the current deployment only; resets on every swap
+///    (engine counters, window_uptime_seconds, window_qps);
+///  * the *lifetime* — cumulative since the endpoint's first Deploy,
+///    carried across swaps (lifetime_* fields and the headline `qps`).
+///
+/// A retiring deployment folds its final engine counters into the lifetime
+/// totals when it finishes draining, so lifetime counters briefly lag by
+/// the old deployment's in-flight requests right after a swap and converge
+/// once the drain completes. Undeploy ends the lifetime; a later Deploy of
+/// the same name starts a fresh one.
 struct EndpointStats {
   std::string endpoint;
   std::string model_name;
   std::string checkpoint_path;  ///< checkpoint currently serving
   int64_t swaps = 0;            ///< hot swaps since Deploy
+
+  // -- window: the current deployment --
   int64_t queue_depth = 0;      ///< requests queued, not yet being served
-  double uptime_seconds = 0.0;  ///< since the current deployment went live
-  double qps = 0.0;             ///< completed / uptime of current deployment
-  EngineStats engine;           ///< queue/batch/latency counters
+  double window_uptime_seconds = 0.0;  ///< since this deployment went live
+  double window_qps = 0.0;      ///< completed / uptime of current deployment
+  EngineStats engine;           ///< queue/batch/latency counters (window)
+
+  // -- lifetime: cumulative across swaps --
+  double uptime_seconds = 0.0;  ///< since the endpoint's first Deploy
+  double qps = 0.0;             ///< lifetime_completed / uptime_seconds —
+                                ///< does NOT reset on swap
+  int64_t lifetime_submitted = 0;
+  int64_t lifetime_completed = 0;
+  int64_t lifetime_rejected = 0;
+  int64_t lifetime_batches = 0;
 };
 
+/// Observable deployment state of an endpoint name, polled via
+/// Gateway::GetDeployStatus. The record of the most recent async operation
+/// is authoritative while one exists: kBuilding during the background
+/// build, then kLive or kFailed — a failed SwapAsync stays visible as
+/// kFailed even though the endpoint keeps serving the old weights.
+/// Successful synchronous Deploy/Swap/Undeploy calls supersede (erase) the
+/// async record, after which a live endpoint reports kLive and anything
+/// else kNone.
+enum class DeployState : uint8_t {
+  kNone = 0,
+  kBuilding,
+  kLive,
+  kFailed,
+};
+
+struct DeployStatus {
+  DeployState state = DeployState::kNone;
+  std::string error;  ///< non-empty exactly when state == kFailed
+};
+
+const char* DeployStateName(DeployState state);
+
 /// Aggregate gateway snapshot: fleet totals plus one row per endpoint.
+/// Totals are lifetime-scoped (they no longer dip when an endpoint swaps).
 struct GatewayStats {
   int64_t endpoints = 0;
   int64_t total_submitted = 0;
   int64_t total_completed = 0;
   int64_t total_rejected = 0;
   int64_t total_swaps = 0;
-  double total_qps = 0.0;  ///< sum of per-endpoint qps
+  double total_qps = 0.0;  ///< sum of per-endpoint lifetime qps
   std::vector<EndpointStats> per_endpoint;  ///< sorted by endpoint name
 };
 
@@ -108,6 +157,31 @@ class Gateway {
   bool Swap(const std::string& endpoint, const std::string& checkpoint_path,
             std::string* error = nullptr);
 
+  /// Non-blocking Deploy: argument errors (empty/over-long/duplicate name)
+  /// fail immediately, then the model build + checkpoint restore runs on a
+  /// background thread while the caller keeps going. Until the build lands,
+  /// the endpoint name is reserved (a second Deploy/DeployAsync fails) but
+  /// not serving: submits are rejected and GetDeployStatus reports
+  /// kBuilding. On success the endpoint goes live exactly as if Deploy had
+  /// returned; on failure the name is released and GetDeployStatus reports
+  /// kFailed with the builder's error until the name is deployed again.
+  bool DeployAsync(const std::string& endpoint, const DeployConfig& config,
+                   std::string* error = nullptr);
+
+  /// Non-blocking Swap: the replacement builds on a background thread while
+  /// the endpoint keeps serving the old weights (GetDeployStatus reports
+  /// kBuilding meanwhile). The handoff rules are Swap's: the install aborts
+  /// (kFailed) if the endpoint was undeployed or re-deployed during the
+  /// build. One async operation per endpoint at a time.
+  bool SwapAsync(const std::string& endpoint,
+                 const std::string& checkpoint_path,
+                 std::string* error = nullptr);
+
+  /// Polls the endpoint name's deployment state (see DeployState). The
+  /// caller loop for async ops is: DeployAsync/SwapAsync, then poll until
+  /// the state leaves kBuilding.
+  DeployStatus GetDeployStatus(const std::string& endpoint) const;
+
   /// Removes the endpoint, serving everything already queued before the
   /// teardown completes. Subsequent submits to the name fail.
   bool Undeploy(const std::string& endpoint, std::string* error = nullptr);
@@ -120,7 +194,28 @@ class Gateway {
   /// Wire entry point: decodes a request frame (which names its endpoint),
   /// serves it, and returns an encoded response frame — or an encoded
   /// error frame for malformed/unknown/failed requests. Never throws.
+  ///
+  /// DEPRECATED for network front-ends: this call parks the calling thread
+  /// on the response future (one blocked thread per in-flight frame). New
+  /// socket-facing code should route frames through serve::FrameServer
+  /// (src/serve/frame_server.h), which rides ServeFrameAsync instead; this
+  /// synchronous form remains for tests and parity baselines.
   std::vector<uint8_t> ServeFrame(const std::vector<uint8_t>& request_frame);
+
+  /// A reply frame handed to the continuation of ServeFrameAsync: a
+  /// response frame on success, an error frame otherwise.
+  using FrameCallback = std::function<void(std::vector<uint8_t> reply_frame)>;
+
+  /// Non-blocking wire entry point — what FrameServer drives. Decodes and
+  /// validates on the calling thread, then submits through the endpoint
+  /// engine's callback hook; `done` is invoked exactly once with the reply
+  /// frame, either synchronously (decode error, unknown endpoint, invalid
+  /// request, overloaded queue — all encoded as error frames) or later on a
+  /// serving worker thread. A concurrent Swap/Undeploy cannot strand the
+  /// request: a deployment drains its queue — running every accepted
+  /// continuation — before it is torn down. Never throws, never blocks.
+  void ServeFrameAsync(const std::vector<uint8_t>& request_frame,
+                       FrameCallback done);
 
   bool Has(const std::string& endpoint) const;
 
@@ -134,6 +229,18 @@ class Gateway {
   GatewayStats Snapshot() const;
 
  private:
+  /// Per-endpoint counters that survive swaps. Shared (via shared_ptr) by
+  /// the Endpoint entry and every Deployment generation: a retiring
+  /// deployment folds its final engine stats in from its destructor — which
+  /// runs only after its engine drained — so no completed request is ever
+  /// lost from the lifetime totals, no matter when the swap landed.
+  struct CumulativeCounters {
+    std::atomic<int64_t> submitted{0};
+    std::atomic<int64_t> completed{0};
+    std::atomic<int64_t> rejected{0};
+    std::atomic<int64_t> batches{0};
+  };
+
   /// One served model generation: the engine references the model, so the
   /// member order (model first) makes ~Deployment shut the engine down —
   /// draining queued requests — before the model dies.
@@ -142,13 +249,26 @@ class Gateway {
     std::unique_ptr<eval::NextPoiModel> model;
     std::unique_ptr<InferenceEngine> engine;
     std::chrono::steady_clock::time_point live_since;
+    std::shared_ptr<CumulativeCounters> cumulative;
 
     ~Deployment();
   };
 
   struct Endpoint {
-    std::shared_ptr<Deployment> current;
+    std::shared_ptr<Deployment> current;  ///< null while DeployAsync builds
     int64_t swaps = 0;
+    std::shared_ptr<CumulativeCounters> cumulative;
+    std::chrono::steady_clock::time_point first_live;
+  };
+
+  /// Everything StatsOf needs, snapshotted under the gateway mutex so the
+  /// engine-stats queries can run with it released.
+  struct EndpointSnapshot {
+    std::string name;
+    std::shared_ptr<Deployment> deployment;
+    int64_t swaps = 0;
+    std::shared_ptr<CumulativeCounters> cumulative;
+    std::chrono::steady_clock::time_point first_live;
   };
 
   /// Builds model + engine from the config (registry create, option parse,
@@ -160,14 +280,34 @@ class Gateway {
   std::shared_ptr<Deployment> CurrentDeployment(
       const std::string& endpoint) const;
 
+  /// Installs a live deployment into the endpoint entry under the mutex:
+  /// first generation gets fresh cumulative counters and the first_live
+  /// stamp; later generations inherit both.
+  static void InstallLocked(Endpoint& entry,
+                            std::shared_ptr<Deployment> deployment);
+
+  /// Spawns a background builder thread, reaping finished predecessors.
+  void StartAsyncOp(std::function<void()> op);
+
+  /// Records the endpoint's async-op status (async_status_ under mutex_).
+  void SetAsyncStatus(const std::string& endpoint, DeployState state,
+                      const std::string& error);
+
   /// Queries one deployment's engine; called with the gateway mutex
-  /// released (the shared_ptr keeps the deployment alive).
-  static EndpointStats StatsOf(const std::string& name,
-                               const std::shared_ptr<Deployment>& deployment,
-                               int64_t swaps);
+  /// released (the shared_ptrs keep the deployment alive).
+  static EndpointStats StatsOf(const EndpointSnapshot& snapshot);
 
   mutable std::mutex mutex_;
   std::map<std::string, Endpoint> endpoints_;
+  std::map<std::string, DeployStatus> async_status_;
+
+  /// Background deploy/swap builders. Finished ones are reaped when the
+  /// next async op starts; the destructor joins whatever remains.
+  struct AsyncWorker {
+    std::thread thread;
+    std::shared_ptr<std::atomic<bool>> done;
+  };
+  std::vector<AsyncWorker> async_workers_;
 };
 
 }  // namespace tspn::serve

@@ -51,8 +51,14 @@ std::future<eval::RecommendResponse> InferenceEngine::Enqueue(
     std::unique_lock<std::mutex>& lock) {
   Request entry;
   entry.request = request;
-  entry.enqueue_time = Clock::now();
   std::future<eval::RecommendResponse> future = entry.promise.get_future();
+  EnqueueEntry(std::move(entry), lock);
+  return future;
+}
+
+void InferenceEngine::EnqueueEntry(Request entry,
+                                   std::unique_lock<std::mutex>& lock) {
+  entry.enqueue_time = Clock::now();
   // Count the submission (lock-free: the counter is atomic) before the
   // request becomes visible to workers so GetStats() never observes
   // completed > submitted.
@@ -60,7 +66,6 @@ std::future<eval::RecommendResponse> InferenceEngine::Enqueue(
   queue_.push_back(std::move(entry));
   lock.unlock();
   not_empty_.notify_one();
-  return future;
 }
 
 std::future<eval::RecommendResponse> InferenceEngine::Submit(
@@ -99,6 +104,22 @@ bool InferenceEngine::TrySubmit(const eval::RecommendRequest& request,
     return false;
   }
   *out = Enqueue(request, lock);
+  return true;
+}
+
+bool InferenceEngine::TrySubmitAsync(const eval::RecommendRequest& request,
+                                     ResponseCallback callback) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (stopping_ ||
+      static_cast<int64_t>(queue_.size()) >= options_.max_queue_depth) {
+    lock.unlock();
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  Request entry;
+  entry.request = request;
+  entry.callback = std::move(callback);
+  EnqueueEntry(std::move(entry), lock);
   return true;
 }
 
@@ -188,12 +209,28 @@ void InferenceEngine::ServeBatch(WorkerScratch& scratch) {
     }
   }
   for (size_t i = 0; i < batch.size(); ++i) {
-    if (error != nullptr) {
+    if (batch[i].callback) {
+      // Continuation path: the completion runs right here on the serving
+      // worker — the whole point of TrySubmitAsync is that no other thread
+      // sits parked on a future waiting for this moment.
+      if (error != nullptr) {
+        batch[i].callback(eval::RecommendResponse{}, error);
+      } else {
+        batch[i].callback(std::move(results[i]), nullptr);
+      }
+    } else if (error != nullptr) {
       batch[i].promise.set_exception(error);
     } else {
       batch[i].promise.set_value(std::move(results[i]));
     }
   }
+  // Drop the served entries now, not at the next batch fill: a gateway
+  // continuation holds a shared_ptr to its own deployment, so parking it in
+  // the scratch would keep a swapped-out deployment (and these workers)
+  // alive until this worker happens to serve again — a reference cycle on
+  // an idle engine. clear() keeps the vector's capacity, so the scratch
+  // reuse this struct exists for is unaffected.
+  batch.clear();
 }
 
 void InferenceEngine::Shutdown() {

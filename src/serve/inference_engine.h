@@ -6,6 +6,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <future>
 #include <mutex>
 #include <thread>
@@ -91,6 +92,25 @@ class InferenceEngine {
   bool TrySubmit(const eval::RecommendRequest& request,
                  std::future<eval::RecommendResponse>* out);
 
+  /// Completion continuation for the callback submit path. Invoked exactly
+  /// once per accepted request, on the worker thread that served its batch:
+  /// with the response and a null error on success, or with a
+  /// default-constructed response and the model's exception on failure.
+  using ResponseCallback =
+      std::function<void(eval::RecommendResponse response,
+                         std::exception_ptr error)>;
+
+  /// Continuation-style submit — the async front-end hook. Instead of
+  /// parking a thread on a future, the caller hands over a callback that the
+  /// serving worker runs after the batch completes; no thread is ever
+  /// blocked per in-flight request. Returns false (counting a rejection,
+  /// callback NOT invoked) when the queue is full or the engine is shut
+  /// down, so an event loop can convert overload into an immediate error
+  /// reply. The callback must be quick and must not throw: it runs on a
+  /// serving worker, so heavy work in it stalls batch formation.
+  bool TrySubmitAsync(const eval::RecommendRequest& request,
+                      ResponseCallback callback);
+
   /// Stops accepting requests, serves everything already queued, and joins
   /// the workers. Idempotent; also run by the destructor.
   void Shutdown();
@@ -106,7 +126,10 @@ class InferenceEngine {
  private:
   struct Request {
     eval::RecommendRequest request;
+    /// Exactly one completion channel is armed per request: the promise for
+    /// the future-returning submits, the callback for TrySubmitAsync.
     std::promise<eval::RecommendResponse> promise;
+    ResponseCallback callback;
     std::chrono::steady_clock::time_point enqueue_time;
   };
 
@@ -121,6 +144,10 @@ class InferenceEngine {
   std::future<eval::RecommendResponse> Enqueue(
       const eval::RecommendRequest& request,
       std::unique_lock<std::mutex>& lock);
+  /// Shared tail of every accepted submit: stamps the enqueue time, counts
+  /// the submission, publishes the entry and wakes a worker. `lock` must
+  /// hold mutex_ on entry and is released before the notify.
+  void EnqueueEntry(Request entry, std::unique_lock<std::mutex>& lock);
   void WorkerLoop();
   void ServeBatch(WorkerScratch& scratch);
 

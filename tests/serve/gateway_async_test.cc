@@ -1,0 +1,276 @@
+// Async gateway lifecycle tests: DeployAsync/SwapAsync build on background
+// threads with a pollable DeployStatus (the caller never blocks on model
+// construction), failures release the endpoint name and stay pollable, and
+// cumulative per-endpoint stats survive hot swaps — the EndpointStats.qps
+// reset-on-swap fix. SwapAsync-under-traffic runs in the TSan CI job.
+
+#include "serve/gateway.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+namespace tspn::serve {
+namespace {
+
+EngineOptions SmallEngine(int threads) {
+  EngineOptions options;
+  options.num_threads = threads;
+  options.max_queue_depth = 128;
+  options.max_batch = 8;
+  options.coalesce_window_us = 200;
+  return options;
+}
+
+class GatewayAsyncTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    dataset_ = data::CityDataset::Generate(data::CityProfile::TestTiny());
+    checkpoint_ = testing::TempDir() + "/gateway_async_tspn.ckpt";
+    eval::TrainOptions train;
+    train.epochs = 1;
+    train.max_samples_per_epoch = 24;
+    auto trained =
+        eval::ModelRegistry::Global().Create("TSPN-RA", dataset_, TinyOptions());
+    trained->Train(train);
+    trained->SaveCheckpoint(checkpoint_);
+    samples_ = dataset_->Samples(data::Split::kTest);
+    ASSERT_FALSE(samples_.empty());
+  }
+  static void TearDownTestSuite() { std::remove(checkpoint_.c_str()); }
+
+  static eval::ModelOptions TinyOptions() {
+    eval::ModelOptions options;
+    options.dm = 16;
+    options.seed = 3;
+    options.image_resolution = 16;
+    return options;
+  }
+
+  static DeployConfig Config() {
+    DeployConfig config;
+    config.model_name = "TSPN-RA";
+    config.dataset = dataset_;
+    config.checkpoint_path = checkpoint_;
+    config.model_options = TinyOptions().ToKeyValues();
+    config.engine_options = SmallEngine(2);
+    return config;
+  }
+
+  /// Polls until the endpoint leaves kBuilding (or the timeout trips).
+  static DeployStatus AwaitSettled(const Gateway& gateway,
+                                   const std::string& endpoint,
+                                   int timeout_ms = 30000) {
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::milliseconds(timeout_ms);
+    for (;;) {
+      DeployStatus status = gateway.GetDeployStatus(endpoint);
+      if (status.state != DeployState::kBuilding ||
+          std::chrono::steady_clock::now() >= deadline) {
+        return status;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+
+  static int64_t ServeRound(Gateway& gateway, const std::string& endpoint,
+                            size_t count) {
+    int64_t served = 0;
+    for (size_t i = 0; i < count; ++i) {
+      eval::RecommendRequest request;
+      request.sample = samples_[i % samples_.size()];
+      request.top_n = 5;
+      if (gateway.Submit(endpoint, request).get().items.size() == 5) ++served;
+    }
+    return served;
+  }
+
+  static std::shared_ptr<data::CityDataset> dataset_;
+  static std::string checkpoint_;
+  static std::vector<data::SampleRef> samples_;
+};
+
+std::shared_ptr<data::CityDataset> GatewayAsyncTest::dataset_;
+std::string GatewayAsyncTest::checkpoint_;
+std::vector<data::SampleRef> GatewayAsyncTest::samples_;
+
+TEST_F(GatewayAsyncTest, DeployAsyncGoesLiveWithoutBlockingTheCaller) {
+  Gateway gateway;
+  std::string error;
+  ASSERT_TRUE(gateway.DeployAsync("city", Config(), &error)) << error;
+  // The call returned while (or before) the build runs; the name is
+  // reserved either way: a second deploy of it must fail immediately.
+  EXPECT_FALSE(gateway.Deploy("city", Config(), &error));
+  EXPECT_FALSE(gateway.DeployAsync("city", Config(), &error));
+
+  const DeployStatus status = AwaitSettled(gateway, "city");
+  ASSERT_EQ(status.state, DeployState::kLive) << status.error;
+  EXPECT_TRUE(gateway.Has("city"));
+  EXPECT_EQ(ServeRound(gateway, "city", 4), 4);
+}
+
+TEST_F(GatewayAsyncTest, DeployAsyncFailureIsPollableAndReleasesTheName) {
+  Gateway gateway;
+  DeployConfig bad = Config();
+  bad.checkpoint_path = testing::TempDir() + "/no_such_checkpoint.ckpt";
+  std::string error;
+  ASSERT_TRUE(gateway.DeployAsync("city", bad, &error)) << error;
+
+  const DeployStatus status = AwaitSettled(gateway, "city");
+  ASSERT_EQ(status.state, DeployState::kFailed);
+  EXPECT_NE(status.error.find("checkpoint"), std::string::npos)
+      << status.error;
+  EXPECT_FALSE(gateway.Has("city"));
+
+  // The name is free again, and going live clears the failure.
+  ASSERT_TRUE(gateway.Deploy("city", Config(), &error)) << error;
+  EXPECT_EQ(gateway.GetDeployStatus("city").state, DeployState::kLive);
+}
+
+TEST_F(GatewayAsyncTest, DeployStatusReflectsSyncLifecycleToo) {
+  Gateway gateway;
+  EXPECT_EQ(gateway.GetDeployStatus("city").state, DeployState::kNone);
+  ASSERT_TRUE(gateway.Deploy("city", Config()));
+  EXPECT_EQ(gateway.GetDeployStatus("city").state, DeployState::kLive);
+  ASSERT_TRUE(gateway.Undeploy("city"));
+  EXPECT_EQ(gateway.GetDeployStatus("city").state, DeployState::kNone);
+}
+
+TEST_F(GatewayAsyncTest, SwapAsyncMissingEndpointFailsImmediately) {
+  Gateway gateway;
+  std::string error;
+  EXPECT_FALSE(gateway.SwapAsync("ghost", checkpoint_, &error));
+  EXPECT_NE(error.find("not deployed"), std::string::npos) << error;
+}
+
+TEST_F(GatewayAsyncTest, SwapAsyncFailureKeepsServingOldWeights) {
+  Gateway gateway;
+  ASSERT_TRUE(gateway.Deploy("city", Config()));
+  std::string error;
+  ASSERT_TRUE(gateway.SwapAsync(
+      "city", testing::TempDir() + "/no_such_checkpoint.ckpt", &error))
+      << error;
+  const DeployStatus status = AwaitSettled(gateway, "city");
+  EXPECT_EQ(status.state, DeployState::kFailed);
+  // The failed swap must not have touched the serving deployment.
+  EXPECT_TRUE(gateway.Has("city"));
+  EXPECT_EQ(ServeRound(gateway, "city", 2), 2);
+  EndpointStats stats;
+  ASSERT_TRUE(gateway.GetEndpointStats("city", &stats));
+  EXPECT_EQ(stats.swaps, 0);
+}
+
+// TSan-gated: a background swap landing while submitters hammer the
+// endpoint, plus the async-deploy status machinery racing the traffic.
+TEST_F(GatewayAsyncTest, SwapAsyncLandsUnderConcurrentTraffic) {
+  Gateway gateway;
+  ASSERT_TRUE(gateway.Deploy("city", Config()));
+
+  std::atomic<bool> stop{false};
+  std::atomic<int64_t> served{0};
+  std::atomic<int64_t> failed{0};
+  std::vector<std::thread> submitters;
+  for (int t = 0; t < 3; ++t) {
+    submitters.emplace_back([&, t] {
+      size_t i = static_cast<size_t>(t);
+      while (!stop.load()) {
+        eval::RecommendRequest request;
+        request.sample = samples_[i++ % samples_.size()];
+        request.top_n = 5;
+        try {
+          if (gateway.Submit("city", request).get().items.size() == 5) {
+            served.fetch_add(1);
+          } else {
+            failed.fetch_add(1);
+          }
+        } catch (const std::exception&) {
+          failed.fetch_add(1);
+        }
+      }
+    });
+  }
+
+  std::string error;
+  ASSERT_TRUE(gateway.SwapAsync("city", checkpoint_, &error)) << error;
+  const DeployStatus status = AwaitSettled(gateway, "city");
+  EXPECT_EQ(status.state, DeployState::kLive) << status.error;
+  // Let some post-swap traffic through, then stop.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  stop.store(true);
+  for (std::thread& thread : submitters) thread.join();
+
+  EXPECT_EQ(failed.load(), 0);
+  EXPECT_GT(served.load(), 0);
+  EndpointStats stats;
+  ASSERT_TRUE(gateway.GetEndpointStats("city", &stats));
+  EXPECT_EQ(stats.swaps, 1);
+}
+
+TEST_F(GatewayAsyncTest, CumulativeStatsSurviveSwapsAndQpsDoesNotReset) {
+  Gateway gateway;
+  ASSERT_TRUE(gateway.Deploy("city", Config()));
+  constexpr int64_t kFirst = 12;
+  constexpr int64_t kSecond = 8;
+  ASSERT_EQ(ServeRound(gateway, "city", kFirst), kFirst);
+
+  EndpointStats before;
+  ASSERT_TRUE(gateway.GetEndpointStats("city", &before));
+  EXPECT_EQ(before.engine.completed, kFirst);
+  EXPECT_EQ(before.lifetime_completed, kFirst);
+
+  // With no in-flight traffic, the old deployment drains and folds its
+  // counters before Swap returns.
+  std::string error;
+  ASSERT_TRUE(gateway.Swap("city", checkpoint_, &error)) << error;
+  ASSERT_EQ(ServeRound(gateway, "city", kSecond), kSecond);
+
+  EndpointStats after;
+  ASSERT_TRUE(gateway.GetEndpointStats("city", &after));
+  // Window: the fresh deployment only.
+  EXPECT_EQ(after.engine.completed, kSecond);
+  EXPECT_LT(after.window_uptime_seconds, after.uptime_seconds);
+  // Lifetime: both generations — the ROADMAP qps fix.
+  EXPECT_EQ(after.lifetime_completed, kFirst + kSecond);
+  EXPECT_EQ(after.lifetime_submitted, kFirst + kSecond);
+  EXPECT_GE(after.lifetime_batches, after.engine.batches);
+  EXPECT_GT(after.qps, 0.0);
+  EXPECT_GE(after.uptime_seconds, before.uptime_seconds);
+
+  // Fleet totals are lifetime-scoped: they must not dip below the
+  // pre-swap completed count.
+  GatewayStats snapshot = gateway.Snapshot();
+  EXPECT_EQ(snapshot.total_completed, kFirst + kSecond);
+  EXPECT_EQ(snapshot.total_swaps, 1);
+
+  // Undeploy ends the lifetime; a fresh deploy of the name starts over.
+  ASSERT_TRUE(gateway.Undeploy("city"));
+  ASSERT_TRUE(gateway.Deploy("city", Config()));
+  ASSERT_EQ(ServeRound(gateway, "city", 2), 2);
+  EndpointStats fresh;
+  ASSERT_TRUE(gateway.GetEndpointStats("city", &fresh));
+  EXPECT_EQ(fresh.lifetime_completed, 2);
+  EXPECT_EQ(fresh.swaps, 0);
+}
+
+TEST_F(GatewayAsyncTest, UndeployRefusesAPlaceholderMidBuild) {
+  Gateway gateway;
+  std::string error;
+  ASSERT_TRUE(gateway.DeployAsync("city", Config(), &error)) << error;
+  // Either the build is still running (undeploy refuses the placeholder)
+  // or it already landed (undeploy succeeds) — both are coherent; what
+  // must never happen is a crash or a stuck kBuilding status.
+  const bool undeployed = gateway.Undeploy("city", &error);
+  const DeployStatus status = AwaitSettled(gateway, "city");
+  if (undeployed) {
+    EXPECT_EQ(status.state, DeployState::kNone);
+  } else {
+    EXPECT_NE(error.find("deploying"), std::string::npos) << error;
+    EXPECT_EQ(status.state, DeployState::kLive) << status.error;
+  }
+}
+
+}  // namespace
+}  // namespace tspn::serve

@@ -6,6 +6,9 @@
 #include "serve/inference_engine.h"
 
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
 #include <thread>
 
 #include <gtest/gtest.h>
@@ -56,6 +59,63 @@ EngineOptions TestOptions(int threads) {
   options.max_batch = 8;
   options.coalesce_window_us = 500;
   return options;
+}
+
+TEST_F(InferenceEngineTest, TrySubmitAsyncRunsContinuationsWithoutWaiters) {
+  auto samples = dataset_->Samples(data::Split::kTest);
+  ASSERT_FALSE(samples.empty());
+  InferenceEngine engine(*model_, TestOptions(2));
+  const size_t count = std::min<size_t>(16, samples.size());
+
+  std::mutex mutex;
+  std::condition_variable all_done;
+  size_t completed = 0;
+  std::vector<eval::RecommendResponse> responses(count);
+  std::vector<std::exception_ptr> errors(count);
+  for (size_t i = 0; i < count; ++i) {
+    eval::RecommendRequest request;
+    request.sample = samples[i];
+    request.top_n = 10;
+    const bool accepted = engine.TrySubmitAsync(
+        request, [&, i](eval::RecommendResponse response,
+                        std::exception_ptr error) {
+          std::lock_guard<std::mutex> lock(mutex);
+          responses[i] = std::move(response);
+          errors[i] = error;
+          if (++completed == count) all_done.notify_one();
+        });
+    ASSERT_TRUE(accepted) << "request " << i;
+  }
+  {
+    std::unique_lock<std::mutex> lock(mutex);
+    ASSERT_TRUE(all_done.wait_for(lock, std::chrono::seconds(30),
+                                  [&] { return completed == count; }));
+  }
+  for (size_t i = 0; i < count; ++i) {
+    ASSERT_EQ(errors[i], nullptr) << "request " << i;
+    EXPECT_EQ(responses[i].PoiIds(), model_->Recommend(samples[i], 10))
+        << "request " << i;
+  }
+  EngineStats stats = engine.GetStats();
+  EXPECT_EQ(stats.submitted, static_cast<int64_t>(count));
+  EXPECT_EQ(stats.completed, static_cast<int64_t>(count));
+}
+
+TEST_F(InferenceEngineTest, TrySubmitAsyncRejectsAfterShutdownWithoutCallback) {
+  auto samples = dataset_->Samples(data::Split::kTest);
+  ASSERT_FALSE(samples.empty());
+  InferenceEngine engine(*model_, TestOptions(1));
+  engine.Shutdown();
+  eval::RecommendRequest request;
+  request.sample = samples[0];
+  request.top_n = 5;
+  std::atomic<bool> ran{false};
+  EXPECT_FALSE(engine.TrySubmitAsync(
+      request, [&](eval::RecommendResponse, std::exception_ptr) {
+        ran.store(true);
+      }));
+  EXPECT_FALSE(ran.load());
+  EXPECT_GE(engine.GetStats().rejected, 1);
 }
 
 TEST_F(InferenceEngineTest, ServedAnswersMatchDirectRecommend) {

@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# Fails on dead relative links in README.md and docs/*.md.
+#
+# Checks every markdown link target that is not an external URL or a pure
+# in-page anchor: the referenced path (resolved relative to the file the
+# link lives in, anchors stripped) must exist. Run from anywhere; CI runs
+# it on every push.
+#
+#   tools/check_docs_links.sh
+
+set -u
+cd "$(dirname "$0")/.."
+
+failures=0
+checked=0
+
+check_file() {
+  local md="$1"
+  local dir
+  dir="$(dirname "$md")"
+  # Pull out every](target) occurrence; tolerates several links per line.
+  while IFS= read -r target; do
+    case "$target" in
+      http://*|https://*|mailto:*|\#*) continue ;;
+    esac
+    local path="${target%%#*}"          # strip in-page anchor
+    [ -z "$path" ] && continue
+    checked=$((checked + 1))
+    if [ ! -e "$dir/$path" ] && [ ! -e "$path" ]; then
+      echo "DEAD LINK: $md -> $target"
+      failures=$((failures + 1))
+    fi
+  done < <(grep -oE '\]\([^)]+\)' "$md" | sed -E 's/^\]\(//; s/\)$//; s/ .*$//')
+}
+
+for md in README.md docs/*.md; do
+  [ -f "$md" ] || continue
+  check_file "$md"
+done
+
+if [ "$failures" -gt 0 ]; then
+  echo "docs link check FAILED: $failures dead link(s) of $checked checked"
+  exit 1
+fi
+echo "docs link check OK: $checked link(s) verified"
