@@ -19,7 +19,12 @@
 //      QPS, latency percentiles, queue depth and swap counts — plus the
 //      FrameServer's socket counters in --socket mode.
 //
-//   ./build/serving_demo [--socket]
+//   ./build/serving_demo [--socket | --storm]
+//
+// `--storm` runs the overload smoke instead: a deliberately narrow
+// deployment takes several times its queue capacity in pipelined
+// mixed-priority v2 frames, and the process exits non-zero on any hung
+// reply, malformed shed frame, or counter mismatch.
 //
 // Knobs (docs/operations.md): TSPN_SERVE_THREADS, TSPN_SERVE_QUEUE_DEPTH,
 // TSPN_SERVE_MAX_BATCH, TSPN_SERVE_COALESCE_US, TSPN_SERVE_IO_THREADS;
@@ -80,13 +85,173 @@ serve::DeployStatus AwaitSettled(const serve::Gateway& gateway,
   }
 }
 
+/// `--storm`: the overload smoke. A deliberately narrow deployment (one
+/// worker, tiny queue, slow coalescing drain) takes several times its
+/// queue capacity in pipelined mixed-priority v2 frames over TCP. Exits
+/// non-zero on any hung reply, malformed shed frame, or a client/server
+/// counter mismatch — the graceful-degradation contract, checked end to
+/// end (docs/operations.md "Overload runbook").
+int RunStorm() {
+  data::CityProfile profile = data::CityProfile::TestTiny();
+  profile.name = "StormSim";
+  auto city = data::CityDataset::Generate(profile);
+
+  const char* dir_env = std::getenv("TSPN_CHECKPOINT_DIR");
+  const std::string dir = dir_env != nullptr ? dir_env : ".";
+  const std::string checkpoint = dir + "/gateway_storm_v1.ckpt";
+  eval::ModelOptions options;
+  options.dm = 32;
+  std::printf("Preparing checkpoint:\n");
+  if (!EnsureCheckpoint("TSPN-RA", city, options, 1, checkpoint)) {
+    std::printf("checkpoint preparation failed\n");
+    return 1;
+  }
+
+  serve::DeployConfig config;
+  config.model_name = "TSPN-RA";
+  config.dataset = city;
+  config.checkpoint_path = checkpoint;
+  config.model_options = options.ToKeyValues();
+  config.engine_options.num_threads = 1;
+  config.engine_options.max_queue_depth = 8;
+  config.engine_options.max_batch = 4;
+  config.engine_options.coalesce_window_us = 20000;
+
+  serve::Gateway gateway;
+  std::string error;
+  if (!gateway.Deploy("city", config, &error)) {
+    std::printf("deploy failed: %s\n", error.c_str());
+    return 1;
+  }
+  serve::FrameServerOptions server_options;
+  server_options.max_inflight_per_connection = 4;
+  serve::FrameServer server(gateway, server_options);
+  if (!server.Start(&error)) {
+    std::printf("frame server failed to start: %s\n", error.c_str());
+    return 1;
+  }
+  std::printf("Storm target: queue_depth=8 max_batch=4 coalesce=20ms, "
+              "per-connection in-flight cap 4, port %u\n",
+              server.port());
+
+  const std::vector<data::SampleRef> samples =
+      city->Samples(data::Split::kTest);
+  constexpr int kClients = 4;
+  constexpr int kFramesPerClient = 32;
+  std::atomic<int64_t> accepted{0};
+  std::atomic<int64_t> shed{0};
+  std::atomic<int64_t> failed{0};
+
+  common::Stopwatch watch;
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      serve::FrameClient client;
+      if (!client.Connect("127.0.0.1", server.port())) {
+        failed.fetch_add(kFramesPerClient);
+        return;
+      }
+      client.set_recv_timeout_ms(20000);  // a hang is a failure, not a wait
+      for (int i = 0; i < kFramesPerClient; ++i) {
+        eval::RecommendRequest request;
+        request.sample =
+            samples[static_cast<size_t>(c * kFramesPerClient + i) %
+                    samples.size()];
+        request.top_n = 10;
+        serve::AdmissionClass admission;
+        admission.priority = static_cast<serve::Priority>(i % 3);
+        if (i % 5 == 4) {
+          admission.priority = serve::Priority::kInteractive;
+          admission.deadline_ms = 3;  // unmeetable behind the backlog
+        }
+        if (!client.SendFrame(
+                serve::EncodeRecommendRequest("city", request, admission))) {
+          failed.fetch_add(kFramesPerClient - i);
+          return;
+        }
+      }
+      for (int i = 0; i < kFramesPerClient; ++i) {
+        const serve::FrameClient::Reply reply = client.ReceiveTyped();
+        if (reply.kind == serve::FrameClient::Reply::Kind::kResponse) {
+          accepted.fetch_add(1);
+        } else if (reply.kind ==
+                       serve::FrameClient::Reply::Kind::kServerError &&
+                   (reply.error_code == serve::ErrorCode::kShedCapacity ||
+                    reply.error_code == serve::ErrorCode::kShedDeadline ||
+                    reply.error_code == serve::ErrorCode::kExpired)) {
+          shed.fetch_add(1);
+        } else {
+          // kTimeout = a hung reply; kTransport = a malformed or dropped
+          // frame; a non-shed error code = a mis-typed shed.
+          failed.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  const double seconds = watch.ElapsedSeconds();
+
+  constexpr int64_t kTotal = kClients * kFramesPerClient;
+  serve::EndpointStats stats;
+  gateway.GetEndpointStats("city", &stats);
+  const int64_t server_sheds =
+      stats.shed_capacity + stats.shed_deadline + stats.expired_in_queue;
+  std::printf("\nStorm: %lld frames in %.2fs — %lld served, %lld shed "
+              "(capacity=%lld deadline=%lld expired=%lld), %lld failed\n",
+              static_cast<long long>(kTotal), seconds,
+              static_cast<long long>(accepted.load()),
+              static_cast<long long>(shed.load()),
+              static_cast<long long>(stats.shed_capacity),
+              static_cast<long long>(stats.shed_deadline),
+              static_cast<long long>(stats.expired_in_queue),
+              static_cast<long long>(failed.load()));
+  const serve::FrameServerStats fs = server.GetStats();
+  std::printf("FrameServer: %lld frames in, %lld read throttles\n",
+              static_cast<long long>(fs.frames_received),
+              static_cast<long long>(fs.read_throttles));
+  server.Stop();
+  gateway.Undeploy("city");
+
+  bool ok = true;
+  if (failed.load() != 0) {
+    std::printf("FAIL: %lld hung/malformed replies\n",
+                static_cast<long long>(failed.load()));
+    ok = false;
+  }
+  if (accepted.load() + shed.load() != kTotal) {
+    std::printf("FAIL: outcomes do not add up to %lld\n",
+                static_cast<long long>(kTotal));
+    ok = false;
+  }
+  if (accepted.load() != stats.lifetime_completed ||
+      shed.load() != server_sheds) {
+    std::printf("FAIL: client tallies (%lld/%lld) disagree with gateway "
+                "counters (%lld/%lld)\n",
+                static_cast<long long>(accepted.load()),
+                static_cast<long long>(shed.load()),
+                static_cast<long long>(stats.lifetime_completed),
+                static_cast<long long>(server_sheds));
+    ok = false;
+  }
+  if (shed.load() == 0) {
+    std::printf("FAIL: the storm never forced a shed — not an overload\n");
+    ok = false;
+  }
+  std::printf("%s\n", ok ? "Storm smoke PASSED" : "Storm smoke FAILED");
+  return ok ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   bool socket_mode = false;
+  bool storm_mode = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--socket") == 0) socket_mode = true;
+    if (std::strcmp(argv[i], "--storm") == 0) storm_mode = true;
   }
+  if (storm_mode) return RunStorm();
 
   // 1. Two cities: a dense "uptown" grid and a second, differently seeded
   // "harbor" city — the multi-tenant case of one process serving several

@@ -439,8 +439,14 @@ geo::BoundingBox TspnRa::CandidateTileBounds(int64_t candidate) const {
 
 std::vector<int64_t> TspnRa::GatherAllowedCandidates(
     const float* cos_tiles, int32_t top_k, int64_t required,
-    const eval::ConstraintEvaluator* filter, int64_t* tiles_screened) const {
+    const eval::ConstraintEvaluator* filter, int64_t max_tiles,
+    int64_t* tiles_screened) const {
   const int64_t num_tiles = static_cast<int64_t>(leaf_tile_ids_.size());
+  // The degraded-mode cap bounds the whole screen, initial top_k included:
+  // under overload the gateway would rather serve a shallower candidate
+  // pool than let constraint widening walk every tile in the city.
+  const int64_t tile_cap =
+      max_tiles > 0 ? std::min<int64_t>(max_tiles, num_tiles) : num_tiles;
   std::vector<int64_t> candidates;
   // Gathers tiles order[consumed, limit) into `candidates`, through the
   // constraint filter when one is active.
@@ -465,22 +471,22 @@ std::vector<int64_t> TspnRa::GatherAllowedCandidates(
   // prefix equals top-k and only the newly admitted tiles need gathering;
   // the first widening switches to the full ranking once instead of
   // re-selecting per round.
-  int32_t widened = top_k;
+  int64_t widened = std::min<int64_t>(top_k, tile_cap);
   std::vector<int64_t> order = TopKIndices(cos_tiles, num_tiles, top_k);
-  int64_t consumed = std::min<int64_t>(widened, num_tiles);
+  int64_t consumed = widened;
   gather(order, 0, consumed);
   while (static_cast<int64_t>(candidates.size()) < required &&
-         widened < static_cast<int32_t>(num_tiles)) {
+         widened < tile_cap) {
     widened *= 2;
     if (static_cast<int64_t>(order.size()) < num_tiles) {
       order = TopKIndices(cos_tiles, num_tiles, num_tiles);
     }
-    const int64_t limit = std::min<int64_t>(widened, num_tiles);
+    const int64_t limit = std::min<int64_t>(widened, tile_cap);
     gather(order, consumed, limit);
     consumed = limit;
   }
   if (tiles_screened != nullptr) {
-    *tiles_screened = std::min<int64_t>(widened, num_tiles);
+    *tiles_screened = std::min<int64_t>(widened, tile_cap);
   }
   return candidates;
 }
@@ -529,7 +535,7 @@ eval::RecommendResponse TspnRa::ScoredRecommend(
     cos_tiles = InferenceLeafCosines(fwd.h_tile);
     candidates = GatherAllowedCandidates(
         cos_tiles.data(), top_k, filter != nullptr ? request.top_n : 1,
-        filter.get(), &response.tiles_screened);
+        filter.get(), request.max_tiles_screened, &response.tiles_screened);
   } else {
     response.stages_used = 1;
     candidates = AllAllowedPois(filter.get());
@@ -640,7 +646,7 @@ std::vector<eval::RecommendResponse> TspnRa::RecommendBatchImpl(
       response.stages_used = 2;
       candidates = GatherAllowedCandidates(
           tc, config_.top_k_tiles, filter != nullptr ? request.top_n : 1,
-          filter.get(), &response.tiles_screened);
+          filter.get(), request.max_tiles_screened, &response.tiles_screened);
     } else {
       response.stages_used = 1;
       candidates = AllAllowedPois(filter.get());

@@ -156,10 +156,14 @@ class TspnRa : public eval::NextPoiModel {
   /// POIs through `filter`, and doubles the screen until at least
   /// `required` allowed candidates exist (or every tile was screened).
   /// `required` = 1 without constraints, reproducing the v1 behavior
-  /// exactly. Writes the final screen width to `tiles_screened`.
+  /// exactly. `max_tiles` > 0 bounds the screen (widening included) — the
+  /// gateway's degraded-mode cap — at the cost of possibly gathering fewer
+  /// than `required` candidates; 0 leaves it unbounded. Writes the final
+  /// screen width to `tiles_screened`.
   std::vector<int64_t> GatherAllowedCandidates(
       const float* cos_tiles, int32_t top_k, int64_t required,
-      const eval::ConstraintEvaluator* filter, int64_t* tiles_screened) const;
+      const eval::ConstraintEvaluator* filter, int64_t max_tiles,
+      int64_t* tiles_screened) const;
 
   /// Bounding box of a dense candidate-tile index (quad-tree leaf or grid
   /// cell).

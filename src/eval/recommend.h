@@ -47,6 +47,14 @@ struct RecommendRequest {
   data::SampleRef sample;
   int64_t top_n = 10;
   CandidateConstraints constraints;
+
+  /// Upper bound on the stage-1 tile screen, constraint-driven widening
+  /// included; 0 (the default) leaves the screen unbounded. Not a wire
+  /// field: the serving gateway sets it while an endpoint is degraded under
+  /// overload, trading constrained-recall for bounded per-request work
+  /// (docs/serving.md "Graceful degradation"). A capped screen may return
+  /// fewer than top_n items for a heavily constrained query.
+  int64_t max_tiles_screened = 0;
 };
 
 /// One ranked entry of a RecommendResponse.

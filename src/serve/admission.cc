@@ -1,0 +1,26 @@
+#include "serve/admission.h"
+
+namespace tspn::serve {
+
+const char* PriorityName(Priority priority) {
+  switch (priority) {
+    case Priority::kBackground: return "kBackground";
+    case Priority::kBulk: return "kBulk";
+    case Priority::kInteractive: return "kInteractive";
+  }
+  return "kUnknown";
+}
+
+const char* ShedReasonName(ShedReason reason) {
+  switch (reason) {
+    case ShedReason::kNone: return "kNone";
+    case ShedReason::kDeadlineUnmeetable: return "kDeadlineUnmeetable";
+    case ShedReason::kCapacity: return "kCapacity";
+    case ShedReason::kEvicted: return "kEvicted";
+    case ShedReason::kExpired: return "kExpired";
+    case ShedReason::kShutdown: return "kShutdown";
+  }
+  return "kUnknown";
+}
+
+}  // namespace tspn::serve

@@ -13,11 +13,14 @@ constexpr uint32_t kMaxCategories = 1u << 20;
 constexpr uint32_t kMaxItems = 1u << 20;
 constexpr uint32_t kMaxErrorLen = 4096;
 
-/// Starts a frame, returning the offset of the payload-length field so
-/// FinishFrame can back-patch it once the payload size is known.
-size_t BeginFrame(common::ByteWriter& w, FrameType type) {
+/// Starts a frame at the given wire version, returning the offset of the
+/// payload-length field so FinishFrame can back-patch it once the payload
+/// size is known. Encoders pass the lowest version that can represent the
+/// frame (header comment), which is why the version is a parameter and not
+/// always kWireVersion.
+size_t BeginFrame(common::ByteWriter& w, FrameType type, uint32_t version) {
   w.Pod(kWireMagic);
-  w.Pod(kWireVersion);
+  w.Pod(version);
   w.Pod(static_cast<uint8_t>(type));
   const size_t length_offset = w.size();
   w.Pod(static_cast<uint32_t>(0));  // patched by FinishFrame
@@ -32,8 +35,11 @@ void FinishFrame(common::ByteWriter& w, size_t length_offset) {
 /// Validates the frame header against `want` and leaves `reader` positioned
 /// at the payload. On kOk the payload occupies exactly the rest of the
 /// buffer (trailing bytes after the declared payload are rejected here;
-/// under-consumption within the payload is caught by the callers).
-DecodeStatus OpenFrame(common::ByteReader& reader, FrameType want) {
+/// under-consumption within the payload is caught by the callers). When
+/// non-null, *version_out reports the frame's wire version so payload
+/// decoders know which optional fields to expect.
+DecodeStatus OpenFrame(common::ByteReader& reader, FrameType want,
+                       uint32_t* version_out = nullptr) {
   uint32_t magic = 0;
   if (!reader.Pod(&magic)) return DecodeStatus::kTruncated;
   if (magic != kWireMagic) return DecodeStatus::kBadMagic;
@@ -53,6 +59,7 @@ DecodeStatus OpenFrame(common::ByteReader& reader, FrameType want) {
     return DecodeStatus::kMalformedPayload;
   }
   if (type != static_cast<uint8_t>(want)) return DecodeStatus::kWrongFrameType;
+  if (version_out != nullptr) *version_out = version;
   return DecodeStatus::kOk;
 }
 
@@ -76,6 +83,36 @@ void WriteCategoryList(common::ByteWriter& w, const std::vector<int32_t>& list) 
   for (int32_t cat : list) w.Pod(cat);
 }
 
+/// Shared body of both request encoders: `admission` non-null appends the
+/// v2 trailing fields.
+std::vector<uint8_t> EncodeRequestImpl(const std::string& endpoint,
+                                       const eval::RecommendRequest& request,
+                                       const AdmissionClass* admission) {
+  common::ByteWriter w;
+  const size_t length_offset =
+      BeginFrame(w, FrameType::kRequest, admission != nullptr ? 2u : 1u);
+  w.String(endpoint);
+  w.Pod(request.sample.user);
+  w.Pod(request.sample.traj);
+  w.Pod(request.sample.prefix_len);
+  w.Pod(request.top_n);
+  const eval::CandidateConstraints& c = request.constraints;
+  w.Pod(c.geo_center.lat);
+  w.Pod(c.geo_center.lon);
+  w.Pod(c.geo_radius_km);
+  WriteCategoryList(w, c.allowed_categories);
+  WriteCategoryList(w, c.blocked_categories);
+  w.Pod(static_cast<uint8_t>(c.exclude_visited ? 1 : 0));
+  w.Pod(c.open_at);
+  w.Pod(c.min_open_weight);
+  if (admission != nullptr) {
+    w.Pod(admission->deadline_ms);
+    w.Pod(static_cast<uint8_t>(admission->priority));
+  }
+  FinishFrame(w, length_offset);
+  return w.Take();
+}
+
 }  // namespace
 
 const char* DecodeStatusName(DecodeStatus status) {
@@ -87,6 +124,21 @@ const char* DecodeStatusName(DecodeStatus status) {
     case DecodeStatus::kWrongFrameType: return "kWrongFrameType";
     case DecodeStatus::kMalformedPayload: return "kMalformedPayload";
     case DecodeStatus::kTrailingGarbage: return "kTrailingGarbage";
+  }
+  return "kUnknown";
+}
+
+const char* ErrorCodeName(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kGeneric: return "kGeneric";
+    case ErrorCode::kBadFrame: return "kBadFrame";
+    case ErrorCode::kUnknownEndpoint: return "kUnknownEndpoint";
+    case ErrorCode::kInvalidRequest: return "kInvalidRequest";
+    case ErrorCode::kShedCapacity: return "kShedCapacity";
+    case ErrorCode::kShedDeadline: return "kShedDeadline";
+    case ErrorCode::kExpired: return "kExpired";
+    case ErrorCode::kModelFailure: return "kModelFailure";
+    case ErrorCode::kTransport: return "kTransport";
   }
   return "kUnknown";
 }
@@ -110,31 +162,29 @@ DecodeStatus PeekFrameType(const std::vector<uint8_t>& frame, FrameType* type) {
 
 std::vector<uint8_t> EncodeRecommendRequest(const std::string& endpoint,
                                             const eval::RecommendRequest& request) {
-  common::ByteWriter w;
-  const size_t length_offset = BeginFrame(w, FrameType::kRequest);
-  w.String(endpoint);
-  w.Pod(request.sample.user);
-  w.Pod(request.sample.traj);
-  w.Pod(request.sample.prefix_len);
-  w.Pod(request.top_n);
-  const eval::CandidateConstraints& c = request.constraints;
-  w.Pod(c.geo_center.lat);
-  w.Pod(c.geo_center.lon);
-  w.Pod(c.geo_radius_km);
-  WriteCategoryList(w, c.allowed_categories);
-  WriteCategoryList(w, c.blocked_categories);
-  w.Pod(static_cast<uint8_t>(c.exclude_visited ? 1 : 0));
-  w.Pod(c.open_at);
-  w.Pod(c.min_open_weight);
-  FinishFrame(w, length_offset);
-  return w.Take();
+  return EncodeRequestImpl(endpoint, request, nullptr);
+}
+
+std::vector<uint8_t> EncodeRecommendRequest(const std::string& endpoint,
+                                            const eval::RecommendRequest& request,
+                                            const AdmissionClass& admission) {
+  return EncodeRequestImpl(endpoint, request, &admission);
 }
 
 DecodeStatus DecodeRecommendRequest(const std::vector<uint8_t>& frame,
                                     std::string* endpoint,
                                     eval::RecommendRequest* request) {
+  return DecodeRecommendRequest(frame, endpoint, request, nullptr, nullptr);
+}
+
+DecodeStatus DecodeRecommendRequest(const std::vector<uint8_t>& frame,
+                                    std::string* endpoint,
+                                    eval::RecommendRequest* request,
+                                    AdmissionClass* admission,
+                                    uint32_t* wire_version) {
   common::ByteReader reader(frame);
-  const DecodeStatus header = OpenFrame(reader, FrameType::kRequest);
+  uint32_t version = 0;
+  const DecodeStatus header = OpenFrame(reader, FrameType::kRequest, &version);
   if (header != DecodeStatus::kOk) return header;
 
   std::string name;
@@ -156,16 +206,34 @@ DecodeStatus DecodeRecommendRequest(const std::vector<uint8_t>& frame,
   if (!ok) return DecodeStatus::kMalformedPayload;
   if (exclude_visited > 1) return DecodeStatus::kMalformedPayload;
   c.exclude_visited = exclude_visited == 1;
+  // Strictly versioned tail: a v2 frame must carry both admission fields
+  // (valid), a v1 frame must carry neither. Either way nothing may remain.
+  AdmissionClass decoded_admission;
+  if (version >= 2) {
+    uint8_t priority = 0;
+    if (!reader.Pod(&decoded_admission.deadline_ms) || !reader.Pod(&priority)) {
+      return DecodeStatus::kMalformedPayload;
+    }
+    if (decoded_admission.deadline_ms < 0 || priority > kMaxPriority) {
+      return DecodeStatus::kMalformedPayload;
+    }
+    decoded_admission.priority = static_cast<Priority>(priority);
+  }
   if (reader.Remaining() != 0) return DecodeStatus::kTrailingGarbage;
 
   *endpoint = std::move(name);
   *request = std::move(decoded);
+  if (admission != nullptr) *admission = decoded_admission;
+  if (wire_version != nullptr) *wire_version = version;
   return DecodeStatus::kOk;
 }
 
 std::vector<uint8_t> EncodeRecommendResponse(const eval::RecommendResponse& response) {
   common::ByteWriter w;
-  const size_t length_offset = BeginFrame(w, FrameType::kResponse);
+  // Response payloads gained nothing in v2, so responses stay version 1 on
+  // the wire — the lowest-representable-version rule that keeps replies to
+  // v1 clients bit-identical across the protocol bump.
+  const size_t length_offset = BeginFrame(w, FrameType::kResponse, 1);
   w.Pod(static_cast<uint32_t>(response.items.size()));
   for (const eval::ScoredPoi& item : response.items) {
     w.Pod(item.poi_id);
@@ -215,24 +283,50 @@ DecodeStatus DecodeRecommendResponse(const std::vector<uint8_t>& frame,
 
 std::vector<uint8_t> EncodeErrorFrame(const std::string& message) {
   common::ByteWriter w;
-  const size_t length_offset = BeginFrame(w, FrameType::kError);
+  const size_t length_offset = BeginFrame(w, FrameType::kError, 1);
   w.String(message.size() > kMaxErrorLen ? message.substr(0, kMaxErrorLen)
                                          : message);
   FinishFrame(w, length_offset);
   return w.Take();
 }
 
+std::vector<uint8_t> EncodeErrorFrame(const std::string& message,
+                                      ErrorCode code) {
+  common::ByteWriter w;
+  const size_t length_offset = BeginFrame(w, FrameType::kError, 2);
+  w.String(message.size() > kMaxErrorLen ? message.substr(0, kMaxErrorLen)
+                                         : message);
+  w.Pod(static_cast<uint8_t>(code));
+  FinishFrame(w, length_offset);
+  return w.Take();
+}
+
 DecodeStatus DecodeErrorFrame(const std::vector<uint8_t>& frame,
                               std::string* message) {
+  return DecodeErrorFrame(frame, message, nullptr);
+}
+
+DecodeStatus DecodeErrorFrame(const std::vector<uint8_t>& frame,
+                              std::string* message, ErrorCode* code) {
   common::ByteReader reader(frame);
-  const DecodeStatus header = OpenFrame(reader, FrameType::kError);
+  uint32_t version = 0;
+  const DecodeStatus header = OpenFrame(reader, FrameType::kError, &version);
   if (header != DecodeStatus::kOk) return header;
   std::string decoded;
   if (!reader.String(&decoded, kMaxErrorLen)) {
     return DecodeStatus::kMalformedPayload;
   }
+  ErrorCode decoded_code = ErrorCode::kGeneric;
+  if (version >= 2) {
+    uint8_t raw = 0;
+    if (!reader.Pod(&raw) || raw > kMaxErrorCode) {
+      return DecodeStatus::kMalformedPayload;
+    }
+    decoded_code = static_cast<ErrorCode>(raw);
+  }
   if (reader.Remaining() != 0) return DecodeStatus::kTrailingGarbage;
   *message = std::move(decoded);
+  if (code != nullptr) *code = decoded_code;
   return DecodeStatus::kOk;
 }
 

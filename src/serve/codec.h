@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "eval/recommend.h"
+#include "serve/admission.h"
 
 namespace tspn::serve {
 
@@ -13,7 +14,7 @@ namespace tspn::serve {
 /// socket front-end will plug into. Every frame is
 ///
 ///   uint32  magic          "TSWP" (0x50575354)
-///   uint32  wire version   kWireVersion
+///   uint32  wire version   1 or 2 (see below)
 ///   uint8   frame type     FrameType
 ///   uint32  payload bytes  (exactly what follows; nothing may trail it)
 ///   ...     payload        POD fields via common::ByteWriter/ByteReader
@@ -22,8 +23,18 @@ namespace tspn::serve {
 /// this build, unknown frame types, payload-length mismatches and trailing
 /// garbage are all rejected with a specific DecodeStatus instead of a crash
 /// or a partially filled struct (outputs are untouched on failure).
+///
+/// Version 2 (this build) adds optional overload-control fields:
+///   * request frames gain a trailing int64 deadline_ms + uint8 priority
+///     (serve/admission.h) — a v2 frame must carry both, a v1 frame neither;
+///   * error frames gain a trailing uint8 ErrorCode.
+/// Decoders accept versions 1..kWireVersion, filling defaults for absent v2
+/// fields (interactive priority, no deadline, kGeneric code) and rejecting
+/// any mixture strictly. Encoders emit the LOWEST version that can represent
+/// the frame: responses carry no v2 fields and stay version 1 on the wire,
+/// so a v1-only client is served bit-identically by this build.
 inline constexpr uint32_t kWireMagic = 0x50575354;  // "TSWP"
-inline constexpr uint32_t kWireVersion = 1;
+inline constexpr uint32_t kWireVersion = 2;
 
 /// Longest endpoint name a request frame may carry. Gateway::Deploy
 /// enforces the same cap, so every deployable endpoint is addressable over
@@ -31,9 +42,9 @@ inline constexpr uint32_t kWireVersion = 1;
 inline constexpr uint32_t kMaxEndpointNameLen = 256;
 
 enum class FrameType : uint8_t {
-  kRequest = 1,   ///< endpoint name + eval::RecommendRequest
+  kRequest = 1,   ///< endpoint name + eval::RecommendRequest [+ admission]
   kResponse = 2,  ///< eval::RecommendResponse
-  kError = 3,     ///< human-readable error message
+  kError = 3,     ///< human-readable error message [+ ErrorCode]
 };
 
 enum class DecodeStatus : uint8_t {
@@ -49,6 +60,27 @@ enum class DecodeStatus : uint8_t {
 /// Human-readable status name ("kOk", "kTruncated", ...), for logs/errors.
 const char* DecodeStatusName(DecodeStatus status);
 
+/// Machine-readable error classification carried by v2 error frames, so
+/// clients can tell a shed (retry later, lower the rate) from a caller bug
+/// (fix the request) without parsing message text. v1 error frames decode
+/// as kGeneric.
+enum class ErrorCode : uint8_t {
+  kGeneric = 0,          ///< unclassified (every v1-era error)
+  kBadFrame = 1,         ///< request frame failed to decode
+  kUnknownEndpoint = 2,  ///< no such endpoint deployed
+  kInvalidRequest = 3,   ///< decoded fine, but unservable (bad sample index)
+  kShedCapacity = 4,     ///< queue full / evicted / degraded-class shed
+  kShedDeadline = 5,     ///< deadline cannot plausibly be met; not enqueued
+  kExpired = 6,          ///< accepted, but the deadline passed in the queue
+  kModelFailure = 7,     ///< the model threw while serving the batch
+  kTransport = 8,        ///< transport-level framing violation
+};
+
+/// Highest valid ErrorCode value; anything above it is malformed on the wire.
+inline constexpr uint8_t kMaxErrorCode = 8;
+
+const char* ErrorCodeName(ErrorCode code);
+
 /// Peeks at a well-formed frame's type without decoding the payload.
 /// Returns kOk and sets *type when the header is valid and the payload
 /// length matches the buffer.
@@ -56,18 +88,36 @@ DecodeStatus PeekFrameType(const std::vector<uint8_t>& frame, FrameType* type);
 
 // --- Request frames ----------------------------------------------------------
 
-/// Encodes `request` addressed to the named gateway endpoint. The name must
-/// respect kMaxEndpointNameLen — the encoder does not truncate, so a longer
-/// name produces a frame the strict decoder rejects (Gateway::Deploy
-/// enforces the same cap, so no deployable endpoint can hit this).
+/// Encodes `request` addressed to the named gateway endpoint as a version-1
+/// frame (no admission fields — bit-identical to what pre-v2 builds
+/// emitted). The name must respect kMaxEndpointNameLen — the encoder does
+/// not truncate, so a longer name produces a frame the strict decoder
+/// rejects (Gateway::Deploy enforces the same cap, so no deployable
+/// endpoint can hit this).
 std::vector<uint8_t> EncodeRecommendRequest(const std::string& endpoint,
                                             const eval::RecommendRequest& request);
 
-/// Strict inverse of EncodeRecommendRequest. On kOk, *endpoint and *request
-/// hold exactly what was encoded (bit-identical constraints included).
+/// Version-2 encode: the same payload plus the trailing admission fields
+/// (deadline_ms, priority). admission.deadline_ms must be non-negative.
+std::vector<uint8_t> EncodeRecommendRequest(const std::string& endpoint,
+                                            const eval::RecommendRequest& request,
+                                            const AdmissionClass& admission);
+
+/// Strict inverse of both encoders. On kOk, *endpoint and *request hold
+/// exactly what was encoded (bit-identical constraints included).
 DecodeStatus DecodeRecommendRequest(const std::vector<uint8_t>& frame,
                                     std::string* endpoint,
                                     eval::RecommendRequest* request);
+
+/// Admission-aware decode: a v2 frame fills *admission from its trailing
+/// fields (negative deadlines and out-of-range priorities are malformed); a
+/// v1 frame yields the AdmissionClass defaults. When non-null,
+/// *wire_version reports the frame's version so a server can reply in kind.
+DecodeStatus DecodeRecommendRequest(const std::vector<uint8_t>& frame,
+                                    std::string* endpoint,
+                                    eval::RecommendRequest* request,
+                                    AdmissionClass* admission,
+                                    uint32_t* wire_version = nullptr);
 
 // --- Response frames ---------------------------------------------------------
 
@@ -78,12 +128,23 @@ DecodeStatus DecodeRecommendResponse(const std::vector<uint8_t>& frame,
 
 // --- Error frames ------------------------------------------------------------
 
-/// What Gateway::ServeFrame returns instead of a response when the request
-/// frame is invalid or the endpoint/model fails.
+/// What the gateway returns instead of a response when the request frame is
+/// invalid or the endpoint/model fails. This overload encodes a version-1
+/// frame (no code — bit-identical to pre-v2 builds), for replies to v1
+/// requesters.
 std::vector<uint8_t> EncodeErrorFrame(const std::string& message);
+
+/// Version-2 encode with the machine-readable classification appended.
+std::vector<uint8_t> EncodeErrorFrame(const std::string& message,
+                                      ErrorCode code);
 
 DecodeStatus DecodeErrorFrame(const std::vector<uint8_t>& frame,
                               std::string* message);
+
+/// Code-aware decode: v2 frames fill *code from the trailing byte
+/// (out-of-range values are malformed); v1 frames yield kGeneric.
+DecodeStatus DecodeErrorFrame(const std::vector<uint8_t>& frame,
+                              std::string* message, ErrorCode* code);
 
 }  // namespace tspn::serve
 

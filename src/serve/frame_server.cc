@@ -65,6 +65,10 @@ FrameServerOptions FrameServerOptions::FromEnv() {
   o.max_connections = std::clamp<int64_t>(
       common::EnvInt("TSPN_SERVE_MAX_CONNECTIONS", o.max_connections), 1,
       4096);
+  o.max_inflight_per_connection = std::clamp<int64_t>(
+      common::EnvInt("TSPN_SERVE_MAX_CONN_INFLIGHT",
+                     o.max_inflight_per_connection),
+      1, 65536);
   return o;
 }
 
@@ -138,6 +142,7 @@ FrameServerStats FrameServer::GetStats() const {
   s.frames_received = shared_->frames_received.load();
   s.frames_sent = shared_->frames_sent.load();
   s.transport_errors = shared_->transport_errors.load();
+  s.read_throttles = shared_->read_throttles.load();
   s.in_flight = shared_->in_flight.load();
   s.max_in_flight_observed = shared_->max_in_flight.load();
   return s;
@@ -205,12 +210,21 @@ void FrameServer::RunIoLoop(const std::shared_ptr<IoLoop>& loop) {
     fds.push_back({loop->wake.read_fd(), POLLIN, 0});
     for (const std::shared_ptr<Connection>& conn : loop->conns) {
       short events = 0;
-      if (!conn->saw_eof) events |= POLLIN;
+      // Read interest is dropped at the per-connection in-flight cap: the
+      // kernel receive buffer fills and TCP flow control pushes back on
+      // the pipelining peer — overload never grows the slot queue past
+      // the cap. Each throttle episode is counted once.
+      const bool at_cap = AtCap(conn);
+      if (at_cap != conn->throttled) {
+        if (at_cap) shared_->read_throttles.fetch_add(1);
+        conn->throttled = at_cap;
+      }
+      if (!conn->saw_eof && !at_cap) events |= POLLIN;
       if (HasFlushable(conn)) events |= POLLOUT;
-      // A connection with no interest (peer done sending, responses still
-      // being computed) is parked with fd -1: poll ignores it, and the
-      // completion's wake pipe nudge resumes it. Without this, the kernel
-      // would report POLLHUP every round and spin the loop.
+      // A connection with no interest (peer done sending or throttled,
+      // responses still being computed) is parked with fd -1: poll ignores
+      // it, and the completion's wake pipe nudge resumes it. Without this,
+      // the kernel would report POLLHUP every round and spin the loop.
       fds.push_back({events != 0 ? conn->fd.get() : -1, events, 0});
     }
     const int rc = ::poll(fds.data(), fds.size(), -1);
@@ -236,7 +250,25 @@ void FrameServer::RunIoLoop(const std::shared_ptr<IoLoop>& loop) {
           (revents & (POLLIN | POLLHUP)) != 0) {
         alive = ReadReady(conn);
       }
+      bool capped = false;
+      if (alive) capped = ParseFrames(conn);
       if (alive && HasFlushable(conn)) alive = WriteReady(conn);
+      // Flushing may have freed slots below the in-flight cap: resume
+      // parsing now instead of waiting for the next event.
+      if (alive && capped) capped = ParseFrames(conn);
+      if (alive && conn->saw_eof) {
+        // The peer finished sending. Once every parseable frame has been
+        // submitted (not capped), the connection owes only its pending
+        // replies: condemn it so it closes when the outbox drains. A
+        // capped connection keeps its unparsed frames and is resumed by
+        // completion wakes.
+        std::lock_guard<std::mutex> lock(conn->mutex);
+        if (!capped && !conn->close_after_flush) {
+          conn->inbox.clear();  // trailing partial frame can never complete
+          conn->close_after_flush = true;
+        }
+        if (conn->close_after_flush && conn->outbox.empty()) alive = false;
+      }
       if (alive) {
         survivors.push_back(conn);
       } else {
@@ -260,35 +292,45 @@ bool FrameServer::ReadReady(const std::shared_ptr<Connection>& conn) {
       continue;
     }
     if (n == 0) {
-      // Peer finished sending. Drop the connection only when nothing is
-      // owed: responses for already-received frames still flush (TCP
-      // half-close — a client may send everything, shutdown(WR), then read).
+      // Peer finished sending (TCP half-close — a client may send
+      // everything, shutdown(WR), then read). The IO pass decides when to
+      // condemn the connection: buffered frames may still be waiting for
+      // in-flight slots.
       conn->saw_eof = true;
-      ParseFrames(conn);
-      std::lock_guard<std::mutex> lock(conn->mutex);
-      conn->close_after_flush = true;
-      return !conn->outbox.empty();
+      return true;
     }
     if (errno == EINTR) continue;
-    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return true;
     return false;
   }
-  ParseFrames(conn);
-  return true;
 }
 
-void FrameServer::ParseFrames(const std::shared_ptr<Connection>& conn) {
+bool FrameServer::AtCap(const std::shared_ptr<Connection>& conn) const {
+  std::lock_guard<std::mutex> lock(conn->mutex);
+  return conn->outbox.size() >=
+         static_cast<size_t>(options_.max_inflight_per_connection);
+}
+
+bool FrameServer::ParseFrames(const std::shared_ptr<Connection>& conn) {
   {
     std::lock_guard<std::mutex> lock(conn->mutex);
     if (conn->close_after_flush) {
       // The stream is already condemned (unframeable length): anything the
       // peer keeps sending is undecodable noise.
       conn->inbox.clear();
-      return;
+      return false;
     }
   }
   size_t offset = 0;
+  bool capped = false;
   while (conn->inbox.size() - offset >= kLengthPrefixBytes) {
+    if (AtCap(conn)) {
+      // In-flight cap: leave the remaining frames buffered. The IO pass
+      // re-parses after replies flush, and read interest stays dropped
+      // until the queue is below the cap.
+      capped = true;
+      break;
+    }
     const uint32_t length = common::LoadU32Le(conn->inbox.data() + offset);
     if (static_cast<int64_t>(length) > options_.max_frame_bytes) {
       // Unrecoverable: the declared length cannot be trusted, so no later
@@ -304,7 +346,7 @@ void FrameServer::ParseFrames(const std::shared_ptr<Connection>& conn) {
       conn->outbox.push_back(std::move(slot));
       conn->close_after_flush = true;
       conn->inbox.clear();
-      return;
+      return false;
     }
     if (conn->inbox.size() - offset < kLengthPrefixBytes + length) break;
     std::vector<uint8_t> frame(
@@ -318,6 +360,7 @@ void FrameServer::ParseFrames(const std::shared_ptr<Connection>& conn) {
   }
   conn->inbox.erase(conn->inbox.begin(),
                     conn->inbox.begin() + static_cast<ptrdiff_t>(offset));
+  return capped;
 }
 
 void FrameServer::SubmitFrame(const std::shared_ptr<Connection>& conn,

@@ -17,9 +17,11 @@ namespace tspn::serve {
 
 /// Tuning knobs for FrameServer. Environment overrides (FromEnv):
 ///
-///   TSPN_SERVE_IO_THREADS       poll-loop IO threads            (default 2)
-///   TSPN_SERVE_MAX_FRAME_BYTES  largest accepted frame          (default 1 MiB)
-///   TSPN_SERVE_MAX_CONNECTIONS  concurrent connection cap       (default 256)
+///   TSPN_SERVE_IO_THREADS        poll-loop IO threads            (default 2)
+///   TSPN_SERVE_MAX_FRAME_BYTES   largest accepted frame          (default 1 MiB)
+///   TSPN_SERVE_MAX_CONNECTIONS   concurrent connection cap       (default 256)
+///   TSPN_SERVE_MAX_CONN_INFLIGHT per-connection in-flight frame
+///                                cap; reads throttle above it    (default 64)
 struct FrameServerOptions {
   /// Dotted-quad IPv4 listen address; defaults to loopback. Use "0.0.0.0"
   /// to accept from the network.
@@ -31,6 +33,14 @@ struct FrameServerOptions {
   int io_threads = 2;
   int64_t max_frame_bytes = 1 << 20;
   int64_t max_connections = 256;
+
+  /// Most response slots one connection may hold (requests submitted or
+  /// queued-for-reply). At the cap the server stops parsing new frames off
+  /// that connection and drops its read interest, so a client pipelining
+  /// faster than the engine serves is held back by TCP flow control instead
+  /// of growing the slot queue without bound. Replies flushing below the
+  /// cap resume parsing and reading on the same IO pass.
+  int64_t max_inflight_per_connection = 64;
 
   static FrameServerOptions FromEnv();
 };
@@ -47,6 +57,7 @@ struct FrameServerStats {
   int64_t frames_received = 0;  ///< complete request frames parsed
   int64_t frames_sent = 0;      ///< reply frames fully written
   int64_t transport_errors = 0; ///< framing violations (oversized length)
+  int64_t read_throttles = 0;   ///< connections hitting the in-flight cap
   int64_t in_flight = 0;
   int64_t max_in_flight_observed = 0;
 };
@@ -128,9 +139,12 @@ class FrameServer {
 
     // IO-thread-only read state. saw_eof parks POLLIN interest once the
     // peer finished sending (half-close), so a drained socket cannot spin
-    // the poll loop while responses are still being computed.
+    // the poll loop while responses are still being computed. throttled
+    // tracks the in-flight-cap state so each throttle episode is counted
+    // once.
     std::vector<uint8_t> inbox;
     bool saw_eof = false;
+    bool throttled = false;
 
     std::mutex mutex;  ///< guards everything below
     std::deque<std::shared_ptr<Slot>> outbox;
@@ -151,6 +165,7 @@ class FrameServer {
     std::atomic<int64_t> frames_received{0};
     std::atomic<int64_t> frames_sent{0};
     std::atomic<int64_t> transport_errors{0};
+    std::atomic<int64_t> read_throttles{0};
     std::atomic<int64_t> in_flight{0};
     std::atomic<int64_t> max_in_flight{0};
   };
@@ -158,13 +173,21 @@ class FrameServer {
   void RunAcceptor();
   void RunIoLoop(const std::shared_ptr<IoLoop>& loop);
 
-  /// Drains the socket into the inbox and extracts complete frames.
-  /// False when the connection must be dropped (EOF, error).
+  /// Drains the socket into the inbox. Sets saw_eof when the peer finished
+  /// sending; false only when the connection must be dropped (hard error).
+  /// Parsing happens separately in the IO pass, so a read never submits
+  /// past the in-flight cap.
   bool ReadReady(const std::shared_ptr<Connection>& conn);
 
-  /// Parses every complete length-delimited frame out of the inbox and
-  /// submits it. Flags close_after_flush on an unframeable stream.
-  void ParseFrames(const std::shared_ptr<Connection>& conn);
+  /// Parses complete length-delimited frames out of the inbox and submits
+  /// them, stopping at the per-connection in-flight cap. Returns true when
+  /// it stopped because of the cap (unparsed frames remain); flags
+  /// close_after_flush on an unframeable stream.
+  bool ParseFrames(const std::shared_ptr<Connection>& conn);
+
+  /// Whether the connection's slot queue is at the in-flight cap (read
+  /// interest must be dropped).
+  bool AtCap(const std::shared_ptr<Connection>& conn) const;
 
   /// Decodes/submits one TSWP frame, reserving its in-order response slot.
   void SubmitFrame(const std::shared_ptr<Connection>& conn,

@@ -1,9 +1,11 @@
 #include "serve/gateway.h"
 
+#include <algorithm>
 #include <stdexcept>
 #include <tuple>
 #include <utility>
 
+#include "common/env.h"
 #include "serve/codec.h"
 
 namespace tspn::serve {
@@ -11,6 +13,29 @@ namespace tspn::serve {
 namespace {
 
 using Clock = std::chrono::steady_clock;
+
+/// Maps an engine shed reason to the wire classification.
+ErrorCode CodeForShed(ShedReason reason) {
+  switch (reason) {
+    case ShedReason::kDeadlineUnmeetable: return ErrorCode::kShedDeadline;
+    case ShedReason::kExpired: return ErrorCode::kExpired;
+    case ShedReason::kCapacity:
+    case ShedReason::kEvicted:
+    case ShedReason::kShutdown: return ErrorCode::kShedCapacity;
+    case ShedReason::kNone: break;
+  }
+  return ErrorCode::kGeneric;
+}
+
+/// Error frames are encoded at the requester's wire version: a v2 requester
+/// gets the machine-readable code, a v1 requester gets the bit-identical
+/// v1 layout it can decode (the message still names the reason).
+std::vector<uint8_t> ErrorFrameFor(uint32_t wire_version,
+                                   const std::string& message,
+                                   ErrorCode code) {
+  return wire_version >= 2 ? EncodeErrorFrame(message, code)
+                           : EncodeErrorFrame(message);
+}
 
 std::future<eval::RecommendResponse> BrokenFuture(const std::string& message) {
   std::promise<eval::RecommendResponse> broken;
@@ -64,22 +89,109 @@ const char* DeployStateName(DeployState state) {
   return "kUnknown";
 }
 
+OverloadPolicy OverloadPolicy::FromEnv() {
+  auto clamp = [](int64_t value, int64_t lo, int64_t hi) {
+    return std::max(lo, std::min(hi, value));
+  };
+  OverloadPolicy policy;
+  policy.degrade_high_pct =
+      clamp(common::EnvInt("TSPN_SERVE_DEGRADE_HIGH_PCT",
+                           policy.degrade_high_pct), 1, 100);
+  policy.degrade_low_pct =
+      clamp(common::EnvInt("TSPN_SERVE_DEGRADE_LOW_PCT",
+                           policy.degrade_low_pct), 0, 100);
+  // The hysteresis gap must stay a gap: a low threshold at or above the
+  // high one would re-enter degradation on the very request that left it.
+  if (policy.degrade_low_pct >= policy.degrade_high_pct) {
+    policy.degrade_low_pct = policy.degrade_high_pct - 1;
+  }
+  policy.degraded_top_n = clamp(
+      common::EnvInt("TSPN_SERVE_DEGRADED_TOP_N", policy.degraded_top_n), 0,
+      1 << 20);
+  policy.degraded_max_tiles =
+      clamp(common::EnvInt("TSPN_SERVE_DEGRADED_MAX_TILES",
+                           policy.degraded_max_tiles), 0, 1 << 30);
+  policy.shed_priority_at_or_below =
+      clamp(common::EnvInt("TSPN_SERVE_SHED_PRIORITY",
+                           policy.shed_priority_at_or_below), -1, kMaxPriority);
+  return policy;
+}
+
+void Gateway::Deployment::FoldCounters() {
+  if (engine == nullptr || cumulative == nullptr) return;
+  // Incremental fold: add only what previous folds have not contributed.
+  // fold_mutex_ makes the read-delta-update atomic against a concurrent
+  // folder (eager swap fold racing the destructor's final fold).
+  std::lock_guard<std::mutex> lock(fold_mutex_);
+  const EngineStats now = engine->GetStats();
+  cumulative->submitted.fetch_add(now.submitted - already_folded_.submitted);
+  cumulative->completed.fetch_add(now.completed - already_folded_.completed);
+  cumulative->rejected.fetch_add(now.rejected - already_folded_.rejected);
+  cumulative->batches.fetch_add(now.batches - already_folded_.batches);
+  cumulative->shed_deadline.fetch_add(now.shed_deadline -
+                                      already_folded_.shed_deadline);
+  cumulative->shed_capacity.fetch_add(now.shed_capacity -
+                                      already_folded_.shed_capacity);
+  cumulative->expired_in_queue.fetch_add(now.expired_in_queue -
+                                         already_folded_.expired_in_queue);
+  already_folded_ = now;
+  // Gateway-side counters fold the same way. Class sheds are capacity sheds
+  // in the lifetime ledger: the request was refused because the endpoint
+  // had no room for its class.
+  const int64_t degraded_now = degraded_served.load();
+  const int64_t class_shed_now = class_shed.load();
+  cumulative->degraded.fetch_add(degraded_now - degraded_folded_);
+  cumulative->shed_capacity.fetch_add(class_shed_now - class_shed_folded_);
+  cumulative->rejected.fetch_add(class_shed_now - class_shed_folded_);
+  degraded_folded_ = degraded_now;
+  class_shed_folded_ = class_shed_now;
+}
+
+Gateway::Deployment::LifetimeTotals Gateway::Deployment::GetLifetimeTotals() {
+  std::lock_guard<std::mutex> lock(fold_mutex_);
+  LifetimeTotals totals;
+  // Holding fold_mutex_ freezes already_folded_ AND this generation's
+  // contributions to `cumulative`, so adding (now - already_folded_) on top
+  // of the cumulative read is exact no matter when a swap's eager fold
+  // lands. Other (retired) generations' folds only ever grow cumulative by
+  // their own deltas — no overlap with ours.
+  if (engine != nullptr) {
+    const EngineStats now = engine->GetStats();
+    totals.submitted = now.submitted - already_folded_.submitted;
+    totals.completed = now.completed - already_folded_.completed;
+    totals.rejected = now.rejected - already_folded_.rejected;
+    totals.batches = now.batches - already_folded_.batches;
+    totals.shed_deadline = now.shed_deadline - already_folded_.shed_deadline;
+    totals.shed_capacity = now.shed_capacity - already_folded_.shed_capacity;
+    totals.expired_in_queue =
+        now.expired_in_queue - already_folded_.expired_in_queue;
+  }
+  const int64_t class_shed_delta = class_shed.load() - class_shed_folded_;
+  totals.degraded = degraded_served.load() - degraded_folded_;
+  totals.shed_capacity += class_shed_delta;
+  totals.rejected += class_shed_delta;
+  if (cumulative != nullptr) {
+    totals.submitted += cumulative->submitted.load();
+    totals.completed += cumulative->completed.load();
+    totals.rejected += cumulative->rejected.load();
+    totals.batches += cumulative->batches.load();
+    totals.shed_deadline += cumulative->shed_deadline.load();
+    totals.shed_capacity += cumulative->shed_capacity.load();
+    totals.expired_in_queue += cumulative->expired_in_queue.load();
+    totals.degraded += cumulative->degraded.load();
+  }
+  return totals;
+}
+
 Gateway::Deployment::~Deployment() {
   // Drain before teardown: Shutdown() serves everything already queued and
   // joins the workers, so no accepted request's future is ever dropped.
   if (engine != nullptr) {
     engine->Shutdown();
-    // Fold this generation's final counters into the endpoint's lifetime
-    // totals. Running after the drain means every request this deployment
-    // ever accepted is in these numbers — the reason the fold lives here
-    // and not at swap time, when stragglers may still be in flight.
-    if (cumulative != nullptr) {
-      const EngineStats final_stats = engine->GetStats();
-      cumulative->submitted.fetch_add(final_stats.submitted);
-      cumulative->completed.fetch_add(final_stats.completed);
-      cumulative->rejected.fetch_add(final_stats.rejected);
-      cumulative->batches.fetch_add(final_stats.batches);
-    }
+    // Final fold, after the drain: the eager fold at swap time already
+    // contributed this generation's history, so only the post-swap
+    // stragglers' delta lands here — every request counted exactly once.
+    FoldCounters();
   }
 }
 
@@ -280,9 +392,14 @@ bool Gateway::Swap(const std::string& endpoint,
     ++it->second.swaps;
     async_status_.erase(endpoint);  // sync success supersedes async history
   }
+  // Eager partial fold, outside the gateway mutex: the retiring
+  // generation's history lands in the lifetime totals NOW, so a stats
+  // scrape right after the swap sees at most the still-in-flight
+  // stragglers' lag — not a whole generation's worth.
+  old->FoldCounters();
   // `old` dies here (or when the last in-flight submitter releases it):
   // its engine drains every queued request against the old weights first,
-  // then folds its counters into the endpoint's lifetime totals.
+  // then folds the remaining delta into the endpoint's lifetime totals.
   return true;
 }
 
@@ -319,12 +436,12 @@ bool Gateway::SwapAsync(const std::string& endpoint,
       SetAsyncStatus(endpoint, DeployState::kFailed, build_error);
       return;
     }
+    // Same install rules as the synchronous Swap: the build only lands
+    // on the generation it snapshotted. `old`/`discarded` drain outside
+    // the lock (declared before the scoped lock_guard below).
+    std::shared_ptr<Deployment> old;
+    std::shared_ptr<Deployment> discarded;
     {
-      // Same install rules as the synchronous Swap: the build only lands
-      // on the generation it snapshotted. `old`/`discarded` drain outside
-      // the lock (reverse destruction order: the lock_guard dies first).
-      std::shared_ptr<Deployment> old;
-      std::shared_ptr<Deployment> discarded;
       std::lock_guard<std::mutex> lock(mutex_);
       auto it = endpoints_.find(endpoint);
       if (it == endpoints_.end()) {
@@ -345,6 +462,8 @@ bool Gateway::SwapAsync(const std::string& endpoint,
         async_status_[endpoint] = {DeployState::kLive, ""};
       }
     }
+    // Same eager partial fold as the synchronous Swap, after the lock.
+    if (old != nullptr) old->FoldCounters();
     // Release the capture's pin on the old generation here, inside the op:
     // if this was the last reference, the drain runs now on the builder
     // thread — before the done flag — so a later join never inherits it.
@@ -437,8 +556,54 @@ std::shared_ptr<Gateway::Deployment> Gateway::CurrentDeployment(
   return it->second.current;
 }
 
+bool Gateway::ShapeForOverload(Deployment& deployment,
+                               eval::RecommendRequest* request,
+                               Priority priority) {
+  const OverloadPolicy& policy = deployment.config.overload;
+  const int64_t capacity = deployment.config.engine_options.max_queue_depth;
+  const int64_t depth = deployment.engine->QueueDepth();
+  // Hysteresis: enter at high-water, leave at low-water. The atomic races
+  // with concurrent submitters benignly — the worst case is two requests
+  // near a threshold disagreeing about the state by one transition.
+  bool degraded = deployment.degraded.load(std::memory_order_relaxed);
+  if (!degraded) {
+    if (capacity > 0 && depth * 100 >= capacity * policy.degrade_high_pct) {
+      degraded = true;
+      deployment.degraded.store(true, std::memory_order_relaxed);
+    }
+  } else if (capacity <= 0 ||
+             depth * 100 <= capacity * policy.degrade_low_pct) {
+    degraded = false;
+    deployment.degraded.store(false, std::memory_order_relaxed);
+  }
+  if (!degraded) return true;
+  if (policy.shed_priority_at_or_below >= 0 &&
+      static_cast<int64_t>(static_cast<uint8_t>(priority)) <=
+          policy.shed_priority_at_or_below) {
+    deployment.class_shed.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  // Serve shallower instead of shedding: clamp the ranking depth and cap
+  // the stage-1 screen so each degraded request costs a bounded slice of
+  // the tile scan (core/tspn_ra.h GatherAllowedCandidates).
+  if (policy.degraded_top_n > 0 && request->top_n > policy.degraded_top_n) {
+    request->top_n = policy.degraded_top_n;
+  }
+  if (policy.degraded_max_tiles > 0) {
+    request->max_tiles_screened = policy.degraded_max_tiles;
+  }
+  deployment.degraded_served.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
 std::future<eval::RecommendResponse> Gateway::Submit(
     const std::string& endpoint, const eval::RecommendRequest& request) {
+  return Submit(endpoint, request, AdmissionClass{});
+}
+
+std::future<eval::RecommendResponse> Gateway::Submit(
+    const std::string& endpoint, const eval::RecommendRequest& request,
+    const AdmissionClass& admission) {
   // The copied shared_ptr pins this deployment generation for the duration
   // of the call: a concurrent Swap/Undeploy cannot destroy the engine
   // while it is accepting this request.
@@ -452,24 +617,51 @@ std::future<eval::RecommendResponse> Gateway::Submit(
     return BrokenFuture("invalid request for endpoint '" + endpoint +
                         "': " + invalid);
   }
-  return deployment->engine->Submit(request);
+  eval::RecommendRequest shaped = request;
+  if (!ShapeForOverload(*deployment, &shaped, admission.priority)) {
+    std::promise<eval::RecommendResponse> shed;
+    shed.set_exception(std::make_exception_ptr(ShedError(
+        ShedReason::kCapacity,
+        "request shed (kCapacity): endpoint '" + endpoint +
+            "' is degraded and sheds " +
+            std::string(PriorityName(admission.priority)) + " traffic")));
+    return shed.get_future();
+  }
+  return deployment->engine->Submit(shaped, admission);
 }
 
 std::vector<uint8_t> Gateway::ServeFrame(const std::vector<uint8_t>& request_frame) {
   std::string endpoint;
   eval::RecommendRequest request;
-  const DecodeStatus status =
-      DecodeRecommendRequest(request_frame, &endpoint, &request);
+  AdmissionClass admission;
+  uint32_t wire_version = 1;
+  const DecodeStatus status = DecodeRecommendRequest(
+      request_frame, &endpoint, &request, &admission, &wire_version);
   if (status != DecodeStatus::kOk) {
+    // The requester's version is unknowable from a frame that failed to
+    // decode, so the reply uses the universally decodable v1 layout.
     return EncodeErrorFrame(std::string("bad request frame: ") +
                             DecodeStatusName(status));
   }
   try {
-    return EncodeRecommendResponse(Submit(endpoint, request).get());
+    return EncodeRecommendResponse(
+        Submit(endpoint, request, admission).get());
+  } catch (const ShedError& e) {
+    return ErrorFrameFor(wire_version, e.what(), CodeForShed(e.reason()));
   } catch (const std::exception& e) {
-    return EncodeErrorFrame(e.what());
+    // BrokenFuture routes (unknown endpoint, invalid request) and model
+    // failures land here; classify by message prefix so v2 requesters get
+    // a useful code without a parallel error-plumbing channel.
+    const std::string what = e.what();
+    ErrorCode code = ErrorCode::kModelFailure;
+    if (what.rfind("no endpoint", 0) == 0) {
+      code = ErrorCode::kUnknownEndpoint;
+    } else if (what.rfind("invalid request", 0) == 0) {
+      code = ErrorCode::kInvalidRequest;
+    }
+    return ErrorFrameFor(wire_version, what, code);
   } catch (...) {
-    return EncodeErrorFrame("request failed");
+    return ErrorFrameFor(wire_version, "request failed", ErrorCode::kGeneric);
   }
 }
 
@@ -477,8 +669,10 @@ void Gateway::ServeFrameAsync(const std::vector<uint8_t>& request_frame,
                               FrameCallback done) {
   std::string endpoint;
   eval::RecommendRequest request;
-  const DecodeStatus status =
-      DecodeRecommendRequest(request_frame, &endpoint, &request);
+  AdmissionClass admission;
+  uint32_t wire_version = 1;
+  const DecodeStatus status = DecodeRecommendRequest(
+      request_frame, &endpoint, &request, &admission, &wire_version);
   if (status != DecodeStatus::kOk) {
     done(EncodeErrorFrame(std::string("bad request frame: ") +
                           DecodeStatusName(status)));
@@ -486,14 +680,27 @@ void Gateway::ServeFrameAsync(const std::vector<uint8_t>& request_frame,
   }
   std::shared_ptr<Deployment> deployment = CurrentDeployment(endpoint);
   if (deployment == nullptr) {
-    done(EncodeErrorFrame("no endpoint '" + endpoint + "' is deployed"));
+    done(ErrorFrameFor(wire_version,
+                       "no endpoint '" + endpoint + "' is deployed",
+                       ErrorCode::kUnknownEndpoint));
     return;
   }
   const std::string invalid =
       ValidateRequest(*deployment->config.dataset, request);
   if (!invalid.empty()) {
-    done(EncodeErrorFrame("invalid request for endpoint '" + endpoint +
-                          "': " + invalid));
+    done(ErrorFrameFor(wire_version,
+                       "invalid request for endpoint '" + endpoint +
+                           "': " + invalid,
+                       ErrorCode::kInvalidRequest));
+    return;
+  }
+  if (!ShapeForOverload(*deployment, &request, admission.priority)) {
+    done(ErrorFrameFor(wire_version,
+                       "request shed (kCapacity): endpoint '" + endpoint +
+                           "' is degraded and sheds " +
+                           std::string(PriorityName(admission.priority)) +
+                           " traffic",
+                       ErrorCode::kShedCapacity));
     return;
   }
   // The continuation deliberately does NOT capture the deployment: it does
@@ -506,24 +713,35 @@ void Gateway::ServeFrameAsync(const std::vector<uint8_t>& request_frame,
   // `done` is copied (not moved) into the continuation because a rejected
   // submit never runs it — the overload error below still needs the
   // original.
+  ShedReason shed_reason = ShedReason::kNone;
   const bool accepted = deployment->engine->TrySubmitAsync(
-      request, [done](eval::RecommendResponse response,
-                      std::exception_ptr error) {
+      request, admission,
+      [done, wire_version](eval::RecommendResponse response,
+                           std::exception_ptr error) {
         if (error != nullptr) {
           try {
             std::rethrow_exception(error);
+          } catch (const ShedError& e) {
+            done(ErrorFrameFor(wire_version, e.what(),
+                               CodeForShed(e.reason())));
           } catch (const std::exception& e) {
-            done(EncodeErrorFrame(e.what()));
+            done(ErrorFrameFor(wire_version, e.what(),
+                               ErrorCode::kModelFailure));
           } catch (...) {
-            done(EncodeErrorFrame("request failed"));
+            done(ErrorFrameFor(wire_version, "request failed",
+                               ErrorCode::kGeneric));
           }
           return;
         }
         done(EncodeRecommendResponse(response));
-      });
+      },
+      &shed_reason);
   if (!accepted) {
-    done(EncodeErrorFrame("endpoint '" + endpoint +
-                          "' is overloaded (request queue full)"));
+    done(ErrorFrameFor(
+        wire_version,
+        "request shed (" + std::string(ShedReasonName(shed_reason)) +
+            "): endpoint '" + endpoint + "' is overloaded",
+        CodeForShed(shed_reason)));
   }
 }
 
@@ -563,19 +781,19 @@ EndpointStats Gateway::StatsOf(const EndpointSnapshot& snapshot) {
                                stats.window_uptime_seconds
                          : 0.0;
 
-  // Lifetime: counters retired deployments folded in, plus the live window.
-  int64_t retired_submitted = 0, retired_completed = 0, retired_rejected = 0,
-          retired_batches = 0;
-  if (snapshot.cumulative != nullptr) {
-    retired_submitted = snapshot.cumulative->submitted.load();
-    retired_completed = snapshot.cumulative->completed.load();
-    retired_rejected = snapshot.cumulative->rejected.load();
-    retired_batches = snapshot.cumulative->batches.load();
-  }
-  stats.lifetime_submitted = retired_submitted + stats.engine.submitted;
-  stats.lifetime_completed = retired_completed + stats.engine.completed;
-  stats.lifetime_rejected = retired_rejected + stats.engine.rejected;
-  stats.lifetime_batches = retired_batches + stats.engine.batches;
+  // Lifetime: counters retired deployments folded in, plus the live
+  // generation's unfolded delta — computed together under the fold mutex
+  // so a racing swap's eager fold cannot double-count the live window.
+  const Deployment::LifetimeTotals lifetime = deployment->GetLifetimeTotals();
+  stats.lifetime_submitted = lifetime.submitted;
+  stats.lifetime_completed = lifetime.completed;
+  stats.lifetime_rejected = lifetime.rejected;
+  stats.lifetime_batches = lifetime.batches;
+  stats.shed_deadline = lifetime.shed_deadline;
+  stats.shed_capacity = lifetime.shed_capacity;
+  stats.expired_in_queue = lifetime.expired_in_queue;
+  stats.degraded = lifetime.degraded;
+  stats.degraded_now = deployment->degraded.load(std::memory_order_relaxed);
   stats.uptime_seconds =
       std::chrono::duration<double>(now - snapshot.first_live).count();
   stats.qps = stats.uptime_seconds > 0.0
@@ -625,6 +843,10 @@ GatewayStats Gateway::Snapshot() const {
     snapshot.total_completed += stats.lifetime_completed;
     snapshot.total_rejected += stats.lifetime_rejected;
     snapshot.total_swaps += stats.swaps;
+    snapshot.total_shed_deadline += stats.shed_deadline;
+    snapshot.total_shed_capacity += stats.shed_capacity;
+    snapshot.total_expired_in_queue += stats.expired_in_queue;
+    snapshot.total_degraded += stats.degraded;
     snapshot.total_qps += stats.qps;
     snapshot.per_endpoint.push_back(std::move(stats));
   }

@@ -17,9 +17,38 @@
 #include "eval/model_api.h"
 #include "eval/model_registry.h"
 #include "eval/recommend.h"
+#include "serve/admission.h"
 #include "serve/inference_engine.h"
 
 namespace tspn::serve {
+
+/// Hysteresis-guarded graceful-degradation policy, evaluated per endpoint
+/// against its engine's queue depth (docs/serving.md "Graceful
+/// degradation"). The endpoint enters the degraded state when depth rises
+/// to `degrade_high_pct` percent of the queue capacity and leaves it only
+/// once depth falls back to `degrade_low_pct` percent — the gap prevents
+/// flapping at the threshold. While degraded, requests are served shallower
+/// (top_n clamped, stage-1 screen widening capped) and the lowest classes
+/// are shed outright. Environment overrides (FromEnv):
+///
+///   TSPN_SERVE_DEGRADE_HIGH_PCT   enter degraded at this % of queue depth (75)
+///   TSPN_SERVE_DEGRADE_LOW_PCT    leave degraded at this % of queue depth (25)
+///   TSPN_SERVE_DEGRADED_TOP_N     top_n cap while degraded; 0 = no cap    (5)
+///   TSPN_SERVE_DEGRADED_MAX_TILES stage-1 screen cap while degraded;
+///                                 0 = no cap                              (64)
+///   TSPN_SERVE_SHED_PRIORITY      while degraded, shed classes <= this
+///                                 value; -1 = never shed by class         (0)
+struct OverloadPolicy {
+  int64_t degrade_high_pct = 75;
+  int64_t degrade_low_pct = 25;
+  int64_t degraded_top_n = 5;
+  int64_t degraded_max_tiles = 64;
+  /// Numeric Priority threshold (serve/admission.h): 0 sheds background
+  /// traffic while degraded, 1 also sheds bulk, -1 sheds nothing by class.
+  int64_t shed_priority_at_or_below = 0;
+
+  static OverloadPolicy FromEnv();
+};
 
 /// Everything needed to stand up one named endpoint: which registry model
 /// to build, over which dataset, from which checkpoint, with which knobs.
@@ -45,6 +74,10 @@ struct DeployConfig {
 
   /// Per-endpoint InferenceEngine sizing (workers, queue depth, coalescing).
   EngineOptions engine_options = EngineOptions::FromEnv();
+
+  /// Per-endpoint overload-degradation policy (thresholds, degraded caps,
+  /// class shedding).
+  OverloadPolicy overload = OverloadPolicy::FromEnv();
 };
 
 /// Point-in-time serving counters for one endpoint, split into two scopes
@@ -55,11 +88,12 @@ struct DeployConfig {
 ///  * the *lifetime* — cumulative since the endpoint's first Deploy,
 ///    carried across swaps (lifetime_* fields and the headline `qps`).
 ///
-/// A retiring deployment folds its final engine counters into the lifetime
-/// totals when it finishes draining, so lifetime counters briefly lag by
-/// the old deployment's in-flight requests right after a swap and converge
-/// once the drain completes. Undeploy ends the lifetime; a later Deploy of
-/// the same name starts a fresh one.
+/// A retiring deployment's counters are folded into the lifetime totals
+/// eagerly at swap time, then topped up with the post-swap drain's delta
+/// when the old generation finishes tearing down — so right after a swap
+/// the lifetime counters lag by at most the old generation's still-in-
+/// flight requests, never by its whole history. Undeploy ends the
+/// lifetime; a later Deploy of the same name starts a fresh one.
 struct EndpointStats {
   std::string endpoint;
   std::string model_name;
@@ -80,6 +114,13 @@ struct EndpointStats {
   int64_t lifetime_completed = 0;
   int64_t lifetime_rejected = 0;
   int64_t lifetime_batches = 0;
+
+  // -- overload robustness (lifetime scope) --
+  int64_t shed_deadline = 0;     ///< refused: deadline not plausibly meetable
+  int64_t shed_capacity = 0;     ///< refused/evicted at capacity + class sheds
+  int64_t expired_in_queue = 0;  ///< accepted, expired before a batch slot
+  int64_t degraded = 0;          ///< requests served with degraded shaping
+  bool degraded_now = false;     ///< endpoint currently in the degraded state
 };
 
 /// Observable deployment state of an endpoint name, polled via
@@ -112,6 +153,10 @@ struct GatewayStats {
   int64_t total_completed = 0;
   int64_t total_rejected = 0;
   int64_t total_swaps = 0;
+  int64_t total_shed_deadline = 0;
+  int64_t total_shed_capacity = 0;
+  int64_t total_expired_in_queue = 0;
+  int64_t total_degraded = 0;
   double total_qps = 0.0;  ///< sum of per-endpoint lifetime qps
   std::vector<EndpointStats> per_endpoint;  ///< sorted by endpoint name
 };
@@ -186,10 +231,18 @@ class Gateway {
   /// teardown completes. Subsequent submits to the name fail.
   bool Undeploy(const std::string& endpoint, std::string* error = nullptr);
 
-  /// Routes the request to the endpoint's engine. Unknown endpoints yield
-  /// a future holding std::runtime_error (never a crash).
+  /// Routes the request to the endpoint's engine at the default admission
+  /// class. Unknown endpoints yield a future holding std::runtime_error
+  /// (never a crash).
   std::future<eval::RecommendResponse> Submit(
       const std::string& endpoint, const eval::RecommendRequest& request);
+
+  /// Class-aware submit: applies the endpoint's overload policy (degraded
+  /// shaping, class shedding) and the engine's admission control. Shed
+  /// requests yield a future holding ShedError.
+  std::future<eval::RecommendResponse> Submit(
+      const std::string& endpoint, const eval::RecommendRequest& request,
+      const AdmissionClass& admission);
 
   /// Wire entry point: decodes a request frame (which names its endpoint),
   /// serves it, and returns an encoded response frame — or an encoded
@@ -230,15 +283,21 @@ class Gateway {
 
  private:
   /// Per-endpoint counters that survive swaps. Shared (via shared_ptr) by
-  /// the Endpoint entry and every Deployment generation: a retiring
-  /// deployment folds its final engine stats in from its destructor — which
-  /// runs only after its engine drained — so no completed request is ever
-  /// lost from the lifetime totals, no matter when the swap landed.
+  /// the Endpoint entry and every Deployment generation. A retiring
+  /// deployment folds its counters in twice: eagerly at swap time (so the
+  /// lifetime totals reflect its history immediately) and finally from its
+  /// destructor after the drain — FoldCounters adds only the delta since
+  /// the previous fold, so no request is double-counted or lost no matter
+  /// when the swap landed.
   struct CumulativeCounters {
     std::atomic<int64_t> submitted{0};
     std::atomic<int64_t> completed{0};
     std::atomic<int64_t> rejected{0};
     std::atomic<int64_t> batches{0};
+    std::atomic<int64_t> shed_deadline{0};
+    std::atomic<int64_t> shed_capacity{0};
+    std::atomic<int64_t> expired_in_queue{0};
+    std::atomic<int64_t> degraded{0};
   };
 
   /// One served model generation: the engine references the model, so the
@@ -251,7 +310,43 @@ class Gateway {
     std::chrono::steady_clock::time_point live_since;
     std::shared_ptr<CumulativeCounters> cumulative;
 
+    /// Overload state (hysteresis, see OverloadPolicy) and the gateway-side
+    /// counters it drives. Atomics: the submit paths race on them freely.
+    std::atomic<bool> degraded{false};
+    std::atomic<int64_t> degraded_served{0};  ///< shaped-and-served requests
+    std::atomic<int64_t> class_shed{0};  ///< shed by class while degraded
+
+    /// Folds this generation's counter deltas (engine + gateway-side) into
+    /// the shared lifetime totals. Idempotent and incremental: fold_mutex
+    /// serializes folders, and already_folded_ remembers what previous
+    /// folds contributed so each request is counted exactly once. Called
+    /// eagerly by Swap/SwapAsync right after the install, and finally by
+    /// the destructor after the drain.
+    void FoldCounters();
+
+    /// Exact lifetime counters for the endpoint while this generation is
+    /// live: the shared cumulative totals plus this generation's
+    /// not-yet-folded delta, read under fold_mutex_ so a concurrent eager
+    /// fold can neither double-count nor drop the delta.
+    struct LifetimeTotals {
+      int64_t submitted = 0;
+      int64_t completed = 0;
+      int64_t rejected = 0;
+      int64_t batches = 0;
+      int64_t shed_deadline = 0;
+      int64_t shed_capacity = 0;
+      int64_t expired_in_queue = 0;
+      int64_t degraded = 0;
+    };
+    LifetimeTotals GetLifetimeTotals();
+
     ~Deployment();
+
+   private:
+    std::mutex fold_mutex_;
+    EngineStats already_folded_;
+    int64_t degraded_folded_ = 0;
+    int64_t class_shed_folded_ = 0;
   };
 
   struct Endpoint {
@@ -279,6 +374,15 @@ class Gateway {
   /// The endpoint's current deployment, or null when not deployed.
   std::shared_ptr<Deployment> CurrentDeployment(
       const std::string& endpoint) const;
+
+  /// Evaluates the deployment's hysteresis-guarded overload state from its
+  /// queue depth, and while degraded applies the policy to the request:
+  /// clamps top_n, caps the stage-1 screen, and sheds the configured low
+  /// classes. Returns false when the request must be shed instead of
+  /// submitted (counted in class_shed).
+  static bool ShapeForOverload(Deployment& deployment,
+                               eval::RecommendRequest* request,
+                               Priority priority);
 
   /// Installs a live deployment into the endpoint entry under the mutex:
   /// first generation gets fresh cumulative counters and the first_live

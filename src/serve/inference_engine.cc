@@ -1,6 +1,7 @@
 #include "serve/inference_engine.h"
 
 #include <algorithm>
+#include <optional>
 #include <stdexcept>
 #include <utility>
 
@@ -14,6 +15,12 @@ namespace tspn::serve {
 namespace {
 
 using Clock = std::chrono::steady_clock;
+
+/// Map keys sort ascending, so the priority byte is stored inverted:
+/// interactive (2) becomes 0 and is served first.
+uint8_t InvertPriority(Priority priority) {
+  return static_cast<uint8_t>(kMaxPriority - static_cast<uint8_t>(priority));
+}
 
 }  // namespace
 
@@ -29,6 +36,9 @@ EngineOptions EngineOptions::FromEnv() {
   o.coalesce_window_us = std::clamp<int64_t>(
       common::EnvInt("TSPN_SERVE_COALESCE_US", o.coalesce_window_us), 0,
       1000000);
+  o.default_deadline_ms = std::clamp<int64_t>(
+      common::EnvInt("TSPN_SERVE_DEADLINE_MS", o.default_deadline_ms), 0,
+      3600000);
   return o;
 }
 
@@ -46,44 +56,124 @@ InferenceEngine::InferenceEngine(const eval::NextPoiModel& model,
 
 InferenceEngine::~InferenceEngine() { Shutdown(); }
 
-std::future<eval::RecommendResponse> InferenceEngine::Enqueue(
-    const eval::RecommendRequest& request,
-    std::unique_lock<std::mutex>& lock) {
-  Request entry;
-  entry.request = request;
-  std::future<eval::RecommendResponse> future = entry.promise.get_future();
-  EnqueueEntry(std::move(entry), lock);
-  return future;
+double InferenceEngine::EstimatedWaitMsLocked() const {
+  const double p95_batch_ms = batch_p95_ms_.load(std::memory_order_relaxed);
+  if (p95_batch_ms <= 0.0) return 0.0;  // cold start: no evidence to shed on
+  const int64_t batches_ahead =
+      static_cast<int64_t>(queue_.size()) / options_.max_batch + 1;
+  return p95_batch_ms * static_cast<double>(batches_ahead) /
+         static_cast<double>(options_.num_threads);
 }
 
-void InferenceEngine::EnqueueEntry(Request entry,
-                                   std::unique_lock<std::mutex>& lock) {
+InferenceEngine::Queue::iterator InferenceEngine::EvictableLocked(
+    Priority incoming) {
+  if (queue_.empty()) return queue_.end();
+  // rbegin() is the lowest queued class (inverted priority sorts it last);
+  // the victim is that class's FIRST entry — its nearest deadline — but
+  // only an arrival of a strictly higher class may displace it.
+  const uint8_t lowest_class = std::get<0>(std::prev(queue_.end())->first);
+  if (lowest_class <= InvertPriority(incoming)) return queue_.end();
+  return queue_.lower_bound(
+      QueueKey{lowest_class, Clock::time_point::min(), 0});
+}
+
+void InferenceEngine::CompleteShed(Request&& entry, ShedReason reason) {
+  auto error = std::make_exception_ptr(
+      ShedError(reason, std::string("request shed (") +
+                            ShedReasonName(reason) + ")"));
+  if (entry.callback) {
+    entry.callback(eval::RecommendResponse{}, error);
+  } else {
+    entry.promise.set_exception(error);
+  }
+}
+
+ShedReason InferenceEngine::EnqueueEntry(Request& entry,
+                                         const AdmissionClass& admission,
+                                         std::unique_lock<std::mutex>& lock) {
   entry.enqueue_time = Clock::now();
+  entry.priority = admission.priority;
+  const int64_t deadline_ms = admission.deadline_ms > 0
+                                  ? admission.deadline_ms
+                                  : options_.default_deadline_ms;
+  entry.deadline = deadline_ms > 0
+                       ? entry.enqueue_time +
+                             std::chrono::milliseconds(deadline_ms)
+                       : Clock::time_point::max();
+
+  // Deadline feasibility: refusing now is strictly better than queueing a
+  // request that will expire before a worker reaches it — the caller learns
+  // immediately and the queue slot goes to work that can still succeed.
+  if (deadline_ms > 0 &&
+      static_cast<double>(deadline_ms) < EstimatedWaitMsLocked()) {
+    lock.unlock();
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    shed_deadline_.fetch_add(1, std::memory_order_relaxed);
+    return ShedReason::kDeadlineUnmeetable;
+  }
+
+  std::optional<Request> victim;
+  if (static_cast<int64_t>(queue_.size()) >= options_.max_queue_depth) {
+    auto it = EvictableLocked(entry.priority);
+    if (it == queue_.end()) {
+      lock.unlock();
+      rejected_.fetch_add(1, std::memory_order_relaxed);
+      shed_capacity_.fetch_add(1, std::memory_order_relaxed);
+      return ShedReason::kCapacity;
+    }
+    victim = std::move(it->second);
+    queue_.erase(it);
+    // The victim WAS submitted; it is a capacity shed, not a rejection.
+    shed_capacity_.fetch_add(1, std::memory_order_relaxed);
+  }
+
   // Count the submission (lock-free: the counter is atomic) before the
   // request becomes visible to workers so GetStats() never observes
   // completed > submitted.
   submitted_.fetch_add(1, std::memory_order_relaxed);
-  queue_.push_back(std::move(entry));
+  queue_.emplace(QueueKey{InvertPriority(entry.priority), entry.deadline,
+                          next_seq_++},
+                 std::move(entry));
   lock.unlock();
   not_empty_.notify_one();
+  // The victim's continuation runs here on the submitter thread, outside
+  // every engine lock (it may itself be slow or re-entrant).
+  if (victim.has_value()) {
+    CompleteShed(std::move(*victim), ShedReason::kEvicted);
+  }
+  return ShedReason::kNone;
 }
 
 std::future<eval::RecommendResponse> InferenceEngine::Submit(
     const eval::RecommendRequest& request) {
+  return Submit(request, AdmissionClass{});
+}
+
+std::future<eval::RecommendResponse> InferenceEngine::Submit(
+    const eval::RecommendRequest& request, const AdmissionClass& admission) {
+  Request entry;
+  entry.request = request;
+  std::future<eval::RecommendResponse> future = entry.promise.get_future();
   std::unique_lock<std::mutex> lock(mutex_);
   not_full_.wait(lock, [&] {
     return stopping_ ||
-           static_cast<int64_t>(queue_.size()) < options_.max_queue_depth;
+           static_cast<int64_t>(queue_.size()) < options_.max_queue_depth ||
+           EvictableLocked(admission.priority) != queue_.end();
   });
   if (stopping_) {
     lock.unlock();
     rejected_.fetch_add(1, std::memory_order_relaxed);
-    std::promise<eval::RecommendResponse> broken;
-    broken.set_exception(std::make_exception_ptr(
+    entry.promise.set_exception(std::make_exception_ptr(
         std::runtime_error("InferenceEngine is shut down")));
-    return broken.get_future();
+    return future;
   }
-  return Enqueue(request, lock);
+  const ShedReason reason = EnqueueEntry(entry, admission, lock);
+  if (reason != ShedReason::kNone) {
+    entry.promise.set_exception(std::make_exception_ptr(ShedError(
+        reason,
+        std::string("request shed (") + ShedReasonName(reason) + ")")));
+  }
+  return future;
 }
 
 std::future<eval::RecommendResponse> InferenceEngine::Submit(
@@ -96,30 +186,49 @@ std::future<eval::RecommendResponse> InferenceEngine::Submit(
 
 bool InferenceEngine::TrySubmit(const eval::RecommendRequest& request,
                                 std::future<eval::RecommendResponse>* out) {
+  Request entry;
+  entry.request = request;
+  std::future<eval::RecommendResponse> future = entry.promise.get_future();
   std::unique_lock<std::mutex> lock(mutex_);
-  if (stopping_ ||
-      static_cast<int64_t>(queue_.size()) >= options_.max_queue_depth) {
+  if (stopping_) {
     lock.unlock();
     rejected_.fetch_add(1, std::memory_order_relaxed);
     return false;
   }
-  *out = Enqueue(request, lock);
+  if (EnqueueEntry(entry, AdmissionClass{}, lock) != ShedReason::kNone) {
+    return false;
+  }
+  *out = std::move(future);
   return true;
 }
 
 bool InferenceEngine::TrySubmitAsync(const eval::RecommendRequest& request,
                                      ResponseCallback callback) {
-  std::unique_lock<std::mutex> lock(mutex_);
-  if (stopping_ ||
-      static_cast<int64_t>(queue_.size()) >= options_.max_queue_depth) {
-    lock.unlock();
-    rejected_.fetch_add(1, std::memory_order_relaxed);
-    return false;
-  }
+  return TrySubmitAsync(request, AdmissionClass{}, std::move(callback),
+                        nullptr);
+}
+
+bool InferenceEngine::TrySubmitAsync(const eval::RecommendRequest& request,
+                                     const AdmissionClass& admission,
+                                     ResponseCallback callback,
+                                     ShedReason* shed_reason) {
   Request entry;
   entry.request = request;
   entry.callback = std::move(callback);
-  EnqueueEntry(std::move(entry), lock);
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (stopping_) {
+    lock.unlock();
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    if (shed_reason != nullptr) *shed_reason = ShedReason::kShutdown;
+    return false;
+  }
+  const ShedReason reason = EnqueueEntry(entry, admission, lock);
+  if (reason != ShedReason::kNone) {
+    // Contract: the callback is NOT invoked on refusal — the caller turns
+    // the reason into its own immediate error reply.
+    if (shed_reason != nullptr) *shed_reason = reason;
+    return false;
+  }
   return true;
 }
 
@@ -134,28 +243,48 @@ void InferenceEngine::WorkerLoop() {
       if (stopping_) return;
       continue;
     }
-    // Coalesce: the batch closes when it is full or when the oldest request
-    // has waited out the coalescing window, whichever comes first. A zero
-    // window serves whatever is queued right now.
-    const auto deadline =
-        queue_.front().enqueue_time +
+    // Coalesce: the batch closes when it is full or when the next-to-serve
+    // request has waited out the coalescing window, whichever comes first.
+    // A zero window serves whatever is queued right now.
+    const auto wait_deadline =
+        queue_.begin()->second.enqueue_time +
         std::chrono::microseconds(options_.coalesce_window_us);
     while (static_cast<int64_t>(queue_.size()) < options_.max_batch &&
            !stopping_) {
-      if (not_empty_.wait_until(lock, deadline) == std::cv_status::timeout) {
+      if (not_empty_.wait_until(lock, wait_deadline) ==
+          std::cv_status::timeout) {
         break;
       }
     }
-    const size_t take = std::min<size_t>(
-        queue_.size(), static_cast<size_t>(options_.max_batch));
+    // Form the batch from the queue head (highest priority, earliest
+    // deadline first). Entries whose deadline already passed are set aside
+    // instead of taking a batch slot — the slot goes to work that can
+    // still make its deadline.
+    const auto now = Clock::now();
     scratch.batch.clear();
-    scratch.batch.reserve(take);
-    for (size_t i = 0; i < take; ++i) {
-      scratch.batch.push_back(std::move(queue_.front()));
-      queue_.pop_front();
+    scratch.expired.clear();
+    while (!queue_.empty() &&
+           static_cast<int64_t>(scratch.batch.size()) < options_.max_batch) {
+      auto it = queue_.begin();
+      Request entry = std::move(it->second);
+      queue_.erase(it);
+      if (entry.deadline <= now) {
+        scratch.expired.push_back(std::move(entry));
+      } else {
+        scratch.batch.push_back(std::move(entry));
+      }
     }
     lock.unlock();
     not_full_.notify_all();
+    if (!scratch.expired.empty()) {
+      expired_in_queue_.fetch_add(
+          static_cast<int64_t>(scratch.expired.size()),
+          std::memory_order_relaxed);
+      for (Request& entry : scratch.expired) {
+        CompleteShed(std::move(entry), ShedReason::kExpired);
+      }
+      scratch.expired.clear();
+    }
     ServeBatch(scratch);
   }
 }
@@ -176,6 +305,7 @@ void InferenceEngine::ServeBatch(WorkerScratch& scratch) {
   }
   // A throwing model must not escape the worker thread (std::terminate) or
   // strand the batch's futures; the failure is confined to these requests.
+  const auto serve_start = Clock::now();
   std::vector<eval::RecommendResponse> results;
   std::exception_ptr error;
   try {
@@ -207,6 +337,19 @@ void InferenceEngine::ServeBatch(WorkerScratch& scratch) {
       }
       latency_next_ = (latency_next_ + 1) % kMaxLatencySamples;
     }
+    // Batch service time feeds the admission estimate: a bounded ring keeps
+    // the p95 tracking the current load, and the cached atomic lets the
+    // submit path read it without touching this mutex.
+    const double batch_ms =
+        std::chrono::duration<double, std::milli>(done - serve_start).count();
+    if (batch_ms_.size() < kMaxBatchSamples) {
+      batch_ms_.push_back(batch_ms);
+    } else {
+      batch_ms_[batch_ms_next_] = batch_ms;
+    }
+    batch_ms_next_ = (batch_ms_next_ + 1) % kMaxBatchSamples;
+    batch_p95_ms_.store(common::PercentileOf(batch_ms_, 0.95),
+                        std::memory_order_relaxed);
   }
   for (size_t i = 0; i < batch.size(); ++i) {
     if (batch[i].callback) {
@@ -257,6 +400,9 @@ EngineStats InferenceEngine::GetStats() const {
   EngineStats s;
   s.submitted = submitted_.load(std::memory_order_relaxed);
   s.rejected = rejected_.load(std::memory_order_relaxed);
+  s.shed_deadline = shed_deadline_.load(std::memory_order_relaxed);
+  s.shed_capacity = shed_capacity_.load(std::memory_order_relaxed);
+  s.expired_in_queue = expired_in_queue_.load(std::memory_order_relaxed);
   s.completed = completed_;
   s.batches = batches_;
   s.max_batch_observed = max_batch_observed_;

@@ -5,16 +5,18 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <future>
+#include <map>
 #include <mutex>
 #include <thread>
+#include <tuple>
 #include <vector>
 
 #include "data/trajectory.h"
 #include "eval/model_api.h"
 #include "eval/recommend.h"
+#include "serve/admission.h"
 
 namespace tspn::serve {
 
@@ -26,35 +28,69 @@ namespace tspn::serve {
 ///   TSPN_SERVE_MAX_BATCH    max requests coalesced per batch    (default 32)
 ///   TSPN_SERVE_COALESCE_US  max micro-seconds a worker waits for
 ///                           the batch to fill before serving it (default 200)
+///   TSPN_SERVE_DEADLINE_MS  deadline applied to requests that carry none;
+///                           0 disables (default 0)
 struct EngineOptions {
   int num_threads = 2;
   int64_t max_queue_depth = 1024;
   int64_t max_batch = 32;
   int64_t coalesce_window_us = 200;
 
+  /// Default completion budget for requests whose AdmissionClass carries no
+  /// deadline (v1 traffic included). 0 = such requests never expire.
+  int64_t default_deadline_ms = 0;
+
   /// Defaults above overridden from the environment, clamped to sane ranges.
   static EngineOptions FromEnv();
 };
 
 /// Aggregate serving counters; returned by InferenceEngine::GetStats().
+/// Invariant: submitted = completed + shed(evicted) + expired_in_queue +
+/// still-queued — every accepted request ends in exactly one bucket, and
+/// rejected requests were never accepted at all.
 struct EngineStats {
   int64_t submitted = 0;   ///< accepted requests
-  int64_t rejected = 0;    ///< TrySubmit refusals (queue full) + post-shutdown
-  int64_t completed = 0;   ///< promises fulfilled
+  int64_t rejected = 0;    ///< submit-time refusals (full, infeasible, shutdown)
+  int64_t completed = 0;   ///< promises fulfilled by serving a batch
   int64_t batches = 0;     ///< RecommendBatch invocations
   int64_t max_batch_observed = 0;
   double mean_batch_size = 0.0;
   double p50_latency_ms = 0.0;  ///< submit-to-completion, per request
   double p95_latency_ms = 0.0;
+
+  /// Submit-time refusals because the deadline could not plausibly be met
+  /// (subset of `rejected`).
+  int64_t shed_deadline = 0;
+  /// Capacity sheds: submit-time refusals with the queue full (subset of
+  /// `rejected`) plus queued requests evicted by higher-priority arrivals
+  /// (subset of `submitted`).
+  int64_t shed_capacity = 0;
+  /// Accepted requests dropped at dequeue because their deadline had
+  /// already passed — they never occupied a batch slot (subset of
+  /// `submitted`).
+  int64_t expired_in_queue = 0;
 };
 
 /// Multi-threaded batching inference front-end over any NextPoiModel: a
-/// bounded request queue, a pool of worker threads, and time/size-based
-/// request coalescing. A worker that pops a request keeps collecting until
-/// the batch reaches `max_batch` or the oldest request has waited
-/// `coalesce_window_us`, then serves the whole batch with one
-/// RecommendBatch() call — with TSPN-RA that turns the queue's concurrent
-/// single queries into shared GEMMs against the cached tile/POI matrices.
+/// bounded deadline/priority-aware admission queue, a pool of worker
+/// threads, and time/size-based request coalescing. A worker that pops a
+/// request keeps collecting until the batch reaches `max_batch` or the
+/// next-to-serve request has waited `coalesce_window_us`, then serves the
+/// whole batch with one RecommendBatch() call — with TSPN-RA that turns the
+/// queue's concurrent single queries into shared GEMMs against the cached
+/// tile/POI matrices.
+///
+/// Admission control (docs/serving.md "Admission control"): the queue is
+/// ordered by (priority desc, deadline asc, arrival) — earliest-deadline-
+/// first within each class. At submit, a request whose deadline is below
+/// the estimated queue wait (rolling p95 batch service time x batches
+/// ahead / workers) is refused immediately rather than queued to die. When
+/// the queue is full, an arrival of a strictly higher class evicts the
+/// nearest-deadline entry of the lowest queued class; otherwise the arrival
+/// is refused. At dequeue, entries whose deadline has already passed are
+/// dropped without occupying a batch slot. Every shed path completes the
+/// request's future/continuation with a ShedError carrying the reason — no
+/// caller ever hangs.
 ///
 /// Requests are structured eval::RecommendRequests, and a coalesced batch
 /// may mix top_n values and constraints freely: the v2 model contract
@@ -77,11 +113,18 @@ class InferenceEngine {
   InferenceEngine(const InferenceEngine&) = delete;
   InferenceEngine& operator=(const InferenceEngine&) = delete;
 
-  /// Enqueues a structured request, blocking while the queue is at capacity
-  /// (backpressure). After Shutdown() the returned future holds a
+  /// Enqueues a structured request at the default admission class
+  /// (interactive, no explicit deadline), blocking while the queue is at
+  /// capacity (backpressure). After Shutdown() the returned future holds a
   /// std::runtime_error.
   std::future<eval::RecommendResponse> Submit(
       const eval::RecommendRequest& request);
+
+  /// Class-aware blocking submit. The returned future holds a ShedError
+  /// when the request is refused (infeasible deadline, full queue with
+  /// nothing evictable), evicted, or expires in the queue.
+  std::future<eval::RecommendResponse> Submit(
+      const eval::RecommendRequest& request, const AdmissionClass& admission);
 
   /// Convenience overload for unconstrained queries.
   std::future<eval::RecommendResponse> Submit(const data::SampleRef& sample,
@@ -93,26 +136,39 @@ class InferenceEngine {
                  std::future<eval::RecommendResponse>* out);
 
   /// Completion continuation for the callback submit path. Invoked exactly
-  /// once per accepted request, on the worker thread that served its batch:
-  /// with the response and a null error on success, or with a
-  /// default-constructed response and the model's exception on failure.
+  /// once per accepted request: with the response and a null error on
+  /// success, or with a default-constructed response and an exception on
+  /// failure (the model's, or a ShedError for evicted/expired requests).
+  /// Runs on the worker thread that served (or expired) the batch — except
+  /// for eviction, which runs it on the submitter thread whose arrival
+  /// displaced the request.
   using ResponseCallback =
       std::function<void(eval::RecommendResponse response,
                          std::exception_ptr error)>;
 
   /// Continuation-style submit — the async front-end hook. Instead of
-  /// parking a thread on a future, the caller hands over a callback that the
-  /// serving worker runs after the batch completes; no thread is ever
-  /// blocked per in-flight request. Returns false (counting a rejection,
-  /// callback NOT invoked) when the queue is full or the engine is shut
-  /// down, so an event loop can convert overload into an immediate error
-  /// reply. The callback must be quick and must not throw: it runs on a
-  /// serving worker, so heavy work in it stalls batch formation.
+  /// parking a thread on a future, the caller hands over a callback that
+  /// runs after the batch completes; no thread is ever blocked per
+  /// in-flight request. Returns false (counting a rejection, callback NOT
+  /// invoked) when the request is refused at submit, so an event loop can
+  /// convert overload into an immediate error reply. The callback must be
+  /// quick and must not throw: it runs on a serving worker, so heavy work
+  /// in it stalls batch formation.
   bool TrySubmitAsync(const eval::RecommendRequest& request,
                       ResponseCallback callback);
 
+  /// Class-aware continuation submit. On refusal, *shed_reason (when
+  /// non-null) reports why — kDeadlineUnmeetable, kCapacity or kShutdown —
+  /// so the gateway can emit a typed error frame.
+  bool TrySubmitAsync(const eval::RecommendRequest& request,
+                      const AdmissionClass& admission,
+                      ResponseCallback callback,
+                      ShedReason* shed_reason = nullptr);
+
   /// Stops accepting requests, serves everything already queued, and joins
-  /// the workers. Idempotent; also run by the destructor.
+  /// the workers. Idempotent; also run by the destructor. Queued requests
+  /// whose deadline passes before their batch forms still complete — with
+  /// a ShedError(kExpired), not a response.
   void Shutdown();
 
   EngineStats GetStats() const;
@@ -124,30 +180,61 @@ class InferenceEngine {
   const EngineOptions& options() const { return options_; }
 
  private:
+  using Clock = std::chrono::steady_clock;
+
   struct Request {
     eval::RecommendRequest request;
     /// Exactly one completion channel is armed per request: the promise for
     /// the future-returning submits, the callback for TrySubmitAsync.
     std::promise<eval::RecommendResponse> promise;
     ResponseCallback callback;
-    std::chrono::steady_clock::time_point enqueue_time;
+    Clock::time_point enqueue_time;
+    /// Absolute completion deadline; time_point::max() when none applies.
+    Clock::time_point deadline = Clock::time_point::max();
+    Priority priority = Priority::kInteractive;
   };
+
+  /// Queue order: priority desc (stored inverted so map order serves the
+  /// highest class first), deadline asc (EDF; no-deadline entries sort
+  /// after every deadline), then arrival sequence for FIFO stability.
+  /// begin() is the next request to serve; the eviction victim is the
+  /// FIRST entry of the LAST priority class present (nearest deadline of
+  /// the lowest class).
+  using QueueKey = std::tuple<uint8_t, Clock::time_point, uint64_t>;
+  using Queue = std::map<QueueKey, Request>;
 
   /// Per-worker reusable scratch: batch entries and the flattened request
   /// view keep their heap capacity across batches, so steady-state serving
   /// stops paying two vector growths per batch on the hot path.
   struct WorkerScratch {
     std::vector<Request> batch;
+    std::vector<Request> expired;  ///< dequeued past-deadline entries
     std::vector<eval::RecommendRequest> requests;
   };
 
-  std::future<eval::RecommendResponse> Enqueue(
-      const eval::RecommendRequest& request,
-      std::unique_lock<std::mutex>& lock);
-  /// Shared tail of every accepted submit: stamps the enqueue time, counts
-  /// the submission, publishes the entry and wakes a worker. `lock` must
-  /// hold mutex_ on entry and is released before the notify.
-  void EnqueueEntry(Request entry, std::unique_lock<std::mutex>& lock);
+  /// Shared tail of every submit: stamps the entry's times and class, runs
+  /// admission, and on success publishes it and wakes a worker (releasing
+  /// `lock`, which must hold mutex_ on entry — it is released on every
+  /// path). On refusal the entry is left untouched for the caller to
+  /// complete; an evicted victim is completed here, after the unlock. The
+  /// caller must have checked stopping_ already.
+  ShedReason EnqueueEntry(Request& entry, const AdmissionClass& admission,
+                          std::unique_lock<std::mutex>& lock);
+
+  /// Expected queue wait for a new arrival: rolling p95 batch service time
+  /// x full batches ahead of it / worker threads. Zero until the first
+  /// batch completes (cold start admits everything).
+  double EstimatedWaitMsLocked() const;
+
+  /// The eviction victim for an arrival of class `incoming`: the
+  /// nearest-deadline entry of the lowest queued class, provided that class
+  /// is strictly below `incoming`; queue_.end() when nothing is evictable.
+  Queue::iterator EvictableLocked(Priority incoming);
+
+  /// Completes a shed request outside the queue lock: the future/callback
+  /// receives a ShedError carrying `reason`.
+  static void CompleteShed(Request&& entry, ShedReason reason);
+
   void WorkerLoop();
   void ServeBatch(WorkerScratch& scratch);
 
@@ -157,17 +244,29 @@ class InferenceEngine {
   mutable std::mutex mutex_;
   std::condition_variable not_empty_;
   std::condition_variable not_full_;
-  std::deque<Request> queue_;
+  Queue queue_;
+  uint64_t next_seq_ = 0;
   bool stopping_ = false;
 
   /// Latency percentiles come from a bounded ring of the most recent
   /// samples, so a long-lived engine's stats memory stays constant.
   static constexpr size_t kMaxLatencySamples = 4096;
 
+  /// Rolling window of batch service durations backing the admission
+  /// estimate; small so the p95 tracks load shifts quickly.
+  static constexpr size_t kMaxBatchSamples = 64;
+
   /// Submit-path counters are atomics, not stats_mutex_-guarded: Submit and
   /// TrySubmit touch no lock beyond the queue mutex they already hold.
   std::atomic<int64_t> submitted_{0};
   std::atomic<int64_t> rejected_{0};
+  std::atomic<int64_t> shed_deadline_{0};
+  std::atomic<int64_t> shed_capacity_{0};
+  std::atomic<int64_t> expired_in_queue_{0};
+
+  /// Rolling p95 batch service time in ms, written by workers after each
+  /// batch, read lock-free by the admission estimate.
+  std::atomic<double> batch_p95_ms_{0.0};
 
   mutable std::mutex stats_mutex_;
   int64_t completed_ = 0;
@@ -176,6 +275,8 @@ class InferenceEngine {
   int64_t max_batch_observed_ = 0;
   std::vector<double> latencies_ms_;  // ring buffer, see kMaxLatencySamples
   size_t latency_next_ = 0;
+  std::vector<double> batch_ms_;      // ring buffer, see kMaxBatchSamples
+  size_t batch_ms_next_ = 0;
 
   std::vector<std::thread> workers_;
 };

@@ -236,5 +236,179 @@ TEST(CodecCorruptionTest, EmptyAndHeaderOnlyBuffersAreTruncated) {
   EXPECT_EQ(PeekFrameType(empty, &type), DecodeStatus::kTruncated);
 }
 
+// --- Version 2: admission fields, error codes, v1 compatibility --------------
+
+uint32_t FrameVersion(const std::vector<uint8_t>& frame) {
+  uint32_t version = 0;
+  std::memcpy(&version, frame.data() + sizeof(uint32_t), sizeof(version));
+  return version;
+}
+
+TEST(CodecV2RequestTest, AdmissionFieldsRoundTrip) {
+  const Priority kAll[] = {Priority::kBackground, Priority::kBulk,
+                           Priority::kInteractive};
+  for (Priority priority : kAll) {
+    for (int64_t deadline_ms : {int64_t{0}, int64_t{1}, int64_t{250},
+                                int64_t{86400000}}) {
+      SCOPED_TRACE(std::string(PriorityName(priority)) + " deadline " +
+                   std::to_string(deadline_ms));
+      AdmissionClass admission;
+      admission.deadline_ms = deadline_ms;
+      admission.priority = priority;
+      const std::vector<uint8_t> frame =
+          EncodeRecommendRequest("ep", RequestFor(21), admission);
+      EXPECT_EQ(FrameVersion(frame), 2u);
+
+      std::string endpoint;
+      eval::RecommendRequest decoded;
+      AdmissionClass decoded_admission;
+      uint32_t wire_version = 0;
+      ASSERT_EQ(DecodeRecommendRequest(frame, &endpoint, &decoded,
+                                       &decoded_admission, &wire_version),
+                DecodeStatus::kOk);
+      EXPECT_EQ(wire_version, 2u);
+      EXPECT_EQ(decoded_admission.deadline_ms, deadline_ms);
+      EXPECT_EQ(decoded_admission.priority, priority);
+      ExpectSameConstraints(decoded.constraints, RequestFor(21).constraints);
+
+      // Re-encode must reproduce the frame byte for byte.
+      EXPECT_EQ(EncodeRecommendRequest(endpoint, decoded, decoded_admission),
+                frame);
+    }
+  }
+}
+
+TEST(CodecV2RequestTest, V1FrameDecodesWithDefaultAdmission) {
+  // A frame from the 2-arg (v1) encoder must decode through the
+  // admission-aware decoder with the exact AdmissionClass defaults.
+  const std::vector<uint8_t> frame = EncodeRecommendRequest("ep", RequestFor(9));
+  EXPECT_EQ(FrameVersion(frame), 1u);
+  std::string endpoint;
+  eval::RecommendRequest decoded;
+  AdmissionClass admission;
+  admission.deadline_ms = 777;  // must be overwritten by the defaults
+  admission.priority = Priority::kBackground;
+  uint32_t wire_version = 0;
+  ASSERT_EQ(DecodeRecommendRequest(frame, &endpoint, &decoded, &admission,
+                                   &wire_version),
+            DecodeStatus::kOk);
+  EXPECT_EQ(wire_version, 1u);
+  EXPECT_EQ(admission.deadline_ms, 0);
+  EXPECT_EQ(admission.priority, Priority::kInteractive);
+}
+
+TEST(CodecV2RequestTest, V1EncoderIsBitIdenticalToPreV2Layout) {
+  // The lowest-representable-version rule: the 2-arg encoder keeps emitting
+  // the exact v1 layout — version word 1, no trailing admission bytes.
+  const std::vector<uint8_t> v1 = EncodeRecommendRequest("e", RequestFor(0));
+  const std::vector<uint8_t> v2 =
+      EncodeRecommendRequest("e", RequestFor(0), AdmissionClass{});
+  EXPECT_EQ(FrameVersion(v1), 1u);
+  EXPECT_EQ(v2.size(), v1.size() + sizeof(int64_t) + sizeof(uint8_t));
+}
+
+TEST(CodecV2RequestTest, TruncationAtEveryLengthIsRejected) {
+  AdmissionClass admission;
+  admission.deadline_ms = 1500;
+  admission.priority = Priority::kBulk;
+  const std::vector<uint8_t> frame =
+      EncodeRecommendRequest("city-a", RequestFor(31), admission);
+  std::string endpoint = "untouched";
+  eval::RecommendRequest request;
+  AdmissionClass out;
+  out.deadline_ms = -42;
+  for (size_t len = 0; len < frame.size(); ++len) {
+    SCOPED_TRACE("prefix length " + std::to_string(len));
+    const std::vector<uint8_t> cut(frame.begin(), frame.begin() + len);
+    const DecodeStatus status =
+        DecodeRecommendRequest(cut, &endpoint, &request, &out);
+    EXPECT_NE(status, DecodeStatus::kOk);
+    EXPECT_TRUE(status == DecodeStatus::kTruncated ||
+                status == DecodeStatus::kMalformedPayload)
+        << DecodeStatusName(status);
+  }
+  EXPECT_EQ(endpoint, "untouched");
+  EXPECT_EQ(out.deadline_ms, -42);
+}
+
+TEST(CodecV2RequestTest, NegativeDeadlineAndBadPriorityAreMalformed) {
+  AdmissionClass admission;
+  admission.deadline_ms = 100;
+  admission.priority = Priority::kBulk;
+  const std::vector<uint8_t> frame =
+      EncodeRecommendRequest("e", RequestFor(0), admission);
+
+  // The admission tail is the final 9 payload bytes: int64 deadline, uint8
+  // priority.
+  std::vector<uint8_t> bad_priority = frame;
+  bad_priority.back() = kMaxPriority + 1;
+  std::string endpoint;
+  eval::RecommendRequest request;
+  AdmissionClass out;
+  EXPECT_EQ(DecodeRecommendRequest(bad_priority, &endpoint, &request, &out),
+            DecodeStatus::kMalformedPayload);
+
+  std::vector<uint8_t> negative_deadline = frame;
+  const int64_t negative = -1;
+  std::memcpy(negative_deadline.data() + negative_deadline.size() - 9,
+              &negative, sizeof(negative));
+  EXPECT_EQ(
+      DecodeRecommendRequest(negative_deadline, &endpoint, &request, &out),
+      DecodeStatus::kMalformedPayload);
+}
+
+TEST(CodecV2RequestTest, V2FrameWithoutAdmissionTailIsMalformed) {
+  // Flip a v1 frame's version word to 2: now the admission tail is
+  // mandatory and its absence must be rejected, not defaulted.
+  std::vector<uint8_t> frame = EncodeRecommendRequest("e", RequestFor(0));
+  const uint32_t two = 2;
+  std::memcpy(frame.data() + sizeof(uint32_t), &two, sizeof(two));
+  std::string endpoint;
+  eval::RecommendRequest request;
+  EXPECT_EQ(DecodeRecommendRequest(frame, &endpoint, &request),
+            DecodeStatus::kMalformedPayload);
+}
+
+TEST(CodecV2ErrorFrameTest, ErrorCodeRoundTrips) {
+  for (uint8_t raw = 0; raw <= kMaxErrorCode; ++raw) {
+    const ErrorCode code = static_cast<ErrorCode>(raw);
+    SCOPED_TRACE(ErrorCodeName(code));
+    const std::vector<uint8_t> frame = EncodeErrorFrame("shed", code);
+    EXPECT_EQ(FrameVersion(frame), 2u);
+    std::string message;
+    ErrorCode decoded = ErrorCode::kGeneric;
+    ASSERT_EQ(DecodeErrorFrame(frame, &message, &decoded), DecodeStatus::kOk);
+    EXPECT_EQ(message, "shed");
+    EXPECT_EQ(decoded, code);
+  }
+}
+
+TEST(CodecV2ErrorFrameTest, V1ErrorFrameDecodesAsGeneric) {
+  const std::vector<uint8_t> frame = EncodeErrorFrame("old style");
+  EXPECT_EQ(FrameVersion(frame), 1u);
+  std::string message;
+  ErrorCode code = ErrorCode::kShedDeadline;
+  ASSERT_EQ(DecodeErrorFrame(frame, &message, &code), DecodeStatus::kOk);
+  EXPECT_EQ(message, "old style");
+  EXPECT_EQ(code, ErrorCode::kGeneric);
+}
+
+TEST(CodecV2ErrorFrameTest, OutOfRangeCodeIsMalformed) {
+  std::vector<uint8_t> frame = EncodeErrorFrame("x", ErrorCode::kExpired);
+  frame.back() = kMaxErrorCode + 1;
+  std::string message;
+  ErrorCode code;
+  EXPECT_EQ(DecodeErrorFrame(frame, &message, &code),
+            DecodeStatus::kMalformedPayload);
+}
+
+TEST(CodecV2ResponseTest, ResponsesStayVersion1) {
+  // Responses gained nothing in v2: they must keep the v1 version word so
+  // replies to v1 clients are bit-identical across the protocol bump.
+  const std::vector<uint8_t> frame =
+      EncodeRecommendResponse(eval::RecommendResponse{});
+  EXPECT_EQ(FrameVersion(frame), 1u);
+}
+
 }  // namespace
 }  // namespace tspn::serve

@@ -463,5 +463,155 @@ TEST_F(GatewayTest, LifecycleRacesSubmittersWithoutCrashOrHang) {
   EXPECT_EQ(snapshot.endpoints, 2);
 }
 
+uint32_t FrameWireVersion(const std::vector<uint8_t>& frame) {
+  uint32_t version = 0;
+  if (frame.size() >= 8) {
+    version = static_cast<uint32_t>(frame[4]) |
+              static_cast<uint32_t>(frame[5]) << 8 |
+              static_cast<uint32_t>(frame[6]) << 16 |
+              static_cast<uint32_t>(frame[7]) << 24;
+  }
+  return version;
+}
+
+TEST_F(GatewayTest, V1FramesServeBitIdenticallyThroughTheV2Gateway) {
+  // Acceptance criterion: a pre-v2 client is indistinguishable from before.
+  // The 2-arg encoder still emits wire version 1, the reply to it is byte-
+  // identical to the reply a v2-encoded equivalent gets, and both replies
+  // are themselves version-1 frames (responses carry no v2 fields, so the
+  // encoder never raises their version).
+  Gateway gateway;
+  std::string error;
+  ASSERT_TRUE(gateway.Deploy("wire", TspnConfig(), &error)) << error;
+
+  auto samples = dataset_->Samples(data::Split::kTest);
+  eval::RecommendRequest request;
+  request.sample = samples[0];
+  request.top_n = 7;
+  request.constraints.exclude_visited = true;
+
+  const std::vector<uint8_t> v1_frame = EncodeRecommendRequest("wire", request);
+  ASSERT_EQ(FrameWireVersion(v1_frame), 1u);
+  const std::vector<uint8_t> v2_frame =
+      EncodeRecommendRequest("wire", request, AdmissionClass{});
+  ASSERT_EQ(FrameWireVersion(v2_frame), 2u);
+
+  const std::vector<uint8_t> v1_reply = gateway.ServeFrame(v1_frame);
+  const std::vector<uint8_t> v2_reply = gateway.ServeFrame(v2_frame);
+  EXPECT_EQ(FrameWireVersion(v1_reply), 1u);
+  EXPECT_EQ(v1_reply, v2_reply) << "admission fields changed the response";
+
+  eval::RecommendResponse response;
+  ASSERT_EQ(DecodeRecommendResponse(v1_reply, &response), DecodeStatus::kOk);
+  ExpectBitIdentical(response, reference_->Recommend(request));
+
+  // Error replies echo the requester's version: v1 in, v1 error out.
+  const std::vector<uint8_t> v1_unknown =
+      gateway.ServeFrame(EncodeRecommendRequest("nope", request));
+  EXPECT_EQ(FrameWireVersion(v1_unknown), 1u);
+  const std::vector<uint8_t> v2_unknown = gateway.ServeFrame(
+      EncodeRecommendRequest("nope", request, AdmissionClass{}));
+  EXPECT_EQ(FrameWireVersion(v2_unknown), 2u);
+  std::string message;
+  ErrorCode code = ErrorCode::kGeneric;
+  ASSERT_EQ(DecodeErrorFrame(v2_unknown, &message, &code), DecodeStatus::kOk);
+  EXPECT_EQ(code, ErrorCode::kUnknownEndpoint);
+}
+
+TEST_F(GatewayTest, SwapFoldsRetiringCountersExactlyOnce) {
+  // The retiring generation folds twice — eagerly at swap time, finally
+  // from its destructor — and the lifetime totals must come out exact:
+  // neither double-counted (both folds adding the same delta) nor lagging
+  // (a generation's history lost until teardown).
+  Gateway gateway;
+  std::string error;
+  ASSERT_TRUE(gateway.Deploy("fold", TspnConfig(1), &error)) << error;
+
+  auto samples = dataset_->Samples(data::Split::kTest);
+  auto serve_n = [&](int n) {
+    for (int i = 0; i < n; ++i) {
+      eval::RecommendRequest request;
+      request.sample = samples[static_cast<size_t>(i) % samples.size()];
+      request.top_n = 5;
+      gateway.Submit("fold", request).get();
+    }
+  };
+
+  serve_n(2);
+  ASSERT_TRUE(gateway.Swap("fold", tspn_checkpoint_, &error)) << error;
+  EndpointStats stats;
+  ASSERT_TRUE(gateway.GetEndpointStats("fold", &stats));
+  EXPECT_EQ(stats.lifetime_completed, 2);
+  EXPECT_EQ(stats.lifetime_submitted, 2);
+  EXPECT_EQ(stats.engine.completed, 0) << "window counters must reset on swap";
+
+  serve_n(3);
+  ASSERT_TRUE(gateway.Swap("fold", tspn_checkpoint_, &error)) << error;
+  serve_n(1);
+  ASSERT_TRUE(gateway.GetEndpointStats("fold", &stats));
+  EXPECT_EQ(stats.lifetime_completed, 6);
+  EXPECT_EQ(stats.lifetime_submitted, 6);
+  EXPECT_EQ(stats.swaps, 2);
+
+  GatewayStats snapshot = gateway.Snapshot();
+  EXPECT_EQ(snapshot.total_completed, 6);
+  EXPECT_EQ(snapshot.total_submitted, 6);
+}
+
+TEST_F(GatewayTest, DegradedEndpointShedsLowClassesAndServesShallower) {
+  // Force the degraded state on from the first request: enter at depth 0
+  // (high-water 0%) and never leave (negative low-water). Background
+  // traffic is shed by class; interactive traffic is served with the
+  // ranking depth clamped and the stage-1 screen capped.
+  Gateway gateway;
+  std::string error;
+  DeployConfig config = TspnConfig(1);
+  config.overload.degrade_high_pct = 0;
+  config.overload.degrade_low_pct = -1;
+  config.overload.degraded_top_n = 2;
+  config.overload.degraded_max_tiles = 4;
+  config.overload.shed_priority_at_or_below = 0;  // shed background only
+  ASSERT_TRUE(gateway.Deploy("hot", config, &error)) << error;
+
+  auto samples = dataset_->Samples(data::Split::kTest);
+  eval::RecommendRequest request;
+  request.sample = samples[0];
+  request.top_n = 10;
+
+  AdmissionClass background;
+  background.priority = Priority::kBackground;
+  try {
+    gateway.Submit("hot", request, background).get();
+    FAIL() << "background request served on a degraded endpoint";
+  } catch (const ShedError& e) {
+    EXPECT_EQ(e.reason(), ShedReason::kCapacity);
+    EXPECT_NE(std::string(e.what()).find("degraded"), std::string::npos);
+  }
+
+  const eval::RecommendResponse shallow =
+      gateway.Submit("hot", request, AdmissionClass{}).get();
+  EXPECT_LE(shallow.items.size(), 2u) << "degraded top_n clamp not applied";
+  EXPECT_LE(shallow.tiles_screened, 4) << "degraded stage-1 cap not applied";
+
+  // Bulk sits above the shed threshold: shaped, not shed.
+  AdmissionClass bulk;
+  bulk.priority = Priority::kBulk;
+  EXPECT_LE(gateway.Submit("hot", request, bulk).get().items.size(), 2u);
+
+  EndpointStats stats;
+  ASSERT_TRUE(gateway.GetEndpointStats("hot", &stats));
+  EXPECT_TRUE(stats.degraded_now);
+  EXPECT_EQ(stats.degraded, 2);       // the two shaped-and-served requests
+  EXPECT_EQ(stats.shed_capacity, 1);  // the class shed
+  EXPECT_EQ(stats.lifetime_rejected, 1);
+  EXPECT_EQ(stats.lifetime_completed, 2);
+
+  // The class shed folds into the lifetime totals across a swap, too.
+  ASSERT_TRUE(gateway.Swap("hot", tspn_checkpoint_, &error)) << error;
+  ASSERT_TRUE(gateway.GetEndpointStats("hot", &stats));
+  EXPECT_EQ(stats.shed_capacity, 1);
+  EXPECT_EQ(stats.degraded, 2);
+}
+
 }  // namespace
 }  // namespace tspn::serve

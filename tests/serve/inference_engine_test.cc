@@ -336,15 +336,234 @@ TEST(EngineOptionsTest, EnvOverridesAreReadAndClamped) {
   setenv("TSPN_SERVE_QUEUE_DEPTH", "7", 1);
   setenv("TSPN_SERVE_MAX_BATCH", "0", 1);  // clamped up to 1
   setenv("TSPN_SERVE_COALESCE_US", "1234", 1);
+  setenv("TSPN_SERVE_DEADLINE_MS", "-5", 1);  // clamped up to 0 (disabled)
   EngineOptions options = EngineOptions::FromEnv();
   EXPECT_EQ(options.num_threads, 3);
   EXPECT_EQ(options.max_queue_depth, 7);
   EXPECT_EQ(options.max_batch, 1);
   EXPECT_EQ(options.coalesce_window_us, 1234);
+  EXPECT_EQ(options.default_deadline_ms, 0);
+  setenv("TSPN_SERVE_DEADLINE_MS", "2500", 1);
+  EXPECT_EQ(EngineOptions::FromEnv().default_deadline_ms, 2500);
   unsetenv("TSPN_SERVE_THREADS");
   unsetenv("TSPN_SERVE_QUEUE_DEPTH");
   unsetenv("TSPN_SERVE_MAX_BATCH");
   unsetenv("TSPN_SERVE_COALESCE_US");
+  unsetenv("TSPN_SERVE_DEADLINE_MS");
+}
+
+// --- Admission control: deadlines, priorities, eviction, expiry --------------
+
+/// A model whose inference blocks until Release(): tests park the single
+/// worker inside a batch to stage the queue into a known state.
+class GatedModel : public eval::NextPoiModel {
+ public:
+  std::string name() const override { return "Gated"; }
+  void Train(const eval::TrainOptions&) override {}
+
+  void Release() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      open_ = true;
+    }
+    cv_.notify_all();
+  }
+
+ protected:
+  eval::RecommendResponse RecommendImpl(
+      const eval::RecommendRequest&) const override {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [&] { return open_; });
+    return {};
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  mutable std::condition_variable cv_;
+  bool open_ = false;
+};
+
+/// A model with a known minimum service time, to seed the rolling batch-p95
+/// behind the admission estimate.
+class SlowModel : public eval::NextPoiModel {
+ public:
+  std::string name() const override { return "Slow"; }
+  void Train(const eval::TrainOptions&) override {}
+
+ protected:
+  eval::RecommendResponse RecommendImpl(
+      const eval::RecommendRequest&) const override {
+    std::this_thread::sleep_for(std::chrono::milliseconds(40));
+    return {};
+  }
+};
+
+EngineOptions AdmissionOptions(int64_t queue_depth, int64_t max_batch) {
+  EngineOptions options;
+  options.num_threads = 1;
+  options.max_queue_depth = queue_depth;
+  options.max_batch = max_batch;
+  options.coalesce_window_us = 0;
+  return options;
+}
+
+eval::RecommendRequest TrivialRequest() {
+  eval::RecommendRequest request;
+  request.sample.prefix_len = 1;
+  request.top_n = 3;
+  return request;
+}
+
+/// Parks the engine's only worker inside the gated model: submits one
+/// request and waits until the worker has claimed it, so everything
+/// submitted afterwards stays queued until Release().
+std::future<eval::RecommendResponse> ParkWorker(InferenceEngine& engine) {
+  auto blocker = engine.Submit(TrivialRequest());
+  while (engine.QueueDepth() != 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  return blocker;
+}
+
+TEST(InferenceEngineAdmissionTest, ExpiredEntriesNeverOccupyBatchSlots) {
+  GatedModel model;
+  InferenceEngine engine(model, AdmissionOptions(16, 8));
+  auto blocker = ParkWorker(engine);
+
+  AdmissionClass doomed;
+  doomed.deadline_ms = 30;
+  auto f_doomed = engine.Submit(TrivialRequest(), doomed);
+  auto f_ok = engine.Submit(TrivialRequest(), AdmissionClass{});
+  // Let the doomed request's deadline pass while the worker is parked, then
+  // open the gate: the next batch must drop it at dequeue and serve only
+  // the deadline-less request.
+  std::this_thread::sleep_for(std::chrono::milliseconds(60));
+  model.Release();
+
+  try {
+    f_doomed.get();
+    FAIL() << "expired request was served";
+  } catch (const ShedError& e) {
+    EXPECT_EQ(e.reason(), ShedReason::kExpired);
+  }
+  f_ok.get();
+  blocker.get();
+  const EngineStats stats = engine.GetStats();
+  EXPECT_EQ(stats.submitted, 3);
+  EXPECT_EQ(stats.expired_in_queue, 1);
+  // Only the blocker and the deadline-less request reached a batch slot.
+  EXPECT_EQ(stats.completed, 2);
+}
+
+TEST(InferenceEngineAdmissionTest, HigherClassEvictsNearestDeadlineOfLowest) {
+  GatedModel model;
+  InferenceEngine engine(model, AdmissionOptions(2, 8));
+  auto blocker = ParkWorker(engine);
+
+  AdmissionClass background;
+  background.priority = Priority::kBackground;
+  auto f_far = engine.Submit(TrivialRequest(), background);  // no deadline
+  AdmissionClass background_near = background;
+  background_near.deadline_ms = 60000;
+  auto f_near = engine.Submit(TrivialRequest(), background_near);
+
+  // Queue full. An interactive arrival must evict the background entry with
+  // the NEAREST deadline (deadlines sort before no-deadline), not the other.
+  AdmissionClass interactive;
+  auto f_hi = engine.Submit(TrivialRequest(), interactive);
+  try {
+    f_near.get();
+    FAIL() << "victim was served";
+  } catch (const ShedError& e) {
+    EXPECT_EQ(e.reason(), ShedReason::kEvicted);
+  }
+
+  // Queue full again; a same-or-lower-class arrival finds nothing evictable
+  // and is refused without invoking its callback.
+  std::atomic<bool> ran{false};
+  ShedReason reason = ShedReason::kNone;
+  EXPECT_FALSE(engine.TrySubmitAsync(
+      TrivialRequest(), background,
+      [&](eval::RecommendResponse, std::exception_ptr) { ran.store(true); },
+      &reason));
+  EXPECT_EQ(reason, ShedReason::kCapacity);
+  EXPECT_FALSE(ran.load());
+
+  model.Release();
+  f_far.get();
+  f_hi.get();
+  blocker.get();
+  const EngineStats stats = engine.GetStats();
+  EXPECT_EQ(stats.submitted, 4);           // blocker, far, near, hi
+  EXPECT_EQ(stats.shed_capacity, 2);       // the eviction + the refusal
+  EXPECT_EQ(stats.rejected, 1);            // only the refusal
+  EXPECT_EQ(stats.completed, 3);
+}
+
+TEST(InferenceEngineAdmissionTest, ServesPriorityThenEarliestDeadlineFirst) {
+  GatedModel model;
+  InferenceEngine engine(model, AdmissionOptions(16, 1));  // one per batch
+  auto blocker = ParkWorker(engine);
+
+  std::mutex mutex;
+  std::vector<std::string> order;
+  auto tag = [&](const char* name) {
+    return [&, name](eval::RecommendResponse, std::exception_ptr error) {
+      ASSERT_EQ(error, nullptr);
+      std::lock_guard<std::mutex> lock(mutex);
+      order.push_back(name);
+    };
+  };
+  AdmissionClass background;
+  background.priority = Priority::kBackground;
+  AdmissionClass bulk;
+  bulk.priority = Priority::kBulk;
+  AdmissionClass late;
+  late.deadline_ms = 120000;  // interactive, later deadline
+  AdmissionClass soon;
+  soon.deadline_ms = 60000;  // interactive, earliest deadline
+
+  ASSERT_TRUE(engine.TrySubmitAsync(TrivialRequest(), background,
+                                    tag("background"), nullptr));
+  ASSERT_TRUE(engine.TrySubmitAsync(TrivialRequest(), bulk, tag("bulk"),
+                                    nullptr));
+  ASSERT_TRUE(engine.TrySubmitAsync(TrivialRequest(), late,
+                                    tag("interactive-late"), nullptr));
+  ASSERT_TRUE(engine.TrySubmitAsync(TrivialRequest(), soon,
+                                    tag("interactive-soon"), nullptr));
+  model.Release();
+  blocker.get();
+  engine.Shutdown();  // drains: all four callbacks have run
+  const std::vector<std::string> expected = {
+      "interactive-soon", "interactive-late", "bulk", "background"};
+  EXPECT_EQ(order, expected);
+}
+
+TEST(InferenceEngineAdmissionTest, InfeasibleDeadlineRefusedAtSubmit) {
+  SlowModel model;
+  InferenceEngine engine(model, AdmissionOptions(16, 1));
+  // Seed the rolling batch-service p95 (>= 40 ms, the model's floor).
+  engine.Submit(TrivialRequest()).get();
+
+  AdmissionClass tight;
+  tight.deadline_ms = 1;  // far below the estimated wait
+  auto refused = engine.Submit(TrivialRequest(), tight);
+  try {
+    refused.get();
+    FAIL() << "infeasible deadline was admitted";
+  } catch (const ShedError& e) {
+    EXPECT_EQ(e.reason(), ShedReason::kDeadlineUnmeetable);
+  }
+
+  // A generous deadline sails through the same estimate.
+  AdmissionClass loose;
+  loose.deadline_ms = 60000;
+  engine.Submit(TrivialRequest(), loose).get();
+
+  const EngineStats stats = engine.GetStats();
+  EXPECT_EQ(stats.shed_deadline, 1);
+  EXPECT_EQ(stats.rejected, 1);
+  EXPECT_EQ(stats.completed, 2);
 }
 
 }  // namespace
