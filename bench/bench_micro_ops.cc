@@ -161,6 +161,71 @@ void MatMulBackward(const float* av, const float* bv, const float* g, float* ga,
   }
 }
 
+/// Seed Conv2d forward: the 7-deep scalar loop from the pre-im2col conv.cc.
+void Conv2dForward(const float* px, const float* pw, float* out, int64_t n,
+                   int64_t ic, int64_t h, int64_t w, int64_t oc, int64_t kh,
+                   int64_t kw, int64_t oh, int64_t ow, int stride,
+                   int padding) {
+  for (int64_t b = 0; b < n; ++b) {
+    for (int64_t o = 0; o < oc; ++o) {
+      for (int64_t oy = 0; oy < oh; ++oy) {
+        for (int64_t ox = 0; ox < ow; ++ox) {
+          float acc = 0.0f;
+          const int64_t iy0 = oy * stride - padding;
+          const int64_t ix0 = ox * stride - padding;
+          for (int64_t c = 0; c < ic; ++c) {
+            const float* xplane = px + ((b * ic + c) * h) * w;
+            const float* wplane = pw + ((o * ic + c) * kh) * kw;
+            for (int64_t ky = 0; ky < kh; ++ky) {
+              const int64_t iy = iy0 + ky;
+              if (iy < 0 || iy >= h) continue;
+              for (int64_t kx = 0; kx < kw; ++kx) {
+                const int64_t ix = ix0 + kx;
+                if (ix < 0 || ix >= w) continue;
+                acc += xplane[iy * w + ix] * wplane[ky * kw + kx];
+              }
+            }
+          }
+          out[((b * oc + o) * oh + oy) * ow + ox] = acc;
+        }
+      }
+    }
+  }
+}
+
+/// Seed Conv2d backward (dW and dX, no bias): scalar scatter loops.
+void Conv2dBackward(const float* g, const float* xv, const float* wv, float* gw,
+                    float* gx, int64_t n, int64_t ic, int64_t h, int64_t w,
+                    int64_t oc, int64_t kh, int64_t kw, int64_t oh, int64_t ow,
+                    int stride, int padding) {
+  for (int64_t b = 0; b < n; ++b) {
+    for (int64_t o = 0; o < oc; ++o) {
+      for (int64_t oy = 0; oy < oh; ++oy) {
+        for (int64_t ox = 0; ox < ow; ++ox) {
+          float go = g[((b * oc + o) * oh + oy) * ow + ox];
+          if (go == 0.0f) continue;
+          const int64_t iy0 = oy * stride - padding;
+          const int64_t ix0 = ox * stride - padding;
+          for (int64_t c = 0; c < ic; ++c) {
+            const int64_t xbase = ((b * ic + c) * h) * w;
+            const int64_t wbase = ((o * ic + c) * kh) * kw;
+            for (int64_t ky = 0; ky < kh; ++ky) {
+              const int64_t iy = iy0 + ky;
+              if (iy < 0 || iy >= h) continue;
+              for (int64_t kx = 0; kx < kw; ++kx) {
+                const int64_t ix = ix0 + kx;
+                if (ix < 0 || ix >= w) continue;
+                gw[wbase + ky * kw + kx] += go * xv[xbase + iy * w + ix];
+                gx[xbase + iy * w + ix] += go * wv[wbase + ky * kw + kx];
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
 }  // namespace seedref
 
 // --- Harness -----------------------------------------------------------------
@@ -263,6 +328,59 @@ int main() {
          }});
   }
 
+  // Conv2d: seed 7-deep scalar loops vs the im2col + DotProductGemm lowering.
+  // Shapes mirror the model's tile-image CNN (conv_channels {8, 16, 32}, all
+  // stride 2): the 3->8 ingest conv on a 64x64 RGB tile (forward, the
+  // inference-cache path) and a training step on the 8->16 mid layer
+  // (forward + dW/dX backward), whose K = 8*3*3 = 72 reduction is where the
+  // CNN's training time actually goes.
+  {
+    const Tensor cfx = Tensor::RandomUniform({1, 3, 64, 64}, 1.0f, rng);
+    const Tensor cfw = Tensor::RandomUniform({8, 3, 3, 3}, 0.2f, rng);
+    cases.push_back(
+        {"conv2d_stride2_64",
+         [cfx, cfw] {
+           std::vector<float> out(static_cast<size_t>(1 * 8 * 32 * 32));
+           seedref::Conv2dForward(cfx.data(), cfw.data(), out.data(), 1, 3, 64,
+                                  64, 8, 3, 3, 32, 32, /*stride=*/2,
+                                  /*padding=*/1);
+         },
+         [cfx, cfw] {
+           nn::NoGradGuard guard;
+           nn::Conv2d(cfx, cfw, nn::Tensor(), 2, 1);
+         }});
+
+    const Tensor ctx = Tensor::RandomUniform({2, 8, 32, 32}, 1.0f, rng);
+    const Tensor ctw = Tensor::RandomUniform({16, 8, 3, 3}, 0.2f, rng);
+    Tensor gx_t =
+        Tensor::RandomUniform({2, 8, 32, 32}, 1.0f, rng, /*requires_grad=*/true);
+    Tensor gw_t =
+        Tensor::RandomUniform({16, 8, 3, 3}, 0.2f, rng, /*requires_grad=*/true);
+    cases.push_back(
+        {"conv2d_train_8to16_32",
+         [ctx, ctw] {
+           std::vector<float> out(static_cast<size_t>(2 * 16 * 16 * 16));
+           seedref::Conv2dForward(ctx.data(), ctw.data(), out.data(), 2, 8, 32,
+                                  32, 16, 3, 3, 16, 16, /*stride=*/2,
+                                  /*padding=*/1);
+           std::vector<float> g(out.size(), 1.0f);
+           std::vector<float> gw(static_cast<size_t>(ctw.numel()), 0.0f);
+           std::vector<float> gx(static_cast<size_t>(ctx.numel()), 0.0f);
+           seedref::Conv2dBackward(g.data(), ctx.data(), ctw.data(), gw.data(),
+                                   gx.data(), 2, 8, 32, 32, 16, 3, 3, 16, 16,
+                                   /*stride=*/2, /*padding=*/1);
+         },
+         [gx_t, gw_t]() mutable {
+           Tensor y = nn::Conv2d(gx_t, gw_t, nn::Tensor(), 2, 1);
+           auto& node = *y.node();
+           node.EnsureGrad();
+           std::fill(node.grad.begin(), node.grad.end(), 1.0f);
+           node.backward(node);
+           gx_t.ZeroGrad();
+           gw_t.ZeroGrad();
+         }});
+  }
+
   bench::JsonReporter reporter("micro_ops");
   common::TablePrinter table({"Op", "Seed ns/op", "Now ns/op", "Speedup"});
   for (const Case& c : cases) {
@@ -280,12 +398,11 @@ int main() {
   }
 
   // Substrate throughput tracking without a seed reference: these paths are
-  // unchanged by the kernel rewrite (conv, attention, spatial/graph/imagery)
-  // but stay in the JSON so run_benches.sh catches future regressions.
+  // unchanged by the kernel rewrite (attention, spatial/graph/imagery) but
+  // stay in the JSON so run_benches.sh catches future regressions. (Conv2d
+  // graduated to the before/after table with the im2col lowering.)
   {
     auto tiny = data::CityDataset::Generate(data::CityProfile::TestTiny());
-    nn::Tensor cx = Tensor::RandomUniform({1, 3, 64, 64}, 1.0f, rng);
-    nn::Tensor cw = Tensor::RandomUniform({8, 3, 3, 3}, 0.2f, rng);
     nn::Attention attn(64, rng);
     Tensor seq = Tensor::RandomUniform({32, 64}, 1.0f, rng);
     std::vector<geo::GeoPoint> points;
@@ -296,9 +413,6 @@ int main() {
     }
     rs::ImageSynthesizer synth(&tiny->layout(), &tiny->roads(), {.resolution = 32});
     std::vector<Case> tracked;
-    tracked.push_back({"conv2d_stride2_64", {}, [&] {
-                         nn::Conv2d(cx, cw, nn::Tensor(), 2, 1);
-                       }});
     tracked.push_back({"attention_fwd_32x64", {}, [&] {
                          nn::NoGradGuard guard;
                          attn.Forward(seq, seq, true);

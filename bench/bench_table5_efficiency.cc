@@ -65,6 +65,34 @@ InferenceAb MeasureInferenceAb(const core::TspnRa& tspn,
   return {cached * 1000.0 / denom, uncached * 1000.0 / denom};
 }
 
+/// Times warm evaluation passes with fp32 scoring vs int8 screen + fp32
+/// rescue (TSPN_QUANT_SCORING=1). The first quant pass pays the one-time
+/// cache rebuild and gate replay; min-of-kPasses discards it. Returned as
+/// {cached = int8, uncached = fp32} so Speedup() reads fp32/int8.
+InferenceAb MeasureQuantAb(const core::TspnRa& tspn,
+                           const data::CityDataset& dataset,
+                           const bench::BenchSettings& settings,
+                           int64_t eval_count) {
+  constexpr int kPasses = 3;
+  auto timed_pass = [&] {
+    common::Stopwatch watch;
+    eval::EvaluateModel(tspn, dataset, data::Split::kTest, settings.eval_samples,
+                        settings.seed);
+    return watch.ElapsedSeconds();
+  };
+  double fp32 = timed_pass();
+  for (int p = 1; p < kPasses; ++p) fp32 = std::min(fp32, timed_pass());
+  setenv("TSPN_QUANT_SCORING", "1", 1);
+  double quant = timed_pass();
+  for (int p = 1; p < kPasses; ++p) quant = std::min(quant, timed_pass());
+  const bool admitted = tspn.QuantScoringActive();
+  unsetenv("TSPN_QUANT_SCORING");
+  std::printf("  [quant] int8 scoring gate %s\n",
+              admitted ? "admitted" : "REJECTED (fp32 fallback served)");
+  const double denom = std::max<double>(1, static_cast<double>(eval_count));
+  return {quant * 1000.0 / denom, fp32 * 1000.0 / denom};
+}
+
 void RunEfficiency(const std::string& title,
                    std::shared_ptr<data::CityDataset> dataset,
                    const bench::BenchSettings& settings,
@@ -287,13 +315,29 @@ void RunThroughput(const core::TspnRa& tspn,
       top_n);
   ThroughputResult serial = MeasureSerial(tspn, samples, top_n);
   ReportThroughput(reporter, "serial", serial, serial.qps);
+  ThroughputResult batch32;
   for (size_t batch_size : {size_t{8}, size_t{32}}) {
     ThroughputResult batched =
         MeasureBatched(tspn, samples, top_n, batch_size);
+    if (batch_size == 32) batch32 = batched;
     char mode[32];
     std::snprintf(mode, sizeof(mode), "batch%zu", batch_size);
     ReportThroughput(reporter, mode, batched, serial.qps);
   }
+  // Encoder A/B at the same batch size: the packed one-GEMM-shaped forward
+  // vs the seed's per-sample encoder loop (results are bitwise identical;
+  // TSPN_DISABLE_BATCHED_ENCODER=1 keeps the old loop alive for exactly
+  // this comparison). The qps delta isolates what end-to-end encoder
+  // batching is worth.
+  setenv("TSPN_DISABLE_BATCHED_ENCODER", "1", 1);
+  ThroughputResult serial_encoder = MeasureBatched(tspn, samples, top_n, 32);
+  unsetenv("TSPN_DISABLE_BATCHED_ENCODER");
+  ReportThroughput(reporter, "batch32-serial-encoder", serial_encoder,
+                   serial.qps);
+  std::printf("  [throughput] batched encoder is %.2fx the per-sample "
+              "encoder at batch 32\n",
+              serial_encoder.qps > 0.0 ? batch32.qps / serial_encoder.qps
+                                       : 0.0);
   ThroughputResult engine = MeasureEngine(tspn, samples, top_n);
   ReportThroughput(reporter, "engine", engine, serial.qps);
   MeasureConstrained(tspn, dataset, samples, top_n, reporter);
@@ -337,6 +381,20 @@ void RunScreenStress(std::shared_ptr<data::CityDataset> dataset,
               "(%.2fx)\n",
               MsString(ab.cached_ms).c_str(), MsString(ab.uncached_ms).c_str(),
               ab.Speedup());
+
+  // int8-vs-fp32 scoring on the same model: with ~9.2k candidate tiles the
+  // stage-1 screen is one [1 x tiles] scoring pass per query, exactly what
+  // the int8 GEMM quarters the memory traffic of. Same top-k, same scores
+  // (fp32 rescue); only the ms/query moves.
+  InferenceAb quant = MeasureQuantAb(tspn, *dataset, settings, metrics.count());
+  reporter.Add("TSPN-RA-quant/ScreenStress",
+               {{"ms_per_query", quant.cached_ms},
+                {"ms_per_query_before", quant.uncached_ms},
+                {"speedup", quant.Speedup()}});
+  std::printf("  [TSPN-RA] warm inference %s ms/query int8 vs %s fp32 "
+              "(%.2fx)\n",
+              MsString(quant.cached_ms).c_str(),
+              MsString(quant.uncached_ms).c_str(), quant.Speedup());
 
   // Throughput mode reuses the trained stress model: with ~9.2k candidate
   // tiles the per-query cost is dominated by exactly the stages that batch

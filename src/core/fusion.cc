@@ -39,6 +39,53 @@ nn::Tensor AttentionBlock::Forward(const nn::Tensor& sequence,
   return norm3_->Forward(nn::Add(h2, z_f));
 }
 
+nn::Tensor AttentionBlock::ForwardPacked(
+    const nn::Tensor& sequence, const std::vector<int64_t>& offsets,
+    const nn::Tensor& history, const std::vector<int64_t>& hist_offsets) const {
+  TSPN_CHECK(!training()) << "packed forward is inference-only (no dropout)";
+  TSPN_CHECK_EQ(sequence.rank(), 2);
+  TSPN_CHECK_EQ(history.rank(), 2);
+  TSPN_CHECK_EQ(offsets.size(), hist_offsets.size());
+  TSPN_CHECK_GE(offsets.size(), 2u);
+  const size_t batch = offsets.size() - 1;
+  // 1. Masked self-attention: project the whole pack with one GEMM per
+  // projection, then score/softmax each segment against itself only.
+  nn::Tensor q = self_attention_->ProjectQuery(sequence);
+  nn::Tensor k = self_attention_->ProjectKey(sequence);
+  nn::Tensor v = self_attention_->ProjectValue(sequence);
+  std::vector<nn::Tensor> parts;
+  parts.reserve(batch);
+  for (size_t b = 0; b < batch; ++b) {
+    const int64_t start = offsets[b];
+    const int64_t len = offsets[b + 1] - start;
+    parts.push_back(self_attention_->ForwardProjected(
+        nn::SliceRows(q, start, len), nn::SliceRows(k, start, len),
+        nn::SliceRows(v, start, len), /*causal=*/true));
+  }
+  nn::Tensor z_m = nn::ConcatRows(parts);
+  // 2. Add & normalize (row-wise, safe over the pack).
+  nn::Tensor h1 = norm1_->Forward(nn::Add(sequence, z_m));
+  // 3. Cross attention over each segment's own historical knowledge.
+  nn::Tensor cq = cross_attention_->ProjectQuery(h1);
+  nn::Tensor ck = cross_attention_->ProjectKey(history);
+  nn::Tensor cv = cross_attention_->ProjectValue(history);
+  parts.clear();
+  for (size_t b = 0; b < batch; ++b) {
+    const int64_t start = offsets[b];
+    const int64_t len = offsets[b + 1] - start;
+    const int64_t h_start = hist_offsets[b];
+    const int64_t h_len = hist_offsets[b + 1] - h_start;
+    parts.push_back(cross_attention_->ForwardProjected(
+        nn::SliceRows(cq, start, len), nn::SliceRows(ck, h_start, h_len),
+        nn::SliceRows(cv, h_start, h_len), /*causal=*/false));
+  }
+  nn::Tensor z_h = nn::ConcatRows(parts);
+  nn::Tensor h2 = norm2_->Forward(nn::Add(h1, z_h));
+  // 4. Feed forward over the pack.
+  nn::Tensor z_f = nn::Relu(feed_forward_->Forward(h2));
+  return norm3_->Forward(nn::Add(h2, z_f));
+}
+
 FusionModule::FusionModule(const TspnRaConfig& config, common::Rng& rng)
     : config_(config) {
   for (int32_t i = 0; i < config_.num_fusion_layers; ++i) {
@@ -55,6 +102,21 @@ nn::Tensor FusionModule::Forward(const nn::Tensor& sequence,
     h = block->Forward(h, history, rng, config_.dropout);
   }
   return nn::Row(h, h.dim(0) - 1);
+}
+
+nn::Tensor FusionModule::ForwardPacked(
+    const nn::Tensor& sequence, const std::vector<int64_t>& offsets,
+    const nn::Tensor& history, const std::vector<int64_t>& hist_offsets) const {
+  nn::Tensor h = sequence;
+  for (const auto& block : blocks_) {
+    h = block->ForwardPacked(h, offsets, history, hist_offsets);
+  }
+  std::vector<nn::Tensor> last_rows;
+  last_rows.reserve(offsets.size() - 1);
+  for (size_t b = 0; b + 1 < offsets.size(); ++b) {
+    last_rows.push_back(nn::Row(h, offsets[b + 1] - 1));
+  }
+  return nn::StackRows(last_rows);
 }
 
 }  // namespace tspn::core

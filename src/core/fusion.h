@@ -22,6 +22,21 @@ class AttentionBlock : public nn::Module {
   nn::Tensor Forward(const nn::Tensor& sequence, const nn::Tensor& history,
                      common::Rng& rng, float dropout) const;
 
+  /// Packed-batch inference forward. `sequence` holds B variable-length
+  /// segments concatenated row-wise ([total, dm], boundaries in `offsets`,
+  /// size B+1); `history` likewise ([total_h, dm], `hist_offsets`). The
+  /// projections, norms and feed-forward run as single GEMMs over the whole
+  /// pack; only the softmax(QK^T)V stage runs per segment (attention must
+  /// not cross sequence boundaries). Every row of the result is bitwise
+  /// identical to Forward() on the corresponding segment: each packed op is
+  /// row-wise with a per-row accumulation order independent of the number
+  /// of rows. Inference-only: requires !training() (no dropout). Returns
+  /// [total, dm].
+  nn::Tensor ForwardPacked(const nn::Tensor& sequence,
+                           const std::vector<int64_t>& offsets,
+                           const nn::Tensor& history,
+                           const std::vector<int64_t>& hist_offsets) const;
+
  private:
   std::unique_ptr<nn::Attention> self_attention_;
   std::unique_ptr<nn::LayerNormLayer> norm1_;
@@ -41,6 +56,15 @@ class FusionModule : public nn::Module {
   /// Returns h_out = H_out[-1]: [dm].
   nn::Tensor Forward(const nn::Tensor& sequence, const nn::Tensor& history,
                      common::Rng& rng) const;
+
+  /// Packed-batch inference forward over B concatenated segments (see
+  /// AttentionBlock::ForwardPacked for the packing contract). Returns
+  /// [B, dm]: row b is the last position of segment b after the final
+  /// block, bitwise identical to Forward() on that segment alone.
+  nn::Tensor ForwardPacked(const nn::Tensor& sequence,
+                           const std::vector<int64_t>& offsets,
+                           const nn::Tensor& history,
+                           const std::vector<int64_t>& hist_offsets) const;
 
  private:
   const TspnRaConfig config_;

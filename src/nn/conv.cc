@@ -5,12 +5,119 @@
 #include <vector>
 
 #include "common/check.h"
+#include "nn/kernels.h"
 
 namespace tspn::nn {
 
 namespace {
 
 using internal::TensorNode;
+
+/// Reusable per-thread scratch for the im2col buffers (like
+/// kernels::TransposeScratch): at the tile-image sizes that dominate this
+/// model a fresh allocation per conv call is a first-order cost. Slot 0
+/// holds the forward/backward col matrix, slot 1 the dcol matrix of the
+/// input-gradient pass; buffers only ever grow.
+float* ConvScratch(size_t need, int slot) {
+  thread_local std::vector<float> bufs[2];
+  std::vector<float>& buf = bufs[slot & 1];
+  if (buf.size() < need) buf.resize(need);
+  return buf.data();
+}
+
+/// Lowers one image [ic, h, w] to the im2col matrix col [P, K] with
+/// P = oh*ow patches and K = ic*kh*kw patch elements, zero-filling padding.
+/// Column k = (c*kh + ky)*kw + kx matches the row-major layout of a
+/// [oc, ic, kh, kw] weight tensor flattened to [oc, K], so the convolution
+/// becomes one DotProductGemm(weight, col) per image.
+void Im2col(const float* x, int64_t ic, int64_t h, int64_t w, int64_t kh,
+            int64_t kw, int64_t oh, int64_t ow, int stride, int padding,
+            float* col) {
+  const int64_t k_len = ic * kh * kw;
+  for (int64_t oy = 0; oy < oh; ++oy) {
+    for (int64_t ox = 0; ox < ow; ++ox) {
+      float* crow = col + (oy * ow + ox) * k_len;
+      const int64_t iy0 = oy * stride - padding;
+      const int64_t ix0 = ox * stride - padding;
+      // Interior patches (the vast majority at the model's 3x3/pad-1
+      // shapes) copy whole contiguous kw-runs; only border patches pay the
+      // per-element bounds checks. The model's CNN is all 3x3 kernels, so
+      // the fully-interior 3x3 case gets a branch-free unrolled body — the
+      // lowering itself, not the GEMM, is what bounds small-K convs.
+      const bool x_interior = ix0 >= 0 && ix0 + kw <= w;
+      if (x_interior && kh == 3 && kw == 3 && iy0 >= 0 && iy0 + 3 <= h) {
+        const float* xb = x + iy0 * w + ix0;
+        float* cd = crow;
+        for (int64_t c = 0; c < ic; ++c, xb += h * w) {
+          const float* xr = xb;
+          for (int64_t ky = 0; ky < 3; ++ky, xr += w, cd += 3) {
+            cd[0] = xr[0];
+            cd[1] = xr[1];
+            cd[2] = xr[2];
+          }
+        }
+        continue;
+      }
+      for (int64_t c = 0; c < ic; ++c) {
+        const float* xplane = x + (c * h) * w;
+        for (int64_t ky = 0; ky < kh; ++ky) {
+          const int64_t iy = iy0 + ky;
+          float* cdst = crow + (c * kh + ky) * kw;
+          if (iy < 0 || iy >= h) {
+            std::fill(cdst, cdst + kw, 0.0f);
+            continue;
+          }
+          if (x_interior) {
+            // Plain loop, not std::copy: kw is tiny (3 here) and a memmove
+            // call per run costs more than the unrolled copies.
+            const float* xsrc = xplane + iy * w + ix0;
+            for (int64_t kx = 0; kx < kw; ++kx) cdst[kx] = xsrc[kx];
+            continue;
+          }
+          for (int64_t kx = 0; kx < kw; ++kx) {
+            const int64_t ix = ix0 + kx;
+            cdst[kx] = (ix < 0 || ix >= w) ? 0.0f : xplane[iy * w + ix];
+          }
+        }
+      }
+    }
+  }
+}
+
+/// Scatter-adds a dcol matrix [P, K] back onto the input gradient
+/// [ic, h, w], skipping padding positions (their gradient has nowhere to
+/// go). The adjoint of Im2col.
+void Col2imAdd(const float* dcol, int64_t ic, int64_t h, int64_t w, int64_t kh,
+               int64_t kw, int64_t oh, int64_t ow, int stride, int padding,
+               float* dx) {
+  const int64_t k_len = ic * kh * kw;
+  for (int64_t oy = 0; oy < oh; ++oy) {
+    for (int64_t ox = 0; ox < ow; ++ox) {
+      const float* crow = dcol + (oy * ow + ox) * k_len;
+      const int64_t iy0 = oy * stride - padding;
+      const int64_t ix0 = ox * stride - padding;
+      const bool x_interior = ix0 >= 0 && ix0 + kw <= w;
+      for (int64_t c = 0; c < ic; ++c) {
+        float* xplane = dx + (c * h) * w;
+        for (int64_t ky = 0; ky < kh; ++ky) {
+          const int64_t iy = iy0 + ky;
+          if (iy < 0 || iy >= h) continue;
+          const float* csrc = crow + (c * kh + ky) * kw;
+          if (x_interior) {
+            float* xdst = xplane + iy * w + ix0;
+            for (int64_t kx = 0; kx < kw; ++kx) xdst[kx] += csrc[kx];
+            continue;
+          }
+          for (int64_t kx = 0; kx < kw; ++kx) {
+            const int64_t ix = ix0 + kx;
+            if (ix < 0 || ix >= w) continue;
+            xplane[iy * w + ix] += csrc[kx];
+          }
+        }
+      }
+    }
+  }
+}
 
 Tensor MakeConvOp(Shape shape, std::vector<float> data, std::vector<Tensor> parents,
                   std::function<void(TensorNode&)> backward, const char* op) {
@@ -56,40 +163,48 @@ Tensor Conv2d(const Tensor& input, const Tensor& weight, const Tensor& bias, int
   TSPN_CHECK_GT(oh, 0);
   TSPN_CHECK_GT(ow, 0);
 
-  std::vector<float> out(static_cast<size_t>(n * oc * oh * ow), 0.0f);
+  // im2col lowering: each image becomes a [P, K] patch matrix (P = oh*ow,
+  // K = ic*kh*kw) and the convolution is one DotProductGemm against the
+  // weight tensor viewed as [oc, K] — the same blocked AVX2/FMA kernel that
+  // backs MatMul, instead of a 6-deep scalar loop.
+  const int64_t k_len = ic * kh * kw;
+  const int64_t patches = oh * ow;
+  std::vector<float> out(static_cast<size_t>(n * oc * oh * ow));
   const float* px = input.data();
   const float* pw = weight.data();
   const float* pb = has_bias ? bias.data() : nullptr;
 
+  // When the weight gradient will be needed, the col matrices are saved for
+  // backward (activation caching) instead of being re-lowered there: the
+  // dW GEMM reads exactly what the forward GEMM read. Inference and frozen
+  // weights keep using the per-thread scratch and save nothing.
+  const bool save_cols = NoGradGuard::GradEnabled() && weight.requires_grad();
+  std::vector<float> saved_cols;
+  if (save_cols) {
+    saved_cols.resize(static_cast<size_t>(n * patches * k_len));
+  }
   for (int64_t b = 0; b < n; ++b) {
-    for (int64_t o = 0; o < oc; ++o) {
-      float bias_val = has_bias ? pb[o] : 0.0f;
-      for (int64_t oy = 0; oy < oh; ++oy) {
-        for (int64_t ox = 0; ox < ow; ++ox) {
-          float acc = bias_val;
-          const int64_t iy0 = oy * stride - padding;
-          const int64_t ix0 = ox * stride - padding;
-          for (int64_t c = 0; c < ic; ++c) {
-            const float* xplane = px + ((b * ic + c) * h) * w;
-            const float* wplane = pw + ((o * ic + c) * kh) * kw;
-            for (int64_t ky = 0; ky < kh; ++ky) {
-              const int64_t iy = iy0 + ky;
-              if (iy < 0 || iy >= h) continue;
-              for (int64_t kx = 0; kx < kw; ++kx) {
-                const int64_t ix = ix0 + kx;
-                if (ix < 0 || ix >= w) continue;
-                acc += xplane[iy * w + ix] * wplane[ky * kw + kx];
-              }
-            }
-          }
-          out[static_cast<size_t>(((b * oc + o) * oh + oy) * ow + ox)] = acc;
-        }
+    float* col = save_cols
+                     ? saved_cols.data() + b * patches * k_len
+                     : ConvScratch(static_cast<size_t>(patches * k_len), 0);
+    Im2col(px + b * ic * h * w, ic, h, w, kh, kw, oh, ow, stride, padding, col);
+    // out[b] [oc, P]: out[o, p] = sum_k w[o, k] * col[p, k].
+    kernels::DotProductGemm(pw, col, out.data() + b * oc * patches, oc, patches,
+                            k_len, /*accumulate=*/false);
+  }
+  if (has_bias) {
+    for (int64_t b = 0; b < n; ++b) {
+      for (int64_t o = 0; o < oc; ++o) {
+        float* orow = out.data() + (b * oc + o) * patches;
+        const float bv = pb[o];
+        for (int64_t p = 0; p < patches; ++p) orow[p] += bv;
       }
     }
   }
 
-  auto backward = [n, ic, h, w, oc, kh, kw, oh, ow, stride, padding,
-                   has_bias](TensorNode& node) {
+  auto backward = [n, ic, h, w, oc, kh, kw, oh, ow, stride, padding, k_len,
+                   patches, has_bias,
+                   saved_cols = std::move(saved_cols)](TensorNode& node) {
     const auto& x_node = node.parents[0];
     const auto& w_node = node.parents[1];
     TensorNode* b_node = has_bias ? node.parents[2].get() : nullptr;
@@ -102,37 +217,53 @@ Tensor Conv2d(const Tensor& input, const Tensor& weight, const Tensor& bias, int
     if (need_x) x_node->EnsureGrad();
     if (need_w) w_node->EnsureGrad();
     if (need_b) b_node->EnsureGrad();
-    for (int64_t b = 0; b < n; ++b) {
-      for (int64_t o = 0; o < oc; ++o) {
-        for (int64_t oy = 0; oy < oh; ++oy) {
-          for (int64_t ox = 0; ox < ow; ++ox) {
-            float go = g[((b * oc + o) * oh + oy) * ow + ox];
-            if (go == 0.0f) continue;
-            if (need_b) b_node->grad[static_cast<size_t>(o)] += go;
-            const int64_t iy0 = oy * stride - padding;
-            const int64_t ix0 = ox * stride - padding;
-            for (int64_t c = 0; c < ic; ++c) {
-              const int64_t xbase = ((b * ic + c) * h) * w;
-              const int64_t wbase = ((o * ic + c) * kh) * kw;
-              for (int64_t ky = 0; ky < kh; ++ky) {
-                const int64_t iy = iy0 + ky;
-                if (iy < 0 || iy >= h) continue;
-                for (int64_t kx = 0; kx < kw; ++kx) {
-                  const int64_t ix = ix0 + kx;
-                  if (ix < 0 || ix >= w) continue;
-                  if (need_w) {
-                    w_node->grad[static_cast<size_t>(wbase + ky * kw + kx)] +=
-                        go * xv[xbase + iy * w + ix];
-                  }
-                  if (need_x) {
-                    x_node->grad[static_cast<size_t>(xbase + iy * w + ix)] +=
-                        go * wv[wbase + ky * kw + kx];
-                  }
-                }
-              }
-            }
-          }
+    if (need_b) {
+      for (int64_t b = 0; b < n; ++b) {
+        for (int64_t o = 0; o < oc; ++o) {
+          const float* grow = g + (b * oc + o) * patches;
+          float acc = 0.0f;
+          for (int64_t p = 0; p < patches; ++p) acc += grow[p];
+          b_node->grad[static_cast<size_t>(o)] += acc;
         }
+      }
+    }
+    if (!need_x && !need_w) return;
+    // dW and dX ride the same GEMM kernel as the forward pass:
+    //   dW[o, k] += sum_p g[o, p] * col[p, k]     -> Y = g,  Z = col^T
+    //   dcol[p, k] = sum_o g[o, p] * w[o, k]      -> Y = g^T, Z = w^T
+    // followed by the col2im scatter-add (the im2col adjoint) for dX.
+    // w^T is shared across images, so it is built once with an owned copy;
+    // col^T and g^T rotate through the two per-thread TransposeScratch slots.
+    std::vector<float> wt;
+    if (need_x) wt = kernels::TransposeCopy(wv, oc, k_len);
+    float* dcol =
+        need_x ? ConvScratch(static_cast<size_t>(patches * k_len), 1) : nullptr;
+    for (int64_t b = 0; b < n; ++b) {
+      const float* g_plane = g + b * oc * patches;
+      if (need_w) {
+        // The forward pass saved this image's col matrix (need_w implies
+        // save_cols was on); re-lowering the input here would repeat work
+        // the forward already did. The recompute branch only covers a
+        // weight whose requires_grad flipped on after the forward pass.
+        const float* col;
+        if (!saved_cols.empty()) {
+          col = saved_cols.data() + b * patches * k_len;
+        } else {
+          float* scratch = ConvScratch(static_cast<size_t>(patches * k_len), 0);
+          Im2col(xv + b * ic * h * w, ic, h, w, kh, kw, oh, ow, stride,
+                 padding, scratch);
+          col = scratch;
+        }
+        const float* colt = kernels::TransposeScratch(col, patches, k_len, 0);
+        kernels::DotProductGemm(g_plane, colt, w_node->grad.data(), oc, k_len,
+                                patches, /*accumulate=*/true);
+      }
+      if (need_x) {
+        const float* gt = kernels::TransposeScratch(g_plane, oc, patches, 1);
+        kernels::DotProductGemm(gt, wt.data(), dcol, patches, k_len, oc,
+                                /*accumulate=*/false);
+        Col2imAdd(dcol, ic, h, w, kh, kw, oh, ow, stride, padding,
+                  x_node->grad.data() + b * ic * h * w);
       }
     }
   };

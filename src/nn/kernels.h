@@ -33,6 +33,30 @@ void DotProductGemm(const float* y, const float* z, float* c, int64_t p_rows,
 /// column-major (B in the forward pass, A and dOut in the dB pass).
 std::vector<float> TransposeCopy(const float* src, int64_t rows, int64_t cols);
 
+/// Symmetric per-row int8 quantization: codes[i, :] = round(src[i, :] / s_i)
+/// with s_i = max|src[i, :]| / 127 written to scales[i]. An all-zero row gets
+/// scale 0 and all-zero codes. `codes` holds rows*cols int8, `scales` rows
+/// floats. Round-half-away-from-zero, so the mapping is deterministic and
+/// the codes stay in [-127, 127].
+void QuantizeRowsInt8(const float* src, int64_t rows, int64_t cols,
+                      int8_t* codes, float* scales);
+
+/// Exact int8 dot product: sum_r y[r] * z[r] accumulated in int32.
+int32_t Int8Dot(const int8_t* y, const int8_t* z, int64_t r_len);
+
+/// The int8 scoring GEMM behind TSPN_QUANT_SCORING:
+///
+///   C[p, q] = float(sum_r Yq[p, r] * Zq[q, r]) * (y_scales[p] * z_scales[q])
+///
+/// with Yq [p_rows, r_len] and Zq [q_rows, r_len] int8 codes from
+/// QuantizeRowsInt8. The integer accumulation is exact, so — unlike the fp32
+/// kernel — the result is independent of blocking, vectorization and thread
+/// count; a single Int8Dot per element reproduces it bitwise. Row-parallel
+/// across TSPN_NUM_THREADS like DotProductGemm.
+void Int8ScoreGemm(const int8_t* y, const float* y_scales, const int8_t* z,
+                   const float* z_scales, float* c, int64_t p_rows,
+                   int64_t q_rows, int64_t r_len);
+
 /// Transpose into a reusable per-thread scratch buffer instead of a fresh
 /// heap allocation: at the small sizes that dominate this model (64-128) the
 /// malloc + free around every matmul is a first-order cost. `slot` selects

@@ -109,14 +109,20 @@ Tensor Attention::Forward(const Tensor& query_in, const Tensor& key_value_in,
                           bool causal) const {
   TSPN_CHECK_EQ(query_in.rank(), 2);
   TSPN_CHECK_EQ(key_value_in.rank(), 2);
-  Tensor q = wq_.Forward(query_in);
-  Tensor k = wk_.Forward(key_value_in);
-  Tensor v = wv_.Forward(key_value_in);
+  return ForwardProjected(wq_.Forward(query_in), wk_.Forward(key_value_in),
+                          wv_.Forward(key_value_in), causal);
+}
+
+Tensor Attention::ForwardProjected(const Tensor& q, const Tensor& k,
+                                   const Tensor& v, bool causal) const {
+  TSPN_CHECK_EQ(q.rank(), 2);
+  TSPN_CHECK_EQ(k.rank(), 2);
+  TSPN_CHECK_EQ(v.rank(), 2);
   Tensor scores = MulScalar(MatMul(q, Transpose(k)),
                             1.0f / std::sqrt(static_cast<float>(dim_)));
   if (causal) {
-    int64_t lq = query_in.dim(0);
-    int64_t lk = key_value_in.dim(0);
+    int64_t lq = q.dim(0);
+    int64_t lk = k.dim(0);
     TSPN_CHECK_EQ(lq, lk) << "causal attention needs square score matrix";
     std::vector<float> mask(static_cast<size_t>(lq * lk), 0.0f);
     for (int64_t i = 0; i < lq; ++i) {

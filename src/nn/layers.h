@@ -114,6 +114,19 @@ class Attention : public Module {
   Tensor Forward(const Tensor& query_in, const Tensor& key_value_in,
                  bool causal = false) const;
 
+  /// The three input projections, exposed separately so a packed-batch
+  /// caller can project many concatenated sequences with one GEMM each and
+  /// then run the per-sequence score/softmax stage via ForwardProjected().
+  Tensor ProjectQuery(const Tensor& x) const { return wq_.Forward(x); }
+  Tensor ProjectKey(const Tensor& x) const { return wk_.Forward(x); }
+  Tensor ProjectValue(const Tensor& x) const { return wv_.Forward(x); }
+
+  /// Attention over already-projected q [Lq, D], k/v [Lk, D]:
+  /// softmax(q k^T / sqrt(d) + mask) v. Forward() delegates here, so both
+  /// entry points share one accumulation order bit for bit.
+  Tensor ForwardProjected(const Tensor& q, const Tensor& k, const Tensor& v,
+                          bool causal) const;
+
  private:
   int64_t dim_;
   Linear wq_;

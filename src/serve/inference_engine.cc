@@ -22,6 +22,12 @@ uint8_t InvertPriority(Priority priority) {
   return static_cast<uint8_t>(kMaxPriority - static_cast<uint8_t>(priority));
 }
 
+/// Floor for the serve margin used by deadline-aware batch formation: even
+/// before the rolling batch p95 has data (cold start reports 0), closing a
+/// batch this far ahead of the tightest queued deadline leaves a worker
+/// realistic time to run the model.
+constexpr double kMinServeMarginMs = 2.0;
+
 }  // namespace
 
 EngineOptions EngineOptions::FromEnv() {
@@ -63,6 +69,34 @@ double InferenceEngine::EstimatedWaitMsLocked() const {
       static_cast<int64_t>(queue_.size()) / options_.max_batch + 1;
   return p95_batch_ms * static_cast<double>(batches_ahead) /
          static_cast<double>(options_.num_threads);
+}
+
+InferenceEngine::Clock::time_point InferenceEngine::BatchCloseTimeLocked()
+    const {
+  auto close = queue_.begin()->second.enqueue_time +
+               std::chrono::microseconds(options_.coalesce_window_us);
+  // Deadline-aware cap: the batch must close early enough that the
+  // tightest-deadline queued request is still served within its budget —
+  // otherwise a long coalesce window turns feasible deadlines into
+  // kExpired drops at dequeue. Within a priority class the map is
+  // deadline-ascending, so each class head carries that class's earliest
+  // deadline; lower_bound jumps visit one entry per class (at most
+  // kMaxPriority+1 of them) instead of scanning the queue.
+  Clock::time_point tightest = Clock::time_point::max();
+  auto it = queue_.begin();
+  while (it != queue_.end()) {
+    tightest = std::min(tightest, it->second.deadline);
+    const uint8_t cls = std::get<0>(it->first);
+    it = queue_.lower_bound(QueueKey{static_cast<uint8_t>(cls + 1),
+                                     Clock::time_point::min(), 0});
+  }
+  if (tightest == Clock::time_point::max()) return close;  // no deadlines
+  const double margin_ms = std::max(
+      batch_p95_ms_.load(std::memory_order_relaxed), kMinServeMarginMs);
+  const auto margin =
+      std::chrono::microseconds(static_cast<int64_t>(margin_ms * 1000.0));
+  // A cap already in the past simply means "serve right now".
+  return std::min(close, tightest - margin);
 }
 
 InferenceEngine::Queue::iterator InferenceEngine::EvictableLocked(
@@ -243,14 +277,17 @@ void InferenceEngine::WorkerLoop() {
       if (stopping_) return;
       continue;
     }
-    // Coalesce: the batch closes when it is full or when the next-to-serve
-    // request has waited out the coalescing window, whichever comes first.
-    // A zero window serves whatever is queued right now.
-    const auto wait_deadline =
-        queue_.begin()->second.enqueue_time +
-        std::chrono::microseconds(options_.coalesce_window_us);
+    // Coalesce: the batch closes when it is full, when the next-to-serve
+    // request has waited out the coalescing window, or when waiting any
+    // longer would push the tightest queued deadline past its serve margin
+    // — whichever comes first. A zero window serves whatever is queued
+    // right now. The close time is recomputed after every wakeup because
+    // an arrival may carry a deadline tighter than anything seen so far.
     while (static_cast<int64_t>(queue_.size()) < options_.max_batch &&
            !stopping_) {
+      if (queue_.empty()) break;  // another worker drained it while we slept
+      const auto wait_deadline = BatchCloseTimeLocked();
+      if (Clock::now() >= wait_deadline) break;
       if (not_empty_.wait_until(lock, wait_deadline) ==
           std::cv_status::timeout) {
         break;

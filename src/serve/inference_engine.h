@@ -74,9 +74,12 @@ struct EngineStats {
 /// Multi-threaded batching inference front-end over any NextPoiModel: a
 /// bounded deadline/priority-aware admission queue, a pool of worker
 /// threads, and time/size-based request coalescing. A worker that pops a
-/// request keeps collecting until the batch reaches `max_batch` or the
-/// next-to-serve request has waited `coalesce_window_us`, then serves the
-/// whole batch with one RecommendBatch() call — with TSPN-RA that turns the
+/// request keeps collecting until the batch reaches `max_batch`, the
+/// next-to-serve request has waited `coalesce_window_us`, or waiting any
+/// longer would run the tightest queued deadline out of serving time
+/// (deadline-aware batch formation: the window is capped at that deadline
+/// minus the rolling p95 batch service time), then serves the whole batch
+/// with one RecommendBatch() call — with TSPN-RA that turns the
 /// queue's concurrent single queries into shared GEMMs against the cached
 /// tile/POI matrices.
 ///
@@ -225,6 +228,13 @@ class InferenceEngine {
   /// x full batches ahead of it / worker threads. Zero until the first
   /// batch completes (cold start admits everything).
   double EstimatedWaitMsLocked() const;
+
+  /// When the forming batch must close: the coalesce window measured from
+  /// the next-to-serve request's arrival, capped at the tightest queued
+  /// deadline minus a serve margin (rolling p95 batch time, floored at a
+  /// small constant) so coalescing never expires a feasible request.
+  /// Requires mutex_ held and a non-empty queue.
+  Clock::time_point BatchCloseTimeLocked() const;
 
   /// The eviction victim for an arrival of class `incoming`: the
   /// nearest-deadline entry of the lowest queued class, provided that class

@@ -432,6 +432,150 @@ TEST_F(TspnRaTest, BatchScoresBitwiseMatchSingleQuery) {
   }
 }
 
+TEST_F(TspnRaTest, BatchedEncoderBitwiseMatchesPerSampleEncoderAb) {
+  // The packed one-GEMM encoder forward must reproduce the per-sample
+  // encoder loop (TSPN_DISABLE_BATCHED_ENCODER=1, the seed behavior)
+  // bitwise: same POI ids AND same float scores, across batch sizes
+  // straddling the GEMM tile boundary, on fresh and trained weights, and
+  // with the two-step screen ablated.
+  eval::TrainOptions options;
+  options.epochs = 1;
+  options.max_samples_per_epoch = 24;
+  auto samples = dataset_->Samples(data::Split::kTest);
+  ASSERT_GE(samples.size(), 2u);
+  std::vector<TspnRaConfig> configs;
+  configs.push_back(TinyConfig());
+  {
+    TspnRaConfig c = TinyConfig();
+    c.use_two_step = false;
+    configs.push_back(c);
+  }
+  for (bool trained : {false, true}) {
+    for (const TspnRaConfig& config : configs) {
+      TspnRa model(dataset_, config);
+      if (trained) model.Train(options);
+      for (size_t batch : {size_t{1}, size_t{4}, size_t{7}}) {
+        std::vector<eval::RecommendRequest> requests(batch);
+        for (size_t i = 0; i < batch; ++i) {
+          requests[i].sample = samples[i % samples.size()];
+        }
+        std::vector<eval::RecommendResponse> packed =
+            model.RecommendBatch(common::Span<eval::RecommendRequest>(requests));
+        setenv("TSPN_DISABLE_BATCHED_ENCODER", "1", 1);
+        std::vector<eval::RecommendResponse> serial =
+            model.RecommendBatch(common::Span<eval::RecommendRequest>(requests));
+        unsetenv("TSPN_DISABLE_BATCHED_ENCODER");
+        ASSERT_EQ(packed.size(), serial.size());
+        for (size_t i = 0; i < batch; ++i) {
+          ASSERT_EQ(packed[i].items.size(), serial[i].items.size())
+              << "trained=" << trained << " batch=" << batch << " query " << i;
+          for (size_t r = 0; r < packed[i].items.size(); ++r) {
+            EXPECT_EQ(packed[i].items[r].poi_id, serial[i].items[r].poi_id)
+                << "trained=" << trained << " batch=" << batch << " query "
+                << i << " rank " << r;
+            EXPECT_EQ(packed[i].items[r].score, serial[i].items[r].score)
+                << "trained=" << trained << " batch=" << batch << " query "
+                << i << " rank " << r;
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST_F(TspnRaTest, QuantScoringPreservesTopKExactly) {
+  // TSPN_QUANT_SCORING=1 must not change the recommended top-k on the seed
+  // dataset — and with the int8-screen + fp32-rescue design the guarantee
+  // is bitwise: same POI ids, same scores, same order. The build-time
+  // parity gate replays the first 128 test-split samples (a superset of
+  // the queries below) and must admit int8 on this checkpoint; a rejection
+  // would mean the error-bound rescue has a bug.
+  eval::TrainOptions options;
+  options.epochs = 1;
+  options.max_samples_per_epoch = 24;
+  auto samples = dataset_->Samples(data::Split::kTest);
+  ASSERT_GE(samples.size(), 2u);
+  const size_t count = std::min<size_t>(12, samples.size());
+  for (bool trained : {false, true}) {
+    TspnRa fp32_model(dataset_, TinyConfig());
+    TspnRa quant_model(dataset_, TinyConfig());
+    if (trained) {
+      fp32_model.Train(options);
+      quant_model.Train(options);
+    }
+    std::vector<eval::RecommendRequest> requests(count);
+    for (size_t i = 0; i < count; ++i) requests[i].sample = samples[i];
+    std::vector<eval::RecommendResponse> fp32_batch = fp32_model.RecommendBatch(
+        common::Span<eval::RecommendRequest>(requests));
+    setenv("TSPN_QUANT_SCORING", "1", 1);
+    std::vector<eval::RecommendResponse> quant_batch =
+        quant_model.RecommendBatch(
+            common::Span<eval::RecommendRequest>(requests));
+    EXPECT_TRUE(quant_model.QuantScoringActive())
+        << "the parity gate must admit int8 on the seed checkpoint";
+    for (size_t i = 0; i < count; ++i) {
+      // Serial and batched quant scoring share exact integer accumulation
+      // and the same fp32 rescue: the single-query path must return the
+      // very same items.
+      eval::RecommendResponse single = quant_model.Recommend(requests[i]);
+      ASSERT_EQ(single.items.size(), quant_batch[i].items.size());
+      for (size_t r = 0; r < single.items.size(); ++r) {
+        EXPECT_EQ(single.items[r].poi_id, quant_batch[i].items[r].poi_id);
+        EXPECT_EQ(single.items[r].score, quant_batch[i].items[r].score);
+      }
+      // And against fp32 the response is bitwise-identical: every candidate
+      // that can reach the top-n is rescored in fp32, the rest provably
+      // cannot displace it.
+      ASSERT_EQ(fp32_batch[i].items.size(), quant_batch[i].items.size())
+          << "trained=" << trained << " query " << i;
+      for (size_t r = 0; r < fp32_batch[i].items.size(); ++r) {
+        EXPECT_EQ(fp32_batch[i].items[r].poi_id, quant_batch[i].items[r].poi_id)
+            << "trained=" << trained << " query " << i << " rank " << r;
+        EXPECT_EQ(fp32_batch[i].items[r].score, quant_batch[i].items[r].score)
+            << "trained=" << trained << " query " << i << " rank " << r;
+      }
+    }
+    unsetenv("TSPN_QUANT_SCORING");
+  }
+}
+
+TEST_F(TspnRaTest, QuantScoringInactiveWithoutKnobAndOnAblation) {
+  // Without TSPN_QUANT_SCORING the caches stay fp32-only and
+  // QuantScoringActive() reports it; with the knob, constrained and
+  // no-two-step queries keep returning fp32-identical responses too (the
+  // widening redo and the tc=nullptr fusion paths).
+  auto samples = dataset_->Samples(data::Split::kTest);
+  ASSERT_FALSE(samples.empty());
+  TspnRa model(dataset_, TinyConfig());
+  model.Recommend(samples[0], 10);  // builds fp32 caches
+  EXPECT_FALSE(model.QuantScoringActive());
+
+  TspnRaConfig one_step = TinyConfig();
+  one_step.use_two_step = false;
+  for (const TspnRaConfig& config : {TinyConfig(), one_step}) {
+    TspnRa fp32_model(dataset_, config);
+    setenv("TSPN_QUANT_SCORING", "1", 1);
+    TspnRa quant_model(dataset_, config);
+    for (size_t s = 0; s < std::min<size_t>(4, samples.size()); ++s) {
+      eval::RecommendRequest request;
+      request.sample = samples[s];
+      request.constraints.geo_center = dataset_->profile().bbox.Center();
+      request.constraints.geo_radius_km = 4.0;
+      request.constraints.exclude_visited = true;
+      eval::RecommendResponse quant = quant_model.Recommend(request);
+      unsetenv("TSPN_QUANT_SCORING");
+      eval::RecommendResponse fp32 = fp32_model.Recommend(request);
+      setenv("TSPN_QUANT_SCORING", "1", 1);
+      ASSERT_EQ(quant.items.size(), fp32.items.size()) << "sample " << s;
+      for (size_t r = 0; r < quant.items.size(); ++r) {
+        EXPECT_EQ(quant.items[r].poi_id, fp32.items[r].poi_id);
+        EXPECT_EQ(quant.items[r].score, fp32.items[r].score);
+      }
+    }
+    unsetenv("TSPN_QUANT_SCORING");
+  }
+}
+
 TEST_F(TspnRaTest, ConstrainedQueriesSatisfyPredicatesAndFillTopN) {
   // Filter-before-top-k: every returned POI satisfies the constraints, and
   // the list fills top_n whenever enough allowed candidates exist — the

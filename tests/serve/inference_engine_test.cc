@@ -539,6 +539,45 @@ TEST(InferenceEngineAdmissionTest, ServesPriorityThenEarliestDeadlineFirst) {
   EXPECT_EQ(order, expected);
 }
 
+TEST(InferenceEngineAdmissionTest, TightDeadlineShortensCoalesceWindow) {
+  // Deadline-aware batch formation: with a coalesce window far longer than
+  // the request's deadline, the worker must close the batch early (deadline
+  // minus serve margin) and serve the request instead of letting it expire
+  // while the window runs out.
+  SlowModel model;  // 40 ms per batch: a real, measurable service time
+  EngineOptions options = AdmissionOptions(16, 8);
+  options.coalesce_window_us = 2000000;  // 2 s: never reached in this test
+  InferenceEngine engine(model, options);
+
+  AdmissionClass tight;
+  tight.deadline_ms = 250;
+  const auto start = std::chrono::steady_clock::now();
+  auto future = engine.Submit(TrivialRequest(), tight);
+  EXPECT_NO_THROW(future.get());  // served, not kExpired
+  const double elapsed_ms = std::chrono::duration<double, std::milli>(
+                                std::chrono::steady_clock::now() - start)
+                                .count();
+  // Served within the deadline budget, nowhere near the 2 s window.
+  EXPECT_LT(elapsed_ms, 1000.0);
+
+  // A deadline-less request still honours the full window: submit two
+  // together and check they coalesced into one batch (the first's arrival
+  // opens the window; the second lands inside it).
+  auto a = engine.Submit(TrivialRequest(), AdmissionClass{});
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  auto b = engine.Submit(TrivialRequest(), AdmissionClass{});
+  AdmissionClass closer;
+  closer.deadline_ms = 300;  // third arrival's deadline closes the batch
+  auto c = engine.Submit(TrivialRequest(), closer);
+  a.get();
+  b.get();
+  c.get();
+  const EngineStats stats = engine.GetStats();
+  EXPECT_EQ(stats.completed, 4);
+  EXPECT_EQ(stats.expired_in_queue, 0);
+  EXPECT_GE(stats.max_batch_observed, 3);  // the trio really coalesced
+}
+
 TEST(InferenceEngineAdmissionTest, InfeasibleDeadlineRefusedAtSubmit) {
   SlowModel model;
   InferenceEngine engine(model, AdmissionOptions(16, 1));
