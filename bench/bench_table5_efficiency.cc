@@ -8,13 +8,20 @@
 // worker pool with request coalescing.
 
 #include <algorithm>
+#include <cstdio>
 #include <cstdlib>
 #include <future>
+#include <unistd.h>
 
 #include "bench/bench_common.h"
 #include "common/percentile.h"
 #include "common/span.h"
 #include "eval/efficiency.h"
+#include "eval/model_registry.h"
+#include "serve/cluster/shard_router.h"
+#include "serve/frame_client.h"
+#include "serve/frame_server.h"
+#include "serve/gateway.h"
 #include "serve/inference_engine.h"
 
 namespace {
@@ -402,6 +409,129 @@ void RunScreenStress(std::shared_ptr<data::CityDataset> dataset,
   RunThroughput(tspn, *dataset, settings, reporter);
 }
 
+/// Sequential wire round-trips through an already-connected client; one
+/// latency sample per call.
+ThroughputResult MeasureWire(serve::FrameClient& client,
+                             const std::vector<std::vector<uint8_t>>& frames) {
+  ThroughputResult r;
+  std::vector<double> latencies;
+  latencies.reserve(frames.size());
+  common::Stopwatch total;
+  for (const std::vector<uint8_t>& frame : frames) {
+    common::Stopwatch call;
+    if (client.Call(frame).empty()) return r;  // zeros flag the failure
+    latencies.push_back(call.ElapsedSeconds() * 1000.0);
+  }
+  const double seconds = total.ElapsedSeconds();
+  r.qps = seconds > 0.0 ? static_cast<double>(frames.size()) / seconds : 0.0;
+  r.p50_ms = common::PercentileOf(latencies, 0.50);
+  r.p95_ms = common::PercentileOf(latencies, 0.95);
+  return r;
+}
+
+/// Router-overhead row: the same shard process serving the same frames
+/// directly vs through a ShardRouter hop (both legs on unix-domain
+/// sockets), so the qps/percentile delta is exactly the router tier's cost
+/// — decode, ring lookup, token bucket, breaker, and one extra socket hop.
+void RunRouterOverhead(std::shared_ptr<data::CityDataset> dataset,
+                       const bench::BenchSettings& settings,
+                       bench::JsonReporter& reporter) {
+  eval::ModelOptions model_options;
+  model_options.dm = 16;
+  model_options.seed = settings.seed;
+  model_options.image_resolution = 16;
+  const std::string checkpoint =
+      "/tmp/bench_router_" + std::to_string(::getpid()) + ".ckpt";
+  {
+    auto model =
+        eval::ModelRegistry::Global().Create("TSPN-RA", dataset, model_options);
+    eval::TrainOptions train;
+    train.epochs = 1;
+    train.max_samples_per_epoch = 24;
+    model->Train(train);
+    model->SaveCheckpoint(checkpoint);
+  }
+
+  serve::DeployConfig config;
+  config.model_name = "TSPN-RA";
+  config.dataset = dataset;
+  config.checkpoint_path = checkpoint;
+  config.model_options = model_options.ToKeyValues();
+  config.engine_options.num_threads = 2;
+  config.engine_options.coalesce_window_us = 0;  // latency-leaning drain
+  serve::Gateway gateway;
+  if (!gateway.Deploy("city", config)) {
+    std::fprintf(stderr, "  [router] shard deploy failed; row skipped\n");
+    std::remove(checkpoint.c_str());
+    return;
+  }
+  const std::string shard_path =
+      "/tmp/bench_router_shard_" + std::to_string(::getpid()) + ".sock";
+  serve::FrameServerOptions shard_server_options;
+  shard_server_options.io_threads = 1;
+  shard_server_options.unix_path = shard_path;
+  serve::FrameServer shard_server(gateway, shard_server_options);
+  if (!shard_server.Start()) {
+    std::fprintf(stderr, "  [router] shard listen failed; row skipped\n");
+    std::remove(checkpoint.c_str());
+    return;
+  }
+
+  serve::cluster::RouterOptions router_options;
+  router_options.shards.push_back(serve::cluster::ShardConfig{
+      "shard0", common::SocketAddress::Unix(shard_path)});
+  router_options.ping_interval_ms = 0;
+  serve::cluster::ShardRouter router(router_options);
+  router.Start();
+  const std::string router_path =
+      "/tmp/bench_router_front_" + std::to_string(::getpid()) + ".sock";
+  serve::FrameServerOptions front_options;
+  front_options.io_threads = 1;
+  front_options.unix_path = router_path;
+  serve::FrameServer front(router, front_options);
+  front.Start();
+
+  std::vector<data::SampleRef> samples = dataset->Samples(data::Split::kTest);
+  const size_t count =
+      std::min<size_t>(samples.size(),
+                       settings.eval_samples > 0
+                           ? static_cast<size_t>(settings.eval_samples)
+                           : samples.size());
+  std::vector<std::vector<uint8_t>> frames;
+  frames.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    eval::RecommendRequest request;
+    request.sample = samples[i];
+    request.top_n = 10;
+    frames.push_back(serve::EncodeRecommendRequest("city", request));
+  }
+
+  std::printf("\n== Router overhead (direct shard vs via-router, %zu queries, "
+              "unix sockets) ==\n",
+              frames.size());
+  serve::FrameClient direct;
+  serve::FrameClient routed;
+  if (direct.Connect(common::SocketAddress::Unix(shard_path)) &&
+      routed.Connect(common::SocketAddress::Unix(router_path))) {
+    MeasureWire(direct, frames);  // warm-up: caches, pools, allocator
+    MeasureWire(routed, frames);
+    const ThroughputResult direct_r = MeasureWire(direct, frames);
+    const ThroughputResult routed_r = MeasureWire(routed, frames);
+    ReportThroughput(reporter, "shard-direct", direct_r, direct_r.qps);
+    ReportThroughput(reporter, "via-router", routed_r, direct_r.qps);
+    std::printf("  [router] p50 overhead %+.3f ms, p95 %+.3f ms per query\n",
+                routed_r.p50_ms - direct_r.p50_ms,
+                routed_r.p95_ms - direct_r.p95_ms);
+  } else {
+    std::fprintf(stderr, "  [router] connect failed; row skipped\n");
+  }
+
+  front.Stop();
+  router.Stop();
+  shard_server.Stop();
+  std::remove(checkpoint.c_str());
+}
+
 }  // namespace
 
 int main() {
@@ -417,6 +547,7 @@ int main() {
                 bench::MakeDataset(data::CityProfile::FoursquareTky()), settings,
                 reporter);
   RunScreenStress(nyc, settings, reporter);
+  RunRouterOverhead(nyc, settings, reporter);
   reporter.Write();
   std::printf("\nShape check vs paper Table V: STAN trains slowest (O(L^2) "
               "interval matrices over a long window); HMT-GRN infers slowest "

@@ -2,11 +2,13 @@
 
 #include <arpa/inet.h>
 #include <cerrno>
+#include <cstdlib>
 #include <cstring>
 #include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/socket.h>
+#include <sys/un.h>
 #include <unistd.h>
 
 namespace tspn::common {
@@ -35,7 +37,145 @@ bool FillAddr(const std::string& host, uint16_t port, sockaddr_in* addr,
   return false;
 }
 
+/// Fills an AF_UNIX sockaddr; the path must fit sun_path with its NUL.
+bool FillUnixAddr(const std::string& path, sockaddr_un* addr,
+                  std::string* error) {
+  std::memset(addr, 0, sizeof(*addr));
+  addr->sun_family = AF_UNIX;
+  if (path.empty() || path.size() >= sizeof(addr->sun_path)) {
+    if (error != nullptr) {
+      *error = "unix socket path '" + path + "' is empty or longer than " +
+               std::to_string(sizeof(addr->sun_path) - 1) + " bytes";
+    }
+    return false;
+  }
+  std::memcpy(addr->sun_path, path.c_str(), path.size() + 1);
+  return true;
+}
+
+UniqueFd ListenUnix(const std::string& path, int backlog, std::string* error) {
+  sockaddr_un addr;
+  if (!FillUnixAddr(path, &addr, error)) return UniqueFd();
+  UniqueFd fd(::socket(AF_UNIX, SOCK_STREAM, 0));
+  if (!fd.valid()) {
+    SetError(error, "socket(AF_UNIX)");
+    return UniqueFd();
+  }
+  // A previous owner that crashed leaves the socket file behind and bind
+  // would fail with EADDRINUSE forever; the new listener owns the path.
+  ::unlink(path.c_str());
+  if (::bind(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) < 0) {
+    SetError(error, "bind " + path);
+    return UniqueFd();
+  }
+  if (::listen(fd.get(), backlog) < 0) {
+    SetError(error, "listen " + path);
+    return UniqueFd();
+  }
+  if (!SetNonBlocking(fd.get(), error)) return UniqueFd();
+  return fd;
+}
+
+UniqueFd ConnectUnix(const std::string& path, std::string* error) {
+  sockaddr_un addr;
+  if (!FillUnixAddr(path, &addr, error)) return UniqueFd();
+  UniqueFd fd(::socket(AF_UNIX, SOCK_STREAM, 0));
+  if (!fd.valid()) {
+    SetError(error, "socket(AF_UNIX)");
+    return UniqueFd();
+  }
+  int rc;
+  do {
+    rc = ::connect(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+                   sizeof(addr));
+  } while (rc < 0 && errno == EINTR);
+  if (rc < 0) {
+    SetError(error, "connect " + path);
+    return UniqueFd();
+  }
+  return fd;
+}
+
 }  // namespace
+
+SocketAddress SocketAddress::Tcp(std::string host, uint16_t port) {
+  SocketAddress a;
+  a.kind = Kind::kTcp;
+  a.host = std::move(host);
+  a.port = port;
+  return a;
+}
+
+SocketAddress SocketAddress::Unix(std::string path) {
+  SocketAddress a;
+  a.kind = Kind::kUnix;
+  a.path = std::move(path);
+  return a;
+}
+
+std::string SocketAddress::ToString() const {
+  if (kind == Kind::kUnix) return "unix://" + path;
+  return "tcp://" + host + ":" + std::to_string(port);
+}
+
+bool SocketAddress::Parse(const std::string& text, SocketAddress* out,
+                          std::string* error) {
+  std::string rest = text;
+  bool is_unix = false;
+  if (rest.rfind("unix://", 0) == 0) {
+    is_unix = true;
+    rest = rest.substr(7);
+  } else if (rest.rfind("tcp://", 0) == 0) {
+    rest = rest.substr(6);
+  }
+  if (is_unix) {
+    if (rest.empty()) {
+      if (error != nullptr) *error = "empty unix socket path in '" + text + "'";
+      return false;
+    }
+    *out = Unix(rest);
+    return true;
+  }
+  const size_t colon = rest.rfind(':');
+  if (colon == std::string::npos || colon + 1 >= rest.size()) {
+    if (error != nullptr) {
+      *error = "address '" + text + "' is not host:port or unix://path";
+    }
+    return false;
+  }
+  char* end = nullptr;
+  const unsigned long port = std::strtoul(rest.c_str() + colon + 1, &end, 10);
+  if (end == nullptr || *end != '\0' || port > 65535) {
+    if (error != nullptr) *error = "bad port in address '" + text + "'";
+    return false;
+  }
+  *out = Tcp(rest.substr(0, colon), static_cast<uint16_t>(port));
+  return true;
+}
+
+UniqueFd ListenOn(const SocketAddress& address, int backlog,
+                  SocketAddress* bound, std::string* error) {
+  if (address.kind == SocketAddress::Kind::kUnix) {
+    UniqueFd fd = ListenUnix(address.path, backlog, error);
+    if (fd.valid() && bound != nullptr) *bound = address;
+    return fd;
+  }
+  uint16_t bound_port = 0;
+  UniqueFd fd =
+      ListenTcp(address.host, address.port, backlog, &bound_port, error);
+  if (fd.valid() && bound != nullptr) {
+    *bound = SocketAddress::Tcp(address.host, bound_port);
+  }
+  return fd;
+}
+
+UniqueFd ConnectTo(const SocketAddress& address, std::string* error) {
+  if (address.kind == SocketAddress::Kind::kUnix) {
+    return ConnectUnix(address.path, error);
+  }
+  return ConnectTcp(address.host, address.port, error);
+}
 
 void UniqueFd::Reset(int fd) {
   if (fd_ >= 0) ::close(fd_);

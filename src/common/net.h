@@ -50,9 +50,52 @@ class UniqueFd {
 /// fcntl failure.
 bool SetNonBlocking(int fd, std::string* error = nullptr);
 
-/// Opens a TCP listener bound to host:port (port 0 picks an ephemeral port;
-/// the actual one is written to *bound_port). Returns an invalid UniqueFd
-/// with *error set on failure. The socket is non-blocking with SO_REUSEADDR.
+/// One transport endpoint the serving stack can listen on or connect to —
+/// the seam that lets FrameServer/FrameClient ride either TCP (cross-host)
+/// or a unix-domain socket (the co-located-shard fast path: no TCP stack,
+/// no ports to allocate, filesystem permissions for access control).
+struct SocketAddress {
+  enum class Kind : uint8_t {
+    kTcp = 0,   ///< host:port over IPv4 loopback/LAN
+    kUnix = 1,  ///< filesystem path (SOCK_STREAM AF_UNIX)
+  };
+
+  Kind kind = Kind::kTcp;
+  std::string host = "127.0.0.1";  ///< kTcp: dotted-quad IPv4
+  uint16_t port = 0;               ///< kTcp: 0 binds ephemeral
+  std::string path;                ///< kUnix: socket path (sun_path-bounded)
+
+  static SocketAddress Tcp(std::string host, uint16_t port);
+  static SocketAddress Unix(std::string path);
+
+  /// "tcp://127.0.0.1:4217" or "unix:///tmp/shard0.sock" — the canonical
+  /// spelling Parse accepts, for CLI flags and log lines.
+  std::string ToString() const;
+
+  /// Inverse of ToString. A bare "host:port" is accepted as TCP shorthand.
+  /// False with *error set on anything else.
+  static bool Parse(const std::string& text, SocketAddress* out,
+                    std::string* error = nullptr);
+};
+
+/// Opens a listener on the address (either kind). TCP port 0 picks an
+/// ephemeral port; *bound (when non-null) reports the actual address. A
+/// unix address unlinks any stale socket file at the path first, and the
+/// file is NOT removed on close — owners that care run ::unlink on
+/// shutdown. Invalid UniqueFd with *error set on failure; the socket is
+/// non-blocking (TCP adds SO_REUSEADDR).
+UniqueFd ListenOn(const SocketAddress& address, int backlog,
+                  SocketAddress* bound, std::string* error = nullptr);
+
+/// Blocking connect to the address (either kind). Invalid UniqueFd with
+/// *error on failure. TCP sockets get TCP_NODELAY; the returned socket is
+/// in blocking mode either way.
+UniqueFd ConnectTo(const SocketAddress& address, std::string* error = nullptr);
+
+/// TCP-only convenience over ListenOn: listener bound to host:port (port 0
+/// picks an ephemeral port; the actual one is written to *bound_port).
+/// Returns an invalid UniqueFd with *error set on failure. The socket is
+/// non-blocking with SO_REUSEADDR.
 UniqueFd ListenTcp(const std::string& host, uint16_t port, int backlog,
                    uint16_t* bound_port, std::string* error = nullptr);
 

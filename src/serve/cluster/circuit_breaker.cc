@@ -1,0 +1,78 @@
+#include "serve/cluster/circuit_breaker.h"
+
+#include <algorithm>
+
+namespace tspn::serve::cluster {
+
+CircuitBreaker::CircuitBreaker(CircuitBreakerOptions options)
+    : options_{std::max(1, options.failure_threshold),
+               std::max<int64_t>(0, options.open_cooldown_ms)} {}
+
+bool CircuitBreaker::Allow() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  switch (state_) {
+    case State::kClosed:
+      return true;
+    case State::kOpen: {
+      const auto cooldown = std::chrono::milliseconds(options_.open_cooldown_ms);
+      if (Clock::now() - opened_at_ < cooldown) return false;
+      state_ = State::kHalfOpen;
+      probe_in_flight_ = true;
+      return true;  // this caller is the probe
+    }
+    case State::kHalfOpen:
+      // One probe at a time: admit a new one only if no probe is out
+      // (its owner died without reporting — don't wedge forever).
+      if (probe_in_flight_) return false;
+      probe_in_flight_ = true;
+      return true;
+  }
+  return false;
+}
+
+void CircuitBreaker::RecordSuccess() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  state_ = State::kClosed;
+  consecutive_failures_ = 0;
+  probe_in_flight_ = false;
+}
+
+void CircuitBreaker::RecordFailure() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (state_ == State::kHalfOpen) {
+    // The recovery probe failed: back to a full cooldown.
+    state_ = State::kOpen;
+    opened_at_ = Clock::now();
+    probe_in_flight_ = false;
+    ++trips_;
+    return;
+  }
+  if (state_ == State::kOpen) return;  // already open; nothing to count
+  if (++consecutive_failures_ >= options_.failure_threshold) {
+    state_ = State::kOpen;
+    opened_at_ = Clock::now();
+    consecutive_failures_ = 0;
+    ++trips_;
+  }
+}
+
+CircuitBreaker::State CircuitBreaker::state() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return state_;
+}
+
+int64_t CircuitBreaker::trips() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return trips_;
+}
+
+const char* CircuitBreaker::StateName(State state) {
+  switch (state) {
+    case State::kClosed: return "closed";
+    case State::kOpen: return "open";
+    case State::kHalfOpen: return "half-open";
+  }
+  return "unknown";
+}
+
+}  // namespace tspn::serve::cluster

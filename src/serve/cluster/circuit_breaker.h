@@ -1,0 +1,68 @@
+#ifndef TSPN_SERVE_CLUSTER_CIRCUIT_BREAKER_H_
+#define TSPN_SERVE_CLUSTER_CIRCUIT_BREAKER_H_
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+
+namespace tspn::serve::cluster {
+
+struct CircuitBreakerOptions {
+  /// Consecutive failures that trip the breaker open.
+  int failure_threshold = 3;
+
+  /// How long an open breaker blocks traffic before it admits one
+  /// half-open probe.
+  int64_t open_cooldown_ms = 1000;
+};
+
+/// Per-shard circuit breaker: closed -> open -> half-open.
+///
+///  * closed: traffic flows; `failure_threshold` consecutive failures trip
+///    it open (a success resets the streak);
+///  * open: Allow() refuses instantly — no connect timeouts burned on a
+///    shard known to be down — until `open_cooldown_ms` elapses;
+///  * half-open: the first Allow() after the cooldown admits exactly ONE
+///    probe; its success closes the breaker, its failure re-opens it for
+///    another cooldown. Other callers keep being refused while the probe
+///    is out, so a recovering shard is never stampeded.
+///
+/// Thread-safe; every transition happens under the mutex.
+class CircuitBreaker {
+ public:
+  enum class State : uint8_t { kClosed = 0, kOpen = 1, kHalfOpen = 2 };
+
+  explicit CircuitBreaker(
+      CircuitBreakerOptions options = CircuitBreakerOptions());
+
+  /// Whether a caller may attempt the shard right now. May transition
+  /// open -> half-open (and then admits only that one probe).
+  bool Allow();
+
+  /// Reports the attempt's outcome. Success closes from any state;
+  /// failure counts toward the threshold (closed) or re-opens (half-open).
+  void RecordSuccess();
+  void RecordFailure();
+
+  State state() const;
+
+  /// Times the breaker tripped open (closed/half-open -> open).
+  int64_t trips() const;
+
+  static const char* StateName(State state);
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  const CircuitBreakerOptions options_;
+  mutable std::mutex mutex_;
+  State state_ = State::kClosed;
+  int consecutive_failures_ = 0;
+  bool probe_in_flight_ = false;
+  int64_t trips_ = 0;
+  Clock::time_point opened_at_{};
+};
+
+}  // namespace tspn::serve::cluster
+
+#endif  // TSPN_SERVE_CLUSTER_CIRCUIT_BREAKER_H_

@@ -1,0 +1,65 @@
+#include "serve/cluster/hash_ring.h"
+
+#include <algorithm>
+
+namespace tspn::serve::cluster {
+
+uint64_t StableHash64(const std::string& key) {
+  // FNV-1a 64, then a splitmix64 finalizer: FNV alone clusters similar
+  // keys ("shard0#1" vs "shard0#2") on the ring; the finalizer shears the
+  // low-entropy tails apart.
+  uint64_t h = 1469598103934665603ULL;
+  for (const char c : key) {
+    h ^= static_cast<uint8_t>(c);
+    h *= 1099511628211ULL;
+  }
+  h ^= h >> 30;
+  h *= 0xbf58476d1ce4e5b9ULL;
+  h ^= h >> 27;
+  h *= 0x94d049bb133111ebULL;
+  h ^= h >> 31;
+  return h;
+}
+
+HashRing::HashRing(int virtual_nodes)
+    : virtual_nodes_(std::max(1, virtual_nodes)) {}
+
+void HashRing::AddShard(const std::string& shard_id) {
+  // Probe one vnode to spot a duplicate add: every vnode of a shard is
+  // keyed off the id, so vnode 0 present means they all are.
+  if (ring_.count(StableHash64(shard_id + "#0")) != 0) return;
+  for (int i = 0; i < virtual_nodes_; ++i) {
+    ring_.emplace(StableHash64(shard_id + "#" + std::to_string(i)), shard_id);
+  }
+  ++shards_;
+}
+
+bool HashRing::RemoveShard(const std::string& shard_id) {
+  bool removed = false;
+  for (int i = 0; i < virtual_nodes_; ++i) {
+    removed |=
+        ring_.erase(StableHash64(shard_id + "#" + std::to_string(i))) > 0;
+  }
+  if (removed) --shards_;
+  return removed;
+}
+
+std::vector<std::string> HashRing::ShardsFor(const std::string& key,
+                                             size_t replicas) const {
+  std::vector<std::string> owners;
+  if (ring_.empty() || replicas == 0) return owners;
+  owners.reserve(std::min(replicas, shards_));
+  auto it = ring_.lower_bound(StableHash64(key));
+  // Clockwise walk with wraparound, collecting distinct shards; one full
+  // lap visits every vnode, so the loop always terminates.
+  for (size_t steps = 0; steps < ring_.size() && owners.size() < replicas;
+       ++steps, ++it) {
+    if (it == ring_.end()) it = ring_.begin();
+    if (std::find(owners.begin(), owners.end(), it->second) == owners.end()) {
+      owners.push_back(it->second);
+    }
+  }
+  return owners;
+}
+
+}  // namespace tspn::serve::cluster

@@ -1,0 +1,53 @@
+#ifndef TSPN_SERVE_CLUSTER_HASH_RING_H_
+#define TSPN_SERVE_CLUSTER_HASH_RING_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace tspn::serve::cluster {
+
+/// Stable 64-bit FNV-1a over the key bytes — deterministic across builds
+/// and processes, so a driver can predict which shard owns a key without
+/// asking the router (cluster_demo uses exactly that to verify parity).
+uint64_t StableHash64(const std::string& key);
+
+/// Consistent-hash ring with virtual nodes: each shard is hashed onto the
+/// ring `virtual_nodes` times ("shard#0", "shard#1", ...), a key is owned
+/// by the first vnode clockwise from its hash, and replicas are the next
+/// DISTINCT shards continuing clockwise. Virtual nodes smooth the key
+/// distribution (more vnodes, lower variance) and spread a removed shard's
+/// keyspace across the survivors instead of dumping it on one neighbour.
+///
+/// Not thread-safe by itself; ShardRouter builds the ring once at Start and
+/// only reads it afterwards.
+class HashRing {
+ public:
+  explicit HashRing(int virtual_nodes = 64);
+
+  /// Adds a shard's vnodes. Duplicate ids are a no-op.
+  void AddShard(const std::string& shard_id);
+
+  /// Removes a shard's vnodes; false when the shard was never added.
+  bool RemoveShard(const std::string& shard_id);
+
+  size_t shard_count() const { return shards_; }
+  bool empty() const { return ring_.empty(); }
+
+  /// The key's owner plus the next `replicas - 1` distinct shards clockwise
+  /// — the failover order for this key. Fewer than `replicas` entries when
+  /// the ring has fewer shards; empty on an empty ring.
+  std::vector<std::string> ShardsFor(const std::string& key,
+                                     size_t replicas) const;
+
+ private:
+  int virtual_nodes_;
+  size_t shards_ = 0;
+  /// vnode position -> shard id, ordered — lower_bound is the clockwise walk.
+  std::map<uint64_t, std::string> ring_;
+};
+
+}  // namespace tspn::serve::cluster
+
+#endif  // TSPN_SERVE_CLUSTER_HASH_RING_H_

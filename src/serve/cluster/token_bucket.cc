@@ -1,0 +1,36 @@
+#include "serve/cluster/token_bucket.h"
+
+#include <algorithm>
+
+namespace tspn::serve::cluster {
+
+TokenBucket::TokenBucket(double rate_per_s, double burst)
+    : rate_per_s_(rate_per_s),
+      burst_(std::max(1.0, burst)),
+      tokens_(burst_),
+      last_refill_(Clock::now()) {}
+
+void TokenBucket::RefillLocked() {
+  const Clock::time_point now = Clock::now();
+  const double elapsed_s =
+      std::chrono::duration<double>(now - last_refill_).count();
+  last_refill_ = now;
+  tokens_ = std::min(burst_, tokens_ + elapsed_s * rate_per_s_);
+}
+
+bool TokenBucket::TryAcquire(double tokens) {
+  if (rate_per_s_ <= 0.0) return true;  // limiting disabled
+  std::lock_guard<std::mutex> lock(mutex_);
+  RefillLocked();
+  if (tokens_ < tokens) return false;
+  tokens_ -= tokens;
+  return true;
+}
+
+double TokenBucket::available() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  RefillLocked();
+  return tokens_;
+}
+
+}  // namespace tspn::serve::cluster

@@ -1,0 +1,41 @@
+#ifndef TSPN_SERVE_CLUSTER_TOKEN_BUCKET_H_
+#define TSPN_SERVE_CLUSTER_TOKEN_BUCKET_H_
+
+#include <chrono>
+#include <mutex>
+
+namespace tspn::serve::cluster {
+
+/// Classic token bucket: `rate_per_s` tokens drip in continuously up to a
+/// cap of `burst`, and each admitted request takes one. Starts full, so a
+/// cold endpoint can absorb one full burst instantly. Refill is computed
+/// lazily on acquire from the elapsed time — no timer thread.
+///
+/// Thread-safe; the router keeps one per endpoint for kRateLimited
+/// admission control.
+class TokenBucket {
+ public:
+  /// rate_per_s <= 0 disables limiting (TryAcquire always succeeds).
+  TokenBucket(double rate_per_s, double burst);
+
+  /// Takes `tokens` if available; false (no partial take) otherwise.
+  bool TryAcquire(double tokens = 1.0);
+
+  /// Tokens currently available (after refill), for tests/telemetry.
+  double available();
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  void RefillLocked();
+
+  const double rate_per_s_;
+  const double burst_;
+  std::mutex mutex_;
+  double tokens_;
+  Clock::time_point last_refill_;
+};
+
+}  // namespace tspn::serve::cluster
+
+#endif  // TSPN_SERVE_CLUSTER_TOKEN_BUCKET_H_

@@ -12,6 +12,7 @@ namespace {
 constexpr uint32_t kMaxCategories = 1u << 20;
 constexpr uint32_t kMaxItems = 1u << 20;
 constexpr uint32_t kMaxErrorLen = 4096;
+constexpr uint32_t kMaxStatsEndpoints = 4096;
 
 /// Starts a frame at the given wire version, returning the offset of the
 /// payload-length field so FinishFrame can back-patch it once the payload
@@ -53,9 +54,16 @@ DecodeStatus OpenFrame(common::ByteReader& reader, FrameType want,
   if (!reader.Pod(&payload_len)) return DecodeStatus::kTruncated;
   if (reader.Remaining() < payload_len) return DecodeStatus::kTruncated;
   if (reader.Remaining() > payload_len) return DecodeStatus::kTrailingGarbage;
-  if (type != static_cast<uint8_t>(FrameType::kRequest) &&
-      type != static_cast<uint8_t>(FrameType::kResponse) &&
-      type != static_cast<uint8_t>(FrameType::kError)) {
+  const bool known_v1 = type == static_cast<uint8_t>(FrameType::kRequest) ||
+                        type == static_cast<uint8_t>(FrameType::kResponse) ||
+                        type == static_cast<uint8_t>(FrameType::kError);
+  // The v3 control frames may only appear in v3+ frames: a v1/v2 frame
+  // claiming one is malformed, exactly as a v2-era decoder would judge it.
+  const bool known_v3 = type == static_cast<uint8_t>(FrameType::kPing) ||
+                        type == static_cast<uint8_t>(FrameType::kPong) ||
+                        type == static_cast<uint8_t>(FrameType::kStatsRequest) ||
+                        type == static_cast<uint8_t>(FrameType::kStatsResponse);
+  if (!known_v1 && !(known_v3 && version >= 3)) {
     return DecodeStatus::kMalformedPayload;
   }
   if (type != static_cast<uint8_t>(want)) return DecodeStatus::kWrongFrameType;
@@ -139,6 +147,8 @@ const char* ErrorCodeName(ErrorCode code) {
     case ErrorCode::kExpired: return "kExpired";
     case ErrorCode::kModelFailure: return "kModelFailure";
     case ErrorCode::kTransport: return "kTransport";
+    case ErrorCode::kShardUnavailable: return "kShardUnavailable";
+    case ErrorCode::kRateLimited: return "kRateLimited";
   }
   return "kUnknown";
 }
@@ -148,7 +158,9 @@ DecodeStatus PeekFrameType(const std::vector<uint8_t>& frame, FrameType* type) {
   // is the header's verdict; kWrongFrameType against kRequest means the
   // header is valid but of another type, so retry identifies it.
   for (FrameType candidate :
-       {FrameType::kRequest, FrameType::kResponse, FrameType::kError}) {
+       {FrameType::kRequest, FrameType::kResponse, FrameType::kError,
+        FrameType::kPing, FrameType::kPong, FrameType::kStatsRequest,
+        FrameType::kStatsResponse}) {
     common::ByteReader r(frame);
     const DecodeStatus status = OpenFrame(r, candidate);
     if (status == DecodeStatus::kOk) {
@@ -293,7 +305,12 @@ std::vector<uint8_t> EncodeErrorFrame(const std::string& message) {
 std::vector<uint8_t> EncodeErrorFrame(const std::string& message,
                                       ErrorCode code) {
   common::ByteWriter w;
-  const size_t length_offset = BeginFrame(w, FrameType::kError, 2);
+  // Codes 0..8 keep the v2 layout a v2-era client decodes; the router-tier
+  // codes (9+) did not exist in v2 and must travel at v3 — the lowest
+  // version that can represent them.
+  const uint32_t version =
+      static_cast<uint8_t>(code) > kMaxErrorCodeV2 ? 3u : 2u;
+  const size_t length_offset = BeginFrame(w, FrameType::kError, version);
   w.String(message.size() > kMaxErrorLen ? message.substr(0, kMaxErrorLen)
                                          : message);
   w.Pod(static_cast<uint8_t>(code));
@@ -319,7 +336,9 @@ DecodeStatus DecodeErrorFrame(const std::vector<uint8_t>& frame,
   ErrorCode decoded_code = ErrorCode::kGeneric;
   if (version >= 2) {
     uint8_t raw = 0;
-    if (!reader.Pod(&raw) || raw > kMaxErrorCode) {
+    // A v2 frame may not smuggle a v3-era code: the cap is per-version.
+    const uint8_t cap = version >= 3 ? kMaxErrorCode : kMaxErrorCodeV2;
+    if (!reader.Pod(&raw) || raw > cap) {
       return DecodeStatus::kMalformedPayload;
     }
     decoded_code = static_cast<ErrorCode>(raw);
@@ -327,6 +346,124 @@ DecodeStatus DecodeErrorFrame(const std::vector<uint8_t>& frame,
   if (reader.Remaining() != 0) return DecodeStatus::kTrailingGarbage;
   *message = std::move(decoded);
   if (code != nullptr) *code = decoded_code;
+  return DecodeStatus::kOk;
+}
+
+namespace {
+
+/// Shared body of the two nonce-echo frames.
+std::vector<uint8_t> EncodeNonceFrame(FrameType type, uint64_t nonce) {
+  common::ByteWriter w;
+  const size_t length_offset = BeginFrame(w, type, 3);
+  w.Pod(nonce);
+  FinishFrame(w, length_offset);
+  return w.Take();
+}
+
+DecodeStatus DecodeNonceFrame(const std::vector<uint8_t>& frame,
+                              FrameType want, uint64_t* nonce) {
+  common::ByteReader reader(frame);
+  const DecodeStatus header = OpenFrame(reader, want);
+  if (header != DecodeStatus::kOk) return header;
+  uint64_t decoded = 0;
+  if (!reader.Pod(&decoded)) return DecodeStatus::kMalformedPayload;
+  if (reader.Remaining() != 0) return DecodeStatus::kTrailingGarbage;
+  *nonce = decoded;
+  return DecodeStatus::kOk;
+}
+
+}  // namespace
+
+std::vector<uint8_t> EncodePingFrame(uint64_t nonce) {
+  return EncodeNonceFrame(FrameType::kPing, nonce);
+}
+
+DecodeStatus DecodePingFrame(const std::vector<uint8_t>& frame,
+                             uint64_t* nonce) {
+  return DecodeNonceFrame(frame, FrameType::kPing, nonce);
+}
+
+std::vector<uint8_t> EncodePongFrame(uint64_t nonce) {
+  return EncodeNonceFrame(FrameType::kPong, nonce);
+}
+
+DecodeStatus DecodePongFrame(const std::vector<uint8_t>& frame,
+                             uint64_t* nonce) {
+  return DecodeNonceFrame(frame, FrameType::kPong, nonce);
+}
+
+std::vector<uint8_t> EncodeStatsRequest() {
+  common::ByteWriter w;
+  const size_t length_offset = BeginFrame(w, FrameType::kStatsRequest, 3);
+  FinishFrame(w, length_offset);
+  return w.Take();
+}
+
+DecodeStatus DecodeStatsRequest(const std::vector<uint8_t>& frame) {
+  common::ByteReader reader(frame);
+  const DecodeStatus header = OpenFrame(reader, FrameType::kStatsRequest);
+  if (header != DecodeStatus::kOk) return header;
+  if (reader.Remaining() != 0) return DecodeStatus::kTrailingGarbage;
+  return DecodeStatus::kOk;
+}
+
+std::vector<uint8_t> EncodeStatsResponse(const WireStatsSnapshot& snapshot) {
+  common::ByteWriter w;
+  const size_t length_offset = BeginFrame(w, FrameType::kStatsResponse, 3);
+  w.Pod(static_cast<uint32_t>(snapshot.endpoints.size()));
+  for (const WireEndpointStats& e : snapshot.endpoints) {
+    w.String(e.endpoint);
+    w.String(e.model_name);
+    w.Pod(e.queue_depth);
+    w.Pod(e.lifetime_submitted);
+    w.Pod(e.lifetime_completed);
+    w.Pod(e.lifetime_rejected);
+    w.Pod(e.shed_deadline);
+    w.Pod(e.shed_capacity);
+    w.Pod(e.expired_in_queue);
+    w.Pod(e.degraded);
+    w.Pod(e.swaps);
+    w.Pod(static_cast<uint8_t>(e.degraded_now ? 1 : 0));
+    w.Pod(e.qps);
+    w.Pod(e.p50_latency_ms);
+    w.Pod(e.p95_latency_ms);
+  }
+  FinishFrame(w, length_offset);
+  return w.Take();
+}
+
+DecodeStatus DecodeStatsResponse(const std::vector<uint8_t>& frame,
+                                 WireStatsSnapshot* snapshot) {
+  common::ByteReader reader(frame);
+  const DecodeStatus header = OpenFrame(reader, FrameType::kStatsResponse);
+  if (header != DecodeStatus::kOk) return header;
+  uint32_t count = 0;
+  if (!reader.Pod(&count) || count > kMaxStatsEndpoints) {
+    return DecodeStatus::kMalformedPayload;
+  }
+  WireStatsSnapshot decoded;
+  decoded.endpoints.resize(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    WireEndpointStats& e = decoded.endpoints[i];
+    uint8_t degraded_now = 0;
+    const bool ok = reader.String(&e.endpoint, kMaxEndpointNameLen) &&
+                    reader.String(&e.model_name, kMaxEndpointNameLen) &&
+                    reader.Pod(&e.queue_depth) &&
+                    reader.Pod(&e.lifetime_submitted) &&
+                    reader.Pod(&e.lifetime_completed) &&
+                    reader.Pod(&e.lifetime_rejected) &&
+                    reader.Pod(&e.shed_deadline) &&
+                    reader.Pod(&e.shed_capacity) &&
+                    reader.Pod(&e.expired_in_queue) &&
+                    reader.Pod(&e.degraded) && reader.Pod(&e.swaps) &&
+                    reader.Pod(&degraded_now) && reader.Pod(&e.qps) &&
+                    reader.Pod(&e.p50_latency_ms) &&
+                    reader.Pod(&e.p95_latency_ms);
+    if (!ok || degraded_now > 1) return DecodeStatus::kMalformedPayload;
+    e.degraded_now = degraded_now == 1;
+  }
+  if (reader.Remaining() != 0) return DecodeStatus::kTrailingGarbage;
+  *snapshot = std::move(decoded);
   return DecodeStatus::kOk;
 }
 

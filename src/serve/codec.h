@@ -24,7 +24,7 @@ namespace tspn::serve {
 /// garbage are all rejected with a specific DecodeStatus instead of a crash
 /// or a partially filled struct (outputs are untouched on failure).
 ///
-/// Version 2 (this build) adds optional overload-control fields:
+/// Version 2 adds optional overload-control fields:
 ///   * request frames gain a trailing int64 deadline_ms + uint8 priority
 ///     (serve/admission.h) — a v2 frame must carry both, a v1 frame neither;
 ///   * error frames gain a trailing uint8 ErrorCode.
@@ -33,8 +33,19 @@ namespace tspn::serve {
 /// any mixture strictly. Encoders emit the LOWEST version that can represent
 /// the frame: responses carry no v2 fields and stay version 1 on the wire,
 /// so a v1-only client is served bit-identically by this build.
+///
+/// Version 3 (this build) adds the cluster-control surface:
+///   * four new frame types — kPing/kPong (health probes, an echoed uint64
+///     nonce) and kStatsRequest/kStatsResponse (a gateway stats snapshot a
+///     router rolls up into its cluster view). These frames always travel
+///     at version 3; a v2-era decoder rejects the unknown type as
+///     malformed, which is exactly the strictness contract.
+///   * two new ErrorCode values, kShardUnavailable and kRateLimited,
+///     emitted by the router tier. An error frame carrying a code above
+///     kMaxErrorCodeV2 is encoded at version 3 (codes 0..8 keep the v2
+///     layout); a v3 error frame may carry any code up to kMaxErrorCode.
 inline constexpr uint32_t kWireMagic = 0x50575354;  // "TSWP"
-inline constexpr uint32_t kWireVersion = 2;
+inline constexpr uint32_t kWireVersion = 3;
 
 /// Longest endpoint name a request frame may carry. Gateway::Deploy
 /// enforces the same cap, so every deployable endpoint is addressable over
@@ -42,9 +53,13 @@ inline constexpr uint32_t kWireVersion = 2;
 inline constexpr uint32_t kMaxEndpointNameLen = 256;
 
 enum class FrameType : uint8_t {
-  kRequest = 1,   ///< endpoint name + eval::RecommendRequest [+ admission]
-  kResponse = 2,  ///< eval::RecommendResponse
-  kError = 3,     ///< human-readable error message [+ ErrorCode]
+  kRequest = 1,        ///< endpoint name + eval::RecommendRequest [+ admission]
+  kResponse = 2,       ///< eval::RecommendResponse
+  kError = 3,          ///< human-readable error message [+ ErrorCode]
+  kPing = 4,           ///< health probe: uint64 nonce (v3+)
+  kPong = 5,           ///< ping reply: the echoed nonce (v3+)
+  kStatsRequest = 6,   ///< empty payload: ask for a stats snapshot (v3+)
+  kStatsResponse = 7,  ///< WireStatsSnapshot payload (v3+)
 };
 
 enum class DecodeStatus : uint8_t {
@@ -74,10 +89,16 @@ enum class ErrorCode : uint8_t {
   kExpired = 6,          ///< accepted, but the deadline passed in the queue
   kModelFailure = 7,     ///< the model threw while serving the batch
   kTransport = 8,        ///< transport-level framing violation
+  kShardUnavailable = 9, ///< router: every replica for the key is down (v3+)
+  kRateLimited = 10,     ///< router: endpoint token bucket empty (v3+)
 };
 
+/// Highest ErrorCode a version-2 error frame may carry; 9+ requires a v3
+/// frame (the encoder picks the version accordingly).
+inline constexpr uint8_t kMaxErrorCodeV2 = 8;
+
 /// Highest valid ErrorCode value; anything above it is malformed on the wire.
-inline constexpr uint8_t kMaxErrorCode = 8;
+inline constexpr uint8_t kMaxErrorCode = 10;
 
 const char* ErrorCodeName(ErrorCode code);
 
@@ -141,10 +162,58 @@ std::vector<uint8_t> EncodeErrorFrame(const std::string& message,
 DecodeStatus DecodeErrorFrame(const std::vector<uint8_t>& frame,
                               std::string* message);
 
-/// Code-aware decode: v2 frames fill *code from the trailing byte
-/// (out-of-range values are malformed); v1 frames yield kGeneric.
+/// Code-aware decode: v2+ frames fill *code from the trailing byte
+/// (out-of-range values are malformed — a v2 frame above kMaxErrorCodeV2,
+/// any frame above kMaxErrorCode); v1 frames yield kGeneric.
 DecodeStatus DecodeErrorFrame(const std::vector<uint8_t>& frame,
                               std::string* message, ErrorCode* code);
+
+// --- Ping frames (v3) --------------------------------------------------------
+
+/// Health probe and its reply. The nonce is chosen by the prober and echoed
+/// verbatim, so a pipelining health checker can match pongs to pings.
+std::vector<uint8_t> EncodePingFrame(uint64_t nonce);
+DecodeStatus DecodePingFrame(const std::vector<uint8_t>& frame,
+                             uint64_t* nonce);
+std::vector<uint8_t> EncodePongFrame(uint64_t nonce);
+DecodeStatus DecodePongFrame(const std::vector<uint8_t>& frame,
+                             uint64_t* nonce);
+
+// --- Stats frames (v3) -------------------------------------------------------
+
+/// One endpoint's stats row as it travels on the wire — the subset of
+/// serve::EndpointStats a router can aggregate across shards without
+/// coupling the codec to the gateway's full stats surface.
+struct WireEndpointStats {
+  std::string endpoint;
+  std::string model_name;
+  int64_t queue_depth = 0;
+  int64_t lifetime_submitted = 0;
+  int64_t lifetime_completed = 0;
+  int64_t lifetime_rejected = 0;
+  int64_t shed_deadline = 0;
+  int64_t shed_capacity = 0;
+  int64_t expired_in_queue = 0;
+  int64_t degraded = 0;
+  int64_t swaps = 0;
+  bool degraded_now = false;
+  double qps = 0.0;
+  double p50_latency_ms = 0.0;
+  double p95_latency_ms = 0.0;
+};
+
+/// What a kStatsResponse frame carries: one row per deployed endpoint.
+struct WireStatsSnapshot {
+  std::vector<WireEndpointStats> endpoints;
+};
+
+/// An empty-payload stats probe.
+std::vector<uint8_t> EncodeStatsRequest();
+DecodeStatus DecodeStatsRequest(const std::vector<uint8_t>& frame);
+
+std::vector<uint8_t> EncodeStatsResponse(const WireStatsSnapshot& snapshot);
+DecodeStatus DecodeStatsResponse(const std::vector<uint8_t>& frame,
+                                 WireStatsSnapshot* snapshot);
 
 }  // namespace tspn::serve
 

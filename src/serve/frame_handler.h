@@ -1,0 +1,36 @@
+#ifndef TSPN_SERVE_FRAME_HANDLER_H_
+#define TSPN_SERVE_FRAME_HANDLER_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace tspn::serve {
+
+/// The application seam serve::FrameServer drives: one TSWP frame in,
+/// exactly one reply frame out through the callback. Gateway implements it
+/// by serving the frame locally; cluster::ShardRouter implements it by
+/// forwarding to the owning shard — which is what lets one FrameServer
+/// front either a single process or a whole cluster without knowing the
+/// difference.
+///
+/// Contract (what FrameServer depends on):
+///  * HandleFrameAsync never blocks the calling thread on request work —
+///    immediate failures (decode error, overload) may invoke `done`
+///    synchronously, everything else completes later from a worker;
+///  * `done` is invoked exactly once per frame, with a well-formed reply
+///    frame (response, pong, stats, or error — never empty);
+///  * the handler outlives the server driving it.
+class FrameHandler {
+ public:
+  using FrameCallback = std::function<void(std::vector<uint8_t> reply_frame)>;
+
+  virtual ~FrameHandler() = default;
+
+  virtual void HandleFrameAsync(const std::vector<uint8_t>& frame,
+                                FrameCallback done) = 0;
+};
+
+}  // namespace tspn::serve
+
+#endif  // TSPN_SERVE_FRAME_HANDLER_H_

@@ -72,8 +72,8 @@ FrameServerOptions FrameServerOptions::FromEnv() {
   return o;
 }
 
-FrameServer::FrameServer(Gateway& gateway, FrameServerOptions options)
-    : gateway_(gateway),
+FrameServer::FrameServer(FrameHandler& handler, FrameServerOptions options)
+    : handler_(handler),
       options_(options),
       shared_(std::make_shared<Shared>()) {
   shared_->options = options_;
@@ -87,9 +87,14 @@ bool FrameServer::Start(std::string* error) {
     return false;
   }
   stopping_.store(false);
-  listen_fd_ = common::ListenTcp(options_.host, options_.port, 128, &port_,
-                                 error);
+  const common::SocketAddress want =
+      options_.unix_path.empty()
+          ? common::SocketAddress::Tcp(options_.host, options_.port)
+          : common::SocketAddress::Unix(options_.unix_path);
+  listen_fd_ = common::ListenOn(want, 128, &address_, error);
   if (!listen_fd_.valid()) return false;
+  port_ = address_.kind == common::SocketAddress::Kind::kTcp ? address_.port
+                                                             : 0;
   if (!acceptor_wake_.valid()) {
     if (error != nullptr) *error = "FrameServer wake pipe failed";
     return false;
@@ -131,6 +136,9 @@ void FrameServer::Stop() {
   io_threads_.clear();
   io_loops_.clear();
   listen_fd_.Reset();
+  // A unix listener owns its socket file; leaving it behind would make the
+  // path look alive to the next prober.
+  if (!options_.unix_path.empty()) ::unlink(options_.unix_path.c_str());
 }
 
 FrameServerStats FrameServer::GetStats() const {
@@ -177,9 +185,11 @@ void FrameServer::RunAcceptor() {
         shared_->connections_rejected.fetch_add(1);
         continue;
       }
-      const int one = 1;
-      ::setsockopt(accepted.get(), IPPROTO_TCP, TCP_NODELAY, &one,
-                   sizeof(one));
+      if (address_.kind == common::SocketAddress::Kind::kTcp) {
+        const int one = 1;
+        ::setsockopt(accepted.get(), IPPROTO_TCP, TCP_NODELAY, &one,
+                     sizeof(one));
+      }
       auto conn = std::make_shared<Connection>();
       conn->fd = std::move(accepted);
       conn->loop = io_loops_[next_loop_++ % io_loops_.size()];
@@ -380,7 +390,7 @@ void FrameServer::SubmitFrame(const std::shared_ptr<Connection>& conn,
   // Stop() or ~FrameServer.
   std::shared_ptr<Shared> shared = shared_;
   std::shared_ptr<IoLoop> loop = conn->loop;
-  gateway_.ServeFrameAsync(
+  handler_.HandleFrameAsync(
       frame, [conn, slot, loop, shared](std::vector<uint8_t> reply) {
         bool wake = false;
         {

@@ -11,7 +11,7 @@
 #include <vector>
 
 #include "common/net.h"
-#include "serve/gateway.h"
+#include "serve/frame_handler.h"
 
 namespace tspn::serve {
 
@@ -29,6 +29,11 @@ struct FrameServerOptions {
 
   /// TCP port; 0 binds an ephemeral port, readable via port() after Start.
   uint16_t port = 0;
+
+  /// Non-empty switches the listener to a unix-domain socket at this path
+  /// (host/port are then ignored) — the co-located fast path cluster shards
+  /// ride. The server unlinks the path on Stop.
+  std::string unix_path;
 
   int io_threads = 2;
   int64_t max_frame_bytes = 1 << 20;
@@ -86,13 +91,15 @@ struct FrameServerStats {
 /// order (a completed frame waits for its elders), handling partial writes
 /// across poll rounds.
 ///
-/// Lifecycle: construct over a Gateway (which must outlive the server),
-/// Start(), serve, Stop() — idempotent, also run by the destructor. Stop
-/// closes every connection; responses still in flight inside engines are
-/// discarded on completion (their continuations see the closed flag).
+/// Lifecycle: construct over a FrameHandler — a Gateway for the
+/// single-process shape, a cluster::ShardRouter for the router tier; the
+/// handler must outlive the server — then Start(), serve, Stop() —
+/// idempotent, also run by the destructor. Stop closes every connection;
+/// responses still in flight inside engines are discarded on completion
+/// (their continuations see the closed flag).
 class FrameServer {
  public:
-  explicit FrameServer(Gateway& gateway,
+  explicit FrameServer(FrameHandler& handler,
                        FrameServerOptions options = FrameServerOptions::FromEnv());
   ~FrameServer();
 
@@ -108,9 +115,13 @@ class FrameServer {
   /// their replies are discarded.
   void Stop();
 
-  /// The bound port (== options().port unless that was 0 = ephemeral).
-  /// Valid after a successful Start().
+  /// The bound port (== options().port unless that was 0 = ephemeral);
+  /// 0 for a unix-domain listener. Valid after a successful Start().
   uint16_t port() const { return port_; }
+
+  /// The bound listen address (either kind), valid after a successful
+  /// Start() — what a FrameClient passes to Connect.
+  const common::SocketAddress& address() const { return address_; }
 
   bool running() const { return running_; }
 
@@ -202,12 +213,13 @@ class FrameServer {
 
   void MarkClosed(const std::shared_ptr<Connection>& conn);
 
-  Gateway& gateway_;
+  FrameHandler& handler_;
   const FrameServerOptions options_;
   std::shared_ptr<Shared> shared_;
 
   common::UniqueFd listen_fd_;
   uint16_t port_ = 0;
+  common::SocketAddress address_;
   std::atomic<bool> running_{false};
   std::atomic<bool> stopping_{false};
   common::WakePipe acceptor_wake_;

@@ -630,7 +630,33 @@ std::future<eval::RecommendResponse> Gateway::Submit(
   return deployment->engine->Submit(shaped, admission);
 }
 
+std::vector<uint8_t> Gateway::ServeControlFrame(
+    FrameType type, const std::vector<uint8_t>& frame) {
+  if (type == FrameType::kPing) {
+    uint64_t nonce = 0;
+    if (DecodePingFrame(frame, &nonce) != DecodeStatus::kOk) {
+      return EncodeErrorFrame("bad ping frame", ErrorCode::kBadFrame);
+    }
+    return EncodePongFrame(nonce);
+  }
+  if (type == FrameType::kStatsRequest) {
+    if (DecodeStatsRequest(frame) != DecodeStatus::kOk) {
+      return EncodeErrorFrame("bad stats request frame", ErrorCode::kBadFrame);
+    }
+    return EncodeStatsResponse(WireSnapshot());
+  }
+  // A well-formed frame of a type a server never accepts (a response, an
+  // error, a pong, a stats response) — the peer has the protocol backwards.
+  return EncodeErrorFrame("frame type not servable by this endpoint",
+                          ErrorCode::kBadFrame);
+}
+
 std::vector<uint8_t> Gateway::ServeFrame(const std::vector<uint8_t>& request_frame) {
+  FrameType frame_type = FrameType::kRequest;
+  if (PeekFrameType(request_frame, &frame_type) == DecodeStatus::kOk &&
+      frame_type != FrameType::kRequest) {
+    return ServeControlFrame(frame_type, request_frame);
+  }
   std::string endpoint;
   eval::RecommendRequest request;
   AdmissionClass admission;
@@ -667,6 +693,14 @@ std::vector<uint8_t> Gateway::ServeFrame(const std::vector<uint8_t>& request_fra
 
 void Gateway::ServeFrameAsync(const std::vector<uint8_t>& request_frame,
                               FrameCallback done) {
+  FrameType frame_type = FrameType::kRequest;
+  if (PeekFrameType(request_frame, &frame_type) == DecodeStatus::kOk &&
+      frame_type != FrameType::kRequest) {
+    // Control frames are cheap (a nonce echo, a stats scrape) — answering
+    // synchronously keeps health probes immune to engine-queue pressure.
+    done(ServeControlFrame(frame_type, request_frame));
+    return;
+  }
   std::string endpoint;
   eval::RecommendRequest request;
   AdmissionClass admission;
@@ -851,6 +885,32 @@ GatewayStats Gateway::Snapshot() const {
     snapshot.per_endpoint.push_back(std::move(stats));
   }
   return snapshot;
+}
+
+WireStatsSnapshot Gateway::WireSnapshot() const {
+  const GatewayStats full = Snapshot();
+  WireStatsSnapshot wire;
+  wire.endpoints.reserve(full.per_endpoint.size());
+  for (const EndpointStats& stats : full.per_endpoint) {
+    WireEndpointStats row;
+    row.endpoint = stats.endpoint;
+    row.model_name = stats.model_name;
+    row.queue_depth = stats.queue_depth;
+    row.lifetime_submitted = stats.lifetime_submitted;
+    row.lifetime_completed = stats.lifetime_completed;
+    row.lifetime_rejected = stats.lifetime_rejected;
+    row.shed_deadline = stats.shed_deadline;
+    row.shed_capacity = stats.shed_capacity;
+    row.expired_in_queue = stats.expired_in_queue;
+    row.degraded = stats.degraded;
+    row.swaps = stats.swaps;
+    row.degraded_now = stats.degraded_now;
+    row.qps = stats.qps;
+    row.p50_latency_ms = stats.engine.p50_latency_ms;
+    row.p95_latency_ms = stats.engine.p95_latency_ms;
+    wire.endpoints.push_back(std::move(row));
+  }
+  return wire;
 }
 
 Gateway::~Gateway() {

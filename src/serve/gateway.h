@@ -18,6 +18,8 @@
 #include "eval/model_registry.h"
 #include "eval/recommend.h"
 #include "serve/admission.h"
+#include "serve/codec.h"
+#include "serve/frame_handler.h"
 #include "serve/inference_engine.h"
 
 namespace tspn::serve {
@@ -182,10 +184,10 @@ struct GatewayStats {
 /// when the last submitter releases it. A swap to the same checkpoint is
 /// response-bit-identical: the registry rebuilds the same weights from the
 /// same options and checkpoint bytes.
-class Gateway {
+class Gateway : public FrameHandler {
  public:
   Gateway() = default;
-  ~Gateway();
+  ~Gateway() override;
 
   Gateway(const Gateway&) = delete;
   Gateway& operator=(const Gateway&) = delete;
@@ -246,7 +248,10 @@ class Gateway {
 
   /// Wire entry point: decodes a request frame (which names its endpoint),
   /// serves it, and returns an encoded response frame — or an encoded
-  /// error frame for malformed/unknown/failed requests. Never throws.
+  /// error frame for malformed/unknown/failed requests. Ping frames come
+  /// back as pongs and stats requests as a stats snapshot (v3 control
+  /// surface), so a shard process answers health and telemetry probes on
+  /// the same connection that serves traffic. Never throws.
   ///
   /// DEPRECATED for network front-ends: this call parks the calling thread
   /// on the response future (one blocked thread per in-flight frame). New
@@ -257,7 +262,7 @@ class Gateway {
 
   /// A reply frame handed to the continuation of ServeFrameAsync: a
   /// response frame on success, an error frame otherwise.
-  using FrameCallback = std::function<void(std::vector<uint8_t> reply_frame)>;
+  using FrameCallback = FrameHandler::FrameCallback;
 
   /// Non-blocking wire entry point — what FrameServer drives. Decodes and
   /// validates on the calling thread, then submits through the endpoint
@@ -270,6 +275,13 @@ class Gateway {
   void ServeFrameAsync(const std::vector<uint8_t>& request_frame,
                        FrameCallback done);
 
+  /// FrameHandler: a gateway fronted by a FrameServer serves frames
+  /// directly (the single-process deployment shape).
+  void HandleFrameAsync(const std::vector<uint8_t>& frame,
+                        FrameCallback done) override {
+    ServeFrameAsync(frame, std::move(done));
+  }
+
   bool Has(const std::string& endpoint) const;
 
   /// Deployed endpoint names, sorted.
@@ -280,6 +292,10 @@ class Gateway {
 
   /// Aggregate snapshot across every deployed endpoint.
   GatewayStats Snapshot() const;
+
+  /// The Snapshot projected onto the wire stats rows a kStatsResponse
+  /// frame carries — what this process reports when a router polls it.
+  WireStatsSnapshot WireSnapshot() const;
 
  private:
   /// Per-endpoint counters that survive swaps. Shared (via shared_ptr) by
@@ -400,6 +416,12 @@ class Gateway {
   /// Queries one deployment's engine; called with the gateway mutex
   /// released (the shared_ptrs keep the deployment alive).
   static EndpointStats StatsOf(const EndpointSnapshot& snapshot);
+
+  /// Serves the non-request frames ServeFrame[Async] dispatches to: pings
+  /// come back as pongs, stats requests as a stats snapshot, anything else
+  /// (a response/error/pong frame aimed at a server) as a kBadFrame error.
+  std::vector<uint8_t> ServeControlFrame(FrameType type,
+                                         const std::vector<uint8_t>& frame);
 
   mutable std::mutex mutex_;
   std::map<std::string, Endpoint> endpoints_;

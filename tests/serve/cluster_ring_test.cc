@@ -1,0 +1,205 @@
+// Cluster primitive tests: consistent-hash ring (determinism, balance,
+// distinct replicas, minimal disruption on shard removal), circuit breaker
+// state machine (closed -> open -> half-open, single-probe semantics), and
+// the per-endpoint token bucket (burst, refill, disabled mode).
+
+#include "serve/cluster/circuit_breaker.h"
+#include "serve/cluster/hash_ring.h"
+#include "serve/cluster/token_bucket.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace tspn::serve::cluster {
+namespace {
+
+TEST(StableHash64Test, DeterministicAndSpreads) {
+  EXPECT_EQ(StableHash64("city|42"), StableHash64("city|42"));
+  EXPECT_NE(StableHash64("city|42"), StableHash64("city|43"));
+  EXPECT_NE(StableHash64("a"), StableHash64("b"));
+  EXPECT_NE(StableHash64(""), StableHash64("a"));
+}
+
+TEST(HashRingTest, SingleShardOwnsEverything) {
+  HashRing ring(16);
+  ring.AddShard("only");
+  for (int i = 0; i < 100; ++i) {
+    const auto shards = ring.ShardsFor("key" + std::to_string(i), 3);
+    ASSERT_EQ(shards.size(), 1u);
+    EXPECT_EQ(shards[0], "only");
+  }
+}
+
+TEST(HashRingTest, EmptyRingReturnsNothing) {
+  HashRing ring;
+  EXPECT_TRUE(ring.empty());
+  EXPECT_TRUE(ring.ShardsFor("anything", 2).empty());
+}
+
+TEST(HashRingTest, ReplicasAreDistinctAndDeterministic) {
+  HashRing ring(64);
+  for (const char* id : {"a", "b", "c", "d"}) ring.AddShard(id);
+  EXPECT_EQ(ring.shard_count(), 4u);
+  for (int i = 0; i < 200; ++i) {
+    const std::string key = "endpoint|" + std::to_string(i);
+    const auto replicas = ring.ShardsFor(key, 3);
+    ASSERT_EQ(replicas.size(), 3u) << key;
+    std::set<std::string> distinct(replicas.begin(), replicas.end());
+    EXPECT_EQ(distinct.size(), 3u) << key;
+    EXPECT_EQ(replicas, ring.ShardsFor(key, 3)) << key;
+  }
+  // Asking for more replicas than shards yields every shard exactly once.
+  const auto all = ring.ShardsFor("some-key", 16);
+  EXPECT_EQ(all.size(), 4u);
+  EXPECT_EQ(std::set<std::string>(all.begin(), all.end()).size(), 4u);
+}
+
+TEST(HashRingTest, VirtualNodesBalanceKeys) {
+  HashRing ring(128);
+  for (const char* id : {"s0", "s1", "s2"}) ring.AddShard(id);
+  std::map<std::string, int> owned;
+  constexpr int kKeys = 3000;
+  for (int i = 0; i < kKeys; ++i) {
+    owned[ring.ShardsFor("user|" + std::to_string(i), 1)[0]]++;
+  }
+  ASSERT_EQ(owned.size(), 3u);
+  for (const auto& [shard, count] : owned) {
+    // Perfect balance would be 1000 each; 128 vnodes keeps every shard
+    // within a loose 2x band — the property that matters is no shard
+    // starving or hoarding.
+    EXPECT_GT(count, kKeys / 6) << shard;
+    EXPECT_LT(count, kKeys / 2) << shard;
+  }
+}
+
+TEST(HashRingTest, RemovalOnlyRemapsTheRemovedShardsKeys) {
+  HashRing ring(64);
+  for (const char* id : {"s0", "s1", "s2", "s3"}) ring.AddShard(id);
+  std::map<std::string, std::string> before;
+  for (int i = 0; i < 1000; ++i) {
+    const std::string key = "k" + std::to_string(i);
+    before[key] = ring.ShardsFor(key, 1)[0];
+  }
+  ASSERT_TRUE(ring.RemoveShard("s2"));
+  EXPECT_FALSE(ring.RemoveShard("s2"));  // second removal: unknown shard
+  for (const auto& [key, owner] : before) {
+    const std::string now = ring.ShardsFor(key, 1)[0];
+    if (owner == "s2") {
+      EXPECT_NE(now, "s2") << key;
+    } else {
+      // Consistent hashing's whole point: survivors keep their keys.
+      EXPECT_EQ(now, owner) << key;
+    }
+  }
+}
+
+TEST(HashRingTest, DuplicateAddIsANoOp) {
+  HashRing ring(8);
+  ring.AddShard("a");
+  ring.AddShard("a");
+  EXPECT_EQ(ring.shard_count(), 1u);
+}
+
+TEST(CircuitBreakerTest, TripsAfterThresholdAndRefusesWhileOpen) {
+  CircuitBreakerOptions options;
+  options.failure_threshold = 3;
+  options.open_cooldown_ms = 60000;  // far beyond the test's lifetime
+  CircuitBreaker breaker(options);
+
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+  EXPECT_TRUE(breaker.Allow());
+  breaker.RecordFailure();
+  breaker.RecordFailure();
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+  EXPECT_TRUE(breaker.Allow());  // still under threshold
+  breaker.RecordFailure();
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+  EXPECT_FALSE(breaker.Allow());
+  EXPECT_EQ(breaker.trips(), 1);
+}
+
+TEST(CircuitBreakerTest, SuccessResetsTheFailureStreak) {
+  CircuitBreakerOptions options;
+  options.failure_threshold = 2;
+  CircuitBreaker breaker(options);
+  breaker.RecordFailure();
+  breaker.RecordSuccess();
+  breaker.RecordFailure();
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+}
+
+TEST(CircuitBreakerTest, HalfOpenAdmitsExactlyOneProbe) {
+  CircuitBreakerOptions options;
+  options.failure_threshold = 1;
+  options.open_cooldown_ms = 20;
+  CircuitBreaker breaker(options);
+
+  breaker.RecordFailure();
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+  EXPECT_FALSE(breaker.Allow());
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  EXPECT_TRUE(breaker.Allow());  // the single half-open probe
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kHalfOpen);
+  EXPECT_FALSE(breaker.Allow());  // probe is out; nobody else gets in
+
+  breaker.RecordSuccess();
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+  EXPECT_TRUE(breaker.Allow());
+}
+
+TEST(CircuitBreakerTest, FailedProbeReopensForAnotherCooldown) {
+  CircuitBreakerOptions options;
+  options.failure_threshold = 1;
+  options.open_cooldown_ms = 20;
+  CircuitBreaker breaker(options);
+
+  breaker.RecordFailure();
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  EXPECT_TRUE(breaker.Allow());
+  breaker.RecordFailure();  // probe failed
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+  EXPECT_FALSE(breaker.Allow());  // new cooldown running
+  EXPECT_EQ(breaker.trips(), 2);
+}
+
+TEST(CircuitBreakerTest, StateNamesAreHuman) {
+  EXPECT_STREQ(CircuitBreaker::StateName(CircuitBreaker::State::kClosed),
+               "closed");
+  EXPECT_STREQ(CircuitBreaker::StateName(CircuitBreaker::State::kOpen),
+               "open");
+  EXPECT_STREQ(CircuitBreaker::StateName(CircuitBreaker::State::kHalfOpen),
+               "half-open");
+}
+
+TEST(TokenBucketTest, BurstThenRefusal) {
+  TokenBucket bucket(/*rate_per_s=*/0.001, /*burst=*/3);
+  EXPECT_TRUE(bucket.TryAcquire());
+  EXPECT_TRUE(bucket.TryAcquire());
+  EXPECT_TRUE(bucket.TryAcquire());
+  // Refill at 0.001/s is negligible within the test: the bucket is dry.
+  EXPECT_FALSE(bucket.TryAcquire());
+  EXPECT_LT(bucket.available(), 1.0);
+}
+
+TEST(TokenBucketTest, RefillsOverTime) {
+  TokenBucket bucket(/*rate_per_s=*/200.0, /*burst=*/1);
+  EXPECT_TRUE(bucket.TryAcquire());
+  EXPECT_FALSE(bucket.TryAcquire());
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  EXPECT_TRUE(bucket.TryAcquire());  // ~6 tokens dripped in, capped at 1
+}
+
+TEST(TokenBucketTest, NonPositiveRateDisablesLimiting) {
+  TokenBucket bucket(/*rate_per_s=*/0.0, /*burst=*/1);
+  for (int i = 0; i < 100; ++i) EXPECT_TRUE(bucket.TryAcquire());
+}
+
+}  // namespace
+}  // namespace tspn::serve::cluster

@@ -374,7 +374,9 @@ TEST(CodecV2ErrorFrameTest, ErrorCodeRoundTrips) {
     const ErrorCode code = static_cast<ErrorCode>(raw);
     SCOPED_TRACE(ErrorCodeName(code));
     const std::vector<uint8_t> frame = EncodeErrorFrame("shed", code);
-    EXPECT_EQ(FrameVersion(frame), 2u);
+    // Lowest-representable-version rule: the v2-era codes keep the v2
+    // layout; the router-tier codes (9+) did not exist in v2 and go v3.
+    EXPECT_EQ(FrameVersion(frame), raw > kMaxErrorCodeV2 ? 3u : 2u);
     std::string message;
     ErrorCode decoded = ErrorCode::kGeneric;
     ASSERT_EQ(DecodeErrorFrame(frame, &message, &decoded), DecodeStatus::kOk);

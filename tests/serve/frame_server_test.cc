@@ -7,6 +7,7 @@
 // suite the TSan CI job runs.
 
 #include "serve/frame_server.h"
+#include "serve/gateway.h"
 
 #include <atomic>
 #include <chrono>

@@ -19,6 +19,7 @@
 #include "serve/codec.h"
 #include "serve/frame_client.h"
 #include "serve/frame_server.h"
+#include "serve/gateway.h"
 
 namespace tspn::serve {
 namespace {
