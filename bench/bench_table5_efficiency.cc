@@ -23,6 +23,9 @@
 #include "serve/frame_server.h"
 #include "serve/gateway.h"
 #include "serve/inference_engine.h"
+#include "train/continual_trainer.h"
+#include "train/live_feed.h"
+#include "train/shadow_eval.h"
 
 namespace {
 
@@ -532,6 +535,128 @@ void RunRouterOverhead(std::shared_ptr<data::CityDataset> dataset,
   std::remove(checkpoint.c_str());
 }
 
+/// Continual-training rows. Ingest: check-ins/sec through the full
+/// LiveFeed -> CheckinStream -> trainer-thread path (PopBatch, per-user
+/// sample assembly, TrainOnline on the private candidate clone), with
+/// gating disabled by pushing checkpoint_every past the stream length so
+/// the row isolates the steady-state training loop. Shadow gate: one
+/// PromotionGate::Evaluate over a full default-size replay window — both
+/// sides replayed via RecommendBatch — reported per gate pass and per
+/// replayed query (fastest of kPasses, like the other warm A/Bs).
+void RunTrainerBench(std::shared_ptr<data::CityDataset> dataset,
+                     const bench::BenchSettings& settings,
+                     bench::JsonReporter& reporter) {
+  eval::ModelOptions model_options;
+  model_options.dm = 16;
+  model_options.seed = settings.seed;
+  model_options.image_resolution = 16;
+  const std::string checkpoint =
+      "/tmp/bench_trainer_" + std::to_string(::getpid()) + ".ckpt";
+  auto model =
+      eval::ModelRegistry::Global().Create("TSPN-RA", dataset, model_options);
+  {
+    eval::TrainOptions train;
+    train.epochs = 1;
+    train.max_samples_per_epoch = 24;
+    model->Train(train);
+    model->SaveCheckpoint(checkpoint);
+  }
+
+  serve::DeployConfig config;
+  config.model_name = "TSPN-RA";
+  config.dataset = dataset;
+  config.checkpoint_path = checkpoint;
+  config.model_options = model_options.ToKeyValues();
+  serve::Gateway gateway;
+  if (!gateway.Deploy("city", config)) {
+    std::fprintf(stderr, "  [trainer] deploy failed; rows skipped\n");
+    std::remove(checkpoint.c_str());
+    return;
+  }
+
+  train::TrainerOptions trainer_options;
+  trainer_options.endpoint = "city";
+  trainer_options.checkpoint_dir = "/tmp";
+  trainer_options.checkpoint_every = int64_t{1} << 40;  // never: pure ingest
+  trainer_options.pop_batch = 256;
+  trainer_options.pop_wait_ms = 20;
+  trainer_options.seed = settings.seed;
+  train::CheckinStream stream(1 << 16);  // roomy: drops would skew the rate
+  train::ContinualTrainer trainer(dataset, &stream, &gateway,
+                                  trainer_options);
+  std::string error;
+  if (!trainer.Init(config, &error)) {
+    std::fprintf(stderr, "  [trainer] init failed (%s); rows skipped\n",
+                 error.c_str());
+    std::remove(checkpoint.c_str());
+    return;
+  }
+
+  train::LiveFeed::Options feed_options;
+  feed_options.seed = settings.seed ^ 0xF00DULL;
+  feed_options.checkins_per_user = 24;
+  feed_options.novel_poi_count = 4;
+  train::LiveFeed feed(dataset, feed_options);
+  const int64_t total = static_cast<int64_t>(feed.events().size());
+
+  trainer.Start();
+  common::Stopwatch watch;
+  feed.PumpInto(stream, -1);
+  stream.Close();
+  const bool finished = trainer.Finish(120000);
+  const double seconds = watch.ElapsedSeconds();
+  const train::TrainerStats stats = trainer.Stats();
+  if (!finished || stats.events_consumed != total) {
+    std::fprintf(stderr, "  [trainer] ingest run incomplete (%lld/%lld "
+                 "events); rows skipped\n",
+                 static_cast<long long>(stats.events_consumed),
+                 static_cast<long long>(total));
+    std::remove(checkpoint.c_str());
+    return;
+  }
+  const double ingest_qps =
+      seconds > 0.0 ? static_cast<double>(stats.events_consumed) / seconds
+                    : 0.0;
+  reporter.Add("TSPN-RA-trainer/ingest",
+               {{"qps", ingest_qps},
+                {"events", static_cast<double>(stats.events_consumed)},
+                {"samples_trained",
+                 static_cast<double>(stats.samples_trained)}});
+  std::printf("\n== Continual trainer ==\n");
+  std::printf("  [trainer] ingest %8.1f check-ins/sec (%lld events, %lld "
+              "online updates, %.2fs)\n",
+              ingest_qps, static_cast<long long>(stats.events_consumed),
+              static_cast<long long>(stats.samples_trained), seconds);
+
+  // Shadow-gate latency on a full default window (the per-promotion cost a
+  // gate pass adds to the trainer loop). Candidate == live replica here:
+  // the row tracks replay cost, not verdict quality.
+  train::GateOptions gate_options;
+  train::ShadowEvaluator evaluator(dataset, gate_options);
+  std::vector<data::SampleRef> samples = dataset->Samples(data::Split::kTest);
+  const size_t window =
+      std::min(samples.size(), static_cast<size_t>(gate_options.shadow_window));
+  for (size_t i = 0; i < window; ++i) evaluator.Observe(samples[i]);
+  train::PromotionGate gate(gate_options);
+  constexpr int kPasses = 3;
+  train::GateReport best = gate.Evaluate(evaluator, *model, *model);
+  for (int p = 1; p < kPasses; ++p) {
+    train::GateReport r = gate.Evaluate(evaluator, *model, *model);
+    if (r.eval_ms < best.eval_ms) best = r;
+  }
+  const double denom = std::max<double>(1, static_cast<double>(best.window));
+  reporter.Add("TSPN-RA-trainer/shadow-gate",
+               {{"ms_per_gate_pass", best.eval_ms},
+                {"ms_per_query", best.eval_ms / denom},
+                {"window", static_cast<double>(best.window)}});
+  std::printf("  [trainer] shadow gate %s ms/pass over %lld-sample window "
+              "(%s ms/replayed query)\n",
+              MsString(best.eval_ms).c_str(),
+              static_cast<long long>(best.window),
+              MsString(best.eval_ms / denom).c_str());
+  std::remove(checkpoint.c_str());
+}
+
 }  // namespace
 
 int main() {
@@ -548,6 +673,7 @@ int main() {
                 reporter);
   RunScreenStress(nyc, settings, reporter);
   RunRouterOverhead(nyc, settings, reporter);
+  RunTrainerBench(nyc, settings, reporter);
   reporter.Write();
   std::printf("\nShape check vs paper Table V: STAN trains slowest (O(L^2) "
               "interval matrices over a long window); HMT-GRN infers slowest "

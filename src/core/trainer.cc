@@ -52,4 +52,48 @@ void TspnRa::Train(const eval::TrainOptions& options) {
   cache_state_.store(0);  // inference caches must be rebuilt from new weights
 }
 
+int64_t TspnRa::TrainOnline(common::Span<const eval::OnlineSample> samples,
+                            const eval::TrainOptions& options) {
+  std::lock_guard<std::mutex> lock(online_mutex_);
+  if (online_ == nullptr) {
+    online_ = std::make_unique<OnlineState>(
+        net_->Parameters(), nn::Adam::Options{.lr = options.lr, .grad_clip = 50.0f},
+        options.seed ^ config_.seed ^ 0x0A11CE5ULL);
+  }
+  // Extract features up front so invalid samples (unknown POI ids from
+  // cold-start arrivals) are skipped without burning a step.
+  std::vector<Features> features;
+  features.reserve(samples.size());
+  for (const eval::OnlineSample& sample : samples) {
+    Features f;
+    if (FeaturesFromCheckins(common::Span<const data::Checkin>(
+                                 sample.history.data(), sample.history.size()),
+                             sample.target, &f)) {
+      features.push_back(std::move(f));
+    }
+  }
+  if (features.empty()) return 0;
+
+  net_->SetTraining(true);
+  const int64_t batch_size = std::max<int32_t>(1, options.batch_size);
+  const int64_t total = static_cast<int64_t>(features.size());
+  for (int64_t begin = 0; begin < total; begin += batch_size) {
+    int64_t end = std::min<int64_t>(begin + batch_size, total);
+    online_->optimizer.ZeroGrad();
+    nn::Tensor et = ComputeTileEmbeddings();
+    nn::Tensor loss = nn::Tensor::Scalar(0.0f);
+    for (int64_t i = begin; i < end; ++i) {
+      loss = nn::Add(loss, LossFromFeatures(features[static_cast<size_t>(i)],
+                                            et, online_->rng));
+    }
+    loss = nn::MulScalar(loss, 1.0f / static_cast<float>(end - begin));
+    loss.Backward();
+    online_->optimizer.Step();
+    ++online_->steps;
+  }
+  net_->SetTraining(false);
+  cache_state_.store(0);  // inference caches must be rebuilt from new weights
+  return total;
+}
+
 }  // namespace tspn::core

@@ -240,6 +240,51 @@ TspnRa::Features TspnRa::ExtractFeatures(const data::SampleRef& sample) const {
   return f;
 }
 
+bool TspnRa::FeaturesFromCheckins(common::Span<const data::Checkin> history,
+                                  const data::Checkin& target,
+                                  Features* out) const {
+  const int64_t num_pois = static_cast<int64_t>(dataset_->pois().size());
+  if (history.empty()) return false;
+  if (target.poi_id < 0 || target.poi_id >= num_pois) return false;
+  for (const data::Checkin& c : history) {
+    if (c.poi_id < 0 || c.poi_id >= num_pois) return false;
+  }
+  Features f;
+  size_t start = history.size() > static_cast<size_t>(config_.max_seq_len)
+                     ? history.size() - static_cast<size_t>(config_.max_seq_len)
+                     : 0;
+  for (size_t i = start; i < history.size(); ++i) {
+    const data::Checkin& c = history[i];
+    const data::Poi& poi = dataset_->poi(c.poi_id);
+    f.poi_ids.push_back(c.poi_id);
+    f.poi_cats.push_back(poi.category);
+    f.time_slots.push_back(data::TimeSlotOf(c.timestamp));
+    if (config_.use_quadtree) {
+      f.tile_rows.push_back(dataset_->LeafNodeOfPoi(c.poi_id));
+    } else {
+      f.tile_rows.push_back(grid_->TileOf(poi.loc));
+    }
+    double x, y;
+    dataset_->profile().bbox.Normalize(poi.loc, &x, &y);
+    f.norm_x.push_back(x);
+    f.norm_y.push_back(y);
+  }
+  // No history graph: streamed prefixes carry no trajectory identity to key
+  // the QR-P cache on, so the online loss runs graph-free (Forward already
+  // handles a null graph via the learned null-history embeddings).
+  f.history_graph = nullptr;
+  f.target_poi = target.poi_id;
+  const data::Poi& target_poi = dataset_->poi(target.poi_id);
+  if (config_.use_quadtree) {
+    f.target_tile_index =
+        dataset_->quadtree().LeafIndexOf(dataset_->LeafNodeOfPoi(target.poi_id));
+  } else {
+    f.target_tile_index = grid_->TileOf(target_poi.loc);
+  }
+  *out = std::move(f);
+  return true;
+}
+
 nn::Tensor TspnRa::ComputeTileEmbeddings() const {
   return net_->tile_encoder.EncodeAll(tile_images_);
 }
@@ -385,7 +430,11 @@ std::vector<int64_t> TspnRa::GatherCandidates(
 
 nn::Tensor TspnRa::SampleLoss(const data::SampleRef& sample, const nn::Tensor& et,
                               common::Rng& rng) const {
-  Features f = ExtractFeatures(sample);
+  return LossFromFeatures(ExtractFeatures(sample), et, rng);
+}
+
+nn::Tensor TspnRa::LossFromFeatures(const Features& f, const nn::Tensor& et,
+                                    common::Rng& rng) const {
   ForwardOut fwd = Forward(f, et, rng);
 
   nn::Tensor loss = nn::Tensor::Scalar(0.0f);

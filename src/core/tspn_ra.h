@@ -38,6 +38,16 @@ class TspnRa : public eval::NextPoiModel {
   std::string name() const override { return "TSPN-RA"; }
   void Train(const eval::TrainOptions& options) override;
 
+  /// Incremental updates from streamed check-in samples. Optimizer moments,
+  /// learning rate, and the negative-sampling RNG persist across calls (the
+  /// continual trainer calls this once per drained mini-batch). Samples
+  /// whose history or target references a POI id outside the dataset are
+  /// skipped (cold-start arrivals are handled by eval::ColdStartPriors at
+  /// serving time, not here). Dirties the inference caches when any step
+  /// was taken. Returns the number of samples trained on.
+  int64_t TrainOnline(common::Span<const eval::OnlineSample> samples,
+                      const eval::TrainOptions& options) override;
+
   // --- Extended API for the figure benches -----------------------------------
 
   /// Ranked candidate-tile indices (dense leaf order), best first.
@@ -136,6 +146,15 @@ class TspnRa : public eval::NextPoiModel {
   void BuildTilePoiLists();
 
   Features ExtractFeatures(const data::SampleRef& sample) const;
+
+  /// Builds Features directly from raw check-ins (the online-training path,
+  /// where samples come from live traffic instead of stored trajectories).
+  /// No history graph — streamed prefixes have no trajectory id to key the
+  /// QR-P cache, and a stale graph would be worse than none. Returns false
+  /// (leaving `out` unspecified) when any check-in references a POI id the
+  /// dataset does not know.
+  bool FeaturesFromCheckins(common::Span<const data::Checkin> history,
+                            const data::Checkin& target, Features* out) const;
   const graph::QrpGraph* HistoryGraph(int32_t user, int32_t traj) const;
 
   /// ET for all tile ids ([num_tile_ids, dm], rows normalized); part of the
@@ -173,6 +192,11 @@ class TspnRa : public eval::NextPoiModel {
   /// Per-sample training loss (Eq. 8): beta * loss_tile + loss_poi.
   nn::Tensor SampleLoss(const data::SampleRef& sample, const nn::Tensor& et,
                         common::Rng& rng) const;
+
+  /// The loss core shared by the offline (SampleLoss) and online
+  /// (TrainOnline) paths, computed from already-extracted Features.
+  nn::Tensor LossFromFeatures(const Features& f, const nn::Tensor& et,
+                              common::Rng& rng) const;
 
   /// Candidate POI ids when keeping the given ranked tiles.
   std::vector<int64_t> GatherCandidates(const std::vector<int64_t>& ranked_tiles,
@@ -241,6 +265,16 @@ class TspnRa : public eval::NextPoiModel {
 
   nn::Tensor tile_images_;  // [num_tile_ids, 3, R, R], constant
   std::unique_ptr<Net> net_;
+
+  // Online-training state (TrainOnline): Adam moments and the
+  // negative-sampling RNG must persist across mini-batches or the online
+  // path degenerates to SGD with a reset seed every call. Created lazily on
+  // the first TrainOnline call; guarded by online_mutex_ (TrainOnline may
+  // not run concurrently with itself, though it never races inference —
+  // the trainer owns a private clone).
+  struct OnlineState;
+  std::mutex online_mutex_;
+  std::unique_ptr<OnlineState> online_;
 
   // --- Inference-only state. Recommend/RecommendBatch are const and must be
   // callable concurrently (serve::InferenceEngine workers); every lazily

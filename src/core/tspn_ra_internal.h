@@ -4,8 +4,21 @@
 // Implementation detail shared by tspn_ra.cc and trainer.cc only.
 
 #include "core/tspn_ra.h"
+#include "nn/optim.h"
 
 namespace tspn::core {
+
+/// Persistent state of the online-training path (TrainOnline): one Adam
+/// whose moments carry across calls, plus the negative-sampling RNG stream.
+struct TspnRa::OnlineState {
+  OnlineState(std::vector<nn::Tensor> params, const nn::Adam::Options& opts,
+              uint64_t seed)
+      : optimizer(std::move(params), opts), rng(seed) {}
+
+  nn::Adam optimizer;
+  common::Rng rng;
+  int64_t steps = 0;
+};
 
 /// Aggregates every trainable sub-module of TSPN-RA.
 struct TspnRa::Net : nn::Module {

@@ -1,6 +1,10 @@
 #include "eval/model_api.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <cstdint>
+#include <cstdio>
 #include <fstream>
 
 #include "common/binary_io.h"
@@ -57,16 +61,31 @@ void NextPoiModel::SaveState(std::ostream& out) const { (void)out; }
 bool NextPoiModel::LoadState(std::istream& in) { return in.good(); }
 
 void NextPoiModel::SaveCheckpoint(const std::string& path) const {
-  std::ofstream out(path, std::ios::binary);
-  TSPN_CHECK(out.is_open()) << "cannot open " << path;
-  common::WritePod(out, kCheckpointMagic);
-  common::WritePod(out, kCheckpointVersion);
-  const std::string model_name = name();
-  common::WritePod(out, static_cast<uint32_t>(model_name.size()));
-  out.write(model_name.data(),
-            static_cast<std::streamsize>(model_name.size()));
-  SaveState(out);
-  TSPN_CHECK(out.good()) << "checkpoint write failed: " << path;
+  // Atomic publish: stage the full checkpoint in a sibling temp file, fsync
+  // it, then rename over the target. A crash mid-write leaves at worst a
+  // stale `*.tmp` plus the intact previous checkpoint — never a torn TSCK
+  // file for LoadCheckpoint to trip on.
+  const std::string tmp_path = path + ".tmp";
+  {
+    std::ofstream out(tmp_path, std::ios::binary | std::ios::trunc);
+    TSPN_CHECK(out.is_open()) << "cannot open " << tmp_path;
+    common::WritePod(out, kCheckpointMagic);
+    common::WritePod(out, kCheckpointVersion);
+    const std::string model_name = name();
+    common::WritePod(out, static_cast<uint32_t>(model_name.size()));
+    out.write(model_name.data(),
+              static_cast<std::streamsize>(model_name.size()));
+    SaveState(out);
+    out.flush();
+    TSPN_CHECK(out.good()) << "checkpoint write failed: " << tmp_path;
+  }
+  const int fd = ::open(tmp_path.c_str(), O_RDONLY);
+  TSPN_CHECK(fd >= 0) << "cannot reopen " << tmp_path << " for fsync";
+  const int fsync_rc = ::fsync(fd);
+  ::close(fd);
+  TSPN_CHECK(fsync_rc == 0) << "fsync failed: " << tmp_path;
+  TSPN_CHECK(std::rename(tmp_path.c_str(), path.c_str()) == 0)
+      << "rename " << tmp_path << " -> " << path << " failed";
 }
 
 bool NextPoiModel::LoadCheckpoint(const std::string& path) {

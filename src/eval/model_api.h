@@ -24,6 +24,17 @@ struct TrainOptions {
   bool verbose = false;
 };
 
+/// One self-contained online training example: the user's recent history
+/// (oldest first) plus the check-in to predict. Unlike data::SampleRef this
+/// does not point into the dataset's stored trajectories, so the continual
+/// trainer can assemble samples from live traffic that the dataset has
+/// never seen.
+struct OnlineSample {
+  int64_t user = -1;
+  std::vector<data::Checkin> history;  ///< prefix, oldest first, non-empty
+  data::Checkin target;                ///< the check-in to predict
+};
+
 /// Common interface for TSPN-RA and every baseline: train on the dataset's
 /// train split, then serve structured recommendation requests. Models
 /// receive the dataset at construction and are created by name through
@@ -50,6 +61,18 @@ class NextPoiModel {
 
   /// Trains on the dataset's kTrain samples.
   virtual void Train(const TrainOptions& options) = 0;
+
+  /// Applies incremental gradient updates from streamed samples, preserving
+  /// optimizer state across calls (one call = one online mini-batch sweep).
+  /// Returns the number of samples actually trained on; the default is a
+  /// no-op returning 0 for models without an online path. Samples whose
+  /// POIs are unknown to the model must be skipped, not fatal.
+  virtual int64_t TrainOnline(common::Span<const OnlineSample> samples,
+                              const TrainOptions& options) {
+    (void)samples;
+    (void)options;
+    return 0;
+  }
 
   /// Serves one structured request: ranked {poi_id, score} pairs, best
   /// first, at most request.top_n entries, every one satisfying the

@@ -7,6 +7,8 @@
 #include "eval/model_registry.h"
 
 #include <cerrno>
+#include <cmath>
+#include <cstdio>
 #include <cstdlib>
 #include <limits>
 #include <utility>
@@ -43,7 +45,22 @@ void RegisterBuiltins(ModelRegistry& registry) {
     config.dm = options.dm;
     config.seed = options.seed;
     config.image_resolution = options.image_resolution;
-    config.top_k_tiles = dataset->profile().top_k_tiles;
+    config.num_fusion_layers = options.num_fusion_layers;
+    config.num_hgat_layers = options.num_hgat_layers;
+    config.max_seq_len = options.max_seq_len;
+    config.top_k_tiles = options.top_k_tiles > 0
+                             ? options.top_k_tiles
+                             : dataset->profile().top_k_tiles;
+    config.grid_cells_per_side = options.grid_cells_per_side;
+    config.alpha = options.alpha;
+    config.dropout = options.dropout;
+    config.spatial_scale = options.spatial_scale;
+    config.use_quadtree = options.use_quadtree;
+    config.use_two_step = options.use_two_step;
+    config.use_graph = options.use_graph;
+    config.use_imagery = options.use_imagery;
+    config.use_st_encoder = options.use_st_encoder;
+    config.use_category = options.use_category;
     return std::make_unique<core::TspnRa>(std::move(dataset), config);
   });
   registry.Register("MC", [](Dataset dataset, const ModelOptions&) {
@@ -84,51 +101,124 @@ bool ParseUint64(const std::string& value, uint64_t* out) {
   return true;
 }
 
+/// Strict float parse: the whole string must be consumed and the value finite.
+bool ParseFloat(const std::string& value, float* out) {
+  if (value.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  const float parsed = std::strtof(value.c_str(), &end);
+  if (errno != 0 || end != value.c_str() + value.size()) return false;
+  if (!std::isfinite(parsed)) return false;
+  *out = parsed;
+  return true;
+}
+
+bool ParseBool(const std::string& value, bool* out) {
+  if (value == "true" || value == "1") {
+    *out = true;
+    return true;
+  }
+  if (value == "false" || value == "0") {
+    *out = false;
+    return true;
+  }
+  return false;
+}
+
+/// Shortest decimal that round-trips the exact float (FLT_DECIMAL_DIG).
+std::string FloatToString(float value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.9g", static_cast<double>(value));
+  return buf;
+}
+
+constexpr const char* kKnownKeys =
+    "dm, seed, image_resolution, num_fusion_layers, num_hgat_layers, "
+    "max_seq_len, top_k_tiles, grid_cells_per_side, alpha, dropout, "
+    "spatial_scale, use_quadtree, use_two_step, use_graph, use_imagery, "
+    "use_st_encoder, use_category";
+
 }  // namespace
 
 bool ModelOptions::Set(const std::string& key, const std::string& value,
                        std::string* error) {
+  auto fail = [&](const std::string& what) {
+    if (error != nullptr) {
+      *error = "model option '" + key + "' has " + what + " value '" + value + "'";
+    }
+    return false;
+  };
+
   if (key == "seed") {
     // Seed spans the full uint64 range ToKeyValues can emit.
     uint64_t parsed = 0;
-    if (!ParseUint64(value, &parsed)) {
-      if (error != nullptr) {
-        *error = "model option 'seed' has non-integer or negative value '" +
-                 value + "'";
-      }
-      return false;
-    }
+    if (!ParseUint64(value, &parsed)) return fail("non-integer or negative");
     seed = parsed;
     return true;
   }
-  if (key == "dm" || key == "image_resolution") {
+  if (key == "dm") {
     int64_t parsed = 0;
     if (!ParseInt64(value, &parsed) || parsed < 0) {
-      if (error != nullptr) {
-        *error = "model option '" + key + "' has non-integer or negative value '" +
-                 value + "'";
-      }
-      return false;
+      return fail("non-integer or negative");
     }
-    if (key == "image_resolution" &&
-        parsed > std::numeric_limits<int32_t>::max()) {
-      // Rejected, not truncated: a silent int32 wrap would deploy a model
-      // with a corrupt knob.
+    dm = parsed;
+    return true;
+  }
+
+  // int32-typed knobs; rejected — not truncated — past int32, because a
+  // silent wrap would deploy a model with a corrupt knob.
+  int32_t* int32_knob = nullptr;
+  if (key == "image_resolution") int32_knob = &image_resolution;
+  if (key == "num_fusion_layers") int32_knob = &num_fusion_layers;
+  if (key == "num_hgat_layers") int32_knob = &num_hgat_layers;
+  if (key == "max_seq_len") int32_knob = &max_seq_len;
+  if (key == "top_k_tiles") int32_knob = &top_k_tiles;
+  if (key == "grid_cells_per_side") int32_knob = &grid_cells_per_side;
+  if (int32_knob != nullptr) {
+    int64_t parsed = 0;
+    if (!ParseInt64(value, &parsed) || parsed < 0) {
+      return fail("non-integer or negative");
+    }
+    if (parsed > std::numeric_limits<int32_t>::max()) {
       if (error != nullptr) {
-        *error = "model option 'image_resolution' value '" + value +
+        *error = "model option '" + key + "' value '" + value +
                  "' is out of range";
       }
       return false;
     }
-    if (key == "dm") {
-      dm = parsed;
-    } else {
-      image_resolution = static_cast<int32_t>(parsed);
-    }
+    *int32_knob = static_cast<int32_t>(parsed);
     return true;
   }
+
+  float* float_knob = nullptr;
+  if (key == "alpha") float_knob = &alpha;
+  if (key == "dropout") float_knob = &dropout;
+  if (key == "spatial_scale") float_knob = &spatial_scale;
+  if (float_knob != nullptr) {
+    float parsed = 0.0f;
+    if (!ParseFloat(value, &parsed) || parsed < 0.0f) {
+      return fail("non-numeric or negative");
+    }
+    *float_knob = parsed;
+    return true;
+  }
+
+  bool* bool_knob = nullptr;
+  if (key == "use_quadtree") bool_knob = &use_quadtree;
+  if (key == "use_two_step") bool_knob = &use_two_step;
+  if (key == "use_graph") bool_knob = &use_graph;
+  if (key == "use_imagery") bool_knob = &use_imagery;
+  if (key == "use_st_encoder") bool_knob = &use_st_encoder;
+  if (key == "use_category") bool_knob = &use_category;
+  if (bool_knob != nullptr) {
+    bool parsed = false;
+    if (!ParseBool(value, &parsed)) return fail("non-boolean");
+    *bool_knob = parsed;
+    return true;
+  }
+
   if (error != nullptr) {
-    *error = "unknown model option '" + key + "' (known: dm, seed, image_resolution)";
+    *error = "unknown model option '" + key + "' (known: " + kKnownKeys + ")";
   }
   return false;
 }
@@ -144,9 +234,24 @@ bool ModelOptions::FromKeyValues(const std::map<std::string, std::string>& kv,
 }
 
 std::map<std::string, std::string> ModelOptions::ToKeyValues() const {
+  auto bool_str = [](bool b) { return std::string(b ? "true" : "false"); };
   return {{"dm", std::to_string(dm)},
           {"seed", std::to_string(seed)},
-          {"image_resolution", std::to_string(image_resolution)}};
+          {"image_resolution", std::to_string(image_resolution)},
+          {"num_fusion_layers", std::to_string(num_fusion_layers)},
+          {"num_hgat_layers", std::to_string(num_hgat_layers)},
+          {"max_seq_len", std::to_string(max_seq_len)},
+          {"top_k_tiles", std::to_string(top_k_tiles)},
+          {"grid_cells_per_side", std::to_string(grid_cells_per_side)},
+          {"alpha", FloatToString(alpha)},
+          {"dropout", FloatToString(dropout)},
+          {"spatial_scale", FloatToString(spatial_scale)},
+          {"use_quadtree", bool_str(use_quadtree)},
+          {"use_two_step", bool_str(use_two_step)},
+          {"use_graph", bool_str(use_graph)},
+          {"use_imagery", bool_str(use_imagery)},
+          {"use_st_encoder", bool_str(use_st_encoder)},
+          {"use_category", bool_str(use_category)}};
 }
 
 ModelRegistry& ModelRegistry::Global() {

@@ -26,9 +26,28 @@ struct ModelOptions {
   uint64_t seed = 7;               ///< weight-init seed
   int32_t image_resolution = 16;   ///< TSPN-RA tile imagery side
 
-  /// Applies one named knob ("dm", "seed", "image_resolution"). Returns
+  // Full TSPN-RA architecture/ablation plumbing (mirrors core::TspnRaConfig)
+  // so a deployment — or the continual trainer cloning the live deployment —
+  // reconstructs the exact model, not a default-shaped approximation.
+  // Baselines ignore what does not apply to them.
+  int32_t num_fusion_layers = 2;   ///< attention blocks in MP1 / MP2
+  int32_t num_hgat_layers = 2;     ///< HGAT depth (Sec. IV-C)
+  int32_t max_seq_len = 16;        ///< prefix truncation for the encoders
+  int32_t top_k_tiles = 0;         ///< K; 0 = inherit the city profile's K
+  int32_t grid_cells_per_side = 12;///< grid-partition ablation granularity
+  float alpha = 0.7f;              ///< id/category merge ratio (Eq. 5)
+  float dropout = 0.1f;
+  float spatial_scale = 64.0f;     ///< sinusoidal position axis multiplier
+  bool use_quadtree = true;        ///< false: fixed grid partition
+  bool use_two_step = true;        ///< false: rank all POIs directly
+  bool use_graph = true;           ///< QR-P graph + historical knowledge
+  bool use_imagery = true;         ///< false: learnable tile-id embeddings
+  bool use_st_encoder = true;      ///< spatial + temporal encoders
+  bool use_category = true;        ///< POI category in Me2
+
+  /// Applies one named knob (any field above, by its field name). Returns
   /// false — with *error naming the offending key/value — on an unknown
-  /// key, an unparsable integer, or an out-of-range value.
+  /// key, an unparsable value, or an out-of-range value.
   bool Set(const std::string& key, const std::string& value, std::string* error);
 
   /// Defaults overridden by `kv`; false (with *error) on any bad entry.

@@ -837,6 +837,24 @@ EndpointStats Gateway::StatsOf(const EndpointSnapshot& snapshot) {
   return stats;
 }
 
+void Gateway::AttachTrainer(const std::string& endpoint,
+                            TrainerTelemetryFn provider) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  trainer_providers_[endpoint] = std::move(provider);
+}
+
+void Gateway::DetachTrainer(const std::string& endpoint) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  trainer_providers_.erase(endpoint);
+}
+
+TrainerTelemetryFn Gateway::TrainerProviderOf(
+    const std::string& endpoint) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = trainer_providers_.find(endpoint);
+  return it == trainer_providers_.end() ? nullptr : it->second;
+}
+
 bool Gateway::GetEndpointStats(const std::string& endpoint,
                                EndpointStats* out) const {
   EndpointSnapshot snapshot;
@@ -850,6 +868,9 @@ bool Gateway::GetEndpointStats(const std::string& endpoint,
   // Engine-stats queries (their own mutex, percentile computation) run with
   // the gateway mutex released so they never stall request routing.
   *out = StatsOf(snapshot);
+  if (TrainerTelemetryFn provider = TrainerProviderOf(endpoint)) {
+    out->trainer = provider();
+  }
   return true;
 }
 
@@ -873,6 +894,9 @@ GatewayStats Gateway::Snapshot() const {
   snapshot.per_endpoint.reserve(entries.size());
   for (const EndpointSnapshot& entry : entries) {
     EndpointStats stats = StatsOf(entry);
+    if (TrainerTelemetryFn provider = TrainerProviderOf(entry.name)) {
+      stats.trainer = provider();
+    }
     snapshot.total_submitted += stats.lifetime_submitted;
     snapshot.total_completed += stats.lifetime_completed;
     snapshot.total_rejected += stats.lifetime_rejected;

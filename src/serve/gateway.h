@@ -82,6 +82,27 @@ struct DeployConfig {
   OverloadPolicy overload = OverloadPolicy::FromEnv();
 };
 
+/// Counters of the continual-training pipeline feeding an endpoint
+/// (src/train/continual_trainer.h), surfaced through EndpointStats so one
+/// stats scrape answers both "how is serving" and "is the trainer alive and
+/// promoting". The serve layer does not depend on train/: a trainer
+/// registers a telemetry provider callback via Gateway::AttachTrainer and
+/// the gateway polls it at snapshot time.
+struct TrainerTelemetry {
+  bool attached = false;          ///< a trainer is registered on the endpoint
+  int64_t events_consumed = 0;    ///< stream events drained
+  int64_t samples_trained = 0;    ///< online samples the model stepped on
+  int64_t samples_skipped = 0;    ///< cold-start / unresolvable samples
+  int64_t checkpoints = 0;        ///< candidate checkpoints written
+  int64_t gate_passes = 0;
+  int64_t gate_rejects = 0;
+  int64_t promotions = 0;         ///< gate pass + SwapAsync confirmed kLive
+  int64_t promote_failures = 0;   ///< swap failed or timed out after a pass
+  std::string last_checkpoint;    ///< newest candidate checkpoint path
+};
+
+using TrainerTelemetryFn = std::function<TrainerTelemetry()>;
+
 /// Point-in-time serving counters for one endpoint, split into two scopes
 /// (docs/serving.md "Window vs lifetime" spells out the semantics):
 ///
@@ -123,6 +144,10 @@ struct EndpointStats {
   int64_t expired_in_queue = 0;  ///< accepted, expired before a batch slot
   int64_t degraded = 0;          ///< requests served with degraded shaping
   bool degraded_now = false;     ///< endpoint currently in the degraded state
+
+  /// Continual-trainer counters; attached == false when no trainer is
+  /// registered on the endpoint.
+  TrainerTelemetry trainer;
 };
 
 /// Observable deployment state of an endpoint name, polled via
@@ -287,6 +312,15 @@ class Gateway : public FrameHandler {
   /// Deployed endpoint names, sorted.
   std::vector<std::string> Endpoints() const;
 
+  /// Registers a continual trainer's telemetry provider on an endpoint; the
+  /// callback is polled (outside the gateway mutex) whenever stats are
+  /// snapshotted, so trainer counters ride the existing stats surface. One
+  /// provider per endpoint; a second Attach replaces the first. The
+  /// callback must be thread-safe and must outlive the registration —
+  /// detach before destroying the trainer.
+  void AttachTrainer(const std::string& endpoint, TrainerTelemetryFn provider);
+  void DetachTrainer(const std::string& endpoint);
+
   /// Stats for one endpoint; false when it is not deployed.
   bool GetEndpointStats(const std::string& endpoint, EndpointStats* out) const;
 
@@ -423,9 +457,14 @@ class Gateway : public FrameHandler {
   std::vector<uint8_t> ServeControlFrame(FrameType type,
                                          const std::vector<uint8_t>& frame);
 
+  /// The endpoint's trainer provider (copied under the mutex, invoked with
+  /// it released), or null when none is attached.
+  TrainerTelemetryFn TrainerProviderOf(const std::string& endpoint) const;
+
   mutable std::mutex mutex_;
   std::map<std::string, Endpoint> endpoints_;
   std::map<std::string, DeployStatus> async_status_;
+  std::map<std::string, TrainerTelemetryFn> trainer_providers_;
 
   /// Background deploy/swap builders. Finished ones are reaped when the
   /// next async op starts; the destructor joins whatever remains.

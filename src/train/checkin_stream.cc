@@ -1,0 +1,93 @@
+#include "train/checkin_stream.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "common/check.h"
+
+namespace tspn::train {
+
+CheckinStream::CheckinStream(int64_t capacity) : capacity_(capacity) {
+  TSPN_CHECK_GT(capacity, 0);
+}
+
+void CheckinStream::Push(const StreamEvent& event) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (closed_) return;
+    if (static_cast<int64_t>(queue_.size()) >= capacity_) {
+      queue_.pop_front();
+      ++dropped_;
+    }
+    queue_.push_back(event);
+    ++pushed_;
+  }
+  cv_.notify_one();
+}
+
+std::vector<StreamEvent> CheckinStream::PopBatch(int64_t max_events,
+                                                 int64_t wait_ms) {
+  std::vector<StreamEvent> batch;
+  if (max_events <= 0) return batch;
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_.wait_for(lock, std::chrono::milliseconds(wait_ms),
+               [this] { return closed_ || !queue_.empty(); });
+  const int64_t take =
+      std::min<int64_t>(max_events, static_cast<int64_t>(queue_.size()));
+  batch.reserve(static_cast<size_t>(take));
+  for (int64_t i = 0; i < take; ++i) {
+    batch.push_back(std::move(queue_.front()));
+    queue_.pop_front();
+  }
+  popped_ += take;
+  return batch;
+}
+
+void CheckinStream::Close() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    closed_ = true;
+  }
+  cv_.notify_all();
+}
+
+bool CheckinStream::closed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return closed_;
+}
+
+StreamStats CheckinStream::Stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  StreamStats stats;
+  stats.pushed = pushed_;
+  stats.dropped = dropped_;
+  stats.popped = popped_;
+  stats.depth = static_cast<int64_t>(queue_.size());
+  return stats;
+}
+
+int64_t SampleAssembler::Feed(const StreamEvent& event,
+                              std::vector<eval::OnlineSample>* out) {
+  std::vector<data::Checkin>& window = windows_[event.user];
+  const int64_t gap_seconds = options_.window_gap_hours * 3600;
+  if (!window.empty() &&
+      event.checkin.timestamp - window.back().timestamp >= gap_seconds) {
+    window.clear();
+  }
+  int64_t emitted = 0;
+  if (!window.empty()) {
+    eval::OnlineSample sample;
+    sample.user = event.user;
+    sample.history = window;
+    sample.target = event.checkin;
+    out->push_back(std::move(sample));
+    emitted = 1;
+  }
+  window.push_back(event.checkin);
+  if (static_cast<int64_t>(window.size()) > options_.max_history) {
+    window.erase(window.begin());
+  }
+  return emitted;
+}
+
+}  // namespace tspn::train

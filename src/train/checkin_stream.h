@@ -1,0 +1,110 @@
+#ifndef TSPN_TRAIN_CHECKIN_STREAM_H_
+#define TSPN_TRAIN_CHECKIN_STREAM_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "data/poi.h"
+#include "eval/model_api.h"
+#include "geo/geometry.h"
+
+namespace tspn::train {
+
+/// One live check-in flowing through the training pipeline. For POIs the
+/// dataset already knows, `checkin.poi_id` resolves through the dataset and
+/// the trailing fields are unused. For POIs that first appear mid-stream
+/// (cold start), `novel` is set and the location/category travel with the
+/// event — the dataset cannot resolve them, and the cold-start priors
+/// (eval/cold_start.h) need them to make the POI rankable.
+struct StreamEvent {
+  int64_t user = -1;
+  data::Checkin checkin;
+  bool novel = false;
+  geo::GeoPoint loc;
+  int32_t category = -1;
+};
+
+/// Point-in-time counters of a CheckinStream.
+struct StreamStats {
+  int64_t pushed = 0;   ///< accepted by Push (dropped events included)
+  int64_t dropped = 0;  ///< oldest events evicted by backpressure
+  int64_t popped = 0;   ///< handed to the consumer
+  int64_t depth = 0;    ///< currently buffered
+};
+
+/// Bounded MPSC buffer between check-in producers (live traffic, the
+/// LiveFeed replayer) and the continual trainer. Backpressure is
+/// drop-oldest: a full buffer evicts its oldest event rather than blocking
+/// the producer — a trainer that falls behind trains on the freshest
+/// traffic, which is the point of online learning, and the drop counter
+/// makes the lag observable. Push never blocks; PopBatch blocks (bounded by
+/// `wait`) until events arrive or the stream closes.
+class CheckinStream {
+ public:
+  explicit CheckinStream(int64_t capacity);
+
+  /// Enqueues one event, evicting the oldest when full. Events pushed after
+  /// Close() are rejected (counted neither as pushed nor dropped).
+  void Push(const StreamEvent& event);
+
+  /// Pops up to `max_events` in arrival order. Blocks until at least one
+  /// event is available, the stream is closed, or `wait_ms` elapses —
+  /// whichever comes first. An empty result with closed() true means the
+  /// stream is fully drained.
+  std::vector<StreamEvent> PopBatch(int64_t max_events, int64_t wait_ms);
+
+  /// Signals end-of-stream: producers stop, the consumer drains what
+  /// remains and then sees empty batches.
+  void Close();
+
+  bool closed() const;
+  StreamStats Stats() const;
+
+ private:
+  const int64_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<StreamEvent> queue_;
+  bool closed_ = false;
+  int64_t pushed_ = 0;
+  int64_t dropped_ = 0;
+  int64_t popped_ = 0;
+};
+
+/// Per-user sequence assembly: folds the interleaved event stream into the
+/// paper's trajectory windows (a gap of >= `window_gap_hours` starts a new
+/// window, Sec. II-A) and emits one eval::OnlineSample per check-in that
+/// extends a non-empty window — exactly the prediction instances the
+/// offline dataset would have generated from the same stream. Novel-POI
+/// events extend the user's window (they are real visits) but the samples
+/// they terminate are still emitted; the trainer's feature extraction
+/// decides what is trainable.
+class SampleAssembler {
+ public:
+  struct Options {
+    int64_t window_gap_hours = 72;  ///< the paper's delta-t
+    int64_t max_history = 64;       ///< per-sample history cap (newest kept)
+  };
+
+  explicit SampleAssembler(Options options) : options_(options) {}
+
+  /// Feeds one event; appends any completed samples to `out` and returns
+  /// how many were appended (0 or 1). Events must arrive time-ordered per
+  /// user (the stream preserves producer order).
+  int64_t Feed(const StreamEvent& event, std::vector<eval::OnlineSample>* out);
+
+  /// Number of users with an open window.
+  int64_t ActiveUsers() const { return static_cast<int64_t>(windows_.size()); }
+
+ private:
+  Options options_;
+  std::unordered_map<int64_t, std::vector<data::Checkin>> windows_;
+};
+
+}  // namespace tspn::train
+
+#endif  // TSPN_TRAIN_CHECKIN_STREAM_H_

@@ -1,0 +1,88 @@
+#include "train/live_feed.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "data/checkin_generator.h"
+
+namespace tspn::train {
+
+LiveFeed::LiveFeed(std::shared_ptr<const data::CityDataset> dataset,
+                   Options options) {
+  TSPN_CHECK(dataset != nullptr);
+  // The world is reconstructed from the dataset's accessors rather than
+  // rebuilt from the profile, so the feed is guaranteed to walk the exact
+  // POI inventory the serving model was trained over.
+  data::World world{dataset->layout(), dataset->roads(), dataset->categories(),
+                    dataset->pois()};
+
+  data::CityProfile profile = dataset->profile();
+  profile.seed ^= options.seed;  // new behaviour stream over the same world
+  if (options.checkins_per_user > 0) {
+    profile.checkins_per_user = options.checkins_per_user;
+  }
+  std::vector<data::UserStream> streams = data::SimulateUsers(profile, world);
+
+  size_t total = 0;
+  for (const data::UserStream& s : streams) total += s.checkins.size();
+  events_.reserve(total);
+  for (size_t user = 0; user < streams.size(); ++user) {
+    for (const data::Checkin& checkin : streams[user].checkins) {
+      StreamEvent event;
+      event.user = static_cast<int64_t>(user);
+      event.checkin = checkin;
+      events_.push_back(event);
+    }
+  }
+  // Global arrival order: by timestamp, user index breaking ties so the
+  // order is total and seed-stable.
+  std::stable_sort(events_.begin(), events_.end(),
+                   [](const StreamEvent& a, const StreamEvent& b) {
+                     if (a.checkin.timestamp != b.checkin.timestamp) {
+                       return a.checkin.timestamp < b.checkin.timestamp;
+                     }
+                     return a.user < b.user;
+                   });
+
+  if (options.novel_poi_count > 0 && !events_.empty()) {
+    common::Rng rng(options.seed ^ 0xC01D57A27ULL);
+    const geo::BoundingBox& bbox = dataset->profile().bbox;
+    const int64_t num_categories =
+        static_cast<int64_t>(dataset->categories().size());
+    struct NovelPoi {
+      geo::GeoPoint loc;
+      int32_t category;
+    };
+    std::vector<NovelPoi> novel(static_cast<size_t>(options.novel_poi_count));
+    for (NovelPoi& poi : novel) {
+      poi.loc.lat = rng.Uniform(bbox.min_lat, bbox.max_lat);
+      poi.loc.lon = rng.Uniform(bbox.min_lon, bbox.max_lon);
+      poi.category = static_cast<int32_t>(rng.UniformInt(num_categories));
+    }
+    const int64_t base_id = static_cast<int64_t>(dataset->pois().size());
+    const int64_t every = std::max<int64_t>(1, options.novel_visit_every);
+    for (size_t i = every - 1; i < events_.size();
+         i += static_cast<size_t>(every)) {
+      const int64_t pick = rng.UniformInt(options.novel_poi_count);
+      StreamEvent& event = events_[i];
+      event.checkin.poi_id = base_id + pick;
+      event.novel = true;
+      event.loc = novel[static_cast<size_t>(pick)].loc;
+      event.category = novel[static_cast<size_t>(pick)].category;
+    }
+  }
+}
+
+int64_t LiveFeed::PumpInto(CheckinStream& stream, int64_t n) {
+  const int64_t remaining = Remaining();
+  const int64_t take = n <= 0 ? remaining : std::min<int64_t>(n, remaining);
+  for (int64_t i = 0; i < take; ++i) {
+    stream.Push(events_[static_cast<size_t>(cursor_ + i)]);
+  }
+  cursor_ += take;
+  return take;
+}
+
+}  // namespace tspn::train

@@ -1,0 +1,57 @@
+#ifndef TSPN_TRAIN_LIVE_FEED_H_
+#define TSPN_TRAIN_LIVE_FEED_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "data/dataset.h"
+#include "train/checkin_stream.h"
+
+namespace tspn::train {
+
+/// Deterministic "live traffic" replayer: re-runs the behavioural simulator
+/// (data::SimulateUsers) over the dataset's existing world — same city,
+/// roads, categories and POIs — under a *different* seed, producing
+/// check-ins the model has never trained on, merged across users into one
+/// time-ordered stream. A fixed seed yields an identical event sequence
+/// (and hence, through SampleAssembler, an identical sample sequence) on
+/// every run, which is what makes the trainer tests reproducible.
+///
+/// Cold start: `novel_poi_count > 0` synthesizes that many POIs that do not
+/// exist in the dataset (ids starting at dataset->pois().size(), locations
+/// drawn inside the region) and rewrites every `novel_visit_every`-th event
+/// into a visit to one of them — the mid-stream arrivals the cold-start
+/// priors must make rankable.
+class LiveFeed {
+ public:
+  struct Options {
+    uint64_t seed = 0x5EEDF00D;     ///< traffic seed (decoupled from the
+                                    ///< dataset's world/behaviour seed)
+    int64_t checkins_per_user = 0;  ///< 0 = the profile's own count
+    int64_t novel_poi_count = 0;
+    int64_t novel_visit_every = 16;
+  };
+
+  LiveFeed(std::shared_ptr<const data::CityDataset> dataset, Options options);
+
+  /// All events, time-ordered, novel rewrites applied.
+  const std::vector<StreamEvent>& events() const { return events_; }
+
+  /// Pushes up to `n` not-yet-pumped events into the stream (n <= 0 pumps
+  /// everything left). Returns how many were pushed; 0 means exhausted.
+  int64_t PumpInto(CheckinStream& stream, int64_t n);
+
+  /// Events not yet pumped.
+  int64_t Remaining() const {
+    return static_cast<int64_t>(events_.size()) - cursor_;
+  }
+
+ private:
+  std::vector<StreamEvent> events_;
+  int64_t cursor_ = 0;
+};
+
+}  // namespace tspn::train
+
+#endif  // TSPN_TRAIN_LIVE_FEED_H_

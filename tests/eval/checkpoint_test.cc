@@ -129,6 +129,60 @@ TEST_F(CheckpointTest, FailedLoadLeavesLiveWeightsUntouched) {
   }
 }
 
+TEST_F(CheckpointTest, SaveIsAtomic) {
+  // SaveCheckpoint publishes via tmp + fsync + rename: after it returns the
+  // destination is complete and loadable and no staging file lingers —
+  // even when the destination already held a good checkpoint and the
+  // staging path held junk from a (simulated) earlier crash.
+  ModelOptions options;
+  options.dm = 16;
+  auto model = ModelRegistry::Global().Create("GRU", dataset_, options);
+  TrainOptions train;
+  train.epochs = 1;
+  train.max_samples_per_epoch = 12;
+  model->Train(train);
+
+  const std::string path = TempPath("ckpt_atomic_publish.bin");
+  {  // Stale junk at both the destination and the staging path.
+    std::ofstream junk_dst(path, std::ios::binary);
+    junk_dst << "torn-checkpoint-bytes";
+    std::ofstream junk_tmp(path + ".tmp", std::ios::binary);
+    junk_tmp << "crashed-mid-write";
+  }
+  model->SaveCheckpoint(path);
+
+  std::ifstream tmp_left(path + ".tmp");
+  EXPECT_FALSE(tmp_left.is_open()) << "staging file must not outlive the save";
+  auto restored = ModelRegistry::Global().Create("GRU", dataset_, options);
+  EXPECT_TRUE(restored->LoadCheckpoint(path));
+}
+
+TEST_F(CheckpointTest, TornWriteNeverReplacesPreviousCheckpoint) {
+  // The crash-safety property the rename buys: a writer dying mid-stage
+  // leaves only `*.tmp` debris, so the previously published checkpoint
+  // still loads. Simulated by staging the torn bytes by hand.
+  ModelOptions options;
+  options.dm = 16;
+  auto model = ModelRegistry::Global().Create("GRU", dataset_, options);
+  TrainOptions train;
+  train.epochs = 1;
+  train.max_samples_per_epoch = 12;
+  model->Train(train);
+  const std::string path = TempPath("ckpt_torn.bin");
+  model->SaveCheckpoint(path);
+
+  {  // A later save that "crashed" before rename: only the tmp is touched.
+    std::ifstream in(path, std::ios::binary);
+    std::string bytes((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+    std::ofstream out(path + ".tmp", std::ios::binary);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size() / 3));
+  }
+  auto restored = ModelRegistry::Global().Create("GRU", dataset_, options);
+  EXPECT_TRUE(restored->LoadCheckpoint(path));
+  std::remove((path + ".tmp").c_str());
+}
+
 TEST_F(CheckpointTest, CorruptedFilesAreRejected) {
   ModelOptions options;
   options.dm = 16;

@@ -1,0 +1,155 @@
+// Cold-start priors: POIs the model has never embedded become rankable from
+// proximity / category-time / density context, and Augment() surfaces them
+// strictly below every model-ranked item.
+
+#include "eval/cold_start.h"
+
+#include <gtest/gtest.h>
+
+#include "data/dataset.h"
+#include "data/poi.h"
+
+namespace tspn::eval {
+namespace {
+
+class ColdStartTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    dataset_ = data::CityDataset::Generate(data::CityProfile::TestTiny());
+  }
+  static geo::GeoPoint Center() {
+    const geo::BoundingBox& bbox = dataset_->profile().bbox;
+    return {(bbox.min_lat + bbox.max_lat) / 2.0,
+            (bbox.min_lon + bbox.max_lon) / 2.0};
+  }
+  static int64_t ColdId(int64_t offset) {
+    return static_cast<int64_t>(dataset_->pois().size()) + offset;
+  }
+  static std::shared_ptr<data::CityDataset> dataset_;
+};
+
+std::shared_ptr<data::CityDataset> ColdStartTest::dataset_;
+
+TEST_F(ColdStartTest, KnownIdsAreNotCold) {
+  ColdStartPriors priors(dataset_, {});
+  // Every id the dataset resolves is rejected: the model already ranks it.
+  EXPECT_FALSE(priors.AddPoi(0, Center(), 0));
+  EXPECT_FALSE(priors.AddPoi(
+      static_cast<int64_t>(dataset_->pois().size()) - 1, Center(), 0));
+  EXPECT_EQ(priors.NumColdPois(), 0);
+  // First out-of-vocabulary id is accepted.
+  EXPECT_TRUE(priors.AddPoi(ColdId(0), Center(), 0));
+  EXPECT_TRUE(priors.Contains(ColdId(0)));
+  EXPECT_EQ(priors.NumColdPois(), 1);
+  // Re-registering is idempotent.
+  EXPECT_TRUE(priors.AddPoi(ColdId(0), Center(), 1));
+  EXPECT_EQ(priors.NumColdPois(), 1);
+}
+
+TEST_F(ColdStartTest, UnregisteredIdsScoreZero) {
+  ColdStartPriors priors(dataset_, {});
+  EXPECT_EQ(priors.Score(ColdId(5), Center(), 0), 0.0);
+  EXPECT_EQ(priors.Score(0, Center(), 0), 0.0);  // known ids too
+}
+
+TEST_F(ColdStartTest, CloserPoisScoreHigher) {
+  ColdStartPriors priors(dataset_, {});
+  const geo::GeoPoint from = Center();
+  geo::GeoPoint near = from;
+  near.lat += 0.001;
+  geo::GeoPoint far = from;
+  far.lat += 0.02;
+  ASSERT_TRUE(priors.AddPoi(ColdId(0), near, 0));
+  ASSERT_TRUE(priors.AddPoi(ColdId(1), far, 0));
+  const double near_score = priors.Score(ColdId(0), from, 0);
+  const double far_score = priors.Score(ColdId(1), from, 0);
+  EXPECT_GT(near_score, 0.0);
+  EXPECT_GT(near_score, far_score);
+}
+
+TEST_F(ColdStartTest, ObservedCategoryShareLiftsAffinity) {
+  ColdStartPriors priors(dataset_, {});
+  const geo::GeoPoint from = Center();
+  geo::GeoPoint loc = from;
+  loc.lat += 0.002;
+  ASSERT_TRUE(priors.AddPoi(ColdId(0), loc, /*category=*/3));
+  ASSERT_TRUE(priors.AddPoi(ColdId(1), loc, /*category=*/4));
+  const int64_t timestamp = 9 * 3600;  // some fixed day-part
+  // Same spot, no statistics yet: the two categories tie.
+  EXPECT_EQ(priors.Score(ColdId(0), from, timestamp),
+            priors.Score(ColdId(1), from, timestamp));
+  // Category 3 dominates the observed traffic in this day-part...
+  for (int i = 0; i < 10; ++i) priors.RecordVisit(loc, 3, timestamp);
+  priors.RecordVisit(loc, 4, timestamp);
+  // ...so its cold POI now outranks the equally-placed category-4 one.
+  EXPECT_GT(priors.Score(ColdId(0), from, timestamp),
+            priors.Score(ColdId(1), from, timestamp));
+}
+
+TEST_F(ColdStartTest, VisitDensityLiftsScore) {
+  const geo::BoundingBox& bbox = dataset_->profile().bbox;
+  ColdStartPriors priors(dataset_, {});
+  const geo::GeoPoint from = Center();
+  // Two cold POIs equidistant from `from` (symmetric about the centre) but
+  // in different grid cells; flood one cell with visits of an unrelated
+  // category so only the density term separates them.
+  geo::GeoPoint busy = from;
+  busy.lon = from.lon + (bbox.max_lon - from.lon) * 0.5;
+  geo::GeoPoint quiet = from;
+  quiet.lon = from.lon - (from.lon - bbox.min_lon) * 0.5;
+  ASSERT_TRUE(priors.AddPoi(ColdId(0), busy, 0));
+  ASSERT_TRUE(priors.AddPoi(ColdId(1), quiet, 0));
+  for (int i = 0; i < 20; ++i) priors.RecordVisit(busy, /*category=*/7, 0);
+  EXPECT_GT(priors.Score(ColdId(0), from, 0),
+            priors.Score(ColdId(1), from, 0));
+}
+
+TEST_F(ColdStartTest, AugmentStaysStrictlyBelowModelFloor) {
+  ColdStartPriors priors(dataset_, {});
+  const geo::GeoPoint from = Center();
+  geo::GeoPoint near = from;
+  near.lat += 0.001;
+  geo::GeoPoint far = from;
+  far.lat += 0.01;
+  ASSERT_TRUE(priors.AddPoi(ColdId(0), far, 0));
+  ASSERT_TRUE(priors.AddPoi(ColdId(1), near, 0));
+
+  RecommendResponse response;
+  response.items.push_back({/*poi_id=*/10, /*score=*/5.0f, /*tile_index=*/2});
+  response.items.push_back({/*poi_id=*/11, /*score=*/0.25f, /*tile_index=*/2});
+  const float floor = response.items.back().score;
+
+  EXPECT_EQ(priors.Augment(from, 0, /*top_n=*/5, &response), 2);
+  ASSERT_EQ(response.items.size(), 4u);
+  // Model items untouched, cold items appended prior-ordered (near first)
+  // and every one strictly under the model floor.
+  EXPECT_EQ(response.items[0].poi_id, 10);
+  EXPECT_EQ(response.items[2].poi_id, ColdId(1));
+  EXPECT_EQ(response.items[3].poi_id, ColdId(0));
+  for (size_t i = 2; i < response.items.size(); ++i) {
+    EXPECT_LT(response.items[i].score, floor);
+    EXPECT_EQ(response.items[i].tile_index, -1);
+  }
+  EXPECT_GT(response.items[2].score, response.items[3].score);
+}
+
+TEST_F(ColdStartTest, AugmentRespectsTopN) {
+  ColdStartPriors priors(dataset_, {});
+  const geo::GeoPoint from = Center();
+  for (int64_t i = 0; i < 6; ++i) {
+    geo::GeoPoint loc = from;
+    loc.lat += 0.001 * static_cast<double>(i + 1);
+    ASSERT_TRUE(priors.AddPoi(ColdId(i), loc, 0));
+  }
+  RecommendResponse response;
+  response.items.push_back({10, 1.0f, 0});
+  // Only top_n - |items| slots are filled, best priors first.
+  EXPECT_EQ(priors.Augment(from, 0, /*top_n=*/4, &response), 3);
+  EXPECT_EQ(response.items.size(), 4u);
+  EXPECT_EQ(response.items[1].poi_id, ColdId(0));  // nearest = best prior
+  // A response already at capacity gains nothing.
+  EXPECT_EQ(priors.Augment(from, 0, /*top_n=*/4, &response), 0);
+}
+
+}  // namespace
+}  // namespace tspn::eval

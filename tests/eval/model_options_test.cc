@@ -26,6 +26,22 @@ TEST(ModelOptionsTest, EveryKnobRoundTrips) {
   // it back (full uint64 round-trip).
   options.seed = 0x8000000000000001ULL;
   options.image_resolution = 32;
+  options.num_fusion_layers = 3;
+  options.num_hgat_layers = 1;
+  options.max_seq_len = 24;
+  options.top_k_tiles = 7;
+  options.grid_cells_per_side = 9;
+  // Values with no exact short decimal: the float emitter must round-trip
+  // them bit-exactly.
+  options.alpha = 0.61803398875f;
+  options.dropout = 0.15f;
+  options.spatial_scale = 48.5f;
+  options.use_quadtree = false;
+  options.use_two_step = false;
+  options.use_graph = false;
+  options.use_imagery = false;
+  options.use_st_encoder = false;
+  options.use_category = false;
   ModelOptions parsed;
   std::string error;
   ASSERT_TRUE(ModelOptions::FromKeyValues(options.ToKeyValues(), &parsed, &error))
@@ -33,6 +49,20 @@ TEST(ModelOptionsTest, EveryKnobRoundTrips) {
   EXPECT_EQ(parsed.dm, 48);
   EXPECT_EQ(parsed.seed, 0x8000000000000001ULL);
   EXPECT_EQ(parsed.image_resolution, 32);
+  EXPECT_EQ(parsed.num_fusion_layers, 3);
+  EXPECT_EQ(parsed.num_hgat_layers, 1);
+  EXPECT_EQ(parsed.max_seq_len, 24);
+  EXPECT_EQ(parsed.top_k_tiles, 7);
+  EXPECT_EQ(parsed.grid_cells_per_side, 9);
+  EXPECT_EQ(parsed.alpha, options.alpha);
+  EXPECT_EQ(parsed.dropout, options.dropout);
+  EXPECT_EQ(parsed.spatial_scale, options.spatial_scale);
+  EXPECT_FALSE(parsed.use_quadtree);
+  EXPECT_FALSE(parsed.use_two_step);
+  EXPECT_FALSE(parsed.use_graph);
+  EXPECT_FALSE(parsed.use_imagery);
+  EXPECT_FALSE(parsed.use_st_encoder);
+  EXPECT_FALSE(parsed.use_category);
 }
 
 TEST(ModelOptionsTest, UnknownKeyIsRejectedByName) {
@@ -67,6 +97,56 @@ TEST(ModelOptionsTest, BadValuesAreRejected) {
   EXPECT_FALSE(options.Set("nope", "1", nullptr));
   EXPECT_TRUE(options.Set("dm", "64", nullptr));
   EXPECT_EQ(options.dm, 64);
+}
+
+TEST(ModelOptionsTest, ExtendedKnobBadValuesAreRejected) {
+  ModelOptions options;
+  std::string error;
+  EXPECT_FALSE(options.Set("alpha", "wide", &error));
+  EXPECT_NE(error.find("alpha"), std::string::npos) << error;
+  EXPECT_FALSE(options.Set("alpha", "-0.5", &error));
+  EXPECT_FALSE(options.Set("dropout", "0.1abc", &error));
+  EXPECT_FALSE(options.Set("spatial_scale", "inf", &error));
+  EXPECT_FALSE(options.Set("use_graph", "maybe", &error));
+  EXPECT_NE(error.find("use_graph"), std::string::npos) << error;
+  EXPECT_FALSE(options.Set("max_seq_len", "-1", &error));
+  EXPECT_FALSE(options.Set("top_k_tiles", "4294967296", &error));
+  EXPECT_NE(error.find("out of range"), std::string::npos) << error;
+  // Nothing mutated by the failures.
+  const ModelOptions defaults;
+  EXPECT_EQ(options.alpha, defaults.alpha);
+  EXPECT_EQ(options.dropout, defaults.dropout);
+  EXPECT_TRUE(options.use_graph);
+  EXPECT_EQ(options.max_seq_len, defaults.max_seq_len);
+
+  // Bool knobs accept 1/0 alongside true/false.
+  EXPECT_TRUE(options.Set("use_two_step", "0", &error));
+  EXPECT_FALSE(options.use_two_step);
+  EXPECT_TRUE(options.Set("use_two_step", "1", &error));
+  EXPECT_TRUE(options.use_two_step);
+}
+
+TEST(ModelOptionsTest, RegistryAppliesExtendedKnobs) {
+  // The TSPN-RA factory must honour the plumbed config: a grid-partition,
+  // no-graph clone built from key/values serves (and differs structurally
+  // from the quadtree default via its config).
+  auto dataset =
+      data::CityDataset::Generate(data::CityProfile::TestTiny());
+  std::map<std::string, std::string> kv = {
+      {"dm", "16"},          {"use_quadtree", "false"},
+      {"use_graph", "false"}, {"max_seq_len", "8"},
+      {"top_k_tiles", "4"},   {"grid_cells_per_side", "6"}};
+  ModelOptions parsed;
+  std::string error;
+  ASSERT_TRUE(ModelOptions::FromKeyValues(kv, &parsed, &error)) << error;
+  auto model = ModelRegistry::Global().Create("TSPN-RA", dataset, parsed);
+  ASSERT_NE(model, nullptr);
+  auto samples = dataset->Samples(data::Split::kTest);
+  ASSERT_FALSE(samples.empty());
+  RecommendRequest request;
+  request.sample = samples[0];
+  request.top_n = 5;
+  EXPECT_FALSE(model->Recommend(request).items.empty());
 }
 
 }  // namespace

@@ -1,0 +1,303 @@
+// Stream plumbing of the continual-training pipeline: bounded MPSC buffer
+// ordering / drop-oldest backpressure / close-drain semantics, the per-user
+// sample assembler's 72h window rule, and LiveFeed's seed determinism (the
+// property the trainer tests stand on).
+
+#include "train/checkin_stream.h"
+
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "data/dataset.h"
+#include "train/live_feed.h"
+
+namespace tspn::train {
+namespace {
+
+StreamEvent Event(int64_t user, int64_t poi, int64_t timestamp) {
+  StreamEvent event;
+  event.user = user;
+  event.checkin.poi_id = poi;
+  event.checkin.timestamp = timestamp;
+  return event;
+}
+
+TEST(CheckinStreamTest, PopPreservesArrivalOrder) {
+  CheckinStream stream(16);
+  for (int64_t i = 0; i < 10; ++i) stream.Push(Event(0, i, 1000 + i));
+  std::vector<StreamEvent> batch = stream.PopBatch(4, 0);
+  ASSERT_EQ(batch.size(), 4u);
+  for (int64_t i = 0; i < 4; ++i) EXPECT_EQ(batch[i].checkin.poi_id, i);
+  batch = stream.PopBatch(100, 0);
+  ASSERT_EQ(batch.size(), 6u);
+  for (int64_t i = 0; i < 6; ++i) EXPECT_EQ(batch[i].checkin.poi_id, 4 + i);
+
+  StreamStats stats = stream.Stats();
+  EXPECT_EQ(stats.pushed, 10);
+  EXPECT_EQ(stats.dropped, 0);
+  EXPECT_EQ(stats.popped, 10);
+  EXPECT_EQ(stats.depth, 0);
+}
+
+TEST(CheckinStreamTest, BackpressureDropsOldest) {
+  CheckinStream stream(4);
+  for (int64_t i = 0; i < 10; ++i) stream.Push(Event(0, i, 1000 + i));
+  StreamStats stats = stream.Stats();
+  EXPECT_EQ(stats.pushed, 10);
+  EXPECT_EQ(stats.dropped, 6);
+  EXPECT_EQ(stats.depth, 4);
+  // The survivors are the *freshest* events — the trainer keeps up with the
+  // head of the traffic, never a stale prefix.
+  std::vector<StreamEvent> batch = stream.PopBatch(100, 0);
+  ASSERT_EQ(batch.size(), 4u);
+  for (int64_t i = 0; i < 4; ++i) EXPECT_EQ(batch[i].checkin.poi_id, 6 + i);
+}
+
+TEST(CheckinStreamTest, CloseDrainsThenSignalsEnd) {
+  CheckinStream stream(16);
+  stream.Push(Event(0, 1, 1000));
+  stream.Push(Event(0, 2, 1001));
+  stream.Close();
+  EXPECT_TRUE(stream.closed());
+  // Remaining events still drain after Close...
+  std::vector<StreamEvent> batch = stream.PopBatch(100, 0);
+  EXPECT_EQ(batch.size(), 2u);
+  // ...then empty + closed marks exhaustion, without blocking.
+  EXPECT_TRUE(stream.PopBatch(100, 1000).empty());
+  // Pushes after Close are rejected and not counted.
+  stream.Push(Event(0, 3, 1002));
+  StreamStats stats = stream.Stats();
+  EXPECT_EQ(stats.pushed, 2);
+  EXPECT_EQ(stats.depth, 0);
+}
+
+TEST(CheckinStreamTest, PopBlocksUntilPushArrives) {
+  CheckinStream stream(16);
+  std::thread producer([&stream] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    stream.Push(Event(7, 42, 5000));
+  });
+  // wait_ms well above the producer delay: the pop must return as soon as
+  // the event lands, carrying it.
+  std::vector<StreamEvent> batch = stream.PopBatch(10, 5000);
+  producer.join();
+  ASSERT_EQ(batch.size(), 1u);
+  EXPECT_EQ(batch[0].user, 7);
+  EXPECT_EQ(batch[0].checkin.poi_id, 42);
+}
+
+TEST(CheckinStreamTest, ConcurrentProducersLoseNothingBelowCapacity) {
+  constexpr int64_t kPerProducer = 200;
+  CheckinStream stream(4 * kPerProducer);
+  std::vector<std::thread> producers;
+  for (int64_t p = 0; p < 4; ++p) {
+    producers.emplace_back([&stream, p] {
+      for (int64_t i = 0; i < kPerProducer; ++i) {
+        stream.Push(Event(p, i, 1000 + i));
+      }
+    });
+  }
+  for (std::thread& t : producers) t.join();
+  stream.Close();
+  int64_t total = 0;
+  std::vector<int64_t> next_per_user(4, 0);
+  while (true) {
+    std::vector<StreamEvent> batch = stream.PopBatch(64, 100);
+    if (batch.empty()) break;
+    for (const StreamEvent& event : batch) {
+      ++total;
+      // Per-producer order survives the interleaving (MPSC FIFO).
+      EXPECT_EQ(event.checkin.poi_id, next_per_user[event.user]++);
+    }
+  }
+  EXPECT_EQ(total, 4 * kPerProducer);
+  EXPECT_EQ(stream.Stats().dropped, 0);
+}
+
+TEST(SampleAssemblerTest, EmitsOneSamplePerWindowExtension) {
+  SampleAssembler assembler({/*window_gap_hours=*/72, /*max_history=*/64});
+  std::vector<eval::OnlineSample> samples;
+  const int64_t hour = 3600;
+  // Three check-ins within one window: the first opens it (no sample), the
+  // next two each extend it (one sample each, growing history).
+  EXPECT_EQ(assembler.Feed(Event(1, 10, 0), &samples), 0);
+  EXPECT_EQ(assembler.Feed(Event(1, 11, 2 * hour), &samples), 1);
+  EXPECT_EQ(assembler.Feed(Event(1, 12, 5 * hour), &samples), 1);
+  ASSERT_EQ(samples.size(), 2u);
+  EXPECT_EQ(samples[0].user, 1);
+  ASSERT_EQ(samples[0].history.size(), 1u);
+  EXPECT_EQ(samples[0].history[0].poi_id, 10);
+  EXPECT_EQ(samples[0].target.poi_id, 11);
+  ASSERT_EQ(samples[1].history.size(), 2u);
+  EXPECT_EQ(samples[1].history[1].poi_id, 11);
+  EXPECT_EQ(samples[1].target.poi_id, 12);
+  EXPECT_EQ(assembler.ActiveUsers(), 1);
+}
+
+TEST(SampleAssemblerTest, GapStartsFreshWindow) {
+  SampleAssembler assembler({/*window_gap_hours=*/72, /*max_history=*/64});
+  std::vector<eval::OnlineSample> samples;
+  const int64_t hour = 3600;
+  assembler.Feed(Event(1, 10, 0), &samples);
+  assembler.Feed(Event(1, 11, hour), &samples);
+  ASSERT_EQ(samples.size(), 1u);
+  // >= 72h later: the window resets, so this check-in opens a new one and
+  // emits nothing — exactly the paper's trajectory-splitting rule.
+  EXPECT_EQ(assembler.Feed(Event(1, 12, hour + 72 * hour), &samples), 0);
+  ASSERT_EQ(samples.size(), 1u);
+  // The next extension predicts from the *new* window only.
+  EXPECT_EQ(assembler.Feed(Event(1, 13, hour + 73 * hour), &samples), 1);
+  ASSERT_EQ(samples.size(), 2u);
+  ASSERT_EQ(samples[1].history.size(), 1u);
+  EXPECT_EQ(samples[1].history[0].poi_id, 12);
+}
+
+TEST(SampleAssemblerTest, UsersAreIndependent) {
+  SampleAssembler assembler({72, 64});
+  std::vector<eval::OnlineSample> samples;
+  assembler.Feed(Event(1, 10, 0), &samples);
+  assembler.Feed(Event(2, 20, 10), &samples);
+  EXPECT_TRUE(samples.empty());  // each user only opened their own window
+  assembler.Feed(Event(2, 21, 20), &samples);
+  ASSERT_EQ(samples.size(), 1u);
+  EXPECT_EQ(samples[0].user, 2);
+  ASSERT_EQ(samples[0].history.size(), 1u);
+  EXPECT_EQ(samples[0].history[0].poi_id, 20);
+  EXPECT_EQ(assembler.ActiveUsers(), 2);
+}
+
+TEST(SampleAssemblerTest, HistoryIsCappedToNewest) {
+  SampleAssembler assembler({/*window_gap_hours=*/72, /*max_history=*/3});
+  std::vector<eval::OnlineSample> samples;
+  for (int64_t i = 0; i < 8; ++i) {
+    assembler.Feed(Event(1, 100 + i, i * 60), &samples);
+  }
+  ASSERT_EQ(samples.size(), 7u);
+  const eval::OnlineSample& last = samples.back();
+  ASSERT_EQ(last.history.size(), 3u);  // capped, newest retained
+  EXPECT_EQ(last.history[0].poi_id, 104);
+  EXPECT_EQ(last.history[2].poi_id, 106);
+  EXPECT_EQ(last.target.poi_id, 107);
+}
+
+class LiveFeedTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    dataset_ = data::CityDataset::Generate(data::CityProfile::TestTiny());
+  }
+  static std::shared_ptr<data::CityDataset> dataset_;
+};
+
+std::shared_ptr<data::CityDataset> LiveFeedTest::dataset_;
+
+TEST_F(LiveFeedTest, FixedSeedYieldsIdenticalEventAndSampleSequences) {
+  LiveFeed::Options options;
+  options.seed = 2024;
+  options.novel_poi_count = 3;
+  options.novel_visit_every = 10;
+  LiveFeed a(dataset_, options);
+  LiveFeed b(dataset_, options);
+  ASSERT_FALSE(a.events().empty());
+  ASSERT_EQ(a.events().size(), b.events().size());
+  for (size_t i = 0; i < a.events().size(); ++i) {
+    EXPECT_EQ(a.events()[i].user, b.events()[i].user);
+    EXPECT_EQ(a.events()[i].checkin.poi_id, b.events()[i].checkin.poi_id);
+    EXPECT_EQ(a.events()[i].checkin.timestamp, b.events()[i].checkin.timestamp);
+    EXPECT_EQ(a.events()[i].novel, b.events()[i].novel);
+  }
+  // The downstream sample assembly is therefore deterministic too.
+  auto assemble = [](const LiveFeed& feed) {
+    SampleAssembler assembler({72, 64});
+    std::vector<eval::OnlineSample> samples;
+    for (const StreamEvent& event : feed.events()) {
+      assembler.Feed(event, &samples);
+    }
+    return samples;
+  };
+  std::vector<eval::OnlineSample> sa = assemble(a);
+  std::vector<eval::OnlineSample> sb = assemble(b);
+  ASSERT_EQ(sa.size(), sb.size());
+  ASSERT_FALSE(sa.empty());
+  for (size_t i = 0; i < sa.size(); ++i) {
+    EXPECT_EQ(sa[i].user, sb[i].user);
+    EXPECT_EQ(sa[i].target.poi_id, sb[i].target.poi_id);
+    ASSERT_EQ(sa[i].history.size(), sb[i].history.size());
+  }
+}
+
+TEST_F(LiveFeedTest, DifferentSeedsDiffer) {
+  LiveFeed a(dataset_, {.seed = 2024});
+  LiveFeed b(dataset_, {.seed = 2025});
+  ASSERT_EQ(a.events().size(), b.events().size());
+  bool any_difference = false;
+  for (size_t i = 0; i < a.events().size(); ++i) {
+    if (a.events()[i].checkin.poi_id != b.events()[i].checkin.poi_id ||
+        a.events()[i].checkin.timestamp != b.events()[i].checkin.timestamp) {
+      any_difference = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST_F(LiveFeedTest, EventsAreTimeOrderedAndResolvable) {
+  LiveFeed feed(dataset_, {.seed = 7});
+  const int64_t num_pois = static_cast<int64_t>(dataset_->pois().size());
+  for (size_t i = 0; i < feed.events().size(); ++i) {
+    const StreamEvent& event = feed.events()[i];
+    if (i > 0) {
+      EXPECT_GE(event.checkin.timestamp,
+                feed.events()[i - 1].checkin.timestamp);
+    }
+    EXPECT_FALSE(event.novel);
+    EXPECT_GE(event.checkin.poi_id, 0);
+    EXPECT_LT(event.checkin.poi_id, num_pois);
+  }
+}
+
+TEST_F(LiveFeedTest, NovelInjectionMintsOutOfVocabularyPois) {
+  LiveFeed::Options options;
+  options.seed = 99;
+  options.novel_poi_count = 4;
+  options.novel_visit_every = 8;
+  LiveFeed feed(dataset_, options);
+  const int64_t num_pois = static_cast<int64_t>(dataset_->pois().size());
+  const int64_t num_categories =
+      static_cast<int64_t>(dataset_->categories().size());
+  int64_t novel_events = 0;
+  for (const StreamEvent& event : feed.events()) {
+    if (!event.novel) {
+      EXPECT_LT(event.checkin.poi_id, num_pois);
+      continue;
+    }
+    ++novel_events;
+    // Novel ids live strictly above the dataset vocabulary, and the event
+    // carries everything the cold-start priors need.
+    EXPECT_GE(event.checkin.poi_id, num_pois);
+    EXPECT_LT(event.checkin.poi_id, num_pois + options.novel_poi_count);
+    EXPECT_TRUE(dataset_->profile().bbox.Contains(event.loc));
+    EXPECT_GE(event.category, 0);
+    EXPECT_LT(event.category, num_categories);
+  }
+  EXPECT_EQ(novel_events,
+            static_cast<int64_t>(feed.events().size()) /
+                options.novel_visit_every);
+}
+
+TEST_F(LiveFeedTest, PumpIntoRespectsCursor) {
+  LiveFeed feed(dataset_, {.seed = 5});
+  const int64_t total = feed.Remaining();
+  ASSERT_GT(total, 10);
+  CheckinStream stream(total + 1);
+  EXPECT_EQ(feed.PumpInto(stream, 7), 7);
+  EXPECT_EQ(feed.Remaining(), total - 7);
+  EXPECT_EQ(feed.PumpInto(stream, 0), total - 7);  // n <= 0 pumps the rest
+  EXPECT_EQ(feed.Remaining(), 0);
+  EXPECT_EQ(feed.PumpInto(stream, 100), 0);  // exhausted
+  EXPECT_EQ(stream.Stats().pushed, total);
+}
+
+}  // namespace
+}  // namespace tspn::train
