@@ -171,12 +171,10 @@ ConstraintEvaluator::ConstraintEvaluator(const data::CityDataset& dataset,
     : dataset_(dataset), constraints_(constraints), active_(constraints.Active()) {
   if (!active_) return;
 
-  const bool category_shaped = !constraints.allowed_categories.empty() ||
-                               !constraints.blocked_categories.empty() ||
-                               constraints.open_at >= 0;
-  if (category_shaped) {
-    const size_t num_categories =
-        static_cast<size_t>(dataset.profile().num_categories);
+  const size_t num_categories =
+      static_cast<size_t>(dataset.profile().num_categories);
+  if (!constraints.allowed_categories.empty() ||
+      !constraints.blocked_categories.empty()) {
     category_allowed_.assign(num_categories,
                              constraints.allowed_categories.empty() ? 1 : 0);
     for (int32_t cat : constraints.allowed_categories) {
@@ -189,14 +187,21 @@ ConstraintEvaluator::ConstraintEvaluator(const data::CityDataset& dataset,
         category_allowed_[static_cast<size_t>(cat)] = 0;
       }
     }
-    if (constraints.open_at >= 0) {
-      const data::DayPart part = data::DayPartOf(constraints.open_at);
-      const auto& categories = dataset.categories();
+  }
+  if (constraints.open_at >= 0) {
+    // Resolve the open-time window for every day part up front, so a
+    // multi-step caller can move the query clock without rebuilding the
+    // evaluator (AllowsAt picks the row for its timestamp's day part).
+    const auto& categories = dataset.categories();
+    open_allowed_.assign(static_cast<size_t>(data::kNumDayParts) *
+                             num_categories,
+                         1);
+    for (size_t part = 0; part < static_cast<size_t>(data::kNumDayParts);
+         ++part) {
       for (size_t cat = 0; cat < num_categories && cat < categories.size();
            ++cat) {
-        if (categories[cat].time_weights[static_cast<size_t>(part)] <
-            constraints.min_open_weight) {
-          category_allowed_[cat] = 0;
+        if (categories[cat].time_weights[part] < constraints.min_open_weight) {
+          open_allowed_[part * num_categories + cat] = 0;
         }
       }
     }
@@ -223,11 +228,24 @@ ConstraintEvaluator::ConstraintEvaluator(const data::CityDataset& dataset,
 }
 
 bool ConstraintEvaluator::Allows(int64_t poi_id) const {
+  return AllowsAt(poi_id, constraints_.open_at);
+}
+
+bool ConstraintEvaluator::AllowsAt(int64_t poi_id, int64_t timestamp) const {
   if (!active_) return true;
   const data::Poi& poi = dataset_.poi(poi_id);
   if (!category_allowed_.empty()) {
     const size_t cat = static_cast<size_t>(poi.category);
     if (cat >= category_allowed_.size() || !category_allowed_[cat]) return false;
+  }
+  if (!open_allowed_.empty() && timestamp >= 0) {
+    const size_t num_categories = open_allowed_.size() /
+                                  static_cast<size_t>(data::kNumDayParts);
+    const size_t part = static_cast<size_t>(data::DayPartOf(timestamp));
+    const size_t cat = static_cast<size_t>(poi.category);
+    if (cat >= num_categories || !open_allowed_[part * num_categories + cat]) {
+      return false;
+    }
   }
   if (!visited_.empty() && visited_.count(poi_id) > 0) return false;
   if (fence_ != nullptr) {

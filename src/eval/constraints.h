@@ -41,8 +41,19 @@ class ConstraintEvaluator {
   /// Whether any constraint is active; an inactive evaluator allows all.
   bool active() const { return active_; }
 
-  /// Whether the POI satisfies every active constraint.
+  /// Whether the POI satisfies every active constraint, with the open-time
+  /// window evaluated at the request's own `constraints.open_at`.
   bool Allows(int64_t poi_id) const;
+
+  /// Allows(), but with the open-time window evaluated at `timestamp`
+  /// instead of the request's open_at. Multi-step callers (the itinerary
+  /// planner) advance a clock across one request, so the day-part a POI
+  /// must be open in is a per-step property, not a per-request one; every
+  /// other constraint (allow/block lists, visited set, fence) is
+  /// time-invariant and checked identically. A negative timestamp skips
+  /// the open-time check. No-op passthrough when the request carries no
+  /// open-time constraint (open_at < 0).
+  bool AllowsAt(int64_t poi_id, int64_t timestamp) const;
 
   /// Conservative tile-level prune: false only when no point of `bounds`
   /// can lie inside the geo fence, so an entire candidate tile can be
@@ -54,10 +65,15 @@ class ConstraintEvaluator {
   const CandidateConstraints& constraints_;
   bool active_ = false;
 
-  /// category id -> allowed, folding allow/block lists and the open-time
-  /// window (all three are per-category predicates). Empty when no
-  /// category-shaped constraint is active.
+  /// category id -> allowed, folding the allow/block lists. Empty when
+  /// neither list is active. The open-time window is deliberately NOT
+  /// folded in here (it used to be): it depends on the query time, which
+  /// AllowsAt() varies per call.
   std::vector<char> category_allowed_;
+
+  /// Day-part-resolved open-time mask, [part * num_categories + cat] ->
+  /// open, for all data::kNumDayParts parts. Empty when open_at < 0.
+  std::vector<char> open_allowed_;
   std::unordered_set<int64_t> visited_;
 
   /// Geo-fence prefilter (only when the fence is active): the shared

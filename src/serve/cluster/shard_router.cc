@@ -209,6 +209,35 @@ std::vector<uint8_t> ShardRouter::Route(const std::vector<uint8_t>& frame) {
     rollup.endpoints = Snapshot().endpoints;
     return EncodeStatsResponse(rollup);
   }
+  if (type == FrameType::kItineraryRequest) {
+    // v4 itinerary queries route exactly like recommendations: same
+    // (endpoint, user) key — a user's plans land on the shard that holds
+    // their cache — same rate limit, same breaker/failover walk. No
+    // deadline to rewrite, so the frame always forwards verbatim.
+    std::string endpoint;
+    plan::ItineraryRequest request;
+    uint32_t wire_version = kWireVersion;
+    const DecodeStatus status =
+        DecodeItineraryRequest(frame, &endpoint, &request, &wire_version);
+    if (status != DecodeStatus::kOk) {
+      router_errors_.fetch_add(1);
+      return EncodeErrorFrame(std::string("itinerary frame rejected: ") +
+                                  DecodeStatusName(status),
+                              ErrorCode::kBadFrame);
+    }
+    frames_routed_.fetch_add(1);
+    if (!BucketFor(endpoint).TryAcquire()) {
+      rate_limited_.fetch_add(1);
+      router_errors_.fetch_add(1);
+      return ErrorAt(wire_version, "rate limited: endpoint '" + endpoint + "'",
+                     ErrorCode::kRateLimited);
+    }
+    return ForwardWithFailover(frame, endpoint,
+                               RoutingKey(endpoint, request.start.user),
+                               wire_version, /*deadline_ms=*/0,
+                               /*rewrite=*/nullptr);
+  }
+
   if (type != FrameType::kRequest) {
     router_errors_.fetch_add(1);
     return EncodeErrorFrame("frame type not servable by this endpoint",
@@ -247,6 +276,25 @@ std::vector<uint8_t> ShardRouter::RouteRequest(
   // Key on (endpoint, user): every request of a user hits the same shard,
   // keeping its inference cache hot there.
   const std::string key = RoutingKey(endpoint, request.sample.user);
+  const bool has_deadline = wire_version >= 2 && admission.deadline_ms > 0;
+  std::function<std::vector<uint8_t>(int64_t)> rewrite;
+  if (has_deadline) {
+    // A deadline must be rewritten to the REMAINING budget so the shard
+    // never believes it has time the router already spent.
+    rewrite = [&endpoint, &request, &admission](int64_t remaining) {
+      AdmissionClass forwarded = admission;
+      forwarded.deadline_ms = remaining;
+      return EncodeRecommendRequest(endpoint, request, forwarded);
+    };
+  }
+  return ForwardWithFailover(frame, endpoint, key, wire_version,
+                             has_deadline ? admission.deadline_ms : 0, rewrite);
+}
+
+std::vector<uint8_t> ShardRouter::ForwardWithFailover(
+    const std::vector<uint8_t>& frame, const std::string& endpoint,
+    const std::string& key, uint32_t wire_version, int64_t deadline_ms,
+    const std::function<std::vector<uint8_t>(int64_t)>& rewrite) {
   const std::vector<std::string> replicas =
       ring_.ShardsFor(key, ReplicationFor(endpoint));
   if (replicas.empty()) {
@@ -257,7 +305,7 @@ std::vector<uint8_t> ShardRouter::RouteRequest(
   }
 
   const Clock::time_point start = Clock::now();
-  const bool has_deadline = wire_version >= 2 && admission.deadline_ms > 0;
+  const bool has_deadline = deadline_ms > 0;
   std::string last_error = "no replica attempted";
   bool attempted = false;
 
@@ -266,7 +314,7 @@ std::vector<uint8_t> ShardRouter::RouteRequest(
 
     int64_t remaining = options_.call_timeout_ms;
     if (has_deadline) {
-      remaining = admission.deadline_ms - ElapsedMs(start);
+      remaining = deadline_ms - ElapsedMs(start);
       if (remaining <= 0) {
         deadline_exhausted_.fetch_add(1);
         router_errors_.fetch_add(1);
@@ -293,15 +341,11 @@ std::vector<uint8_t> ShardRouter::RouteRequest(
     }
 
     // Forward the original bytes verbatim whenever the frame carries no
-    // deadline — bit-identical to direct shard access. A deadline must be
-    // rewritten to the REMAINING budget so the shard never believes it has
-    // time the router already spent.
+    // deadline — bit-identical to direct shard access.
     const std::vector<uint8_t>* forward = &frame;
     std::vector<uint8_t> rewritten;
     if (has_deadline) {
-      AdmissionClass forwarded = admission;
-      forwarded.deadline_ms = remaining;
-      rewritten = EncodeRecommendRequest(endpoint, request, forwarded);
+      rewritten = rewrite(remaining);
       forward = &rewritten;
     }
 

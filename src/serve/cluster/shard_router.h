@@ -5,6 +5,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -213,6 +214,19 @@ class ShardRouter : public FrameHandler {
                                     const eval::RecommendRequest& request,
                                     const AdmissionClass& admission,
                                     uint32_t wire_version);
+
+  /// The shared forwarding core under RouteRequest and the v4 itinerary
+  /// path: walks `key`'s replicas on the ring (breaker gate, pooled
+  /// checkout, timed call), passing shard answers — responses AND error
+  /// frames — through verbatim, failing over only on timeout/transport
+  /// trouble. `deadline_ms > 0` budgets the walk and `rewrite(remaining)`
+  /// re-encodes the frame with the remaining budget before each send;
+  /// `deadline_ms <= 0` forwards the original bytes verbatim (`rewrite`
+  /// may be null then).
+  std::vector<uint8_t> ForwardWithFailover(
+      const std::vector<uint8_t>& frame, const std::string& endpoint,
+      const std::string& key, uint32_t wire_version, int64_t deadline_ms,
+      const std::function<std::vector<uint8_t>(int64_t)>& rewrite);
 
   /// Sends one ping on a pooled connection; updates breaker + counters.
   bool PingShard(Shard& shard);

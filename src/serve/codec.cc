@@ -63,7 +63,12 @@ DecodeStatus OpenFrame(common::ByteReader& reader, FrameType want,
                         type == static_cast<uint8_t>(FrameType::kPong) ||
                         type == static_cast<uint8_t>(FrameType::kStatsRequest) ||
                         type == static_cast<uint8_t>(FrameType::kStatsResponse);
-  if (!known_v1 && !(known_v3 && version >= 3)) {
+  // Likewise the v4 itinerary frames: a v1–v3 frame claiming one is
+  // malformed, exactly as a v3-era decoder would judge it.
+  const bool known_v4 =
+      type == static_cast<uint8_t>(FrameType::kItineraryRequest) ||
+      type == static_cast<uint8_t>(FrameType::kItineraryResponse);
+  if (!known_v1 && !(known_v3 && version >= 3) && !(known_v4 && version >= 4)) {
     return DecodeStatus::kMalformedPayload;
   }
   if (type != static_cast<uint8_t>(want)) return DecodeStatus::kWrongFrameType;
@@ -160,7 +165,8 @@ DecodeStatus PeekFrameType(const std::vector<uint8_t>& frame, FrameType* type) {
   for (FrameType candidate :
        {FrameType::kRequest, FrameType::kResponse, FrameType::kError,
         FrameType::kPing, FrameType::kPong, FrameType::kStatsRequest,
-        FrameType::kStatsResponse}) {
+        FrameType::kStatsResponse, FrameType::kItineraryRequest,
+        FrameType::kItineraryResponse}) {
     common::ByteReader r(frame);
     const DecodeStatus status = OpenFrame(r, candidate);
     if (status == DecodeStatus::kOk) {
@@ -430,6 +436,168 @@ std::vector<uint8_t> EncodeStatsResponse(const WireStatsSnapshot& snapshot) {
   }
   FinishFrame(w, length_offset);
   return w.Take();
+}
+
+std::vector<uint8_t> EncodeItineraryRequest(
+    const std::string& endpoint, const plan::ItineraryRequest& request) {
+  common::ByteWriter w;
+  // Itinerary frames did not exist before v4, so v4 is the lowest version
+  // that can represent them — they always travel at 4.
+  const size_t length_offset = BeginFrame(w, FrameType::kItineraryRequest, 4);
+  w.String(endpoint);
+  w.Pod(request.start.user);
+  w.Pod(request.start.traj);
+  w.Pod(request.start.prefix_len);
+  w.Pod(request.k_stops);
+  w.Pod(request.time_budget_hours);
+  w.Pod(request.travel_speed_kmh);
+  w.Pod(request.dwell_hours);
+  w.Pod(request.start_time);
+  w.Pod(static_cast<uint8_t>(request.return_to_start ? 1 : 0));
+  w.Pod(request.max_stops_per_category);
+  w.Pod(static_cast<uint8_t>(request.enforce_open_hours ? 1 : 0));
+  w.Pod(static_cast<uint8_t>(request.mode));
+  const eval::CandidateConstraints& c = request.constraints;
+  w.Pod(c.geo_center.lat);
+  w.Pod(c.geo_center.lon);
+  w.Pod(c.geo_radius_km);
+  WriteCategoryList(w, c.allowed_categories);
+  WriteCategoryList(w, c.blocked_categories);
+  w.Pod(static_cast<uint8_t>(c.exclude_visited ? 1 : 0));
+  w.Pod(c.open_at);
+  w.Pod(c.min_open_weight);
+  FinishFrame(w, length_offset);
+  return w.Take();
+}
+
+DecodeStatus DecodeItineraryRequest(const std::vector<uint8_t>& frame,
+                                    std::string* endpoint,
+                                    plan::ItineraryRequest* request,
+                                    uint32_t* wire_version) {
+  common::ByteReader reader(frame);
+  uint32_t version = 0;
+  const DecodeStatus header =
+      OpenFrame(reader, FrameType::kItineraryRequest, &version);
+  if (header != DecodeStatus::kOk) return header;
+
+  std::string name;
+  plan::ItineraryRequest decoded;
+  if (!reader.String(&name, kMaxEndpointNameLen)) {
+    return DecodeStatus::kMalformedPayload;
+  }
+  eval::CandidateConstraints& c = decoded.constraints;
+  uint8_t return_to_start = 0;
+  uint8_t enforce_open_hours = 0;
+  uint8_t mode = 0;
+  uint8_t exclude_visited = 0;
+  const bool ok =
+      reader.Pod(&decoded.start.user) && reader.Pod(&decoded.start.traj) &&
+      reader.Pod(&decoded.start.prefix_len) && reader.Pod(&decoded.k_stops) &&
+      reader.Pod(&decoded.time_budget_hours) &&
+      reader.Pod(&decoded.travel_speed_kmh) &&
+      reader.Pod(&decoded.dwell_hours) && reader.Pod(&decoded.start_time) &&
+      reader.Pod(&return_to_start) &&
+      reader.Pod(&decoded.max_stops_per_category) &&
+      reader.Pod(&enforce_open_hours) && reader.Pod(&mode) &&
+      reader.Pod(&c.geo_center.lat) && reader.Pod(&c.geo_center.lon) &&
+      reader.Pod(&c.geo_radius_km) &&
+      ReadCategoryList(reader, &c.allowed_categories) &&
+      ReadCategoryList(reader, &c.blocked_categories) &&
+      reader.Pod(&exclude_visited) && reader.Pod(&c.open_at) &&
+      reader.Pod(&c.min_open_weight);
+  if (!ok) return DecodeStatus::kMalformedPayload;
+  if (return_to_start > 1 || enforce_open_hours > 1 || exclude_visited > 1 ||
+      mode > static_cast<uint8_t>(plan::SearchMode::kMcts)) {
+    return DecodeStatus::kMalformedPayload;
+  }
+  // The planner's own stop cap doubles as the wire cap, so no well-formed
+  // frame can make a decoder-side server search an unbounded tree.
+  if (decoded.k_stops < 0 || decoded.k_stops > plan::kMaxItineraryStops) {
+    return DecodeStatus::kMalformedPayload;
+  }
+  decoded.return_to_start = return_to_start == 1;
+  decoded.enforce_open_hours = enforce_open_hours == 1;
+  decoded.mode = static_cast<plan::SearchMode>(mode);
+  c.exclude_visited = exclude_visited == 1;
+  if (reader.Remaining() != 0) return DecodeStatus::kTrailingGarbage;
+
+  *endpoint = std::move(name);
+  *request = std::move(decoded);
+  if (wire_version != nullptr) *wire_version = version;
+  return DecodeStatus::kOk;
+}
+
+std::vector<uint8_t> EncodeItineraryResponse(
+    const plan::ItineraryResponse& response) {
+  common::ByteWriter w;
+  const size_t length_offset = BeginFrame(w, FrameType::kItineraryResponse, 4);
+  w.Pod(static_cast<uint32_t>(response.plans.size()));
+  for (const plan::ItineraryPlan& plan : response.plans) {
+    w.Pod(static_cast<uint32_t>(plan.stops.size()));
+    for (const plan::ItineraryStop& stop : plan.stops) {
+      w.Pod(stop.poi_id);
+      w.Pod(stop.model_score);
+      w.Pod(stop.arrive_hours);
+      w.Pod(stop.depart_hours);
+      w.Pod(stop.travel_km);
+    }
+    w.Pod(plan.total_score);
+    w.Pod(plan.total_hours);
+    w.Pod(plan.total_km);
+  }
+  w.Pod(response.expansions);
+  w.Pod(response.rollouts_scored);
+  FinishFrame(w, length_offset);
+  return w.Take();
+}
+
+DecodeStatus DecodeItineraryResponse(const std::vector<uint8_t>& frame,
+                                     plan::ItineraryResponse* response) {
+  common::ByteReader reader(frame);
+  const DecodeStatus header = OpenFrame(reader, FrameType::kItineraryResponse);
+  if (header != DecodeStatus::kOk) return header;
+
+  plan::ItineraryResponse decoded;
+  uint32_t plan_count = 0;
+  if (!reader.Pod(&plan_count) || plan_count > kMaxItineraryPlans) {
+    return DecodeStatus::kMalformedPayload;
+  }
+  decoded.plans.resize(plan_count);
+  constexpr size_t kStopBytes =
+      sizeof(int64_t) + sizeof(float) + 3 * sizeof(double);
+  for (uint32_t p = 0; p < plan_count; ++p) {
+    plan::ItineraryPlan& plan = decoded.plans[p];
+    uint32_t stop_count = 0;
+    if (!reader.Pod(&stop_count) ||
+        stop_count > static_cast<uint32_t>(plan::kMaxItineraryStops)) {
+      return DecodeStatus::kMalformedPayload;
+    }
+    // Bytes-remaining check before the allocation, as for response items.
+    if (static_cast<size_t>(stop_count) * kStopBytes > reader.Remaining()) {
+      return DecodeStatus::kMalformedPayload;
+    }
+    plan.stops.resize(stop_count);
+    for (uint32_t s = 0; s < stop_count; ++s) {
+      plan::ItineraryStop& stop = plan.stops[s];
+      if (!reader.Pod(&stop.poi_id) || !reader.Pod(&stop.model_score) ||
+          !reader.Pod(&stop.arrive_hours) || !reader.Pod(&stop.depart_hours) ||
+          !reader.Pod(&stop.travel_km)) {
+        return DecodeStatus::kMalformedPayload;
+      }
+    }
+    if (!reader.Pod(&plan.total_score) || !reader.Pod(&plan.total_hours) ||
+        !reader.Pod(&plan.total_km)) {
+      return DecodeStatus::kMalformedPayload;
+    }
+  }
+  if (!reader.Pod(&decoded.expansions) ||
+      !reader.Pod(&decoded.rollouts_scored)) {
+    return DecodeStatus::kMalformedPayload;
+  }
+  if (reader.Remaining() != 0) return DecodeStatus::kTrailingGarbage;
+
+  *response = std::move(decoded);
+  return DecodeStatus::kOk;
 }
 
 DecodeStatus DecodeStatsResponse(const std::vector<uint8_t>& frame,

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "eval/recommend.h"
+#include "plan/itinerary.h"
 #include "serve/admission.h"
 
 namespace tspn::serve {
@@ -44,8 +45,16 @@ namespace tspn::serve {
 ///     emitted by the router tier. An error frame carrying a code above
 ///     kMaxErrorCodeV2 is encoded at version 3 (codes 0..8 keep the v2
 ///     layout); a v3 error frame may carry any code up to kMaxErrorCode.
+///
+/// Version 4 (this build) adds the itinerary-planning workload:
+///   * two new frame types — kItineraryRequest (endpoint name + a
+///     plan::ItineraryRequest) and kItineraryResponse (a
+///     plan::ItineraryResponse of feasible plans). Both always travel at
+///     version 4 (no earlier version can represent them); a v1–v3 frame
+///     claiming either type is malformed, and every pre-v4 frame this
+///     build emits is bit-identical to what a v3 build emits.
 inline constexpr uint32_t kWireMagic = 0x50575354;  // "TSWP"
-inline constexpr uint32_t kWireVersion = 3;
+inline constexpr uint32_t kWireVersion = 4;
 
 /// Longest endpoint name a request frame may carry. Gateway::Deploy
 /// enforces the same cap, so every deployable endpoint is addressable over
@@ -60,6 +69,8 @@ enum class FrameType : uint8_t {
   kPong = 5,           ///< ping reply: the echoed nonce (v3+)
   kStatsRequest = 6,   ///< empty payload: ask for a stats snapshot (v3+)
   kStatsResponse = 7,  ///< WireStatsSnapshot payload (v3+)
+  kItineraryRequest = 8,   ///< endpoint name + plan::ItineraryRequest (v4+)
+  kItineraryResponse = 9,  ///< plan::ItineraryResponse payload (v4+)
 };
 
 enum class DecodeStatus : uint8_t {
@@ -214,6 +225,37 @@ DecodeStatus DecodeStatsRequest(const std::vector<uint8_t>& frame);
 std::vector<uint8_t> EncodeStatsResponse(const WireStatsSnapshot& snapshot);
 DecodeStatus DecodeStatsResponse(const std::vector<uint8_t>& frame,
                                  WireStatsSnapshot* snapshot);
+
+// --- Itinerary frames (v4) ---------------------------------------------------
+
+/// Decode caps for itinerary frames: a response may carry at most
+/// kMaxItineraryPlans plans of at most plan::kMaxItineraryStops stops each
+/// (the planner's own k_stops cap), so a corrupt count can never allocate
+/// unboundedly.
+inline constexpr uint32_t kMaxItineraryPlans = 64;
+
+/// Encodes a k-stop trip-planning request addressed to the named gateway
+/// endpoint, always as a version-4 frame (the lowest version that can
+/// represent it). The endpoint cap is kMaxEndpointNameLen, as for
+/// recommendation requests.
+std::vector<uint8_t> EncodeItineraryRequest(
+    const std::string& endpoint, const plan::ItineraryRequest& request);
+
+/// Strict inverse: on kOk, *endpoint and *request hold exactly what was
+/// encoded. Out-of-range flag bytes, an unknown search mode, a k_stops
+/// outside [0, plan::kMaxItineraryStops] and every header violation are
+/// rejected with the usual statuses. When non-null, *wire_version reports
+/// the frame's version (always 4 today), mirroring the request decoder.
+DecodeStatus DecodeItineraryRequest(const std::vector<uint8_t>& frame,
+                                    std::string* endpoint,
+                                    plan::ItineraryRequest* request,
+                                    uint32_t* wire_version = nullptr);
+
+std::vector<uint8_t> EncodeItineraryResponse(
+    const plan::ItineraryResponse& response);
+
+DecodeStatus DecodeItineraryResponse(const std::vector<uint8_t>& frame,
+                                     plan::ItineraryResponse* response);
 
 }  // namespace tspn::serve
 

@@ -188,7 +188,12 @@ FrameClient::Reply FrameClient::ReceiveTyped() {
     reply.frame = std::move(frame);
     return reply;
   }
-  if (type != FrameType::kResponse) return reply;
+  // Both reply-shaped frame types are successful replies; the router's
+  // failover logic must never mistake a v4 itinerary reply for transport
+  // trouble.
+  if (type != FrameType::kResponse && type != FrameType::kItineraryResponse) {
+    return reply;
+  }
   reply.kind = Reply::Kind::kResponse;
   reply.frame = std::move(frame);
   return reply;

@@ -97,7 +97,8 @@ class FrameClient {
   /// to branch on shed/error/response without touching the codec.
   struct Reply {
     enum class Kind : uint8_t {
-      kResponse = 0,     ///< response frame; `frame` holds it for decoding
+      kResponse = 0,     ///< response (or v4 itinerary-response) frame;
+                         ///< `frame` holds it for decoding
       kServerError = 1,  ///< error frame; message/code filled in
       kTimeout = 2,      ///< receive timeout (server alive, reply pending)
       kTransport = 3,    ///< send/recv transport failure or malformed reply

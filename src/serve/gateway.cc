@@ -249,6 +249,27 @@ std::shared_ptr<Gateway::Deployment> Gateway::BuildDeployment(
   deployment->model = std::move(model);
   deployment->engine = std::make_unique<InferenceEngine>(
       *deployment->model, config.engine_options);
+  deployment->planner = std::make_unique<plan::ItineraryPlanner>(
+      *deployment->model, config.dataset);
+  // The planner's rollout waves ride this generation's engine: the whole
+  // frontier is submitted before any future is collected, so the engine's
+  // coalescer turns each wave into one RecommendBatch call and plan traffic
+  // shares the queue (and its backpressure) with live recommendations. The
+  // raw pointer is safe: the deployment owns both, planner declared after
+  // engine.
+  deployment->planner->set_scorer(
+      [engine = deployment->engine.get()](
+          common::Span<eval::RecommendRequest> requests) {
+        std::vector<std::future<eval::RecommendResponse>> futures;
+        futures.reserve(requests.size());
+        for (size_t i = 0; i < requests.size(); ++i) {
+          futures.push_back(engine->Submit(requests[i]));
+        }
+        std::vector<eval::RecommendResponse> responses;
+        responses.reserve(futures.size());
+        for (auto& future : futures) responses.push_back(future.get());
+        return responses;
+      });
   deployment->live_since = Clock::now();
   return deployment;
 }
@@ -630,6 +651,55 @@ std::future<eval::RecommendResponse> Gateway::Submit(
   return deployment->engine->Submit(shaped, admission);
 }
 
+bool Gateway::PlanItinerary(const std::string& endpoint,
+                            const plan::ItineraryRequest& request,
+                            plan::ItineraryResponse* out, std::string* error) {
+  // Pinning the generation keeps model + engine + planner alive for the
+  // whole (blocking) search, exactly like Submit does for one request.
+  std::shared_ptr<Deployment> deployment = CurrentDeployment(endpoint);
+  if (deployment == nullptr) {
+    SetError(error, "no endpoint '" + endpoint + "' is deployed");
+    return false;
+  }
+  return deployment->planner->Plan(request, out, error);
+}
+
+std::vector<uint8_t> Gateway::ServeItineraryFrame(
+    const std::vector<uint8_t>& frame) {
+  std::string endpoint;
+  plan::ItineraryRequest request;
+  const DecodeStatus status = DecodeItineraryRequest(frame, &endpoint, &request);
+  if (status != DecodeStatus::kOk) {
+    // Unlike recommend requests, an itinerary frame only decodes at v4+,
+    // so the requester understands every error layout and code.
+    return EncodeErrorFrame(std::string("bad itinerary request frame: ") +
+                                DecodeStatusName(status),
+                            ErrorCode::kBadFrame);
+  }
+  try {
+    plan::ItineraryResponse response;
+    std::string error;
+    if (!PlanItinerary(endpoint, request, &response, &error)) {
+      ErrorCode code = ErrorCode::kModelFailure;
+      if (error.rfind("no endpoint", 0) == 0) {
+        code = ErrorCode::kUnknownEndpoint;
+      } else if (error.rfind("invalid request", 0) == 0) {
+        code = ErrorCode::kInvalidRequest;
+      }
+      return EncodeErrorFrame(error, code);
+    }
+    return EncodeItineraryResponse(response);
+  } catch (const ShedError& e) {
+    // A rollout wave can be refused by the endpoint's admission control —
+    // the plan inherits the shed, like any other rejected workload.
+    return EncodeErrorFrame(e.what(), CodeForShed(e.reason()));
+  } catch (const std::exception& e) {
+    return EncodeErrorFrame(e.what(), ErrorCode::kModelFailure);
+  } catch (...) {
+    return EncodeErrorFrame("itinerary request failed", ErrorCode::kGeneric);
+  }
+}
+
 std::vector<uint8_t> Gateway::ServeControlFrame(
     FrameType type, const std::vector<uint8_t>& frame) {
   if (type == FrameType::kPing) {
@@ -655,6 +725,9 @@ std::vector<uint8_t> Gateway::ServeFrame(const std::vector<uint8_t>& request_fra
   FrameType frame_type = FrameType::kRequest;
   if (PeekFrameType(request_frame, &frame_type) == DecodeStatus::kOk &&
       frame_type != FrameType::kRequest) {
+    if (frame_type == FrameType::kItineraryRequest) {
+      return ServeItineraryFrame(request_frame);
+    }
     return ServeControlFrame(frame_type, request_frame);
   }
   std::string endpoint;
@@ -696,6 +769,16 @@ void Gateway::ServeFrameAsync(const std::vector<uint8_t>& request_frame,
   FrameType frame_type = FrameType::kRequest;
   if (PeekFrameType(request_frame, &frame_type) == DecodeStatus::kOk &&
       frame_type != FrameType::kRequest) {
+    if (frame_type == FrameType::kItineraryRequest) {
+      // A plan blocks across several rollout waves — far too heavy for the
+      // transport thread. A reaped background worker runs it (itineraries
+      // are low-QPS by construction); the gateway destructor joins every
+      // worker, so `done` always fires.
+      StartAsyncOp([this, frame = request_frame, done = std::move(done)] {
+        done(ServeItineraryFrame(frame));
+      });
+      return;
+    }
     // Control frames are cheap (a nonce echo, a stats scrape) — answering
     // synchronously keeps health probes immune to engine-queue pressure.
     done(ServeControlFrame(frame_type, request_frame));

@@ -17,6 +17,7 @@
 #include "eval/model_api.h"
 #include "eval/model_registry.h"
 #include "eval/recommend.h"
+#include "plan/itinerary.h"
 #include "serve/admission.h"
 #include "serve/codec.h"
 #include "serve/frame_handler.h"
@@ -271,6 +272,16 @@ class Gateway : public FrameHandler {
       const std::string& endpoint, const eval::RecommendRequest& request,
       const AdmissionClass& admission);
 
+  /// Plans a constrained k-stop itinerary on the endpoint's model
+  /// (docs/itinerary.md). Blocking — each beam/MCTS expansion wave rides
+  /// the endpoint's engine, so rollouts coalesce with live traffic and
+  /// respect its backpressure. False with *error set on an unknown
+  /// endpoint or an invalid request ("invalid request: ..." prefix).
+  bool PlanItinerary(const std::string& endpoint,
+                     const plan::ItineraryRequest& request,
+                     plan::ItineraryResponse* out,
+                     std::string* error = nullptr);
+
   /// Wire entry point: decodes a request frame (which names its endpoint),
   /// serves it, and returns an encoded response frame — or an encoded
   /// error frame for malformed/unknown/failed requests. Ping frames come
@@ -357,6 +368,13 @@ class Gateway : public FrameHandler {
     DeployConfig config;
     std::unique_ptr<eval::NextPoiModel> model;
     std::unique_ptr<InferenceEngine> engine;
+
+    /// Itinerary planner over this generation's model. Its scorer submits
+    /// every rollout wave through `engine`, so plan expansions coalesce
+    /// with live recommendation traffic; declared after the engine so it
+    /// is destroyed first.
+    std::unique_ptr<plan::ItineraryPlanner> planner;
+
     std::chrono::steady_clock::time_point live_since;
     std::shared_ptr<CumulativeCounters> cumulative;
 
@@ -456,6 +474,12 @@ class Gateway : public FrameHandler {
   /// (a response/error/pong frame aimed at a server) as a kBadFrame error.
   std::vector<uint8_t> ServeControlFrame(FrameType type,
                                          const std::vector<uint8_t>& frame);
+
+  /// Serves one v4 kItineraryRequest frame end to end (decode, validate,
+  /// plan, encode): a kItineraryResponse frame on success, an error frame
+  /// otherwise. Blocking — the async wire path runs it on a background
+  /// worker (StartAsyncOp), never on the transport thread.
+  std::vector<uint8_t> ServeItineraryFrame(const std::vector<uint8_t>& frame);
 
   /// The endpoint's trainer provider (copied under the mutex, invoked with
   /// it released), or null when none is attached.

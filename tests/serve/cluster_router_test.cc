@@ -164,6 +164,47 @@ TEST_F(ClusterRouterTest, RoutedResponsesAreBitIdenticalToDirectShardAccess) {
   router.Stop();
 }
 
+TEST_F(ClusterRouterTest, ItineraryFramesForwardVerbatimWithBitIdenticalReplies) {
+  auto shards = StartShards(2, "itin");
+  ShardRouter router(RouterFor(shards, 1));
+  ASSERT_TRUE(router.Start());
+
+  // A v4 itinerary frame rides the same (endpoint, user) routing key as
+  // recommendations: forwarded verbatim, reply returned verbatim. With
+  // identical checkpoints on every shard, whichever shard the ring picks
+  // serves the same bytes — compare against both.
+  for (size_t i = 0; i < 4; ++i) {
+    plan::ItineraryRequest request;
+    request.start = samples_[i % samples_.size()];
+    request.k_stops = 2;
+    request.time_budget_hours = 10.0;
+    const std::vector<uint8_t> frame = EncodeItineraryRequest("city", request);
+
+    const std::vector<uint8_t> routed = router.Route(frame);
+    FrameType type = FrameType::kRequest;
+    ASSERT_EQ(PeekFrameType(routed, &type), DecodeStatus::kOk);
+    EXPECT_EQ(type, FrameType::kItineraryResponse);
+    EXPECT_EQ(routed, shards[0]->gateway.ServeFrame(frame)) << "request " << i;
+  }
+
+  // Typed error replies (unknown endpoint) also pass through verbatim
+  // instead of tripping the failover loop.
+  plan::ItineraryRequest request;
+  request.start = samples_[0];
+  const std::vector<uint8_t> bad_endpoint =
+      EncodeItineraryRequest("nope", request);
+  const std::vector<uint8_t> reply = router.Route(bad_endpoint);
+  std::string message;
+  ErrorCode code = ErrorCode::kGeneric;
+  ASSERT_EQ(DecodeErrorFrame(reply, &message, &code), DecodeStatus::kOk);
+  EXPECT_EQ(code, ErrorCode::kUnknownEndpoint);
+  EXPECT_EQ(reply, shards[0]->gateway.ServeFrame(bad_endpoint));
+
+  const ClusterStats stats = router.Snapshot();
+  EXPECT_EQ(stats.frames_routed, 5);
+  router.Stop();
+}
+
 TEST_F(ClusterRouterTest, DeadlineCarryingRequestsAreServed) {
   auto shards = StartShards(1, "deadline");
   ShardRouter router(RouterFor(shards, 1));

@@ -412,5 +412,299 @@ TEST(CodecV2ResponseTest, ResponsesStayVersion1) {
   EXPECT_EQ(FrameVersion(frame), 1u);
 }
 
+// --- Version 4: itinerary frames ---------------------------------------------
+
+/// One representative itinerary request per field-variation mask; the
+/// constraint block reuses ConstraintsFor so the full CandidateConstraints
+/// surface rides along.
+plan::ItineraryRequest ItineraryRequestFor(unsigned mask) {
+  plan::ItineraryRequest request;
+  request.start = {5, 2, 9};
+  request.k_stops = 1 + static_cast<int32_t>(mask % plan::kMaxItineraryStops);
+  request.time_budget_hours = 7.25;
+  request.travel_speed_kmh = 27.5;
+  request.dwell_hours = 0.75;
+  request.start_time = (mask & 1u) ? 1700000000 : -1;
+  request.return_to_start = (mask & 2u) != 0;
+  request.max_stops_per_category = (mask & 4u) ? 2 : 0;
+  request.enforce_open_hours = (mask & 8u) != 0;
+  request.mode = (mask & 16u) ? plan::SearchMode::kMcts : plan::SearchMode::kBeam;
+  request.constraints = ConstraintsFor(mask % 32);
+  return request;
+}
+
+void ExpectSameItineraryRequest(const plan::ItineraryRequest& a,
+                                const plan::ItineraryRequest& b) {
+  EXPECT_EQ(a.start.user, b.start.user);
+  EXPECT_EQ(a.start.traj, b.start.traj);
+  EXPECT_EQ(a.start.prefix_len, b.start.prefix_len);
+  EXPECT_EQ(a.k_stops, b.k_stops);
+  EXPECT_EQ(std::memcmp(&a.time_budget_hours, &b.time_budget_hours,
+                        sizeof(double)),
+            0);
+  EXPECT_EQ(
+      std::memcmp(&a.travel_speed_kmh, &b.travel_speed_kmh, sizeof(double)), 0);
+  EXPECT_EQ(std::memcmp(&a.dwell_hours, &b.dwell_hours, sizeof(double)), 0);
+  EXPECT_EQ(a.start_time, b.start_time);
+  EXPECT_EQ(a.return_to_start, b.return_to_start);
+  EXPECT_EQ(a.max_stops_per_category, b.max_stops_per_category);
+  EXPECT_EQ(a.enforce_open_hours, b.enforce_open_hours);
+  EXPECT_EQ(a.mode, b.mode);
+  ExpectSameConstraints(a.constraints, b.constraints);
+}
+
+TEST(CodecV4ItineraryRequestTest, RoundTripEveryFieldCombination) {
+  for (unsigned mask = 0; mask < 64; ++mask) {
+    SCOPED_TRACE("field mask " + std::to_string(mask));
+    const plan::ItineraryRequest request = ItineraryRequestFor(mask);
+    const std::vector<uint8_t> frame =
+        EncodeItineraryRequest("trips-nyc", request);
+    EXPECT_EQ(FrameVersion(frame), 4u);
+
+    FrameType type;
+    ASSERT_EQ(PeekFrameType(frame, &type), DecodeStatus::kOk);
+    EXPECT_EQ(type, FrameType::kItineraryRequest);
+
+    std::string endpoint;
+    plan::ItineraryRequest decoded;
+    uint32_t wire_version = 0;
+    ASSERT_EQ(DecodeItineraryRequest(frame, &endpoint, &decoded, &wire_version),
+              DecodeStatus::kOk);
+    EXPECT_EQ(endpoint, "trips-nyc");
+    EXPECT_EQ(wire_version, 4u);
+    ExpectSameItineraryRequest(decoded, request);
+
+    // Encode(Decode(frame)) must reproduce the frame byte for byte.
+    EXPECT_EQ(EncodeItineraryRequest(endpoint, decoded), frame);
+  }
+}
+
+plan::ItineraryResponse SampleItineraryResponse() {
+  plan::ItineraryResponse response;
+  plan::ItineraryPlan plan;
+  plan.stops = {{101, 0.875f, 0.25, 1.25, 3.5},
+                {-7, -0.125f, 1.5, 2.5, 4.25}};
+  plan.total_score = 0.75;
+  plan.total_hours = 2.5;
+  plan.total_km = 7.75;
+  response.plans.push_back(plan);
+  response.plans.push_back(plan::ItineraryPlan{});  // empty plan survives too
+  response.expansions = 12;
+  response.rollouts_scored = 41;
+  return response;
+}
+
+TEST(CodecV4ItineraryResponseTest, RoundTripIsBitExact) {
+  const plan::ItineraryResponse response = SampleItineraryResponse();
+  const std::vector<uint8_t> frame = EncodeItineraryResponse(response);
+  EXPECT_EQ(FrameVersion(frame), 4u);
+
+  plan::ItineraryResponse decoded;
+  ASSERT_EQ(DecodeItineraryResponse(frame, &decoded), DecodeStatus::kOk);
+  ASSERT_EQ(decoded.plans.size(), response.plans.size());
+  for (size_t p = 0; p < response.plans.size(); ++p) {
+    const plan::ItineraryPlan& expect = response.plans[p];
+    const plan::ItineraryPlan& got = decoded.plans[p];
+    ASSERT_EQ(got.stops.size(), expect.stops.size());
+    for (size_t s = 0; s < expect.stops.size(); ++s) {
+      EXPECT_EQ(got.stops[s].poi_id, expect.stops[s].poi_id);
+      EXPECT_EQ(std::memcmp(&got.stops[s].model_score,
+                            &expect.stops[s].model_score, sizeof(float)),
+                0);
+      EXPECT_EQ(std::memcmp(&got.stops[s].arrive_hours,
+                            &expect.stops[s].arrive_hours, sizeof(double)),
+                0);
+      EXPECT_EQ(std::memcmp(&got.stops[s].depart_hours,
+                            &expect.stops[s].depart_hours, sizeof(double)),
+                0);
+      EXPECT_EQ(std::memcmp(&got.stops[s].travel_km, &expect.stops[s].travel_km,
+                            sizeof(double)),
+                0);
+    }
+    EXPECT_EQ(std::memcmp(&got.total_score, &expect.total_score,
+                          sizeof(double)),
+              0);
+    EXPECT_EQ(std::memcmp(&got.total_hours, &expect.total_hours,
+                          sizeof(double)),
+              0);
+    EXPECT_EQ(std::memcmp(&got.total_km, &expect.total_km, sizeof(double)), 0);
+  }
+  EXPECT_EQ(decoded.expansions, response.expansions);
+  EXPECT_EQ(decoded.rollouts_scored, response.rollouts_scored);
+  EXPECT_EQ(EncodeItineraryResponse(decoded), frame);
+}
+
+TEST(CodecV4ItineraryTest, TruncationAtEveryLengthIsRejected) {
+  const std::vector<uint8_t> request_frame =
+      EncodeItineraryRequest("city-a", ItineraryRequestFor(63));
+  std::string endpoint = "untouched";
+  plan::ItineraryRequest request;
+  request.k_stops = 42;
+  for (size_t len = 0; len < request_frame.size(); ++len) {
+    SCOPED_TRACE("request prefix length " + std::to_string(len));
+    const std::vector<uint8_t> cut(request_frame.begin(),
+                                   request_frame.begin() + len);
+    const DecodeStatus status = DecodeItineraryRequest(cut, &endpoint, &request);
+    EXPECT_NE(status, DecodeStatus::kOk);
+    EXPECT_TRUE(status == DecodeStatus::kTruncated ||
+                status == DecodeStatus::kMalformedPayload)
+        << DecodeStatusName(status);
+  }
+  EXPECT_EQ(endpoint, "untouched");
+  EXPECT_EQ(request.k_stops, 42);
+
+  const std::vector<uint8_t> response_frame =
+      EncodeItineraryResponse(SampleItineraryResponse());
+  plan::ItineraryResponse response;
+  response.expansions = -5;
+  for (size_t len = 0; len < response_frame.size(); ++len) {
+    SCOPED_TRACE("response prefix length " + std::to_string(len));
+    const std::vector<uint8_t> cut(response_frame.begin(),
+                                   response_frame.begin() + len);
+    const DecodeStatus status = DecodeItineraryResponse(cut, &response);
+    EXPECT_NE(status, DecodeStatus::kOk);
+    EXPECT_TRUE(status == DecodeStatus::kTruncated ||
+                status == DecodeStatus::kMalformedPayload)
+        << DecodeStatusName(status);
+  }
+  EXPECT_EQ(response.expansions, -5);
+}
+
+TEST(CodecV4ItineraryTest, TrailingGarbageIsRejected) {
+  std::vector<uint8_t> request_frame =
+      EncodeItineraryRequest("e", ItineraryRequestFor(7));
+  request_frame.push_back(0xAB);
+  std::string endpoint;
+  plan::ItineraryRequest request;
+  EXPECT_EQ(DecodeItineraryRequest(request_frame, &endpoint, &request),
+            DecodeStatus::kTrailingGarbage);
+
+  std::vector<uint8_t> response_frame =
+      EncodeItineraryResponse(plan::ItineraryResponse{});
+  response_frame.push_back(0x00);
+  plan::ItineraryResponse response;
+  EXPECT_EQ(DecodeItineraryResponse(response_frame, &response),
+            DecodeStatus::kTrailingGarbage);
+}
+
+TEST(CodecV4ItineraryTest, WrongFrameTypeIsRejected) {
+  // The new frames reject the old decoders and vice versa — no payload
+  // confusion across the type byte.
+  const std::vector<uint8_t> itinerary_frame =
+      EncodeItineraryRequest("e", ItineraryRequestFor(0));
+  std::string endpoint;
+  eval::RecommendRequest recommend;
+  EXPECT_EQ(DecodeRecommendRequest(itinerary_frame, &endpoint, &recommend),
+            DecodeStatus::kWrongFrameType);
+
+  plan::ItineraryRequest request;
+  EXPECT_EQ(DecodeItineraryRequest(EncodeRecommendRequest("e", RequestFor(0)),
+                                   &endpoint, &request),
+            DecodeStatus::kWrongFrameType);
+  plan::ItineraryResponse response;
+  EXPECT_EQ(DecodeItineraryResponse(
+                EncodeRecommendResponse(eval::RecommendResponse{}), &response),
+            DecodeStatus::kWrongFrameType);
+}
+
+TEST(CodecV4ItineraryTest, PreV4VersionWordIsRejected) {
+  // Itinerary frames are v4-only: a version word below 4 claims a protocol
+  // level at which the frame type did not exist.
+  for (uint32_t version = 1; version <= 3; ++version) {
+    SCOPED_TRACE("version " + std::to_string(version));
+    std::vector<uint8_t> frame =
+        EncodeItineraryRequest("e", ItineraryRequestFor(0));
+    std::memcpy(frame.data() + sizeof(uint32_t), &version, sizeof(version));
+    std::string endpoint;
+    plan::ItineraryRequest request;
+    EXPECT_EQ(DecodeItineraryRequest(frame, &endpoint, &request),
+              DecodeStatus::kMalformedPayload);
+  }
+}
+
+TEST(CodecV4ItineraryTest, BadFlagModeAndStopCountAreMalformed) {
+  const plan::ItineraryRequest request = ItineraryRequestFor(0);
+  const std::vector<uint8_t> frame = EncodeItineraryRequest("e", request);
+  // Payload layout after the endpoint string: sample (3x int32), k_stops
+  // (int32), three doubles, start_time (int64), return flag, quota (int32),
+  // open-hours flag, mode byte.
+  const size_t header = 4 + 4 + 1 + 4;
+  const size_t endpoint_bytes = 4 + 1;
+  const size_t k_stops_offset = header + endpoint_bytes + 3 * sizeof(int32_t);
+  const size_t return_flag_offset =
+      k_stops_offset + sizeof(int32_t) + 3 * sizeof(double) + sizeof(int64_t);
+  const size_t mode_offset =
+      return_flag_offset + 1 + sizeof(int32_t) + 1;
+
+  std::string endpoint;
+  plan::ItineraryRequest decoded;
+
+  std::vector<uint8_t> bad_flag = frame;
+  bad_flag[return_flag_offset] = 2;
+  EXPECT_EQ(DecodeItineraryRequest(bad_flag, &endpoint, &decoded),
+            DecodeStatus::kMalformedPayload);
+
+  std::vector<uint8_t> bad_mode = frame;
+  bad_mode[mode_offset] = 9;
+  EXPECT_EQ(DecodeItineraryRequest(bad_mode, &endpoint, &decoded),
+            DecodeStatus::kMalformedPayload);
+
+  std::vector<uint8_t> bad_k = frame;
+  const int32_t too_many = plan::kMaxItineraryStops + 1;
+  std::memcpy(bad_k.data() + k_stops_offset, &too_many, sizeof(too_many));
+  EXPECT_EQ(DecodeItineraryRequest(bad_k, &endpoint, &decoded),
+            DecodeStatus::kMalformedPayload);
+}
+
+TEST(CodecV4ItineraryTest, HugePlanAndStopCountsAreRejected) {
+  // A tiny frame claiming more plans than the cap (or more than its bytes
+  // can hold) must be refused by the count checks, never satisfied by a
+  // giant resize.
+  const size_t header = 4 + 4 + 1 + 4;
+  std::vector<uint8_t> frame =
+      EncodeItineraryResponse(plan::ItineraryResponse{});
+  const uint32_t over_cap = kMaxItineraryPlans + 1;
+  std::memcpy(frame.data() + header, &over_cap, sizeof(over_cap));
+  plan::ItineraryResponse response;
+  EXPECT_EQ(DecodeItineraryResponse(frame, &response),
+            DecodeStatus::kMalformedPayload);
+
+  const uint32_t claims_plans = 3;  // in-cap but the frame has no plan bytes
+  std::memcpy(frame.data() + header, &claims_plans, sizeof(claims_plans));
+  EXPECT_NE(DecodeItineraryResponse(frame, &response), DecodeStatus::kOk);
+
+  // Stop-count cap inside a plan: corrupt the first plan's stop count.
+  plan::ItineraryResponse one_plan;
+  one_plan.plans.emplace_back();
+  std::vector<uint8_t> plan_frame = EncodeItineraryResponse(one_plan);
+  const uint32_t huge_stops = static_cast<uint32_t>(plan::kMaxItineraryStops) + 1;
+  std::memcpy(plan_frame.data() + header + sizeof(uint32_t), &huge_stops,
+              sizeof(huge_stops));
+  EXPECT_EQ(DecodeItineraryResponse(plan_frame, &response),
+            DecodeStatus::kMalformedPayload);
+}
+
+TEST(CodecV4ItineraryTest, ExistingEncodersStillEmitLowestVersions) {
+  // The v4 bump must not move any existing frame off its
+  // lowest-representable version: v1-v3 peers keep decoding replies
+  // bit-identically.
+  EXPECT_EQ(FrameVersion(EncodeRecommendRequest("e", RequestFor(0))), 1u);
+  EXPECT_EQ(FrameVersion(EncodeRecommendRequest("e", RequestFor(0),
+                                                AdmissionClass{})),
+            2u);
+  EXPECT_EQ(FrameVersion(EncodeRecommendResponse(eval::RecommendResponse{})),
+            1u);
+  EXPECT_EQ(FrameVersion(EncodeErrorFrame("v1 shape")), 1u);
+  EXPECT_EQ(FrameVersion(EncodeErrorFrame("coded", ErrorCode::kGeneric)), 2u);
+  EXPECT_EQ(FrameVersion(EncodePingFrame(7)), 3u);
+  EXPECT_EQ(FrameVersion(EncodePongFrame(7)), 3u);
+  EXPECT_EQ(FrameVersion(EncodeStatsRequest()), 3u);
+  EXPECT_EQ(FrameVersion(EncodeStatsResponse(WireStatsSnapshot{})), 3u);
+  EXPECT_EQ(FrameVersion(EncodeItineraryRequest("e", ItineraryRequestFor(0))),
+            4u);
+  EXPECT_EQ(FrameVersion(EncodeItineraryResponse(plan::ItineraryResponse{})),
+            4u);
+}
+
 }  // namespace
 }  // namespace tspn::serve

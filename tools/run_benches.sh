@@ -57,7 +57,7 @@ import json, sys, os
 threshold = float(sys.argv[1])
 baseline_dir, out_dir = sys.argv[2], sys.argv[3]
 # Lower-is-better metrics tracked for regressions.
-TRACKED = ("ns_per_op", "ms_per_query")
+TRACKED = ("ns_per_op", "ms_per_query", "ms_per_plan")
 # Higher-is-better metrics (serving throughput): regress when the new value
 # drops below baseline / threshold.
 TRACKED_HIGHER = ("qps",)
